@@ -1,0 +1,157 @@
+// Ablations for the two main design choices in the decision engine
+// (called out in DESIGN.md §5):
+//
+//   1. memoization of failed (prefix-mask, memory-state) pairs in the
+//      legal-view search — without it the DFS re-explores isomorphic
+//      dead ends;
+//   2. base-relation pruning of the mutual-consistency enumeration —
+//      TSO's candidate write orders are enumerated as linear extensions
+//      of ppo; with an empty base every permutation of the writes is
+//      tried.  Verdicts are identical by construction (pruned candidates
+//      are exactly the infeasible ones); only the work changes.
+//
+// Each ablation row reports time and (for 1) search-node counts, with
+// result equality asserted on every input.
+#include "bench_util.hpp"
+
+#include "checker/legality.hpp"
+#include "checker/scope.hpp"
+#include "lattice/enumerate.hpp"
+#include "order/orders.hpp"
+#include "relation/topo.hpp"
+
+namespace {
+
+using namespace ssm;
+
+history::SystemHistory random_h(std::uint32_t ops, std::uint64_t seed) {
+  lattice::EnumerationSpec spec;
+  spec.procs = 2;
+  spec.ops_per_proc = ops;
+  spec.locs = 2;
+  Rng rng(seed);
+  return lattice::random_history(spec, rng);
+}
+
+/// Hand-rolled TSO decision with a configurable enumeration base, used by
+/// ablation 2 (the production model always prunes).
+bool tso_check(const history::SystemHistory& h, bool prune,
+               std::uint64_t* orders_tried) {
+  const auto ppo = order::partial_program_order(h);
+  const rel::Relation base = prune ? ppo : rel::Relation(h.size());
+  const auto writes = checker::write_ops(h);
+  bool allowed = false;
+  rel::for_each_linear_extension(
+      base, writes, [&](const std::vector<std::size_t>& worder) {
+        ++*orders_tried;
+        rel::Relation constraints = ppo;
+        for (std::size_t i = 0; i < worder.size(); ++i) {
+          for (std::size_t j = i + 1; j < worder.size(); ++j) {
+            constraints.add(worder[i], worder[j]);
+          }
+        }
+        for (ProcId p = 0; p < h.num_processors(); ++p) {
+          if (!checker::find_legal_view(h, checker::own_plus_writes(h, p),
+                                        constraints)) {
+            return true;  // next write order
+          }
+        }
+        allowed = true;
+        return false;
+      });
+  return allowed;
+}
+
+void memo_ablation_table() {
+  std::printf("ablation 1: failed-state memoization in the view search\n");
+  std::printf("%-6s %14s %14s %10s\n", "ops", "nodes(memo)",
+              "nodes(no-memo)", "speedup");
+  for (std::uint32_t ops : {3u, 4u, 5u, 6u}) {
+    std::uint64_t nodes_on = 0, nodes_off = 0;
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+      const auto h = random_h(ops, seed);
+      const auto po = order::program_order(h);
+      const auto universe = checker::all_ops(h);
+      checker::set_memoization_enabled(true);
+      const bool with = checker::find_legal_view(h, universe, po)
+                            .has_value();
+      nodes_on += checker::last_search_stats().nodes;
+      checker::set_memoization_enabled(false);
+      const bool without = checker::find_legal_view(h, universe, po)
+                               .has_value();
+      nodes_off += checker::last_search_stats().nodes;
+      checker::set_memoization_enabled(true);
+      if (with != without) {
+        std::printf("  RESULT MISMATCH at seed %llu!\n",
+                    static_cast<unsigned long long>(seed));
+      }
+    }
+    std::printf("%-6u %14llu %14llu %9.2fx\n", ops * 2,
+                static_cast<unsigned long long>(nodes_on),
+                static_cast<unsigned long long>(nodes_off),
+                static_cast<double>(nodes_off) /
+                    static_cast<double>(nodes_on == 0 ? 1 : nodes_on));
+  }
+  std::printf("\n");
+}
+
+void prune_ablation_table() {
+  std::printf("ablation 2: ppo-based pruning of TSO write-order "
+              "enumeration\n");
+  std::printf("%-6s %16s %16s\n", "ops", "orders(pruned)",
+              "orders(naive)");
+  for (std::uint32_t ops : {3u, 4u, 5u}) {
+    std::uint64_t pruned = 0, naive = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      const auto h = random_h(ops, 100 + seed);
+      std::uint64_t a = 0, b = 0;
+      const bool with = tso_check(h, true, &a);
+      const bool without = tso_check(h, false, &b);
+      pruned += a;
+      naive += b;
+      if (with != without) {
+        std::printf("  RESULT MISMATCH at seed %llu!\n",
+                    static_cast<unsigned long long>(seed));
+      }
+    }
+    std::printf("%-6u %16llu %16llu\n", ops * 2,
+                static_cast<unsigned long long>(pruned),
+                static_cast<unsigned long long>(naive));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner("Ablations: memoization and enumeration pruning",
+                      "(engine design choices; verdicts identical, work "
+                      "differs)");
+  memo_ablation_table();
+  prune_ablation_table();
+
+  benchmark::RegisterBenchmark(
+      "ablation/search_memo_on", [](benchmark::State& state) {
+        const auto h = random_h(6, 7);
+        const auto po = order::program_order(h);
+        const auto universe = checker::all_ops(h);
+        checker::set_memoization_enabled(true);
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(
+              checker::find_legal_view(h, universe, po).has_value());
+        }
+      });
+  benchmark::RegisterBenchmark(
+      "ablation/search_memo_off", [](benchmark::State& state) {
+        const auto h = random_h(6, 7);
+        const auto po = order::program_order(h);
+        const auto universe = checker::all_ops(h);
+        checker::set_memoization_enabled(false);
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(
+              checker::find_legal_view(h, universe, po).has_value());
+        }
+        checker::set_memoization_enabled(true);
+      });
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,105 @@
+// The price of synchronization in a real algorithm: Lamport's Bakery
+// under the cost model, across machines and processor counts.
+//
+// This is the quantitative half of the paper's §5 story.  The DASH
+// position was that RC_pc is worth having because labeled operations are
+// cheaper than sequentially consistent ones; the paper's counter is that
+// RC_pc breaks read/write synchronization algorithms.  The table makes
+// the trade concrete: cycles per critical-section entry on sc / rc-sc /
+// rc-pc machines (rc-pc is the cheapest — and the §5 result shows what
+// that discount actually buys: broken mutual exclusion).
+#include "bench_util.hpp"
+
+#include "bakery/bakery.hpp"
+#include "simulate/cost_model.hpp"
+#include "simulate/rc_memory.hpp"
+#include "simulate/sc_memory.hpp"
+#include "simulate/tso_memory.hpp"
+
+namespace {
+
+using namespace ssm;
+
+struct MachineRow {
+  const char* name;
+  sim::CostFactory factory;
+};
+
+std::vector<MachineRow> machines() {
+  return {
+      {"sc",
+       [](std::size_t p, std::size_t l) { return sim::make_sc_machine(p, l); }},
+      {"tso",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_tso_machine(p, l);
+       }},
+      {"rc-sc",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_rc_sc_machine(p, l);
+       }},
+      {"rc-pc",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_rc_pc_machine(p, l);
+       }},
+  };
+}
+
+double cycles_per_entry(const MachineRow& row, std::uint32_t n,
+                        std::uint64_t lat, std::uint64_t runs) {
+  bakery::BakeryLayout layout{n};
+  sim::CostParams params;
+  params.interconnect = lat;
+  params.memory = lat / 5 + 1;
+  std::uint64_t cycles = 0, entries = 0;
+  for (std::uint64_t r = 0; r < runs; ++r) {
+    const auto report = sim::measure_programs(
+        row.factory,
+        [&](std::uint32_t i) {
+          return bakery::bakery_process(layout, i,
+                                        bakery::BakeryOptions{1, true});
+        },
+        n, layout.num_locations(), params, 10 + r);
+    cycles += report.cycles;
+    entries += n;  // one critical-section entry per process per run
+  }
+  return static_cast<double>(cycles) / static_cast<double>(entries);
+}
+
+void table(std::uint64_t lat, std::uint64_t runs) {
+  std::printf("cycles per critical-section entry (interconnect latency "
+              "L=%llu, %llu runs)\n",
+              static_cast<unsigned long long>(lat),
+              static_cast<unsigned long long>(runs));
+  std::printf("%-10s", "machine");
+  for (std::uint32_t n : {2u, 3u, 4u, 5u}) std::printf("      n=%u", n);
+  std::printf("\n");
+  for (const auto& row : machines()) {
+    std::printf("%-10s", row.name);
+    for (std::uint32_t n : {2u, 3u, 4u, 5u}) {
+      std::printf(" %8.0f", cycles_per_entry(row, n, lat, runs));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner(
+      "Bakery under the cost model: what RC_pc's weakness buys",
+      "labeled ops are free on rc-pc and expensive on sc/rc-sc; the "
+      "discount grows with n and interconnect latency — and §5 shows the "
+      "price is correctness");
+  table(100, 20);
+  table(1000, 20);
+
+  benchmark::RegisterBenchmark(
+      "bakery_cost/rc-sc/n3", [](benchmark::State& state) {
+        const auto rows = machines();
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(cycles_per_entry(rows[2], 3, 100, 2));
+        }
+      });
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,71 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Every bench binary follows the same shape: a custom main() prints the
+// paper artifact it regenerates (so `./bench/<name>` alone reproduces the
+// figure), then hands over to google-benchmark for the timing rows.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "checker/verdict.hpp"
+#include "history/print.hpp"
+#include "litmus/suite.hpp"
+#include "models/registry.hpp"
+
+namespace ssm::bench {
+
+inline void print_banner(const char* artifact, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", artifact);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+/// Prints the named litmus test's history and the verdict (with witness
+/// views) of each listed model.
+inline void print_test_verdicts(const litmus::LitmusTest& t,
+                                std::initializer_list<const char*> names) {
+  std::printf("history:\n%s\n", history::format_history(t.hist).c_str());
+  for (const char* name : names) {
+    const auto model = models::make_model(name);
+    const auto verdict = model->check(t.hist);
+    std::printf("%-10s %s", name,
+                checker::format_verdict(t.hist, verdict).c_str());
+    const auto expected = t.expectation(name);
+    if (expected.has_value()) {
+      std::printf("           paper: %s -> %s\n",
+                  *expected ? "allowed" : "forbidden",
+                  *expected == verdict.allowed ? "MATCH" : "MISMATCH");
+    }
+  }
+  std::printf("\n");
+}
+
+/// Registers a benchmark that times `model->check` on one suite test.
+inline void time_model_on_test(const char* test, const char* model) {
+  const std::string bench_name =
+      std::string("check/") + test + "/" + model;
+  benchmark::RegisterBenchmark(
+      bench_name.c_str(),
+      [test = std::string(test),
+       model = std::string(model)](benchmark::State& state) {
+        const auto& t = litmus::find_test(test);
+        const auto m = models::make_model(model);
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(m->check(t.hist).allowed);
+        }
+      });
+}
+
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ssm::bench

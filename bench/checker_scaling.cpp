@@ -1,0 +1,81 @@
+// Checker scalability: decision time vs. history size per model.
+//
+// Not a paper artifact (the paper has no performance evaluation), but the
+// standard systems question for a model checker: how does the view-search
+// decision procedure scale with operations per processor, processor
+// count, and model strength?  Reported as google-benchmark rows over
+// random canonical histories.
+#include "bench_util.hpp"
+
+#include "checker/legality.hpp"
+#include "lattice/enumerate.hpp"
+
+namespace {
+
+using namespace ssm;
+
+history::SystemHistory random_h(std::uint32_t procs, std::uint32_t ops,
+                                std::uint32_t locs, std::uint64_t seed) {
+  lattice::EnumerationSpec spec;
+  spec.procs = procs;
+  spec.ops_per_proc = ops;
+  spec.locs = locs;
+  Rng rng(seed);
+  return lattice::random_history(spec, rng);
+}
+
+void register_scaling(const char* model_name) {
+  for (std::uint32_t ops : {2u, 4u, 6u, 8u}) {
+    const std::string name = std::string("scaling/") + model_name +
+                             "/2procs_x_" + std::to_string(ops) + "ops";
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [model_name, ops](benchmark::State& state) {
+          const auto m = models::make_model(model_name);
+          std::uint64_t seed = 11;
+          std::uint64_t allowed = 0, total = 0;
+          for (auto _ : state) {
+            state.PauseTiming();
+            const auto h = random_h(2, ops, 2, seed++);
+            state.ResumeTiming();
+            const bool a = m->check(h).allowed;
+            benchmark::DoNotOptimize(a);
+            ++total;
+            allowed += a ? 1 : 0;
+          }
+          state.counters["admit_rate"] =
+              benchmark::Counter(static_cast<double>(allowed) /
+                                 static_cast<double>(total == 0 ? 1 : total));
+        });
+  }
+  for (std::uint32_t procs : {2u, 3u, 4u}) {
+    const std::string name = std::string("scaling/") + model_name + "/" +
+                             std::to_string(procs) + "procs_x_3ops";
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [model_name, procs](benchmark::State& state) {
+          const auto m = models::make_model(model_name);
+          std::uint64_t seed = 23;
+          for (auto _ : state) {
+            state.PauseTiming();
+            const auto h = random_h(procs, 3, 2, seed++);
+            state.ResumeTiming();
+            benchmark::DoNotOptimize(m->check(h).allowed);
+          }
+        });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner(
+      "Checker scaling: decision time vs. history size and model",
+      "(library performance characterization; no paper counterpart)");
+
+  for (const char* model :
+       {"SC", "TSO", "PC", "PCg", "Causal", "PRAM", "Cache", "Local"}) {
+    register_scaling(model);
+  }
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,26 @@
+// Figure 1 regeneration: the store-buffering history
+//
+//     p: w(x)1 r(y)0
+//     q: w(y)1 r(x)0
+//
+// "This execution is not possible with SC ... However, this execution is
+// possible with TSO" (paper §3.2), with witness views
+//     S_{p+w}: r_p(y)0 w_p(x)1 w_q(y)1
+//     S_{q+w}: r_q(x)0 w_p(x)1 w_q(y)1
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ssm;
+  bench::print_banner(
+      "Figure 1: TSO execution history (store buffering)",
+      "not allowed by SC; allowed by TSO (witness views shown)");
+  const auto& t = litmus::find_test("fig1-sb");
+  bench::print_test_verdicts(
+      t, {"SC", "TSO", "TSOfwd", "PC", "PCg", "Causal", "PRAM"});
+
+  for (const char* model :
+       {"SC", "TSO", "TSOfwd", "PC", "PCg", "Causal", "PRAM"}) {
+    bench::time_model_on_test("fig1-sb", model);
+  }
+  return bench::run_benchmarks(argc, argv);
+}

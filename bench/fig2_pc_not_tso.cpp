@@ -1,0 +1,25 @@
+// Figure 2 regeneration: the write-to-read-causality history
+//
+//     p: w(x)1
+//     q: r(x)1 w(y)1
+//     r: r(y)1 r(x)0
+//
+// "Figure 2 shows an execution that is allowed by PC ... However, it is
+// not possible to create processor views that satisfy TSO requirements"
+// (paper §3.3).  Also the paper's PC∖Causal separation witness.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ssm;
+  bench::print_banner(
+      "Figure 2: PC execution history that is not TSO",
+      "allowed by PC; forbidden by TSO; also forbidden by causal memory");
+  const auto& t = litmus::find_test("fig2-wrc");
+  bench::print_test_verdicts(t,
+                             {"SC", "TSO", "PC", "PCg", "Causal", "PRAM"});
+
+  for (const char* model : {"SC", "TSO", "PC", "PCg", "Causal", "PRAM"}) {
+    bench::time_model_on_test("fig2-wrc", model);
+  }
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,27 @@
+// Figure 3 regeneration: the same-location divergence history
+//
+//     p: w(x)1 r(x)1 r(x)2
+//     q: w(x)2 r(x)2 r(x)1
+//
+// "PRAM thus allows the execution shown in Figure 3, which is not allowed
+// by TSO" (paper §3.5), with witness views
+//     S_{p+w}: w_p(x)1 r_p(x)1 w_q(x)2 r_p(x)2
+//     S_{q+w}: w_q(x)2 r_q(x)2 w_p(x)1 r_q(x)1
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ssm;
+  bench::print_banner(
+      "Figure 3: PRAM history that is not allowed by TSO",
+      "allowed by PRAM (and causal memory); forbidden by TSO, PC, and "
+      "cache consistency");
+  const auto& t = litmus::find_test("fig3-pram");
+  bench::print_test_verdicts(
+      t, {"SC", "TSO", "PC", "Causal", "CausalCoh", "Cache", "PRAM"});
+
+  for (const char* model :
+       {"SC", "TSO", "PC", "Causal", "CausalCoh", "Cache", "PRAM"}) {
+    bench::time_model_on_test("fig3-pram", model);
+  }
+  return bench::run_benchmarks(argc, argv);
+}

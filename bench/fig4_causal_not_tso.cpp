@@ -1,0 +1,25 @@
+// Figure 4 regeneration: the causal history
+//
+//     p: w(x)1 w(y)1
+//     q: r(y)1 w(z)1 r(x)2
+//     r: w(x)2 r(x)1 r(z)1 r(y)1
+//
+// "Figure 4 shows an execution that is allowed by causal but not by TSO"
+// (paper §3.5).  It is also the Causal∖PC separation witness (coherence
+// on x cannot be agreed), completing the paper's incomparability claim.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ssm;
+  bench::print_banner(
+      "Figure 4: causal history that is not allowed by TSO",
+      "allowed by causal memory and PRAM; forbidden by TSO and PC");
+  const auto& t = litmus::find_test("fig4-causal");
+  bench::print_test_verdicts(t,
+                             {"SC", "TSO", "PC", "PCg", "Causal", "PRAM"});
+
+  for (const char* model : {"SC", "TSO", "PC", "Causal", "PRAM"}) {
+    bench::time_model_on_test("fig4-causal", model);
+  }
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,142 @@
+// §1 motivation, quantified: "strong consistency ... can have a
+// significant impact on the performance of applications [and] limits the
+// scalability of shared memory systems."
+//
+// We price each machine's operations with a parameterized interconnect
+// model (see simulate/cost_model.hpp) and sweep the interconnect latency:
+// the *shape* to reproduce is SC's cost growing linearly with latency
+// while replica-based weak memories stay flat near the local-access cost,
+// with TSO in between (reads miss to memory) and RC_sc paying only for
+// its synchronization accesses.  TSO vs RC_sc ordering is genuinely
+// workload-dependent: TSO's cost tracks the read-miss rate, RC_sc's the
+// synchronization fraction — the sweep makes the crossover visible.
+// Numbers are synthetic by construction (there is no 1993 DASH to
+// measure); the ordering and the crossover behaviour are the result.
+#include "bench_util.hpp"
+
+#include "simulate/causal_memory.hpp"
+#include "simulate/coherent_memory.hpp"
+#include "simulate/cost_model.hpp"
+#include "simulate/pram_memory.hpp"
+#include "simulate/rc_memory.hpp"
+#include "simulate/sc_memory.hpp"
+#include "simulate/tso_memory.hpp"
+
+namespace {
+
+using namespace ssm;
+
+struct MachineRow {
+  const char* name;
+  sim::CostFactory factory;
+};
+
+std::vector<MachineRow> machines() {
+  return {
+      {"sc",
+       [](std::size_t p, std::size_t l) { return sim::make_sc_machine(p, l); }},
+      {"tso",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_tso_machine(p, l);
+       }},
+      {"rc-sc",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_rc_sc_machine(p, l);
+       }},
+      {"rc-pc",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_rc_pc_machine(p, l);
+       }},
+      {"coherent",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_coherent_machine(p, l);
+       }},
+      {"causal",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_causal_machine(p, l);
+       }},
+      {"pram",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_pram_machine(p, l);
+       }},
+  };
+}
+
+/// A data-race-free-style workload: mostly ordinary data accesses with a
+/// sprinkling of labeled synchronization on dedicated locations — the
+/// "properly labeled program" the RC design targets.
+sim::Plan workload(std::uint32_t procs, std::uint32_t ops,
+                   std::uint64_t seed) {
+  sim::WorkloadSpec spec;
+  spec.procs = procs;
+  spec.locs = 6;
+  spec.ops_per_proc = ops;
+  spec.sync_locs = 2;  // locations 0,1 labeled-only
+  spec.write_percent = 40;
+  Rng rng(seed);
+  return sim::make_plan(spec, rng);
+}
+
+void latency_sweep() {
+  const auto plan = workload(4, 64, 42);
+  std::printf("cycles per operation (4 procs x 64 ops, DRF-style "
+              "workload)\n");
+  std::printf("%-10s", "machine");
+  for (std::uint64_t lat : {10ULL, 50ULL, 100ULL, 500ULL, 1000ULL}) {
+    std::printf("   L=%-6llu", static_cast<unsigned long long>(lat));
+  }
+  std::printf("\n");
+  for (const auto& row : machines()) {
+    std::printf("%-10s", row.name);
+    for (std::uint64_t lat : {10ULL, 50ULL, 100ULL, 500ULL, 1000ULL}) {
+      sim::CostParams params;
+      params.interconnect = lat;
+      params.memory = lat / 5 + 1;
+      const auto report =
+          sim::measure_workload(row.factory, plan, 6, params, 7);
+      std::printf(" %9.1f", report.cycles_per_op());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void op_mix() {
+  const auto plan = workload(4, 64, 42);
+  sim::CostParams params;
+  std::printf("operation mix (same workload): local / memory / global\n");
+  for (const auto& row : machines()) {
+    const auto r = sim::measure_workload(row.factory, plan, 6, params, 7);
+    std::printf("%-10s %5llu / %5llu / %5llu  of %llu ops\n", row.name,
+                static_cast<unsigned long long>(r.local_ops),
+                static_cast<unsigned long long>(r.memory_ops),
+                static_cast<unsigned long long>(r.global_ops),
+                static_cast<unsigned long long>(r.ops));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner(
+      "Section 1 motivation: the cost of consistency (synthetic model)",
+      "stronger consistency pays the interconnect on more operations; "
+      "weak memories keep operations local");
+  latency_sweep();
+  op_mix();
+
+  for (const auto& row : machines()) {
+    const std::string name = std::string("cost/measure/") + row.name;
+    benchmark::RegisterBenchmark(
+        name.c_str(), [factory = row.factory](benchmark::State& state) {
+          const auto plan = workload(4, 64, 42);
+          sim::CostParams params;
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(
+                sim::measure_workload(factory, plan, 6, params, 7).cycles);
+          }
+        });
+  }
+  return bench::run_benchmarks(argc, argv);
+}

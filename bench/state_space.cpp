@@ -1,0 +1,145 @@
+// State-space characterization: exhaustive schedule exploration of every
+// machine on the paper's canonical programs.
+//
+// For each (machine, program) cell we report the number of distinct
+// complete traces and of explored schedules — an exact measure of how
+// much behavioural freedom each memory design buys, the operational twin
+// of Figure 5's set containments.  The trace-set inclusions
+// (sc ⊆ tso ⊆ pram on every program) are also verified and printed.
+#include "bench_util.hpp"
+
+#include "simulate/causal_memory.hpp"
+#include "simulate/coherent_memory.hpp"
+#include "simulate/explore.hpp"
+#include "simulate/pram_memory.hpp"
+#include "simulate/rc_memory.hpp"
+#include "simulate/sc_memory.hpp"
+#include "simulate/tso_memory.hpp"
+
+namespace {
+
+using namespace ssm;
+
+struct MachineRow {
+  const char* name;
+  sim::ExploreFactory factory;
+};
+
+std::vector<MachineRow> machines() {
+  return {
+      {"sc",
+       [](std::size_t p, std::size_t l) { return sim::make_sc_machine(p, l); }},
+      {"tso",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_tso_machine(p, l);
+       }},
+      {"coherent",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_coherent_machine(p, l);
+       }},
+      {"causal",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_causal_machine(p, l);
+       }},
+      {"pram",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_pram_machine(p, l);
+       }},
+  };
+}
+
+struct ProgramRow {
+  const char* name;
+  sim::Plan plan;
+  std::size_t locs;
+};
+
+sim::Plan plan2(std::initializer_list<sim::PlannedOp> a,
+                std::initializer_list<sim::PlannedOp> b) {
+  sim::Plan p(2);
+  p[0] = a;
+  p[1] = b;
+  return p;
+}
+
+std::vector<ProgramRow> programs() {
+  using Op = sim::PlannedOp;
+  constexpr OpLabel O = OpLabel::Ordinary;
+  return {
+      {"sb (fig.1)",
+       plan2({Op{true, 0, 1, O}, Op{false, 1, 0, O}},
+             {Op{true, 1, 1, O}, Op{false, 0, 0, O}}),
+       2},
+      {"mp",
+       plan2({Op{true, 0, 1, O}, Op{true, 1, 1, O}},
+             {Op{false, 1, 0, O}, Op{false, 0, 0, O}}),
+       2},
+      {"fig.3",
+       plan2({Op{true, 0, 1, O}, Op{false, 0, 0, O}, Op{false, 0, 0, O}},
+             {Op{true, 0, 2, O}, Op{false, 0, 0, O}, Op{false, 0, 0, O}}),
+       1},
+      {"corr",
+       plan2({Op{true, 0, 1, O}, Op{true, 0, 2, O}},
+             {Op{false, 0, 0, O}, Op{false, 0, 0, O}}),
+       1},
+  };
+}
+
+void table() {
+  const auto progs = programs();
+  std::printf("%-10s", "machine");
+  for (const auto& pr : progs) std::printf("%16s", pr.name);
+  std::printf("\n");
+  std::vector<std::vector<std::set<std::string>>> traces;
+  for (const auto& m : machines()) {
+    std::printf("%-10s", m.name);
+    traces.emplace_back();
+    for (const auto& pr : progs) {
+      const auto result = sim::explore_traces(m.factory, pr.plan, pr.locs);
+      traces.back().push_back(result.traces);
+      std::printf("        %4zu/%-4llu", result.traces.size(),
+                  static_cast<unsigned long long>(result.schedules));
+    }
+    std::printf("\n");
+  }
+  std::printf("(cells: distinct traces / schedules explored)\n\n");
+
+  // Inclusion checks along the machine chain sc -> tso -> pram.
+  const std::size_t sc_row = 0, tso_row = 1, pram_row = 4;
+  for (std::size_t pi = 0; pi < progs.size(); ++pi) {
+    auto subset = [&](std::size_t a, std::size_t b) {
+      for (const auto& t : traces[a][pi]) {
+        if (!traces[b][pi].count(t)) return false;
+      }
+      return true;
+    };
+    std::printf("%-10s traces(sc) subset-of traces(tso): %s; "
+                "traces(tso) subset-of traces(pram): %s\n",
+                progs[pi].name, subset(sc_row, tso_row) ? "yes" : "NO",
+                subset(tso_row, pram_row) ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner(
+      "State spaces: exhaustive machine exploration",
+      "weaker memories reach strictly more outcomes (the operational view "
+      "of Figure 5)");
+  table();
+
+  for (const auto& m : machines()) {
+    const std::string name = std::string("explore/sb/") + m.name;
+    benchmark::RegisterBenchmark(
+        name.c_str(), [factory = m.factory](benchmark::State& state) {
+          const auto pr = programs()[0];
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(
+                sim::explore_traces(factory, pr.plan, pr.locs).traces.size());
+          }
+        });
+  }
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,72 @@
+// Bakery demo: the paper's §5 experiment, end to end.
+//
+// Runs Lamport's Bakery algorithm on the RC_sc and RC_pc machines under an
+// adversarial schedule that delays update propagation, shows the mutual
+// exclusion outcome, and machine-checks the violating trace against the
+// declarative RC_sc / RC_pc models.
+//
+//   $ ./bakery_demo [n]      # n processes (default 2)
+#include <cstdio>
+#include <cstdlib>
+
+#include "bakery/driver.hpp"
+#include "history/print.hpp"
+#include "models/models.hpp"
+#include "simulate/rc_memory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ssm;
+  const std::uint32_t n =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 2;
+  if (n < 2 || n > 6) {
+    std::fprintf(stderr, "n must be in [2, 6]\n");
+    return 1;
+  }
+
+  sim::SchedulerOptions adversarial;
+  adversarial.policy = sim::Policy::DelayDelivery;
+  adversarial.max_spin = 200;
+
+  const bakery::MachineFactory rc_sc = [](std::size_t p, std::size_t l) {
+    return sim::make_rc_sc_machine(p, l);
+  };
+  const bakery::MachineFactory rc_pc = [](std::size_t p, std::size_t l) {
+    return sim::make_rc_pc_machine(p, l);
+  };
+
+  std::printf("=== Bakery on RC_sc (labeled ops sequentially consistent)\n");
+  const auto safe = bakery::run_bakery(
+      rc_sc, n, bakery::BakeryOptions{1, true}, adversarial);
+  std::printf("critical-section entries: %llu, violations: %llu\n\n",
+              static_cast<unsigned long long>(safe.cs_entries),
+              static_cast<unsigned long long>(safe.violations));
+
+  std::printf("=== Bakery on RC_pc (labeled ops processor consistent)\n");
+  const auto broken = bakery::run_bakery(
+      rc_pc, n, bakery::BakeryOptions{1, false}, adversarial);
+  std::printf("critical-section entries: %llu, violations: %llu\n\n",
+              static_cast<unsigned long long>(broken.cs_entries),
+              static_cast<unsigned long long>(broken.violations));
+
+  if (broken.violations == 0) {
+    std::printf("no violation reproduced (unexpected)\n");
+    return 2;
+  }
+
+  std::printf("violating trace:\n%s\n",
+              history::format_history(broken.trace).c_str());
+
+  const auto rcsc_verdict = models::make_rc_sc()->check(broken.trace);
+  const auto rcpc_verdict = models::make_rc_pc()->check(broken.trace);
+  std::printf("declarative RC_sc admits it? %s\n",
+              rcsc_verdict.allowed ? "yes (BUG)" : "no — as the paper proves");
+  std::printf("declarative RC_pc admits it? %s\n",
+              rcpc_verdict.allowed ? "yes — as the paper proves"
+                                   : "no (BUG)");
+  const bool as_expected = !rcsc_verdict.allowed && rcpc_verdict.allowed;
+  std::printf(
+      "\nConclusion: the Bakery algorithm distinguishes RC_sc from RC_pc\n"
+      "(paper §5): %s\n",
+      as_expected ? "REPRODUCED" : "NOT reproduced");
+  return as_expected ? 0 : 2;
+}

@@ -1,0 +1,83 @@
+// Litmus explorer: classify litmus tests against every model.
+//
+//   $ ./litmus_explorer                 # run the built-in suite
+//   $ ./litmus_explorer my_tests.litmus # run tests from a DSL file
+//   $ ./litmus_explorer --show fig1-sb  # print witnesses for one test
+//
+// The DSL (see src/litmus/parser.hpp):
+//   name: SB
+//   p: w(x)1 r(y)0
+//   q: w(y)1 r(x)0
+//   expect: SC=no TSO=yes
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "checker/verdict.hpp"
+#include "history/print.hpp"
+#include "litmus/parser.hpp"
+#include "litmus/runner.hpp"
+#include "litmus/suite.hpp"
+#include "models/registry.hpp"
+
+namespace {
+
+int show_test(const ssm::litmus::LitmusTest& t) {
+  std::printf("%s", ssm::litmus::to_dsl(t).c_str());
+  std::printf("\n");
+  const auto& h = t.hist;
+  for (const auto& model : ssm::models::all_models()) {
+    const auto verdict = model->check(h);
+    std::printf("%-10s %s", std::string(model->name()).c_str(),
+                ssm::checker::format_verdict(h, verdict).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ssm;
+  try {
+    std::vector<litmus::LitmusTest> suite;
+    if (argc == 3 && std::string(argv[1]) == "--show") {
+      return show_test(litmus::find_test(argv[2]));
+    }
+    if (argc == 2) {
+      std::ifstream in(argv[1]);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", argv[1]);
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      suite = litmus::parse_suite(text.str());
+    } else {
+      suite = litmus::builtin_suite();
+    }
+
+    const auto models = models::all_models();
+    const auto outcomes = litmus::run_suite(suite, models);
+    std::printf("%s", litmus::format_matrix(outcomes).c_str());
+
+    int mismatches = 0;
+    for (const auto& o : outcomes) {
+      for (const auto& m : o.per_model) {
+        if (!m.matches()) {
+          ++mismatches;
+          std::printf("MISMATCH: %s under %s: got %s, expected %s\n",
+                      o.test.c_str(), m.model.c_str(),
+                      m.allowed ? "allowed" : "forbidden",
+                      *m.expected ? "allowed" : "forbidden");
+        }
+      }
+    }
+    std::printf("\n%zu tests, %d expectation mismatches\n", outcomes.size(),
+                mismatches);
+    return mismatches == 0 ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

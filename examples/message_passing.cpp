@@ -1,0 +1,134 @@
+// Publication (message passing): the application-level pattern behind the
+// paper's release consistency — a producer writes data, then raises a
+// flag; a consumer spins on the flag, then reads the data.
+//
+// This example runs the pattern on every machine, with ordinary vs
+// labeled (release/acquire) flag accesses, under an adversarial schedule
+// that delays propagation, and counts stale receptions.  The paper's
+// story in one table: on SC/TSO the handshake works unlabeled; on the RC
+// machines it works only when the flag operations are labeled.
+//
+//   $ ./message_passing [rounds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "simulate/causal_memory.hpp"
+#include "simulate/coherent_memory.hpp"
+#include "simulate/pram_memory.hpp"
+#include "simulate/rc_memory.hpp"
+#include "simulate/sc_memory.hpp"
+#include "simulate/scheduler.hpp"
+#include "simulate/tso_memory.hpp"
+
+namespace {
+
+using namespace ssm;
+
+constexpr LocId kData = 0;
+constexpr LocId kFlag = 1;
+
+sim::Program producer(Value payload, OpLabel flag_label) {
+  co_await sim::write(kData, payload, OpLabel::Ordinary);
+  co_await sim::write(kFlag, 1, flag_label);
+}
+
+sim::Program consumer(Value expected, OpLabel flag_label, bool* stale,
+                      bool* done) {
+  while (true) {
+    const Value flag = co_await sim::read(kFlag, flag_label);
+    if (flag == 1) break;
+  }
+  const Value data = co_await sim::read(kData, OpLabel::Ordinary);
+  *stale = (data != expected);
+  *done = true;
+}
+
+struct MachineRow {
+  const char* name;
+  std::function<std::unique_ptr<sim::Machine>(std::size_t, std::size_t)>
+      factory;
+};
+
+std::vector<MachineRow> machines() {
+  return {
+      {"sc",
+       [](std::size_t p, std::size_t l) { return sim::make_sc_machine(p, l); }},
+      {"tso",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_tso_machine(p, l);
+       }},
+      {"coherent",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_coherent_machine(p, l);
+       }},
+      {"causal",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_causal_machine(p, l);
+       }},
+      {"pram",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_pram_machine(p, l);
+       }},
+      {"rc-sc",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_rc_sc_machine(p, l);
+       }},
+      {"rc-pc",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_rc_pc_machine(p, l);
+       }},
+  };
+}
+
+std::uint64_t stale_count(const MachineRow& row, OpLabel flag_label,
+                          std::uint64_t rounds) {
+  std::uint64_t stale_total = 0;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    auto machine = row.factory(2, 2);
+    sim::SchedulerOptions opt;
+    opt.policy = sim::Policy::Random;  // deliveries race in random order
+    opt.internal_weight = 2;
+    opt.seed = 100 + r;
+    sim::Scheduler sched(*machine, opt);
+    bool stale = false, done = false;
+    const Value payload = static_cast<Value>(r % 5) + 1;
+    sched.add_program(producer(payload, flag_label));
+    sched.add_program(consumer(payload, flag_label, &stale, &done));
+    const auto run = sched.run();
+    if (run.livelock || !done) continue;
+    stale_total += stale ? 1 : 0;
+  }
+  return stale_total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t rounds =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 300;
+  std::printf(
+      "publication handshake under randomly-ordered delivery (%llu "
+      "rounds):\nstale receptions (consumer saw the flag but not the "
+      "data)\n\n",
+      static_cast<unsigned long long>(rounds));
+  std::printf("%-10s %18s %18s\n", "machine", "ordinary flag",
+              "labeled rel/acq");
+  for (const auto& row : machines()) {
+    const auto plain = stale_count(row, OpLabel::Ordinary, rounds);
+    const auto labeled = stale_count(row, OpLabel::Labeled, rounds);
+    std::printf("%-10s %12llu/%-5llu %12llu/%-5llu\n", row.name,
+                static_cast<unsigned long long>(plain),
+                static_cast<unsigned long long>(rounds),
+                static_cast<unsigned long long>(labeled),
+                static_cast<unsigned long long>(rounds));
+  }
+  std::printf(
+      "\nReading the table: FIFO machines (sc/tso/coherent/causal/pram)\n"
+      "never deliver the flag before the data, labeled or not.  The RC\n"
+      "machines propagate ordinary writes independently, so the ordinary-\n"
+      "flag column shows stale receptions — which the release/acquire\n"
+      "labeling eliminates (the release flushes, or travels FIFO with,\n"
+      "the data it publishes).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Quickstart: build a history with HistoryBuilder, ask every memory model
+// whether it admits it, and print the witness views (the executable
+// version of the paper's Figure 1 discussion).
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <string>
+
+#include "checker/verdict.hpp"
+#include "history/builder.hpp"
+#include "history/print.hpp"
+#include "models/registry.hpp"
+
+int main() {
+  using namespace ssm;
+
+  // Paper Figure 1: both processors write, then read the other's location
+  // and see the initial value — impossible under SC, fine under TSO.
+  auto h = history::HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .r("p", "y", 0)
+               .w("q", "y", 1)
+               .r("q", "x", 0)
+               .build();
+
+  std::printf("history (paper Figure 1):\n%s\n",
+              history::format_history(h).c_str());
+
+  for (const auto& model : models::all_models()) {
+    const auto verdict = model->check(h);
+    std::printf("%-10s %s", std::string(model->name()).c_str(),
+                checker::format_verdict(h, verdict).c_str());
+  }
+
+  std::printf(
+      "\nReading the output: SC forbids this history (no single legal\n"
+      "interleaving exists), while TSO and everything weaker admit it;\n"
+      "each admitted verdict shows per-processor witness views exactly\n"
+      "like the S_{p+w} sequences in the paper.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Spinlock: why hardware synchronization primitives exist.
+//
+// The paper's framework explains it (§3.4 footnote: read-modify-write
+// operations are "included in all processor views"): because every view
+// contains the rmw and its read part must be legal everywhere, test-and-
+// set provides mutual exclusion even on memories as weak as PRAM — where
+// flag-based locks fail.  This example races two lock implementations on
+// every machine under an adversarial schedule:
+//
+//   * naive flag lock: spin until flag==0, then write flag=1 (two
+//     separate operations — the classic broken lock);
+//   * test-and-set lock: atomically swap 1 into the flag, retry on 1.
+//
+//   $ ./spinlock [rounds]
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+#include "bakery/mutex_monitor.hpp"
+#include "simulate/causal_memory.hpp"
+#include "simulate/coherent_memory.hpp"
+#include "simulate/pram_memory.hpp"
+#include "simulate/rc_memory.hpp"
+#include "simulate/sc_memory.hpp"
+#include "simulate/scheduler.hpp"
+#include "simulate/tso_memory.hpp"
+
+namespace {
+
+using namespace ssm;
+
+constexpr LocId kLock = 0;
+constexpr LocId kData = 1;
+
+sim::Program flag_lock_process(std::uint32_t id, std::uint32_t iterations) {
+  for (std::uint32_t i = 0; i < iterations; ++i) {
+    while (true) {
+      const Value lock = co_await sim::read(kLock);
+      if (lock == 0) break;
+    }
+    co_await sim::write(kLock, 1);  // NOT atomic with the read: broken
+    co_await sim::enter_cs();
+    co_await sim::write(kData, static_cast<Value>(id) + 1);
+    co_await sim::exit_cs();
+    co_await sim::write(kLock, 0);
+  }
+}
+
+sim::Program tas_lock_process(std::uint32_t id, std::uint32_t iterations) {
+  for (std::uint32_t i = 0; i < iterations; ++i) {
+    while (true) {
+      const Value old = co_await sim::rmw(kLock, 1);
+      if (old == 0) break;  // acquired
+    }
+    co_await sim::enter_cs();
+    co_await sim::write(kData, static_cast<Value>(id) + 1);
+    co_await sim::exit_cs();
+    co_await sim::rmw(kLock, 0);  // atomic release (drains in-flight state)
+  }
+}
+
+struct MachineRow {
+  const char* name;
+  std::function<std::unique_ptr<sim::Machine>(std::size_t, std::size_t)>
+      factory;
+};
+
+std::vector<MachineRow> machines() {
+  return {
+      {"sc",
+       [](std::size_t p, std::size_t l) { return sim::make_sc_machine(p, l); }},
+      {"tso",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_tso_machine(p, l);
+       }},
+      {"coherent",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_coherent_machine(p, l);
+       }},
+      {"causal",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_causal_machine(p, l);
+       }},
+      {"pram",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_pram_machine(p, l);
+       }},
+      {"rc-pc",
+       [](std::size_t p, std::size_t l) {
+         return sim::make_rc_pc_machine(p, l);
+       }},
+  };
+}
+
+std::uint64_t violations(const MachineRow& row, bool tas,
+                         std::uint64_t rounds) {
+  std::uint64_t total = 0;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    auto machine = row.factory(2, 2);
+    sim::SchedulerOptions opt;
+    opt.policy = sim::Policy::DelayDelivery;
+    opt.max_spin = 16;
+    opt.seed = 1 + r;
+    opt.max_steps = 100'000;
+    sim::Scheduler sched(*machine, opt);
+    bakery::MutexMonitor monitor(2);
+    sched.set_cs_observer(
+        [&](ProcId p, bool entering) { monitor.on_cs_event(p, entering); });
+    for (std::uint32_t id = 0; id < 2; ++id) {
+      sched.add_program(tas ? tas_lock_process(id, 2)
+                            : flag_lock_process(id, 2));
+    }
+    (void)sched.run();
+    total += monitor.violations();
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t rounds =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 200;
+  std::printf("mutual-exclusion violations over %llu adversarial runs\n\n",
+              static_cast<unsigned long long>(rounds));
+  std::printf("%-10s %14s %16s\n", "machine", "flag lock", "test-and-set");
+  for (const auto& row : machines()) {
+    const auto broken = violations(row, /*tas=*/false, rounds);
+    const auto atomic = violations(row, /*tas=*/true, rounds);
+    std::printf("%-10s %14llu %16llu\n", row.name,
+                static_cast<unsigned long long>(broken),
+                static_cast<unsigned long long>(atomic));
+  }
+  std::printf(
+      "\nThe flag lock's read and write are separate operations, so every\n"
+      "machine (even SC!) interleaves two processes past the gate.  The\n"
+      "test-and-set column is zero everywhere: an rmw joins every\n"
+      "processor's view atomically — the framework's explanation for why\n"
+      "synchronization primitives, not ordinary reads and writes, are the\n"
+      "portable path to mutual exclusion on weak memories.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "bakery/bakery.hpp"
+
+namespace ssm::bakery {
+
+namespace {
+
+/// Lexicographic ticket comparison (mine, i) < (other, j), paper Figure 6.
+bool ticket_less(Value mine, std::uint32_t i, Value other, std::uint32_t j) {
+  if (mine != other) return mine < other;
+  return i < j;
+}
+
+}  // namespace
+
+sim::Program bakery_process(BakeryLayout layout, std::uint32_t i,
+                            BakeryOptions options) {
+  constexpr OpLabel kSync = OpLabel::Labeled;
+  for (std::uint32_t iter = 0; iter < options.iterations; ++iter) {
+    // Doorway: pick a ticket larger than every ticket visible now.
+    co_await sim::write(layout.choosing(i), 1, kSync);
+    Value max_ticket = 0;
+    for (std::uint32_t j = 0; j < layout.n; ++j) {
+      if (j == i) continue;
+      const Value t = co_await sim::read(layout.number(j), kSync);
+      if (t > max_ticket) max_ticket = t;
+    }
+    const Value mine = max_ticket + 1;
+    co_await sim::write(layout.number(i), mine, kSync);
+    co_await sim::write(layout.choosing(i), 2, kSync);
+
+    // Wait for every other process to either lack a ticket or hold a
+    // larger one.
+    for (std::uint32_t j = 0; j < layout.n; ++j) {
+      if (j == i) continue;
+      while (true) {
+        const Value choosing = co_await sim::read(layout.choosing(j), kSync);
+        if (choosing != 1) break;
+      }
+      while (true) {
+        const Value other = co_await sim::read(layout.number(j), kSync);
+        if (other == 0 || ticket_less(mine, i, other, j)) break;
+      }
+    }
+
+    co_await sim::enter_cs();
+    co_await sim::write(layout.data(), static_cast<Value>(i) + 1,
+                        OpLabel::Ordinary);
+    co_await sim::exit_cs();
+
+    if (options.exit_protocol) {
+      co_await sim::write(layout.number(i), 0, kSync);
+    }
+  }
+}
+
+}  // namespace ssm::bakery

@@ -1,0 +1,48 @@
+// Lamport's Bakery algorithm (paper §5, Figure 6), as a simulated program.
+//
+// Location layout for n processes over the shared address space:
+//   choosing[i] -> loc i          (0 = initial false, 1 = true, 2 = false)
+//   number[i]   -> loc n + i      (0 = no ticket, k >= 1 = ticket k)
+//   data        -> loc 2n         (ordinary critical-section data)
+// The boolean re-encoding (false written back as 2 rather than 0) keeps
+// single-entry traces checkable by the declarative models, which require
+// distinct written values per location; the algorithm only ever tests
+// "choosing[j] == 1", so the encoding is behaviour-preserving.
+//
+// Synchronization variables (choosing, number) are accessed with *labeled*
+// operations, exactly as the paper labels the algorithm for RC; the
+// critical-section write to `data` is ordinary.
+#pragma once
+
+#include <cstdint>
+
+#include "simulate/program.hpp"
+
+namespace ssm::bakery {
+
+struct BakeryLayout {
+  std::uint32_t n = 2;
+  [[nodiscard]] LocId choosing(std::uint32_t i) const {
+    return static_cast<LocId>(i);
+  }
+  [[nodiscard]] LocId number(std::uint32_t i) const {
+    return static_cast<LocId>(n + i);
+  }
+  [[nodiscard]] LocId data() const { return static_cast<LocId>(2 * n); }
+  [[nodiscard]] std::size_t num_locations() const { return 2 * n + 1; }
+};
+
+struct BakeryOptions {
+  std::uint32_t iterations = 1;
+  /// When false, the exit-protocol write (number[i] := 0) is skipped —
+  /// used for single-entry runs whose traces feed the declarative
+  /// checkers (a second write of 0 would make writes-before ambiguous).
+  bool exit_protocol = true;
+};
+
+/// The program run by process `i` of `layout.n`.
+[[nodiscard]] sim::Program bakery_process(BakeryLayout layout,
+                                          std::uint32_t i,
+                                          BakeryOptions options);
+
+}  // namespace ssm::bakery

@@ -1,0 +1,41 @@
+#include "bakery/dekker.hpp"
+
+namespace ssm::bakery {
+
+sim::Program dekker_process(DekkerLayout layout, std::uint32_t i,
+                            DekkerOptions options) {
+  const OpLabel sync =
+      options.labeled_sync ? OpLabel::Labeled : OpLabel::Ordinary;
+  const std::uint32_t other = 1 - i;
+  const Value my_token = static_cast<Value>(i) + 1;
+  const Value other_token = static_cast<Value>(other) + 1;
+  for (std::uint32_t iter = 0; iter < options.iterations; ++iter) {
+    co_await sim::write(layout.flag(i), 1, sync);
+    while (true) {
+      const Value other_flag = co_await sim::read(layout.flag(other), sync);
+      if (other_flag != 1) break;
+      const Value turn = co_await sim::read(layout.turn(), sync);
+      // turn == 0 initially: process 0 has priority.
+      const bool my_turn =
+          turn == my_token || (turn == 0 && i == 0);
+      if (!my_turn) {
+        // Back off: lower the flag until the other process cedes the turn.
+        co_await sim::write(layout.flag(i), 2, sync);
+        while (true) {
+          const Value t = co_await sim::read(layout.turn(), sync);
+          if (t == my_token || (t == 0 && i == 0)) break;
+        }
+        co_await sim::write(layout.flag(i), 1, sync);
+      }
+    }
+    co_await sim::enter_cs();
+    co_await sim::write(layout.data(), my_token, OpLabel::Ordinary);
+    co_await sim::exit_cs();
+    if (options.exit_protocol) {
+      co_await sim::write(layout.turn(), other_token, sync);
+      co_await sim::write(layout.flag(i), 2, sync);
+    }
+  }
+}
+
+}  // namespace ssm::bakery

@@ -1,0 +1,36 @@
+// Dekker's algorithm (extension): the oldest two-process read/write
+// mutual-exclusion algorithm, and the third probe in our suite.  Like
+// Bakery and Peterson it is correct under SC and breaks under store
+// buffering — the entry protocol starts with the flag handshake
+// `w(flag[i])1; r(flag[j])`, which is exactly the paper's Figure 1 shape.
+//
+// Layout: flag[0] -> loc 0, flag[1] -> loc 1, turn -> loc 2,
+//         data -> loc 3.  flag encoding: 0 initial "down", 1 "up",
+//         2 "down-again"; turn encoding: 1 = process 0, 2 = process 1
+//         (initially 0, meaning process 0 may go).
+#pragma once
+
+#include "simulate/program.hpp"
+
+namespace ssm::bakery {
+
+struct DekkerLayout {
+  [[nodiscard]] LocId flag(std::uint32_t i) const {
+    return static_cast<LocId>(i);
+  }
+  [[nodiscard]] LocId turn() const { return 2; }
+  [[nodiscard]] LocId data() const { return 3; }
+  [[nodiscard]] std::size_t num_locations() const { return 4; }
+};
+
+struct DekkerOptions {
+  std::uint32_t iterations = 1;
+  bool exit_protocol = true;
+  bool labeled_sync = true;
+};
+
+[[nodiscard]] sim::Program dekker_process(DekkerLayout layout,
+                                          std::uint32_t i,
+                                          DekkerOptions options);
+
+}  // namespace ssm::bakery

@@ -1,0 +1,108 @@
+#include "bakery/driver.hpp"
+
+namespace ssm::bakery {
+namespace {
+
+MutexRunResult run_with(sim::Machine& machine, std::size_t procs,
+                        const std::function<sim::Program(std::uint32_t)>& make,
+                        sim::SchedulerOptions sched) {
+  sim::Scheduler scheduler(machine, sched);
+  MutexMonitor monitor(procs);
+  scheduler.set_cs_observer(
+      [&](ProcId p, bool entering) { monitor.on_cs_event(p, entering); });
+  for (std::uint32_t i = 0; i < procs; ++i) {
+    scheduler.add_program(make(i));
+  }
+  sim::RunResult run = scheduler.run();
+  MutexRunResult out;
+  out.violations = monitor.violations();
+  out.cs_entries = monitor.entries();
+  out.livelock = run.livelock;
+  out.trace = std::move(run.trace);
+  return out;
+}
+
+}  // namespace
+
+MutexRunResult run_bakery(const MachineFactory& machine, std::uint32_t n,
+                          BakeryOptions options,
+                          sim::SchedulerOptions sched) {
+  BakeryLayout layout{n};
+  auto m = machine(n, layout.num_locations());
+  return run_with(*m, n, [&](std::uint32_t i) {
+    return bakery_process(layout, i, options);
+  }, sched);
+}
+
+MutexRunResult run_peterson(const MachineFactory& machine,
+                            PetersonOptions options,
+                            sim::SchedulerOptions sched) {
+  PetersonLayout layout;
+  auto m = machine(2, layout.num_locations());
+  return run_with(*m, 2, [&](std::uint32_t i) {
+    return peterson_process(layout, i, options);
+  }, sched);
+}
+
+MutexRunResult run_dekker(const MachineFactory& machine,
+                          DekkerOptions options,
+                          sim::SchedulerOptions sched) {
+  DekkerLayout layout;
+  auto m = machine(2, layout.num_locations());
+  return run_with(*m, 2, [&](std::uint32_t i) {
+    return dekker_process(layout, i, options);
+  }, sched);
+}
+
+MutexSweepResult sweep_dekker(const MachineFactory& machine,
+                              DekkerOptions options,
+                              sim::SchedulerOptions sched,
+                              std::uint64_t runs) {
+  MutexSweepResult out;
+  for (std::uint64_t r = 0; r < runs; ++r) {
+    sim::SchedulerOptions s = sched;
+    s.seed = sched.seed + r;
+    const MutexRunResult one = run_dekker(machine, options, s);
+    ++out.runs;
+    out.total_violations += one.violations;
+    if (one.violations > 0) ++out.violating_runs;
+    if (one.livelock) ++out.livelocks;
+  }
+  return out;
+}
+
+MutexSweepResult sweep_bakery(const MachineFactory& machine, std::uint32_t n,
+                              BakeryOptions options,
+                              sim::SchedulerOptions sched,
+                              std::uint64_t runs) {
+  MutexSweepResult out;
+  for (std::uint64_t r = 0; r < runs; ++r) {
+    sim::SchedulerOptions s = sched;
+    s.seed = sched.seed + r;
+    const MutexRunResult one = run_bakery(machine, n, options, s);
+    ++out.runs;
+    out.total_violations += one.violations;
+    if (one.violations > 0) ++out.violating_runs;
+    if (one.livelock) ++out.livelocks;
+  }
+  return out;
+}
+
+MutexSweepResult sweep_peterson(const MachineFactory& machine,
+                                PetersonOptions options,
+                                sim::SchedulerOptions sched,
+                                std::uint64_t runs) {
+  MutexSweepResult out;
+  for (std::uint64_t r = 0; r < runs; ++r) {
+    sim::SchedulerOptions s = sched;
+    s.seed = sched.seed + r;
+    const MutexRunResult one = run_peterson(machine, options, s);
+    ++out.runs;
+    out.total_violations += one.violations;
+    if (one.violations > 0) ++out.violating_runs;
+    if (one.livelock) ++out.livelocks;
+  }
+  return out;
+}
+
+}  // namespace ssm::bakery

@@ -1,0 +1,68 @@
+// Driver: runs a mutual-exclusion algorithm on a chosen memory machine
+// under a chosen schedule and reports safety statistics plus (for
+// single-entry runs) the recorded trace for declarative checking.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "bakery/bakery.hpp"
+#include "bakery/dekker.hpp"
+#include "bakery/mutex_monitor.hpp"
+#include "bakery/peterson.hpp"
+#include "simulate/scheduler.hpp"
+
+namespace ssm::bakery {
+
+using MachineFactory =
+    std::function<std::unique_ptr<sim::Machine>(std::size_t procs,
+                                                std::size_t locs)>;
+
+struct MutexRunResult {
+  std::uint64_t violations = 0;
+  std::uint64_t cs_entries = 0;
+  bool livelock = false;
+  history::SystemHistory trace;
+};
+
+/// One Bakery run with `n` processes.
+[[nodiscard]] MutexRunResult run_bakery(const MachineFactory& machine,
+                                        std::uint32_t n,
+                                        BakeryOptions options,
+                                        sim::SchedulerOptions sched);
+
+/// One Peterson run (always 2 processes).
+[[nodiscard]] MutexRunResult run_peterson(const MachineFactory& machine,
+                                          PetersonOptions options,
+                                          sim::SchedulerOptions sched);
+
+/// One Dekker run (always 2 processes).  Note: Dekker re-raises its flag
+/// after backing off, so its traces repeat write values and are for
+/// monitoring only (not declaratively checkable).
+[[nodiscard]] MutexRunResult run_dekker(const MachineFactory& machine,
+                                        DekkerOptions options,
+                                        sim::SchedulerOptions sched);
+
+/// Aggregate over `runs` random-schedule runs with seeds base..base+runs-1.
+struct MutexSweepResult {
+  std::uint64_t runs = 0;
+  std::uint64_t violating_runs = 0;
+  std::uint64_t total_violations = 0;
+  std::uint64_t livelocks = 0;
+};
+[[nodiscard]] MutexSweepResult sweep_bakery(const MachineFactory& machine,
+                                            std::uint32_t n,
+                                            BakeryOptions options,
+                                            sim::SchedulerOptions sched,
+                                            std::uint64_t runs);
+[[nodiscard]] MutexSweepResult sweep_peterson(const MachineFactory& machine,
+                                              PetersonOptions options,
+                                              sim::SchedulerOptions sched,
+                                              std::uint64_t runs);
+[[nodiscard]] MutexSweepResult sweep_dekker(const MachineFactory& machine,
+                                            DekkerOptions options,
+                                            sim::SchedulerOptions sched,
+                                            std::uint64_t runs);
+
+}  // namespace ssm::bakery

@@ -1,0 +1,3 @@
+#include "bakery/mutex_monitor.hpp"
+
+// Header-only; translation unit anchors the target.

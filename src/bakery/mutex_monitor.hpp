@@ -1,0 +1,54 @@
+// MutexMonitor: observes critical-section annotations from the scheduler
+// and detects mutual-exclusion violations (two processes inside at once).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ssm::bakery {
+
+class MutexMonitor {
+ public:
+  explicit MutexMonitor(std::size_t procs) : inside_(procs, false) {}
+
+  void on_cs_event(ProcId p, bool entering) {
+    if (entering) {
+      inside_[p] = true;
+      std::size_t count = 0;
+      for (bool b : inside_) count += b ? 1 : 0;
+      if (count > 1) {
+        ++violations_;
+        if (!first_violation_) {
+          std::vector<ProcId> procs;
+          for (std::size_t i = 0; i < inside_.size(); ++i) {
+            if (inside_[i]) procs.push_back(static_cast<ProcId>(i));
+          }
+          first_violation_ = procs;
+        }
+      }
+      ++entries_;
+    } else {
+      inside_[p] = false;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] std::uint64_t entries() const noexcept { return entries_; }
+  [[nodiscard]] const std::optional<std::vector<ProcId>>& first_violation()
+      const noexcept {
+    return first_violation_;
+  }
+
+ private:
+  std::vector<bool> inside_;
+  std::uint64_t violations_ = 0;
+  std::uint64_t entries_ = 0;
+  std::optional<std::vector<ProcId>> first_violation_;
+};
+
+}  // namespace ssm::bakery

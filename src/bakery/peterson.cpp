@@ -1,0 +1,30 @@
+#include "bakery/peterson.hpp"
+
+namespace ssm::bakery {
+
+sim::Program peterson_process(PetersonLayout layout, std::uint32_t i,
+                              PetersonOptions options) {
+  const OpLabel sync =
+      options.labeled_sync ? OpLabel::Labeled : OpLabel::Ordinary;
+  const std::uint32_t other = 1 - i;
+  for (std::uint32_t iter = 0; iter < options.iterations; ++iter) {
+    co_await sim::write(layout.flag(i), 1, sync);
+    // Cede the turn to the other process.
+    co_await sim::write(layout.turn(), static_cast<Value>(other) + 1, sync);
+    while (true) {
+      const Value other_flag = co_await sim::read(layout.flag(other), sync);
+      if (other_flag != 1) break;
+      const Value turn = co_await sim::read(layout.turn(), sync);
+      if (turn == static_cast<Value>(i) + 1) break;
+    }
+    co_await sim::enter_cs();
+    co_await sim::write(layout.data(), static_cast<Value>(i) + 1,
+                        OpLabel::Ordinary);
+    co_await sim::exit_cs();
+    if (options.exit_protocol) {
+      co_await sim::write(layout.flag(i), 2, sync);
+    }
+  }
+}
+
+}  // namespace ssm::bakery

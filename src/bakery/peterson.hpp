@@ -1,0 +1,37 @@
+// Peterson's two-process mutual exclusion algorithm (extension): a second
+// read/write-only lock whose correctness also depends on the strength of
+// the memory.  Peterson's algorithm needs sequentially consistent
+// flag/turn accesses; on the TSO machine (store buffers) both processes
+// can pass the gate — the classic store-buffering failure.
+//
+// Layout: flag[0] -> loc 0, flag[1] -> loc 1, turn -> loc 2,
+//         data -> loc 3.  flag encoding: 0 initial false, 1 true,
+//         2 false-again (same distinct-value discipline as Bakery).
+//         turn encoding: 1 = process 0's turn token, 2 = process 1's.
+#pragma once
+
+#include "simulate/program.hpp"
+
+namespace ssm::bakery {
+
+struct PetersonLayout {
+  [[nodiscard]] LocId flag(std::uint32_t i) const {
+    return static_cast<LocId>(i);
+  }
+  [[nodiscard]] LocId turn() const { return 2; }
+  [[nodiscard]] LocId data() const { return 3; }
+  [[nodiscard]] std::size_t num_locations() const { return 4; }
+};
+
+struct PetersonOptions {
+  std::uint32_t iterations = 1;
+  bool exit_protocol = true;
+  /// Label the flag/turn accesses (for the RC machines).
+  bool labeled_sync = true;
+};
+
+[[nodiscard]] sim::Program peterson_process(PetersonLayout layout,
+                                            std::uint32_t i,
+                                            PetersonOptions options);
+
+}  // namespace ssm::bakery

@@ -1,0 +1,209 @@
+#include "checker/legality.hpp"
+
+#include <unordered_set>
+
+namespace ssm::checker {
+namespace {
+
+thread_local SearchStats g_stats;
+thread_local bool g_memoize = true;
+
+/// DFS over downward-closed subsets of the constraint order.
+class ViewSearch {
+ public:
+  ViewSearch(const SystemHistory& h, const DynBitset& universe,
+             const Relation& constraints, const DynBitset& exempt,
+             const std::function<bool(const View&)>& visit)
+      : h_(h),
+        universe_(universe),
+        constraints_(constraints),
+        exempt_(exempt),
+        visit_(visit),
+        scheduled_(h.size()),
+        indeg_(constraints.indegrees(universe)),
+        target_(universe.count()),
+        last_value_(h.num_locations(), kInitialValue) {
+    members_.reserve(target_);
+    universe_.for_each([&](std::size_t i) {
+      members_.push_back(static_cast<OpIndex>(i));
+    });
+    order_.reserve(target_);
+    g_stats = {};
+  }
+
+  /// Returns true if the caller requested early stop.
+  bool run() {
+    dfs();
+    return stopped_;
+  }
+
+ private:
+  /// Memo key: hash of (scheduled mask, per-location last value).  Two
+  /// prefixes with the same scheduled set and the same memory state have
+  /// identical completion sets, so a failed state never needs re-expansion.
+  [[nodiscard]] std::uint64_t state_key() const noexcept {
+    std::uint64_t k = scheduled_.hash();
+    for (Value v : last_value_) {
+      k ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL +
+           (k << 6) + (k >> 2);
+    }
+    return k;
+  }
+
+  /// Returns true iff at least one complete legal view was found in this
+  /// subtree (used to decide whether the entry state is a dead end).
+  bool dfs() {
+    ++g_stats.nodes;
+    if (order_.size() == target_) {
+      if (!visit_(order_)) stopped_ = true;
+      return true;
+    }
+    const std::uint64_t key = g_memoize ? state_key() : 0;
+    if (g_memoize && failed_.contains(key)) {
+      ++g_stats.memo_hits;
+      return false;
+    }
+    bool found = false;
+    for (OpIndex i : members_) {
+      if (stopped_) break;
+      if (scheduled_.test(i) || indeg_[i] != 0) continue;
+      const auto& op = h_.op(i);
+      // Legality gate: a read-like operation must observe the current value
+      // of its location at this point in the view (unless exempt, e.g.
+      // satisfied by store-buffer forwarding).
+      if (op.is_read() && !exempt_.test(i) &&
+          last_value_[op.loc] != op.read_value()) {
+        continue;
+      }
+      // Schedule.
+      scheduled_.set(i);
+      order_.push_back(i);
+      const Value saved = last_value_[op.loc];
+      if (op.is_write()) last_value_[op.loc] = op.value;
+      constraints_.successors(i).for_each([&](std::size_t j) {
+        if (universe_.test(j)) --indeg_[j];
+      });
+      if (dfs()) found = true;
+      // Undo.
+      constraints_.successors(i).for_each([&](std::size_t j) {
+        if (universe_.test(j)) ++indeg_[j];
+      });
+      last_value_[op.loc] = saved;
+      order_.pop_back();
+      scheduled_.reset(i);
+    }
+    if (g_memoize && !found && !stopped_) failed_.insert(key);
+    return found;
+  }
+
+  const SystemHistory& h_;
+  const DynBitset& universe_;
+  const Relation& constraints_;
+  DynBitset exempt_;
+  const std::function<bool(const View&)>& visit_;
+  DynBitset scheduled_;
+  std::vector<std::uint32_t> indeg_;
+  std::size_t target_;
+  std::vector<Value> last_value_;
+  std::vector<OpIndex> members_;
+  View order_;
+  std::unordered_set<std::uint64_t> failed_;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+std::optional<View> find_legal_view(const SystemHistory& h,
+                                    const DynBitset& universe,
+                                    const Relation& constraints) {
+  return find_legal_view(h, universe, constraints, DynBitset(h.size()));
+}
+
+std::optional<View> find_legal_view(const SystemHistory& h,
+                                    const DynBitset& universe,
+                                    const Relation& constraints,
+                                    const DynBitset& exempt) {
+  std::optional<View> result;
+  for_each_legal_view(h, universe, constraints, exempt, [&](const View& v) {
+    result = v;
+    return false;  // first witness wins
+  });
+  return result;
+}
+
+bool for_each_legal_view(const SystemHistory& h, const DynBitset& universe,
+                         const Relation& constraints,
+                         const std::function<bool(const View&)>& visit) {
+  return for_each_legal_view(h, universe, constraints, DynBitset(h.size()),
+                             visit);
+}
+
+bool for_each_legal_view(const SystemHistory& h, const DynBitset& universe,
+                         const Relation& constraints, const DynBitset& exempt,
+                         const std::function<bool(const View&)>& visit) {
+  ViewSearch search(h, universe, constraints, exempt, visit);
+  return search.run();
+}
+
+std::optional<std::string> verify_view(const SystemHistory& h,
+                                       const DynBitset& universe,
+                                       const Relation& constraints,
+                                       const View& view) {
+  return verify_view(h, universe, constraints, view, DynBitset(h.size()));
+}
+
+std::optional<std::string> verify_view(const SystemHistory& h,
+                                       const DynBitset& universe,
+                                       const Relation& constraints,
+                                       const View& view,
+                                       const DynBitset& exempt) {
+  if (view.size() != universe.count()) {
+    return "view size " + std::to_string(view.size()) +
+           " != universe size " + std::to_string(universe.count());
+  }
+  DynBitset seen(h.size());
+  for (OpIndex i : view) {
+    if (!universe.test(i)) {
+      return "operation " + std::to_string(i) + " not in universe";
+    }
+    if (seen.test(i)) {
+      return "operation " + std::to_string(i) + " duplicated";
+    }
+    seen.set(i);
+  }
+  // Constraint respect: no edge may point backwards in the view.
+  std::vector<std::size_t> pos(h.size(), 0);
+  for (std::size_t k = 0; k < view.size(); ++k) pos[view[k]] = k;
+  for (OpIndex a : view) {
+    bool bad = false;
+    OpIndex bad_b = 0;
+    constraints.successors(a).for_each([&](std::size_t b) {
+      if (universe.test(b) && pos[b] < pos[a]) {
+        bad = true;
+        bad_b = static_cast<OpIndex>(b);
+      }
+    });
+    if (bad) {
+      return "constraint edge " + std::to_string(a) + " -> " +
+             std::to_string(bad_b) + " violated";
+    }
+  }
+  // Legality.
+  std::vector<Value> last(h.num_locations(), kInitialValue);
+  for (OpIndex i : view) {
+    const auto& op = h.op(i);
+    if (op.is_read() && !exempt.test(i) && last[op.loc] != op.read_value()) {
+      return "read " + history::to_string(op) + " observes " +
+             std::to_string(op.read_value()) + " but location holds " +
+             std::to_string(last[op.loc]);
+    }
+    if (op.is_write()) last[op.loc] = op.value;
+  }
+  return std::nullopt;
+}
+
+SearchStats last_search_stats() noexcept { return g_stats; }
+
+void set_memoization_enabled(bool enabled) noexcept { g_memoize = enabled; }
+
+}  // namespace ssm::checker

@@ -1,0 +1,85 @@
+// Legal-view search: the computational heart of the framework.
+//
+// Paper §2: a sequential history is *legal* when every read returns the
+// value of the most recent preceding write to its location (or the initial
+// value 0 when no write precedes it).  A memory model admits a history iff
+// legal views exist that contain the required operations and respect the
+// required constraint relation.  This module decides, for one view at a
+// time:
+//
+//     ∃ a linearization of `universe` extending `constraints`
+//       that is legal?
+//
+// by depth-first search over downward-closed prefixes, scheduling one
+// operation at a time while tracking the last write per location.  Failed
+// (prefix-mask, last-write-vector) states are memoized, which keeps the
+// search polynomial-ish on the loosely-constrained views that weak models
+// produce.  Litmus-scale inputs (≤ ~40 operations per view) decide in
+// microseconds.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "history/system_history.hpp"
+#include "relation/relation.hpp"
+
+namespace ssm::checker {
+
+using history::SystemHistory;
+using rel::DynBitset;
+using rel::Relation;
+
+/// A concrete witness view: operation indices in view order.
+using View = std::vector<OpIndex>;
+
+/// Finds one legal linearization of `universe` extending `constraints`
+/// (edges may mention operations outside `universe`; those are ignored).
+/// Returns std::nullopt when none exists.
+///
+/// `exempt`, when provided, marks read operations that are excused from
+/// the most-recent-write legality gate: their value is justified outside
+/// the view (store-buffer forwarding in the TSOfwd model — the read took
+/// its value from the issuing processor's buffer, so its placement in the
+/// view carries no value obligation).
+[[nodiscard]] std::optional<View> find_legal_view(const SystemHistory& h,
+                                                  const DynBitset& universe,
+                                                  const Relation& constraints);
+[[nodiscard]] std::optional<View> find_legal_view(const SystemHistory& h,
+                                                  const DynBitset& universe,
+                                                  const Relation& constraints,
+                                                  const DynBitset& exempt);
+
+/// Enumerates every legal linearization, invoking `visit` for each; stops
+/// early when `visit` returns false.  Returns true iff stopped early.
+bool for_each_legal_view(const SystemHistory& h, const DynBitset& universe,
+                         const Relation& constraints,
+                         const std::function<bool(const View&)>& visit);
+bool for_each_legal_view(const SystemHistory& h, const DynBitset& universe,
+                         const Relation& constraints, const DynBitset& exempt,
+                         const std::function<bool(const View&)>& visit);
+
+/// Validates that `view` is a permutation of `universe`, extends
+/// `constraints`, and is legal.  Returns an explanatory message on failure.
+/// Used by property tests to machine-check every witness the models emit.
+[[nodiscard]] std::optional<std::string> verify_view(
+    const SystemHistory& h, const DynBitset& universe,
+    const Relation& constraints, const View& view);
+[[nodiscard]] std::optional<std::string> verify_view(
+    const SystemHistory& h, const DynBitset& universe,
+    const Relation& constraints, const View& view, const DynBitset& exempt);
+
+/// Statistics from the most recent search on this thread (nodes expanded,
+/// memo hits); exposed for the scaling benchmarks.
+struct SearchStats {
+  std::uint64_t nodes = 0;
+  std::uint64_t memo_hits = 0;
+};
+[[nodiscard]] SearchStats last_search_stats() noexcept;
+
+/// Ablation hook (bench/ablation_memo): disable the failed-state memo
+/// globally on this thread.  Results are identical; only work changes.
+void set_memoization_enabled(bool enabled) noexcept;
+
+}  // namespace ssm::checker

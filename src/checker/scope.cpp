@@ -1,0 +1,48 @@
+#include "checker/scope.hpp"
+
+namespace ssm::checker {
+
+DynBitset own_plus_all(const SystemHistory& h, ProcId p) {
+  (void)p;
+  return all_ops(h);
+}
+
+DynBitset own_plus_writes(const SystemHistory& h, ProcId p) {
+  DynBitset mask(h.size());
+  for (const auto& op : h.operations()) {
+    if (op.proc == p || op.is_write()) mask.set(op.index);
+  }
+  return mask;
+}
+
+DynBitset all_ops(const SystemHistory& h) {
+  DynBitset mask(h.size());
+  for (const auto& op : h.operations()) mask.set(op.index);
+  return mask;
+}
+
+DynBitset write_ops(const SystemHistory& h) {
+  DynBitset mask(h.size());
+  for (const auto& op : h.operations()) {
+    if (op.is_write()) mask.set(op.index);
+  }
+  return mask;
+}
+
+DynBitset labeled_ops(const SystemHistory& h) {
+  DynBitset mask(h.size());
+  for (const auto& op : h.operations()) {
+    if (op.is_labeled()) mask.set(op.index);
+  }
+  return mask;
+}
+
+DynBitset ops_on(const SystemHistory& h, LocId loc) {
+  DynBitset mask(h.size());
+  for (const auto& op : h.operations()) {
+    if (op.loc == loc) mask.set(op.index);
+  }
+  return mask;
+}
+
+}  // namespace ssm::checker

@@ -1,0 +1,36 @@
+// View scopes: the paper's parameter (1), "set of operations" δ_p.
+//
+// A processor's view S_{p+δp} contains all of p's own operations plus δ_p.
+// The two natural choices from the paper:
+//   * δ_p = a : all operations of other processors (used by SC);
+//   * δ_p = w : all write-like operations of other processors (used by TSO,
+//     PC, PRAM, causal, RC).
+#pragma once
+
+#include "history/system_history.hpp"
+#include "relation/bitset.hpp"
+
+namespace ssm::checker {
+
+using history::SystemHistory;
+using rel::DynBitset;
+
+/// Own operations plus ALL operations of other processors (δ_p = a).
+[[nodiscard]] DynBitset own_plus_all(const SystemHistory& h, ProcId p);
+
+/// Own operations plus write-like operations of other processors (δ_p = w).
+[[nodiscard]] DynBitset own_plus_writes(const SystemHistory& h, ProcId p);
+
+/// Mask of every operation.
+[[nodiscard]] DynBitset all_ops(const SystemHistory& h);
+
+/// Mask of all write-like operations.
+[[nodiscard]] DynBitset write_ops(const SystemHistory& h);
+
+/// Mask of all labeled operations (RC synchronization accesses).
+[[nodiscard]] DynBitset labeled_ops(const SystemHistory& h);
+
+/// Mask of all operations on one location.
+[[nodiscard]] DynBitset ops_on(const SystemHistory& h, LocId loc);
+
+}  // namespace ssm::checker

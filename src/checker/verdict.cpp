@@ -1,0 +1,56 @@
+#include "checker/verdict.hpp"
+
+#include "history/print.hpp"
+
+namespace ssm::checker {
+
+std::string format_verdict(const SystemHistory& h, const Verdict& v) {
+  std::string out;
+  if (!v.allowed) {
+    out = "NOT ALLOWED";
+    if (!v.note.empty()) {
+      out += " (";
+      out += v.note;
+      out += ')';
+    }
+    out += '\n';
+    return out;
+  }
+  out = "ALLOWED\n";
+  for (std::size_t p = 0; p < v.views.size(); ++p) {
+    out += "  S_";
+    out += h.symbols().processor_name(static_cast<ProcId>(p));
+    out += ": ";
+    out += history::format_sequence(h, v.views[p]);
+    out += '\n';
+  }
+  if (v.labeled_order) {
+    out += "  labeled order: ";
+    out += history::format_sequence(h, *v.labeled_order);
+    out += '\n';
+  }
+  if (v.coherence) {
+    out += "  coherence:";
+    for (LocId loc = 0; loc < h.num_locations(); ++loc) {
+      const auto& seq = v.coherence->writes(loc);
+      if (seq.empty()) continue;
+      out += ' ';
+      out += h.symbols().location_name(loc);
+      out += '[';
+      for (std::size_t i = 0; i < seq.size(); ++i) {
+        if (i != 0) out += " < ";
+        out += history::format_op(h, seq[i]);
+      }
+      out += ']';
+    }
+    out += '\n';
+  }
+  if (!v.note.empty()) {
+    out += "  note: ";
+    out += v.note;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ssm::checker

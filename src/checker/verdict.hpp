@@ -1,0 +1,49 @@
+// Verdict: the outcome of asking "does memory model M admit history H?",
+// together with machine-checkable evidence when the answer is yes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "checker/legality.hpp"
+#include "order/coherence.hpp"
+
+namespace ssm::checker {
+
+struct Verdict {
+  /// True iff the history is admitted by the model.
+  bool allowed = false;
+
+  /// Witness per-processor views (index = ProcId).  For single-view models
+  /// (SC) every entry is the same sequence.  Empty when !allowed.
+  std::vector<View> views;
+
+  /// The coherence order used by the witness, for models with a coherence
+  /// mutual-consistency requirement (PC, Goodman-PC, RC, …).
+  std::optional<order::CoherenceOrder> coherence;
+
+  /// For RC_sc: the witness global sequence of labeled operations.
+  std::optional<View> labeled_order;
+
+  /// Free-form diagnostic (e.g. why the input was rejected).
+  std::string note;
+
+  static Verdict yes() {
+    Verdict v;
+    v.allowed = true;
+    return v;
+  }
+  static Verdict no(std::string why = {}) {
+    Verdict v;
+    v.allowed = false;
+    v.note = std::move(why);
+    return v;
+  }
+};
+
+/// Pretty-print witness views, one per processor (paper style).
+[[nodiscard]] std::string format_verdict(const SystemHistory& h,
+                                         const Verdict& v);
+
+}  // namespace ssm::checker

@@ -1,0 +1,56 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Simulators and the lattice sampler need reproducible randomness that is
+// cheap and has no global state.  We implement xoshiro256** (Blackman &
+// Vigna) with a splitmix64 seeder; every component that needs randomness
+// takes an explicit Rng so experiments are replayable from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ssm {
+
+/// xoshiro256** generator.  Satisfies UniformRandomBitGenerator so it can be
+/// used with <random> distributions when needed, but most callers use the
+/// bounded helpers below (Lemire reduction, no modulo bias).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent stream (for per-processor schedulers).
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ssm

@@ -1,0 +1,66 @@
+#include "common/text.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/types.hpp"
+
+namespace ssm {
+
+std::vector<std::string_view> split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool is_identifier(std::string_view s) {
+  if (s.empty()) return false;
+  const auto head = static_cast<unsigned char>(s.front());
+  if (!std::isalpha(head) && head != '_') return false;
+  for (char c : s) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (!std::isalnum(uc) && uc != '_') return false;
+  }
+  return true;
+}
+
+long long parse_int(std::string_view s) {
+  long long value = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) {
+    throw InvalidInput("malformed integer: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace ssm

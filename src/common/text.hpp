@@ -1,0 +1,29 @@
+// Small string utilities used by the litmus parser and the printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssm {
+
+/// Split on a delimiter character; empty fields are kept.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char delim);
+
+/// Trim ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// True if `s` consists only of [A-Za-z_][A-Za-z0-9_]* (a valid location or
+/// processor name in the litmus DSL).
+[[nodiscard]] bool is_identifier(std::string_view s);
+
+/// Parse a decimal integer (with optional leading '-'); throws InvalidInput
+/// on malformed input.
+[[nodiscard]] long long parse_int(std::string_view s);
+
+/// Join strings with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+}  // namespace ssm

@@ -1,0 +1,27 @@
+#include "common/types.hpp"
+
+namespace ssm {
+
+const char* to_string(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::Read:
+      return "read";
+    case OpKind::Write:
+      return "write";
+    case OpKind::ReadModifyWrite:
+      return "rmw";
+  }
+  return "?";
+}
+
+const char* to_string(OpLabel l) noexcept {
+  switch (l) {
+    case OpLabel::Ordinary:
+      return "ordinary";
+    case OpLabel::Labeled:
+      return "labeled";
+  }
+  return "?";
+}
+
+}  // namespace ssm

@@ -1,0 +1,78 @@
+// Core identifier and value types shared by every subsystem.
+//
+// The paper models a system as a finite set of processors interacting
+// through a finite set of named locations; operations carry integer values
+// (all locations start at 0).  We mirror that with small strongly-typed
+// integer ids so the relation machinery can index dense arrays directly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace ssm {
+
+/// Index of a processor within a system execution (0-based, dense).
+using ProcId = std::uint16_t;
+
+/// Index of a shared-memory location (0-based, dense).  Locations are
+/// named externally (see history::SymbolTable); internally they are ints.
+using LocId = std::uint16_t;
+
+/// Value read from / written to a location.  The paper uses integers with
+/// initial value 0 for every location.
+using Value = std::int64_t;
+
+/// Dense index of an operation within a SystemHistory (0-based).  All
+/// relations are bitsets indexed by OpIndex.
+using OpIndex = std::uint32_t;
+
+/// Sentinel for "no operation" (e.g. "read sees the initial value").
+inline constexpr OpIndex kNoOp = std::numeric_limits<OpIndex>::max();
+
+/// Initial value of every location (paper, footnote 1).
+inline constexpr Value kInitialValue = 0;
+
+/// Kind of a memory operation.  The paper's model has reads and writes;
+/// read-modify-write is treated as a write for view membership (footnote 4),
+/// which we represent with a dedicated kind so simulators can still execute
+/// it atomically.
+enum class OpKind : std::uint8_t {
+  Read,
+  Write,
+  /// Atomic read-modify-write (e.g. SPARC swap / test-and-set).  Included in
+  /// every processor view like a write (paper §3.4 footnote); its read part
+  /// must still be legal in each view that contains it.
+  ReadModifyWrite,
+};
+
+/// Labeling of an operation under release consistency (paper §3.4).
+/// Ordinary operations are unlabeled; labeled operations are the
+/// "synchronization" accesses.  An acquire is a labeled read, a release a
+/// labeled write; plain Labeled covers labeled accesses used outside the
+/// acquire/release protocol (treated as both-sides ordered).
+enum class OpLabel : std::uint8_t {
+  Ordinary,
+  Labeled,
+};
+
+[[nodiscard]] constexpr bool is_write_like(OpKind k) noexcept {
+  return k == OpKind::Write || k == OpKind::ReadModifyWrite;
+}
+
+[[nodiscard]] constexpr bool is_read_like(OpKind k) noexcept {
+  return k == OpKind::Read || k == OpKind::ReadModifyWrite;
+}
+
+[[nodiscard]] const char* to_string(OpKind k) noexcept;
+[[nodiscard]] const char* to_string(OpLabel l) noexcept;
+
+/// Exception type for malformed inputs (parser errors, inconsistent
+/// histories).  Checker verdicts never throw; only construction does.
+class InvalidInput : public std::runtime_error {
+ public:
+  explicit InvalidInput(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace ssm

@@ -1,0 +1,50 @@
+#include "history/builder.hpp"
+
+namespace ssm::history {
+
+HistoryBuilder& HistoryBuilder::w(std::string_view proc, std::string_view loc,
+                                  Value v, OpLabel label) {
+  Operation op;
+  op.kind = OpKind::Write;
+  op.label = label;
+  op.proc = history_.symbols().intern_processor(proc);
+  op.loc = history_.symbols().intern_location(loc);
+  op.value = v;
+  history_.append(op);
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::r(std::string_view proc, std::string_view loc,
+                                  Value v, OpLabel label) {
+  Operation op;
+  op.kind = OpKind::Read;
+  op.label = label;
+  op.proc = history_.symbols().intern_processor(proc);
+  op.loc = history_.symbols().intern_location(loc);
+  op.value = v;
+  history_.append(op);
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::rmw(std::string_view proc,
+                                    std::string_view loc, Value observed,
+                                    Value stored, OpLabel label) {
+  Operation op;
+  op.kind = OpKind::ReadModifyWrite;
+  op.label = label;
+  op.proc = history_.symbols().intern_processor(proc);
+  op.loc = history_.symbols().intern_location(loc);
+  op.value = stored;
+  op.rmw_read = observed;
+  history_.append(op);
+  return *this;
+}
+
+SystemHistory HistoryBuilder::build() {
+  if (auto err = history_.validate()) {
+    throw InvalidInput("malformed history: " + *err);
+  }
+  return std::move(history_);
+}
+
+}  // namespace ssm::history

@@ -1,0 +1,51 @@
+// Fluent construction of SystemHistory instances for tests, examples, and
+// the lattice enumerator.
+//
+//   auto h = HistoryBuilder(2, 2)                // 2 procs, 2 locs
+//                .w("p", "x", 1).r("p", "y", 0)
+//                .w("q", "y", 1).r("q", "x", 0)
+//                .build();                       // paper Figure 1
+#pragma once
+
+#include <string_view>
+
+#include "history/system_history.hpp"
+
+namespace ssm::history {
+
+class HistoryBuilder {
+ public:
+  /// Starts with the canonical symbol table (procs p,q,r,...; locs x,y,z,...).
+  HistoryBuilder(std::size_t procs, std::size_t locs)
+      : history_(SymbolTable::canonical(procs, locs)) {}
+
+  HistoryBuilder& w(std::string_view proc, std::string_view loc, Value v,
+                    OpLabel label = OpLabel::Ordinary);
+  HistoryBuilder& r(std::string_view proc, std::string_view loc, Value v,
+                    OpLabel label = OpLabel::Ordinary);
+  /// Labeled (synchronization) variants, per paper §3.4.
+  HistoryBuilder& wl(std::string_view proc, std::string_view loc, Value v) {
+    return w(proc, loc, v, OpLabel::Labeled);
+  }
+  HistoryBuilder& rl(std::string_view proc, std::string_view loc, Value v) {
+    return r(proc, loc, v, OpLabel::Labeled);
+  }
+  HistoryBuilder& rmw(std::string_view proc, std::string_view loc,
+                      Value observed, Value stored,
+                      OpLabel label = OpLabel::Ordinary);
+
+  /// Validates and returns the history; throws InvalidInput on a malformed
+  /// history (see SystemHistory::validate).  The builder is left empty.
+  [[nodiscard]] SystemHistory build();
+
+  /// Returns without validation (for deliberately malformed test inputs).
+  /// The builder is left empty.
+  [[nodiscard]] SystemHistory build_unchecked() {
+    return std::move(history_);
+  }
+
+ private:
+  SystemHistory history_;
+};
+
+}  // namespace ssm::history

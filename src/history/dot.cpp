@@ -1,0 +1,58 @@
+#include "history/dot.hpp"
+
+#include "history/print.hpp"
+
+namespace ssm::history {
+namespace {
+
+/// Is edge a->b implied by a path a -> x -> b within `r`?
+bool transitively_implied(const rel::Relation& r, std::size_t a,
+                          std::size_t b) {
+  bool implied = false;
+  r.successors(a).for_each([&](std::size_t x) {
+    if (x != b && r.test(x, b)) implied = true;
+  });
+  return implied;
+}
+
+}  // namespace
+
+std::string to_dot(const SystemHistory& h,
+                   const std::vector<DotLayer>& layers,
+                   std::string_view title) {
+  std::string out = "digraph \"" + std::string(title) + "\" {\n";
+  out += "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    out += "  subgraph cluster_" + std::to_string(p) + " {\n";
+    out += "    label=\"" + h.symbols().processor_name(p) + "\";\n";
+    const auto ops = h.processor_ops(p);
+    for (OpIndex i : ops) {
+      out += "    n" + std::to_string(i) + " [label=\"" + format_op(h, i) +
+             "\"];\n";
+    }
+    // Invisible chain keeps program order vertical inside the cluster.
+    for (std::size_t k = 0; k + 1 < ops.size(); ++k) {
+      out += "    n" + std::to_string(ops[k]) + " -> n" +
+             std::to_string(ops[k + 1]) + " [style=invis];\n";
+    }
+    out += "  }\n";
+  }
+  for (const auto& layer : layers) {
+    if (layer.rel == nullptr) continue;
+    for (std::size_t a = 0; a < layer.rel->size(); ++a) {
+      layer.rel->successors(a).for_each([&](std::size_t b) {
+        if (layer.transitive_reduce &&
+            transitively_implied(*layer.rel, a, b)) {
+          return;
+        }
+        out += "  n" + std::to_string(a) + " -> n" + std::to_string(b) +
+               " [color=" + layer.color + ", label=\"" + layer.name +
+               "\", fontcolor=" + layer.color + "];\n";
+      });
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ssm::history

@@ -1,0 +1,30 @@
+// Graphviz (DOT) rendering of a history with any set of relation layers —
+// the visual companion to the paper's order definitions (po/wb/co/sem
+// arrows over the operations of a figure).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "history/system_history.hpp"
+#include "relation/relation.hpp"
+
+namespace ssm::history {
+
+struct DotLayer {
+  std::string name;         // edge label, e.g. "po"
+  std::string color;        // graphviz color, e.g. "gray40"
+  const rel::Relation* rel;  // non-owning
+  /// Skip edges implied by transitivity within this layer (reduces
+  /// clutter: draw the Hasse diagram instead of the closure).
+  bool transitive_reduce = true;
+};
+
+/// One DOT digraph: operations as nodes (clustered per processor, in
+/// program order), one edge style per layer.
+[[nodiscard]] std::string to_dot(const SystemHistory& h,
+                                 const std::vector<DotLayer>& layers,
+                                 std::string_view title = "history");
+
+}  // namespace ssm::history

@@ -1,0 +1,32 @@
+#include "history/operation.hpp"
+
+namespace ssm::history {
+
+std::string to_string(const Operation& op) {
+  std::string out;
+  switch (op.kind) {
+    case OpKind::Read:
+      out += 'r';
+      break;
+    case OpKind::Write:
+      out += 'w';
+      break;
+    case OpKind::ReadModifyWrite:
+      out += "rmw";
+      break;
+  }
+  out += '_';
+  out += std::to_string(op.proc);
+  out += "(x";
+  out += std::to_string(op.loc);
+  out += ')';
+  out += std::to_string(op.value);
+  if (op.kind == OpKind::ReadModifyWrite) {
+    out += "<-";
+    out += std::to_string(op.rmw_read);
+  }
+  if (op.is_labeled()) out += '*';
+  return out;
+}
+
+}  // namespace ssm::history

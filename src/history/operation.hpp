@@ -1,0 +1,65 @@
+// Operation: one read or write in a system execution history.
+//
+// Paper §2: "Processors execute read and write operations.  Each such
+// operation acts on a named location and has an associated value."
+// An operation here additionally carries:
+//   * its processor and its index within that processor's sequence (so that
+//     program order is recoverable), and
+//   * a dense global index (OpIndex) assigned by SystemHistory, used to
+//     address relation bitsets.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ssm::history {
+
+struct Operation {
+  OpKind kind = OpKind::Read;
+  OpLabel label = OpLabel::Ordinary;
+  ProcId proc = 0;
+  /// Position in the issuing processor's execution history H_p (0-based).
+  std::uint32_t seq = 0;
+  LocId loc = 0;
+  /// For a write: the value stored.  For a read: the value reported.
+  /// For a read-modify-write: the value stored (`rmw_read` holds the value
+  /// observed by its read part).
+  Value value = 0;
+  /// Value observed by the read part of a ReadModifyWrite; unused otherwise.
+  Value rmw_read = 0;
+  /// Dense index within the owning SystemHistory.
+  OpIndex index = kNoOp;
+
+  [[nodiscard]] bool is_read() const noexcept { return is_read_like(kind); }
+  [[nodiscard]] bool is_write() const noexcept { return is_write_like(kind); }
+  [[nodiscard]] bool is_labeled() const noexcept {
+    return label == OpLabel::Labeled;
+  }
+  /// Acquire = labeled read; release = labeled write (paper §3.4).
+  [[nodiscard]] bool is_acquire() const noexcept {
+    return is_labeled() && kind == OpKind::Read;
+  }
+  [[nodiscard]] bool is_release() const noexcept {
+    return is_labeled() && is_write();
+  }
+
+  /// The value this operation's read part observes (read: `value`,
+  /// rmw: `rmw_read`).  Precondition: is_read().
+  [[nodiscard]] Value read_value() const noexcept {
+    return kind == OpKind::ReadModifyWrite ? rmw_read : value;
+  }
+
+  friend bool operator==(const Operation& a, const Operation& b) noexcept {
+    return a.kind == b.kind && a.label == b.label && a.proc == b.proc &&
+           a.seq == b.seq && a.loc == b.loc && a.value == b.value &&
+           a.rmw_read == b.rmw_read;
+  }
+};
+
+/// Compact notation mirroring the paper: `w_p(x)v` / `r_p(x)v`, with a `*`
+/// suffix for labeled operations.  Location rendered by id ("x0") unless a
+/// name is supplied by the caller (see print.hpp for named rendering).
+[[nodiscard]] std::string to_string(const Operation& op);
+
+}  // namespace ssm::history

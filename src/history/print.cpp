@@ -1,0 +1,88 @@
+#include "history/print.hpp"
+
+namespace ssm::history {
+
+std::string format_op(const SystemHistory& h, OpIndex i) {
+  const Operation& op = h.op(i);
+  std::string out;
+  switch (op.kind) {
+    case OpKind::Read:
+      out += 'r';
+      break;
+    case OpKind::Write:
+      out += 'w';
+      break;
+    case OpKind::ReadModifyWrite:
+      out += "rmw";
+      break;
+  }
+  out += '_';
+  out += h.symbols().processor_name(op.proc);
+  out += '(';
+  out += h.symbols().location_name(op.loc);
+  out += ')';
+  out += std::to_string(op.value);
+  if (op.kind == OpKind::ReadModifyWrite) {
+    out += "<-";
+    out += std::to_string(op.rmw_read);
+  }
+  if (op.is_labeled()) out += '*';
+  return out;
+}
+
+std::string format_history(const SystemHistory& h) {
+  std::string out;
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    out += h.symbols().processor_name(p);
+    out += ':';
+    for (OpIndex i : h.processor_ops(p)) {
+      out += ' ';
+      // Within a processor line the subscript is redundant; match the
+      // paper's figures which drop it.
+      const Operation& op = h.op(i);
+      std::string token;
+      switch (op.kind) {
+        case OpKind::Read:
+          token += 'r';
+          break;
+        case OpKind::Write:
+          token += 'w';
+          break;
+        case OpKind::ReadModifyWrite:
+          token += "rmw";
+          break;
+      }
+      token += '(';
+      token += h.symbols().location_name(op.loc);
+      token += ')';
+      token += std::to_string(op.value);
+      if (op.kind == OpKind::ReadModifyWrite) {
+        token += "<-";
+        token += std::to_string(op.rmw_read);
+      }
+      if (op.is_labeled()) token += '*';
+      out += token;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+SystemHistory canonicalized(const SystemHistory& h) {
+  SystemHistory out(
+      SymbolTable::canonical(h.num_processors(), h.num_locations()));
+  for (const auto& op : h.operations()) out.append(op);
+  return out;
+}
+
+std::string format_sequence(const SystemHistory& h,
+                            const std::vector<OpIndex>& seq) {
+  std::string out;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += format_op(h, seq[i]);
+  }
+  return out;
+}
+
+}  // namespace ssm::history

@@ -1,0 +1,33 @@
+// Human-readable rendering of histories and views, using the symbol table
+// names so output matches the paper's notation, e.g.
+//
+//   p: w(x)1 r(y)0
+//   q: w(y)1 r(x)0
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "history/system_history.hpp"
+
+namespace ssm::history {
+
+/// Renders one operation with names from `h.symbols()`: `w_p(x)1`,
+/// labeled ops get a `*` suffix.
+[[nodiscard]] std::string format_op(const SystemHistory& h, OpIndex i);
+
+/// Renders the whole history, one processor per line (paper figure style).
+[[nodiscard]] std::string format_history(const SystemHistory& h);
+
+/// Renders a sequence of operations (a view) on one line.
+[[nodiscard]] std::string format_sequence(const SystemHistory& h,
+                                          const std::vector<OpIndex>& seq);
+
+/// A copy of `h` with the canonical symbol table (processors p,q,r,…;
+/// locations x,y,z,…).  Operation order, kinds, labels and values are
+/// preserved; only names change.  Used to compare histories from
+/// different sources (e.g. simulator traces vs litmus files) by their
+/// rendered form.
+[[nodiscard]] SystemHistory canonicalized(const SystemHistory& h);
+
+}  // namespace ssm::history

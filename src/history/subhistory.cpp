@@ -1,0 +1,24 @@
+#include "history/subhistory.hpp"
+
+namespace ssm::history {
+
+SubHistory extract(const SystemHistory& h, const rel::DynBitset& mask) {
+  SubHistory out;
+  out.sub = SystemHistory(h.symbols());
+  out.from_parent.assign(h.size(), kNoOp);
+  // Append in per-processor program order so seq numbers stay consistent;
+  // dense-index order already interleaves processors, so walk per proc.
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    for (OpIndex i : h.processor_ops(p)) {
+      if (!mask.test(i)) continue;
+      Operation op = h.op(i);
+      const OpIndex sub_index = out.sub.append(op);
+      out.to_parent.push_back(i);
+      out.from_parent[i] = sub_index;
+      (void)sub_index;
+    }
+  }
+  return out;
+}
+
+}  // namespace ssm::history

@@ -1,0 +1,26 @@
+// Extraction of a subhistory: the operations in a mask, re-indexed densely,
+// with program order per processor preserved.  Used by RC_pc, which must
+// evaluate processor consistency *of the labeled subhistory* (paper §3.4:
+// "the sequences S_p|ℓ meet the requirements of ..."), where ppo and the
+// remote orders are computed within the labeled world.
+#pragma once
+
+#include <vector>
+
+#include "history/system_history.hpp"
+#include "relation/bitset.hpp"
+
+namespace ssm::history {
+
+struct SubHistory {
+  SystemHistory sub;
+  /// to_parent[i] = index in the parent history of sub operation i.
+  std::vector<OpIndex> to_parent;
+  /// from_parent[j] = index in `sub` of parent operation j, or kNoOp.
+  std::vector<OpIndex> from_parent;
+};
+
+[[nodiscard]] SubHistory extract(const SystemHistory& h,
+                                 const rel::DynBitset& mask);
+
+}  // namespace ssm::history

@@ -1,0 +1,74 @@
+#include "history/symbol_table.hpp"
+
+namespace ssm::history {
+
+LocId SymbolTable::intern_location(std::string_view name) {
+  auto it = location_ids_.find(std::string(name));
+  if (it != location_ids_.end()) return it->second;
+  const auto id = static_cast<LocId>(location_names_.size());
+  location_names_.emplace_back(name);
+  location_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+ProcId SymbolTable::intern_processor(std::string_view name) {
+  auto it = processor_ids_.find(std::string(name));
+  if (it != processor_ids_.end()) return it->second;
+  const auto id = static_cast<ProcId>(processor_names_.size());
+  processor_names_.emplace_back(name);
+  processor_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+LocId SymbolTable::location(std::string_view name) const {
+  auto it = location_ids_.find(std::string(name));
+  if (it == location_ids_.end()) {
+    throw InvalidInput("unknown location: '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+ProcId SymbolTable::processor(std::string_view name) const {
+  auto it = processor_ids_.find(std::string(name));
+  if (it == processor_ids_.end()) {
+    throw InvalidInput("unknown processor: '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+const std::string& SymbolTable::location_name(LocId id) const {
+  if (id >= location_names_.size()) {
+    throw InvalidInput("location id out of range");
+  }
+  return location_names_[id];
+}
+
+const std::string& SymbolTable::processor_name(ProcId id) const {
+  if (id >= processor_names_.size()) {
+    throw InvalidInput("processor id out of range");
+  }
+  return processor_names_[id];
+}
+
+SymbolTable SymbolTable::canonical(std::size_t procs, std::size_t locs) {
+  SymbolTable table;
+  static constexpr const char* kProcNames[] = {"p", "q", "r", "s", "t", "u"};
+  static constexpr const char* kLocNames[] = {"x", "y", "z", "a", "b", "c"};
+  for (std::size_t i = 0; i < procs; ++i) {
+    if (i < std::size(kProcNames)) {
+      table.intern_processor(kProcNames[i]);
+    } else {
+      table.intern_processor("p" + std::to_string(i));
+    }
+  }
+  for (std::size_t i = 0; i < locs; ++i) {
+    if (i < std::size(kLocNames)) {
+      table.intern_location(kLocNames[i]);
+    } else {
+      table.intern_location("x" + std::to_string(i));
+    }
+  }
+  return table;
+}
+
+}  // namespace ssm::history

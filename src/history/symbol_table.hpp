@@ -1,0 +1,46 @@
+// Bidirectional mapping between external names and dense ids for locations
+// and processors.  The model only needs dense ids; names exist so litmus
+// tests and printed witnesses stay readable.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ssm::history {
+
+class SymbolTable {
+ public:
+  /// Returns the id for `name`, interning it on first use.
+  LocId intern_location(std::string_view name);
+  ProcId intern_processor(std::string_view name);
+
+  /// Lookup without interning; throws InvalidInput if absent.
+  [[nodiscard]] LocId location(std::string_view name) const;
+  [[nodiscard]] ProcId processor(std::string_view name) const;
+
+  [[nodiscard]] const std::string& location_name(LocId id) const;
+  [[nodiscard]] const std::string& processor_name(ProcId id) const;
+
+  [[nodiscard]] std::size_t num_locations() const noexcept {
+    return location_names_.size();
+  }
+  [[nodiscard]] std::size_t num_processors() const noexcept {
+    return processor_names_.size();
+  }
+
+  /// A table with locations "x","y","z",... and processors "p","q","r",...
+  /// pre-interned; convenient for programmatic history construction.
+  static SymbolTable canonical(std::size_t procs, std::size_t locs);
+
+ private:
+  std::unordered_map<std::string, LocId> location_ids_;
+  std::vector<std::string> location_names_;
+  std::unordered_map<std::string, ProcId> processor_ids_;
+  std::vector<std::string> processor_names_;
+};
+
+}  // namespace ssm::history

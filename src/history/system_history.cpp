@@ -1,0 +1,109 @@
+#include "history/system_history.hpp"
+
+#include <algorithm>
+
+namespace ssm::history {
+
+OpIndex SystemHistory::append(Operation op) {
+  if (op.proc >= per_proc_.size()) {
+    per_proc_.resize(op.proc + 1);
+  }
+  op.seq = static_cast<std::uint32_t>(per_proc_[op.proc].size());
+  op.index = static_cast<OpIndex>(ops_.size());
+  num_locations_ = std::max<std::size_t>(num_locations_, op.loc + 1U);
+  per_proc_[op.proc].push_back(op.index);
+  ops_.push_back(op);
+  return op.index;
+}
+
+std::span<const OpIndex> SystemHistory::processor_ops(ProcId p) const {
+  if (p >= per_proc_.size()) return {};
+  return per_proc_[p];
+}
+
+std::vector<OpIndex> SystemHistory::writes_to(LocId loc) const {
+  std::vector<OpIndex> out;
+  for (const auto& o : ops_) {
+    if (o.is_write() && o.loc == loc) out.push_back(o.index);
+  }
+  return out;
+}
+
+std::vector<OpIndex> SystemHistory::all_writes() const {
+  std::vector<OpIndex> out;
+  for (const auto& o : ops_) {
+    if (o.is_write()) out.push_back(o.index);
+  }
+  return out;
+}
+
+std::vector<OpIndex> SystemHistory::all_reads() const {
+  std::vector<OpIndex> out;
+  for (const auto& o : ops_) {
+    if (o.is_read()) out.push_back(o.index);
+  }
+  return out;
+}
+
+OpIndex SystemHistory::writer_of(OpIndex r) const {
+  const Operation& read = op(r);
+  if (!read.is_read()) {
+    throw InvalidInput("writer_of called on a non-read operation");
+  }
+  const Value v = read.read_value();
+  OpIndex found = kNoOp;
+  for (const auto& o : ops_) {
+    if (o.is_write() && o.loc == read.loc && o.value == v) {
+      if (found != kNoOp) {
+        throw InvalidInput("ambiguous writes-before: two writes of value " +
+                           std::to_string(v) + " to the same location");
+      }
+      found = o.index;
+    }
+  }
+  if (found == kNoOp && v != kInitialValue) {
+    throw InvalidInput("read observes value " + std::to_string(v) +
+                       " never written to its location");
+  }
+  return found;
+}
+
+std::optional<std::string> SystemHistory::validate() const {
+  // Check distinct-write-values per location (required so that wb is a
+  // function of the history, as in every example in the paper).
+  for (LocId loc = 0; loc < num_locations_; ++loc) {
+    std::vector<Value> written;
+    for (const auto& o : ops_) {
+      if (o.is_write() && o.loc == loc) written.push_back(o.value);
+    }
+    std::sort(written.begin(), written.end());
+    if (std::adjacent_find(written.begin(), written.end()) != written.end()) {
+      return "location x" + std::to_string(loc) +
+             " is written the same value twice; writes-before would be "
+             "ambiguous";
+    }
+    if (std::binary_search(written.begin(), written.end(), kInitialValue)) {
+      return "location x" + std::to_string(loc) +
+             " is written the initial value 0; a read of 0 would be "
+             "ambiguous";
+    }
+  }
+  for (const auto& o : ops_) {
+    if (!o.is_read()) continue;
+    const Value v = o.read_value();
+    if (v == kInitialValue) continue;
+    bool found = false;
+    for (const auto& w : ops_) {
+      if (w.is_write() && w.loc == o.loc && w.value == v) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return "operation " + to_string(o) + " reads a value never written";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ssm::history

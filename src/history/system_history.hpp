@@ -1,0 +1,84 @@
+// SystemHistory: the paper's H = {H_p | p ∈ P}.
+//
+// Stores all operations in one dense vector (indexed by OpIndex) plus the
+// per-processor sequences.  Every relation in src/relation is a bitset over
+// these dense indices, so SystemHistory is the single source of truth for
+// operation identity.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "history/operation.hpp"
+#include "history/symbol_table.hpp"
+
+namespace ssm::history {
+
+class SystemHistory {
+ public:
+  SystemHistory() = default;
+  explicit SystemHistory(SymbolTable symbols) : symbols_(std::move(symbols)) {}
+
+  /// Appends `op` to processor `op.proc`'s history.  `op.seq` and `op.index`
+  /// are assigned by this call; the caller fills kind/label/proc/loc/value.
+  /// Returns the dense index of the appended operation.
+  OpIndex append(Operation op);
+
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ops_.empty(); }
+
+  [[nodiscard]] const Operation& op(OpIndex i) const { return ops_.at(i); }
+  [[nodiscard]] std::span<const Operation> operations() const noexcept {
+    return ops_;
+  }
+
+  [[nodiscard]] std::size_t num_processors() const noexcept {
+    return per_proc_.size();
+  }
+  [[nodiscard]] std::size_t num_locations() const noexcept {
+    return num_locations_;
+  }
+
+  /// Indices of processor p's operations, in program order.
+  [[nodiscard]] std::span<const OpIndex> processor_ops(ProcId p) const;
+
+  /// All write-like operations to location `loc`, in dense-index order.
+  [[nodiscard]] std::vector<OpIndex> writes_to(LocId loc) const;
+
+  /// All write-like operations, in dense-index order.
+  [[nodiscard]] std::vector<OpIndex> all_writes() const;
+
+  /// All read-like operations, in dense-index order.
+  [[nodiscard]] std::vector<OpIndex> all_reads() const;
+
+  /// For a read-like operation `r`, the unique write-like operation writing
+  /// the value `r` observes to `r`'s location, or kNoOp when `r` observes
+  /// the initial value.  Throws InvalidInput when the value is ambiguous
+  /// (two writes of the same value to the same location) or unwritten.
+  /// Most litmus histories use distinct values per (location, value) pair,
+  /// which makes the writes-before order a function of the history; the
+  /// checker requires that property and `validate()` enforces it.
+  [[nodiscard]] OpIndex writer_of(OpIndex r) const;
+
+  /// Checks well-formedness:
+  ///  * every read-like value is either 0 (initial) or written by exactly
+  ///    one write-like op to the same location;
+  ///  * a read observing 0 is unambiguous (no write-like op writes 0).
+  /// Returns an explanatory message on failure, std::nullopt on success.
+  [[nodiscard]] std::optional<std::string> validate() const;
+
+  [[nodiscard]] const SymbolTable& symbols() const noexcept {
+    return symbols_;
+  }
+  [[nodiscard]] SymbolTable& symbols() noexcept { return symbols_; }
+
+ private:
+  SymbolTable symbols_;
+  std::vector<Operation> ops_;
+  std::vector<std::vector<OpIndex>> per_proc_;
+  std::size_t num_locations_ = 0;
+};
+
+}  // namespace ssm::history

@@ -1,0 +1,30 @@
+#include "lattice/classify.hpp"
+
+namespace ssm::lattice {
+
+Pattern classify(const history::SystemHistory& h,
+                 const std::vector<models::ModelPtr>& models) {
+  Pattern p;
+  p.reserve(models.size());
+  for (const auto& m : models) {
+    p.push_back(m->check(h).allowed);
+  }
+  return p;
+}
+
+void ClassifyStats::add(const Pattern& p) {
+  ++total;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i]) ++admitted[i];
+  }
+  ++patterns[p];
+}
+
+ClassifyStats make_stats(const std::vector<models::ModelPtr>& models) {
+  ClassifyStats s;
+  for (const auto& m : models) s.model_names.emplace_back(m->name());
+  s.admitted.assign(models.size(), 0);
+  return s;
+}
+
+}  // namespace ssm::lattice

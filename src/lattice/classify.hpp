@@ -1,0 +1,36 @@
+// Classification of histories against a set of models, and aggregation of
+// the resulting admission patterns.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "history/system_history.hpp"
+#include "models/model.hpp"
+
+namespace ssm::lattice {
+
+/// One history's admission bit per model (index-aligned with the model
+/// vector passed to classify()).
+using Pattern = std::vector<bool>;
+
+[[nodiscard]] Pattern classify(const history::SystemHistory& h,
+                               const std::vector<models::ModelPtr>& models);
+
+/// Aggregate over many histories: admission count per model and a
+/// histogram of full patterns.
+struct ClassifyStats {
+  std::vector<std::string> model_names;
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> admitted;       // per model
+  std::map<Pattern, std::uint64_t> patterns;  // full pattern -> count
+
+  void add(const Pattern& p);
+};
+
+[[nodiscard]] ClassifyStats make_stats(
+    const std::vector<models::ModelPtr>& models);
+
+}  // namespace ssm::lattice

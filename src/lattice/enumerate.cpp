@@ -1,0 +1,183 @@
+#include "lattice/enumerate.hpp"
+
+#include <map>
+#include <vector>
+
+#include "history/builder.hpp"
+
+namespace ssm::lattice {
+namespace {
+
+struct Slot {
+  ProcId proc;
+  OpKind kind = OpKind::Read;
+  LocId loc = 0;
+  Value value = 0;  // resolved during value assignment
+};
+
+class Enumerator {
+ public:
+  Enumerator(const EnumerationSpec& spec,
+             const std::function<bool(const SystemHistory&)>& visit)
+      : spec_(spec), visit_(visit) {
+    slots_.reserve(static_cast<std::size_t>(spec.procs) *
+                   spec.ops_per_proc);
+    for (std::uint32_t p = 0; p < spec.procs; ++p) {
+      for (std::uint32_t k = 0; k < spec.ops_per_proc; ++k) {
+        slots_.push_back(Slot{static_cast<ProcId>(p)});
+      }
+    }
+  }
+
+  std::uint64_t run() {
+    choose_shape(0);
+    return visited_;
+  }
+
+ private:
+  /// Phase 1: choose kind and location for every slot.
+  void choose_shape(std::size_t i) {
+    if (stopped_) return;
+    if (i == slots_.size()) {
+      assign_values(0, std::vector<std::uint32_t>(spec_.locs, 0));
+      return;
+    }
+    for (OpKind kind : {OpKind::Write, OpKind::Read}) {
+      for (LocId loc = 0; loc < spec_.locs; ++loc) {
+        slots_[i].kind = kind;
+        slots_[i].loc = loc;
+        choose_shape(i + 1);
+        if (stopped_) return;
+      }
+    }
+    if (spec_.include_rmw) {
+      for (LocId loc = 0; loc < spec_.locs; ++loc) {
+        slots_[i].kind = OpKind::ReadModifyWrite;
+        slots_[i].loc = loc;
+        choose_shape(i + 1);
+        if (stopped_) return;
+      }
+    }
+  }
+
+  /// Phase 2: canonical write values (k-th write to loc writes k), then
+  /// enumerate read values over {0} ∪ written values of the location.
+  void assign_values(std::size_t i, std::vector<std::uint32_t> write_count) {
+    if (stopped_) return;
+    if (i == slots_.size()) {
+      emit();
+      return;
+    }
+    Slot& s = slots_[i];
+    if (s.kind == OpKind::Write || s.kind == OpKind::ReadModifyWrite) {
+      const std::uint32_t next = ++write_count[s.loc];
+      s.value = next;
+      if (s.kind == OpKind::Write) {
+        assign_values(i + 1, write_count);
+        return;
+      }
+    }
+    // Read (or rmw read part) values resolved in emit(): enumerate here by
+    // total writes to the location across the WHOLE history (not just the
+    // prefix), so count them once.
+    const std::uint32_t total = total_writes_to(s.loc);
+    for (std::uint32_t v = 0; v <= total; ++v) {
+      read_value_[i] = static_cast<Value>(v);
+      assign_values(i + 1, write_count);
+      if (stopped_) return;
+    }
+  }
+
+  [[nodiscard]] std::uint32_t total_writes_to(LocId loc) const {
+    std::uint32_t n = 0;
+    for (const Slot& s : slots_) {
+      if (s.loc == loc &&
+          (s.kind == OpKind::Write || s.kind == OpKind::ReadModifyWrite)) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  void emit() {
+    history::SystemHistory h(
+        history::SymbolTable::canonical(spec_.procs, spec_.locs));
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const Slot& s = slots_[i];
+      history::Operation op;
+      op.kind = s.kind;
+      op.proc = s.proc;
+      op.loc = s.loc;
+      op.label = s.loc < spec_.sync_locs ? OpLabel::Labeled
+                                         : OpLabel::Ordinary;
+      if (s.kind == OpKind::Read) {
+        op.value = read_value_.at(i);
+      } else {
+        op.value = s.value;
+        if (s.kind == OpKind::ReadModifyWrite) {
+          op.rmw_read = read_value_.at(i);
+        }
+      }
+      h.append(op);
+    }
+    ++visited_;
+    if (!visit_(h)) stopped_ = true;
+  }
+
+  EnumerationSpec spec_;
+  const std::function<bool(const SystemHistory&)>& visit_;
+  std::vector<Slot> slots_;
+  std::map<std::size_t, Value> read_value_;
+  std::uint64_t visited_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+std::uint64_t for_each_history(
+    const EnumerationSpec& spec,
+    const std::function<bool(const SystemHistory&)>& visit) {
+  Enumerator e(spec, visit);
+  return e.run();
+}
+
+SystemHistory random_history(const EnumerationSpec& spec, Rng& rng) {
+  history::SystemHistory h(
+      history::SymbolTable::canonical(spec.procs, spec.locs));
+  // Choose shapes first so read values can range over all writes.
+  struct RandSlot {
+    ProcId proc;
+    OpKind kind;
+    LocId loc;
+  };
+  std::vector<RandSlot> slots;
+  std::vector<std::uint32_t> writes_to(spec.locs, 0);
+  for (std::uint32_t p = 0; p < spec.procs; ++p) {
+    for (std::uint32_t k = 0; k < spec.ops_per_proc; ++k) {
+      const bool is_write = rng.chance(1, 2);
+      const LocId loc = static_cast<LocId>(rng.below(spec.locs));
+      slots.push_back(
+          {static_cast<ProcId>(p), is_write ? OpKind::Write : OpKind::Read,
+           loc});
+      if (is_write) ++writes_to[loc];
+    }
+  }
+  std::vector<std::uint32_t> next_value(spec.locs, 0);
+  for (const RandSlot& s : slots) {
+    history::Operation op;
+    op.proc = s.proc;
+    op.kind = s.kind;
+    op.loc = s.loc;
+    op.label = s.loc < spec.sync_locs ? OpLabel::Labeled
+                                      : OpLabel::Ordinary;
+    if (s.kind == OpKind::Write) {
+      op.value = static_cast<Value>(++next_value[s.loc]);
+    } else {
+      op.value = static_cast<Value>(rng.below(writes_to[s.loc] + 1));
+    }
+    h.append(op);
+  }
+  return h;
+}
+
+}  // namespace ssm::lattice

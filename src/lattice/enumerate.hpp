@@ -1,0 +1,44 @@
+// History enumeration and sampling for the empirical lattice (Figure 5).
+//
+// Histories are enumerated in a canonical form that loses no generality:
+// the k-th write to a location (in processor-major program order) writes
+// value k, and each read returns either 0 (the initial value) or the value
+// of some write to its location.  Every well-formed history is isomorphic
+// (by value renaming) to exactly one canonical history, so set inclusions
+// measured over this universe are exact, not sampled.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "history/system_history.hpp"
+
+namespace ssm::lattice {
+
+using history::SystemHistory;
+
+struct EnumerationSpec {
+  std::uint32_t procs = 2;
+  std::uint32_t ops_per_proc = 2;
+  std::uint32_t locs = 2;
+  /// When true, read-modify-write operations participate in enumeration
+  /// (costly; off by default).
+  bool include_rmw = false;
+  /// Locations below this index are synchronization variables: every
+  /// operation on them is labeled (used for labeled-model universes —
+  /// release consistency, weak ordering, DRF experiments).
+  std::uint32_t sync_locs = 0;
+};
+
+/// Calls `visit` with every canonical history for the spec; stops early if
+/// `visit` returns false.  Returns the number of histories visited.
+std::uint64_t for_each_history(
+    const EnumerationSpec& spec,
+    const std::function<bool(const SystemHistory&)>& visit);
+
+/// One uniformly-shaped random canonical history (used for large-scale
+/// sampling beyond the exhaustive envelope).
+[[nodiscard]] SystemHistory random_history(const EnumerationSpec& spec,
+                                           Rng& rng);
+
+}  // namespace ssm::lattice

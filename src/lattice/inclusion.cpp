@@ -1,0 +1,90 @@
+#include "lattice/inclusion.hpp"
+
+#include "history/print.hpp"
+#include "lattice/classify.hpp"
+
+namespace ssm::lattice {
+namespace {
+
+InclusionReport prepare(const std::vector<models::ModelPtr>& models) {
+  InclusionReport r;
+  const std::size_t n = models.size();
+  for (const auto& m : models) r.model_names.emplace_back(m->name());
+  r.admitted.assign(n, 0);
+  r.only_in.assign(n, std::vector<std::uint64_t>(n, 0));
+  r.witness.assign(
+      n, std::vector<std::optional<std::string>>(n, std::nullopt));
+  return r;
+}
+
+void absorb(InclusionReport& r, const history::SystemHistory& h,
+            const Pattern& p) {
+  ++r.universe_size;
+  const std::size_t n = p.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!p[i]) continue;
+    ++r.admitted[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (p[j]) continue;
+      if (r.only_in[i][j]++ == 0) {
+        r.witness[i][j] = history::format_history(h);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string InclusionReport::format() const {
+  std::string out;
+  const std::size_t n = model_names.size();
+  out += "universe: " + std::to_string(universe_size) + " histories\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    out += model_names[i] + ": " + std::to_string(admitted[i]) +
+           " admitted\n";
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      out += model_names[i] + " vs " + model_names[j] + ": ";
+      if (strictly_stronger(i, j)) {
+        out += model_names[i] + " strictly stronger";
+      } else if (strictly_stronger(j, i)) {
+        out += model_names[j] + " strictly stronger";
+      } else if (stronger_or_equal(i, j) && stronger_or_equal(j, i)) {
+        out += "equivalent over this universe";
+      } else {
+        out += "incomparable";
+      }
+      out += " (|" + model_names[i] + "\\" + model_names[j] +
+             "|=" + std::to_string(only_in[i][j]) + ", |" + model_names[j] +
+             "\\" + model_names[i] + "|=" + std::to_string(only_in[j][i]) +
+             ")\n";
+    }
+  }
+  return out;
+}
+
+InclusionReport compute_inclusions(
+    const EnumerationSpec& spec,
+    const std::vector<models::ModelPtr>& models) {
+  InclusionReport r = prepare(models);
+  for_each_history(spec, [&](const history::SystemHistory& h) {
+    absorb(r, h, classify(h, models));
+    return true;
+  });
+  return r;
+}
+
+InclusionReport sample_inclusions(const EnumerationSpec& spec,
+                                  const std::vector<models::ModelPtr>& models,
+                                  std::uint64_t samples, std::uint64_t seed) {
+  InclusionReport r = prepare(models);
+  Rng rng(seed);
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const auto h = random_history(spec, rng);
+    absorb(r, h, classify(h, models));
+  }
+  return r;
+}
+
+}  // namespace ssm::lattice

@@ -1,0 +1,53 @@
+// Empirical containment lattice (paper Figure 5).
+//
+// "A is (at least as) strong as B" means histories(A) ⊆ histories(B).  Over
+// an enumerated universe this is decided exactly: we count, for every
+// ordered pair, the histories admitted by A but not by B, and keep the
+// first such history as a machine-checkable separation witness.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lattice/enumerate.hpp"
+#include "models/model.hpp"
+
+namespace ssm::lattice {
+
+struct InclusionReport {
+  std::vector<std::string> model_names;
+  std::uint64_t universe_size = 0;
+  /// admitted[i]: histories admitted by model i.
+  std::vector<std::uint64_t> admitted;
+  /// only_in[i][j]: histories admitted by i but not by j.
+  std::vector<std::vector<std::uint64_t>> only_in;
+  /// witness[i][j]: one history admitted by i but not j (DSL-ish text).
+  std::vector<std::vector<std::optional<std::string>>> witness;
+
+  /// True iff model i is at-least-as-strong-as j over the universe.
+  [[nodiscard]] bool stronger_or_equal(std::size_t i, std::size_t j) const {
+    return only_in[i][j] == 0;
+  }
+  /// Strict: i ⊆ j and j has extra histories.
+  [[nodiscard]] bool strictly_stronger(std::size_t i, std::size_t j) const {
+    return only_in[i][j] == 0 && only_in[j][i] > 0;
+  }
+  [[nodiscard]] bool incomparable(std::size_t i, std::size_t j) const {
+    return only_in[i][j] > 0 && only_in[j][i] > 0;
+  }
+
+  /// Human-readable relation summary, one line per ordered pair class.
+  [[nodiscard]] std::string format() const;
+};
+
+/// Classifies every history in the exhaustive universe given by `spec`.
+[[nodiscard]] InclusionReport compute_inclusions(
+    const EnumerationSpec& spec, const std::vector<models::ModelPtr>& models);
+
+/// Classifies `samples` random histories (for larger shapes).
+[[nodiscard]] InclusionReport sample_inclusions(
+    const EnumerationSpec& spec, const std::vector<models::ModelPtr>& models,
+    std::uint64_t samples, std::uint64_t seed);
+
+}  // namespace ssm::lattice

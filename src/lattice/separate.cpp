@@ -1,0 +1,58 @@
+#include "lattice/separate.hpp"
+
+namespace ssm::lattice {
+namespace {
+
+/// Rebuilds `h` without operation `skip`; returns nullopt when the result
+/// is not well-formed (e.g. a read's writer was removed).
+std::optional<history::SystemHistory> without_op(
+    const history::SystemHistory& h, OpIndex skip) {
+  history::SystemHistory out(h.symbols());
+  for (const auto& op : h.operations()) {
+    if (op.index == skip) continue;
+    out.append(op);
+  }
+  if (out.empty() || out.validate().has_value()) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+std::optional<history::SystemHistory> find_separation(
+    const models::Model& a, const models::Model& b,
+    const SeparationQuery& query) {
+  std::optional<history::SystemHistory> witness;
+  for (const auto& spec : query.universes) {
+    for_each_history(spec, [&](const history::SystemHistory& h) {
+      if (a.check(h).allowed && !b.check(h).allowed) {
+        witness = h;
+        return false;
+      }
+      return true;
+    });
+    if (witness) break;
+  }
+  return witness;
+}
+
+history::SystemHistory shrink_separation(const history::SystemHistory& h,
+                                         const models::Model& a,
+                                         const models::Model& b) {
+  history::SystemHistory current = h;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (OpIndex i = 0; i < current.size(); ++i) {
+      const auto candidate = without_op(current, i);
+      if (!candidate) continue;
+      if (a.check(*candidate).allowed && !b.check(*candidate).allowed) {
+        current = *candidate;
+        progressed = true;
+        break;  // indices shifted; restart the scan
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace ssm::lattice

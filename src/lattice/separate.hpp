@@ -1,0 +1,38 @@
+// Separation search: find a minimal history admitted by one model and
+// rejected by another, by scanning canonical universes in increasing
+// size.  This is how the suite's `pcg-vs-pc` witness was discovered; the
+// utility makes that capability part of the library's public API.
+#pragma once
+
+#include <optional>
+
+#include "lattice/enumerate.hpp"
+#include "models/model.hpp"
+
+namespace ssm::lattice {
+
+struct SeparationQuery {
+  /// Universes are scanned in the order given until a witness appears.
+  std::vector<EnumerationSpec> universes = {
+      {2, 2, 1, false, 0},
+      {2, 2, 2, false, 0},
+      {2, 3, 1, false, 0},
+      {2, 3, 2, false, 0},
+  };
+};
+
+/// First history admitted by `a` but rejected by `b`, or nullopt when the
+/// scanned universes contain none.
+[[nodiscard]] std::optional<history::SystemHistory> find_separation(
+    const models::Model& a, const models::Model& b,
+    const SeparationQuery& query = {});
+
+/// Greedy 1-minimal shrink of a separation witness: repeatedly drop any
+/// single operation while the history stays well-formed, admitted by `a`,
+/// and rejected by `b`.  The result is locally minimal (no single op can
+/// be removed), which is usually the textbook-size litmus shape.
+[[nodiscard]] history::SystemHistory shrink_separation(
+    const history::SystemHistory& h, const models::Model& a,
+    const models::Model& b);
+
+}  // namespace ssm::lattice

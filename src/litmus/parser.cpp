@@ -1,0 +1,211 @@
+#include "litmus/parser.hpp"
+
+#include "common/text.hpp"
+#include "history/print.hpp"
+
+namespace ssm::litmus {
+namespace {
+
+struct OpToken {
+  OpKind kind;
+  OpLabel label;
+  std::string loc;
+  Value value;
+  Value rmw_read;
+};
+
+/// Parses one operation token, e.g. "w(x)1", "r*(y)0", "rmw(l)0:1".
+OpToken parse_op(std::string_view tok) {
+  OpToken out{};
+  std::size_t i = 0;
+  if (tok.starts_with("rmw")) {
+    out.kind = OpKind::ReadModifyWrite;
+    i = 3;
+  } else if (tok.starts_with("w")) {
+    out.kind = OpKind::Write;
+    i = 1;
+  } else if (tok.starts_with("r")) {
+    out.kind = OpKind::Read;
+    i = 1;
+  } else {
+    throw InvalidInput("bad operation token: '" + std::string(tok) + "'");
+  }
+  out.label = OpLabel::Ordinary;
+  if (i < tok.size() && tok[i] == '*') {
+    out.label = OpLabel::Labeled;
+    ++i;
+  }
+  if (i >= tok.size() || tok[i] != '(') {
+    throw InvalidInput("expected '(' in token: '" + std::string(tok) + "'");
+  }
+  const std::size_t close = tok.find(')', i);
+  if (close == std::string_view::npos) {
+    throw InvalidInput("missing ')' in token: '" + std::string(tok) + "'");
+  }
+  out.loc = std::string(tok.substr(i + 1, close - i - 1));
+  if (!is_identifier(out.loc)) {
+    throw InvalidInput("bad location name in token: '" + std::string(tok) +
+                       "'");
+  }
+  std::string_view rest = tok.substr(close + 1);
+  if (rest.empty()) {
+    throw InvalidInput("missing value in token: '" + std::string(tok) + "'");
+  }
+  if (out.kind == OpKind::ReadModifyWrite) {
+    const std::size_t colon = rest.find(':');
+    if (colon == std::string_view::npos) {
+      throw InvalidInput("rmw token needs observed:stored values: '" +
+                         std::string(tok) + "'");
+    }
+    out.rmw_read = parse_int(rest.substr(0, colon));
+    out.value = parse_int(rest.substr(colon + 1));
+  } else {
+    out.value = parse_int(rest);
+  }
+  return out;
+}
+
+void parse_expect_line(std::string_view rest, LitmusTest& t) {
+  for (std::string_view field : split(rest, ' ')) {
+    field = trim(field);
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      throw InvalidInput("bad expectation (need MODEL=yes|no): '" +
+                         std::string(field) + "'");
+    }
+    const std::string model(trim(field.substr(0, eq)));
+    const std::string_view val = trim(field.substr(eq + 1));
+    bool allowed = false;
+    if (val == "yes" || val == "allowed") {
+      allowed = true;
+    } else if (val == "no" || val == "forbidden") {
+      allowed = false;
+    } else {
+      throw InvalidInput("bad expectation value: '" + std::string(val) + "'");
+    }
+    t.expectations[model] = allowed;
+  }
+}
+
+LitmusTest parse_lines(const std::vector<std::string_view>& lines,
+                       std::size_t begin, std::size_t end) {
+  LitmusTest t;
+  t.hist = history::SystemHistory(history::SymbolTable{});
+  for (std::size_t li = begin; li < end; ++li) {
+    std::string_view line = trim(lines[li]);
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      throw InvalidInput("litmus line missing ':': '" + std::string(line) +
+                         "'");
+    }
+    const std::string_view key = trim(line.substr(0, colon));
+    const std::string_view rest = trim(line.substr(colon + 1));
+    if (key == "name") {
+      t.name = std::string(rest);
+    } else if (key == "origin") {
+      t.origin = std::string(rest);
+    } else if (key == "expect") {
+      parse_expect_line(rest, t);
+    } else {
+      if (!is_identifier(key)) {
+        throw InvalidInput("bad processor name: '" + std::string(key) + "'");
+      }
+      const ProcId proc = t.hist.symbols().intern_processor(key);
+      for (std::string_view tok : split(rest, ' ')) {
+        tok = trim(tok);
+        if (tok.empty()) continue;
+        const OpToken parsed = parse_op(tok);
+        history::Operation op;
+        op.kind = parsed.kind;
+        op.label = parsed.label;
+        op.proc = proc;
+        op.loc = t.hist.symbols().intern_location(parsed.loc);
+        op.value = parsed.value;
+        op.rmw_read = parsed.rmw_read;
+        t.hist.append(op);
+      }
+    }
+  }
+  if (t.name.empty()) throw InvalidInput("litmus test has no name");
+  if (t.hist.empty()) {
+    throw InvalidInput("litmus test '" + t.name + "' has no operations");
+  }
+  if (auto err = t.hist.validate()) {
+    throw InvalidInput("litmus test '" + t.name + "': " + *err);
+  }
+  return t;
+}
+
+}  // namespace
+
+LitmusTest parse_test(std::string_view text) {
+  const auto lines = split(text, '\n');
+  return parse_lines(lines, 0, lines.size());
+}
+
+std::vector<LitmusTest> parse_suite(std::string_view text) {
+  const auto lines = split(text, '\n');
+  std::vector<std::size_t> starts;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view line = trim(lines[i]);
+    if (line.starts_with("name:")) starts.push_back(i);
+  }
+  if (starts.empty()) throw InvalidInput("no 'name:' headers in document");
+  std::vector<LitmusTest> out;
+  for (std::size_t k = 0; k < starts.size(); ++k) {
+    const std::size_t end = (k + 1 < starts.size()) ? starts[k + 1]
+                                                    : lines.size();
+    out.push_back(parse_lines(lines, starts[k], end));
+  }
+  return out;
+}
+
+std::string to_dsl(const LitmusTest& t) {
+  std::string out = "name: " + t.name + "\n";
+  if (!t.origin.empty()) out += "origin: " + t.origin + "\n";
+  const auto& h = t.hist;
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    out += h.symbols().processor_name(p);
+    out += ':';
+    for (OpIndex i : h.processor_ops(p)) {
+      const auto& op = h.op(i);
+      out += ' ';
+      switch (op.kind) {
+        case OpKind::Read:
+          out += 'r';
+          break;
+        case OpKind::Write:
+          out += 'w';
+          break;
+        case OpKind::ReadModifyWrite:
+          out += "rmw";
+          break;
+      }
+      if (op.is_labeled()) out += '*';
+      out += '(';
+      out += h.symbols().location_name(op.loc);
+      out += ')';
+      if (op.kind == OpKind::ReadModifyWrite) {
+        out += std::to_string(op.rmw_read) + ":" + std::to_string(op.value);
+      } else {
+        out += std::to_string(op.value);
+      }
+    }
+    out += '\n';
+  }
+  if (!t.expectations.empty()) {
+    out += "expect:";
+    for (const auto& [model, allowed] : t.expectations) {
+      out += ' ';
+      out += model;
+      out += '=';
+      out += allowed ? "yes" : "no";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ssm::litmus

@@ -1,0 +1,33 @@
+// Text DSL for litmus tests.
+//
+//   name: SB
+//   origin: paper fig. 1
+//   p: w(x)1 r(y)0
+//   q: w(y)1 r(x)0
+//   expect: SC=no TSO=yes PC=yes Causal=yes PRAM=yes
+//
+// Operation syntax:
+//   w(x)1      write 1 to x            r(y)0      read 0 from y
+//   w*(x)1     labeled (sync) write    r*(y)0     labeled read
+//   rmw(x)0:1  read-modify-write observing 0, storing 1 (labeled: rmw*)
+// Lines starting with '#' are comments.  Multiple tests in one document are
+// separated by blank 'name:' headers; parse_suite returns them all.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "litmus/test.hpp"
+
+namespace ssm::litmus {
+
+/// Parses a single test (throws InvalidInput on malformed text).
+[[nodiscard]] LitmusTest parse_test(std::string_view text);
+
+/// Parses a document of one or more tests.
+[[nodiscard]] std::vector<LitmusTest> parse_suite(std::string_view text);
+
+/// Renders a test back into DSL text (round-trip tested).
+[[nodiscard]] std::string to_dsl(const LitmusTest& t);
+
+}  // namespace ssm::litmus

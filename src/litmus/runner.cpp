@@ -1,0 +1,60 @@
+#include "litmus/runner.hpp"
+
+#include <algorithm>
+
+namespace ssm::litmus {
+
+TestOutcome run_test(const LitmusTest& t,
+                     const std::vector<models::ModelPtr>& models) {
+  TestOutcome out;
+  out.test = t.name;
+  out.per_model.reserve(models.size());
+  for (const auto& m : models) {
+    ModelOutcome mo;
+    mo.model = std::string(m->name());
+    mo.allowed = m->check(t.hist).allowed;
+    mo.expected = t.expectation(m->name());
+    out.per_model.push_back(std::move(mo));
+  }
+  return out;
+}
+
+std::vector<TestOutcome> run_suite(
+    const std::vector<LitmusTest>& suite,
+    const std::vector<models::ModelPtr>& models) {
+  std::vector<TestOutcome> out;
+  out.reserve(suite.size());
+  for (const auto& t : suite) out.push_back(run_test(t, models));
+  return out;
+}
+
+std::string format_matrix(const std::vector<TestOutcome>& outcomes) {
+  if (outcomes.empty()) return "(no tests)\n";
+  std::size_t name_width = 4;
+  for (const auto& o : outcomes) {
+    name_width = std::max(name_width, o.test.size());
+  }
+  std::string out(name_width, ' ');
+  for (const auto& m : outcomes.front().per_model) {
+    out += ' ';
+    out += m.model;
+  }
+  out += '\n';
+  for (const auto& o : outcomes) {
+    out += o.test;
+    out.append(name_width - o.test.size(), ' ');
+    for (const auto& m : o.per_model) {
+      std::string cell = m.allowed ? "Y" : "n";
+      if (!m.matches()) cell += '!';
+      const std::size_t col_width = m.model.size() + 1;
+      if (cell.size() < col_width) {
+        out.append(col_width - cell.size(), ' ');
+      }
+      out += cell;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ssm::litmus

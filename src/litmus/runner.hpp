@@ -1,0 +1,49 @@
+// Runner: classify litmus tests against a set of models, check
+// expectations, and render classification matrices (the library's
+// equivalent of a herd7 run).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "litmus/test.hpp"
+#include "models/model.hpp"
+
+namespace ssm::litmus {
+
+struct ModelOutcome {
+  std::string model;
+  bool allowed = false;
+  /// Set when the test carries an expectation for this model.
+  std::optional<bool> expected;
+  [[nodiscard]] bool matches() const {
+    return !expected.has_value() || *expected == allowed;
+  }
+};
+
+struct TestOutcome {
+  std::string test;
+  std::vector<ModelOutcome> per_model;
+  [[nodiscard]] bool all_match() const {
+    for (const auto& m : per_model) {
+      if (!m.matches()) return false;
+    }
+    return true;
+  }
+};
+
+/// Runs one test against the given models.
+[[nodiscard]] TestOutcome run_test(
+    const LitmusTest& t, const std::vector<models::ModelPtr>& models);
+
+/// Runs every test against the given models.
+[[nodiscard]] std::vector<TestOutcome> run_suite(
+    const std::vector<LitmusTest>& suite,
+    const std::vector<models::ModelPtr>& models);
+
+/// ASCII matrix: rows = tests, columns = models; cells "Y"/"n", with "!"
+/// appended where the outcome contradicts the recorded expectation.
+[[nodiscard]] std::string format_matrix(
+    const std::vector<TestOutcome>& outcomes);
+
+}  // namespace ssm::litmus

@@ -1,0 +1,198 @@
+#include "litmus/suite.hpp"
+
+#include "litmus/parser.hpp"
+
+namespace ssm::litmus {
+namespace {
+
+// Each test is DSL text (see parser.hpp).  Expectations: paper-stated
+// results and direct consequences of the definitions; "yes" = admitted.
+constexpr std::string_view kSuiteText = R"LITMUS(
+# ---- Paper figures -------------------------------------------------------
+
+name: fig1-sb
+origin: paper fig. 1 (store buffering)
+p: w(x)1 r(y)0
+q: w(y)1 r(x)0
+expect: SC=no TSO=yes TSOfwd=yes PC=yes PCg=yes Causal=yes CausalCoh=yes PRAM=yes Slow=yes Local=yes Cache=yes RCsc=yes RCpc=yes RCg=yes WO=yes HC=yes
+
+name: fig2-wrc
+origin: paper fig. 2 (PC execution that is not TSO; write-to-read causality)
+p: w(x)1
+q: r(x)1 w(y)1
+r: r(y)1 r(x)0
+expect: SC=no TSO=no PC=yes PCg=yes Causal=no PRAM=yes Slow=yes Local=yes Cache=yes
+
+name: fig3-pram
+origin: paper fig. 3 (PRAM history that is not TSO)
+p: w(x)1 r(x)1 r(x)2
+q: w(x)2 r(x)2 r(x)1
+expect: SC=no TSO=no TSOfwd=no PC=no PCg=no Causal=yes CausalCoh=no PRAM=yes Slow=yes Local=yes Cache=no
+
+name: fig4-causal
+origin: paper fig. 4 (causal history that is not TSO)
+p: w(x)1 w(y)1
+q: r(y)1 w(z)1 r(x)2
+r: w(x)2 r(x)1 r(z)1 r(y)1
+expect: SC=no TSO=no PC=no PCg=no Causal=yes CausalCoh=no PRAM=yes Cache=yes
+
+name: bakery2-rcpc
+origin: paper sec. 5 (Bakery n=2 violating execution; labeled sync ops, ordinary critical-section writes; choosing encoded 1=true 2=false)
+p: w*(c0)1 r*(n1)0 w*(n0)1 w*(c0)2 r*(c1)0 r*(n1)0 w(d)1
+q: w*(c1)1 r*(n0)0 w*(n1)1 w*(c1)2 r*(c0)0 r*(n0)0 w(d)2
+expect: RCsc=no RCpc=yes RCg=yes WO=no HC=no
+
+# ---- Classic shapes ------------------------------------------------------
+
+name: mp
+origin: classic (message passing, stale read)
+p: w(x)1 w(y)1
+q: r(y)1 r(x)0
+expect: SC=no TSO=no TSOfwd=no PC=no PCg=no Causal=no CausalCoh=no PRAM=no Slow=yes Local=yes Cache=yes RCsc=yes RCpc=yes RCg=yes WO=yes HC=yes
+
+name: mp-rel-acq
+origin: classic (message passing with release/acquire labeling; d published)
+p: w(d)1 w*(f)1
+q: r*(f)1 r(d)1
+expect: RCsc=yes RCpc=yes RCg=yes WO=yes HC=yes SC=yes
+
+name: mp-rel-acq-broken
+origin: classic (release/acquire message passing must not read stale data)
+p: w(d)1 w*(f)1
+q: r*(f)1 r(d)0
+expect: RCsc=no RCpc=no RCg=no WO=no HC=no SC=no
+
+name: sb-labeled
+origin: classic (store buffering on sync variables; separates RCsc from RCpc)
+p: w*(x)1 r*(y)0
+q: w*(y)1 r*(x)0
+expect: RCsc=no RCpc=yes RCg=yes WO=no HC=no
+
+name: sb-fwd
+origin: classic (store buffering with store-to-load forwarding; see EXPERIMENTS.md TSO forwarding note)
+p: w(x)1 r(x)1 r(y)0
+q: w(y)1 r(y)1 r(x)0
+expect: SC=no TSO=no TSOfwd=yes PC=yes PCg=yes PRAM=yes
+
+name: iriw
+origin: classic (independent reads of independent writes)
+p: w(x)1
+q: w(y)1
+r: r(x)1 r(y)0
+s: r(y)1 r(x)0
+expect: SC=no TSO=no TSOfwd=no PC=yes PCg=yes Causal=yes CausalCoh=yes PRAM=yes Slow=yes Local=yes Cache=yes
+
+name: corr
+origin: classic (coherence of read-read, single writer)
+p: w(x)1 w(x)2
+q: r(x)2 r(x)1
+expect: SC=no TSO=no TSOfwd=no PC=no PCg=no Causal=no CausalCoh=no PRAM=no Slow=no Local=yes Cache=no RCsc=no RCpc=no RCg=no WO=no HC=yes
+
+name: corw2
+origin: classic (coherence with two writers, opposite read orders)
+p: w(x)1
+q: w(x)2
+r: r(x)1 r(x)2
+s: r(x)2 r(x)1
+expect: SC=no TSO=no PC=no PCg=no Causal=yes CausalCoh=no PRAM=yes Slow=yes Local=yes Cache=no WO=no HC=yes
+
+name: lb
+origin: classic (load buffering; note causal memory FORBIDS it — the wb edges close a causal cycle)
+p: r(y)1 w(x)1
+q: r(x)1 w(y)1
+expect: SC=no TSO=no TSOfwd=no PC=yes PCg=yes Causal=no CausalCoh=no PRAM=yes Slow=yes Local=yes Cache=yes
+
+name: pc-vs-pcg
+origin: Ahamad et al. 92 (DASH PC forbids via rwb; Goodman PC admits)
+p: w(x)1 w(y)1
+q: r(y)1 w(z)1
+r: r(z)1 r(x)0
+expect: SC=no PC=no PCg=yes Causal=no PRAM=yes
+
+name: pcg-vs-pc
+origin: Ahamad et al. 92, other direction (found by exhaustive lattice search): DASH PC admits via ppo write->read bypass; Goodman PC forbids via full program order
+p: w(x)1 w(x)2 r(y)0
+q: w(y)1 w(x)3 r(x)1
+expect: SC=no TSO=yes TSOfwd=yes PC=yes PCg=no Causal=yes CausalCoh=no PRAM=yes Slow=yes Local=yes Cache=yes
+
+name: tas-mutex
+origin: classic (test-and-set mutual exclusion violation; rmw joins every view, so even the weakest models forbid it)
+p: rmw(l)0:1 w(d)1
+q: rmw(l)0:2 w(d)2
+expect: SC=no TSO=no TSOfwd=no PC=no PCg=no Causal=no CausalCoh=no PRAM=no Slow=no Local=no Cache=no RCsc=no RCpc=no
+
+name: tas-handoff
+origin: classic (test-and-set handoff; second rmw observes the first)
+p: rmw(l)0:1
+q: rmw(l)1:2
+expect: SC=yes TSO=yes PC=yes PCg=yes Causal=yes PRAM=yes Slow=yes Local=yes Cache=yes
+
+name: wb-chain
+origin: classic (three-hop causal chain; PRAM admits, causal forbids)
+p: w(x)1
+q: r(x)1 w(y)1
+r: r(y)1 w(z)1
+s: r(z)1 r(x)0
+expect: SC=no Causal=no PRAM=yes Slow=yes Local=yes
+
+name: wo-vs-rcsc
+origin: separates weak ordering from release consistency (an ordinary write AFTER a release is fenced under WO but free under RC)
+p: w*(f)1 w(d)1
+q: r(d)1 r*(f)0
+expect: SC=no WO=no HC=no RCsc=yes RCpc=yes
+
+name: wrc-rel-acq-stale
+origin: RC non-cumulativity: a release chain does not publish transitively under RC_pc (labeled PC lacks the rwb edge across processors), but does under RC_sc / WO / HC
+p: w(d)1 w*(f)1
+q: r*(f)1 w*(g)1
+r: r*(g)1 r(d)0
+expect: SC=no WO=no HC=no RCsc=no RCpc=yes RCg=yes
+
+name: wrc-rel-acq-fresh
+origin: the transitive-publication success case (companion to wrc-rel-acq-stale)
+p: w(d)1 w*(f)1
+q: r*(f)1 w*(g)1
+r: r*(g)1 r(d)1
+expect: SC=yes WO=yes HC=yes RCsc=yes RCpc=yes RCg=yes
+
+name: iriw-labeled
+origin: IRIW on sync variables: SC labeled ops forbid it, PC labeled ops admit it
+p: w*(x)1
+q: w*(y)1
+r: r*(x)1 r*(y)0
+s: r*(y)1 r*(x)0
+expect: SC=no WO=no HC=no RCsc=no RCpc=yes RCg=yes
+
+name: sb-rmw-fence
+origin: read-modify-write as a fence: the rmw joins every view and restores ordering across the store-buffer gap for every pipelined model (but NOT for slow memory, whose pipelines are per-location)
+p: w(x)1 rmw(s)0:1 r(y)0
+q: w(y)1 rmw(s)1:2 r(x)0
+expect: SC=no TSO=no TSOfwd=no PC=no PCg=no Causal=no PRAM=no Slow=yes Cache=yes Local=yes
+
+name: corw1-impossible
+origin: a read observing its own processor's LATER write; forbidden by every model (legality vs program order)
+p: r(x)1 w(x)1
+expect: SC=no TSO=no TSOfwd=no PC=no PCg=no WO=no HC=no RCsc=no RCpc=no RCg=no CausalCoh=no Causal=no Cache=no PRAM=no Slow=no Local=no
+
+name: coww-ra
+origin: classic (same-location write-write then read chain keeps order everywhere coherent)
+p: w(x)1 w(x)2
+q: r(x)1 r(x)2
+expect: SC=yes TSO=yes PC=yes PCg=yes Causal=yes PRAM=yes Slow=yes Local=yes Cache=yes
+)LITMUS";
+
+}  // namespace
+
+const std::vector<LitmusTest>& builtin_suite() {
+  static const std::vector<LitmusTest> suite = parse_suite(kSuiteText);
+  return suite;
+}
+
+const LitmusTest& find_test(std::string_view name) {
+  for (const auto& t : builtin_suite()) {
+    if (t.name == name) return t;
+  }
+  throw InvalidInput("unknown litmus test: '" + std::string(name) + "'");
+}
+
+}  // namespace ssm::litmus

@@ -1,0 +1,24 @@
+// The built-in litmus suite: every example history in the paper (Figures
+// 1–4 and the §5 Bakery subhistories) plus the classic litmus shapes that
+// exercise each pairwise model distinction (MP, IRIW, CoRR, SB+forwarding,
+// release/acquire message passing, test-and-set mutual exclusion, …).
+//
+// Expectations are recorded only where the paper states them or where they
+// follow directly from a definition; the full classification matrix over
+// all models is computed (not asserted) by the litmus_explorer example and
+// the figure benches, and recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <vector>
+
+#include "litmus/test.hpp"
+
+namespace ssm::litmus {
+
+/// All built-in tests.
+[[nodiscard]] const std::vector<LitmusTest>& builtin_suite();
+
+/// Lookup by name; throws InvalidInput when absent.
+[[nodiscard]] const LitmusTest& find_test(std::string_view name);
+
+}  // namespace ssm::litmus

@@ -1,0 +1,4 @@
+#include "litmus/test.hpp"
+
+// Currently header-only semantics; translation unit kept so the target has
+// a stable home for future out-of-line members.

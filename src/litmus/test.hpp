@@ -1,0 +1,33 @@
+// LitmusTest: a named history plus per-model expectations.
+//
+// Expectations use three-valued logic: expected-allowed, expected-forbidden,
+// or unspecified (models the test doesn't speak about).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "history/system_history.hpp"
+
+namespace ssm::litmus {
+
+using history::SystemHistory;
+
+struct LitmusTest {
+  std::string name;
+  /// Where the test comes from: "paper fig. 1", "classic", etc.
+  std::string origin;
+  SystemHistory hist;
+  /// model name -> expected admission.
+  std::map<std::string, bool> expectations;
+
+  [[nodiscard]] std::optional<bool> expectation(
+      std::string_view model) const {
+    auto it = expectations.find(std::string(model));
+    if (it == expectations.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+}  // namespace ssm::litmus

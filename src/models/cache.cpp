@@ -1,0 +1,67 @@
+// Cache consistency (coherence only) [Goodman 89]: sequential consistency
+// enforced per location, with no cross-location requirement.  The paper's
+// §3.3 shows the mutual-consistency parameter "all writes to a given
+// location appear in the same order in all views" is equivalent to
+// coherence; this model is exactly that parameter with no ordering
+// requirement beyond per-location program order.
+//
+// Witness semantics: one legal linearization per location (of all
+// operations on that location, respecting program order).  Witness views
+// are stored per *location* in Verdict::views — verify_witness knows this.
+#include "checker/scope.hpp"
+#include "models/models.hpp"
+#include "models/per_processor.hpp"
+#include "order/orders.hpp"
+
+namespace ssm::models {
+namespace {
+
+class CacheModel final : public Model {
+ public:
+  std::string_view name() const noexcept override { return "Cache"; }
+  std::string_view description() const noexcept override {
+    return "cache consistency [Goodman 89]: per-location sequential "
+           "consistency (coherence only)";
+  }
+
+  Verdict check(const SystemHistory& h) const override {
+    const auto po = order::program_order(h);
+    std::vector<checker::View> per_loc;
+    per_loc.reserve(h.num_locations());
+    for (LocId loc = 0; loc < h.num_locations(); ++loc) {
+      const auto universe = checker::ops_on(h, loc);
+      auto view = checker::find_legal_view(h, universe, po);
+      if (!view) {
+        return Verdict::no("location " + h.symbols().location_name(loc) +
+                           " has no legal per-location order");
+      }
+      per_loc.push_back(std::move(*view));
+    }
+    Verdict v = Verdict::yes();
+    v.views = std::move(per_loc);
+    v.note = "views are per-location serializations";
+    return v;
+  }
+
+  std::optional<std::string> verify_witness(const SystemHistory& h,
+                                            const Verdict& v) const override {
+    if (!v.allowed) return std::nullopt;
+    if (v.views.size() != h.num_locations()) {
+      return "cache witness must have one view per location";
+    }
+    const auto po = order::program_order(h);
+    for (LocId loc = 0; loc < h.num_locations(); ++loc) {
+      const auto universe = checker::ops_on(h, loc);
+      if (auto err = checker::verify_view(h, universe, po, v.views[loc])) {
+        return "location " + std::to_string(loc) + ": " + *err;
+      }
+    }
+    return std::nullopt;
+  }
+};
+
+}  // namespace
+
+ModelPtr make_cache() { return std::make_unique<CacheModel>(); }
+
+}  // namespace ssm::models

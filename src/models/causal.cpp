@@ -1,0 +1,44 @@
+// Causal memory, paper §3.5: like PRAM but views must preserve the causal
+// order co = (po ∪ wb)+ — Lamport's happens-before adapted to shared memory.
+#include "checker/scope.hpp"
+#include "models/models.hpp"
+#include "models/per_processor.hpp"
+#include "order/orders.hpp"
+
+namespace ssm::models {
+namespace {
+
+class CausalModel final : public Model {
+ public:
+  std::string_view name() const noexcept override { return "Causal"; }
+  std::string_view description() const noexcept override {
+    return "causal memory [Ahamad et al. 91]: per-processor views preserve "
+           "the causal (happens-before) order";
+  }
+
+  Verdict check(const SystemHistory& h) const override {
+    const auto co = order::causal_order(h);
+    if (!co.is_acyclic()) {
+      return Verdict::no("causal order is cyclic");
+    }
+    Verdict v;
+    solve_per_processor(h, [&](ProcId p) {
+      return ViewProblem{checker::own_plus_writes(h, p), co};
+    }, v);
+    return v;
+  }
+
+  std::optional<std::string> verify_witness(const SystemHistory& h,
+                                            const Verdict& v) const override {
+    const auto co = order::causal_order(h);
+    return verify_per_processor(h, [&](ProcId p) {
+      return ViewProblem{checker::own_plus_writes(h, p), co};
+    }, v);
+  }
+};
+
+}  // namespace
+
+ModelPtr make_causal() { return std::make_unique<CausalModel>(); }
+
+}  // namespace ssm::models

@@ -1,0 +1,108 @@
+// Causal + coherent memory: the new memories the paper sketches in §7 —
+// "a mutual consistency condition that requires coherence can be added to
+// causal memory, or perhaps such coherence can only be required for
+// labeled operations".  Both suggestions implemented:
+//   * CausalCoh: δp = w; causal order preserved; per-location write order
+//     shared by all views (coherence over ALL writes);
+//   * CausalCohL: same, but the shared per-location order covers only the
+//     LABELED writes — ordinary writes stay merely causal.
+#include "checker/scope.hpp"
+#include "models/labeling.hpp"
+#include "models/models.hpp"
+#include "models/per_processor.hpp"
+#include "order/coherence.hpp"
+#include "order/orders.hpp"
+
+namespace ssm::models {
+namespace {
+
+class CausalCoherentModel final : public Model {
+ public:
+  explicit CausalCoherentModel(bool labeled_only)
+      : labeled_only_(labeled_only) {}
+
+  std::string_view name() const noexcept override {
+    return labeled_only_ ? "CausalCohL" : "CausalCoh";
+  }
+  std::string_view description() const noexcept override {
+    return labeled_only_
+               ? "causal memory + coherence on labeled writes only (the "
+                 "second new memory of paper §7)"
+               : "causal memory + coherence (the new memory of paper §7)";
+  }
+
+  Verdict check(const SystemHistory& h) const override {
+    if (labeled_only_) {
+      if (auto err = check_properly_labeled(h)) return Verdict::no(*err);
+    }
+    const auto co = order::causal_order(h);
+    if (!co.is_acyclic()) return Verdict::no("causal order is cyclic");
+    Verdict result = Verdict::no();
+    // For the labeled-only variant, restrict the enumerated per-location
+    // sequences to labeled writes by erasing ordinary writes from each
+    // candidate's chain contribution.
+    order::for_each_coherence_order(
+        h, co, [&](const order::CoherenceOrder& coh) {
+          rel::Relation chain = coherence_chain(h, coh);
+          rel::Relation constraints = co | chain;
+          if (!constraints.is_acyclic()) return true;
+          Verdict attempt;
+          if (solve_per_processor(h, [&](ProcId p) {
+                return ViewProblem{checker::own_plus_writes(h, p),
+                                   constraints};
+              }, attempt)) {
+            result = std::move(attempt);
+            result.coherence = coh;
+            return false;
+          }
+          return true;
+        });
+    return result;
+  }
+
+  std::optional<std::string> verify_witness(const SystemHistory& h,
+                                            const Verdict& v) const override {
+    if (!v.allowed) return std::nullopt;
+    if (!v.coherence) {
+      return std::string(name()) + " witness lacks a coherence order";
+    }
+    rel::Relation constraints =
+        order::causal_order(h) | coherence_chain(h, *v.coherence);
+    return verify_per_processor(h, [&](ProcId p) {
+      return ViewProblem{checker::own_plus_writes(h, p), constraints};
+    }, v);
+  }
+
+ private:
+  /// The chain edges every view must embed: all writes (CausalCoh), or
+  /// only the labeled writes of each location's sequence (CausalCohL).
+  [[nodiscard]] rel::Relation coherence_chain(
+      const SystemHistory& h, const order::CoherenceOrder& coh) const {
+    if (!labeled_only_) return coh.as_relation();
+    rel::Relation r(h.size());
+    for (LocId loc = 0; loc < h.num_locations(); ++loc) {
+      const auto& seq = coh.writes(loc);
+      for (std::size_t i = 0; i < seq.size(); ++i) {
+        if (!h.op(seq[i]).is_labeled()) continue;
+        for (std::size_t j = i + 1; j < seq.size(); ++j) {
+          if (h.op(seq[j]).is_labeled()) r.add(seq[i], seq[j]);
+        }
+      }
+    }
+    return r;
+  }
+
+  bool labeled_only_;
+};
+
+}  // namespace
+
+ModelPtr make_causal_coherent() {
+  return std::make_unique<CausalCoherentModel>(false);
+}
+
+ModelPtr make_causal_coherent_labeled() {
+  return std::make_unique<CausalCoherentModel>(true);
+}
+
+}  // namespace ssm::models

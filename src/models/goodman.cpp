@@ -1,0 +1,61 @@
+// Goodman's processor consistency [Goodman 89], formalized in Ahamad et
+// al., "The power of processor consistency" (the paper's reference [2]):
+// PRAM plus coherence.  δp = w; per-location write order shared by all
+// views; full program order preserved.
+//
+// The paper notes (§3.3, end) that this definition and the DASH definition
+// "were distinct and incomparable"; the lattice bench verifies that with
+// explicit witnesses in both directions.
+#include "checker/scope.hpp"
+#include "models/models.hpp"
+#include "models/per_processor.hpp"
+#include "order/coherence.hpp"
+#include "order/orders.hpp"
+
+namespace ssm::models {
+namespace {
+
+class GoodmanModel final : public Model {
+ public:
+  std::string_view name() const noexcept override { return "PCg"; }
+  std::string_view description() const noexcept override {
+    return "Goodman's processor consistency [Goodman 89]: PRAM + coherence";
+  }
+
+  Verdict check(const SystemHistory& h) const override {
+    const auto po = order::program_order(h);
+    Verdict result = Verdict::no();
+    order::for_each_coherence_order(
+        h, po, [&](const order::CoherenceOrder& coh) {
+          rel::Relation constraints = po | coh.as_relation();
+          Verdict attempt;
+          if (solve_per_processor(h, [&](ProcId p) {
+                return ViewProblem{checker::own_plus_writes(h, p),
+                                   constraints};
+              }, attempt)) {
+            result = std::move(attempt);
+            result.coherence = coh;
+            return false;
+          }
+          return true;
+        });
+    return result;
+  }
+
+  std::optional<std::string> verify_witness(const SystemHistory& h,
+                                            const Verdict& v) const override {
+    if (!v.allowed) return std::nullopt;
+    if (!v.coherence) return "PCg witness lacks a coherence order";
+    rel::Relation constraints =
+        order::program_order(h) | v.coherence->as_relation();
+    return verify_per_processor(h, [&](ProcId p) {
+      return ViewProblem{checker::own_plus_writes(h, p), constraints};
+    }, v);
+  }
+};
+
+}  // namespace
+
+ModelPtr make_goodman() { return std::make_unique<GoodmanModel>(); }
+
+}  // namespace ssm::models

@@ -1,0 +1,103 @@
+// Hybrid consistency [Attiya & Friedman 92], the paper's reference [4].
+//
+// Operations are weak (ordinary) or strong (labeled).  In the framework:
+//   * δp = w; no coherence requirement on weak operations;
+//   * strong operations are sequentially consistent — one legal global
+//     order T exists and every view agrees with it;
+//   * any same-processor program-order pair with at least one strong
+//     endpoint is preserved in every view containing both (this is the
+//     "hybrid" condition tying weak operations to the strong skeleton);
+//   * weak-weak pairs carry no ordering obligation in OTHER processors'
+//     views (no coherence either), which is what makes hybrid consistency
+//     cheaper than weak ordering; the issuing processor still observes its
+//     own operations in program order (otherwise a read could see its own
+//     future write — litmus `corw1-impossible`).
+#include "checker/scope.hpp"
+#include "models/labeling.hpp"
+#include "models/models.hpp"
+#include "models/per_processor.hpp"
+#include "order/orders.hpp"
+
+namespace ssm::models {
+namespace {
+
+/// Same-processor po pairs with >= 1 strong endpoint.
+rel::Relation hybrid_edges(const SystemHistory& h) {
+  rel::Relation r(h.size());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    const auto ops = h.processor_ops(p);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        if (h.op(ops[i]).is_labeled() || h.op(ops[j]).is_labeled()) {
+          r.add(ops[i], ops[j]);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+class HybridModel final : public Model {
+ public:
+  std::string_view name() const noexcept override { return "HC"; }
+  std::string_view description() const noexcept override {
+    return "hybrid consistency [Attiya-Friedman 92]: SC strong operations; "
+           "weak operations ordered only against strong ones";
+  }
+
+  Verdict check(const SystemHistory& h) const override {
+    if (auto err = check_properly_labeled(h)) return Verdict::no(*err);
+    const auto po = order::program_order(h);
+    const auto hybrid = hybrid_edges(h);
+    const auto labeled = checker::labeled_ops(h);
+    std::vector<rel::Relation> own_po;
+    own_po.reserve(h.num_processors());
+    for (ProcId p = 0; p < h.num_processors(); ++p) {
+      rel::DynBitset own(h.size());
+      for (OpIndex i : h.processor_ops(p)) own.set(i);
+      own_po.push_back(po.restricted_to(own));
+    }
+    Verdict result = Verdict::no();
+    checker::for_each_legal_view(
+        h, labeled, po, [&](const checker::View& t) {
+          rel::Relation shared = hybrid | chain_relation(h.size(), t);
+          Verdict attempt;
+          if (solve_per_processor(h, [&](ProcId p) {
+                return ViewProblem{checker::own_plus_writes(h, p),
+                                   shared | own_po[p]};
+              }, attempt)) {
+            result = std::move(attempt);
+            result.labeled_order = t;
+            return false;
+          }
+          return true;
+        });
+    return result;
+  }
+
+  std::optional<std::string> verify_witness(const SystemHistory& h,
+                                            const Verdict& v) const override {
+    if (!v.allowed) return std::nullopt;
+    if (!v.labeled_order) return "HC witness lacks a strong-op order";
+    const auto labeled = checker::labeled_ops(h);
+    if (auto err = checker::verify_view(h, labeled, order::program_order(h),
+                                        *v.labeled_order)) {
+      return "strong order: " + *err;
+    }
+    rel::Relation constraints =
+        hybrid_edges(h) | chain_relation(h.size(), *v.labeled_order);
+    const auto po = order::program_order(h);
+    return verify_per_processor(h, [&](ProcId p) {
+      rel::DynBitset own(h.size());
+      for (OpIndex i : h.processor_ops(p)) own.set(i);
+      return ViewProblem{checker::own_plus_writes(h, p),
+                         constraints | po.restricted_to(own)};
+    }, v);
+  }
+};
+
+}  // namespace
+
+ModelPtr make_hybrid() { return std::make_unique<HybridModel>(); }
+
+}  // namespace ssm::models

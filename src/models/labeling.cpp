@@ -1,0 +1,46 @@
+#include "models/labeling.hpp"
+
+namespace ssm::models {
+
+std::optional<std::string> check_properly_labeled(
+    const history::SystemHistory& h) {
+  for (const auto& op : h.operations()) {
+    if (!op.is_labeled() || !op.is_read()) continue;
+    const OpIndex w = h.writer_of(op.index);
+    if (w != kNoOp && !h.op(w).is_labeled()) {
+      return "labeled read " + history::to_string(op) +
+             " observes an ordinary write; history is improperly labeled";
+    }
+  }
+  return std::nullopt;
+}
+
+rel::Relation bracket_edges(const history::SystemHistory& h) {
+  rel::Relation r(h.size());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    const auto ops = h.processor_ops(p);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const auto& labeled = h.op(ops[i]);
+      if (!labeled.is_labeled()) continue;
+      if (labeled.is_acquire()) {
+        const OpIndex acquired_write = h.writer_of(ops[i]);
+        if (acquired_write == kNoOp) continue;  // read of the initial value
+        for (std::size_t j = i + 1; j < ops.size(); ++j) {
+          if (h.op(ops[j]).label == OpLabel::Ordinary) {
+            r.add(acquired_write, ops[j]);
+          }
+        }
+      }
+      if (labeled.is_release()) {
+        for (std::size_t j = 0; j < i; ++j) {
+          if (h.op(ops[j]).label == OpLabel::Ordinary) {
+            r.add(ops[j], ops[i]);
+          }
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace ssm::models

@@ -1,0 +1,30 @@
+// Shared helpers for models with labeled (synchronization) operations:
+// release consistency, weak ordering, hybrid consistency.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "history/system_history.hpp"
+#include "relation/relation.hpp"
+
+namespace ssm::models {
+
+/// Rejects histories where a labeled read observes an ordinary write
+/// (synchronization variables must be accessed only by labeled operations
+/// for the SC/PC condition on the labeled subhistory to be meaningful).
+/// Returns an explanation, or nullopt when properly labeled.
+[[nodiscard]] std::optional<std::string> check_properly_labeled(
+    const history::SystemHistory& h);
+
+/// The bracket conditions of paper §3.4 as constraint edges:
+///  (1) for an acquire o_r of p reading write o_w, every later ordinary
+///      operation o of p gets the edge o_w -> o;
+///  (2) for a release o_w of p, every earlier ordinary operation o of p
+///      gets the edge o -> o_w (the paper's erratum corrected; see
+///      rc.cpp).
+/// Weak ordering reuses these: its "globally performed" synchronization
+/// reads induce exactly the same publication edges.
+[[nodiscard]] rel::Relation bracket_edges(const history::SystemHistory& h);
+
+}  // namespace ssm::models

@@ -1,0 +1,55 @@
+// Local consistency (extension): the weakest memory we implement.  Each
+// processor's view need only respect its *own* program order; other
+// processors' writes may be observed in any order whatsoever.  Useful as a
+// lattice floor: everything the paper discusses is strictly stronger.
+#include "checker/scope.hpp"
+#include "models/models.hpp"
+#include "models/per_processor.hpp"
+#include "order/orders.hpp"
+
+namespace ssm::models {
+namespace {
+
+/// Program order restricted to each processor's own operations only (an
+/// edge o1 -> o2 survives; edges among other processors' writes do not
+/// constrain p's view).
+rel::Relation own_po_only(const SystemHistory& h, ProcId p) {
+  rel::Relation r(h.size());
+  const auto ops = h.processor_ops(p);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (std::size_t j = i + 1; j < ops.size(); ++j) {
+      r.add(ops[i], ops[j]);
+    }
+  }
+  return r;
+}
+
+class LocalModel final : public Model {
+ public:
+  std::string_view name() const noexcept override { return "Local"; }
+  std::string_view description() const noexcept override {
+    return "local consistency: only a processor's own program order "
+           "constrains its view (extension; weaker than PRAM)";
+  }
+
+  Verdict check(const SystemHistory& h) const override {
+    Verdict v;
+    solve_per_processor(h, [&](ProcId p) {
+      return ViewProblem{checker::own_plus_writes(h, p), own_po_only(h, p)};
+    }, v);
+    return v;
+  }
+
+  std::optional<std::string> verify_witness(const SystemHistory& h,
+                                            const Verdict& v) const override {
+    return verify_per_processor(h, [&](ProcId p) {
+      return ViewProblem{checker::own_plus_writes(h, p), own_po_only(h, p)};
+    }, v);
+  }
+};
+
+}  // namespace
+
+ModelPtr make_local() { return std::make_unique<LocalModel>(); }
+
+}  // namespace ssm::models

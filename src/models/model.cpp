@@ -1,0 +1,10 @@
+#include "models/model.hpp"
+
+namespace ssm::models {
+
+std::optional<std::string> Model::verify_witness(const SystemHistory&,
+                                                 const Verdict&) const {
+  return std::nullopt;
+}
+
+}  // namespace ssm::models

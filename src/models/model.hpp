@@ -1,0 +1,46 @@
+// Model: the public interface of a memory-consistency model checker.
+//
+// A model decides membership of a system execution history in the set of
+// histories it admits (the paper's characterization of a memory), and
+// produces machine-checkable witness views on admission.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "checker/verdict.hpp"
+#include "history/system_history.hpp"
+
+namespace ssm::models {
+
+using checker::Verdict;
+using history::SystemHistory;
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Short identifier, e.g. "SC", "TSO", "RCpc".
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// One-line description citing the paper section the definition follows.
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+
+  /// Decides whether `h` is admitted; `h` must pass
+  /// SystemHistory::validate() (checked by callers that construct histories
+  /// via HistoryBuilder / the litmus parser).
+  [[nodiscard]] virtual Verdict check(const SystemHistory& h) const = 0;
+
+  /// Machine-checks a positive verdict produced by this model's `check`
+  /// against the model's own requirements (used by property tests; a
+  /// non-nullopt return indicates a checker bug).  Negative verdicts
+  /// trivially pass.
+  [[nodiscard]] virtual std::optional<std::string> verify_witness(
+      const SystemHistory& h, const Verdict& v) const;
+};
+
+using ModelPtr = std::unique_ptr<Model>;
+
+}  // namespace ssm::models

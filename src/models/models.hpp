@@ -1,0 +1,101 @@
+// Factories for every memory model in the library.
+//
+// Paper models (§3): SC, TSO, PC (DASH / Gharachorloo et al.), PRAM,
+// causal memory, RC_sc, RC_pc.
+// Related models used by the paper's comparisons: Goodman's processor
+// consistency [Goodman 89, Ahamad et al. 92], cache (coherence-only)
+// consistency.
+// Extensions (paper §7 "identifying new memories" and the surrounding
+// literature): causal+coherent memory, slow memory, local consistency, and
+// a store-forwarding TSO variant (see tso.cpp for why it differs from the
+// paper's characterization).
+#pragma once
+
+#include "models/model.hpp"
+
+namespace ssm::models {
+
+/// Sequential consistency [Lamport 79]: one legal order of all operations,
+/// shared by every processor, extending program order.
+[[nodiscard]] ModelPtr make_sc();
+
+/// Total store ordering (paper §3.2, after Sindhu et al.): δp = w; all
+/// views agree on the order of all writes; ppo preserved.
+[[nodiscard]] ModelPtr make_tso();
+
+/// TSO with store-to-load forwarding treated as in the SPARC/x86 axiomatic
+/// models: the same-location write→read program edge of a read satisfied
+/// from the local buffer does not globally order the write before later
+/// reads.  Admits `w(x)1 r(x)1 r(y)0 ∥ w(y)1 r(y)1 r(x)0`, which the
+/// paper's characterization forbids — an intentional, documented divergence
+/// (EXPERIMENTS.md "TSO forwarding note").
+[[nodiscard]] ModelPtr make_tso_fwd();
+
+/// Axiomatic TSO after Sindhu et al. (the paper's ref [17], compared in
+/// §6): a single memory order over all operations (po preserved except
+/// store→load) with the Value axiom supplying loads, including
+/// store-buffer forwarding.  Decided by exhaustive memory-order
+/// enumeration; litmus scale only.
+[[nodiscard]] ModelPtr make_tso_axiomatic();
+
+/// Processor consistency as implemented in DASH (paper §3.3): δp = w;
+/// coherence; semi-causality order sem = (ppo ∪ rwb ∪ rrb)+ preserved.
+[[nodiscard]] ModelPtr make_pc();
+
+/// Goodman's processor consistency (= PRAM + coherence): δp = w; coherence;
+/// full program order preserved.  Incomparable with DASH PC [Ahamad 92].
+[[nodiscard]] ModelPtr make_goodman();
+
+/// PRAM / pipelined RAM [Lipton-Sandberg] (paper §3.5): δp = w; no mutual
+/// consistency; program order preserved.
+[[nodiscard]] ModelPtr make_pram();
+
+/// Causal memory [Ahamad et al. 91] (paper §3.5): δp = w; no mutual
+/// consistency; causal order (po ∪ wb)+ preserved.
+[[nodiscard]] ModelPtr make_causal();
+
+/// Cache consistency (coherence only) [Goodman 89]: per-location sequential
+/// consistency; no cross-location requirement.
+[[nodiscard]] ModelPtr make_cache();
+
+/// Slow memory [Hutto-Ahamad] (extension): δp = w; own program order plus
+/// per-(writer, location) order of other processors' writes.
+[[nodiscard]] ModelPtr make_slow();
+
+/// Local consistency (extension; weakest useful memory): δp = w; only a
+/// processor's own program order constrains its view.
+[[nodiscard]] ModelPtr make_local();
+
+/// Causal + coherence (the new memory sketched in the paper's §7): causal
+/// memory with an added coherence mutual-consistency requirement.
+[[nodiscard]] ModelPtr make_causal_coherent();
+
+/// The paper's second §7 suggestion: causal memory where the coherence
+/// requirement covers only the labeled writes.
+[[nodiscard]] ModelPtr make_causal_coherent_labeled();
+
+/// Release consistency with sequentially consistent labeled operations
+/// (paper §3.4, RC_sc).
+[[nodiscard]] ModelPtr make_rc_sc();
+
+/// Release consistency with processor consistent labeled operations
+/// (paper §3.4, RC_pc).
+[[nodiscard]] ModelPtr make_rc_pc();
+
+/// Weak ordering [Dubois et al. 88] (the paper's reference [1]): SC
+/// synchronization operations that fence ordinary operations in both
+/// directions, plus coherence.  Strictly stronger than RC_sc.
+[[nodiscard]] ModelPtr make_weak_ordering();
+
+/// Hybrid consistency [Attiya-Friedman 92] (the paper's reference [4]):
+/// SC strong operations; weak operations ordered only against strong ones
+/// (no coherence for weak operations).
+[[nodiscard]] ModelPtr make_hybrid();
+
+/// Release consistency with Goodman-PC (PRAM + coherence) labeled
+/// operations (extension): the declarative counterpart of the operational
+/// rc-pc machine, whose labeled fabric provides per-sender FIFO +
+/// per-location sequencing rather than DASH semi-causality.
+[[nodiscard]] ModelPtr make_rc_goodman();
+
+}  // namespace ssm::models

@@ -1,0 +1,135 @@
+#include "models/operational.hpp"
+
+#include "history/print.hpp"
+#include "simulate/causal_memory.hpp"
+#include "simulate/coherent_memory.hpp"
+#include "simulate/explore.hpp"
+#include "simulate/pram_memory.hpp"
+#include "simulate/rc_memory.hpp"
+#include "simulate/sc_memory.hpp"
+#include "simulate/tso_memory.hpp"
+
+namespace ssm::models {
+namespace {
+
+sim::ExploreFactory factory_for(const std::string& machine) {
+  if (machine == "sc") {
+    return [](std::size_t p, std::size_t l) {
+      return sim::make_sc_machine(p, l);
+    };
+  }
+  if (machine == "tso") {
+    return [](std::size_t p, std::size_t l) {
+      return sim::make_tso_machine(p, l);
+    };
+  }
+  if (machine == "pram") {
+    return [](std::size_t p, std::size_t l) {
+      return sim::make_pram_machine(p, l);
+    };
+  }
+  if (machine == "causal") {
+    return [](std::size_t p, std::size_t l) {
+      return sim::make_causal_machine(p, l);
+    };
+  }
+  if (machine == "coherent") {
+    return [](std::size_t p, std::size_t l) {
+      return sim::make_coherent_machine(p, l);
+    };
+  }
+  if (machine == "rc-sc") {
+    return [](std::size_t p, std::size_t l) {
+      return sim::make_rc_sc_machine(p, l);
+    };
+  }
+  if (machine == "rc-pc") {
+    return [](std::size_t p, std::size_t l) {
+      return sim::make_rc_pc_machine(p, l);
+    };
+  }
+  throw InvalidInput("unknown machine for operational model: '" + machine +
+                     "'");
+}
+
+/// The program behind a history: per-processor op sequences with read
+/// results erased (the machine decides what reads return).
+sim::Plan plan_of(const SystemHistory& h) {
+  sim::Plan plan(h.num_processors());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    for (OpIndex i : h.processor_ops(p)) {
+      const auto& op = h.op(i);
+      sim::PlannedOp planned;
+      planned.loc = op.loc;
+      planned.label = op.label;
+      if (op.kind == OpKind::ReadModifyWrite) {
+        planned.is_write = true;
+        planned.is_rmw = true;
+        planned.value = op.value;
+      } else if (op.is_write()) {
+        planned.is_write = true;
+        planned.value = op.value;
+      }
+      plan[p].push_back(planned);
+    }
+  }
+  return plan;
+}
+
+class OperationalModel final : public Model {
+ public:
+  OperationalModel(std::string machine, std::uint64_t max_schedules)
+      : machine_(std::move(machine)),
+        name_("op:" + machine_),
+        description_("operational model: exhaustive exploration of the " +
+                     machine_ + " machine"),
+        factory_(factory_for(machine_)),
+        max_schedules_(max_schedules) {}
+
+  std::string_view name() const noexcept override { return name_; }
+  std::string_view description() const noexcept override {
+    return description_;
+  }
+
+  Verdict check(const SystemHistory& h) const override {
+    // The explorer's traces use canonical processor/location names, so
+    // render the target through a canonical symbol table too.
+    const std::string target =
+        history::format_history(history::canonicalized(h));
+    sim::ExploreOptions options;
+    options.max_schedules = max_schedules_;
+    const auto plan = plan_of(h);
+    bool found = false;
+    // explore_traces collects the full set; we can stop early by scanning
+    // incrementally — reuse explore_traces and check membership (the
+    // trace set is small at litmus scale).
+    const auto result =
+        sim::explore_traces(factory_, plan, h.num_locations(), options);
+    found = result.traces.count(target) > 0;
+    if (found) {
+      Verdict v = Verdict::yes();
+      v.note = "reachable by some schedule of the " + machine_ + " machine";
+      return v;
+    }
+    return Verdict::no(result.truncated
+                           ? "not found within the schedule cap (truncated)"
+                           : "no schedule of the " + machine_ +
+                                 " machine reproduces these read values");
+  }
+
+ private:
+  std::string machine_;
+  std::string name_;
+  std::string description_;
+  sim::ExploreFactory factory_;
+  std::uint64_t max_schedules_;
+};
+
+}  // namespace
+
+ModelPtr make_operational(std::string machine, std::uint64_t max_schedules) {
+  return std::make_unique<OperationalModel>(std::move(machine),
+                                            max_schedules);
+}
+
+}  // namespace ssm::models

@@ -1,0 +1,30 @@
+// Operational models: any machine, lifted into the declarative Model
+// interface by exhaustive schedule exploration.
+//
+// check(h) extracts the program behind `h` (each processor's operation
+// sequence, with read results erased), explores EVERY schedule of that
+// program on the machine, and admits `h` iff some schedule reproduces the
+// observed read values exactly.  This is the paper's §6 comparison made
+// executable: the view-based characterizations can be tested for
+// *equivalence* (both directions) against the operational definitions on
+// enumerated universes — see tests/models/operational_test.cpp, which
+// reproduces both the agreements and the one documented divergence (TSO
+// store-forwarding, EXPERIMENTS.md).
+//
+// Exploration is exponential in history size; these models are meant for
+// litmus-scale cross-validation, not as production checkers.  A schedule
+// cap guards runaway inputs (exceeding it yields a rejection with an
+// explanatory note).
+#pragma once
+
+#include "models/model.hpp"
+
+namespace ssm::models {
+
+/// `machine` is one of: "sc", "tso", "pram", "causal", "coherent",
+/// "rc-sc", "rc-pc".  The model's name() is "op:<machine>".
+[[nodiscard]] ModelPtr make_operational(std::string machine,
+                                        std::uint64_t max_schedules =
+                                            2'000'000);
+
+}  // namespace ssm::models

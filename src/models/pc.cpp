@@ -1,0 +1,68 @@
+// Processor consistency as defined for DASH by Gharachorloo et al.
+// (paper §3.3).
+//
+// δp = w.  Mutual consistency: coherence — a per-location total order of
+// writes shared by all views.  Ordering: the semi-causality relation
+// sem = (ppo ∪ rwb ∪ rrb)+, where rrb depends on the chosen coherence
+// order.
+//
+// Decision procedure: enumerate coherence orders (per-location linear
+// extensions of ppo over that location's writes); for each, build sem,
+// reject if sem ∪ coherence is cyclic, otherwise run per-processor
+// legal-view searches constrained by sem ∪ coherence chains.
+#include "checker/scope.hpp"
+#include "models/models.hpp"
+#include "models/per_processor.hpp"
+#include "order/semi_causal.hpp"
+
+namespace ssm::models {
+namespace {
+
+class PcModel final : public Model {
+ public:
+  std::string_view name() const noexcept override { return "PC"; }
+  std::string_view description() const noexcept override {
+    return "processor consistency (DASH, paper §3.3): coherence + "
+           "semi-causality order";
+  }
+
+  Verdict check(const SystemHistory& h) const override {
+    const auto ppo = order::partial_program_order(h);
+    Verdict result = Verdict::no();
+    order::for_each_coherence_order(
+        h, ppo, [&](const order::CoherenceOrder& coh) {
+          rel::Relation constraints =
+              order::semi_causal(h, ppo, coh) | coh.as_relation();
+          if (!constraints.is_acyclic()) return true;  // next coherence order
+          Verdict attempt;
+          if (solve_per_processor(h, [&](ProcId p) {
+                return ViewProblem{checker::own_plus_writes(h, p),
+                                   constraints};
+              }, attempt)) {
+            result = std::move(attempt);
+            result.coherence = coh;
+            return false;
+          }
+          return true;
+        });
+    return result;
+  }
+
+  std::optional<std::string> verify_witness(const SystemHistory& h,
+                                            const Verdict& v) const override {
+    if (!v.allowed) return std::nullopt;
+    if (!v.coherence) return "PC witness lacks a coherence order";
+    const auto ppo = order::partial_program_order(h);
+    rel::Relation constraints =
+        order::semi_causal(h, ppo, *v.coherence) | v.coherence->as_relation();
+    return verify_per_processor(h, [&](ProcId p) {
+      return ViewProblem{checker::own_plus_writes(h, p), constraints};
+    }, v);
+  }
+};
+
+}  // namespace
+
+ModelPtr make_pc() { return std::make_unique<PcModel>(); }
+
+}  // namespace ssm::models

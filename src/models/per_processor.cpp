@@ -1,0 +1,51 @@
+#include "models/per_processor.hpp"
+
+namespace ssm::models {
+
+bool solve_per_processor(const SystemHistory& h, const ViewProblemFn& problem,
+                         Verdict& out) {
+  std::vector<View> views(h.num_processors());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    ViewProblem vp = problem(p);
+    if (vp.exempt.size() != h.size()) vp.exempt = DynBitset(h.size());
+    auto view =
+        checker::find_legal_view(h, vp.universe, vp.constraints, vp.exempt);
+    if (!view) return false;
+    views[p] = std::move(*view);
+  }
+  out.allowed = true;
+  out.views = std::move(views);
+  return true;
+}
+
+std::optional<std::string> verify_per_processor(const SystemHistory& h,
+                                                const ViewProblemFn& problem,
+                                                const Verdict& v) {
+  if (!v.allowed) return std::nullopt;
+  if (v.views.size() != h.num_processors()) {
+    return "witness has " + std::to_string(v.views.size()) +
+           " views for " + std::to_string(h.num_processors()) +
+           " processors";
+  }
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    ViewProblem vp = problem(p);
+    if (vp.exempt.size() != h.size()) vp.exempt = DynBitset(h.size());
+    if (auto err = checker::verify_view(h, vp.universe, vp.constraints,
+                                        v.views[p], vp.exempt)) {
+      return "processor " + std::to_string(p) + ": " + *err;
+    }
+  }
+  return std::nullopt;
+}
+
+Relation chain_relation(std::size_t n, const View& seq) {
+  Relation r(n);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    for (std::size_t j = i + 1; j < seq.size(); ++j) {
+      r.add(seq[i], seq[j]);
+    }
+  }
+  return r;
+}
+
+}  // namespace ssm::models

@@ -1,0 +1,56 @@
+// Shared machinery for models whose check decomposes into one independent
+// legal-view search per processor (PRAM, causal, local, slow, and the
+// inner loop of every coherence-enumerating model).
+#pragma once
+
+#include <functional>
+
+#include "checker/legality.hpp"
+#include "checker/scope.hpp"
+#include "checker/verdict.hpp"
+#include "history/system_history.hpp"
+
+namespace ssm::models {
+
+using checker::DynBitset;
+using checker::Relation;
+using checker::Verdict;
+using checker::View;
+using history::SystemHistory;
+
+/// Supplies, for processor p, the universe of its view (paper parameter 1)
+/// and the constraint relation its view must extend (parameters 2+3, with
+/// mutual-consistency choices already baked in as chain edges).
+struct ViewProblem {
+  ViewProblem(DynBitset u, Relation c)
+      : universe(std::move(u)), constraints(std::move(c)) {}
+  ViewProblem(DynBitset u, Relation c, DynBitset e)
+      : universe(std::move(u)),
+        constraints(std::move(c)),
+        exempt(std::move(e)) {}
+
+  DynBitset universe;
+  Relation constraints;
+  /// Reads excused from the legality gate (see checker::find_legal_view);
+  /// empty (default) means every read is checked.
+  DynBitset exempt;
+};
+using ViewProblemFn = std::function<ViewProblem(ProcId)>;
+
+/// Runs one legal-view search per processor; succeeds iff all succeed.
+/// On success fills `out.views` (indexed by ProcId) and sets allowed=true.
+/// The returned bool mirrors `out.allowed` (callers that only need the
+/// verdict may ignore it).
+bool solve_per_processor(const SystemHistory& h, const ViewProblemFn& problem,
+                         Verdict& out);
+
+/// Verifies a per-processor witness against the same problems (property
+/// testing hook shared by the simple models).
+[[nodiscard]] std::optional<std::string> verify_per_processor(
+    const SystemHistory& h, const ViewProblemFn& problem, const Verdict& v);
+
+/// Chain edges a[0] -> a[1] -> ... as a relation over `n` elements
+/// (transitively closed by construction: all i<j pairs added).
+[[nodiscard]] Relation chain_relation(std::size_t n, const View& seq);
+
+}  // namespace ssm::models

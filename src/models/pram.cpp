@@ -1,0 +1,43 @@
+// PRAM (pipelined RAM), paper §3.5: the weakest memory in Figure 5's chain.
+//
+// δp = w, no mutual consistency, and each view preserves program order
+// (own operations and, per issuing processor, other processors' writes).
+#include "checker/scope.hpp"
+#include "models/models.hpp"
+#include "models/per_processor.hpp"
+#include "order/orders.hpp"
+
+namespace ssm::models {
+namespace {
+
+class PramModel final : public Model {
+ public:
+  std::string_view name() const noexcept override { return "PRAM"; }
+  std::string_view description() const noexcept override {
+    return "pipelined RAM [Lipton-Sandberg 88]: independent per-processor "
+           "views of own ops + others' writes, program order preserved";
+  }
+
+  Verdict check(const SystemHistory& h) const override {
+    const auto po = order::program_order(h);
+    Verdict v;
+    solve_per_processor(h, [&](ProcId p) {
+      return ViewProblem{checker::own_plus_writes(h, p), po};
+    }, v);
+    return v;
+  }
+
+  std::optional<std::string> verify_witness(const SystemHistory& h,
+                                            const Verdict& v) const override {
+    const auto po = order::program_order(h);
+    return verify_per_processor(h, [&](ProcId p) {
+      return ViewProblem{checker::own_plus_writes(h, p), po};
+    }, v);
+  }
+};
+
+}  // namespace
+
+ModelPtr make_pram() { return std::make_unique<PramModel>(); }
+
+}  // namespace ssm::models

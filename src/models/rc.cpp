@@ -1,0 +1,234 @@
+// Release consistency, paper §3.4.
+//
+// Operations are either ordinary or labeled (synchronization).  For both
+// variants:
+//   * δp = w (views hold own operations plus all write-like operations of
+//     others — labeled reads of others are NOT in a view);
+//   * mutual consistency: coherence over all writes;
+//   * ordering: ppo over each processor's own operations — note, per the
+//     paper, only *in that processor's own view* ("o1 precedes o2 in S_p"):
+//     another processor may observe p's ordinary writes to different
+//     locations in either order, which is exactly RC's "propagated
+//     independently" freedom — plus the two
+//     bracket conditions tying ordinary operations to the labeled
+//     operations that protect them:
+//       (1) an ordinary o of p that follows an acquire o_r of p is ordered
+//           after the write o_w that o_r read, in every view containing
+//           both;
+//       (2) an ordinary o of p that precedes a release o_w of p is ordered
+//           before o_w in every view containing both.
+//     Note on (2): the paper's text literally says "o follows o_w", which
+//     contradicts its own motivation ("RC ensures that an ordinary
+//     operation completes before the following release operation is
+//     performed") and would unorder release from the data it publishes; we
+//     implement the evident intent (o precedes o_w).  The erratum test in
+//     tests/models/rc_test.cpp (ErratumLiteralReadingWouldBreakPublication)
+//     demonstrates that the literal
+//     reading admits a mutual-exclusion violation even under RC_sc.
+//   * the labeled operations are sequentially consistent (RC_sc) or
+//     processor consistent (RC_pc), evaluated on the labeled subhistory.
+//
+// Histories in which a labeled read returns a value written by an ordinary
+// write are rejected as improperly labeled (synchronization variables must
+// be accessed only by labeled operations for the SC/PC condition on the
+// labeled subhistory to be meaningful).
+#include "checker/scope.hpp"
+#include "history/subhistory.hpp"
+#include "models/labeling.hpp"
+#include "models/models.hpp"
+#include "models/per_processor.hpp"
+#include "order/semi_causal.hpp"
+
+namespace ssm::models {
+namespace {
+
+/// Lifts a relation over a subhistory back to parent indices.
+rel::Relation lift(const history::SubHistory& s, const rel::Relation& r,
+                   std::size_t parent_size) {
+  rel::Relation out(parent_size);
+  for (std::size_t a = 0; a < r.size(); ++a) {
+    r.successors(a).for_each([&](std::size_t b) {
+      out.add(s.to_parent[a], s.to_parent[b]);
+    });
+  }
+  return out;
+}
+
+/// The coherence order restricted to the labeled subhistory's writes.
+order::CoherenceOrder restrict_coherence(const history::SubHistory& s,
+                                         const order::CoherenceOrder& coh,
+                                         std::size_t num_locs) {
+  std::vector<std::vector<OpIndex>> per_loc(num_locs);
+  for (LocId loc = 0; loc < num_locs; ++loc) {
+    for (OpIndex w : coh.writes(loc)) {
+      const OpIndex sub = s.from_parent[w];
+      if (sub != kNoOp) per_loc[loc].push_back(sub);
+    }
+  }
+  return order::CoherenceOrder(s.sub.size(), std::move(per_loc));
+}
+
+class RcModel final : public Model {
+ public:
+  enum class Labeled { Sc, Pc, Goodman };
+
+  explicit RcModel(Labeled labeled) : labeled_(labeled) {}
+
+  std::string_view name() const noexcept override {
+    switch (labeled_) {
+      case Labeled::Sc:
+        return "RCsc";
+      case Labeled::Pc:
+        return "RCpc";
+      case Labeled::Goodman:
+        return "RCg";
+    }
+    return "RC?";
+  }
+  std::string_view description() const noexcept override {
+    switch (labeled_) {
+      case Labeled::Sc:
+        return "release consistency, labeled ops sequentially consistent "
+               "(paper §3.4)";
+      case Labeled::Pc:
+        return "release consistency, labeled ops processor consistent "
+               "(paper §3.4)";
+      case Labeled::Goodman:
+        return "release consistency, labeled ops Goodman-PC (PRAM + "
+               "coherence); matches the operational rc-pc machine";
+    }
+    return "";
+  }
+
+  Verdict check(const SystemHistory& h) const override {
+    if (auto err = check_properly_labeled(h)) return Verdict::no(*err);
+    const auto ppo = order::partial_program_order(h);
+    const auto po = order::program_order(h);
+    const auto brackets = bracket_edges(h);
+    const auto labeled = checker::labeled_ops(h);
+    // ppo applies only within the issuing processor's own view, so each
+    // processor gets its own restriction of ppo.
+    std::vector<rel::Relation> own_ppo;
+    own_ppo.reserve(h.num_processors());
+    for (ProcId p = 0; p < h.num_processors(); ++p) {
+      rel::DynBitset own(h.size());
+      for (OpIndex i : h.processor_ops(p)) own.set(i);
+      own_ppo.push_back(ppo.restricted_to(own));
+    }
+    const auto solve_with = [&](const rel::Relation& shared,
+                                Verdict& attempt) {
+      return solve_per_processor(h, [&](ProcId p) {
+        return ViewProblem{checker::own_plus_writes(h, p),
+                           shared | own_ppo[p]};
+      }, attempt);
+    };
+    Verdict result = Verdict::no();
+    order::for_each_coherence_order(
+        h, ppo, [&](const order::CoherenceOrder& coh) {
+          const rel::Relation coh_rel = coh.as_relation();
+          rel::Relation base = coh_rel | brackets;
+          if (!(base | ppo).is_acyclic()) return true;
+          if (labeled_ == Labeled::Goodman) {
+            // Labeled subhistory must be PRAM+coherent: full program order
+            // among labeled operations holds in every view (coherence is
+            // already global).
+            rel::Relation shared = base | po.restricted_to(labeled);
+            if (!shared.is_acyclic()) return true;
+            Verdict attempt;
+            if (solve_with(shared, attempt)) {
+              result = std::move(attempt);
+              result.coherence = coh;
+              return false;
+            }
+            return true;
+          }
+          if (labeled_ == Labeled::Sc) {
+            // Enumerate legal global sequences T of the labeled operations
+            // (SC on the labeled subhistory), consistent with coherence.
+            rel::Relation t_constraints = po | coh_rel;
+            return !checker::for_each_legal_view(
+                h, labeled, t_constraints, [&](const checker::View& t) {
+                  rel::Relation shared = base | chain_relation(h.size(), t);
+                  Verdict attempt;
+                  if (solve_with(shared, attempt)) {
+                    result = std::move(attempt);
+                    result.coherence = coh;
+                    result.labeled_order = t;
+                    return false;
+                  }
+                  return true;
+                });
+          }
+          // RC_pc: labeled subhistory must be processor consistent; its
+          // semi-causality order (computed within the labeled world, using
+          // the labeled restriction of the coherence order) constrains all
+          // views.
+          const auto s = history::extract(h, labeled);
+          const auto coh_l = restrict_coherence(s, coh, h.num_locations());
+          const auto ppo_l = order::partial_program_order(s.sub);
+          const auto sem_l = order::semi_causal(s.sub, ppo_l, coh_l);
+          rel::Relation shared = base | lift(s, sem_l, h.size());
+          if (!shared.is_acyclic()) return true;
+          Verdict attempt;
+          if (solve_with(shared, attempt)) {
+            result = std::move(attempt);
+            result.coherence = coh;
+            return false;
+          }
+          return true;
+        });
+    return result;
+  }
+
+  std::optional<std::string> verify_witness(const SystemHistory& h,
+                                            const Verdict& v) const override {
+    if (!v.allowed) return std::nullopt;
+    if (!v.coherence) return "RC witness lacks a coherence order";
+    const auto ppo = order::partial_program_order(h);
+    rel::Relation constraints = v.coherence->as_relation() | bracket_edges(h);
+    if (labeled_ == Labeled::Goodman) {
+      constraints |=
+          order::program_order(h).restricted_to(checker::labeled_ops(h));
+    } else if (labeled_ == Labeled::Sc) {
+      if (!v.labeled_order) return "RCsc witness lacks a labeled order";
+      // The labeled order itself must be a legal SC view of labeled ops.
+      const auto labeled = checker::labeled_ops(h);
+      if (auto err = checker::verify_view(h, labeled, order::program_order(h),
+                                          *v.labeled_order)) {
+        return "labeled order: " + *err;
+      }
+      constraints |= chain_relation(h.size(), *v.labeled_order);
+    } else {
+      const auto labeled = checker::labeled_ops(h);
+      const auto s = history::extract(h, labeled);
+      const auto coh_l = restrict_coherence(s, *v.coherence,
+                                            h.num_locations());
+      const auto ppo_l = order::partial_program_order(s.sub);
+      constraints |= lift(s, order::semi_causal(s.sub, ppo_l, coh_l),
+                          h.size());
+    }
+    return verify_per_processor(h, [&](ProcId p) {
+      rel::DynBitset own(h.size());
+      for (OpIndex i : h.processor_ops(p)) own.set(i);
+      return ViewProblem{checker::own_plus_writes(h, p),
+                         constraints | ppo.restricted_to(own)};
+    }, v);
+  }
+
+ private:
+  Labeled labeled_;
+};
+
+}  // namespace
+
+ModelPtr make_rc_sc() {
+  return std::make_unique<RcModel>(RcModel::Labeled::Sc);
+}
+ModelPtr make_rc_pc() {
+  return std::make_unique<RcModel>(RcModel::Labeled::Pc);
+}
+ModelPtr make_rc_goodman() {
+  return std::make_unique<RcModel>(RcModel::Labeled::Goodman);
+}
+
+}  // namespace ssm::models

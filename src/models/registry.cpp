@@ -1,0 +1,53 @@
+#include "models/registry.hpp"
+
+namespace ssm::models {
+
+std::vector<ModelPtr> all_models() {
+  std::vector<ModelPtr> out;
+  out.push_back(make_sc());
+  out.push_back(make_tso());
+  out.push_back(make_tso_fwd());
+  out.push_back(make_tso_axiomatic());
+  out.push_back(make_pc());
+  out.push_back(make_goodman());
+  out.push_back(make_weak_ordering());
+  out.push_back(make_hybrid());
+  out.push_back(make_rc_sc());
+  out.push_back(make_rc_pc());
+  out.push_back(make_rc_goodman());
+  out.push_back(make_causal_coherent());
+  out.push_back(make_causal_coherent_labeled());
+  out.push_back(make_causal());
+  out.push_back(make_cache());
+  out.push_back(make_pram());
+  out.push_back(make_slow());
+  out.push_back(make_local());
+  return out;
+}
+
+std::vector<ModelPtr> paper_models() {
+  std::vector<ModelPtr> out;
+  out.push_back(make_sc());
+  out.push_back(make_tso());
+  out.push_back(make_pc());
+  out.push_back(make_rc_sc());
+  out.push_back(make_rc_pc());
+  out.push_back(make_causal());
+  out.push_back(make_pram());
+  return out;
+}
+
+ModelPtr make_model(std::string_view name) {
+  for (auto& m : all_models()) {
+    if (m->name() == name) return std::move(m);
+  }
+  throw InvalidInput("unknown model: '" + std::string(name) + "'");
+}
+
+std::vector<std::string> model_names() {
+  std::vector<std::string> names;
+  for (const auto& m : all_models()) names.emplace_back(m->name());
+  return names;
+}
+
+}  // namespace ssm::models

@@ -1,0 +1,27 @@
+// Name-indexed access to every model, plus the canonical ordering used by
+// classification tables (strongest first, per the paper's Figure 5).
+#pragma once
+
+#include <vector>
+
+#include "models/models.hpp"
+
+namespace ssm::models {
+
+/// All models, strongest-to-weakest by Figure 5 (extensions interleaved at
+/// their lattice positions; incomparable models in a stable documented
+/// order): SC, TSO, TSOfwd, PC, PCg, WO, HC, RCsc, RCpc, RCg, CausalCoh,
+/// Causal, Cache, PRAM, Slow, Local.
+[[nodiscard]] std::vector<ModelPtr> all_models();
+
+/// The seven models the paper itself defines (§3): SC, TSO, PC, PRAM,
+/// Causal, RCsc, RCpc.
+[[nodiscard]] std::vector<ModelPtr> paper_models();
+
+/// Lookup by name() string; throws InvalidInput for unknown names.
+[[nodiscard]] ModelPtr make_model(std::string_view name);
+
+/// Names accepted by make_model.
+[[nodiscard]] std::vector<std::string> model_names();
+
+}  // namespace ssm::models

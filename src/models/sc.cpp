@@ -1,0 +1,51 @@
+// Sequential consistency: the strongest memory in the paper's Figure 5.
+//
+// In the framework: δp = a (every processor's view contains all operations)
+// and all views are identical — equivalently, one legal linearization of
+// all operations extending program order exists.
+#include "checker/scope.hpp"
+#include "models/models.hpp"
+#include "models/per_processor.hpp"
+#include "order/orders.hpp"
+
+namespace ssm::models {
+namespace {
+
+class ScModel final : public Model {
+ public:
+  std::string_view name() const noexcept override { return "SC"; }
+  std::string_view description() const noexcept override {
+    return "sequential consistency [Lamport 79]: one shared legal view of "
+           "all operations in program order";
+  }
+
+  Verdict check(const SystemHistory& h) const override {
+    const auto universe = checker::all_ops(h);
+    const auto po = order::program_order(h);
+    auto view = checker::find_legal_view(h, universe, po);
+    if (!view) return Verdict::no();
+    Verdict v = Verdict::yes();
+    v.views.assign(h.num_processors(), *view);
+    return v;
+  }
+
+  std::optional<std::string> verify_witness(const SystemHistory& h,
+                                            const Verdict& v) const override {
+    if (!v.allowed) return std::nullopt;
+    const auto universe = checker::all_ops(h);
+    const auto po = order::program_order(h);
+    if (v.views.empty()) return "SC witness has no views";
+    for (std::size_t p = 1; p < v.views.size(); ++p) {
+      if (v.views[p] != v.views[0]) {
+        return "SC witness views differ between processors";
+      }
+    }
+    return checker::verify_view(h, universe, po, v.views[0]);
+  }
+};
+
+}  // namespace
+
+ModelPtr make_sc() { return std::make_unique<ScModel>(); }
+
+}  // namespace ssm::models

@@ -1,0 +1,67 @@
+// Slow memory [Hutto-Ahamad 90] (extension): between local consistency and
+// PRAM.  A processor must respect its own program order and, for every
+// other processor q and location x, the program order of q's writes to x —
+// but q's writes to *different* locations may be observed out of order.
+#include "checker/scope.hpp"
+#include "models/models.hpp"
+#include "models/per_processor.hpp"
+
+namespace ssm::models {
+namespace {
+
+rel::Relation slow_constraints(const SystemHistory& h, ProcId p) {
+  rel::Relation r(h.size());
+  // Own operations: full program order.
+  const auto own = h.processor_ops(p);
+  for (std::size_t i = 0; i < own.size(); ++i) {
+    for (std::size_t j = i + 1; j < own.size(); ++j) {
+      r.add(own[i], own[j]);
+    }
+  }
+  // Other processors' writes: program order per (writer, location) pipeline.
+  for (ProcId q = 0; q < h.num_processors(); ++q) {
+    if (q == p) continue;
+    const auto ops = h.processor_ops(q);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const auto& o1 = h.op(ops[i]);
+      if (!o1.is_write()) continue;
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        const auto& o2 = h.op(ops[j]);
+        if (o2.is_write() && o2.loc == o1.loc) r.add(ops[i], ops[j]);
+      }
+    }
+  }
+  return r;
+}
+
+class SlowModel final : public Model {
+ public:
+  std::string_view name() const noexcept override { return "Slow"; }
+  std::string_view description() const noexcept override {
+    return "slow memory [Hutto-Ahamad 90]: per-(writer,location) write "
+           "pipelines plus own program order (extension)";
+  }
+
+  Verdict check(const SystemHistory& h) const override {
+    Verdict v;
+    solve_per_processor(h, [&](ProcId p) {
+      return ViewProblem{checker::own_plus_writes(h, p),
+                         slow_constraints(h, p)};
+    }, v);
+    return v;
+  }
+
+  std::optional<std::string> verify_witness(const SystemHistory& h,
+                                            const Verdict& v) const override {
+    return verify_per_processor(h, [&](ProcId p) {
+      return ViewProblem{checker::own_plus_writes(h, p),
+                         slow_constraints(h, p)};
+    }, v);
+  }
+};
+
+}  // namespace
+
+ModelPtr make_slow() { return std::make_unique<SlowModel>(); }
+
+}  // namespace ssm::models

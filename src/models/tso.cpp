@@ -1,0 +1,156 @@
+// Total store ordering, paper §3.2 (after Sindhu, Frailong & Cekleov).
+//
+// δp = w.  Mutual consistency: all views order ALL writes identically
+// (S_{p+w}|w = S_{q+w}|w).  Ordering: partial program order ppo.
+//
+// Decision procedure: enumerate global write orders (linear extensions of
+// ppo restricted to the writes), and for each, run one per-processor
+// legal-view search with the write chain added to the constraints.  First
+// write order for which every processor has a legal view wins.
+//
+// `make_tso_fwd` is the store-forwarding variant: it rebuilds ppo with the
+// same-location write→read clause dropped for reads that read their own
+// processor's write (the read is satisfied from the store buffer, so it
+// does not globally order the write).  Legality still forces the read to
+// appear after the write it reads in the *own* view, but the write no
+// longer transitively orders before operations that follow the read.  See
+// EXPERIMENTS.md "TSO forwarding note" for the litmus test separating the
+// two (the paper's characterization = make_tso forbids it; SPARC/x86
+// axiomatic TSO = make_tso_fwd admits it).
+#include "checker/scope.hpp"
+#include "models/models.hpp"
+#include "models/per_processor.hpp"
+#include "order/orders.hpp"
+#include "relation/topo.hpp"
+
+namespace ssm::models {
+namespace {
+
+/// Reads satisfied by store-buffer forwarding: the read's writer is the
+/// issuing processor's latest program-order-preceding write to the same
+/// location.  Such reads (a) lose the same-location w→r ppo edge and
+/// (b) are exempt from the view legality gate in their own processor's
+/// view — the buffer, not the view position, justifies their value.
+rel::DynBitset forwarded_reads(const SystemHistory& h) {
+  rel::DynBitset out(h.size());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    const auto ops = h.processor_ops(p);
+    for (std::size_t j = 0; j < ops.size(); ++j) {
+      const auto& r = h.op(ops[j]);
+      if (r.kind != OpKind::Read) continue;
+      const OpIndex w = h.writer_of(ops[j]);
+      if (w == kNoOp || h.op(w).proc != p || h.op(w).seq >= r.seq) continue;
+      // w must be the latest preceding same-location write of p.
+      bool latest = true;
+      for (std::size_t k = 0; k < j; ++k) {
+        const auto& mid = h.op(ops[k]);
+        if (mid.is_write() && mid.loc == r.loc && mid.seq > h.op(w).seq) {
+          latest = false;
+          break;
+        }
+      }
+      if (latest) out.set(ops[j]);
+    }
+  }
+  return out;
+}
+
+/// ppo for the forwarding variant: same as the paper's ppo except that the
+/// "same location" clause is suppressed when o1 is a write, o2 is a read,
+/// and o2 reads o1's value (store-buffer forwarding).
+rel::Relation forwarding_ppo(const SystemHistory& h) {
+  rel::Relation base(h.size());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    const auto ops = h.processor_ops(p);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const auto& o1 = h.op(ops[i]);
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        const auto& o2 = h.op(ops[j]);
+        const bool both_reads = o1.is_read() && o2.is_read();
+        const bool both_writes = o1.is_write() && o2.is_write();
+        const bool read_then_write = o1.is_read() && o2.is_write();
+        bool same_loc = o1.loc == o2.loc;
+        if (same_loc && o1.kind == OpKind::Write && o2.kind == OpKind::Read &&
+            h.writer_of(ops[j]) == ops[i]) {
+          same_loc = false;  // forwarded: no global ordering obligation
+        }
+        if (same_loc || both_reads || both_writes || read_then_write) {
+          base.add(ops[i], ops[j]);
+        }
+      }
+    }
+  }
+  return base.transitive_closure();
+}
+
+class TsoModel final : public Model {
+ public:
+  explicit TsoModel(bool forwarding) : forwarding_(forwarding) {}
+
+  std::string_view name() const noexcept override {
+    return forwarding_ ? "TSOfwd" : "TSO";
+  }
+  std::string_view description() const noexcept override {
+    return forwarding_
+               ? "TSO with store-to-load forwarding (SPARC/x86 axiomatic "
+                 "reading; extension)"
+               : "total store ordering (paper §3.2): common global write "
+                 "order + partial program order";
+  }
+
+  Verdict check(const SystemHistory& h) const override {
+    const rel::Relation ppo = forwarding_ ? forwarding_ppo(h)
+                                          : order::partial_program_order(h);
+    const rel::DynBitset exempt =
+        forwarding_ ? forwarded_reads(h) : rel::DynBitset(h.size());
+    const auto writes = checker::write_ops(h);
+    Verdict result = Verdict::no();
+    rel::for_each_linear_extension(
+        ppo, writes, [&](const std::vector<std::size_t>& worder) {
+          checker::View chain(worder.begin(), worder.end());
+          rel::Relation constraints = ppo | chain_relation(h.size(), chain);
+          Verdict attempt;
+          if (solve_per_processor(h, [&](ProcId p) {
+                return ViewProblem{checker::own_plus_writes(h, p),
+                                   constraints, exempt};
+              }, attempt)) {
+            result = std::move(attempt);
+            result.labeled_order = std::move(chain);  // the witness w-order
+            result.note = "labeled_order field holds the global write order";
+            return false;  // stop: first witness wins
+          }
+          return true;
+        });
+    return result;
+  }
+
+  std::optional<std::string> verify_witness(const SystemHistory& h,
+                                            const Verdict& v) const override {
+    if (!v.allowed) return std::nullopt;
+    if (!v.labeled_order) return "TSO witness lacks a global write order";
+    const rel::Relation ppo = forwarding_ ? forwarding_ppo(h)
+                                          : order::partial_program_order(h);
+    const auto writes = checker::write_ops(h);
+    if (v.labeled_order->size() != writes.count()) {
+      return "TSO witness write order has wrong size";
+    }
+    rel::Relation constraints =
+        ppo | chain_relation(h.size(), *v.labeled_order);
+    const rel::DynBitset exempt =
+        forwarding_ ? forwarded_reads(h) : rel::DynBitset(h.size());
+    return verify_per_processor(h, [&](ProcId p) {
+      return ViewProblem{checker::own_plus_writes(h, p), constraints,
+                         exempt};
+    }, v);
+  }
+
+ private:
+  bool forwarding_;
+};
+
+}  // namespace
+
+ModelPtr make_tso() { return std::make_unique<TsoModel>(false); }
+ModelPtr make_tso_fwd() { return std::make_unique<TsoModel>(true); }
+
+}  // namespace ssm::models

@@ -1,0 +1,119 @@
+// Weak ordering [Dubois, Scheurich & Briggs 88], the paper's reference
+// [1] and the ancestor of release consistency.  In the framework:
+//
+//   * δp = w; coherence over all writes;
+//   * synchronization (labeled) operations are sequentially consistent —
+//     a single legal global order T of the labeled operations exists;
+//   * every ordinary operation is *fenced* by the labeled operations of
+//     its own processor in both directions: if s →po o (s labeled, o
+//     ordinary) then s precedes o in every view containing both, and
+//     symmetrically for o →po s.  This is strictly stronger than RC's
+//     bracket conditions, which only pin ordinary operations after the
+//     *write acquired by* a labeled read and before a labeled write —
+//     the litmus test `wo-vs-rcsc` separates the two.
+//   * each processor's own view preserves ppo.
+#include "checker/scope.hpp"
+#include "models/labeling.hpp"
+#include "models/models.hpp"
+#include "models/per_processor.hpp"
+#include "order/orders.hpp"
+
+namespace ssm::models {
+namespace {
+
+/// Fence edges: same-processor po pairs with exactly one labeled endpoint.
+rel::Relation fence_edges(const SystemHistory& h) {
+  rel::Relation r(h.size());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    const auto ops = h.processor_ops(p);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        if (h.op(ops[i]).is_labeled() != h.op(ops[j]).is_labeled()) {
+          r.add(ops[i], ops[j]);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+class WeakOrderingModel final : public Model {
+ public:
+  std::string_view name() const noexcept override { return "WO"; }
+  std::string_view description() const noexcept override {
+    return "weak ordering [Dubois et al. 88]: SC sync operations fencing "
+           "ordinary operations in both directions + coherence";
+  }
+
+  Verdict check(const SystemHistory& h) const override {
+    if (auto err = check_properly_labeled(h)) return Verdict::no(*err);
+    const auto ppo = order::partial_program_order(h);
+    const auto po = order::program_order(h);
+    // Dubois' conditions make synchronization reads "globally performed"
+    // before later accesses issue, which is exactly the RC publication
+    // bracket; WO = fences + brackets + coherence + SC sync ops.
+    const auto fences = fence_edges(h) | bracket_edges(h);
+    const auto labeled = checker::labeled_ops(h);
+    std::vector<rel::Relation> own_ppo;
+    own_ppo.reserve(h.num_processors());
+    for (ProcId p = 0; p < h.num_processors(); ++p) {
+      rel::DynBitset own(h.size());
+      for (OpIndex i : h.processor_ops(p)) own.set(i);
+      own_ppo.push_back(ppo.restricted_to(own));
+    }
+    Verdict result = Verdict::no();
+    order::for_each_coherence_order(
+        h, ppo, [&](const order::CoherenceOrder& coh) {
+          const rel::Relation coh_rel = coh.as_relation();
+          rel::Relation base = coh_rel | fences;
+          if (!(base | ppo).is_acyclic()) return true;
+          rel::Relation t_constraints = po | coh_rel;
+          return !checker::for_each_legal_view(
+              h, labeled, t_constraints, [&](const checker::View& t) {
+                rel::Relation shared = base | chain_relation(h.size(), t);
+                Verdict attempt;
+                if (solve_per_processor(h, [&](ProcId p) {
+                      return ViewProblem{checker::own_plus_writes(h, p),
+                                         shared | own_ppo[p]};
+                    }, attempt)) {
+                  result = std::move(attempt);
+                  result.coherence = coh;
+                  result.labeled_order = t;
+                  return false;
+                }
+                return true;
+              });
+        });
+    return result;
+  }
+
+  std::optional<std::string> verify_witness(const SystemHistory& h,
+                                            const Verdict& v) const override {
+    if (!v.allowed) return std::nullopt;
+    if (!v.coherence) return "WO witness lacks a coherence order";
+    if (!v.labeled_order) return "WO witness lacks a labeled order";
+    const auto labeled = checker::labeled_ops(h);
+    if (auto err = checker::verify_view(h, labeled, order::program_order(h),
+                                        *v.labeled_order)) {
+      return "labeled order: " + *err;
+    }
+    const auto ppo = order::partial_program_order(h);
+    rel::Relation constraints = v.coherence->as_relation() | fence_edges(h) |
+                                bracket_edges(h) |
+                                chain_relation(h.size(), *v.labeled_order);
+    return verify_per_processor(h, [&](ProcId p) {
+      rel::DynBitset own(h.size());
+      for (OpIndex i : h.processor_ops(p)) own.set(i);
+      return ViewProblem{checker::own_plus_writes(h, p),
+                         constraints | ppo.restricted_to(own)};
+    }, v);
+  }
+};
+
+}  // namespace
+
+ModelPtr make_weak_ordering() {
+  return std::make_unique<WeakOrderingModel>();
+}
+
+}  // namespace ssm::models

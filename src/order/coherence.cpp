@@ -1,0 +1,93 @@
+#include "order/coherence.hpp"
+
+#include <limits>
+
+#include "relation/topo.hpp"
+
+namespace ssm::order {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+}
+
+CoherenceOrder::CoherenceOrder(std::size_t num_ops,
+                               std::vector<std::vector<OpIndex>> per_loc)
+    : num_ops_(num_ops),
+      per_loc_(std::move(per_loc)),
+      position_(num_ops, kNpos) {
+  for (const auto& seq : per_loc_) {
+    for (std::size_t i = 0; i < seq.size(); ++i) position_[seq[i]] = i;
+  }
+}
+
+const std::vector<OpIndex>& CoherenceOrder::writes(LocId loc) const {
+  static const std::vector<OpIndex> kEmpty;
+  if (loc >= per_loc_.size()) return kEmpty;
+  return per_loc_[loc];
+}
+
+bool CoherenceOrder::precedes(OpIndex w1, OpIndex w2) const {
+  return position_[w1] < position_[w2];
+}
+
+std::size_t CoherenceOrder::position(OpIndex w) const { return position_[w]; }
+
+Relation CoherenceOrder::as_relation() const {
+  Relation r(num_ops_);
+  for (const auto& seq : per_loc_) {
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      for (std::size_t j = i + 1; j < seq.size(); ++j) {
+        r.add(seq[i], seq[j]);
+      }
+    }
+  }
+  return r;
+}
+
+namespace {
+
+/// Recursively pick a linear extension for each location's writes.
+struct CoherenceEnum {
+  const SystemHistory& h;
+  const Relation& base;
+  const std::function<bool(const CoherenceOrder&)>& visit;
+  std::vector<std::vector<OpIndex>> chosen;
+  bool stopped = false;
+
+  bool recurse(LocId loc) {
+    if (stopped) return true;
+    if (loc >= h.num_locations()) {
+      CoherenceOrder order(h.size(), chosen);
+      if (!visit(order)) stopped = true;
+      return stopped;
+    }
+    const auto writes = h.writes_to(loc);
+    if (writes.empty()) {
+      chosen[loc].clear();
+      return recurse(static_cast<LocId>(loc + 1));
+    }
+    rel::DynBitset universe(h.size());
+    for (OpIndex w : writes) universe.set(w);
+    rel::for_each_linear_extension(
+        base, universe, [&](const std::vector<std::size_t>& ext) {
+          chosen[loc].assign(ext.begin(), ext.end());
+          recurse(static_cast<LocId>(loc + 1));
+          return !stopped;
+        });
+    return stopped;
+  }
+};
+
+}  // namespace
+
+bool for_each_coherence_order(
+    const SystemHistory& h, const Relation& base,
+    const std::function<bool(const CoherenceOrder&)>& visit) {
+  CoherenceEnum e{h, base, visit,
+                  std::vector<std::vector<OpIndex>>(h.num_locations()),
+                  false};
+  e.recurse(0);
+  return e.stopped;
+}
+
+}  // namespace ssm::order

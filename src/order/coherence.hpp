@@ -1,0 +1,60 @@
+// Coherence orders: per-location total orders of the writes.
+//
+// Paper §2 parameter (2): "a memory model may require that all writes to a
+// given location appear in the same order in the sequential histories for
+// all processors ... this particular form of consistency is equivalent to
+// coherence".  PC, RC_sc and RC_pc all require it; the checker enumerates
+// candidate coherence orders and tests each.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "history/system_history.hpp"
+#include "relation/relation.hpp"
+
+namespace ssm::order {
+
+using history::SystemHistory;
+using rel::Relation;
+
+/// One choice of per-location write order.
+class CoherenceOrder {
+ public:
+  CoherenceOrder() = default;
+  CoherenceOrder(std::size_t num_ops,
+                 std::vector<std::vector<OpIndex>> per_loc);
+
+  /// The chosen sequence of writes to `loc` (empty if none).
+  [[nodiscard]] const std::vector<OpIndex>& writes(LocId loc) const;
+
+  /// True iff write w1 precedes write w2 in their (common) location's order.
+  [[nodiscard]] bool precedes(OpIndex w1, OpIndex w2) const;
+
+  /// Position of write `w` within its location's sequence.
+  [[nodiscard]] std::size_t position(OpIndex w) const;
+
+  /// The chain edges (w_i -> w_{i+1} transitively w_i -> w_j, i<j) as a
+  /// relation over the full op space, usable as view constraints.
+  [[nodiscard]] Relation as_relation() const;
+
+  [[nodiscard]] std::size_t num_ops() const noexcept { return num_ops_; }
+
+ private:
+  std::size_t num_ops_ = 0;
+  std::vector<std::vector<OpIndex>> per_loc_;
+  /// position_[op] = index within its location sequence (or npos).
+  std::vector<std::size_t> position_;
+};
+
+/// Enumerates every coherence order whose per-location sequences are linear
+/// extensions of `base` restricted to that location's writes.  `base` is
+/// typically ppo (same-processor same-location writes keep program order)
+/// possibly augmented by model-specific constraints.  Calls `visit` for each
+/// candidate; enumeration stops early when `visit` returns false.  Returns
+/// true iff stopped early.
+bool for_each_coherence_order(
+    const SystemHistory& h, const Relation& base,
+    const std::function<bool(const CoherenceOrder&)>& visit);
+
+}  // namespace ssm::order

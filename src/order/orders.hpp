@@ -1,0 +1,36 @@
+// The orders of paper §2, parameter (3): program order, partial program
+// order, writes-before, and causal order.  All are returned as Relations
+// over the history's dense OpIndex space.
+#pragma once
+
+#include "history/system_history.hpp"
+#include "relation/relation.hpp"
+
+namespace ssm::order {
+
+using history::SystemHistory;
+using rel::Relation;
+
+/// Program order →po: total per processor; o_{p,i} →po o_{p,j} iff i < j.
+[[nodiscard]] Relation program_order(const SystemHistory& h);
+
+/// Partial program order →ppo (paper §2): o1 →ppo o2 iff o1 →po o2 and
+///  * same location, or
+///  * both reads or both writes, or
+///  * o1 is a read and o2 is a write, or
+///  * transitively via another operation of the same processor.
+/// The only po pair NOT in ppo is write-then-later-read-of-a-different
+/// location (the reorder TSO/PC store buffers allow), and pairs that are
+/// only reachable through such a pair.
+/// ReadModifyWrite operations count as both read and write, so they order
+/// against everything (an rmw never bypasses and is never bypassed).
+[[nodiscard]] Relation partial_program_order(const SystemHistory& h);
+
+/// Writes-before →wb: w →wb r iff r reads the value written by w.  Reads of
+/// the initial value have no wb predecessor.
+[[nodiscard]] Relation writes_before(const SystemHistory& h);
+
+/// Causal order →co = (→po ∪ →wb)+ (paper adapts Lamport happens-before).
+[[nodiscard]] Relation causal_order(const SystemHistory& h);
+
+}  // namespace ssm::order

@@ -1,0 +1,51 @@
+#include "order/semi_causal.hpp"
+
+namespace ssm::order {
+
+Relation remote_writes_before(const SystemHistory& h, const Relation& ppo) {
+  Relation r(h.size());
+  for (const auto& o2 : h.operations()) {
+    if (!o2.is_read()) continue;
+    const OpIndex oprime = h.writer_of(o2.index);
+    if (oprime == kNoOp) continue;  // read of initial value: no source write
+    // Every write o1 with o1 →ppo o' is remotely-before the read o2.
+    for (const auto& o1 : h.operations()) {
+      if (!o1.is_write()) continue;
+      if (ppo.test(o1.index, oprime)) r.add(o1.index, o2.index);
+    }
+  }
+  return r;
+}
+
+Relation remote_reads_before(const SystemHistory& h, const Relation& ppo,
+                             const CoherenceOrder& coh) {
+  Relation r(h.size());
+  for (const auto& o1 : h.operations()) {
+    if (!o1.is_read()) continue;
+    const OpIndex from = h.writer_of(o1.index);
+    for (const auto& oprime : h.operations()) {
+      if (!oprime.is_write() || oprime.loc != o1.loc) continue;
+      // o1's source must precede o' in coherence order; a read of the
+      // initial value is superseded by every write to the location.
+      const bool old_before_new =
+          (from == kNoOp) ||
+          (from != oprime.index && coh.precedes(from, oprime.index));
+      if (!old_before_new) continue;
+      for (const auto& o2 : h.operations()) {
+        if (!o2.is_write()) continue;
+        if (ppo.test(oprime.index, o2.index)) r.add(o1.index, o2.index);
+      }
+    }
+  }
+  return r;
+}
+
+Relation semi_causal(const SystemHistory& h, const Relation& ppo,
+                     const CoherenceOrder& coh) {
+  Relation r = ppo;
+  r |= remote_writes_before(h, ppo);
+  r |= remote_reads_before(h, ppo, coh);
+  return r.transitive_closure();
+}
+
+}  // namespace ssm::order

@@ -1,0 +1,31 @@
+// The semi-causality relation of processor consistency (paper §3.3).
+//
+//   rwb (remote writes-before):  o1 →rwb o2  iff  o1 = w(x)v, o2 = r(y)u,
+//       and there is o' = w(y)u with o1 →ppo o' and o2 reads from o'.
+//   rrb (remote reads-before):   o1 →rrb o2  iff  o1 = r(x)v, o2 = w(y)u,
+//       and there is o' = w(x)v' such that the write o1 reads from precedes
+//       o' in x's coherence order and o' →ppo o2.  (A read of the initial
+//       value precedes every write to its location.)
+//   sem = (ppo ∪ rwb ∪ rrb)+.
+//
+// rrb depends on a chosen coherence order, so sem is parameterized by one.
+#pragma once
+
+#include "order/coherence.hpp"
+#include "order/orders.hpp"
+
+namespace ssm::order {
+
+[[nodiscard]] Relation remote_writes_before(const SystemHistory& h,
+                                            const Relation& ppo);
+
+[[nodiscard]] Relation remote_reads_before(const SystemHistory& h,
+                                           const Relation& ppo,
+                                           const CoherenceOrder& coh);
+
+/// sem = (ppo ∪ rwb ∪ rrb)+ for the given coherence choice.
+[[nodiscard]] Relation semi_causal(const SystemHistory& h,
+                                   const Relation& ppo,
+                                   const CoherenceOrder& coh);
+
+}  // namespace ssm::order

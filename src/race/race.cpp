@@ -1,0 +1,58 @@
+#include "race/race.hpp"
+
+#include "history/print.hpp"
+#include "order/orders.hpp"
+
+namespace ssm::race {
+
+rel::Relation synchronizes_with(const SystemHistory& h) {
+  rel::Relation sw(h.size());
+  for (const auto& op : h.operations()) {
+    if (!op.is_labeled() || !op.is_read()) continue;
+    const OpIndex w = h.writer_of(op.index);
+    if (w != kNoOp && h.op(w).is_labeled()) sw.add(w, op.index);
+  }
+  return sw;
+}
+
+rel::Relation happens_before(const SystemHistory& h) {
+  rel::Relation hb = order::program_order(h);
+  hb |= synchronizes_with(h);
+  return hb.transitive_closure();
+}
+
+std::vector<Race> find_races(const SystemHistory& h) {
+  const rel::Relation hb = happens_before(h);
+  std::vector<Race> races;
+  for (OpIndex i = 0; i < h.size(); ++i) {
+    const auto& a = h.op(i);
+    if (a.is_labeled()) continue;
+    for (OpIndex j = i + 1; j < h.size(); ++j) {
+      const auto& b = h.op(j);
+      if (b.is_labeled()) continue;
+      if (a.proc == b.proc || a.loc != b.loc) continue;
+      if (!a.is_write() && !b.is_write()) continue;
+      if (!hb.test(i, j) && !hb.test(j, i)) races.push_back({i, j});
+    }
+  }
+  return races;
+}
+
+bool is_data_race_free(const SystemHistory& h) {
+  return find_races(h).empty();
+}
+
+std::string format_races(const SystemHistory& h,
+                         const std::vector<Race>& races) {
+  std::string out;
+  for (const auto& r : races) {
+    out += "race: ";
+    out += history::format_op(h, r.first);
+    out += " || ";
+    out += history::format_op(h, r.second);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ssm::race

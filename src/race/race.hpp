@@ -1,0 +1,53 @@
+// Data-race analysis: the program-model side of the paper's story.
+//
+// The paper (§1, §3.4) follows the properly-labeled / data-race-free
+// program discipline: "programs that meet certain requirements (properly
+// labeled or data-race-free) do not need to be aware of the weak
+// consistency".  The cited result (Gibbons-Merritt-Gharachorloo, paper
+// ref [8]) is that race-free programs see sequentially consistent
+// behaviour on RC_sc.  This module makes the per-execution version of
+// that guarantee checkable:
+//
+//   * synchronization happens-before  hb = (po ∪ sw)+, where sw links a
+//     labeled write to every labeled read returning its value;
+//   * two operations conflict when they target the same location, at
+//     least one writes, and they are issued by different processors;
+//   * a history is data-race-free (DRF) when every conflicting pair of
+//     ordinary operations is hb-ordered.
+//
+// The empirical DRF theorem (tests/race/drf_test.cpp, bench/drf_theorem):
+// over exhaustively enumerated labeled universes, every RC_sc-admitted
+// DRF history is SC-admitted — weakness is only observable through races.
+#pragma once
+
+#include <vector>
+
+#include "history/system_history.hpp"
+#include "relation/relation.hpp"
+
+namespace ssm::race {
+
+using history::SystemHistory;
+
+/// sw: labeled write -> labeled read that returns its value.
+[[nodiscard]] rel::Relation synchronizes_with(const SystemHistory& h);
+
+/// hb = (po ∪ sw)+.
+[[nodiscard]] rel::Relation happens_before(const SystemHistory& h);
+
+struct Race {
+  OpIndex first;
+  OpIndex second;
+};
+
+/// All unordered conflicting pairs of ordinary operations (first < second
+/// by dense index).
+[[nodiscard]] std::vector<Race> find_races(const SystemHistory& h);
+
+[[nodiscard]] bool is_data_race_free(const SystemHistory& h);
+
+/// Human-readable race report (empty string when race-free).
+[[nodiscard]] std::string format_races(const SystemHistory& h,
+                                       const std::vector<Race>& races);
+
+}  // namespace ssm::race

@@ -1,0 +1,50 @@
+#include "relation/bitset.hpp"
+
+namespace ssm::rel {
+
+std::size_t DynBitset::count() const noexcept {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+DynBitset& DynBitset::operator|=(const DynBitset& o) noexcept {
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+DynBitset& DynBitset::operator&=(const DynBitset& o) noexcept {
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+DynBitset& DynBitset::operator-=(const DynBitset& o) noexcept {
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+bool DynBitset::subset_of(const DynBitset& o) const noexcept {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~o.words_[i]) return false;
+  }
+  return true;
+}
+
+bool DynBitset::intersects(const DynBitset& o) const noexcept {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & o.words_[i]) return true;
+  }
+  return false;
+}
+
+std::uint64_t DynBitset::hash() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (auto w : words_) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+}  // namespace ssm::rel

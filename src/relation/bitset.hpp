@@ -1,0 +1,88 @@
+// DynBitset: a small dynamic bitset over operation indices.
+//
+// Relations and the checker's scheduled-set masks are bitsets over the dense
+// OpIndex space of one SystemHistory (litmus scale: tens of operations, so
+// one or two 64-bit words).  std::vector<bool> is too slow and std::bitset
+// is fixed-size; this class is the minimal fast middle ground.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ssm::rel {
+
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+
+  void set(std::size_t i) noexcept { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void reset(std::size_t i) noexcept {
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] bool any() const noexcept {
+    for (auto w : words_) {
+      if (w) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  DynBitset& operator|=(const DynBitset& o) noexcept;
+  DynBitset& operator&=(const DynBitset& o) noexcept;
+  /// Set difference: this &= ~o.
+  DynBitset& operator-=(const DynBitset& o) noexcept;
+
+  [[nodiscard]] bool operator==(const DynBitset& o) const noexcept {
+    return bits_ == o.bits_ && words_ == o.words_;
+  }
+
+  /// True iff this is a subset of `o`.
+  [[nodiscard]] bool subset_of(const DynBitset& o) const noexcept;
+
+  /// True iff this and `o` intersect.
+  [[nodiscard]] bool intersects(const DynBitset& o) const noexcept;
+
+  /// Invoke `f(i)` for every set bit, in increasing order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w) {
+        const int b = __builtin_ctzll(w);
+        f(wi * 64 + static_cast<std::size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Raw word access (used by Relation's closure inner loop).
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+  [[nodiscard]] std::vector<std::uint64_t>& words() noexcept { return words_; }
+
+  /// 64-bit mixing hash (for memoization keys).
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ssm::rel

@@ -1,0 +1,67 @@
+#include "relation/relation.hpp"
+
+namespace ssm::rel {
+
+Relation& Relation::operator|=(const Relation& o) {
+  if (o.n_ != n_) throw InvalidInput("relation size mismatch in union");
+  for (std::size_t i = 0; i < n_; ++i) rows_[i] |= o.rows_[i];
+  return *this;
+}
+
+Relation Relation::transitive_closure() const {
+  Relation out = *this;
+  // Repeated squaring by row-propagation: for each i, fold in successor
+  // rows until no row changes.  n is tiny (litmus scale) so the simple
+  // fixpoint loop is both clear and fast.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n_; ++i) {
+      DynBitset next = out.rows_[i];
+      out.rows_[i].for_each([&](std::size_t j) { next |= out.rows_[j]; });
+      if (!(next == out.rows_[i])) {
+        out.rows_[i] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+  return out;
+}
+
+bool Relation::is_acyclic() const {
+  const Relation closed = transitive_closure();
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (closed.rows_[i].test(i)) return false;
+  }
+  return true;
+}
+
+std::size_t Relation::edge_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& row : rows_) total += row.count();
+  return total;
+}
+
+Relation Relation::restricted_to(const DynBitset& keep) const {
+  Relation out(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!keep.test(i)) continue;
+    out.rows_[i] = rows_[i];
+    out.rows_[i] &= keep;
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Relation::indegrees(
+    const DynBitset& universe) const {
+  std::vector<std::uint32_t> deg(n_, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!universe.test(i)) continue;
+    rows_[i].for_each([&](std::size_t j) {
+      if (universe.test(j)) ++deg[j];
+    });
+  }
+  return deg;
+}
+
+}  // namespace ssm::rel

@@ -1,0 +1,69 @@
+// Relation: a binary relation over the dense OpIndex space of one history.
+//
+// Represented as one DynBitset row per element (row a = successors of a).
+// This is the workhorse behind every order in the paper: po, ppo, wb, co,
+// rwb, rrb, sem, and the per-model constraint relations assembled by the
+// checker.  Transitive closure is bit-parallel (O(n^2 * n/64)).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "relation/bitset.hpp"
+
+namespace ssm::rel {
+
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::size_t n) : n_(n), rows_(n, DynBitset(n)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  void add(std::size_t a, std::size_t b) { rows_[a].set(b); }
+  void remove(std::size_t a, std::size_t b) { rows_[a].reset(b); }
+  [[nodiscard]] bool test(std::size_t a, std::size_t b) const {
+    return rows_[a].test(b);
+  }
+
+  [[nodiscard]] const DynBitset& successors(std::size_t a) const {
+    return rows_[a];
+  }
+
+  /// Union in place; relations must have the same size.
+  Relation& operator|=(const Relation& o);
+
+  [[nodiscard]] bool operator==(const Relation& o) const noexcept {
+    return n_ == o.n_ && rows_ == o.rows_;
+  }
+
+  /// R ∪ S as a new relation.
+  [[nodiscard]] friend Relation operator|(Relation a, const Relation& b) {
+    a |= b;
+    return a;
+  }
+
+  /// Transitive closure (not reflexive).  Bit-parallel forward propagation:
+  /// iterate until fixpoint; for litmus-scale n this is effectively instant.
+  [[nodiscard]] Relation transitive_closure() const;
+
+  /// True iff the transitive closure is irreflexive (no cycle).
+  [[nodiscard]] bool is_acyclic() const;
+
+  /// Number of edges.
+  [[nodiscard]] std::size_t edge_count() const noexcept;
+
+  /// Restriction: keep only edges with both endpoints in `keep`.
+  [[nodiscard]] Relation restricted_to(const DynBitset& keep) const;
+
+  /// Predecessor counts restricted to `universe` (used to seed topological
+  /// enumeration).  result[i] == number of j in universe with j -> i.
+  [[nodiscard]] std::vector<std::uint32_t> indegrees(
+      const DynBitset& universe) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<DynBitset> rows_;
+};
+
+}  // namespace ssm::rel

@@ -1,0 +1,90 @@
+#include "relation/topo.hpp"
+
+namespace ssm::rel {
+namespace {
+
+struct EnumState {
+  const Relation& r;
+  const DynBitset& universe;
+  const std::function<bool(const std::vector<std::size_t>&)>& visit;
+  std::vector<std::uint32_t> indeg;
+  std::vector<std::size_t> order;
+  DynBitset done;
+  std::size_t remaining = 0;
+  bool stopped = false;
+
+  void recurse() {
+    if (stopped) return;
+    if (remaining == 0) {
+      if (!visit(order)) stopped = true;
+      return;
+    }
+    for (std::size_t i = 0; i < indeg.size() && !stopped; ++i) {
+      if (!universe.test(i) || done.test(i) || indeg[i] != 0) continue;
+      // Schedule i.
+      done.set(i);
+      order.push_back(i);
+      --remaining;
+      r.successors(i).for_each([&](std::size_t j) {
+        if (universe.test(j)) --indeg[j];
+      });
+      recurse();
+      r.successors(i).for_each([&](std::size_t j) {
+        if (universe.test(j)) ++indeg[j];
+      });
+      ++remaining;
+      order.pop_back();
+      done.reset(i);
+    }
+  }
+};
+
+}  // namespace
+
+bool for_each_linear_extension(
+    const Relation& r, const DynBitset& universe,
+    const std::function<bool(const std::vector<std::size_t>&)>& visit) {
+  EnumState st{r, universe, visit, r.indegrees(universe), {},
+               DynBitset(r.size()), universe.count(), false};
+  st.order.reserve(st.remaining);
+  st.recurse();
+  return st.stopped;
+}
+
+std::uint64_t count_linear_extensions(const Relation& r,
+                                      const DynBitset& universe,
+                                      std::uint64_t cap) {
+  std::uint64_t count = 0;
+  for_each_linear_extension(r, universe,
+                            [&](const std::vector<std::size_t>&) {
+                              ++count;
+                              return count < cap;
+                            });
+  return count;
+}
+
+std::vector<std::size_t> one_linear_extension(const Relation& r,
+                                              const DynBitset& universe) {
+  auto indeg = r.indegrees(universe);
+  DynBitset done(r.size());
+  std::vector<std::size_t> order;
+  order.reserve(universe.count());
+  const std::size_t target = universe.count();
+  while (order.size() < target) {
+    bool advanced = false;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (!universe.test(i) || done.test(i) || indeg[i] != 0) continue;
+      done.set(i);
+      order.push_back(i);
+      r.successors(i).for_each([&](std::size_t j) {
+        if (universe.test(j)) --indeg[j];
+      });
+      advanced = true;
+      break;
+    }
+    if (!advanced) return {};  // cycle
+  }
+  return order;
+}
+
+}  // namespace ssm::rel

@@ -1,0 +1,39 @@
+// Enumeration of linear extensions (topological orders) of a relation
+// restricted to a subset of elements.
+//
+// TSO needs "all total orders of the writes consistent with the constraint
+// relation"; PC and RC need per-location write linearizations.  The
+// enumerator yields each extension to a callback and supports early exit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "relation/relation.hpp"
+
+namespace ssm::rel {
+
+/// Calls `visit` with each linear extension of `r` restricted to `universe`
+/// (each extension is a vector of element indices).  If `visit` returns
+/// false, enumeration stops early (used for "first witness wins").
+/// Returns true iff enumeration was stopped early by the callback.
+///
+/// Precondition: `r` restricted to `universe` is acyclic (a cyclic input
+/// simply yields no extensions).
+bool for_each_linear_extension(
+    const Relation& r, const DynBitset& universe,
+    const std::function<bool(const std::vector<std::size_t>&)>& visit);
+
+/// Convenience: the number of linear extensions (no early exit), capped at
+/// `cap` to bound work on loosely-constrained inputs.
+[[nodiscard]] std::uint64_t count_linear_extensions(const Relation& r,
+                                                    const DynBitset& universe,
+                                                    std::uint64_t cap);
+
+/// One linear extension (Kahn's algorithm), or empty if cyclic/empty
+/// universe with cycle.  Deterministic: smallest-index-first tie-break.
+[[nodiscard]] std::vector<std::size_t> one_linear_extension(
+    const Relation& r, const DynBitset& universe);
+
+}  // namespace ssm::rel

@@ -1,0 +1,10 @@
+#include "simulate/causal_memory.hpp"
+
+namespace ssm::sim {
+
+std::unique_ptr<Machine> make_causal_machine(std::size_t procs,
+                                             std::size_t locs) {
+  return std::make_unique<CausalMemory>(procs, locs);
+}
+
+}  // namespace ssm::sim

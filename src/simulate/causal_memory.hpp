@@ -1,0 +1,111 @@
+// CausalMemory: replicas + vector-clock-tagged causal broadcast, the
+// standard implementation of the paper's §3.5 causal memory [Ahamad et
+// al. 91].  A write increments the writer's vector-clock entry and is
+// broadcast with the clock; a receiver may apply an update only when it is
+// *causally ready*:
+//
+//   msg.vc[sender] == local_vc[sender] + 1   (next from that sender), and
+//   msg.vc[k]      <= local_vc[k]  for k != sender (deps delivered).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "simulate/machine.hpp"
+
+namespace ssm::sim {
+
+class CausalMemory final : public Machine {
+ public:
+  CausalMemory(std::size_t procs, std::size_t locs)
+      : Machine(procs, locs),
+        replica_(procs, std::vector<Value>(locs, kInitialValue)),
+        clock_(procs, std::vector<std::uint32_t>(procs, 0)),
+        inbox_(procs) {}
+
+  std::string_view name() const noexcept override {
+    return "causal-machine";
+  }
+
+  Value read(ProcId p, LocId loc, OpLabel) override {
+    return replica_[p][loc];
+  }
+
+  void write(ProcId p, LocId loc, Value v, OpLabel) override {
+    ++clock_[p][p];
+    replica_[p][loc] = v;
+    Update u{p, loc, v, clock_[p]};
+    for (std::size_t q = 0; q < procs_; ++q) {
+      if (q != p) inbox_[q].push_back(u);
+    }
+  }
+
+  /// Quiesce-then-swap, as in PramMemory (a causal system needs an
+  /// out-of-band primitive for global atomicity).
+  Value rmw(ProcId p, LocId loc, Value v, OpLabel label) override {
+    drain();
+    const Value old = replica_[p][loc];
+    write(p, loc, v, label);
+    drain();
+    return old;
+  }
+
+  /// Replica-local, like PRAM; rmw quiesces.
+  OpCost classify(ProcId, OpKind kind, LocId, OpLabel) const override {
+    return kind == OpKind::ReadModifyWrite ? OpCost::GlobalFlush
+                                           : OpCost::Local;
+  }
+
+  std::size_t num_internal_events() const override {
+    std::size_t n = 0;
+    for (std::size_t q = 0; q < procs_; ++q) {
+      for (const auto& u : inbox_[q]) {
+        if (ready(static_cast<ProcId>(q), u)) ++n;
+      }
+    }
+    return n;
+  }
+
+  void fire_internal_event(std::size_t k) override {
+    for (std::size_t q = 0; q < procs_; ++q) {
+      for (std::size_t i = 0; i < inbox_[q].size(); ++i) {
+        const Update& u = inbox_[q][i];
+        if (!ready(static_cast<ProcId>(q), u)) continue;
+        if (k-- == 0) {
+          replica_[q][u.loc] = u.value;
+          clock_[q][u.sender] = u.vc[u.sender];
+          inbox_[q].erase(inbox_[q].begin() +
+                          static_cast<std::ptrdiff_t>(i));
+          return;
+        }
+      }
+    }
+  }
+
+ private:
+  struct Update {
+    ProcId sender;
+    LocId loc;
+    Value value;
+    std::vector<std::uint32_t> vc;
+  };
+
+  [[nodiscard]] bool ready(ProcId receiver, const Update& u) const {
+    const auto& local = clock_[receiver];
+    if (u.vc[u.sender] != local[u.sender] + 1) return false;
+    for (std::size_t k = 0; k < procs_; ++k) {
+      if (k != u.sender && u.vc[k] > local[k]) return false;
+    }
+    return true;
+  }
+
+  std::vector<std::vector<Value>> replica_;
+  std::vector<std::vector<std::uint32_t>> clock_;
+  std::vector<std::deque<Update>> inbox_;
+};
+
+[[nodiscard]] std::unique_ptr<Machine> make_causal_machine(std::size_t procs,
+                                                           std::size_t locs);
+
+}  // namespace ssm::sim

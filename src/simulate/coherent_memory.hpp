@@ -1,0 +1,122 @@
+// CoherentMemory: replicated memory with a global per-location write
+// sequencer and dependency-constrained update propagation.  Two delivery
+// disciplines share the implementation:
+//
+//   * PerSenderFifo (the Goodman-PC machine): every update depends on the
+//     sender's previous update, so each receiver applies a sender's
+//     updates in program order (PRAM pipelines) — plus coherence from the
+//     sequencer (stale versions are discarded).
+//   * Independent (the release-consistency fabric): ordinary updates
+//     carry only their acquire-induced dependencies and may overtake each
+//     other freely across locations — the paper's "propagated
+//     independently ... may arrive in different order at different
+//     caches" (§3.4).  A labeled (release) update depends on ALL of the
+//     sender's earlier updates, so a receiver applies the release only
+//     after the data it publishes has arrived (bracket condition 2), and
+//     acquire dependencies (bracket condition 1) ride on subsequent
+//     updates as before.
+//
+// Delivery bookkeeping: per (receiver, sender) we keep a contiguous
+// arrival watermark (out-of-order arrivals parked in a set until the gap
+// closes), and an update is deliverable when every dependency is at or
+// below the corresponding watermark.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "simulate/machine.hpp"
+
+namespace ssm::sim {
+
+class CoherentMemory final : public Machine {
+ public:
+  enum class Propagation { PerSenderFifo, Independent };
+
+  CoherentMemory(std::size_t procs, std::size_t locs,
+                 Propagation propagation = Propagation::PerSenderFifo);
+
+  std::string_view name() const noexcept override {
+    return propagation_ == Propagation::PerSenderFifo
+               ? "coherent-machine"
+               : "coherent-machine(independent)";
+  }
+
+  Value read(ProcId p, LocId loc, OpLabel label) override;
+  void write(ProcId p, LocId loc, Value v, OpLabel label) override;
+
+  /// Globally atomic swap: quiesce, then write through the sequencer and
+  /// deliver everywhere at once.
+  Value rmw(ProcId p, LocId loc, Value v, OpLabel label) override;
+
+  /// Reads and writes are replica-local (the sequencer stamp is metadata,
+  /// not a round trip for the issuer); rmw quiesces.  Labeled writes pay
+  /// Memory for the per-location sequencer serialization.
+  OpCost classify(ProcId, OpKind kind, LocId, OpLabel label) const override {
+    if (kind == OpKind::ReadModifyWrite) return OpCost::GlobalFlush;
+    if (kind == OpKind::Write && label == OpLabel::Labeled) {
+      return OpCost::Memory;
+    }
+    return OpCost::Local;
+  }
+
+  std::size_t num_internal_events() const override;
+  void fire_internal_event(std::size_t k) override;
+
+  /// Delivers every in-flight update from processor `p` (release fence
+  /// support for the RC_sc machine), together with any updates from other
+  /// senders they depend on.
+  void flush_from(ProcId p);
+
+ private:
+  struct Update {
+    LocId loc;
+    Value value;
+    std::uint64_t version;  // per-location coherence stamp
+    std::uint64_t seq;      // per-sender sequence number
+    std::vector<std::uint64_t> dep;  // per-sender dependencies
+  };
+
+  struct Source {
+    ProcId sender = 0;
+    std::uint64_t seq = 0;  // 0 = initial value (no source write)
+  };
+
+  void apply(ProcId at, ProcId sender, const Update& u);
+  void record_arrival(std::size_t receiver, ProcId sender,
+                      std::uint64_t seq);
+  [[nodiscard]] bool deliverable(std::size_t receiver,
+                                 const Update& u) const;
+  /// Delivers one deliverable update to `receiver` (any sender, any queue
+  /// position); returns false when none is deliverable.
+  bool deliver_any_to(std::size_t receiver);
+  /// Removes and applies channel element `idx` of (sender -> receiver).
+  void deliver_at(ProcId sender, std::size_t receiver, std::size_t idx);
+
+  [[nodiscard]] std::size_t chan(ProcId sender, std::size_t receiver) const {
+    return static_cast<std::size_t>(sender) * procs_ + receiver;
+  }
+
+  Propagation propagation_;
+  std::vector<std::vector<Value>> replica_;
+  std::vector<std::vector<std::uint64_t>> applied_ver_;
+  std::vector<std::vector<Source>> source_;  // [proc][loc] current writer
+  std::vector<std::uint64_t> version_;       // per-location next stamp
+  std::vector<std::uint64_t> out_seq_;       // per-sender sequence counter
+  /// watermark_[r][s]: all of sender s's updates with seq <= watermark
+  /// have arrived at r (applied or discarded as stale).
+  std::vector<std::vector<std::uint64_t>> watermark_;
+  /// Out-of-order arrivals waiting for their gap to close.
+  std::vector<std::vector<std::set<std::uint64_t>>> early_;
+  /// dep_vec_[p][s]: acquire dependencies accumulated by processor p.
+  std::vector<std::vector<std::uint64_t>> dep_vec_;
+  std::vector<std::deque<Update>> channel_;
+};
+
+[[nodiscard]] std::unique_ptr<Machine> make_coherent_machine(
+    std::size_t procs, std::size_t locs);
+
+}  // namespace ssm::sim

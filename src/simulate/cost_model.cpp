@@ -1,0 +1,89 @@
+#include "simulate/cost_model.hpp"
+
+#include "simulate/scheduler.hpp"
+
+namespace ssm::sim {
+
+CostReport measure_workload(const CostFactory& factory, const Plan& plan,
+                            std::size_t locs, const CostParams& params,
+                            std::uint64_t seed) {
+  std::size_t next = 0;
+  return measure_programs(
+      factory,
+      [&](std::uint32_t) { return run_plan(plan[next++]); },
+      static_cast<std::uint32_t>(plan.size()), locs, params, seed);
+}
+
+CostReport measure_programs(const CostFactory& factory,
+                            const ProgramFactory& make_program,
+                            std::uint32_t procs, std::size_t locs,
+                            const CostParams& params, std::uint64_t seed,
+                            std::uint64_t max_ops) {
+  auto machine = factory(procs, locs);
+  CostReport report;
+  // Drive the programs directly (round-robin with seeded jitter) so we can
+  // query classify() before each operation executes.
+  std::vector<Program> programs;
+  programs.reserve(procs);
+  for (std::uint32_t i = 0; i < procs; ++i) {
+    programs.push_back(make_program(i));
+    programs.back().start();
+  }
+  Rng rng(seed);
+  std::size_t remaining = programs.size();
+  while (remaining > 0 && report.ops < max_ops) {
+    // Pick a runnable program uniformly.
+    std::size_t pick = rng.below(programs.size());
+    while (programs[pick].done()) pick = (pick + 1) % programs.size();
+    Program& prog = programs[pick];
+    const ProcId p = static_cast<ProcId>(pick);
+    const MemRequest req = prog.pending();
+    const OpKind kind = req.type == ReqType::Write  ? OpKind::Write
+                        : req.type == ReqType::Rmw ? OpKind::ReadModifyWrite
+                                                    : OpKind::Read;
+    if (req.type == ReqType::Read || req.type == ReqType::Write ||
+        req.type == ReqType::Rmw) {
+      const OpCost cls = machine->classify(p, kind, req.loc, req.label);
+      const std::size_t pending = machine->num_internal_events();
+      report.cycles += params.cycles(cls, pending);
+      ++report.ops;
+      switch (cls) {
+        case OpCost::Local:
+          ++report.local_ops;
+          break;
+        case OpCost::Memory:
+          ++report.memory_ops;
+          break;
+        default:
+          ++report.global_ops;
+          break;
+      }
+    }
+    switch (req.type) {
+      case ReqType::Read:
+        prog.resume_with(machine->read(p, req.loc, req.label));
+        break;
+      case ReqType::Write:
+        machine->write(p, req.loc, req.value, req.label);
+        prog.resume_with(0);
+        break;
+      case ReqType::Rmw:
+        prog.resume_with(machine->rmw(p, req.loc, req.value, req.label));
+        break;
+      default:
+        prog.resume_with(0);
+        break;
+    }
+    // Background propagation: drain a random fraction of internal events
+    // (they overlap with computation, so they are free for the issuer).
+    while (machine->num_internal_events() > 0 && rng.chance(1, 2)) {
+      machine->fire_internal_event(
+          static_cast<std::size_t>(rng.below(machine->num_internal_events())));
+    }
+    if (prog.done()) --remaining;
+  }
+  machine->drain();
+  return report;
+}
+
+}  // namespace ssm::sim

@@ -1,0 +1,90 @@
+// Cost model: a synthetic quantification of the paper's motivation —
+// "the strong consistency guarantees provided by traditional memories can
+// have a significant impact on the performance of applications [and]
+// limit the scalability of shared memory systems" (§1).
+//
+// Each operation's latency class (Machine::classify) is priced with a
+// parameterized interconnect model, and a workload is replayed to yield
+// cycles-per-operation per machine.  The *shape* to reproduce: as the
+// interconnect latency grows, SC's cost grows linearly with it while the
+// weaker machines stay near the local-access cost — with RC_sc between
+// (only its synchronization accesses pay), and RC_pc cheaper still.
+// Absolute numbers are synthetic by construction; see DESIGN.md's
+// substitution table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "simulate/machine.hpp"
+#include "simulate/workload.hpp"
+
+namespace ssm::sim {
+
+struct CostParams {
+  /// Local buffer / replica access.
+  std::uint64_t local = 1;
+  /// One access to the shared (single-ported) memory.
+  std::uint64_t memory = 20;
+  /// A globally-ordered access: interconnect round trip + serialization.
+  std::uint64_t interconnect = 100;
+  /// Extra cycles per pending internal event drained by a flush.
+  std::uint64_t per_flush_entry = 5;
+
+  [[nodiscard]] std::uint64_t cycles(OpCost c,
+                                     std::size_t pending) const noexcept {
+    switch (c) {
+      case OpCost::Local:
+        return local;
+      case OpCost::Memory:
+        return memory;
+      case OpCost::Global:
+        return interconnect;
+      case OpCost::GlobalFlush:
+        return interconnect + per_flush_entry * pending;
+    }
+    return local;
+  }
+};
+
+struct CostReport {
+  std::uint64_t ops = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t local_ops = 0;
+  std::uint64_t memory_ops = 0;
+  std::uint64_t global_ops = 0;
+  [[nodiscard]] double cycles_per_op() const {
+    return ops == 0 ? 0.0 : static_cast<double>(cycles) /
+                                static_cast<double>(ops);
+  }
+};
+
+using CostFactory =
+    std::function<std::unique_ptr<Machine>(std::size_t, std::size_t)>;
+
+/// Replays `plan` on the machine under a fair random schedule, pricing
+/// every program operation with `params`.  Internal propagation overlaps
+/// with computation (the point of weak memories), so it contributes no
+/// issue-latency — only flushes bill for pending work.
+[[nodiscard]] CostReport measure_workload(const CostFactory& factory,
+                                          const Plan& plan, std::size_t locs,
+                                          const CostParams& params,
+                                          std::uint64_t seed = 1);
+
+/// Same, but for arbitrary coroutine programs (spin loops allowed): the
+/// programs produced by `make_program(i)` for i in [0, procs) run against
+/// one machine built by `factory`.  Guarded by `max_ops` against
+/// livelock.  Used to price real algorithms (Bakery) rather than
+/// straight-line workloads.
+using ProgramFactory = std::function<Program(std::uint32_t)>;
+[[nodiscard]] CostReport measure_programs(const CostFactory& factory,
+                                          const ProgramFactory& make_program,
+                                          std::uint32_t procs,
+                                          std::size_t locs,
+                                          const CostParams& params,
+                                          std::uint64_t seed = 1,
+                                          std::uint64_t max_ops = 1'000'000);
+
+}  // namespace ssm::sim

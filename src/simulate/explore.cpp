@@ -1,0 +1,157 @@
+#include "simulate/explore.hpp"
+
+#include "history/print.hpp"
+#include "simulate/trace.hpp"
+
+namespace ssm::sim {
+namespace {
+
+/// One concrete execution being replayed: machine + program coroutines +
+/// trace recorder, advanced one externally-chosen step at a time.
+class Replayer {
+ public:
+  Replayer(const ExploreFactory& factory, const Plan& plan,
+           std::size_t locs)
+      : machine_(factory(plan.size(), locs)),
+        trace_(plan.size(), locs) {
+    programs_.reserve(plan.size());
+    for (const auto& row : plan) {
+      programs_.push_back(run_plan(row));
+      programs_.back().start();
+    }
+  }
+
+  /// Choice encoding: [0, P) = resume program i; P + k = fire internal
+  /// event k.
+  [[nodiscard]] std::vector<std::uint32_t> choices() const {
+    std::vector<std::uint32_t> out;
+    for (std::size_t i = 0; i < programs_.size(); ++i) {
+      if (!programs_[i].done()) {
+        out.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    const std::size_t internal = machine_->num_internal_events();
+    for (std::size_t k = 0; k < internal; ++k) {
+      out.push_back(static_cast<std::uint32_t>(programs_.size() + k));
+    }
+    return out;
+  }
+
+  void take(std::uint32_t choice) {
+    if (choice < programs_.size()) {
+      Program& prog = programs_[choice];
+      const ProcId p = static_cast<ProcId>(choice);
+      const MemRequest req = prog.pending();
+      switch (req.type) {
+        case ReqType::Read: {
+          const Value v = machine_->read(p, req.loc, req.label);
+          trace_.record_read(p, req.loc, v, req.label);
+          prog.resume_with(v);
+          break;
+        }
+        case ReqType::Write:
+          machine_->write(p, req.loc, req.value, req.label);
+          trace_.record_write(p, req.loc, req.value, req.label);
+          prog.resume_with(0);
+          break;
+        case ReqType::Rmw: {
+          const Value old = machine_->rmw(p, req.loc, req.value, req.label);
+          trace_.record_rmw(p, req.loc, old, req.value, req.label);
+          prog.resume_with(old);
+          break;
+        }
+        default:
+          prog.resume_with(0);
+          break;
+      }
+    } else {
+      machine_->fire_internal_event(choice -
+                                    static_cast<std::uint32_t>(
+                                        programs_.size()));
+    }
+  }
+
+  [[nodiscard]] const history::SystemHistory& trace() const {
+    return trace_.history();
+  }
+
+ private:
+  std::unique_ptr<Machine> machine_;
+  std::vector<Program> programs_;
+  TraceRecorder trace_;
+};
+
+class Exploration {
+ public:
+  Exploration(const ExploreFactory& factory, const Plan& plan,
+              std::size_t locs, ExploreOptions options,
+              std::vector<history::SystemHistory>* histories)
+      : factory_(factory),
+        plan_(plan),
+        locs_(locs),
+        options_(options),
+        histories_(histories) {}
+
+  ExploreResult run() {
+    std::vector<std::uint32_t> prefix;
+    dfs(prefix);
+    return std::move(result_);
+  }
+
+ private:
+  void dfs(std::vector<std::uint32_t>& prefix) {
+    if (result_.truncated) return;
+    if (prefix.size() > options_.max_depth) {
+      result_.truncated = true;
+      return;
+    }
+    Replayer replay(factory_, plan_, locs_);
+    for (std::uint32_t c : prefix) replay.take(c);
+    const auto cs = replay.choices();
+    if (cs.empty()) {
+      ++result_.schedules;
+      std::string key = history::format_history(replay.trace());
+      if (result_.traces.insert(std::move(key)).second &&
+          histories_ != nullptr) {
+        histories_->push_back(replay.trace());
+      }
+      if (options_.max_schedules != 0 &&
+          result_.schedules >= options_.max_schedules) {
+        result_.truncated = true;
+      }
+      return;
+    }
+    for (std::uint32_t c : cs) {
+      prefix.push_back(c);
+      dfs(prefix);
+      prefix.pop_back();
+      if (result_.truncated) return;
+    }
+  }
+
+  const ExploreFactory& factory_;
+  const Plan& plan_;
+  std::size_t locs_;
+  ExploreOptions options_;
+  std::vector<history::SystemHistory>* histories_;
+  ExploreResult result_;
+};
+
+}  // namespace
+
+ExploreResult explore_traces(const ExploreFactory& factory, const Plan& plan,
+                             std::size_t locs, ExploreOptions options) {
+  Exploration e(factory, plan, locs, options, nullptr);
+  return e.run();
+}
+
+std::vector<history::SystemHistory> explore_histories(
+    const ExploreFactory& factory, const Plan& plan, std::size_t locs,
+    ExploreOptions options) {
+  std::vector<history::SystemHistory> out;
+  Exploration e(factory, plan, locs, options, &out);
+  (void)e.run();
+  return out;
+}
+
+}  // namespace ssm::sim

@@ -1,0 +1,66 @@
+// Exhaustive schedule exploration: enumerate EVERY trace a machine can
+// produce on a fixed straight-line workload, by depth-first search over
+// all scheduler decisions (which program steps, which buffer drains /
+// message deliveries, in every order).
+//
+// This turns the simulators into bounded model checkers: combined with the
+// declarative checkers it gives *complete* operational-vs-declarative
+// validation on small programs —
+//   soundness:     every reachable trace is admitted by the machine's
+//                  declarative model;
+//   completeness:  specific weak outcomes (fig. 1's double-stale reads on
+//                  the TSO machine, fig. 3's divergence on PRAM, §5's
+//                  Bakery double entry on RC_pc) are actually reachable.
+//
+// Implementation: paths are replayed from scratch for each extension (the
+// coroutine/machine state is not copyable), which is O(length) per step —
+// perfectly fine at litmus scale.  Distinct traces are deduplicated by
+// their canonical rendering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "history/system_history.hpp"
+#include "simulate/machine.hpp"
+#include "simulate/workload.hpp"
+
+namespace ssm::sim {
+
+using ExploreFactory =
+    std::function<std::unique_ptr<Machine>(std::size_t procs,
+                                           std::size_t locs)>;
+
+struct ExploreOptions {
+  /// Stop after visiting this many complete schedules (0 = unlimited).
+  std::uint64_t max_schedules = 1'000'000;
+  /// Abort paths longer than this many steps (guards against drains that
+  /// never quiesce; generously above any straight-line workload's needs).
+  std::uint32_t max_depth = 256;
+};
+
+struct ExploreResult {
+  /// Distinct complete traces, rendered with history::format_history.
+  std::set<std::string> traces;
+  std::uint64_t schedules = 0;
+  bool truncated = false;  // hit max_schedules
+};
+
+/// Explores every schedule of `plan` (one straight-line op sequence per
+/// processor) on machines built by `factory`.
+[[nodiscard]] ExploreResult explore_traces(const ExploreFactory& factory,
+                                           const Plan& plan,
+                                           std::size_t locs,
+                                           ExploreOptions options = {});
+
+/// Convenience: explore and return the traces parsed back into histories
+/// (useful for feeding the declarative checkers).
+[[nodiscard]] std::vector<history::SystemHistory> explore_histories(
+    const ExploreFactory& factory, const Plan& plan, std::size_t locs,
+    ExploreOptions options = {});
+
+}  // namespace ssm::sim

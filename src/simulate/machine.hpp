@@ -1,0 +1,85 @@
+// Machine: the operational memory interface the scheduler drives.
+//
+// Each machine realizes one of the paper's operational descriptions
+// (store buffers + single-ported memory for TSO, replicas + FIFO broadcast
+// for PRAM, …).  Besides the synchronous read/write/rmw entry points,
+// machines expose their *internal nondeterminism* — pending buffer drains
+// and message deliveries — as a countable set of events the scheduler
+// fires in any order it likes.  Adversarial schedules (e.g. delaying all
+// deliveries while the Bakery processes race to the critical section) are
+// just event-selection policies.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ssm::sim {
+
+/// How expensive an operation is for the issuing processor — the latency
+/// class the consistency model forces it to pay before continuing.  Used
+/// by the cost model (cost_model.hpp) to quantify the paper's motivation:
+/// weaker consistency lets more operations complete locally.
+enum class OpCost : std::uint8_t {
+  Local,        ///< satisfied from a local buffer/replica; no waiting
+  Memory,       ///< one access to the (single-ported) shared memory
+  Global,       ///< a globally-ordered access (round trip + serialization)
+  GlobalFlush,  ///< global access that must first drain pending updates
+};
+
+class Machine {
+ public:
+  explicit Machine(std::size_t procs, std::size_t locs)
+      : procs_(procs), locs_(locs) {}
+  virtual ~Machine() = default;
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] std::size_t num_processors() const noexcept { return procs_; }
+  [[nodiscard]] std::size_t num_locations() const noexcept { return locs_; }
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  virtual Value read(ProcId p, LocId loc, OpLabel label) = 0;
+  virtual void write(ProcId p, LocId loc, Value v, OpLabel label) = 0;
+
+  /// Atomic read-modify-write (swap): returns the previous value.  On
+  /// machines with delayed propagation this quiesces the location first,
+  /// making the operation globally atomic (hardware synchronization
+  /// primitive semantics); see each machine's notes.
+  virtual Value rmw(ProcId p, LocId loc, Value v, OpLabel label) = 0;
+
+  /// Latency class the issuing processor pays for this operation under
+  /// this machine's consistency discipline, *given the machine's current
+  /// state* (e.g. a TSO read is Local on a buffer hit, Memory otherwise).
+  /// Query BEFORE executing the operation.
+  [[nodiscard]] virtual OpCost classify(ProcId p, OpKind kind, LocId loc,
+                                        OpLabel label) const {
+    (void)p;
+    (void)kind;
+    (void)loc;
+    (void)label;
+    return OpCost::Local;
+  }
+
+  /// Number of internal events currently enabled (buffer drains, message
+  /// deliveries).  0 for machines with no internal state (SC).
+  [[nodiscard]] virtual std::size_t num_internal_events() const { return 0; }
+
+  /// Fires enabled internal event `k` (0 <= k < num_internal_events()).
+  virtual void fire_internal_event(std::size_t k) { (void)k; }
+
+  /// Fires internal events until quiescent (used at the end of runs and by
+  /// flush-style fences).
+  void drain() {
+    while (num_internal_events() > 0) fire_internal_event(0);
+  }
+
+ protected:
+  std::size_t procs_;
+  std::size_t locs_;
+};
+
+}  // namespace ssm::sim

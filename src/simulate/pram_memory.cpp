@@ -1,0 +1,10 @@
+#include "simulate/pram_memory.hpp"
+
+namespace ssm::sim {
+
+std::unique_ptr<Machine> make_pram_machine(std::size_t procs,
+                                           std::size_t locs) {
+  return std::make_unique<PramMemory>(procs, locs);
+}
+
+}  // namespace ssm::sim

@@ -1,0 +1,86 @@
+// PramMemory: the paper's §3.5 operational PRAM — every processor holds a
+// complete replica; writes apply locally at once and are broadcast over
+// reliable per-sender FIFO channels; receivers apply updates
+// asynchronously.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "simulate/machine.hpp"
+
+namespace ssm::sim {
+
+class PramMemory final : public Machine {
+ public:
+  PramMemory(std::size_t procs, std::size_t locs)
+      : Machine(procs, locs),
+        replica_(procs, std::vector<Value>(locs, kInitialValue)),
+        channel_(procs * procs) {}
+
+  std::string_view name() const noexcept override { return "pram-machine"; }
+
+  Value read(ProcId p, LocId loc, OpLabel) override {
+    return replica_[p][loc];
+  }
+
+  void write(ProcId p, LocId loc, Value v, OpLabel) override {
+    replica_[p][loc] = v;
+    for (std::size_t q = 0; q < procs_; ++q) {
+      if (q != p) channel_[chan(p, q)].emplace_back(loc, v);
+    }
+  }
+
+  /// PRAM has no global atomicity to offer; rmw quiesces every channel
+  /// (delivering all in-flight updates) and then performs the swap against
+  /// all replicas at once, modelling a synchronization instruction that
+  /// bypasses the pipelines.
+  Value rmw(ProcId p, LocId loc, Value v, OpLabel) override {
+    drain();
+    const Value old = replica_[p][loc];
+    for (auto& rep : replica_) rep[loc] = v;
+    return old;
+  }
+
+  /// Everything is replica-local; only the out-of-band rmw pays a global
+  /// quiesce.
+  OpCost classify(ProcId, OpKind kind, LocId, OpLabel) const override {
+    return kind == OpKind::ReadModifyWrite ? OpCost::GlobalFlush
+                                           : OpCost::Local;
+  }
+
+  std::size_t num_internal_events() const override {
+    std::size_t n = 0;
+    for (const auto& ch : channel_) {
+      if (!ch.empty()) ++n;
+    }
+    return n;
+  }
+
+  void fire_internal_event(std::size_t k) override {
+    for (std::size_t c = 0; c < channel_.size(); ++c) {
+      if (channel_[c].empty()) continue;
+      if (k-- == 0) {
+        const auto [loc, v] = channel_[c].front();
+        channel_[c].pop_front();
+        replica_[c % procs_][loc] = v;  // receiver = column index
+        return;
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t chan(ProcId sender, std::size_t receiver) const {
+    return static_cast<std::size_t>(sender) * procs_ + receiver;
+  }
+
+  std::vector<std::vector<Value>> replica_;
+  /// channel_[sender*procs + receiver]: FIFO of (loc, value) updates.
+  std::vector<std::deque<std::pair<LocId, Value>>> channel_;
+};
+
+[[nodiscard]] std::unique_ptr<Machine> make_pram_machine(std::size_t procs,
+                                                         std::size_t locs);
+
+}  // namespace ssm::sim

@@ -1,0 +1,4 @@
+#include "simulate/program.hpp"
+
+// Program is header-only (coroutine machinery must be visible at await
+// sites); this translation unit anchors the target.

@@ -1,0 +1,154 @@
+// Coroutine-based processor programs.
+//
+// A simulated processor is a C++20 coroutine that issues memory requests
+// with co_await and is resumed by the Scheduler with the value the memory
+// machine produced.  This lets algorithms with loops and data-dependent
+// control flow (the Bakery algorithm, spin locks, …) be written naturally
+// while the scheduler retains full control over interleaving:
+//
+//   Program writer(LocId x) {
+//     co_await sim::write(x, 1);
+//     Value v = co_await sim::read(x);
+//     ...
+//   }
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace ssm::sim {
+
+/// What a program is currently asking the scheduler to do.
+enum class ReqType : std::uint8_t {
+  None,     ///< not started / just resumed
+  Read,     ///< read loc, resume with value
+  Write,    ///< write value to loc
+  Rmw,      ///< atomically read loc (resume value) and store value
+  EnterCs,  ///< annotation: entering a critical section (not a memory op)
+  ExitCs,   ///< annotation: leaving a critical section
+};
+
+struct MemRequest {
+  ReqType type = ReqType::None;
+  LocId loc = 0;
+  Value value = 0;
+  OpLabel label = OpLabel::Ordinary;
+};
+
+class Program {
+ public:
+  struct promise_type {
+    MemRequest pending{};
+    Value resume_value = 0;
+    std::exception_ptr error;
+
+    Program get_return_object() {
+      return Program(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  Program() = default;
+  explicit Program(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Program(Program&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  Program& operator=(Program&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+  ~Program() { destroy(); }
+
+  [[nodiscard]] bool done() const { return !handle_ || handle_.done(); }
+
+  /// The request the program is suspended on (valid when !done()).
+  [[nodiscard]] const MemRequest& pending() const {
+    return handle_.promise().pending;
+  }
+
+  /// Resumes the program, delivering `v` as the result of its pending
+  /// request, and runs it to the next request (or completion).  Rethrows
+  /// any exception the program body raised.
+  void resume_with(Value v) {
+    handle_.promise().resume_value = v;
+    handle_.promise().pending.type = ReqType::None;
+    handle_.resume();
+    rethrow();
+  }
+
+  /// Runs the program to its first request (or completion).
+  void start() {
+    handle_.resume();
+    rethrow();
+  }
+
+ private:
+  void rethrow() {
+    if (handle_ && handle_.done() && handle_.promise().error) {
+      std::rethrow_exception(handle_.promise().error);
+    }
+  }
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace detail {
+
+struct MemAwait {
+  MemRequest req;
+  Program::promise_type* promise = nullptr;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<Program::promise_type> h) {
+    promise = &h.promise();
+    promise->pending = req;
+  }
+  Value await_resume() const { return promise->resume_value; }
+};
+
+}  // namespace detail
+
+/// co_await read(x) -> Value
+[[nodiscard]] inline detail::MemAwait read(LocId loc,
+                                           OpLabel label = OpLabel::Ordinary) {
+  return {{ReqType::Read, loc, 0, label}, nullptr};
+}
+
+/// co_await write(x, v)
+[[nodiscard]] inline detail::MemAwait write(
+    LocId loc, Value v, OpLabel label = OpLabel::Ordinary) {
+  return {{ReqType::Write, loc, v, label}, nullptr};
+}
+
+/// co_await rmw(x, v) -> previous Value (atomic swap)
+[[nodiscard]] inline detail::MemAwait rmw(LocId loc, Value v,
+                                          OpLabel label = OpLabel::Ordinary) {
+  return {{ReqType::Rmw, loc, v, label}, nullptr};
+}
+
+/// co_await enter_cs() / exit_cs(): critical-section annotations consumed
+/// by the mutual-exclusion monitor; not memory operations.
+[[nodiscard]] inline detail::MemAwait enter_cs() {
+  return {{ReqType::EnterCs, 0, 0, OpLabel::Ordinary}, nullptr};
+}
+[[nodiscard]] inline detail::MemAwait exit_cs() {
+  return {{ReqType::ExitCs, 0, 0, OpLabel::Ordinary}, nullptr};
+}
+
+}  // namespace ssm::sim

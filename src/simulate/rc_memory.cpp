@@ -1,0 +1,15 @@
+#include "simulate/rc_memory.hpp"
+
+namespace ssm::sim {
+
+std::unique_ptr<Machine> make_rc_sc_machine(std::size_t procs,
+                                            std::size_t locs) {
+  return std::make_unique<RcMemory>(procs, locs, RcMemory::Variant::Sc);
+}
+
+std::unique_ptr<Machine> make_rc_pc_machine(std::size_t procs,
+                                            std::size_t locs) {
+  return std::make_unique<RcMemory>(procs, locs, RcMemory::Variant::Pc);
+}
+
+}  // namespace ssm::sim

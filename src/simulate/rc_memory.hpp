@@ -1,0 +1,118 @@
+// RcMemory: the DASH-style release-consistent machine, in the two labeled
+// flavours of paper §3.4.
+//
+// Ordinary operations run on a CoherentMemory-style replica fabric
+// (independent propagation per location, per-sender FIFO, coherence via a
+// per-location sequencer).  Labeled operations differ by variant:
+//
+//   * RC_sc (labeled ops sequentially consistent): labeled reads and
+//     writes act on a single shared synchronization store, immediately and
+//     atomically — so the labeled subhistory is an SC interleaving by
+//     construction.
+//   * RC_pc (labeled ops processor consistent): labeled operations travel
+//     on the same replica fabric as ordinary ones (per-sender FIFO +
+//     coherence), so another processor may observe a labeled write late —
+//     exactly the freedom the paper exploits to break the Bakery
+//     algorithm.
+//
+// Release semantics: before a labeled *write* is performed, all of the
+// issuing processor's in-flight ordinary updates are delivered everywhere
+// ("ordinary operations complete before the following release").  Acquire
+// semantics follow from releases having flushed: once a processor reads a
+// released flag value, the data writes that preceded the release are
+// already applied at every replica.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "simulate/coherent_memory.hpp"
+
+namespace ssm::sim {
+
+class RcMemory final : public Machine {
+ public:
+  enum class Variant { Sc, Pc };
+
+  RcMemory(std::size_t procs, std::size_t locs, Variant variant)
+      : Machine(procs, locs),
+        variant_(variant),
+        // Independent propagation: ordinary updates overtake each other
+        // freely (the paper's §3.4 "propagated independently"); releases
+        // depend on the sender's prior updates, acquires install
+        // dependencies — the bracket conditions, operationally.
+        fabric_(procs, locs, CoherentMemory::Propagation::Independent),
+        sync_store_(locs, kInitialValue) {}
+
+  std::string_view name() const noexcept override {
+    return variant_ == Variant::Sc ? "rc-sc-machine" : "rc-pc-machine";
+  }
+
+  Value read(ProcId p, LocId loc, OpLabel label) override {
+    if (label == OpLabel::Labeled && variant_ == Variant::Sc) {
+      return sync_store_[loc];
+    }
+    return fabric_.read(p, loc, label);
+  }
+
+  void write(ProcId p, LocId loc, Value v, OpLabel label) override {
+    if (label == OpLabel::Labeled && variant_ == Variant::Sc) {
+      // Release: the sync store is globally visible at once, so the
+      // ordinary data it publishes must be delivered everywhere first.
+      fabric_.flush_from(p);
+      sync_store_[loc] = v;
+      return;
+    }
+    // PC variant: releases travel on the same per-sender FIFO as the data
+    // they publish, so every receiver applies the data first — no eager
+    // flush, which is precisely the laziness the paper's §5 Bakery
+    // violation exploits (labeled writes may stay invisible arbitrarily
+    // long).
+    fabric_.write(p, loc, v, label);
+  }
+
+  Value rmw(ProcId p, LocId loc, Value v, OpLabel label) override {
+    if (label == OpLabel::Labeled && variant_ == Variant::Sc) {
+      fabric_.flush_from(p);
+      const Value old = sync_store_[loc];
+      sync_store_[loc] = v;
+      return old;
+    }
+    return fabric_.rmw(p, loc, v, label);
+  }
+
+  /// Ordinary operations are replica-local under both variants.  Labeled
+  /// operations: the SC variant pays a global round trip (and a release
+  /// additionally drains pending updates); the PC variant keeps even
+  /// labeled operations local — the performance advantage the DASH paper
+  /// claims for RC_pc, and exactly what the Bakery algorithm pays for.
+  OpCost classify(ProcId p, OpKind kind, LocId loc,
+                  OpLabel label) const override {
+    if (label != OpLabel::Labeled) {
+      return fabric_.classify(p, kind, loc, OpLabel::Ordinary);
+    }
+    if (variant_ == Variant::Sc) {
+      return is_write_like(kind) ? OpCost::GlobalFlush : OpCost::Global;
+    }
+    return fabric_.classify(p, kind, loc, label);
+  }
+
+  std::size_t num_internal_events() const override {
+    return fabric_.num_internal_events();
+  }
+  void fire_internal_event(std::size_t k) override {
+    fabric_.fire_internal_event(k);
+  }
+
+ private:
+  Variant variant_;
+  CoherentMemory fabric_;
+  std::vector<Value> sync_store_;
+};
+
+[[nodiscard]] std::unique_ptr<Machine> make_rc_sc_machine(std::size_t procs,
+                                                          std::size_t locs);
+[[nodiscard]] std::unique_ptr<Machine> make_rc_pc_machine(std::size_t procs,
+                                                          std::size_t locs);
+
+}  // namespace ssm::sim

@@ -1,0 +1,10 @@
+#include "simulate/sc_memory.hpp"
+
+namespace ssm::sim {
+
+std::unique_ptr<Machine> make_sc_machine(std::size_t procs,
+                                         std::size_t locs) {
+  return std::make_unique<ScMemory>(procs, locs);
+}
+
+}  // namespace ssm::sim

@@ -1,0 +1,42 @@
+// ScMemory: the baseline machine — a single shared store with immediate,
+// atomic reads and writes.  Every trace it can produce is sequentially
+// consistent by construction (the scheduler's interleaving *is* the
+// witness view).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "simulate/machine.hpp"
+
+namespace ssm::sim {
+
+class ScMemory final : public Machine {
+ public:
+  ScMemory(std::size_t procs, std::size_t locs)
+      : Machine(procs, locs), mem_(locs, kInitialValue) {}
+
+  std::string_view name() const noexcept override { return "sc-machine"; }
+
+  Value read(ProcId, LocId loc, OpLabel) override { return mem_[loc]; }
+  void write(ProcId, LocId loc, Value v, OpLabel) override { mem_[loc] = v; }
+  Value rmw(ProcId, LocId loc, Value v, OpLabel) override {
+    const Value old = mem_[loc];
+    mem_[loc] = v;
+    return old;
+  }
+
+  /// Sequential consistency: every access is a globally-ordered round
+  /// trip before the processor may continue.
+  OpCost classify(ProcId, OpKind, LocId, OpLabel) const override {
+    return OpCost::Global;
+  }
+
+ private:
+  std::vector<Value> mem_;
+};
+
+[[nodiscard]] std::unique_ptr<Machine> make_sc_machine(std::size_t procs,
+                                                       std::size_t locs);
+
+}  // namespace ssm::sim

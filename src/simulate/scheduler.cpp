@@ -1,0 +1,111 @@
+#include "simulate/scheduler.hpp"
+
+namespace ssm::sim {
+
+void Scheduler::step_program(std::size_t i, TraceRecorder& trace) {
+  Program& prog = programs_[i];
+  const ProcId p = static_cast<ProcId>(i);
+  const MemRequest req = prog.pending();
+  switch (req.type) {
+    case ReqType::Read: {
+      const Value v = machine_.read(p, req.loc, req.label);
+      trace.record_read(p, req.loc, v, req.label);
+      prog.resume_with(v);
+      break;
+    }
+    case ReqType::Write: {
+      machine_.write(p, req.loc, req.value, req.label);
+      trace.record_write(p, req.loc, req.value, req.label);
+      prog.resume_with(0);
+      break;
+    }
+    case ReqType::Rmw: {
+      const Value old = machine_.rmw(p, req.loc, req.value, req.label);
+      trace.record_rmw(p, req.loc, old, req.value, req.label);
+      prog.resume_with(old);
+      break;
+    }
+    case ReqType::EnterCs:
+      if (cs_observer_) cs_observer_(p, true);
+      prog.resume_with(0);
+      break;
+    case ReqType::ExitCs:
+      if (cs_observer_) cs_observer_(p, false);
+      prog.resume_with(0);
+      break;
+    case ReqType::None:
+      prog.resume_with(0);
+      break;
+  }
+}
+
+RunResult Scheduler::run() {
+  RunResult result;
+  TraceRecorder trace(machine_.num_processors(), machine_.num_locations());
+  for (auto& prog : programs_) prog.start();
+
+  std::uint32_t spin_budget = options_.max_spin;
+  while (result.steps < options_.max_steps) {
+    ++result.steps;
+    std::vector<std::size_t> runnable;
+    for (std::size_t i = 0; i < programs_.size(); ++i) {
+      if (!programs_[i].done()) runnable.push_back(i);
+    }
+    const std::size_t internal = machine_.num_internal_events();
+    if (runnable.empty() && internal == 0) {
+      result.trace = trace.take();
+      return result;  // all done, machine quiescent
+    }
+
+    bool fire_internal = false;
+    switch (options_.policy) {
+      case Policy::Random: {
+        const std::uint64_t prog_weight = runnable.size();
+        const std::uint64_t int_weight =
+            internal > 0 ? options_.internal_weight : 0;
+        if (prog_weight == 0) {
+          fire_internal = true;
+        } else if (int_weight > 0) {
+          fire_internal = rng_.below(prog_weight + int_weight) >= prog_weight;
+        }
+        break;
+      }
+      case Policy::DelayDelivery:
+        if (runnable.empty()) {
+          fire_internal = true;
+        } else if (internal > 0 && options_.max_spin != 0 &&
+                   spin_budget == 0) {
+          fire_internal = true;  // forced fairness delivery
+        }
+        break;
+      case Policy::EagerDelivery:
+        fire_internal = internal > 0;
+        break;
+    }
+
+    if (fire_internal && internal > 0) {
+      const std::size_t k =
+          options_.policy == Policy::Random
+              ? static_cast<std::size_t>(rng_.below(internal))
+              : 0;
+      machine_.fire_internal_event(k);
+      ++result.internal_events;
+      spin_budget = options_.max_spin;
+      if (options_.policy == Policy::EagerDelivery) {
+        machine_.drain();
+      }
+    } else if (!runnable.empty()) {
+      const std::size_t pick =
+          options_.policy == Policy::Random
+              ? runnable[rng_.below(runnable.size())]
+              : runnable[result.steps % runnable.size()];
+      step_program(pick, trace);
+      if (spin_budget > 0) --spin_budget;
+    }
+  }
+  result.livelock = true;
+  result.trace = trace.take();
+  return result;
+}
+
+}  // namespace ssm::sim

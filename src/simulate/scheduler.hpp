@@ -1,0 +1,85 @@
+// Scheduler: drives a set of program coroutines against a Machine,
+// choosing at every step between resuming a program and firing one of the
+// machine's internal events.
+//
+// Policies:
+//   Random       — uniform choice among enabled steps (seeded, replayable).
+//   DelayDelivery— adversarial: always prefer program steps; fire internal
+//                  events only when every program is finished or `max_spin`
+//                  consecutive program steps have elapsed without an
+//                  internal event (keeps spin loops live).  This is the
+//                  schedule that exhibits the paper's §5 Bakery violation
+//                  on RC_pc: cross-processor writes stay undelivered while
+//                  both processes race through the doorway.
+//   EagerDelivery— fire all internal events after every program step
+//                  (yields the most SC-like behaviour a machine can show).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simulate/machine.hpp"
+#include "simulate/program.hpp"
+#include "simulate/trace.hpp"
+
+namespace ssm::sim {
+
+enum class Policy {
+  Random,
+  DelayDelivery,
+  EagerDelivery,
+};
+
+struct SchedulerOptions {
+  Policy policy = Policy::Random;
+  std::uint64_t seed = 1;
+  /// Random policy: relative weight of internal events vs program steps.
+  std::uint32_t internal_weight = 1;
+  /// DelayDelivery: force one delivery after this many consecutive program
+  /// steps with at least one program spinning (0 = never force).
+  std::uint32_t max_spin = 64;
+  /// Hard cap on total steps (defends against livelock under adversarial
+  /// schedules); the run aborts with Result::livelock = true when hit.
+  std::uint64_t max_steps = 1'000'000;
+};
+
+/// Observer for critical-section annotations: called with (proc, entering).
+using CsObserver = std::function<void(ProcId, bool)>;
+
+struct RunResult {
+  history::SystemHistory trace;
+  bool livelock = false;
+  std::uint64_t steps = 0;
+  std::uint64_t internal_events = 0;
+};
+
+class Scheduler {
+ public:
+  Scheduler(Machine& machine, SchedulerOptions options)
+      : machine_(machine), options_(options), rng_(options.seed) {}
+
+  /// Adds a processor program; processor ids are assigned in call order
+  /// and must match the LocId/ProcId layout the programs assume.
+  void add_program(Program p) { programs_.push_back(std::move(p)); }
+
+  void set_cs_observer(CsObserver obs) { cs_observer_ = std::move(obs); }
+
+  /// Runs all programs to completion (or livelock), returns the recorded
+  /// trace.  The machine is drained at the end so every run reaches
+  /// quiescence.
+  [[nodiscard]] RunResult run();
+
+ private:
+  /// Executes program `i`'s pending request; returns true if the program
+  /// made progress (annotations count as progress).
+  void step_program(std::size_t i, TraceRecorder& trace);
+
+  Machine& machine_;
+  SchedulerOptions options_;
+  Rng rng_;
+  std::vector<Program> programs_;
+  CsObserver cs_observer_;
+};
+
+}  // namespace ssm::sim

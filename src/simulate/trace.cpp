@@ -1,0 +1,42 @@
+#include "simulate/trace.hpp"
+
+namespace ssm::sim {
+
+TraceRecorder::TraceRecorder(std::size_t procs, std::size_t locs)
+    : hist_(history::SymbolTable::canonical(procs, locs)) {}
+
+void TraceRecorder::record_read(ProcId p, LocId loc, Value observed,
+                                OpLabel label) {
+  history::Operation op;
+  op.kind = OpKind::Read;
+  op.label = label;
+  op.proc = p;
+  op.loc = loc;
+  op.value = observed;
+  hist_.append(op);
+}
+
+void TraceRecorder::record_write(ProcId p, LocId loc, Value stored,
+                                 OpLabel label) {
+  history::Operation op;
+  op.kind = OpKind::Write;
+  op.label = label;
+  op.proc = p;
+  op.loc = loc;
+  op.value = stored;
+  hist_.append(op);
+}
+
+void TraceRecorder::record_rmw(ProcId p, LocId loc, Value observed,
+                               Value stored, OpLabel label) {
+  history::Operation op;
+  op.kind = OpKind::ReadModifyWrite;
+  op.label = label;
+  op.proc = p;
+  op.loc = loc;
+  op.value = stored;
+  op.rmw_read = observed;
+  hist_.append(op);
+}
+
+}  // namespace ssm::sim

@@ -1,0 +1,33 @@
+// TraceRecorder: accumulates the operations a scheduled run performs into
+// a SystemHistory so machine behaviour can be checked against the
+// declarative models (operational ⊆ declarative soundness experiments).
+#pragma once
+
+#include "history/system_history.hpp"
+
+namespace ssm::sim {
+
+class TraceRecorder {
+ public:
+  TraceRecorder(std::size_t procs, std::size_t locs);
+
+  void record_read(ProcId p, LocId loc, Value observed, OpLabel label);
+  void record_write(ProcId p, LocId loc, Value stored, OpLabel label);
+  void record_rmw(ProcId p, LocId loc, Value observed, Value stored,
+                  OpLabel label);
+
+  /// The recorded history so far.  Note: histories with repeated write
+  /// values fail SystemHistory::validate() and cannot be fed to the
+  /// declarative checkers; workloads meant for checking must write
+  /// distinct values (the random-program generator and the single-entry
+  /// Bakery driver guarantee this).
+  [[nodiscard]] const history::SystemHistory& history() const noexcept {
+    return hist_;
+  }
+  [[nodiscard]] history::SystemHistory take() { return std::move(hist_); }
+
+ private:
+  history::SystemHistory hist_;
+};
+
+}  // namespace ssm::sim

@@ -1,0 +1,10 @@
+#include "simulate/tso_memory.hpp"
+
+namespace ssm::sim {
+
+std::unique_ptr<Machine> make_tso_machine(std::size_t procs,
+                                          std::size_t locs) {
+  return std::make_unique<TsoMemory>(procs, locs);
+}
+
+}  // namespace ssm::sim

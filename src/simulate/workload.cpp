@@ -1,0 +1,40 @@
+#include "simulate/workload.hpp"
+
+namespace ssm::sim {
+
+Plan make_plan(const WorkloadSpec& spec, Rng& rng) {
+  Plan plan(spec.procs);
+  std::vector<Value> next_value(spec.locs, 0);
+  for (std::uint32_t p = 0; p < spec.procs; ++p) {
+    plan[p].reserve(spec.ops_per_proc);
+    for (std::uint32_t k = 0; k < spec.ops_per_proc; ++k) {
+      PlannedOp op;
+      op.loc = static_cast<LocId>(rng.below(spec.locs));
+      const bool is_sync = op.loc < spec.sync_locs;
+      op.label = is_sync ? OpLabel::Labeled : OpLabel::Ordinary;
+      op.is_write = rng.below(100) < spec.write_percent;
+      if (is_sync && op.is_write && op.loc % spec.procs != p) {
+        op.is_write = false;  // sync locations are single-writer
+      }
+      if (op.is_write) {
+        op.value = ++next_value[op.loc];
+      }
+      plan[p].push_back(op);
+    }
+  }
+  return plan;
+}
+
+Program run_plan(std::vector<PlannedOp> plan) {
+  for (const PlannedOp& op : plan) {
+    if (op.is_rmw) {
+      (void)co_await rmw(op.loc, op.value, op.label);
+    } else if (op.is_write) {
+      co_await write(op.loc, op.value, op.label);
+    } else {
+      (void)co_await read(op.loc, op.label);
+    }
+  }
+}
+
+}  // namespace ssm::sim

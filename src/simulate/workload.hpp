@@ -1,0 +1,46 @@
+// Random straight-line workloads for machine-vs-model soundness testing.
+//
+// A plan assigns each processor a fixed sequence of reads/writes with
+// globally distinct write values per location, so the recorded trace
+// always passes SystemHistory::validate() and can be fed to the
+// declarative checkers.  Locations below `sync_locs` are accessed only
+// with labeled operations and only written by their owner processor
+// (mirroring how synchronization variables are used by properly-labeled
+// programs); the rest are ordinary.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simulate/program.hpp"
+
+namespace ssm::sim {
+
+struct WorkloadSpec {
+  std::uint32_t procs = 2;
+  std::uint32_t locs = 2;
+  std::uint32_t ops_per_proc = 4;
+  /// Percent of operations that are writes.
+  std::uint32_t write_percent = 50;
+  /// Locations [0, sync_locs) are labeled-only; location i is written only
+  /// by processor i % procs.
+  std::uint32_t sync_locs = 0;
+};
+
+struct PlannedOp {
+  bool is_write = false;
+  LocId loc = 0;
+  Value value = 0;  // writes: value stored (also the rmw store value)
+  OpLabel label = OpLabel::Ordinary;
+  /// Atomic swap instead of a plain write (is_write must be true).
+  bool is_rmw = false;
+};
+
+using Plan = std::vector<std::vector<PlannedOp>>;  // [proc][step]
+
+[[nodiscard]] Plan make_plan(const WorkloadSpec& spec, Rng& rng);
+
+/// A coroutine that executes one processor's planned sequence.
+[[nodiscard]] Program run_plan(std::vector<PlannedOp> plan);
+
+}  // namespace ssm::sim

@@ -1,0 +1,70 @@
+// Dekker's algorithm: the third read/write mutual-exclusion probe.
+#include <gtest/gtest.h>
+
+#include "bakery/driver.hpp"
+#include "simulate/rc_memory.hpp"
+#include "simulate/sc_memory.hpp"
+#include "simulate/tso_memory.hpp"
+
+namespace ssm::bakery {
+namespace {
+
+const MachineFactory kScFactory = [](std::size_t p, std::size_t l) {
+  return sim::make_sc_machine(p, l);
+};
+const MachineFactory kTsoFactory = [](std::size_t p, std::size_t l) {
+  return sim::make_tso_machine(p, l);
+};
+const MachineFactory kRcScFactory = [](std::size_t p, std::size_t l) {
+  return sim::make_rc_sc_machine(p, l);
+};
+const MachineFactory kRcPcFactory = [](std::size_t p, std::size_t l) {
+  return sim::make_rc_pc_machine(p, l);
+};
+
+sim::SchedulerOptions adversarial() {
+  sim::SchedulerOptions opt;
+  opt.policy = sim::Policy::DelayDelivery;
+  opt.max_spin = 200;
+  return opt;
+}
+
+TEST(Dekker, SafeOnScMachine) {
+  sim::SchedulerOptions opt;
+  opt.seed = 31;
+  const auto sweep =
+      sweep_dekker(kScFactory, DekkerOptions{3, true, false}, opt, 200);
+  EXPECT_EQ(sweep.total_violations, 0u);
+  EXPECT_EQ(sweep.livelocks, 0u);
+}
+
+TEST(Dekker, ViolatedOnTsoMachineAdversarial) {
+  const auto run = run_dekker(
+      kTsoFactory, DekkerOptions{1, true, false}, adversarial());
+  EXPECT_GT(run.violations, 0u);
+}
+
+TEST(Dekker, SafeOnRcScMachineWhenLabeled) {
+  const auto run = run_dekker(
+      kRcScFactory, DekkerOptions{1, true, true}, adversarial());
+  EXPECT_EQ(run.violations, 0u);
+  EXPECT_EQ(run.cs_entries, 2u);
+}
+
+TEST(Dekker, ViolatedOnRcPcMachineDespiteLabels) {
+  const auto run = run_dekker(
+      kRcPcFactory, DekkerOptions{1, true, true}, adversarial());
+  EXPECT_GT(run.violations, 0u);
+}
+
+TEST(Dekker, MultipleIterationsStaySafeOnSc) {
+  sim::SchedulerOptions opt;
+  opt.seed = 77;
+  const auto sweep =
+      sweep_dekker(kScFactory, DekkerOptions{5, true, false}, opt, 50);
+  EXPECT_EQ(sweep.total_violations, 0u);
+  EXPECT_EQ(sweep.livelocks, 0u);
+}
+
+}  // namespace
+}  // namespace ssm::bakery

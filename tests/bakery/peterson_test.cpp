@@ -1,0 +1,87 @@
+// Peterson's algorithm as a second read/write mutual-exclusion probe:
+// safe on SC, violable on the TSO machine (classic store-buffer failure),
+// safe again on RC_sc when the synchronization accesses are labeled.
+#include <gtest/gtest.h>
+
+#include "bakery/driver.hpp"
+#include "models/models.hpp"
+#include "simulate/rc_memory.hpp"
+#include "simulate/sc_memory.hpp"
+#include "simulate/tso_memory.hpp"
+
+namespace ssm::bakery {
+namespace {
+
+const MachineFactory kScFactory = [](std::size_t p, std::size_t l) {
+  return sim::make_sc_machine(p, l);
+};
+const MachineFactory kTsoFactory = [](std::size_t p, std::size_t l) {
+  return sim::make_tso_machine(p, l);
+};
+const MachineFactory kRcScFactory = [](std::size_t p, std::size_t l) {
+  return sim::make_rc_sc_machine(p, l);
+};
+const MachineFactory kRcPcFactory = [](std::size_t p, std::size_t l) {
+  return sim::make_rc_pc_machine(p, l);
+};
+
+sim::SchedulerOptions adversarial() {
+  sim::SchedulerOptions opt;
+  opt.policy = sim::Policy::DelayDelivery;
+  opt.max_spin = 200;
+  return opt;
+}
+
+TEST(Peterson, SafeOnScMachine) {
+  sim::SchedulerOptions opt;
+  opt.seed = 3;
+  const auto sweep =
+      sweep_peterson(kScFactory, PetersonOptions{3, true, false}, opt, 200);
+  EXPECT_EQ(sweep.total_violations, 0u);
+  EXPECT_EQ(sweep.livelocks, 0u);
+}
+
+TEST(Peterson, ViolatedOnTsoMachineAdversarial) {
+  // Store buffering defeats the flag handshake: both writes sit in
+  // buffers while both processes read stale flags.
+  const auto run = run_peterson(
+      kTsoFactory, PetersonOptions{1, false, false}, adversarial());
+  EXPECT_GT(run.violations, 0u);
+}
+
+TEST(Peterson, TsoViolatingTraceRejectedByScModel) {
+  const auto run = run_peterson(
+      kTsoFactory, PetersonOptions{1, false, false}, adversarial());
+  ASSERT_GT(run.violations, 0u);
+  ASSERT_FALSE(run.trace.validate().has_value());
+  EXPECT_FALSE(models::make_sc()->check(run.trace).allowed);
+  EXPECT_TRUE(models::make_tso_fwd()->check(run.trace).allowed);
+}
+
+TEST(Peterson, SafeOnRcScMachineWhenLabeled) {
+  const auto run = run_peterson(
+      kRcScFactory, PetersonOptions{1, true, true}, adversarial());
+  EXPECT_EQ(run.violations, 0u);
+  EXPECT_EQ(run.cs_entries, 2u);
+}
+
+TEST(Peterson, ViolatedOnRcPcMachineDespiteLabels) {
+  // Like Bakery, Peterson distinguishes RC_sc from RC_pc: PC labeled ops
+  // allow the store-buffering pattern on the flags.
+  const auto run = run_peterson(
+      kRcPcFactory, PetersonOptions{1, false, true}, adversarial());
+  EXPECT_GT(run.violations, 0u);
+}
+
+TEST(Peterson, RandomSweepOnTsoFindsViolations) {
+  sim::SchedulerOptions opt;
+  opt.policy = sim::Policy::DelayDelivery;
+  opt.max_spin = 50;
+  opt.seed = 20;
+  const auto sweep = sweep_peterson(
+      kTsoFactory, PetersonOptions{1, false, false}, opt, 50);
+  EXPECT_GT(sweep.violating_runs, 0u);
+}
+
+}  // namespace
+}  // namespace ssm::bakery

@@ -1,0 +1,152 @@
+#include "checker/legality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "checker/scope.hpp"
+#include "history/builder.hpp"
+#include "order/orders.hpp"
+
+namespace ssm::checker {
+namespace {
+
+using history::HistoryBuilder;
+
+TEST(LegalView, FindsInterleavingForSimpleHandoff) {
+  auto h = HistoryBuilder(2, 1).w("p", "x", 1).r("q", "x", 1).build();
+  const auto view =
+      find_legal_view(h, all_ops(h), order::program_order(h));
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->size(), 2u);
+  EXPECT_EQ((*view)[0], 0u);  // write must precede the read
+  EXPECT_EQ((*view)[1], 1u);
+}
+
+TEST(LegalView, RejectsImpossibleValue) {
+  // Single order forced by po: w(x)1 then r(x)0 by same processor.
+  auto h = HistoryBuilder(1, 1).w("p", "x", 1).r("p", "x", 0).build();
+  EXPECT_FALSE(
+      find_legal_view(h, all_ops(h), order::program_order(h)).has_value());
+}
+
+TEST(LegalView, SbHasNoScView) {
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .r("p", "y", 0)
+               .w("q", "y", 1)
+               .r("q", "x", 0)
+               .build();
+  EXPECT_FALSE(
+      find_legal_view(h, all_ops(h), order::program_order(h)).has_value());
+}
+
+TEST(LegalView, SbPerProcessorViewsExist) {
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .r("p", "y", 0)
+               .w("q", "y", 1)
+               .r("q", "x", 0)
+               .build();
+  const auto ppo = order::partial_program_order(h);
+  for (ProcId p = 0; p < 2; ++p) {
+    EXPECT_TRUE(
+        find_legal_view(h, own_plus_writes(h, p), ppo).has_value());
+  }
+}
+
+TEST(LegalView, ReadOfInitialBeforeAnyWrite) {
+  auto h = HistoryBuilder(2, 1).r("p", "x", 0).w("q", "x", 1).build();
+  const auto view =
+      find_legal_view(h, all_ops(h), order::program_order(h));
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ((*view)[0], 0u);
+}
+
+TEST(LegalView, RmwReadPartEnforced) {
+  // Both rmws observe 0: illegal in any single view.
+  auto h = HistoryBuilder(2, 1)
+               .rmw("p", "x", 0, 1)
+               .rmw("q", "x", 0, 2)
+               .build();
+  EXPECT_FALSE(
+      find_legal_view(h, all_ops(h), order::program_order(h)).has_value());
+}
+
+TEST(LegalView, RmwHandoffWorks) {
+  auto h = HistoryBuilder(2, 1)
+               .rmw("p", "x", 0, 1)
+               .rmw("q", "x", 1, 2)
+               .build();
+  const auto view =
+      find_legal_view(h, all_ops(h), order::program_order(h));
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ((*view)[0], 0u);
+}
+
+TEST(ForEachLegalView, EnumeratesAll) {
+  // Two independent writes to different locations: both orders legal.
+  auto h = HistoryBuilder(2, 2).w("p", "x", 1).w("q", "y", 1).build();
+  int count = 0;
+  for_each_legal_view(h, all_ops(h), order::program_order(h),
+                      [&](const View&) {
+                        ++count;
+                        return true;
+                      });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(ForEachLegalView, LegalityPrunesEnumeration) {
+  // w(x)1 then r(x)1 by another processor: only the write-first order.
+  auto h = HistoryBuilder(2, 1).w("p", "x", 1).r("q", "x", 1).build();
+  int count = 0;
+  for_each_legal_view(h, all_ops(h), rel::Relation(h.size()),
+                      [&](const View&) {
+                        ++count;
+                        return true;
+                      });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(VerifyView, AcceptsWitness) {
+  auto h = HistoryBuilder(2, 1).w("p", "x", 1).r("q", "x", 1).build();
+  const auto po = order::program_order(h);
+  const auto view = find_legal_view(h, all_ops(h), po);
+  ASSERT_TRUE(view);
+  EXPECT_FALSE(verify_view(h, all_ops(h), po, *view).has_value());
+}
+
+TEST(VerifyView, RejectsIllegalValue) {
+  auto h = HistoryBuilder(2, 1).w("p", "x", 1).r("q", "x", 0).build();
+  const View bad{0, 1};  // read of 0 after the write
+  const auto err =
+      verify_view(h, all_ops(h), rel::Relation(h.size()), bad);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("observes"), std::string::npos);
+}
+
+TEST(VerifyView, RejectsConstraintViolation) {
+  auto h = HistoryBuilder(1, 2).w("p", "x", 1).w("p", "y", 1).build();
+  const auto po = order::program_order(h);
+  const View backwards{1, 0};
+  EXPECT_TRUE(verify_view(h, all_ops(h), po, backwards).has_value());
+}
+
+TEST(VerifyView, RejectsWrongSizeAndDuplicates) {
+  auto h = HistoryBuilder(1, 2).w("p", "x", 1).w("p", "y", 1).build();
+  const rel::Relation none(h.size());
+  EXPECT_TRUE(verify_view(h, all_ops(h), none, View{0}).has_value());
+  EXPECT_TRUE(verify_view(h, all_ops(h), none, View{0, 0}).has_value());
+}
+
+TEST(LegalView, MemoizationHandlesWideSearch) {
+  // 6 reads of initial values across 3 locations with no constraints:
+  // search must terminate quickly and find a view.
+  auto b = HistoryBuilder(3, 3);
+  b.r("p", "x", 0).r("p", "y", 0).r("q", "y", 0).r("q", "z", 0)
+      .r("r", "z", 0).r("r", "x", 0);
+  auto h = std::move(b).build();
+  EXPECT_TRUE(
+      find_legal_view(h, all_ops(h), rel::Relation(h.size())).has_value());
+}
+
+}  // namespace
+}  // namespace ssm::checker

@@ -1,0 +1,64 @@
+#include "checker/scope.hpp"
+
+#include <gtest/gtest.h>
+
+#include "history/builder.hpp"
+
+namespace ssm::checker {
+namespace {
+
+using history::HistoryBuilder;
+
+history::SystemHistory sample() {
+  return HistoryBuilder(2, 2)
+      .w("p", "x", 1)
+      .r("p", "y", 0)
+      .wl("q", "y", 1)
+      .r("q", "x", 0)
+      .build();
+}
+
+TEST(Scope, AllOps) {
+  const auto h = sample();
+  EXPECT_EQ(all_ops(h).count(), 4u);
+}
+
+TEST(Scope, OwnPlusWrites) {
+  const auto h = sample();
+  const auto p_view = own_plus_writes(h, 0);
+  EXPECT_EQ(p_view.count(), 3u);  // p's 2 ops + q's labeled write
+  EXPECT_TRUE(p_view.test(0));
+  EXPECT_TRUE(p_view.test(1));
+  EXPECT_TRUE(p_view.test(2));
+  EXPECT_FALSE(p_view.test(3));  // q's read not visible to p
+  const auto q_view = own_plus_writes(h, 1);
+  EXPECT_EQ(q_view.count(), 3u);  // q's 2 ops + p's write
+  EXPECT_FALSE(q_view.test(1));
+}
+
+TEST(Scope, WriteOpsAndLabeledOps) {
+  const auto h = sample();
+  EXPECT_EQ(write_ops(h).count(), 2u);
+  const auto labeled = labeled_ops(h);
+  EXPECT_EQ(labeled.count(), 1u);
+  EXPECT_TRUE(labeled.test(2));
+}
+
+TEST(Scope, OpsOnLocation) {
+  const auto h = sample();
+  EXPECT_EQ(ops_on(h, 0).count(), 2u);  // w_p(x), r_q(x)
+  EXPECT_EQ(ops_on(h, 1).count(), 2u);  // r_p(y), w_q(y)
+}
+
+TEST(Scope, RmwIsWriteLikeForViews) {
+  auto h = HistoryBuilder(2, 1)
+               .rmw("p", "x", 0, 1)
+               .r("q", "x", 1)
+               .build();
+  const auto q_view = own_plus_writes(h, 1);
+  EXPECT_TRUE(q_view.test(0));  // p's rmw visible in q's view
+  EXPECT_EQ(write_ops(h).count(), 1u);
+}
+
+}  // namespace
+}  // namespace ssm::checker

@@ -1,0 +1,55 @@
+#include "checker/verdict.hpp"
+
+#include <gtest/gtest.h>
+
+#include "history/builder.hpp"
+#include "models/models.hpp"
+
+namespace ssm::checker {
+namespace {
+
+TEST(Verdict, YesAndNoFactories) {
+  EXPECT_TRUE(Verdict::yes().allowed);
+  const auto no = Verdict::no("because");
+  EXPECT_FALSE(no.allowed);
+  EXPECT_EQ(no.note, "because");
+}
+
+TEST(Verdict, FormatNotAllowedIncludesNote) {
+  auto h = history::HistoryBuilder(1, 1).w("p", "x", 1).build();
+  const std::string s = format_verdict(h, Verdict::no("why not"));
+  EXPECT_NE(s.find("NOT ALLOWED"), std::string::npos);
+  EXPECT_NE(s.find("why not"), std::string::npos);
+}
+
+TEST(Verdict, FormatAllowedShowsViews) {
+  auto h = history::HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .r("p", "y", 0)
+               .w("q", "y", 1)
+               .r("q", "x", 0)
+               .build();
+  const auto v = models::make_pram()->check(h);
+  ASSERT_TRUE(v.allowed);
+  const std::string s = format_verdict(h, v);
+  EXPECT_NE(s.find("ALLOWED"), std::string::npos);
+  EXPECT_NE(s.find("S_p:"), std::string::npos);
+  EXPECT_NE(s.find("S_q:"), std::string::npos);
+}
+
+TEST(Verdict, FormatShowsCoherenceAndLabeledOrder) {
+  auto h = history::HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .r("q", "x", 1)
+               .build();
+  const auto pc = models::make_pc()->check(h);
+  ASSERT_TRUE(pc.allowed);
+  EXPECT_NE(format_verdict(h, pc).find("coherence:"), std::string::npos);
+  const auto tso = models::make_tso()->check(h);
+  ASSERT_TRUE(tso.allowed);
+  EXPECT_NE(format_verdict(h, tso).find("labeled order:"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssm::checker

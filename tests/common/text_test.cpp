@@ -1,0 +1,69 @@
+#include "common/text.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+
+namespace ssm {
+namespace {
+
+TEST(Text, SplitBasic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Text, SplitKeepsEmptyFields) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Text, SplitNoDelimiter) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Text, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi \t"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \n "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Text, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("x"));
+  EXPECT_TRUE(is_identifier("_foo2"));
+  EXPECT_TRUE(is_identifier("choosing1"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("2x"));
+  EXPECT_FALSE(is_identifier("a-b"));
+  EXPECT_FALSE(is_identifier("a b"));
+}
+
+TEST(Text, ParseIntValid) {
+  EXPECT_EQ(parse_int("0"), 0);
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+}
+
+TEST(Text, ParseIntRejectsJunk) {
+  EXPECT_THROW((void)parse_int(""), InvalidInput);
+  EXPECT_THROW((void)parse_int("x"), InvalidInput);
+  EXPECT_THROW((void)parse_int("1x"), InvalidInput);
+  EXPECT_THROW((void)parse_int("1 "), InvalidInput);
+}
+
+TEST(Text, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+}  // namespace
+}  // namespace ssm

@@ -1,0 +1,49 @@
+#include "history/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssm::history {
+namespace {
+
+TEST(HistoryBuilder, BuildsFigureOne) {
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .r("p", "y", 0)
+               .w("q", "y", 1)
+               .r("q", "x", 0)
+               .build();
+  EXPECT_EQ(h.size(), 4u);
+  EXPECT_EQ(h.num_processors(), 2u);
+  EXPECT_EQ(h.num_locations(), 2u);
+}
+
+TEST(HistoryBuilder, BuildValidates) {
+  EXPECT_THROW((void)HistoryBuilder(2, 1)
+                   .w("p", "x", 1)
+                   .w("q", "x", 1)
+                   .build(),
+               InvalidInput);
+}
+
+TEST(HistoryBuilder, LabeledHelpers) {
+  auto h = HistoryBuilder(1, 2).wl("p", "x", 1).rl("p", "y", 0).build();
+  EXPECT_TRUE(h.op(0).is_release());
+  EXPECT_TRUE(h.op(1).is_acquire());
+  EXPECT_FALSE(h.op(0).is_acquire());
+}
+
+TEST(HistoryBuilder, NewNamesExtendSymbolTable) {
+  auto h = HistoryBuilder(1, 1).w("p", "flag", 1).w("zz", "x", 2).build();
+  EXPECT_EQ(h.num_processors(), 2u);
+  EXPECT_EQ(h.num_locations(), 2u);
+  EXPECT_EQ(h.symbols().processor_name(1), "zz");
+}
+
+TEST(HistoryBuilder, RmwValidatesReadPart) {
+  // rmw observing a never-written nonzero value is invalid.
+  EXPECT_THROW((void)HistoryBuilder(1, 1).rmw("p", "x", 9, 1).build(),
+               InvalidInput);
+}
+
+}  // namespace
+}  // namespace ssm::history

@@ -1,0 +1,48 @@
+#include "history/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "history/builder.hpp"
+#include "order/orders.hpp"
+
+namespace ssm::history {
+namespace {
+
+TEST(Dot, RendersClustersAndLayers) {
+  auto h = HistoryBuilder(2, 1).w("p", "x", 1).r("q", "x", 1).build();
+  const auto po = order::program_order(h);
+  const auto wb = order::writes_before(h);
+  const std::string dot = to_dot(
+      h, {{"po", "gray50", &po, true}, {"wb", "blue", &wb, false}}, "t");
+  EXPECT_NE(dot.find("digraph \"t\""), std::string::npos);
+  EXPECT_NE(dot.find("cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_1"), std::string::npos);
+  EXPECT_NE(dot.find("w_p(x)1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"wb\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1 [color=blue"), std::string::npos);
+}
+
+TEST(Dot, TransitiveReductionDropsImpliedEdges) {
+  auto h = HistoryBuilder(1, 3)
+               .w("p", "x", 1)
+               .w("p", "y", 1)
+               .w("p", "z", 1)
+               .build();
+  const auto po = order::program_order(h);  // closed: 0->1,0->2,1->2
+  const std::string reduced =
+      to_dot(h, {{"po", "black", &po, true}}, "r");
+  // 0 -> 2 is implied via 1 and must be dropped.
+  EXPECT_EQ(reduced.find("n0 -> n2 [color=black"), std::string::npos);
+  EXPECT_NE(reduced.find("n0 -> n1 [color=black"), std::string::npos);
+  const std::string full = to_dot(h, {{"po", "black", &po, false}}, "f");
+  EXPECT_NE(full.find("n0 -> n2 [color=black"), std::string::npos);
+}
+
+TEST(Dot, NullLayerSkipped) {
+  auto h = HistoryBuilder(1, 1).w("p", "x", 1).build();
+  const std::string dot = to_dot(h, {{"po", "black", nullptr, true}}, "n");
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssm::history

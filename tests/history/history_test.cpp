@@ -1,0 +1,145 @@
+#include "history/system_history.hpp"
+
+#include <gtest/gtest.h>
+
+#include "history/builder.hpp"
+#include "history/print.hpp"
+
+namespace ssm::history {
+namespace {
+
+TEST(SystemHistory, AppendAssignsSeqAndIndex) {
+  SystemHistory h(SymbolTable::canonical(2, 2));
+  Operation op;
+  op.kind = OpKind::Write;
+  op.proc = 0;
+  op.loc = 0;
+  op.value = 1;
+  const OpIndex a = h.append(op);
+  op.proc = 1;
+  op.value = 2;
+  const OpIndex b = h.append(op);
+  op.proc = 0;
+  op.kind = OpKind::Read;
+  op.value = 1;
+  const OpIndex c = h.append(op);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(h.op(a).seq, 0u);
+  EXPECT_EQ(h.op(c).seq, 1u);  // second op of processor 0
+  EXPECT_EQ(h.op(b).seq, 0u);
+  EXPECT_EQ(h.num_processors(), 2u);
+}
+
+TEST(SystemHistory, ProcessorOpsInProgramOrder) {
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .w("q", "y", 1)
+               .r("p", "y", 0)
+               .build();
+  const auto ops = h.processor_ops(0);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_TRUE(h.op(ops[0]).is_write());
+  EXPECT_TRUE(h.op(ops[1]).is_read());
+}
+
+TEST(SystemHistory, WritesToAndAllWrites) {
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .w("q", "x", 2)
+               .w("q", "y", 1)
+               .r("p", "y", 1)
+               .build();
+  EXPECT_EQ(h.writes_to(0).size(), 2u);
+  EXPECT_EQ(h.writes_to(1).size(), 1u);
+  EXPECT_EQ(h.all_writes().size(), 3u);
+  EXPECT_EQ(h.all_reads().size(), 1u);
+}
+
+TEST(SystemHistory, WriterOfFindsUniqueWriter) {
+  auto h = HistoryBuilder(2, 1)
+               .w("p", "x", 1)
+               .r("q", "x", 1)
+               .r("q", "x", 0)
+               .build();
+  const auto reads = h.all_reads();
+  EXPECT_EQ(h.writer_of(reads[0]), h.all_writes()[0]);
+  EXPECT_EQ(h.writer_of(reads[1]), kNoOp);  // reads initial value
+}
+
+TEST(SystemHistory, WriterOfRejectsUnwrittenValue) {
+  auto h = HistoryBuilder(2, 1)
+               .w("p", "x", 1)
+               .r("q", "x", 7)
+               .build_unchecked();
+  EXPECT_THROW((void)h.writer_of(h.all_reads()[0]), InvalidInput);
+}
+
+TEST(SystemHistory, ValidateCatchesDuplicateWriteValues) {
+  auto h = HistoryBuilder(2, 1)
+               .w("p", "x", 1)
+               .w("q", "x", 1)
+               .build_unchecked();
+  EXPECT_TRUE(h.validate().has_value());
+}
+
+TEST(SystemHistory, ValidateCatchesWriteOfInitialValue) {
+  auto h = HistoryBuilder(1, 1).w("p", "x", 0).build_unchecked();
+  EXPECT_TRUE(h.validate().has_value());
+}
+
+TEST(SystemHistory, ValidateAcceptsWellFormed) {
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .r("p", "y", 0)
+               .w("q", "y", 1)
+               .r("q", "x", 0)
+               .build_unchecked();
+  EXPECT_FALSE(h.validate().has_value());
+}
+
+TEST(SystemHistory, RmwCountsAsReadAndWrite) {
+  auto h = HistoryBuilder(1, 1).rmw("p", "x", 0, 1).build();
+  const auto& op = h.op(0);
+  EXPECT_TRUE(op.is_read());
+  EXPECT_TRUE(op.is_write());
+  EXPECT_EQ(op.read_value(), 0);
+  EXPECT_EQ(op.value, 1);
+  EXPECT_EQ(h.all_writes().size(), 1u);
+  EXPECT_EQ(h.all_reads().size(), 1u);
+}
+
+TEST(Print, FormatHistoryMatchesPaperStyle) {
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .r("p", "y", 0)
+               .w("q", "y", 1)
+               .r("q", "x", 0)
+               .build();
+  EXPECT_EQ(format_history(h), "p: w(x)1 r(y)0\nq: w(y)1 r(x)0\n");
+}
+
+TEST(Print, FormatOpShowsLabels) {
+  auto h = HistoryBuilder(1, 1).wl("p", "x", 1).build();
+  EXPECT_EQ(format_op(h, 0), "w_p(x)1*");
+}
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable t;
+  const LocId a = t.intern_location("x");
+  const LocId b = t.intern_location("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.location("x"), a);
+  EXPECT_EQ(t.location_name(a), "x");
+}
+
+TEST(SymbolTable, UnknownLookupsThrow) {
+  SymbolTable t;
+  EXPECT_THROW((void)t.location("nope"), InvalidInput);
+  EXPECT_THROW((void)t.processor("nope"), InvalidInput);
+  EXPECT_THROW((void)t.location_name(0), InvalidInput);
+}
+
+}  // namespace
+}  // namespace ssm::history

@@ -1,0 +1,77 @@
+#include "history/print.hpp"
+
+#include <gtest/gtest.h>
+
+#include "history/builder.hpp"
+
+namespace ssm::history {
+namespace {
+
+TEST(Print, FormatSequence) {
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .r("q", "x", 1)
+               .build();
+  EXPECT_EQ(format_sequence(h, {1, 0}), "r_q(x)1 w_p(x)1");
+  EXPECT_EQ(format_sequence(h, {}), "");
+}
+
+TEST(Print, RmwFormatting) {
+  auto h = HistoryBuilder(1, 1).rmw("p", "x", 0, 1).build();
+  EXPECT_EQ(format_op(h, 0), "rmw_p(x)1<-0");
+  EXPECT_EQ(format_history(h), "p: rmw(x)1<-0\n");
+}
+
+TEST(Print, OperationToStringStandalone) {
+  Operation op;
+  op.kind = OpKind::Write;
+  op.proc = 2;
+  op.loc = 1;
+  op.value = 7;
+  op.label = OpLabel::Labeled;
+  EXPECT_EQ(to_string(op), "w_2(x1)7*");
+}
+
+TEST(Canonicalized, RenamesSymbolsOnly) {
+  SymbolTable table;
+  table.intern_processor("alpha");
+  table.intern_processor("beta");
+  table.intern_location("counter");
+  SystemHistory h(table);
+  Operation op;
+  op.kind = OpKind::Write;
+  op.proc = 0;
+  op.loc = 0;
+  op.value = 1;
+  h.append(op);
+  op.kind = OpKind::Read;
+  op.proc = 1;
+  h.append(op);
+  const auto canon = canonicalized(h);
+  EXPECT_EQ(format_history(h), "alpha: w(counter)1\nbeta: r(counter)1\n");
+  EXPECT_EQ(format_history(canon), "p: w(x)1\nq: r(x)1\n");
+  ASSERT_EQ(canon.size(), h.size());
+  for (OpIndex i = 0; i < h.size(); ++i) {
+    EXPECT_EQ(canon.op(i).value, h.op(i).value);
+    EXPECT_EQ(canon.op(i).kind, h.op(i).kind);
+  }
+}
+
+TEST(Canonicalized, IdempotentOnCanonicalInput) {
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .r("q", "x", 1)
+               .build();
+  EXPECT_EQ(format_history(canonicalized(h)), format_history(h));
+}
+
+TEST(TypesToString, KindAndLabel) {
+  EXPECT_STREQ(ssm::to_string(OpKind::Read), "read");
+  EXPECT_STREQ(ssm::to_string(OpKind::Write), "write");
+  EXPECT_STREQ(ssm::to_string(OpKind::ReadModifyWrite), "rmw");
+  EXPECT_STREQ(ssm::to_string(OpLabel::Ordinary), "ordinary");
+  EXPECT_STREQ(ssm::to_string(OpLabel::Labeled), "labeled");
+}
+
+}  // namespace
+}  // namespace ssm::history

@@ -1,0 +1,74 @@
+#include "history/subhistory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "history/builder.hpp"
+
+namespace ssm::history {
+namespace {
+
+TEST(SubHistory, ExtractLabeledSubset) {
+  auto h = HistoryBuilder(2, 3)
+               .w("p", "d", 1)
+               .wl("p", "f", 1)
+               .rl("q", "f", 1)
+               .r("q", "d", 1)
+               .build();
+  rel::DynBitset mask(h.size());
+  for (const auto& op : h.operations()) {
+    if (op.is_labeled()) mask.set(op.index);
+  }
+  const SubHistory s = extract(h, mask);
+  ASSERT_EQ(s.sub.size(), 2u);
+  EXPECT_EQ(s.to_parent.size(), 2u);
+  // Sub op 0 = p's labeled write, sub op 1 = q's labeled read.
+  EXPECT_TRUE(s.sub.op(0).is_write());
+  EXPECT_TRUE(s.sub.op(1).is_read());
+  EXPECT_EQ(h.op(s.to_parent[0]).proc, 0);
+  EXPECT_EQ(h.op(s.to_parent[1]).proc, 1);
+  // from_parent is the inverse on the mask, kNoOp elsewhere.
+  EXPECT_EQ(s.from_parent[s.to_parent[0]], 0u);
+  EXPECT_EQ(s.from_parent[s.to_parent[1]], 1u);
+  EXPECT_EQ(s.from_parent[0], kNoOp);
+}
+
+TEST(SubHistory, SeqNumbersReassigned) {
+  auto h = HistoryBuilder(1, 2)
+               .w("p", "x", 1)
+               .wl("p", "y", 1)
+               .wl("p", "x", 2)
+               .build();
+  rel::DynBitset mask(h.size());
+  mask.set(1);
+  mask.set(2);
+  const SubHistory s = extract(h, mask);
+  EXPECT_EQ(s.sub.op(0).seq, 0u);
+  EXPECT_EQ(s.sub.op(1).seq, 1u);
+  EXPECT_EQ(s.sub.processor_ops(0).size(), 2u);
+}
+
+TEST(SubHistory, EmptyMask) {
+  auto h = HistoryBuilder(1, 1).w("p", "x", 1).build();
+  const SubHistory s = extract(h, rel::DynBitset(h.size()));
+  EXPECT_EQ(s.sub.size(), 0u);
+  EXPECT_EQ(s.from_parent[0], kNoOp);
+}
+
+TEST(SubHistory, FullMaskPreservesEverything) {
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .r("q", "x", 1)
+               .w("q", "y", 1)
+               .build();
+  rel::DynBitset mask(h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) mask.set(i);
+  const SubHistory s = extract(h, mask);
+  EXPECT_EQ(s.sub.size(), h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_EQ(s.sub.op(s.from_parent[i]).value, h.op(i).value);
+    EXPECT_EQ(s.sub.op(s.from_parent[i]).proc, h.op(i).proc);
+  }
+}
+
+}  // namespace
+}  // namespace ssm::history

@@ -1,0 +1,86 @@
+#include "lattice/inclusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/models.hpp"
+
+namespace ssm::lattice {
+namespace {
+
+std::vector<models::ModelPtr> chain_models() {
+  std::vector<models::ModelPtr> m;
+  m.push_back(models::make_sc());
+  m.push_back(models::make_tso());
+  m.push_back(models::make_pram());
+  return m;
+}
+
+TEST(Inclusion, ExhaustiveTinyUniverseChain) {
+  EnumerationSpec spec;
+  spec.procs = 2;
+  spec.ops_per_proc = 2;
+  spec.locs = 2;
+  const auto report = compute_inclusions(spec, chain_models());
+  ASSERT_EQ(report.model_names.size(), 3u);
+  EXPECT_GT(report.universe_size, 0u);
+  // SC ⊂ TSO ⊂ PRAM, strictly (fig. 1 lives in this universe).
+  EXPECT_TRUE(report.strictly_stronger(0, 1));
+  EXPECT_TRUE(report.strictly_stronger(1, 2));
+  EXPECT_TRUE(report.strictly_stronger(0, 2));
+  // Witnesses exist for the strict direction and not the other.
+  EXPECT_TRUE(report.witness[1][0].has_value());
+  EXPECT_FALSE(report.witness[0][1].has_value());
+}
+
+TEST(Inclusion, AdmissionCountsMonotone) {
+  EnumerationSpec spec;
+  spec.procs = 2;
+  spec.ops_per_proc = 2;
+  spec.locs = 2;
+  const auto report = compute_inclusions(spec, chain_models());
+  EXPECT_LE(report.admitted[0], report.admitted[1]);
+  EXPECT_LE(report.admitted[1], report.admitted[2]);
+  EXPECT_GT(report.admitted[0], 0u);
+}
+
+TEST(Inclusion, FormatMentionsRelations) {
+  EnumerationSpec spec;
+  spec.procs = 2;
+  spec.ops_per_proc = 1;
+  spec.locs = 1;
+  const auto report = compute_inclusions(spec, chain_models());
+  const std::string s = report.format();
+  EXPECT_NE(s.find("universe:"), std::string::npos);
+  EXPECT_NE(s.find("SC vs TSO"), std::string::npos);
+}
+
+TEST(Inclusion, SampledUniverseAgreesOnContainment) {
+  EnumerationSpec spec;
+  spec.procs = 2;
+  spec.ops_per_proc = 3;
+  spec.locs = 2;
+  const auto report = sample_inclusions(spec, chain_models(), 300, 99);
+  EXPECT_EQ(report.universe_size, 300u);
+  // Containment is a theorem; sampling can never find a counterexample.
+  EXPECT_TRUE(report.stronger_or_equal(0, 1));
+  EXPECT_TRUE(report.stronger_or_equal(1, 2));
+}
+
+TEST(Inclusion, PcCausalIncomparableInSmallUniverse) {
+  // The separating witnesses (fig. 2-like and fig. 3-like shapes) need
+  // 3 ops per processor / same-location races; this universe contains
+  // fig. 3 (2 procs x 3 ops, 1 loc).
+  EnumerationSpec spec;
+  spec.procs = 2;
+  spec.ops_per_proc = 3;
+  spec.locs = 1;
+  std::vector<models::ModelPtr> m;
+  m.push_back(models::make_pc());
+  m.push_back(models::make_causal());
+  const auto report = compute_inclusions(spec, m);
+  // Causal admits fig. 3 and PC rejects it: Causal \ PC nonempty.
+  EXPECT_GT(report.only_in[1][0], 0u);
+}
+
+}  // namespace
+}  // namespace ssm::lattice

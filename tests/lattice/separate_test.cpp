@@ -1,0 +1,105 @@
+#include "lattice/separate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "history/builder.hpp"
+#include "history/print.hpp"
+#include "models/models.hpp"
+
+namespace ssm::lattice {
+namespace {
+
+TEST(Separate, FindsTsoNotScWitness) {
+  const auto tso = models::make_tso();
+  const auto sc = models::make_sc();
+  const auto w = find_separation(*tso, *sc);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(tso->check(*w).allowed);
+  EXPECT_FALSE(sc->check(*w).allowed);
+  // The minimal witness is the Figure 1 shape (4 ops over 2 locations).
+  EXPECT_EQ(w->size(), 4u);
+}
+
+TEST(Separate, NoWitnessForContainment) {
+  // SC \ TSO is empty (SC is stronger).
+  const auto sc = models::make_sc();
+  const auto tso = models::make_tso();
+  EXPECT_FALSE(find_separation(*sc, *tso).has_value());
+}
+
+TEST(Separate, PcCausalBothDirections) {
+  const auto pc = models::make_pc();
+  const auto causal = models::make_causal();
+  const auto pc_not_causal = find_separation(*pc, *causal);
+  const auto causal_not_pc = find_separation(*causal, *pc);
+  ASSERT_TRUE(pc_not_causal.has_value());
+  ASSERT_TRUE(causal_not_pc.has_value());
+  EXPECT_FALSE(causal->check(*pc_not_causal).allowed);
+  EXPECT_FALSE(pc->check(*causal_not_pc).allowed);
+}
+
+TEST(Shrink, ReducesPaddedWitnessToMinimalShape) {
+  // Figure 1 with two irrelevant extra operations; shrinking must strip
+  // them and keep the 4-op core.
+  auto padded = history::HistoryBuilder(2, 3)
+                    .w("p", "x", 1)
+                    .r("p", "y", 0)
+                    .r("p", "z", 0)   // irrelevant
+                    .w("q", "y", 1)
+                    .r("q", "x", 0)
+                    .w("q", "z", 1)   // irrelevant (z never read as 1)
+                    .build();
+  const auto tso = models::make_tso();
+  const auto sc = models::make_sc();
+  ASSERT_TRUE(tso->check(padded).allowed);
+  ASSERT_FALSE(sc->check(padded).allowed);
+  const auto small = shrink_separation(padded, *tso, *sc);
+  EXPECT_EQ(small.size(), 4u);
+  EXPECT_TRUE(tso->check(small).allowed);
+  EXPECT_FALSE(sc->check(small).allowed);
+}
+
+TEST(Shrink, AlreadyMinimalWitnessUnchanged) {
+  auto fig1 = history::HistoryBuilder(2, 2)
+                  .w("p", "x", 1)
+                  .r("p", "y", 0)
+                  .w("q", "y", 1)
+                  .r("q", "x", 0)
+                  .build();
+  const auto tso = models::make_tso();
+  const auto sc = models::make_sc();
+  const auto small = shrink_separation(fig1, *tso, *sc);
+  EXPECT_EQ(small.size(), 4u);
+}
+
+TEST(Shrink, RespectsWellFormedness) {
+  // A witness where a read depends on a write: the write cannot be
+  // dropped alone.
+  auto h = history::HistoryBuilder(3, 2)
+               .w("p", "x", 1)
+               .r("q", "x", 1)
+               .w("q", "y", 1)
+               .r("r", "y", 1)
+               .r("r", "x", 0)
+               .build();
+  const auto pc = models::make_pc();
+  const auto causal = models::make_causal();
+  ASSERT_TRUE(pc->check(h).allowed);
+  ASSERT_FALSE(causal->check(h).allowed);
+  const auto small = shrink_separation(h, *pc, *causal);
+  EXPECT_FALSE(small.validate().has_value());
+  EXPECT_TRUE(pc->check(small).allowed);
+  EXPECT_FALSE(causal->check(small).allowed);
+}
+
+TEST(Separate, CustomUniverseList) {
+  // Restricting to a single-location universe hides the SC/TSO witness.
+  SeparationQuery q;
+  q.universes = {{2, 2, 1, false, 0}};
+  const auto tso = models::make_tso();
+  const auto sc = models::make_sc();
+  EXPECT_FALSE(find_separation(*tso, *sc, q).has_value());
+}
+
+}  // namespace
+}  // namespace ssm::lattice

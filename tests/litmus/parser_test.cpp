@@ -1,0 +1,128 @@
+#include "litmus/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "litmus/suite.hpp"
+
+namespace ssm::litmus {
+namespace {
+
+TEST(Parser, ParsesSimpleTest) {
+  const auto t = parse_test(R"(
+name: demo
+origin: unit test
+p: w(x)1 r(y)0
+q: w(y)1 r(x)0
+expect: SC=no TSO=yes
+)");
+  EXPECT_EQ(t.name, "demo");
+  EXPECT_EQ(t.origin, "unit test");
+  EXPECT_EQ(t.hist.size(), 4u);
+  EXPECT_EQ(t.hist.num_processors(), 2u);
+  EXPECT_EQ(t.expectation("SC"), std::make_optional(false));
+  EXPECT_EQ(t.expectation("TSO"), std::make_optional(true));
+  EXPECT_EQ(t.expectation("PC"), std::nullopt);
+}
+
+TEST(Parser, ParsesLabelsAndRmw) {
+  const auto t = parse_test(R"(
+name: demo
+p: w*(f)1 rmw(l)0:1 r*(f)1
+)");
+  EXPECT_TRUE(t.hist.op(0).is_labeled());
+  EXPECT_EQ(t.hist.op(1).kind, OpKind::ReadModifyWrite);
+  EXPECT_EQ(t.hist.op(1).rmw_read, 0);
+  EXPECT_EQ(t.hist.op(1).value, 1);
+  EXPECT_TRUE(t.hist.op(2).is_acquire());
+}
+
+TEST(Parser, CommentsAndBlanksIgnored) {
+  const auto t = parse_test(R"(
+# a comment
+name: demo
+
+p: w(x)1
+# another
+)");
+  EXPECT_EQ(t.hist.size(), 1u);
+}
+
+TEST(Parser, RejectsMissingName) {
+  EXPECT_THROW((void)parse_test("p: w(x)1\n"), InvalidInput);
+}
+
+TEST(Parser, RejectsMalformedToken) {
+  EXPECT_THROW((void)parse_test("name: t\np: v(x)1\n"), InvalidInput);
+  EXPECT_THROW((void)parse_test("name: t\np: w(x\n"), InvalidInput);
+  EXPECT_THROW((void)parse_test("name: t\np: w(x)\n"), InvalidInput);
+  EXPECT_THROW((void)parse_test("name: t\np: rmw(x)1\n"), InvalidInput);
+}
+
+TEST(Parser, RejectsInvalidHistory) {
+  // Duplicate write value to one location.
+  EXPECT_THROW((void)parse_test("name: t\np: w(x)1\nq: w(x)1\n"),
+               InvalidInput);
+}
+
+TEST(Parser, RejectsBadExpectation) {
+  EXPECT_THROW((void)parse_test("name: t\np: w(x)1\nexpect: SC\n"),
+               InvalidInput);
+  EXPECT_THROW((void)parse_test("name: t\np: w(x)1\nexpect: SC=maybe\n"),
+               InvalidInput);
+}
+
+TEST(Parser, HandlesCrLfAndTabs) {
+  const auto t = parse_test("name: t\r\np:\tw(x)1  r(y)0\r\n");
+  EXPECT_EQ(t.name, "t");
+  EXPECT_EQ(t.hist.size(), 2u);
+}
+
+TEST(Parser, NegativeValuesParse) {
+  const auto t = parse_test("name: t\np: w(x)-3 r(x)-3\n");
+  EXPECT_EQ(t.hist.op(0).value, -3);
+}
+
+TEST(Parser, SuiteSplitsOnNameHeaders) {
+  const auto suite = parse_suite(R"(
+name: one
+p: w(x)1
+name: two
+q: r(y)0
+)");
+  ASSERT_EQ(suite.size(), 2u);
+  EXPECT_EQ(suite[0].name, "one");
+  EXPECT_EQ(suite[1].name, "two");
+}
+
+TEST(Parser, DslRoundTrip) {
+  for (const auto& t : builtin_suite()) {
+    const std::string dsl = to_dsl(t);
+    const auto back = parse_test(dsl);
+    EXPECT_EQ(back.name, t.name);
+    ASSERT_EQ(back.hist.size(), t.hist.size()) << dsl;
+    for (std::size_t i = 0; i < t.hist.size(); ++i) {
+      EXPECT_EQ(back.hist.op(static_cast<OpIndex>(i)),
+                t.hist.op(static_cast<OpIndex>(i)))
+          << t.name << " op " << i;
+    }
+    EXPECT_EQ(back.expectations, t.expectations);
+  }
+}
+
+TEST(Suite, BuiltinSuiteIsWellFormed) {
+  const auto& suite = builtin_suite();
+  EXPECT_GE(suite.size(), 15u);
+  for (const auto& t : suite) {
+    EXPECT_FALSE(t.hist.validate().has_value()) << t.name;
+    EXPECT_FALSE(t.name.empty());
+    EXPECT_FALSE(t.origin.empty()) << t.name;
+  }
+}
+
+TEST(Suite, FindTestByName) {
+  EXPECT_EQ(find_test("fig1-sb").name, "fig1-sb");
+  EXPECT_THROW((void)find_test("nope"), InvalidInput);
+}
+
+}  // namespace
+}  // namespace ssm::litmus

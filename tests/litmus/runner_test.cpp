@@ -1,0 +1,56 @@
+#include "litmus/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "litmus/suite.hpp"
+#include "models/models.hpp"
+
+namespace ssm::litmus {
+namespace {
+
+std::vector<models::ModelPtr> two_models() {
+  std::vector<models::ModelPtr> m;
+  m.push_back(models::make_sc());
+  m.push_back(models::make_pram());
+  return m;
+}
+
+TEST(Runner, RunTestReportsPerModel) {
+  const auto out = run_test(find_test("fig1-sb"), two_models());
+  ASSERT_EQ(out.per_model.size(), 2u);
+  EXPECT_EQ(out.per_model[0].model, "SC");
+  EXPECT_FALSE(out.per_model[0].allowed);
+  EXPECT_TRUE(out.per_model[1].allowed);
+  EXPECT_TRUE(out.all_match());
+}
+
+TEST(Runner, MismatchDetected) {
+  LitmusTest t = find_test("fig1-sb");
+  t.expectations["SC"] = true;  // deliberately wrong
+  const auto out = run_test(t, two_models());
+  EXPECT_FALSE(out.all_match());
+  EXPECT_FALSE(out.per_model[0].matches());
+  EXPECT_TRUE(out.per_model[1].matches());
+}
+
+TEST(Runner, FormatMatrixShape) {
+  const std::vector<LitmusTest> suite{find_test("fig1-sb"),
+                                      find_test("mp")};
+  const auto outcomes = run_suite(suite, two_models());
+  const std::string m = format_matrix(outcomes);
+  // Header + one line per test.
+  EXPECT_NE(m.find("SC"), std::string::npos);
+  EXPECT_NE(m.find("PRAM"), std::string::npos);
+  EXPECT_NE(m.find("fig1-sb"), std::string::npos);
+  EXPECT_NE(m.find("mp"), std::string::npos);
+  EXPECT_EQ(std::count(m.begin(), m.end(), '\n'), 3);
+}
+
+TEST(Runner, EmptySuite) {
+  EXPECT_EQ(format_matrix({}), "(no tests)\n");
+}
+
+}  // namespace
+}  // namespace ssm::litmus

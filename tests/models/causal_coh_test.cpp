@@ -1,0 +1,77 @@
+// The paper's §7 "new memories": causal + coherence, in both the
+// all-writes and labeled-writes-only variants.
+#include <gtest/gtest.h>
+
+#include "history/builder.hpp"
+#include "models/models.hpp"
+
+namespace ssm::models {
+namespace {
+
+using history::HistoryBuilder;
+
+history::SystemHistory corw2(bool labeled) {
+  HistoryBuilder b(4, 1);
+  if (labeled) {
+    b.wl("p", "x", 1).wl("q", "x", 2);
+    b.rl("r", "x", 1).rl("r", "x", 2);
+    b.rl("s", "x", 2).rl("s", "x", 1);
+  } else {
+    b.w("p", "x", 1).w("q", "x", 2);
+    b.r("r", "x", 1).r("r", "x", 2);
+    b.r("s", "x", 2).r("s", "x", 1);
+  }
+  return b.build();
+}
+
+TEST(CausalCoherent, ForbidsTwoWriterDivergence) {
+  EXPECT_FALSE(make_causal_coherent()->check(corw2(false)).allowed);
+  EXPECT_TRUE(make_causal()->check(corw2(false)).allowed);
+}
+
+TEST(CausalCoherentLabeled, OrdinaryWritesStayMerelyCausal) {
+  // With no labeled writes the coherence requirement is vacuous:
+  // CausalCohL degenerates to causal memory and admits the divergence.
+  EXPECT_TRUE(make_causal_coherent_labeled()->check(corw2(false)).allowed);
+}
+
+TEST(CausalCoherentLabeled, LabeledWritesAreCoherent) {
+  EXPECT_FALSE(make_causal_coherent_labeled()->check(corw2(true)).allowed);
+}
+
+TEST(CausalCoherentLabeled, MixedHistorySplitsByLabel) {
+  // Same divergence pattern on an ordinary location is fine while the
+  // labeled location stays coherent.
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .r("p", "x", 1)
+               .r("p", "x", 2)
+               .w("q", "x", 2)
+               .r("q", "x", 2)
+               .r("q", "x", 1)
+               .build();
+  EXPECT_TRUE(make_causal_coherent_labeled()->check(h).allowed);
+  EXPECT_FALSE(make_causal_coherent()->check(h).allowed);
+}
+
+TEST(CausalCoherentLabeled, WitnessVerifies) {
+  const auto m = make_causal_coherent_labeled();
+  const auto h = corw2(false);
+  const auto v = m->check(h);
+  ASSERT_TRUE(v.allowed);
+  EXPECT_FALSE(m->verify_witness(h, v).has_value());
+}
+
+TEST(CausalCoherentLabeled, StillRequiresCausality) {
+  // Message passing (a causal violation) stays forbidden.
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .w("p", "y", 1)
+               .r("q", "y", 1)
+               .r("q", "x", 0)
+               .build();
+  EXPECT_FALSE(make_causal_coherent_labeled()->check(h).allowed);
+}
+
+}  // namespace
+}  // namespace ssm::models

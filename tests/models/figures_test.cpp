@@ -1,0 +1,133 @@
+// The paper's own worked examples, checked one by one with explicit
+// commentary, plus the witness shapes the paper exhibits.
+#include <gtest/gtest.h>
+
+#include "history/builder.hpp"
+#include "litmus/suite.hpp"
+#include "models/models.hpp"
+
+namespace ssm::models {
+namespace {
+
+using history::HistoryBuilder;
+
+history::SystemHistory fig1() {
+  return HistoryBuilder(2, 2)
+      .w("p", "x", 1)
+      .r("p", "y", 0)
+      .w("q", "y", 1)
+      .r("q", "x", 0)
+      .build();
+}
+
+TEST(Fig1, NotSequentiallyConsistent) {
+  EXPECT_FALSE(make_sc()->check(fig1()).allowed);
+}
+
+TEST(Fig1, AllowedByTso) {
+  const auto v = make_tso()->check(fig1());
+  EXPECT_TRUE(v.allowed);
+  ASSERT_EQ(v.views.size(), 2u);
+  // Each processor's view holds its own 2 ops + the other's write.
+  EXPECT_EQ(v.views[0].size(), 3u);
+  EXPECT_EQ(v.views[1].size(), 3u);
+  // Machine-check the witness.
+  EXPECT_FALSE(make_tso()->verify_witness(fig1(), v).has_value());
+}
+
+TEST(Fig1, TsoWitnessHasCommonWriteOrder) {
+  const auto v = make_tso()->check(fig1());
+  ASSERT_TRUE(v.labeled_order.has_value());
+  EXPECT_EQ(v.labeled_order->size(), 2u);
+}
+
+TEST(Fig2, PcButNotTso) {
+  auto h = HistoryBuilder(3, 2)
+               .w("p", "x", 1)
+               .r("q", "x", 1)
+               .w("q", "y", 1)
+               .r("r", "y", 1)
+               .r("r", "x", 0)
+               .build();
+  EXPECT_TRUE(make_pc()->check(h).allowed);
+  EXPECT_FALSE(make_tso()->check(h).allowed);
+  EXPECT_FALSE(make_sc()->check(h).allowed);
+}
+
+TEST(Fig3, PramButNotTso) {
+  auto h = HistoryBuilder(2, 1)
+               .w("p", "x", 1)
+               .r("p", "x", 1)
+               .r("p", "x", 2)
+               .w("q", "x", 2)
+               .r("q", "x", 2)
+               .r("q", "x", 1)
+               .build();
+  EXPECT_TRUE(make_pram()->check(h).allowed);
+  EXPECT_FALSE(make_tso()->check(h).allowed);
+  // Paper §3.5: each processor first reads its own value; PRAM lets the
+  // other's write arrive between the reads.  Without coherence this is
+  // fine; with it (PC) it is not.
+  EXPECT_FALSE(make_pc()->check(h).allowed);
+}
+
+TEST(Fig4, CausalButNotTso) {
+  auto h = HistoryBuilder(3, 3)
+               .w("p", "x", 1)
+               .w("p", "y", 1)
+               .r("q", "y", 1)
+               .w("q", "z", 1)
+               .r("q", "x", 2)
+               .w("r", "x", 2)
+               .r("r", "x", 1)
+               .r("r", "z", 1)
+               .r("r", "y", 1)
+               .build();
+  EXPECT_TRUE(make_causal()->check(h).allowed);
+  EXPECT_FALSE(make_tso()->check(h).allowed);
+}
+
+TEST(Fig4, PcCausalIncomparableWitnessOneDirection) {
+  // Fig. 4 is causal but not PC (coherence on x cannot be agreed).
+  auto h = HistoryBuilder(3, 3)
+               .w("p", "x", 1)
+               .w("p", "y", 1)
+               .r("q", "y", 1)
+               .w("q", "z", 1)
+               .r("q", "x", 2)
+               .w("r", "x", 2)
+               .r("r", "x", 1)
+               .r("r", "z", 1)
+               .r("r", "y", 1)
+               .build();
+  EXPECT_FALSE(make_pc()->check(h).allowed);
+}
+
+TEST(Fig2, PcCausalIncomparableOtherDirection) {
+  // Fig. 2 (WRC) is PC but not causal.
+  auto h = HistoryBuilder(3, 2)
+               .w("p", "x", 1)
+               .r("q", "x", 1)
+               .w("q", "y", 1)
+               .r("r", "y", 1)
+               .r("r", "x", 0)
+               .build();
+  EXPECT_TRUE(make_pc()->check(h).allowed);
+  EXPECT_FALSE(make_causal()->check(h).allowed);
+}
+
+TEST(Section5, BakeryHistoryDistinguishesRcScFromRcPc) {
+  const auto& t = litmus::find_test("bakery2-rcpc");
+  EXPECT_FALSE(make_rc_sc()->check(t.hist).allowed);
+  EXPECT_TRUE(make_rc_pc()->check(t.hist).allowed);
+}
+
+TEST(Section4, TsoStrictlyStrongerThanPcOnExamples) {
+  // Every TSO-allowed example here is PC-allowed (containment direction).
+  const auto h = fig1();
+  ASSERT_TRUE(make_tso()->check(h).allowed);
+  EXPECT_TRUE(make_pc()->check(h).allowed);
+}
+
+}  // namespace
+}  // namespace ssm::models

@@ -1,0 +1,186 @@
+// Declarative ↔ operational correspondence, BOTH directions, decided over
+// exhaustively enumerated universes (the executable version of the
+// paper's §6 comparison of specification styles).
+//
+//   soundness:    machine-reachable  ⊆  declaratively-admitted
+//   completeness: declaratively-admitted  ⊆  machine-reachable
+//
+// For SC and PRAM both directions hold exactly on small universes (the
+// machines realize the models).  For TSO the *paper's* characterization
+// is strictly stronger than the machine (the store-forwarding divergence:
+// sb-fwd is reachable yet rejected); the forwarding variant TSOfwd closes
+// the gap on these universes.
+#include <gtest/gtest.h>
+
+#include "history/print.hpp"
+#include "lattice/enumerate.hpp"
+#include "litmus/suite.hpp"
+#include "models/operational.hpp"
+#include "models/registry.hpp"
+
+namespace ssm::models {
+namespace {
+
+struct Correspondence {
+  const char* machine;
+  const char* model;
+  bool expect_sound;     // machine ⊆ model
+  bool expect_complete;  // model ⊆ machine
+};
+
+class OperationalEquivalence
+    : public ::testing::TestWithParam<Correspondence> {};
+
+TEST_P(OperationalEquivalence, OverExhaustiveUniverse) {
+  const auto& c = GetParam();
+  const auto op_model = make_operational(c.machine);
+  const auto decl_model = make_model(c.model);
+  lattice::EnumerationSpec spec;
+  spec.procs = 2;
+  spec.ops_per_proc = 2;
+  spec.locs = 2;
+  std::uint64_t unsound = 0, incomplete = 0, agreements = 0;
+  std::string unsound_witness, incomplete_witness;
+  lattice::for_each_history(spec, [&](const history::SystemHistory& h) {
+    const bool reachable = op_model->check(h).allowed;
+    const bool admitted = decl_model->check(h).allowed;
+    if (reachable && !admitted) {
+      if (unsound++ == 0) unsound_witness = history::format_history(h);
+    }
+    if (admitted && !reachable) {
+      if (incomplete++ == 0) {
+        incomplete_witness = history::format_history(h);
+      }
+    }
+    if (reachable == admitted) ++agreements;
+    return true;
+  });
+  if (c.expect_sound) {
+    EXPECT_EQ(unsound, 0u) << "machine trace rejected by " << c.model
+                           << ":\n"
+                           << unsound_witness;
+  } else {
+    EXPECT_GT(unsound, 0u);
+  }
+  if (c.expect_complete) {
+    EXPECT_EQ(incomplete, 0u)
+        << c.model << " admits an unreachable history:\n"
+        << incomplete_witness;
+  } else {
+    EXPECT_GT(incomplete, 0u);
+  }
+  EXPECT_GT(agreements, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Universe2x2x2, OperationalEquivalence,
+    ::testing::Values(
+        // Exact correspondences.
+        Correspondence{"sc", "SC", true, true},
+        Correspondence{"causal", "Causal", true, true},
+        Correspondence{"tso", "TSOfwd", true, true},
+        // PRAM and Goodman-PC declaratively admit load-buffering shapes
+        // (a read ordered after a write that program-order-follows it in
+        // another view) which no replica machine can reach without
+        // speculation — sound but NOT complete.  A real, documented gap
+        // between the view-based style and realizable implementations.
+        Correspondence{"pram", "PRAM", true, false},
+        Correspondence{"coherent", "PCg", true, false},
+        // The paper's TSO is sound for the machine's traces only up to
+        // forwarding; on a 2-ops universe no forwarded read can feed a
+        // later same-processor read, so both directions still hold here —
+        // the divergence needs 3 ops (next test).
+        Correspondence{"tso", "TSO", true, true}),
+    [](const ::testing::TestParamInfo<Correspondence>& param) {
+      std::string n = std::string(param.param.machine) + "_vs_" +
+                      param.param.model;
+      for (char& ch : n) {
+        if (ch == '-') ch = '_';
+      }
+      return n;
+    });
+
+TEST(OperationalEquivalenceLabeled, RcScMachineSoundOverLabeledUniverse) {
+  // Exhaustive labeled universe (one sync + one data location): every
+  // trace the rc-sc machine can reach is RCsc-admitted.  Completeness
+  // fails (RCsc admits more — e.g. load-buffering-style freedom), which
+  // we record rather than assert away.
+  const auto op_model = make_operational("rc-sc");
+  const auto rcsc = make_rc_sc();
+  lattice::EnumerationSpec spec;
+  spec.procs = 2;
+  spec.ops_per_proc = 2;
+  spec.locs = 2;
+  spec.sync_locs = 1;
+  std::uint64_t unsound = 0, reachable_count = 0, incomplete = 0;
+  std::string witness;
+  lattice::for_each_history(spec, [&](const history::SystemHistory& h) {
+    const bool reachable = op_model->check(h).allowed;
+    if (!reachable) {
+      if (rcsc->check(h).allowed) ++incomplete;
+      return true;
+    }
+    ++reachable_count;
+    if (!rcsc->check(h).allowed) {
+      if (unsound++ == 0) witness = history::format_history(h);
+    }
+    return true;
+  });
+  EXPECT_EQ(unsound, 0u) << "rc-sc machine reached a trace RCsc rejects:\n"
+                         << witness;
+  EXPECT_GT(reachable_count, 0u);
+  EXPECT_GT(incomplete, 0u);  // the declarative model is strictly larger
+}
+
+TEST(OperationalDivergence, PaperTsoRejectsReachableForwardingTrace) {
+  // The sb-fwd litmus history is reachable on the TSO machine but
+  // rejected by the paper's TSO — the §3.2 equivalence claim fails
+  // exactly here, while TSOfwd accepts it.
+  const auto& t = ::ssm::litmus::find_test("sb-fwd");
+  EXPECT_TRUE(make_operational("tso")->check(t.hist).allowed);
+  EXPECT_FALSE(make_tso()->check(t.hist).allowed);
+  EXPECT_TRUE(make_tso_fwd()->check(t.hist).allowed);
+}
+
+TEST(OperationalDivergence, RcPcMachineSoundForRcGoodman) {
+  // Machine-reachable ⇒ RCg-admitted on the labeled figures.  (bakery2 is
+  // beyond exhaustive exploration — 14 operations — and is covered by the
+  // adversarial-schedule tests in tests/bakery.)
+  for (const char* name : {"sb-labeled", "mp-rel-acq", "mp-rel-acq-broken",
+                           "wrc-rel-acq-stale", "wrc-rel-acq-fresh"}) {
+    const auto& t = ::ssm::litmus::find_test(name);
+    if (make_operational("rc-pc")->check(t.hist).allowed) {
+      EXPECT_TRUE(make_rc_goodman()->check(t.hist).allowed) << name;
+    }
+  }
+}
+
+TEST(OperationalDivergence, RcPcMachineIsCumulativeUnlikeDeclarativeRc) {
+  // The machine's acquire-dependency (causal) delivery publishes
+  // TRANSITIVELY: once q's release g is visible anywhere, the data p
+  // published before the release q acquired is visible there too.  The
+  // paper's RC_pc (and RCg) are non-cumulative — they admit the stale
+  // outcome.  So the natural causal-delivery implementation is strictly
+  // stronger than the declarative definition on transitive publication.
+  const auto& stale = ::ssm::litmus::find_test("wrc-rel-acq-stale");
+  EXPECT_FALSE(make_operational("rc-pc")->check(stale.hist).allowed);
+  EXPECT_TRUE(make_rc_pc()->check(stale.hist).allowed);
+  EXPECT_TRUE(make_rc_goodman()->check(stale.hist).allowed);
+  // The non-stale companion is reachable, so the gap is exactly the
+  // cumulativity.
+  const auto& fresh = ::ssm::litmus::find_test("wrc-rel-acq-fresh");
+  EXPECT_TRUE(make_operational("rc-pc")->check(fresh.hist).allowed);
+}
+
+TEST(OperationalDivergence, RcScMachineSoundForRcSc) {
+  for (const char* name :
+       {"mp-rel-acq", "mp-rel-acq-broken", "sb-labeled", "wo-vs-rcsc"}) {
+    const auto& t = ::ssm::litmus::find_test(name);
+    if (make_operational("rc-sc")->check(t.hist).allowed) {
+      EXPECT_TRUE(make_rc_sc()->check(t.hist).allowed) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssm::models

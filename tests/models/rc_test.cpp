@@ -1,0 +1,140 @@
+// Release-consistency specifics: bracket conditions, labeling rules, and
+// the paper's §3.4 erratum (see rc.cpp header comment).
+#include <gtest/gtest.h>
+
+#include "history/builder.hpp"
+#include "models/models.hpp"
+
+namespace ssm::models {
+namespace {
+
+using history::HistoryBuilder;
+
+TEST(ReleaseConsistency, ReleaseBracketPublishesData) {
+  // Ordinary w(d)1 before release w*(f)1; acquire r*(f)1 then ordinary
+  // read of d must see 1.
+  auto stale = HistoryBuilder(2, 2)
+                   .w("p", "d", 1)
+                   .wl("p", "f", 1)
+                   .rl("q", "f", 1)
+                   .r("q", "d", 0)
+                   .build();
+  EXPECT_FALSE(make_rc_sc()->check(stale).allowed);
+  EXPECT_FALSE(make_rc_pc()->check(stale).allowed);
+
+  auto fresh = HistoryBuilder(2, 2)
+                   .w("p", "d", 1)
+                   .wl("p", "f", 1)
+                   .rl("q", "f", 1)
+                   .r("q", "d", 1)
+                   .build();
+  EXPECT_TRUE(make_rc_sc()->check(fresh).allowed);
+  EXPECT_TRUE(make_rc_pc()->check(fresh).allowed);
+}
+
+TEST(ReleaseConsistency, UnlabeledDataRacesAreUnordered) {
+  // Without the release/acquire labels the same shape is admitted: RC
+  // propagates ordinary writes independently (only the issuer's own view
+  // keeps ppo).
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "d", 1)
+               .w("p", "f", 1)
+               .r("q", "f", 1)
+               .r("q", "d", 0)
+               .build();
+  EXPECT_TRUE(make_rc_sc()->check(h).allowed);
+  EXPECT_TRUE(make_rc_pc()->check(h).allowed);
+}
+
+TEST(ReleaseConsistency, AcquireOfInitialValueImposesNoBracket) {
+  // The acquire reads the initial value: there is no acquired write, so
+  // later ordinary operations are not pinned behind anything.
+  auto h = HistoryBuilder(2, 2)
+               .rl("q", "f", 0)
+               .r("q", "d", 0)
+               .w("p", "d", 1)
+               .build();
+  EXPECT_TRUE(make_rc_sc()->check(h).allowed);
+}
+
+TEST(ReleaseConsistency, LabeledSbSeparatesVariants) {
+  auto h = HistoryBuilder(2, 2)
+               .wl("p", "x", 1)
+               .rl("p", "y", 0)
+               .wl("q", "y", 1)
+               .rl("q", "x", 0)
+               .build();
+  EXPECT_FALSE(make_rc_sc()->check(h).allowed);
+  EXPECT_TRUE(make_rc_pc()->check(h).allowed);
+}
+
+TEST(ReleaseConsistency, ImproperLabelingRejected) {
+  // Labeled read observing an ordinary write: improperly labeled history.
+  auto h = HistoryBuilder(2, 1)
+               .w("p", "x", 1)
+               .rl("q", "x", 1)
+               .build();
+  const auto v = make_rc_sc()->check(h);
+  EXPECT_FALSE(v.allowed);
+  EXPECT_NE(v.note.find("improperly labeled"), std::string::npos);
+}
+
+TEST(ReleaseConsistency, CoherenceAppliesToOrdinaryWrites) {
+  // Even ordinary writes to the same location keep a common order
+  // (paper §3.4: "coherence is required even for ordinary operations").
+  auto h = HistoryBuilder(2, 1)
+               .w("p", "x", 1)
+               .w("p", "x", 2)
+               .r("q", "x", 2)
+               .r("q", "x", 1)
+               .build();
+  EXPECT_FALSE(make_rc_sc()->check(h).allowed);
+  EXPECT_FALSE(make_rc_pc()->check(h).allowed);
+}
+
+TEST(ReleaseConsistency, ErratumLiteralReadingWouldBreakPublication) {
+  // Paper §3.4's second bracket bullet literally says the ordinary op o
+  // (which precedes the release in program order) "follows o_w in all
+  // histories".  Under that reading the data write may be ordered AFTER
+  // the release in other views, so the stale-read history below would be
+  // admitted even by RC_sc — i.e. release/acquire would not publish data
+  // at all, contradicting the section's own prose.  We assert our
+  // corrected implementation forbids it; this test documents the erratum.
+  auto stale = HistoryBuilder(2, 2)
+                   .w("p", "d", 1)
+                   .wl("p", "f", 1)
+                   .rl("q", "f", 1)
+                   .r("q", "d", 0)
+                   .build();
+  EXPECT_FALSE(make_rc_sc()->check(stale).allowed);
+}
+
+TEST(ReleaseConsistency, RcScWitnessCarriesLabeledOrder) {
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "d", 1)
+               .wl("p", "f", 1)
+               .rl("q", "f", 1)
+               .r("q", "d", 1)
+               .build();
+  const auto v = make_rc_sc()->check(h);
+  ASSERT_TRUE(v.allowed);
+  ASSERT_TRUE(v.labeled_order.has_value());
+  EXPECT_EQ(v.labeled_order->size(), 2u);
+  ASSERT_TRUE(v.coherence.has_value());
+}
+
+TEST(ReleaseConsistency, NoLabelsDegeneratesToCoherentPpo) {
+  // With no labeled operations at all, RC_sc == RC_pc == "ppo in own view
+  // + coherence"; store buffering is admitted.
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .r("p", "y", 0)
+               .w("q", "y", 1)
+               .r("q", "x", 0)
+               .build();
+  EXPECT_TRUE(make_rc_sc()->check(h).allowed);
+  EXPECT_TRUE(make_rc_pc()->check(h).allowed);
+}
+
+}  // namespace
+}  // namespace ssm::models

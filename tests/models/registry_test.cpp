@@ -1,0 +1,48 @@
+#include "models/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ssm::models {
+namespace {
+
+TEST(Registry, AllModelsHaveUniqueNames) {
+  std::set<std::string> names;
+  for (const auto& m : all_models()) {
+    EXPECT_TRUE(names.insert(std::string(m->name())).second)
+        << "duplicate model name " << m->name();
+    EXPECT_FALSE(std::string(m->description()).empty()) << m->name();
+  }
+  EXPECT_GE(names.size(), 16u);
+}
+
+TEST(Registry, PaperModelsAreTheSevenFromSection3) {
+  const auto models = paper_models();
+  ASSERT_EQ(models.size(), 7u);
+  const std::set<std::string> expected{"SC",  "TSO",  "PC",  "RCsc",
+                                       "RCpc", "Causal", "PRAM"};
+  std::set<std::string> actual;
+  for (const auto& m : models) actual.insert(std::string(m->name()));
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Registry, MakeModelRoundTripsEveryName) {
+  for (const auto& name : model_names()) {
+    const auto m = make_model(name);
+    EXPECT_EQ(m->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW((void)make_model("NotAModel"), InvalidInput);
+}
+
+TEST(Registry, StrongestFirstOrdering) {
+  const auto names = model_names();
+  EXPECT_EQ(names.front(), "SC");
+  EXPECT_EQ(names.back(), "Local");
+}
+
+}  // namespace
+}  // namespace ssm::models

@@ -1,0 +1,53 @@
+// Parameterized check of the entire built-in litmus suite against every
+// model with a recorded expectation (the library's regression matrix).
+#include <gtest/gtest.h>
+
+#include "litmus/parser.hpp"
+#include "litmus/suite.hpp"
+#include "models/registry.hpp"
+
+namespace ssm::models {
+namespace {
+
+struct SuiteCase {
+  std::string test;
+  std::string model;
+  bool expected;
+};
+
+std::vector<SuiteCase> all_cases() {
+  std::vector<SuiteCase> cases;
+  for (const auto& t : litmus::builtin_suite()) {
+    for (const auto& [model, expected] : t.expectations) {
+      cases.push_back({t.name, model, expected});
+    }
+  }
+  return cases;
+}
+
+class LitmusSuite : public ::testing::TestWithParam<SuiteCase> {};
+
+TEST_P(LitmusSuite, MatchesExpectation) {
+  const SuiteCase& c = GetParam();
+  const auto& t = litmus::find_test(c.test);
+  const auto model = make_model(c.model);
+  const auto verdict = model->check(t.hist);
+  EXPECT_EQ(verdict.allowed, c.expected)
+      << c.test << " under " << c.model << ": expected "
+      << (c.expected ? "allowed" : "forbidden") << "\n"
+      << litmus::to_dsl(t);
+}
+
+std::string case_name(const ::testing::TestParamInfo<SuiteCase>& info) {
+  std::string n = info.param.test + "_" + info.param.model;
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExpectations, LitmusSuite,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+}  // namespace
+}  // namespace ssm::models

@@ -1,0 +1,54 @@
+// Property test: every positive verdict any model produces on any suite
+// history must carry a witness that the model itself can machine-check.
+#include <gtest/gtest.h>
+
+#include "litmus/suite.hpp"
+#include "models/registry.hpp"
+
+namespace ssm::models {
+namespace {
+
+struct WitnessCase {
+  std::string test;
+  std::string model;
+};
+
+std::vector<WitnessCase> all_cases() {
+  std::vector<WitnessCase> cases;
+  for (const auto& t : litmus::builtin_suite()) {
+    for (const auto& name : model_names()) {
+      cases.push_back({t.name, name});
+    }
+  }
+  return cases;
+}
+
+class WitnessProperty : public ::testing::TestWithParam<WitnessCase> {};
+
+TEST_P(WitnessProperty, PositiveVerdictsVerify) {
+  const auto& c = GetParam();
+  const auto& t = litmus::find_test(c.test);
+  const auto model = make_model(c.model);
+  const auto verdict = model->check(t.hist);
+  if (!verdict.allowed) {
+    SUCCEED() << "forbidden; nothing to verify";
+    return;
+  }
+  const auto err = model->verify_witness(t.hist, verdict);
+  EXPECT_FALSE(err.has_value())
+      << c.test << " under " << c.model << ": " << err.value_or("");
+}
+
+std::string case_name(const ::testing::TestParamInfo<WitnessCase>& info) {
+  std::string n = info.param.test + "_" + info.param.model;
+  for (char& ch : n) {
+    if (ch == '-') ch = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSuiteHistories, WitnessProperty,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+}  // namespace
+}  // namespace ssm::models

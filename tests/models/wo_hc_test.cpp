@@ -1,0 +1,130 @@
+// Weak ordering and hybrid consistency specifics: fence strength relative
+// to release consistency, and HC's weak-weak freedom.
+#include <gtest/gtest.h>
+
+#include "history/builder.hpp"
+#include "models/models.hpp"
+
+namespace ssm::models {
+namespace {
+
+using history::HistoryBuilder;
+
+TEST(WeakOrdering, PostReleaseWriteFenced) {
+  // Ordinary write AFTER a labeled write: WO orders it after the sync op
+  // everywhere; RC (both flavours) leaves it free.
+  auto h = HistoryBuilder(2, 2)
+               .wl("p", "f", 1)
+               .w("p", "d", 1)
+               .r("q", "d", 1)
+               .rl("q", "f", 0)
+               .build();
+  EXPECT_FALSE(make_weak_ordering()->check(h).allowed);
+  EXPECT_TRUE(make_rc_sc()->check(h).allowed);
+  EXPECT_TRUE(make_rc_pc()->check(h).allowed);
+}
+
+TEST(WeakOrdering, SyncOpsAreSequentiallyConsistent) {
+  // Labeled store buffering: forbidden by WO just as by RC_sc.
+  auto h = HistoryBuilder(2, 2)
+               .wl("p", "x", 1)
+               .rl("p", "y", 0)
+               .wl("q", "y", 1)
+               .rl("q", "x", 0)
+               .build();
+  EXPECT_FALSE(make_weak_ordering()->check(h).allowed);
+}
+
+TEST(WeakOrdering, PublishesLikeReleaseConsistency) {
+  auto stale = HistoryBuilder(2, 2)
+                   .w("p", "d", 1)
+                   .wl("p", "f", 1)
+                   .rl("q", "f", 1)
+                   .r("q", "d", 0)
+                   .build();
+  EXPECT_FALSE(make_weak_ordering()->check(stale).allowed);
+  auto fresh = HistoryBuilder(2, 2)
+                   .w("p", "d", 1)
+                   .wl("p", "f", 1)
+                   .rl("q", "f", 1)
+                   .r("q", "d", 1)
+                   .build();
+  EXPECT_TRUE(make_weak_ordering()->check(fresh).allowed);
+}
+
+TEST(WeakOrdering, UnlabeledHistoriesKeepCoherenceOnly) {
+  // No sync ops: WO degenerates to coherence + own-view ppo, admitting
+  // store buffering but rejecting coherence violations.
+  auto sb = HistoryBuilder(2, 2)
+                .w("p", "x", 1)
+                .r("p", "y", 0)
+                .w("q", "y", 1)
+                .r("q", "x", 0)
+                .build();
+  EXPECT_TRUE(make_weak_ordering()->check(sb).allowed);
+  auto corr = HistoryBuilder(2, 1)
+                  .w("p", "x", 1)
+                  .w("p", "x", 2)
+                  .r("q", "x", 2)
+                  .r("q", "x", 1)
+                  .build();
+  EXPECT_FALSE(make_weak_ordering()->check(corr).allowed);
+}
+
+TEST(Hybrid, WeakOperationsCompletelyUnordered) {
+  // HC has no coherence for weak ops: CoRR is admitted.
+  auto corr = HistoryBuilder(2, 1)
+                  .w("p", "x", 1)
+                  .w("p", "x", 2)
+                  .r("q", "x", 2)
+                  .r("q", "x", 1)
+                  .build();
+  EXPECT_TRUE(make_hybrid()->check(corr).allowed);
+  EXPECT_FALSE(make_weak_ordering()->check(corr).allowed);
+}
+
+TEST(Hybrid, StrongOpsAreSequentiallyConsistent) {
+  auto h = HistoryBuilder(2, 2)
+               .wl("p", "x", 1)
+               .rl("p", "y", 0)
+               .wl("q", "y", 1)
+               .rl("q", "x", 0)
+               .build();
+  EXPECT_FALSE(make_hybrid()->check(h).allowed);
+}
+
+TEST(Hybrid, WeakOpsOrderedAgainstStrongOnes) {
+  // w(d)1 before the strong write; strong read of f pins d's visibility.
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "d", 1)
+               .wl("p", "f", 1)
+               .rl("q", "f", 1)
+               .r("q", "d", 0)
+               .build();
+  EXPECT_FALSE(make_hybrid()->check(h).allowed);
+}
+
+TEST(Hybrid, ImproperLabelingRejected) {
+  auto h = HistoryBuilder(2, 1).w("p", "x", 1).rl("q", "x", 1).build();
+  const auto v = make_hybrid()->check(h);
+  EXPECT_FALSE(v.allowed);
+  EXPECT_NE(v.note.find("improperly labeled"), std::string::npos);
+}
+
+TEST(WoHc, WitnessesVerify) {
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "d", 1)
+               .wl("p", "f", 1)
+               .rl("q", "f", 1)
+               .r("q", "d", 1)
+               .build();
+  for (auto maker : {make_weak_ordering, make_hybrid}) {
+    const auto m = maker();
+    const auto v = m->check(h);
+    ASSERT_TRUE(v.allowed) << m->name();
+    EXPECT_FALSE(m->verify_witness(h, v).has_value()) << m->name();
+  }
+}
+
+}  // namespace
+}  // namespace ssm::models

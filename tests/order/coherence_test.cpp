@@ -1,0 +1,110 @@
+#include "order/coherence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "history/builder.hpp"
+#include "order/orders.hpp"
+
+namespace ssm::order {
+namespace {
+
+using history::HistoryBuilder;
+
+TEST(Coherence, EnumeratesPerLocationOrders) {
+  // Two writes to x by different processors (unordered), one write to y:
+  // 2 coherence orders.
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .w("q", "x", 2)
+               .w("q", "y", 1)
+               .build();
+  const auto ppo = partial_program_order(h);
+  int count = 0;
+  for_each_coherence_order(h, ppo, [&](const CoherenceOrder&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Coherence, SameProcessorWritesKeepProgramOrder) {
+  auto h = HistoryBuilder(1, 1).w("p", "x", 1).w("p", "x", 2).build();
+  const auto ppo = partial_program_order(h);
+  int count = 0;
+  for_each_coherence_order(h, ppo, [&](const CoherenceOrder& coh) {
+    ++count;
+    EXPECT_TRUE(coh.precedes(0, 1));
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Coherence, EarlyStopPropagates) {
+  auto h = HistoryBuilder(2, 1).w("p", "x", 1).w("q", "x", 2).build();
+  int count = 0;
+  const bool stopped = for_each_coherence_order(
+      h, partial_program_order(h), [&](const CoherenceOrder&) {
+        ++count;
+        return false;
+      });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Coherence, AsRelationIsTransitiveChain) {
+  auto h = HistoryBuilder(1, 1)
+               .w("p", "x", 1)
+               .w("p", "x", 2)
+               .w("p", "x", 3)
+               .build();
+  for_each_coherence_order(h, partial_program_order(h),
+                           [&](const CoherenceOrder& coh) {
+                             const auto r = coh.as_relation();
+                             EXPECT_TRUE(r.test(0, 1));
+                             EXPECT_TRUE(r.test(1, 2));
+                             EXPECT_TRUE(r.test(0, 2));
+                             EXPECT_FALSE(r.test(2, 0));
+                             return true;
+                           });
+}
+
+TEST(Coherence, PositionsMatchSequence) {
+  auto h = HistoryBuilder(1, 1).w("p", "x", 1).w("p", "x", 2).build();
+  for_each_coherence_order(h, partial_program_order(h),
+                           [&](const CoherenceOrder& coh) {
+                             EXPECT_EQ(coh.position(0), 0u);
+                             EXPECT_EQ(coh.position(1), 1u);
+                             EXPECT_EQ(coh.writes(0).size(), 2u);
+                             return true;
+                           });
+}
+
+TEST(Coherence, NoWritesYieldsSingleEmptyOrder) {
+  auto h = HistoryBuilder(1, 1).r("p", "x", 0).build();
+  int count = 0;
+  for_each_coherence_order(h, partial_program_order(h),
+                           [&](const CoherenceOrder& coh) {
+                             ++count;
+                             EXPECT_TRUE(coh.writes(0).empty());
+                             return true;
+                           });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Coherence, ThreeIndependentWritesSixOrders) {
+  auto h = HistoryBuilder(3, 1)
+               .w("p", "x", 1)
+               .w("q", "x", 2)
+               .w("r", "x", 3)
+               .build();
+  int count = 0;
+  for_each_coherence_order(h, partial_program_order(h),
+                           [&](const CoherenceOrder&) {
+                             ++count;
+                             return true;
+                           });
+  EXPECT_EQ(count, 6);
+}
+
+}  // namespace
+}  // namespace ssm::order

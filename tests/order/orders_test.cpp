@@ -1,0 +1,126 @@
+#include "order/orders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "history/builder.hpp"
+
+namespace ssm::order {
+namespace {
+
+using history::HistoryBuilder;
+
+TEST(ProgramOrder, TotalPerProcessor) {
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "x", 1)
+               .r("p", "y", 0)
+               .w("q", "y", 1)
+               .build();
+  const auto po = program_order(h);
+  EXPECT_TRUE(po.test(0, 1));   // p's two ops
+  EXPECT_FALSE(po.test(1, 0));
+  EXPECT_FALSE(po.test(0, 2));  // cross-processor: unordered
+  EXPECT_FALSE(po.test(2, 0));
+}
+
+TEST(Ppo, WriteThenReadDifferentLocationDropped) {
+  auto h = HistoryBuilder(1, 2).w("p", "x", 1).r("p", "y", 0).build();
+  const auto ppo = partial_program_order(h);
+  EXPECT_FALSE(ppo.test(0, 1));  // the store-buffer reorder TSO allows
+}
+
+TEST(Ppo, SameLocationKept) {
+  auto h = HistoryBuilder(1, 1).w("p", "x", 1).r("p", "x", 1).build();
+  EXPECT_TRUE(partial_program_order(h).test(0, 1));
+}
+
+TEST(Ppo, BothReadsKept) {
+  auto h = HistoryBuilder(2, 2)
+               .r("p", "x", 0)
+               .r("p", "y", 0)
+               .build();
+  EXPECT_TRUE(partial_program_order(h).test(0, 1));
+}
+
+TEST(Ppo, BothWritesKept) {
+  auto h = HistoryBuilder(1, 2).w("p", "x", 1).w("p", "y", 1).build();
+  EXPECT_TRUE(partial_program_order(h).test(0, 1));
+}
+
+TEST(Ppo, ReadThenWriteKept) {
+  auto h = HistoryBuilder(1, 2).r("p", "x", 0).w("p", "y", 1).build();
+  EXPECT_TRUE(partial_program_order(h).test(0, 1));
+}
+
+TEST(Ppo, TransitivityThroughIntermediate) {
+  // w(x) ->ppo r(x) (same loc), r(x) ->ppo r(y) (both reads), so
+  // w(x) ->ppo r(y) transitively even though direct w->r is dropped.
+  auto h = HistoryBuilder(1, 2)
+               .w("p", "x", 1)
+               .r("p", "x", 1)
+               .r("p", "y", 0)
+               .build();
+  const auto ppo = partial_program_order(h);
+  EXPECT_TRUE(ppo.test(0, 2));
+}
+
+TEST(Ppo, NoTransitiveRouteLeavesDropped) {
+  // w(x), w(y): both writes kept.  w(x), r(z): dropped, and the only
+  // intermediate (w(y)) gives w(y) -> r(z)? also dropped (w->r, diff loc).
+  auto h = HistoryBuilder(1, 3)
+               .w("p", "x", 1)
+               .w("p", "y", 1)
+               .r("p", "z", 0)
+               .build();
+  const auto ppo = partial_program_order(h);
+  EXPECT_TRUE(ppo.test(0, 1));
+  EXPECT_FALSE(ppo.test(0, 2));
+  EXPECT_FALSE(ppo.test(1, 2));
+}
+
+TEST(Ppo, RmwOrdersBothWays) {
+  auto h = HistoryBuilder(1, 2)
+               .w("p", "x", 1)
+               .rmw("p", "y", 0, 1)
+               .r("p", "z", 0)
+               .build();
+  const auto ppo = partial_program_order(h);
+  EXPECT_TRUE(ppo.test(0, 1));  // write then write-like
+  EXPECT_TRUE(ppo.test(1, 2));  // read-like then read
+  EXPECT_TRUE(ppo.test(0, 2));  // transitively: rmw never bypassed
+}
+
+TEST(WritesBefore, LinksWriterToReader) {
+  auto h = HistoryBuilder(2, 1).w("p", "x", 1).r("q", "x", 1).build();
+  const auto wb = writes_before(h);
+  EXPECT_TRUE(wb.test(0, 1));
+  EXPECT_FALSE(wb.test(1, 0));
+}
+
+TEST(WritesBefore, ReadOfInitialValueUnlinked) {
+  auto h = HistoryBuilder(2, 1).w("p", "x", 1).r("q", "x", 0).build();
+  EXPECT_EQ(writes_before(h).edge_count(), 0u);
+}
+
+TEST(CausalOrder, TransitiveAcrossProcessors) {
+  // w_p(x)1 -> r_q(x)1 -> w_q(y)1 -> r_r(y)1: co chains them all.
+  auto h = HistoryBuilder(3, 2)
+               .w("p", "x", 1)
+               .r("q", "x", 1)
+               .w("q", "y", 1)
+               .r("r", "y", 1)
+               .build();
+  const auto co = causal_order(h);
+  EXPECT_TRUE(co.test(0, 3));
+  EXPECT_TRUE(co.test(0, 2));
+  EXPECT_FALSE(co.test(3, 0));
+}
+
+TEST(CausalOrder, ConcurrentWritesUnordered) {
+  auto h = HistoryBuilder(2, 2).w("p", "x", 1).w("q", "y", 1).build();
+  const auto co = causal_order(h);
+  EXPECT_FALSE(co.test(0, 1));
+  EXPECT_FALSE(co.test(1, 0));
+}
+
+}  // namespace
+}  // namespace ssm::order

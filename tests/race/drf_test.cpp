@@ -1,0 +1,111 @@
+// The per-execution DRF guarantee, decided empirically: over exhaustive
+// labeled universes, every RC_sc-admitted data-race-free history is
+// sequentially consistent (the paper's §5 quotes Gibbons, Merritt &
+// Gharachorloo [8] for the program-level version of this).
+#include <gtest/gtest.h>
+
+#include "history/print.hpp"
+#include "lattice/enumerate.hpp"
+#include "litmus/suite.hpp"
+#include "models/models.hpp"
+#include "race/race.hpp"
+
+namespace ssm::race {
+namespace {
+
+struct DrfCounts {
+  std::uint64_t total = 0;
+  std::uint64_t race_free = 0;
+  std::uint64_t rcsc_drf = 0;
+  std::uint64_t rcsc_drf_sc = 0;
+  std::uint64_t racy_weak = 0;  // racy, RCsc-admitted, NOT SC
+};
+
+DrfCounts sweep(const lattice::EnumerationSpec& spec,
+                std::string* counterexample) {
+  const auto rcsc = models::make_rc_sc();
+  const auto sc = models::make_sc();
+  DrfCounts c;
+  lattice::for_each_history(spec, [&](const history::SystemHistory& h) {
+    ++c.total;
+    const bool drf = is_data_race_free(h);
+    if (drf) ++c.race_free;
+    const bool rcsc_ok = rcsc->check(h).allowed;
+    if (!rcsc_ok) return true;
+    const bool sc_ok = sc->check(h).allowed;
+    if (drf) {
+      ++c.rcsc_drf;
+      if (sc_ok) {
+        ++c.rcsc_drf_sc;
+      } else if (counterexample && counterexample->empty()) {
+        *counterexample = history::format_history(h);
+      }
+    } else if (!sc_ok) {
+      ++c.racy_weak;
+    }
+    return true;
+  });
+  return c;
+}
+
+TEST(DrfTheorem, HoldsOnUnlabeledUniverse) {
+  lattice::EnumerationSpec spec;
+  spec.procs = 2;
+  spec.ops_per_proc = 2;
+  spec.locs = 2;
+  std::string counterexample;
+  const auto c = sweep(spec, &counterexample);
+  EXPECT_EQ(c.rcsc_drf, c.rcsc_drf_sc)
+      << "RCsc-admitted DRF history that is not SC:\n"
+      << counterexample;
+  // Weak behaviour exists, and only behind races.
+  EXPECT_GT(c.racy_weak, 0u);
+  EXPECT_GT(c.rcsc_drf, 0u);
+}
+
+TEST(DrfTheorem, HoldsOnLabeledUniverse) {
+  lattice::EnumerationSpec spec;
+  spec.procs = 2;
+  spec.ops_per_proc = 2;
+  spec.locs = 2;
+  spec.sync_locs = 1;  // location x is a synchronization variable
+  std::string counterexample;
+  const auto c = sweep(spec, &counterexample);
+  EXPECT_EQ(c.rcsc_drf, c.rcsc_drf_sc) << counterexample;
+  EXPECT_GT(c.rcsc_drf, 0u);
+}
+
+TEST(DrfTheorem, HoldsForWeakOrderingToo) {
+  lattice::EnumerationSpec spec;
+  spec.procs = 2;
+  spec.ops_per_proc = 2;
+  spec.locs = 2;
+  spec.sync_locs = 1;
+  const auto wo = models::make_weak_ordering();
+  const auto sc = models::make_sc();
+  std::uint64_t checked = 0;
+  lattice::for_each_history(spec, [&](const history::SystemHistory& h) {
+    if (!is_data_race_free(h)) return true;
+    if (!wo->check(h).allowed) return true;
+    ++checked;
+    EXPECT_TRUE(sc->check(h).allowed) << history::format_history(h);
+    return true;
+  });
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(DrfTheorem, RcPcDoesNotEnjoyTheGuaranteeViaBakery) {
+  // The §5 Bakery history is racy (the critical-section writes), so the
+  // DRF theorem is silent about it — but the deeper point is that the
+  // *labeled protocol itself* fails on RC_pc: the history is RC_pc
+  // admitted and non-SC.  RC_pc's guarantee requires programs whose
+  // correctness never relies on labeled reads/writes alone for mutual
+  // exclusion, which Bakery violates.
+  const auto& t = ::ssm::litmus::find_test("bakery2-rcpc");
+  EXPECT_FALSE(is_data_race_free(t.hist));
+  EXPECT_TRUE(models::make_rc_pc()->check(t.hist).allowed);
+  EXPECT_FALSE(models::make_sc()->check(t.hist).allowed);
+}
+
+}  // namespace
+}  // namespace ssm::race

@@ -1,0 +1,104 @@
+#include "race/race.hpp"
+
+#include <gtest/gtest.h>
+
+#include "history/builder.hpp"
+#include "litmus/suite.hpp"
+
+namespace ssm::race {
+namespace {
+
+using history::HistoryBuilder;
+
+TEST(SynchronizesWith, LinksLabeledWriteToLabeledReader) {
+  auto h = HistoryBuilder(2, 2)
+               .wl("p", "f", 1)
+               .rl("q", "f", 1)
+               .build();
+  const auto sw = synchronizes_with(h);
+  EXPECT_TRUE(sw.test(0, 1));
+  EXPECT_EQ(sw.edge_count(), 1u);
+}
+
+TEST(SynchronizesWith, OrdinaryReadsDoNotSynchronize) {
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "f", 1)
+               .r("q", "f", 1)
+               .build();
+  EXPECT_EQ(synchronizes_with(h).edge_count(), 0u);
+}
+
+TEST(Races, UnorderedConflictingWritesRace) {
+  auto h = HistoryBuilder(2, 1).w("p", "x", 1).w("q", "x", 2).build();
+  const auto races = find_races(h);
+  ASSERT_EQ(races.size(), 1u);
+  EXPECT_FALSE(is_data_race_free(h));
+  EXPECT_NE(format_races(h, races).find("race:"), std::string::npos);
+}
+
+TEST(Races, ReadReadNeverRaces) {
+  auto h = HistoryBuilder(2, 1).r("p", "x", 0).r("q", "x", 0).build();
+  EXPECT_TRUE(is_data_race_free(h));
+}
+
+TEST(Races, SameProcessorNeverRaces) {
+  auto h = HistoryBuilder(1, 1).w("p", "x", 1).w("p", "x", 2).build();
+  EXPECT_TRUE(is_data_race_free(h));
+}
+
+TEST(Races, ReleaseAcquireOrdersConflictingAccesses) {
+  // w(d)1 hb-precedes r(d)1 through the release/acquire pair: race-free.
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "d", 1)
+               .wl("p", "f", 1)
+               .rl("q", "f", 1)
+               .r("q", "d", 1)
+               .build();
+  EXPECT_TRUE(is_data_race_free(h));
+  const auto hb = happens_before(h);
+  EXPECT_TRUE(hb.test(0, 3));
+}
+
+TEST(Races, BrokenHandshakeStillRaces) {
+  // The acquire reads the INITIAL flag value: no sw edge, so the data
+  // accesses race.
+  auto h = HistoryBuilder(2, 2)
+               .w("p", "d", 1)
+               .wl("p", "f", 1)
+               .rl("q", "f", 0)
+               .r("q", "d", 0)
+               .build();
+  EXPECT_FALSE(is_data_race_free(h));
+}
+
+TEST(Races, PaperFigure1IsRacy) {
+  const auto& t = litmus::find_test("fig1-sb");
+  EXPECT_FALSE(is_data_race_free(t.hist));
+  EXPECT_EQ(find_races(t.hist).size(), 2u);  // x pair and y pair
+}
+
+TEST(Races, BakeryCriticalSectionWritesRace) {
+  // The §5 violating execution: the two ordinary critical-section writes
+  // to `d` are unordered by any sync chain — the violation IS a race.
+  const auto& t = litmus::find_test("bakery2-rcpc");
+  const auto races = find_races(t.hist);
+  ASSERT_EQ(races.size(), 1u);
+  EXPECT_EQ(t.hist.op(races[0].first).loc,
+            t.hist.symbols().location("d"));
+}
+
+TEST(Races, TransitiveHbThroughTwoHandshakes) {
+  auto h = HistoryBuilder(3, 3)
+               .w("p", "d", 1)
+               .wl("p", "f", 1)
+               .rl("q", "f", 1)
+               .wl("q", "g", 1)
+               .rl("r", "g", 1)
+               .r("r", "d", 1)
+               .build();
+  EXPECT_TRUE(is_data_race_free(h));
+  EXPECT_TRUE(happens_before(h).test(0, 5));
+}
+
+}  // namespace
+}  // namespace ssm::race

@@ -1,0 +1,97 @@
+#include "relation/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ssm::rel {
+namespace {
+
+TEST(DynBitset, SetTestReset) {
+  DynBitset b(100);
+  EXPECT_FALSE(b.test(63));
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(99));
+  EXPECT_FALSE(b.test(0));
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+}
+
+TEST(DynBitset, CountAndAny) {
+  DynBitset b(70);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  b.set(0);
+  b.set(69);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_TRUE(b.any());
+}
+
+TEST(DynBitset, UnionIntersectDifference) {
+  DynBitset a(10), b(10);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  DynBitset u = a;
+  u |= b;
+  EXPECT_TRUE(u.test(1) && u.test(2) && u.test(3));
+  DynBitset i = a;
+  i &= b;
+  EXPECT_FALSE(i.test(1));
+  EXPECT_TRUE(i.test(2));
+  DynBitset d = a;
+  d -= b;
+  EXPECT_TRUE(d.test(1));
+  EXPECT_FALSE(d.test(2));
+}
+
+TEST(DynBitset, SubsetAndIntersects) {
+  DynBitset a(10), b(10);
+  a.set(1);
+  b.set(1);
+  b.set(5);
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  DynBitset c(10);
+  c.set(9);
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(c.subset_of(c));
+}
+
+TEST(DynBitset, ForEachVisitsInOrder) {
+  DynBitset b(130);
+  b.set(3);
+  b.set(64);
+  b.set(129);
+  std::vector<std::size_t> seen;
+  b.for_each([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{3, 64, 129}));
+}
+
+TEST(DynBitset, EqualityAndHash) {
+  DynBitset a(50), b(50);
+  a.set(10);
+  b.set(10);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(11);
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(DynBitset, ClearResetsEverything) {
+  DynBitset b(65);
+  b.set(0);
+  b.set(64);
+  b.clear();
+  EXPECT_TRUE(b.none());
+}
+
+}  // namespace
+}  // namespace ssm::rel

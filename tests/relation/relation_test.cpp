@@ -1,0 +1,103 @@
+#include "relation/relation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssm::rel {
+namespace {
+
+TEST(Relation, AddTestRemove) {
+  Relation r(5);
+  EXPECT_FALSE(r.test(0, 1));
+  r.add(0, 1);
+  EXPECT_TRUE(r.test(0, 1));
+  EXPECT_FALSE(r.test(1, 0));
+  r.remove(0, 1);
+  EXPECT_FALSE(r.test(0, 1));
+}
+
+TEST(Relation, TransitiveClosureChain) {
+  Relation r(4);
+  r.add(0, 1);
+  r.add(1, 2);
+  r.add(2, 3);
+  const Relation c = r.transitive_closure();
+  EXPECT_TRUE(c.test(0, 3));
+  EXPECT_TRUE(c.test(0, 2));
+  EXPECT_TRUE(c.test(1, 3));
+  EXPECT_FALSE(c.test(3, 0));
+  EXPECT_FALSE(c.test(0, 0));
+}
+
+TEST(Relation, TransitiveClosureDiamond) {
+  Relation r(4);
+  r.add(0, 1);
+  r.add(0, 2);
+  r.add(1, 3);
+  r.add(2, 3);
+  const Relation c = r.transitive_closure();
+  EXPECT_TRUE(c.test(0, 3));
+  EXPECT_FALSE(c.test(1, 2));
+  EXPECT_FALSE(c.test(2, 1));
+}
+
+TEST(Relation, AcyclicDetection) {
+  Relation r(3);
+  r.add(0, 1);
+  r.add(1, 2);
+  EXPECT_TRUE(r.is_acyclic());
+  r.add(2, 0);
+  EXPECT_FALSE(r.is_acyclic());
+}
+
+TEST(Relation, SelfLoopIsCycle) {
+  Relation r(2);
+  r.add(1, 1);
+  EXPECT_FALSE(r.is_acyclic());
+}
+
+TEST(Relation, UnionCombinesEdges) {
+  Relation a(3), b(3);
+  a.add(0, 1);
+  b.add(1, 2);
+  const Relation u = a | b;
+  EXPECT_TRUE(u.test(0, 1));
+  EXPECT_TRUE(u.test(1, 2));
+  EXPECT_EQ(u.edge_count(), 2u);
+}
+
+TEST(Relation, UnionSizeMismatchThrows) {
+  Relation a(3), b(4);
+  EXPECT_THROW(a |= b, InvalidInput);
+}
+
+TEST(Relation, RestrictedToKeepsOnlyInternalEdges) {
+  Relation r(4);
+  r.add(0, 1);
+  r.add(1, 2);
+  r.add(2, 3);
+  DynBitset keep(4);
+  keep.set(1);
+  keep.set(2);
+  const Relation s = r.restricted_to(keep);
+  EXPECT_TRUE(s.test(1, 2));
+  EXPECT_FALSE(s.test(0, 1));
+  EXPECT_FALSE(s.test(2, 3));
+}
+
+TEST(Relation, IndegreesRespectUniverse) {
+  Relation r(4);
+  r.add(0, 2);
+  r.add(1, 2);
+  r.add(2, 3);
+  DynBitset universe(4);
+  universe.set(1);
+  universe.set(2);
+  universe.set(3);
+  const auto deg = r.indegrees(universe);
+  EXPECT_EQ(deg[1], 0u);
+  EXPECT_EQ(deg[2], 1u);  // only 1->2 counts; 0 is outside the universe
+  EXPECT_EQ(deg[3], 1u);
+}
+
+}  // namespace
+}  // namespace ssm::rel

@@ -1,0 +1,101 @@
+#include "relation/topo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ssm::rel {
+namespace {
+
+DynBitset full(std::size_t n) {
+  DynBitset b(n);
+  for (std::size_t i = 0; i < n; ++i) b.set(i);
+  return b;
+}
+
+TEST(Topo, TotalOrderHasOneExtension) {
+  Relation r(3);
+  r.add(0, 1);
+  r.add(1, 2);
+  EXPECT_EQ(count_linear_extensions(r, full(3), 100), 1u);
+}
+
+TEST(Topo, EmptyRelationHasFactorialExtensions) {
+  Relation r(4);
+  EXPECT_EQ(count_linear_extensions(r, full(4), 100), 24u);
+}
+
+TEST(Topo, CycleHasNoExtensions) {
+  Relation r(3);
+  r.add(0, 1);
+  r.add(1, 2);
+  r.add(2, 0);
+  EXPECT_EQ(count_linear_extensions(r, full(3), 100), 0u);
+}
+
+TEST(Topo, ExtensionsRespectEdges) {
+  Relation r(4);
+  r.add(0, 2);
+  r.add(1, 3);
+  std::set<std::vector<std::size_t>> seen;
+  for_each_linear_extension(r, full(4),
+                            [&](const std::vector<std::size_t>& ext) {
+                              seen.insert(ext);
+                              std::size_t pos0 = 0, pos2 = 0, pos1 = 0,
+                                          pos3 = 0;
+                              for (std::size_t k = 0; k < ext.size(); ++k) {
+                                if (ext[k] == 0) pos0 = k;
+                                if (ext[k] == 1) pos1 = k;
+                                if (ext[k] == 2) pos2 = k;
+                                if (ext[k] == 3) pos3 = k;
+                              }
+                              EXPECT_LT(pos0, pos2);
+                              EXPECT_LT(pos1, pos3);
+                              return true;
+                            });
+  EXPECT_EQ(seen.size(), 6u);  // 4!/(2*2) = 6
+}
+
+TEST(Topo, EarlyStopReported) {
+  Relation r(3);
+  int visits = 0;
+  const bool stopped = for_each_linear_extension(
+      r, full(3), [&](const std::vector<std::size_t>&) {
+        return ++visits < 2;
+      });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(visits, 2);
+}
+
+TEST(Topo, SubsetUniverse) {
+  Relation r(5);
+  r.add(1, 3);
+  DynBitset universe(5);
+  universe.set(1);
+  universe.set(3);
+  universe.set(4);
+  EXPECT_EQ(count_linear_extensions(r, universe, 100), 3u);
+}
+
+TEST(Topo, OneLinearExtensionDeterministic) {
+  Relation r(4);
+  r.add(2, 0);
+  r.add(3, 1);
+  const auto ext = one_linear_extension(r, full(4));
+  ASSERT_EQ(ext.size(), 4u);
+  // Kahn with smallest-first tie-break: 2 before 0, 3 before 1.
+  std::size_t pos[4];
+  for (std::size_t k = 0; k < 4; ++k) pos[ext[k]] = k;
+  EXPECT_LT(pos[2], pos[0]);
+  EXPECT_LT(pos[3], pos[1]);
+}
+
+TEST(Topo, OneLinearExtensionCycleEmpty) {
+  Relation r(2);
+  r.add(0, 1);
+  r.add(1, 0);
+  EXPECT_TRUE(one_linear_extension(r, full(2)).empty());
+}
+
+}  // namespace
+}  // namespace ssm::rel

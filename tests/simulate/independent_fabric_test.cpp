@@ -1,0 +1,122 @@
+// The Independent propagation mode of CoherentMemory: out-of-order
+// delivery, arrival watermarks, release dependencies, acquire
+// dependencies — the operational bracket conditions.
+#include <gtest/gtest.h>
+
+#include "simulate/coherent_memory.hpp"
+
+namespace ssm::sim {
+namespace {
+
+constexpr OpLabel kOrd = OpLabel::Ordinary;
+constexpr OpLabel kLab = OpLabel::Labeled;
+
+CoherentMemory independent(std::size_t procs, std::size_t locs) {
+  return CoherentMemory(procs, locs,
+                        CoherentMemory::Propagation::Independent);
+}
+
+TEST(IndependentFabric, OrdinaryUpdatesCanOvertake) {
+  auto m = independent(2, 2);
+  m.write(0, 0, 1, kOrd);  // data
+  m.write(0, 1, 2, kOrd);  // flag (ordinary!)
+  // Both in flight; BOTH must be deliverable (no FIFO coupling).
+  EXPECT_EQ(m.num_internal_events(), 2u);
+  // Deliver the SECOND update (the flag) first.
+  m.fire_internal_event(1);
+  EXPECT_EQ(m.read(1, 1, kOrd), 2);  // flag visible...
+  EXPECT_EQ(m.read(1, 0, kOrd), 0);  // ...data still stale
+  m.fire_internal_event(0);
+  EXPECT_EQ(m.read(1, 0, kOrd), 1);
+}
+
+TEST(IndependentFabric, PerSenderFifoStillCouples) {
+  CoherentMemory m(2, 2);  // default FIFO mode
+  m.write(0, 0, 1, kOrd);
+  m.write(0, 1, 2, kOrd);
+  // Only the head is deliverable.
+  EXPECT_EQ(m.num_internal_events(), 1u);
+  m.fire_internal_event(0);
+  EXPECT_EQ(m.read(1, 0, kOrd), 1);
+  EXPECT_EQ(m.read(1, 1, kOrd), 0);
+}
+
+TEST(IndependentFabric, ReleaseWaitsForPriorUpdates) {
+  auto m = independent(2, 2);
+  m.write(0, 0, 1, kOrd);  // data
+  m.write(0, 1, 2, kLab);  // RELEASE: depends on the data
+  // Only the data is deliverable; the release is blocked.
+  EXPECT_EQ(m.num_internal_events(), 1u);
+  m.fire_internal_event(0);
+  EXPECT_EQ(m.read(1, 0, kOrd), 1);
+  EXPECT_EQ(m.read(1, 1, kLab), 0);  // release not yet applied
+  EXPECT_EQ(m.num_internal_events(), 1u);
+  m.fire_internal_event(0);
+  EXPECT_EQ(m.read(1, 1, kLab), 2);
+}
+
+TEST(IndependentFabric, AcquireDependencyCarriesToLaterWrites) {
+  auto m = independent(3, 3);
+  // p0 releases flag (loc 1) after data (loc 0).
+  m.write(0, 0, 1, kOrd);
+  m.write(0, 1, 2, kLab);
+  m.drain();
+  // p1 acquires the flag, then writes g (loc 2).
+  EXPECT_EQ(m.read(1, 1, kLab), 2);
+  m.write(1, 2, 3, kOrd);
+  // p2 has p0's updates already (drained); p1's g is deliverable.
+  EXPECT_GE(m.num_internal_events(), 1u);
+  m.drain();
+  EXPECT_EQ(m.read(2, 2, kOrd), 3);
+  EXPECT_EQ(m.read(2, 0, kOrd), 1);
+}
+
+TEST(IndependentFabric, AcquireDependencyBlocksUntilSourceArrives) {
+  auto m = independent(3, 3);
+  m.write(0, 0, 1, kOrd);   // p0 data, in flight to p1 and p2
+  // Deliver p0's data to p1 ONLY.  Events scan sender-major: channel
+  // (0 -> 1) first, then (0 -> 2).
+  m.fire_internal_event(0);
+  ASSERT_EQ(m.read(1, 0, kOrd), 1);
+  // p1 acquires the data value, then writes g.
+  (void)m.read(1, 0, kLab);  // labeled read: installs the dependency
+  m.write(1, 2, 3, kOrd);
+  // p2 must not apply g before p0's data arrives at p2.
+  // Deliverable events for p2: p0's data yes; p1's g NO (dep on p0 seq1).
+  std::size_t before = m.num_internal_events();
+  EXPECT_GE(before, 1u);
+  // Drain everything; g must land after the data everywhere.
+  m.drain();
+  EXPECT_EQ(m.read(2, 2, kOrd), 3);
+  EXPECT_EQ(m.read(2, 0, kOrd), 1);
+}
+
+TEST(IndependentFabric, WatermarkClosesGapsFromEarlyArrivals) {
+  auto m = independent(2, 3);
+  m.write(0, 0, 1, kOrd);  // seq 1
+  m.write(0, 1, 2, kOrd);  // seq 2
+  m.write(0, 2, 3, kLab);  // seq 3: release, dep on seqs 1-2
+  // Deliver seq 2 first (early arrival), then seq 1 (closes the gap),
+  // after which the release becomes deliverable.
+  EXPECT_EQ(m.num_internal_events(), 2u);  // seqs 1 and 2 only
+  m.fire_internal_event(1);                // seq 2 early
+  EXPECT_EQ(m.read(1, 1, kOrd), 2);
+  EXPECT_EQ(m.num_internal_events(), 1u);  // still just seq 1
+  m.fire_internal_event(0);                // seq 1 closes the gap
+  EXPECT_EQ(m.num_internal_events(), 1u);  // release unblocked
+  m.fire_internal_event(0);
+  EXPECT_EQ(m.read(1, 2, kLab), 3);
+}
+
+TEST(IndependentFabric, FlushFromDeliversEverythingInOrder) {
+  auto m = independent(2, 2);
+  m.write(0, 0, 1, kOrd);
+  m.write(0, 1, 2, kLab);  // release depends on data
+  m.flush_from(0);
+  EXPECT_EQ(m.num_internal_events(), 0u);
+  EXPECT_EQ(m.read(1, 0, kOrd), 1);
+  EXPECT_EQ(m.read(1, 1, kLab), 2);
+}
+
+}  // namespace
+}  // namespace ssm::sim

@@ -1,0 +1,107 @@
+// Scheduler policy behaviours and the program-level cost driver.
+#include <gtest/gtest.h>
+
+#include "simulate/cost_model.hpp"
+#include "simulate/pram_memory.hpp"
+#include "simulate/sc_memory.hpp"
+#include "simulate/scheduler.hpp"
+#include "simulate/tso_memory.hpp"
+
+namespace ssm::sim {
+namespace {
+
+Program writer_then_reader(LocId w, LocId r, Value* out) {
+  co_await write(w, 1);
+  *out = co_await read(r);
+}
+
+TEST(Policy, EagerDeliveryBehavesSequentially) {
+  // Under eager delivery the TSO machine cannot exhibit store buffering:
+  // at least one of the two reads must see the other's write.
+  int sb_outcomes = 0;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    TsoMemory m(2, 2);
+    SchedulerOptions opt;
+    opt.policy = Policy::EagerDelivery;
+    opt.seed = seed;
+    Scheduler s(m, opt);
+    Value p_saw = -1, q_saw = -1;
+    s.add_program(writer_then_reader(0, 1, &p_saw));
+    s.add_program(writer_then_reader(1, 0, &q_saw));
+    (void)s.run();
+    if (p_saw == 0 && q_saw == 0) ++sb_outcomes;
+  }
+  EXPECT_EQ(sb_outcomes, 0);
+}
+
+TEST(Policy, RandomPolicyFindsStoreBufferingEventually) {
+  int sb_outcomes = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    TsoMemory m(2, 2);
+    SchedulerOptions opt;
+    opt.seed = seed;
+    Scheduler s(m, opt);
+    Value p_saw = -1, q_saw = -1;
+    s.add_program(writer_then_reader(0, 1, &p_saw));
+    s.add_program(writer_then_reader(1, 0, &q_saw));
+    (void)s.run();
+    if (p_saw == 0 && q_saw == 0) ++sb_outcomes;
+  }
+  EXPECT_GT(sb_outcomes, 0);
+}
+
+TEST(Policy, InternalEventCountersReported) {
+  PramMemory m(2, 1);
+  SchedulerOptions opt;
+  opt.seed = 3;
+  Scheduler s(m, opt);
+  Value sink = 0;
+  s.add_program(writer_then_reader(0, 0, &sink));
+  s.add_program(writer_then_reader(0, 0, &sink));
+  // Invalid: both write 1 to loc 0 — fine for the machine, just not for
+  // declarative checking; here we only care about counters.
+  const auto run = s.run();
+  EXPECT_GT(run.steps, 0u);
+  EXPECT_GE(run.internal_events, 2u);  // both writes delivered eventually
+}
+
+TEST(CostDriver, MeasureProgramsHandlesSpinLoops) {
+  // A consumer spinning on a flag completes (background deliveries) and
+  // its spin reads are counted as operations.
+  const auto report = measure_programs(
+      [](std::size_t p, std::size_t l) { return make_pram_machine(p, l); },
+      [](std::uint32_t i) -> Program {
+        if (i == 0) {
+          return []() -> Program {
+            co_await write(0, 1);
+          }();
+        }
+        return []() -> Program {
+          while (true) {
+            const Value v = co_await read(0);
+            if (v == 1) break;
+          }
+        }();
+      },
+      2, 1, CostParams{}, 5);
+  EXPECT_GE(report.ops, 2u);
+  EXPECT_EQ(report.global_ops, 0u);  // PRAM: everything local
+}
+
+TEST(CostDriver, MaxOpsGuardStopsRunaways) {
+  const auto report = measure_programs(
+      [](std::size_t p, std::size_t l) { return make_sc_machine(p, l); },
+      [](std::uint32_t) -> Program {
+        return []() -> Program {
+          while (true) {
+            const Value v = co_await read(0);
+            if (v == 42) break;  // never written
+          }
+        }();
+      },
+      1, 1, CostParams{}, 1, /*max_ops=*/500);
+  EXPECT_EQ(report.ops, 500u);
+}
+
+}  // namespace
+}  // namespace ssm::sim

@@ -1,0 +1,105 @@
+#include "simulate/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "simulate/sc_memory.hpp"
+#include "simulate/scheduler.hpp"
+
+namespace ssm::sim {
+namespace {
+
+TEST(Workload, PlanShapeMatchesSpec) {
+  WorkloadSpec spec;
+  spec.procs = 3;
+  spec.locs = 4;
+  spec.ops_per_proc = 10;
+  Rng rng(1);
+  const Plan plan = make_plan(spec, rng);
+  ASSERT_EQ(plan.size(), 3u);
+  for (const auto& row : plan) {
+    EXPECT_EQ(row.size(), 10u);
+    for (const auto& op : row) {
+      EXPECT_LT(op.loc, 4);
+    }
+  }
+}
+
+TEST(Workload, WriteValuesDistinctPerLocation) {
+  WorkloadSpec spec;
+  spec.procs = 4;
+  spec.locs = 3;
+  spec.ops_per_proc = 12;
+  spec.write_percent = 80;
+  Rng rng(5);
+  const Plan plan = make_plan(spec, rng);
+  std::map<LocId, std::set<Value>> seen;
+  for (const auto& row : plan) {
+    for (const auto& op : row) {
+      if (!op.is_write) continue;
+      EXPECT_TRUE(seen[op.loc].insert(op.value).second)
+          << "duplicate write value " << op.value << " at loc " << op.loc;
+      EXPECT_NE(op.value, kInitialValue);
+    }
+  }
+}
+
+TEST(Workload, SyncLocationsAreLabeledAndSingleWriter) {
+  WorkloadSpec spec;
+  spec.procs = 3;
+  spec.locs = 4;
+  spec.ops_per_proc = 20;
+  spec.sync_locs = 2;
+  Rng rng(9);
+  const Plan plan = make_plan(spec, rng);
+  for (std::size_t p = 0; p < plan.size(); ++p) {
+    for (const auto& op : plan[p]) {
+      if (op.loc < 2) {
+        EXPECT_EQ(op.label, OpLabel::Labeled);
+        if (op.is_write) {
+          EXPECT_EQ(op.loc % spec.procs, p) << "sync loc written by "
+                                            << "non-owner";
+        }
+      } else {
+        EXPECT_EQ(op.label, OpLabel::Ordinary);
+      }
+    }
+  }
+}
+
+TEST(Workload, RunPlanExecutesAllOps) {
+  WorkloadSpec spec;
+  spec.procs = 2;
+  spec.locs = 2;
+  spec.ops_per_proc = 6;
+  Rng rng(3);
+  const Plan plan = make_plan(spec, rng);
+  ScMemory m(2, 2);
+  Scheduler s(m, {});
+  for (const auto& row : plan) s.add_program(run_plan(row));
+  const auto run = s.run();
+  EXPECT_EQ(run.trace.size(), 12u);
+  EXPECT_FALSE(run.trace.validate().has_value());
+}
+
+TEST(Workload, RmwPlannedOpExecutes) {
+  std::vector<PlannedOp> row;
+  PlannedOp op;
+  op.is_write = true;
+  op.is_rmw = true;
+  op.loc = 0;
+  op.value = 5;
+  row.push_back(op);
+  ScMemory m(1, 1);
+  Scheduler s(m, {});
+  s.add_program(run_plan(row));
+  const auto run = s.run();
+  ASSERT_EQ(run.trace.size(), 1u);
+  EXPECT_EQ(run.trace.op(0).kind, OpKind::ReadModifyWrite);
+  EXPECT_EQ(run.trace.op(0).rmw_read, 0);
+  EXPECT_EQ(run.trace.op(0).value, 5);
+}
+
+}  // namespace
+}  // namespace ssm::sim

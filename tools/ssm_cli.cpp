@@ -1,0 +1,312 @@
+// ssm — command-line front end for the shared-memory characterization
+// library.
+//
+//   ssm models                      list models with descriptions
+//   ssm tests                       list built-in litmus tests
+//   ssm check <model> [file]        check tests against one model
+//   ssm show <test> [model...]      print witnesses for a built-in test
+//   ssm matrix [file]               classification matrix (all models)
+//   ssm lattice [procs ops locs]    empirical containment report
+//   ssm bakery <machine> [n]        run Bakery on a machine (sc, tso,
+//                                   rc-sc, rc-pc), adversarial schedule
+//   ssm explain <test>              print the derived orders (po, ppo,
+//                                   wb, co) edge by edge, plus races
+//   ssm dot <test>                  Graphviz rendering of the history
+//                                   with po/wb layers (pipe to `dot -Tpng`)
+//   ssm separate <A> <B>            search for a history in A \ B
+//   ssm identify <machine>          match a machine against every
+//                                   declarative model over an exhaustive
+//                                   universe (agreement, sound, complete)
+//
+// Files use the litmus DSL (see src/litmus/parser.hpp).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bakery/driver.hpp"
+#include "checker/verdict.hpp"
+#include "history/dot.hpp"
+#include "history/print.hpp"
+#include "lattice/separate.hpp"
+#include "models/operational.hpp"
+#include "order/orders.hpp"
+#include "race/race.hpp"
+#include "lattice/inclusion.hpp"
+#include "litmus/parser.hpp"
+#include "litmus/runner.hpp"
+#include "litmus/suite.hpp"
+#include "models/registry.hpp"
+#include "simulate/rc_memory.hpp"
+#include "simulate/sc_memory.hpp"
+#include "simulate/tso_memory.hpp"
+
+namespace {
+
+using namespace ssm;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ssm <command> [args]\n"
+      "  models | tests | check <model> [file] | show <test> [model...]\n"
+      "  matrix [file] | lattice [procs ops locs] | bakery <machine> [n]\n");
+  return 64;
+}
+
+std::vector<litmus::LitmusTest> load_suite(int argc, char** argv, int pos) {
+  if (pos >= argc) return litmus::builtin_suite();
+  std::ifstream in(argv[pos]);
+  if (!in) throw InvalidInput(std::string("cannot open ") + argv[pos]);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return litmus::parse_suite(text.str());
+}
+
+int cmd_models() {
+  for (const auto& m : models::all_models()) {
+    std::printf("%-10s %s\n", std::string(m->name()).c_str(),
+                std::string(m->description()).c_str());
+  }
+  return 0;
+}
+
+int cmd_tests() {
+  for (const auto& t : litmus::builtin_suite()) {
+    std::printf("%-20s %s\n", t.name.c_str(), t.origin.c_str());
+  }
+  return 0;
+}
+
+int cmd_check(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto model = models::make_model(argv[2]);
+  const auto suite = load_suite(argc, argv, 3);
+  int failures = 0;
+  for (const auto& t : suite) {
+    const auto verdict = model->check(t.hist);
+    const auto expected = t.expectation(model->name());
+    const bool mismatch = expected.has_value() && *expected != verdict.allowed;
+    std::printf("%-20s %-9s%s\n", t.name.c_str(),
+                verdict.allowed ? "allowed" : "forbidden",
+                mismatch ? "  (MISMATCH vs expectation)" : "");
+    failures += mismatch ? 1 : 0;
+  }
+  return failures == 0 ? 0 : 2;
+}
+
+int cmd_show(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto& t = litmus::find_test(argv[2]);
+  std::printf("%s\n", litmus::to_dsl(t).c_str());
+  std::vector<models::ModelPtr> targets;
+  if (argc > 3) {
+    for (int i = 3; i < argc; ++i) {
+      targets.push_back(models::make_model(argv[i]));
+    }
+  } else {
+    targets = models::all_models();
+  }
+  for (const auto& m : targets) {
+    std::printf("%-10s %s", std::string(m->name()).c_str(),
+                checker::format_verdict(t.hist, m->check(t.hist)).c_str());
+  }
+  return 0;
+}
+
+int cmd_matrix(int argc, char** argv) {
+  const auto suite = load_suite(argc, argv, 2);
+  const auto outcomes = litmus::run_suite(suite, models::all_models());
+  std::printf("%s", litmus::format_matrix(outcomes).c_str());
+  for (const auto& o : outcomes) {
+    if (!o.all_match()) return 2;
+  }
+  return 0;
+}
+
+int cmd_lattice(int argc, char** argv) {
+  lattice::EnumerationSpec spec;
+  if (argc >= 5) {
+    spec.procs = static_cast<std::uint32_t>(std::atoi(argv[2]));
+    spec.ops_per_proc = static_cast<std::uint32_t>(std::atoi(argv[3]));
+    spec.locs = static_cast<std::uint32_t>(std::atoi(argv[4]));
+  }
+  const auto report =
+      lattice::compute_inclusions(spec, models::paper_models());
+  std::printf("%s", report.format().c_str());
+  return 0;
+}
+
+int cmd_bakery(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string machine = argv[2];
+  const std::uint32_t n =
+      argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 2;
+  bakery::MachineFactory factory;
+  if (machine == "sc") {
+    factory = [](std::size_t p, std::size_t l) {
+      return sim::make_sc_machine(p, l);
+    };
+  } else if (machine == "tso") {
+    factory = [](std::size_t p, std::size_t l) {
+      return sim::make_tso_machine(p, l);
+    };
+  } else if (machine == "rc-sc") {
+    factory = [](std::size_t p, std::size_t l) {
+      return sim::make_rc_sc_machine(p, l);
+    };
+  } else if (machine == "rc-pc") {
+    factory = [](std::size_t p, std::size_t l) {
+      return sim::make_rc_pc_machine(p, l);
+    };
+  } else {
+    std::fprintf(stderr, "unknown machine '%s' (sc|tso|rc-sc|rc-pc)\n",
+                 machine.c_str());
+    return 64;
+  }
+  sim::SchedulerOptions adversarial;
+  adversarial.policy = sim::Policy::DelayDelivery;
+  adversarial.max_spin = 200;
+  const auto run = bakery::run_bakery(
+      factory, n, bakery::BakeryOptions{1, false}, adversarial);
+  std::printf("machine=%s n=%u cs_entries=%llu violations=%llu%s\n",
+              machine.c_str(), n,
+              static_cast<unsigned long long>(run.cs_entries),
+              static_cast<unsigned long long>(run.violations),
+              run.livelock ? " (livelock guard hit)" : "");
+  if (run.violations > 0) {
+    std::printf("violating trace:\n%s",
+                history::format_history(run.trace).c_str());
+  }
+  return 0;
+}
+
+void print_edges(const history::SystemHistory& h, const char* name,
+                 const rel::Relation& r) {
+  std::printf("%s:\n", name);
+  for (std::size_t a = 0; a < r.size(); ++a) {
+    r.successors(a).for_each([&](std::size_t b) {
+      std::printf("  %s -> %s\n",
+                  history::format_op(h, static_cast<OpIndex>(a)).c_str(),
+                  history::format_op(h, static_cast<OpIndex>(b)).c_str());
+    });
+  }
+}
+
+int cmd_explain(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto& t = litmus::find_test(argv[2]);
+  const auto& h = t.hist;
+  std::printf("%s\n", history::format_history(h).c_str());
+  print_edges(h, "wb (writes-before)", order::writes_before(h));
+  print_edges(h, "ppo (partial program order)",
+              order::partial_program_order(h));
+  print_edges(h, "co (causal order)", order::causal_order(h));
+  const auto races = race::find_races(h);
+  if (races.empty()) {
+    std::printf("data races: none (history is DRF)\n");
+  } else {
+    std::printf("%s", race::format_races(h, races).c_str());
+  }
+  return 0;
+}
+
+int cmd_dot(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto& t = litmus::find_test(argv[2]);
+  const auto& h = t.hist;
+  const auto po = order::program_order(h);
+  const auto wb = order::writes_before(h);
+  std::printf("%s",
+              history::to_dot(h,
+                              {{"po", "gray50", &po, true},
+                               {"wb", "blue", &wb, false}},
+                              t.name)
+                  .c_str());
+  return 0;
+}
+
+int cmd_separate(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto a = models::make_model(argv[2]);
+  const auto b = models::make_model(argv[3]);
+  const auto witness = lattice::find_separation(*a, *b);
+  if (!witness) {
+    std::printf("no history in %s \\ %s over the scanned universes "
+                "(consistent with %s being at least as strong)\n",
+                argv[2], argv[3], argv[2]);
+    return 0;
+  }
+  const auto minimal = lattice::shrink_separation(*witness, *a, *b);
+  std::printf("admitted by %s, rejected by %s (shrunk to %zu ops):\n%s",
+              argv[2], argv[3], minimal.size(),
+              history::format_history(minimal).c_str());
+  return 0;
+}
+
+int cmd_identify(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto op = models::make_operational(argv[2]);
+  lattice::EnumerationSpec spec;  // 2 procs x 2 ops, 2 locs
+  struct Row {
+    std::string model;
+    std::uint64_t agree = 0;
+    std::uint64_t unsound = 0;     // reachable but rejected
+    std::uint64_t incomplete = 0;  // admitted but unreachable
+  };
+  std::vector<Row> rows;
+  for (const auto& name : models::model_names()) {
+    rows.push_back({name});
+  }
+  std::uint64_t total = 0;
+  lattice::for_each_history(spec, [&](const history::SystemHistory& h) {
+    ++total;
+    const bool reachable = op->check(h).allowed;
+    for (auto& row : rows) {
+      const bool admitted = models::make_model(row.model)->check(h).allowed;
+      if (reachable == admitted) ++row.agree;
+      if (reachable && !admitted) ++row.unsound;
+      if (admitted && !reachable) ++row.incomplete;
+    }
+    return true;
+  });
+  std::printf("machine '%s' vs declarative models over %llu histories\n",
+              argv[2], static_cast<unsigned long long>(total));
+  std::printf("%-10s %9s %8s %11s\n", "model", "agree", "unsound",
+              "incomplete");
+  for (const auto& row : rows) {
+    std::printf("%-10s %8.1f%% %8llu %11llu%s\n", row.model.c_str(),
+                100.0 * static_cast<double>(row.agree) /
+                    static_cast<double>(total),
+                static_cast<unsigned long long>(row.unsound),
+                static_cast<unsigned long long>(row.incomplete),
+                row.agree == total ? "   <- exact match" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "models") return cmd_models();
+    if (cmd == "tests") return cmd_tests();
+    if (cmd == "check") return cmd_check(argc, argv);
+    if (cmd == "show") return cmd_show(argc, argv);
+    if (cmd == "matrix") return cmd_matrix(argc, argv);
+    if (cmd == "lattice") return cmd_lattice(argc, argv);
+    if (cmd == "bakery") return cmd_bakery(argc, argv);
+    if (cmd == "explain") return cmd_explain(argc, argv);
+    if (cmd == "dot") return cmd_dot(argc, argv);
+    if (cmd == "separate") return cmd_separate(argc, argv);
+    if (cmd == "identify") return cmd_identify(argc, argv);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
