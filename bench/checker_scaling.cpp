@@ -1,14 +1,32 @@
-// Checker scalability: decision time vs. history size per model.
+// Checker scalability: decision time vs. history size per model, plus the
+// parallel checking engine's fan-out workload.
 //
 // Not a paper artifact (the paper has no performance evaluation), but the
 // standard systems question for a model checker: how does the view-search
 // decision procedure scale with operations per processor, processor
-// count, and model strength?  Reported as google-benchmark rows over
-// random canonical histories.
+// count, model strength — and with threads?
+//
+// Modes:
+//   ./checker_scaling                          google-benchmark rows
+//   ./checker_scaling --jobs N                 fan-out workload at N lanes
+//   ./checker_scaling --jobs N --json out.json ... plus machine-readable
+//                                              record (nodes/sec, wall
+//                                              time, matrix checksum) for
+//                                              the BENCH_*.json trajectory
+//
+// The matrix checksum is deterministic across --jobs settings: verdicts
+// and rendered output must be byte-identical however the pool interleaves
+// the work (docs/PARALLELISM.md).
 #include "bench_util.hpp"
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
 #include "checker/legality.hpp"
+#include "common/thread_pool.hpp"
 #include "lattice/enumerate.hpp"
+#include "litmus/runner.hpp"
 
 namespace {
 
@@ -66,12 +84,125 @@ void register_scaling(const char* model_name) {
   }
 }
 
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// The multi-processor lattice workload: a fixed-seed suite of random
+/// canonical histories classified against the paper's seven models.  Both
+/// fan-out levels engage — (test × model) cells across the suite, and
+/// per-processor view searches inside each check.
+int run_fanout_workload(unsigned jobs, const char* json_path) {
+  common::ThreadPool::set_global_jobs(jobs);
+  constexpr std::uint32_t kProcs = 4;
+  constexpr std::uint32_t kOps = 3;
+  constexpr std::uint32_t kLocs = 2;
+  constexpr std::uint32_t kHistories = 24;
+  std::vector<litmus::LitmusTest> suite;
+  suite.reserve(kHistories);
+  for (std::uint32_t i = 0; i < kHistories; ++i) {
+    litmus::LitmusTest t;
+    t.name = "lattice_rand_" + std::to_string(i);
+    t.origin = "random canonical history, seed " + std::to_string(1000 + i);
+    t.hist = random_h(kProcs, kOps, kLocs, 1000 + i);
+    suite.push_back(std::move(t));
+  }
+  const auto models = models::paper_models();
+
+  checker::reset_aggregate_search_stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto outcomes = litmus::run_suite(suite, models);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+  const auto stats = checker::aggregate_search_stats();
+  const std::string matrix = litmus::format_matrix(outcomes);
+  const double nodes_per_sec =
+      wall_s > 0 ? static_cast<double>(stats.nodes) / wall_s : 0.0;
+
+  std::printf("%s\n", matrix.c_str());
+  std::printf("fanout workload: %u histories (%u procs x %u ops) x %zu "
+              "models, jobs=%u\n",
+              kHistories, kProcs, kOps, models.size(), jobs);
+  std::printf("wall=%.3fs nodes=%llu memo_hits=%llu searches=%llu "
+              "cancelled=%llu nodes/sec=%.3e matrix_fnv1a=%016llx\n",
+              wall_s, static_cast<unsigned long long>(stats.nodes),
+              static_cast<unsigned long long>(stats.memo_hits),
+              static_cast<unsigned long long>(stats.searches),
+              static_cast<unsigned long long>(stats.cancelled),
+              nodes_per_sec,
+              static_cast<unsigned long long>(fnv1a(matrix)));
+
+  if (json_path != nullptr) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\n"
+        "  \"benchmark\": \"checker_scaling_fanout\",\n"
+        "  \"jobs\": %u,\n"
+        "  \"histories\": %u,\n"
+        "  \"procs\": %u,\n"
+        "  \"ops_per_proc\": %u,\n"
+        "  \"models\": %zu,\n"
+        "  \"wall_seconds\": %.6f,\n"
+        "  \"nodes\": %llu,\n"
+        "  \"memo_hits\": %llu,\n"
+        "  \"searches\": %llu,\n"
+        "  \"cancelled\": %llu,\n"
+        "  \"nodes_per_sec\": %.3f,\n"
+        "  \"matrix_fnv1a\": \"%016llx\"\n"
+        "}\n",
+        jobs, kHistories, kProcs, kOps, models.size(), wall_s,
+        static_cast<unsigned long long>(stats.nodes),
+        static_cast<unsigned long long>(stats.memo_hits),
+        static_cast<unsigned long long>(stats.searches),
+        static_cast<unsigned long long>(stats.cancelled), nodes_per_sec,
+        static_cast<unsigned long long>(fnv1a(matrix)));
+    out << buf;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  unsigned jobs = 0;
+  const char* json_path = nullptr;
+  bool fanout = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+      fanout = true;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = static_cast<unsigned>(std::atoi(argv[i] + 7));
+      fanout = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      fanout = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
   bench::print_banner(
-      "Checker scaling: decision time vs. history size and model",
+      "Checker scaling: decision time vs. history size, model, and threads",
       "(library performance characterization; no paper counterpart)");
+
+  if (fanout) {
+    return run_fanout_workload(
+        jobs == 0 ? common::ThreadPool::default_jobs() : jobs, json_path);
+  }
 
   for (const char* model :
        {"SC", "TSO", "PC", "PCg", "Causal", "PRAM", "Cache", "Local"}) {

@@ -1,51 +1,152 @@
 #include "checker/legality.hpp"
 
-#include <unordered_set>
+#include <algorithm>
+#include <cstring>
 
 namespace ssm::checker {
 namespace {
 
 thread_local SearchStats g_stats;
 thread_local bool g_memoize = true;
+thread_local bool g_degenerate_hash = false;
 
-/// DFS over downward-closed subsets of the constraint order.
+std::atomic<std::uint64_t> g_agg_nodes{0};
+std::atomic<std::uint64_t> g_agg_memo_hits{0};
+std::atomic<std::uint64_t> g_agg_searches{0};
+std::atomic<std::uint64_t> g_agg_cancelled{0};
+
+/// Insert-only open-addressed set of failed search states, keyed by the
+/// FULL packed state (scheduled-mask words ++ per-location last values),
+/// not by a hash of it.  The hash only picks the probe start; membership
+/// is decided by comparing the stored key words, so two distinct states
+/// can never alias and prune a live subtree (the soundness bug of the
+/// earlier 64-bit-hash memo).  Keys live densely in an arena; the slot
+/// array holds 1-based key ids and rehashes by doubling.
+class FailedStateTable {
+ public:
+  explicit FailedStateTable(std::size_t key_words)
+      : key_words_(key_words), slots_(kInitialCapacity, 0) {}
+
+  [[nodiscard]] bool contains(const std::uint64_t* key) const noexcept {
+    const std::uint64_t h = hash(key);
+    std::size_t idx = static_cast<std::size_t>(h) & (slots_.size() - 1);
+    for (;;) {
+      const std::uint32_t slot = slots_[idx];
+      if (slot == 0) return false;
+      if (hashes_[slot - 1] == h && key_equals(slot - 1, key)) return true;
+      idx = (idx + 1) & (slots_.size() - 1);
+    }
+  }
+
+  void insert(const std::uint64_t* key) {
+    if ((count_ + 1) * 4 > slots_.size() * 3) grow();
+    const std::uint64_t h = hash(key);
+    std::size_t idx = static_cast<std::size_t>(h) & (slots_.size() - 1);
+    for (;;) {
+      const std::uint32_t slot = slots_[idx];
+      if (slot == 0) break;
+      if (hashes_[slot - 1] == h && key_equals(slot - 1, key)) return;
+      idx = (idx + 1) & (slots_.size() - 1);
+    }
+    arena_.insert(arena_.end(), key, key + key_words_);
+    hashes_.push_back(h);
+    ++count_;
+    slots_[idx] = static_cast<std::uint32_t>(count_);  // 1-based id
+  }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 64;
+
+  [[nodiscard]] bool key_equals(std::size_t id,
+                                const std::uint64_t* key) const noexcept {
+    return std::equal(key, key + key_words_,
+                      arena_.data() + id * key_words_);
+  }
+
+  [[nodiscard]] std::uint64_t hash(const std::uint64_t* key) const noexcept {
+    if (g_degenerate_hash) return 0x5bd1e995ULL;
+    std::uint64_t k = 0x243f6a8885a308d3ULL;
+    for (std::size_t i = 0; i < key_words_; ++i) {
+      k ^= key[i] + 0x9e3779b97f4a7c15ULL + (k << 6) + (k >> 2);
+      k *= 0xff51afd7ed558ccdULL;
+      k ^= k >> 33;
+    }
+    return k;
+  }
+
+  void grow() {
+    std::vector<std::uint32_t> bigger(slots_.size() * 2, 0);
+    for (std::uint32_t slot : slots_) {
+      if (slot == 0) continue;
+      std::size_t idx =
+          static_cast<std::size_t>(hashes_[slot - 1]) & (bigger.size() - 1);
+      while (bigger[idx] != 0) idx = (idx + 1) & (bigger.size() - 1);
+      bigger[idx] = slot;
+    }
+    slots_ = std::move(bigger);
+  }
+
+  std::size_t key_words_;
+  std::size_t count_ = 0;
+  std::vector<std::uint32_t> slots_;   // 1-based ids into hashes_/arena_
+  std::vector<std::uint64_t> hashes_;  // cached hash per stored key
+  std::vector<std::uint64_t> arena_;   // count_ × key_words_ packed keys
+};
+
+/// DFS over downward-closed subsets of the constraint order.  Templated on
+/// the visitor so the hot first-witness path (find_legal_view's tiny
+/// lambda) inlines instead of bouncing through std::function.
+template <typename Visitor>
 class ViewSearch {
  public:
   ViewSearch(const SystemHistory& h, const DynBitset& universe,
              const Relation& constraints, const DynBitset& exempt,
-             const std::function<bool(const View&)>& visit)
+             Visitor& visit, const SearchControl& control)
       : h_(h),
         universe_(universe),
         constraints_(constraints),
         exempt_(exempt),
         visit_(visit),
+        control_(control),
         scheduled_(h.size()),
         indeg_(constraints.indegrees(universe)),
         target_(universe.count()),
-        last_value_(h.num_locations(), kInitialValue) {
+        last_value_(h.num_locations(), kInitialValue),
+        pending_reads_(h.num_locations(), 0),
+        mask_words_(scheduled_.words().size()),
+        key_scratch_(mask_words_ + h.num_locations()),
+        failed_(mask_words_ + h.num_locations()) {
     members_.reserve(target_);
     universe_.for_each([&](std::size_t i) {
       members_.push_back(static_cast<OpIndex>(i));
+      const auto& op = h_.op(i);
+      if (op.is_read() && !exempt_.test(i)) ++pending_reads_[op.loc];
     });
     order_.reserve(target_);
     g_stats = {};
+    g_stats.searches = 1;
   }
 
-  /// Returns true if the caller requested early stop.
+  /// Returns true if the visitor or the stop token requested early stop.
   bool run() {
     dfs();
+    if (control_.cancelled()) g_stats.cancelled = 1;
+    g_agg_nodes.fetch_add(g_stats.nodes, std::memory_order_relaxed);
+    g_agg_memo_hits.fetch_add(g_stats.memo_hits, std::memory_order_relaxed);
+    g_agg_searches.fetch_add(1, std::memory_order_relaxed);
+    g_agg_cancelled.fetch_add(g_stats.cancelled, std::memory_order_relaxed);
     return stopped_;
   }
 
  private:
-  /// Memo key: hash of (scheduled mask, per-location last value).  Two
-  /// prefixes with the same scheduled set and the same memory state have
-  /// identical completion sets, so a failed state never needs re-expansion.
-  [[nodiscard]] std::uint64_t state_key() const noexcept {
-    std::uint64_t k = scheduled_.hash();
-    for (Value v : last_value_) {
-      k ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ULL +
-           (k << 6) + (k >> 2);
+  /// Packs the current (scheduled mask, per-location last value) state into
+  /// the scratch buffer — the exact memo key, no information lost.
+  [[nodiscard]] const std::uint64_t* pack_state() noexcept {
+    std::uint64_t* k = key_scratch_.data();
+    const auto& words = scheduled_.words();
+    std::copy(words.begin(), words.end(), k);
+    for (std::size_t l = 0; l < last_value_.size(); ++l) {
+      k[mask_words_ + l] = static_cast<std::uint64_t>(last_value_[l]);
     }
     return k;
   }
@@ -54,60 +155,82 @@ class ViewSearch {
   /// subtree (used to decide whether the entry state is a dead end).
   bool dfs() {
     ++g_stats.nodes;
+    if (control_.cancelled()) {
+      stopped_ = true;
+      return false;
+    }
     if (order_.size() == target_) {
       if (!visit_(order_)) stopped_ = true;
       return true;
     }
-    const std::uint64_t key = g_memoize ? state_key() : 0;
-    if (g_memoize && failed_.contains(key)) {
+    if (g_memoize && failed_.contains(pack_state())) {
       ++g_stats.memo_hits;
       return false;
     }
     bool found = false;
-    for (OpIndex i : members_) {
-      if (stopped_) break;
-      if (scheduled_.test(i) || indeg_[i] != 0) continue;
-      const auto& op = h_.op(i);
-      // Legality gate: a read-like operation must observe the current value
-      // of its location at this point in the view (unless exempt, e.g.
-      // satisfied by store-buffer forwarding).
-      if (op.is_read() && !exempt_.test(i) &&
-          last_value_[op.loc] != op.read_value()) {
-        continue;
+    // Candidate ordering heuristic: expand frontier writes to locations
+    // with pending (unscheduled, value-checked) reads first — they are the
+    // moves that can discharge a read obligation, so witnesses surface
+    // earlier and dead ends are entered with fewer options left.  Both
+    // passes see the identical restored state, so each ready candidate is
+    // expanded in exactly one pass and the order is deterministic.
+    for (int pass = 0; pass < 2 && !stopped_; ++pass) {
+      for (OpIndex i : members_) {
+        if (stopped_) break;
+        if (scheduled_.test(i) || indeg_[i] != 0) continue;
+        const auto& op = h_.op(i);
+        const bool hot = op.is_write() && pending_reads_[op.loc] > 0;
+        if ((pass == 0) != hot) continue;
+        // Legality gate: a read-like operation must observe the current
+        // value of its location at this point in the view (unless exempt,
+        // e.g. satisfied by store-buffer forwarding).
+        const bool checked_read = op.is_read() && !exempt_.test(i);
+        if (checked_read && last_value_[op.loc] != op.read_value()) {
+          continue;
+        }
+        // Schedule.
+        scheduled_.set(i);
+        order_.push_back(i);
+        const Value saved = last_value_[op.loc];
+        if (op.is_write()) last_value_[op.loc] = op.value;
+        if (checked_read) --pending_reads_[op.loc];
+        constraints_.successors(i).for_each([&](std::size_t j) {
+          if (universe_.test(j)) --indeg_[j];
+        });
+        if (dfs()) found = true;
+        // Undo.
+        constraints_.successors(i).for_each([&](std::size_t j) {
+          if (universe_.test(j)) ++indeg_[j];
+        });
+        if (checked_read) ++pending_reads_[op.loc];
+        last_value_[op.loc] = saved;
+        order_.pop_back();
+        scheduled_.reset(i);
       }
-      // Schedule.
-      scheduled_.set(i);
-      order_.push_back(i);
-      const Value saved = last_value_[op.loc];
-      if (op.is_write()) last_value_[op.loc] = op.value;
-      constraints_.successors(i).for_each([&](std::size_t j) {
-        if (universe_.test(j)) --indeg_[j];
-      });
-      if (dfs()) found = true;
-      // Undo.
-      constraints_.successors(i).for_each([&](std::size_t j) {
-        if (universe_.test(j)) ++indeg_[j];
-      });
-      last_value_[op.loc] = saved;
-      order_.pop_back();
-      scheduled_.reset(i);
     }
-    if (g_memoize && !found && !stopped_) failed_.insert(key);
+    // A stopped search (visitor satisfied or cancelled) abandoned part of
+    // this subtree, so "no view found" is not a proven dead end — skip the
+    // memo insert in that case.
+    if (g_memoize && !found && !stopped_) failed_.insert(pack_state());
     return found;
   }
 
   const SystemHistory& h_;
   const DynBitset& universe_;
   const Relation& constraints_;
-  DynBitset exempt_;
-  const std::function<bool(const View&)>& visit_;
+  const DynBitset& exempt_;
+  Visitor& visit_;
+  SearchControl control_;
   DynBitset scheduled_;
   std::vector<std::uint32_t> indeg_;
   std::size_t target_;
   std::vector<Value> last_value_;
+  std::vector<std::uint32_t> pending_reads_;
+  std::size_t mask_words_;
+  std::vector<std::uint64_t> key_scratch_;
   std::vector<OpIndex> members_;
   View order_;
-  std::unordered_set<std::uint64_t> failed_;
+  FailedStateTable failed_;
   bool stopped_ = false;
 };
 
@@ -122,12 +245,17 @@ std::optional<View> find_legal_view(const SystemHistory& h,
 std::optional<View> find_legal_view(const SystemHistory& h,
                                     const DynBitset& universe,
                                     const Relation& constraints,
-                                    const DynBitset& exempt) {
+                                    const DynBitset& exempt,
+                                    const SearchControl& control) {
   std::optional<View> result;
-  for_each_legal_view(h, universe, constraints, exempt, [&](const View& v) {
+  // Devirtualized first-witness path: a concrete lambda, not std::function.
+  auto visitor = [&result](const View& v) {
     result = v;
     return false;  // first witness wins
-  });
+  };
+  ViewSearch<decltype(visitor)> search(h, universe, constraints, exempt,
+                                       visitor, control);
+  search.run();
   return result;
 }
 
@@ -140,8 +268,10 @@ bool for_each_legal_view(const SystemHistory& h, const DynBitset& universe,
 
 bool for_each_legal_view(const SystemHistory& h, const DynBitset& universe,
                          const Relation& constraints, const DynBitset& exempt,
-                         const std::function<bool(const View&)>& visit) {
-  ViewSearch search(h, universe, constraints, exempt, visit);
+                         const std::function<bool(const View&)>& visit,
+                         const SearchControl& control) {
+  ViewSearch<const std::function<bool(const View&)>> search(
+      h, universe, constraints, exempt, visit, control);
   return search.run();
 }
 
@@ -204,6 +334,26 @@ std::optional<std::string> verify_view(const SystemHistory& h,
 
 SearchStats last_search_stats() noexcept { return g_stats; }
 
+SearchStats aggregate_search_stats() noexcept {
+  SearchStats s;
+  s.nodes = g_agg_nodes.load(std::memory_order_relaxed);
+  s.memo_hits = g_agg_memo_hits.load(std::memory_order_relaxed);
+  s.searches = g_agg_searches.load(std::memory_order_relaxed);
+  s.cancelled = g_agg_cancelled.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_aggregate_search_stats() noexcept {
+  g_agg_nodes.store(0, std::memory_order_relaxed);
+  g_agg_memo_hits.store(0, std::memory_order_relaxed);
+  g_agg_searches.store(0, std::memory_order_relaxed);
+  g_agg_cancelled.store(0, std::memory_order_relaxed);
+}
+
 void set_memoization_enabled(bool enabled) noexcept { g_memoize = enabled; }
+
+void set_degenerate_memo_hash_for_testing(bool degenerate) noexcept {
+  g_degenerate_hash = degenerate;
+}
 
 }  // namespace ssm::checker

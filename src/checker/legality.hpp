@@ -12,12 +12,21 @@
 //
 // by depth-first search over downward-closed prefixes, scheduling one
 // operation at a time while tracking the last write per location.  Failed
-// (prefix-mask, last-write-vector) states are memoized, which keeps the
-// search polynomial-ish on the loosely-constrained views that weak models
-// produce.  Litmus-scale inputs (≤ ~40 operations per view) decide in
-// microseconds.
+// (prefix-mask, last-write-vector) states are memoized in a full-key
+// open-addressed table (the key is the exact packed state, not a hash, so
+// collisions can never prune a live subtree), which keeps the search
+// polynomial-ish on the loosely-constrained views that weak models
+// produce.  Candidates are expanded writes-with-pending-readers first,
+// which discharges read obligations early.  Litmus-scale inputs (≤ ~40
+// operations per view) decide in microseconds.
+//
+// Searches are cancellable: a SearchControl carrying a shared atomic stop
+// token lets sibling searches (models::solve_per_processor fan-out) abort
+// this one as soon as any of them proves the history inadmissible.  See
+// docs/PARALLELISM.md for the threading model.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -34,9 +43,29 @@ using rel::Relation;
 /// A concrete witness view: operation indices in view order.
 using View = std::vector<OpIndex>;
 
+/// Cooperative cancellation for a view search.  The referenced flag is
+/// polled (relaxed) once per expanded node; flipping it to true makes the
+/// search unwind promptly and report "no view found".  A cancelled search
+/// never memoizes the subtrees it abandoned, so a later un-cancelled
+/// search on the same thread stays sound.
+class SearchControl {
+ public:
+  constexpr SearchControl() = default;
+  explicit constexpr SearchControl(const std::atomic<bool>* cancel) noexcept
+      : cancel_(cancel) {}
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::atomic<bool>* cancel_ = nullptr;
+};
+
 /// Finds one legal linearization of `universe` extending `constraints`
 /// (edges may mention operations outside `universe`; those are ignored).
-/// Returns std::nullopt when none exists.
+/// Returns std::nullopt when none exists — or when `control` was
+/// cancelled before a witness was found.
 ///
 /// `exempt`, when provided, marks read operations that are excused from
 /// the most-recent-write legality gate: their value is justified outside
@@ -46,19 +75,21 @@ using View = std::vector<OpIndex>;
 [[nodiscard]] std::optional<View> find_legal_view(const SystemHistory& h,
                                                   const DynBitset& universe,
                                                   const Relation& constraints);
-[[nodiscard]] std::optional<View> find_legal_view(const SystemHistory& h,
-                                                  const DynBitset& universe,
-                                                  const Relation& constraints,
-                                                  const DynBitset& exempt);
+[[nodiscard]] std::optional<View> find_legal_view(
+    const SystemHistory& h, const DynBitset& universe,
+    const Relation& constraints, const DynBitset& exempt,
+    const SearchControl& control = {});
 
 /// Enumerates every legal linearization, invoking `visit` for each; stops
-/// early when `visit` returns false.  Returns true iff stopped early.
+/// early when `visit` returns false.  Returns true iff stopped early
+/// (by the visitor or by cancellation).
 bool for_each_legal_view(const SystemHistory& h, const DynBitset& universe,
                          const Relation& constraints,
                          const std::function<bool(const View&)>& visit);
 bool for_each_legal_view(const SystemHistory& h, const DynBitset& universe,
                          const Relation& constraints, const DynBitset& exempt,
-                         const std::function<bool(const View&)>& visit);
+                         const std::function<bool(const View&)>& visit,
+                         const SearchControl& control = {});
 
 /// Validates that `view` is a permutation of `universe`, extends
 /// `constraints`, and is legal.  Returns an explanatory message on failure.
@@ -70,16 +101,40 @@ bool for_each_legal_view(const SystemHistory& h, const DynBitset& universe,
     const SystemHistory& h, const DynBitset& universe,
     const Relation& constraints, const View& view, const DynBitset& exempt);
 
-/// Statistics from the most recent search on this thread (nodes expanded,
-/// memo hits); exposed for the scaling benchmarks.
+/// Statistics from a view search.  `last_search_stats` reports the most
+/// recent search on the calling thread; `aggregate_search_stats` reports
+/// process-wide totals accumulated across every search on every worker
+/// (reset with reset_aggregate_search_stats), which is how suite-level
+/// totals survive the thread-pool fan-out.
 struct SearchStats {
   std::uint64_t nodes = 0;
   std::uint64_t memo_hits = 0;
+  /// Number of searches merged into this record (1 for a single search).
+  std::uint64_t searches = 0;
+  /// Searches that unwound due to SearchControl cancellation.
+  std::uint64_t cancelled = 0;
+
+  SearchStats& operator+=(const SearchStats& o) noexcept {
+    nodes += o.nodes;
+    memo_hits += o.memo_hits;
+    searches += o.searches;
+    cancelled += o.cancelled;
+    return *this;
+  }
 };
 [[nodiscard]] SearchStats last_search_stats() noexcept;
+[[nodiscard]] SearchStats aggregate_search_stats() noexcept;
+void reset_aggregate_search_stats() noexcept;
 
 /// Ablation hook (bench/ablation_memo): disable the failed-state memo
 /// globally on this thread.  Results are identical; only work changes.
 void set_memoization_enabled(bool enabled) noexcept;
+
+/// Test hook (thread-local): collapse the memo table's hash to a constant
+/// so every pair of distinct states collides.  With a hash-keyed memo this
+/// provokes wrong rejections (the pre-full-key implementation pruned live
+/// subtrees on collision); the full-key table must keep returning correct
+/// answers.  See tests/checker/memo_collision_test.cpp.
+void set_degenerate_memo_hash_for_testing(bool degenerate) noexcept;
 
 }  // namespace ssm::checker

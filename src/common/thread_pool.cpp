@@ -1,0 +1,147 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+namespace ssm::common {
+
+/// One parallel_for invocation: a shared index counter plus completion
+/// tracking.  Lives on the heap (shared_ptr) because pool workers may
+/// still hold a reference briefly after the caller's wait completes.
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex m;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  // first exception; guarded by m
+};
+
+struct ThreadPool::State {
+  std::mutex m;
+  std::condition_variable work_cv;
+  std::deque<std::shared_ptr<Batch>> queue;
+  bool shutdown = false;
+};
+
+ThreadPool::ThreadPool(unsigned jobs)
+    : jobs_(jobs == 0 ? 1 : jobs), state_(std::make_unique<State>()) {
+  threads_.reserve(jobs_ - 1);
+  for (unsigned i = 1; i < jobs_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_->m);
+    state_->shutdown = true;
+  }
+  state_->work_cv.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_batch(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) return;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.m);
+      if (!batch.error) batch.error = std::current_exception();
+    }
+    if (batch.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch.n) {
+      // Lock before notifying so the waiter cannot miss the wakeup between
+      // its predicate check and its wait.
+      std::lock_guard<std::mutex> lock(batch.m);
+      batch.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs_ <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(state_->m);
+    state_->queue.push_back(batch);
+  }
+  state_->work_cv.notify_all();
+  run_batch(*batch);  // the caller is one of the lanes
+  {
+    std::unique_lock<std::mutex> lock(batch->m);
+    batch->done_cv.wait(lock, [&] {
+      return batch->completed.load(std::memory_order_acquire) == batch->n;
+    });
+    if (batch->error) std::rethrow_exception(batch->error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(state_->m);
+      state_->work_cv.wait(
+          lock, [&] { return state_->shutdown || !state_->queue.empty(); });
+      if (state_->queue.empty()) {
+        if (state_->shutdown) return;
+        continue;
+      }
+      batch = state_->queue.front();
+      if (batch->next.load(std::memory_order_relaxed) >= batch->n) {
+        // Exhausted: indices all claimed (stragglers may still be running
+        // their claimed fn, holding their own shared_ptr).  Retire it.
+        state_->queue.pop_front();
+        continue;
+      }
+    }
+    run_batch(*batch);
+  }
+}
+
+namespace {
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(default_jobs());
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_jobs(unsigned jobs) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_global_pool =
+      std::make_unique<ThreadPool>(jobs == 0 ? default_jobs() : jobs);
+}
+
+unsigned ThreadPool::default_jobs() {
+  if (const char* env = std::getenv("SSM_JOBS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace ssm::common

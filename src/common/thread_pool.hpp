@@ -1,0 +1,78 @@
+// ThreadPool: the shared worker pool behind the parallel checking engine.
+//
+// The admission test is embarrassingly parallel at every level — suite
+// cells (test × model), per-processor view searches, lattice sweeps — so
+// one process-wide pool fans all of them out.  The design is deliberately
+// small but work-stealing-friendly:
+//
+//   * parallel_for publishes a batch of indices claimed from a shared
+//     atomic counter; every pool worker that sees the batch joins in, and
+//     the CALLING thread participates too.  Nested parallel_for therefore
+//     never deadlocks: even when every worker is busy, the caller drains
+//     its own batch inline.
+//   * Waiting is batch-local (condition variable per batch), so unrelated
+//     fan-outs never contend on one lock.
+//
+// Concurrency defaults to std::thread::hardware_concurrency and is
+// overridable with the SSM_JOBS environment variable or the `--jobs` CLI
+// flag (see ThreadPool::set_global_jobs).  `jobs == 1` degenerates to a
+// plain serial loop with zero threads, which is the reference execution
+// every parallel path must match byte-for-byte (see docs/PARALLELISM.md).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace ssm::common {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `jobs`-way concurrency (jobs - 1 worker threads;
+  /// the thread calling parallel_for is the remaining lane).
+  explicit ThreadPool(unsigned jobs);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (worker threads + the participating caller).
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+
+  /// Runs fn(i) for every i in [0, n), potentially concurrently, and
+  /// returns once all n calls have completed.  The calling thread
+  /// participates, so nesting parallel_for inside a task is safe.  Index
+  /// assignment to threads is nondeterministic; callers must make each
+  /// fn(i) independent (write only to slot i of a presized output).
+  /// The first exception thrown by any fn is rethrown on the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// The process-wide pool used by the checking engine (litmus::run_suite,
+  /// models::solve_per_processor).  Created on first use with
+  /// default_jobs()-way concurrency.
+  [[nodiscard]] static ThreadPool& global();
+
+  /// Replaces the global pool with a `jobs`-way one (0 = default_jobs()).
+  /// Must not be called while another thread is inside the global pool;
+  /// intended for CLI/bench/test startup (`--jobs`).
+  static void set_global_jobs(unsigned jobs);
+
+  /// SSM_JOBS environment override when set to a positive integer,
+  /// otherwise std::thread::hardware_concurrency (at least 1).
+  [[nodiscard]] static unsigned default_jobs();
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  static void run_batch(Batch& batch);
+
+  unsigned jobs_;
+  std::vector<std::thread> threads_;
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace ssm::common

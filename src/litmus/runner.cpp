@@ -2,29 +2,59 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.hpp"
+
 namespace ssm::litmus {
+
+namespace {
+
+ModelOutcome run_cell(const LitmusTest& t, const models::Model& m) {
+  ModelOutcome mo;
+  mo.model = std::string(m.name());
+  mo.allowed = m.check(t.hist).allowed;
+  mo.expected = t.expectation(m.name());
+  return mo;
+}
+
+}  // namespace
 
 TestOutcome run_test(const LitmusTest& t,
                      const std::vector<models::ModelPtr>& models) {
   TestOutcome out;
   out.test = t.name;
   out.per_model.reserve(models.size());
-  for (const auto& m : models) {
-    ModelOutcome mo;
-    mo.model = std::string(m->name());
-    mo.allowed = m->check(t.hist).allowed;
-    mo.expected = t.expectation(m->name());
-    out.per_model.push_back(std::move(mo));
-  }
+  for (const auto& m : models) out.per_model.push_back(run_cell(t, *m));
   return out;
 }
 
 std::vector<TestOutcome> run_suite(
     const std::vector<LitmusTest>& suite,
     const std::vector<models::ModelPtr>& models) {
-  std::vector<TestOutcome> out;
-  out.reserve(suite.size());
-  for (const auto& t : suite) out.push_back(run_test(t, models));
+  const std::size_t num_models = models.size();
+  const std::size_t cells = suite.size() * num_models;
+  auto& pool = common::ThreadPool::global();
+  std::vector<TestOutcome> out(suite.size());
+  for (std::size_t ti = 0; ti < suite.size(); ++ti) {
+    out[ti].test = suite[ti].name;
+    out[ti].per_model.resize(num_models);
+  }
+  if (pool.jobs() <= 1 || cells <= 1) {
+    for (std::size_t ti = 0; ti < suite.size(); ++ti) {
+      for (std::size_t mi = 0; mi < num_models; ++mi) {
+        out[ti].per_model[mi] = run_cell(suite[ti], *models[mi]);
+      }
+    }
+    return out;
+  }
+  // Fan out the independent (test × model) cells.  Each task writes only
+  // its own presized slot, so result order — and therefore the rendered
+  // matrix — is byte-identical to the serial loop regardless of how the
+  // pool interleaves the work.
+  pool.parallel_for(cells, [&](std::size_t cell) {
+    const std::size_t ti = cell / num_models;
+    const std::size_t mi = cell % num_models;
+    out[ti].per_model[mi] = run_cell(suite[ti], *models[mi]);
+  });
   return out;
 }
 

@@ -36,7 +36,11 @@ struct TestOutcome {
 [[nodiscard]] TestOutcome run_test(
     const LitmusTest& t, const std::vector<models::ModelPtr>& models);
 
-/// Runs every test against the given models.
+/// Runs every test against the given models.  The (test × model) cells
+/// are independent and fan out across the global common::ThreadPool; the
+/// returned vector is always in suite order with per_model in model order,
+/// identical to a serial run (see docs/PARALLELISM.md).  Models must be
+/// safe to check() concurrently — all registry models are stateless.
 [[nodiscard]] std::vector<TestOutcome> run_suite(
     const std::vector<LitmusTest>& suite,
     const std::vector<models::ModelPtr>& models);

@@ -1,17 +1,47 @@
 #include "models/per_processor.hpp"
 
+#include <atomic>
+
+#include "common/thread_pool.hpp"
+
 namespace ssm::models {
 
 bool solve_per_processor(const SystemHistory& h, const ViewProblemFn& problem,
                          Verdict& out) {
-  std::vector<View> views(h.num_processors());
-  for (ProcId p = 0; p < h.num_processors(); ++p) {
-    ViewProblem vp = problem(p);
-    if (vp.exempt.size() != h.size()) vp.exempt = DynBitset(h.size());
-    auto view =
-        checker::find_legal_view(h, vp.universe, vp.constraints, vp.exempt);
-    if (!view) return false;
-    views[p] = std::move(*view);
+  const ProcId procs = h.num_processors();
+  std::vector<View> views(procs);
+  auto& pool = common::ThreadPool::global();
+  if (pool.jobs() <= 1 || procs <= 1) {
+    for (ProcId p = 0; p < procs; ++p) {
+      ViewProblem vp = problem(p);
+      if (vp.exempt.size() != h.size()) vp.exempt = DynBitset(h.size());
+      auto view =
+          checker::find_legal_view(h, vp.universe, vp.constraints, vp.exempt);
+      if (!view) return false;
+      views[p] = std::move(*view);
+    }
+  } else {
+    // Fan the independent view searches out across the pool.  The first
+    // processor proven to have no legal view flips the shared stop token,
+    // which cancels every sibling search mid-DFS: the conjunction is
+    // already false, so their answers no longer matter.
+    std::atomic<bool> failed{false};
+    pool.parallel_for(procs, [&](std::size_t p) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      ViewProblem vp = problem(static_cast<ProcId>(p));
+      if (vp.exempt.size() != h.size()) vp.exempt = DynBitset(h.size());
+      const checker::SearchControl control(&failed);
+      auto view = checker::find_legal_view(h, vp.universe, vp.constraints,
+                                           vp.exempt, control);
+      if (view) {
+        views[p] = std::move(*view);
+      } else {
+        // Genuinely unsatisfiable or cancelled; either way the verdict is
+        // already decided to be "not allowed".
+        failed.store(true, std::memory_order_relaxed);
+      }
+    });
+    if (failed.load(std::memory_order_relaxed)) return false;
   }
   out.allowed = true;
   out.views = std::move(views);

@@ -41,6 +41,13 @@ using ViewProblemFn = std::function<ViewProblem(ProcId)>;
 /// On success fills `out.views` (indexed by ProcId) and sets allowed=true.
 /// The returned bool mirrors `out.allowed` (callers that only need the
 /// verdict may ignore it).
+///
+/// When the global common::ThreadPool has more than one lane, the searches
+/// run concurrently and the first processor with no legal view cancels its
+/// siblings through a shared stop token (the verdict is identical either
+/// way; only wasted work changes).  `problem` may therefore be invoked
+/// from several threads at once and must be safe to call concurrently —
+/// every model builds its ViewProblem from const inputs, which is enough.
 bool solve_per_processor(const SystemHistory& h, const ViewProblemFn& problem,
                          Verdict& out);
 

@@ -1,0 +1,101 @@
+// Regression tests for the memo-table soundness bug: the pre-full-key
+// implementation stored only a 64-bit hash of the (scheduled mask, last
+// values) state, so two DISTINCT states could collide and a live subtree
+// would be pruned as if it were a memoized dead end — wrongly rejecting an
+// admissible history.  The full-key open-addressed table compares the
+// exact packed state, so collisions only cost probes, never correctness.
+//
+// The hash hook set_degenerate_memo_hash_for_testing collapses every key
+// to one hash value, i.e. it forces the worst-case collision pattern.
+// Replayed against the old hash-keyed memo, the FindsWitness case below
+// rejects (the first dead-end insert poisons every later lookup); the
+// full-key table must keep admitting it.
+#include "checker/legality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "checker/scope.hpp"
+#include "history/builder.hpp"
+#include "order/orders.hpp"
+
+namespace ssm::checker {
+namespace {
+
+using history::HistoryBuilder;
+
+/// RAII: force all memo keys onto one hash bucket for the test body.
+struct DegenerateHash {
+  DegenerateHash() { set_degenerate_memo_hash_for_testing(true); }
+  ~DegenerateHash() { set_degenerate_memo_hash_for_testing(false); }
+};
+
+/// Admissible history whose search hits a dead end before the witness:
+///   p: w(x)1   q: w(x)2   r: r(x)1 ; r(x)2
+/// The branch scheduling w1,w2 first dies (r(x)1 can no longer see 1) and
+/// memoizes state ({w1,w2}, x=2).  The witness branch then passes through
+/// the distinct state ({w1,r1}, x=1) — under a collapsed hash the two
+/// states collide, and a hash-keyed memo prunes the witness branch.
+history::SystemHistory collision_history() {
+  return HistoryBuilder(3, 1)
+      .w("p", "x", 1)
+      .w("q", "x", 2)
+      .r("r", "x", 1)
+      .r("r", "x", 2)
+      .build();
+}
+
+TEST(MemoCollision, FindsWitnessDespiteFullCollisions) {
+  auto h = collision_history();
+  const auto po = order::program_order(h);
+  // Sanity: admissible with the healthy hash.
+  const auto baseline = find_legal_view(h, all_ops(h), po);
+  ASSERT_TRUE(baseline.has_value());
+
+  DegenerateHash degenerate;
+  const auto view = find_legal_view(h, all_ops(h), po);
+  ASSERT_TRUE(view.has_value())
+      << "full-collision hash pruned a live subtree: the memo is keyed by "
+         "hash, not by the full packed state";
+  EXPECT_FALSE(verify_view(h, all_ops(h), po, *view).has_value());
+  EXPECT_EQ(*view, *baseline);  // search order is hash-independent
+}
+
+TEST(MemoCollision, UnsatisfiableStaysRejectedAndMemoStillPrunes) {
+  // Unsatisfiable wide search: 6 unconstrained writes of distinct values
+  // plus a read of a value nobody writes.  The memo is what keeps this
+  // sub-factorial; with every state on one hash bucket the table degrades
+  // to a linear scan but must still prune correctly.
+  auto b = HistoryBuilder(1, 2);
+  for (Value v = 1; v <= 6; ++v) b.w("p", "x", v);
+  b.r("p", "y", 7);
+  auto h = std::move(b).build_unchecked();
+
+  DegenerateHash degenerate;
+  EXPECT_FALSE(
+      find_legal_view(h, all_ops(h), rel::Relation(h.size())).has_value());
+  const auto stats = last_search_stats();
+  EXPECT_GT(stats.memo_hits, 0u)
+      << "memo never hit: the collision path is not being exercised";
+}
+
+TEST(MemoCollision, EnumerationCountUnaffectedByCollisions) {
+  auto h = HistoryBuilder(2, 2).w("p", "x", 1).w("q", "y", 1).build();
+  int baseline = 0;
+  for_each_legal_view(h, all_ops(h), order::program_order(h),
+                      [&](const View&) {
+                        ++baseline;
+                        return true;
+                      });
+  DegenerateHash degenerate;
+  int collided = 0;
+  for_each_legal_view(h, all_ops(h), order::program_order(h),
+                      [&](const View&) {
+                        ++collided;
+                        return true;
+                      });
+  EXPECT_EQ(baseline, collided);
+  EXPECT_EQ(baseline, 2);
+}
+
+}  // namespace
+}  // namespace ssm::checker

@@ -1,0 +1,91 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ssm::common {
+namespace {
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroAndOneSizedBatches) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "n=0 must not run"; });
+  std::atomic<int> count{0};
+  pool.parallel_for(1, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, SingleJobRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::size_t ran = 0;
+  pool.parallel_for(16, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++ran;  // safe: serial by construction
+  });
+  EXPECT_EQ(ran, 16u);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Outer tasks occupy pool lanes and each fans out again; the caller
+  // participating in its own batch guarantees progress even when every
+  // worker is busy with outer tasks.
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(64, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 8u * 64u);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                          completed.fetch_add(1, std::memory_order_relaxed);
+                        }),
+      std::runtime_error);
+  // Every non-throwing index still completed: an exception poisons the
+  // batch result, not the other lanes.
+  EXPECT_EQ(completed.load(), 99u);
+}
+
+TEST(ThreadPool, DefaultJobsHonorsEnvOverride) {
+  setenv("SSM_JOBS", "7", 1);
+  EXPECT_EQ(ThreadPool::default_jobs(), 7u);
+  setenv("SSM_JOBS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::default_jobs(), 1u);
+  unsetenv("SSM_JOBS");
+  EXPECT_GE(ThreadPool::default_jobs(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolResizable) {
+  ThreadPool::set_global_jobs(3);
+  EXPECT_EQ(ThreadPool::global().jobs(), 3u);
+  ThreadPool::set_global_jobs(1);
+  EXPECT_EQ(ThreadPool::global().jobs(), 1u);
+}
+
+}  // namespace
+}  // namespace ssm::common

@@ -1,0 +1,147 @@
+// Parallel run_suite: the fan-out must be an implementation detail.
+// Whatever the pool width, the outcome vector, the rendered matrix, and
+// (for fully-completing workloads) even the aggregate search statistics
+// are identical to the serial run.
+#include "litmus/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "checker/legality.hpp"
+#include "common/thread_pool.hpp"
+#include "history/builder.hpp"
+#include "litmus/suite.hpp"
+#include "models/registry.hpp"
+
+namespace ssm::litmus {
+namespace {
+
+using common::ThreadPool;
+using history::HistoryBuilder;
+
+/// RAII: every test leaves the global pool serial so test order never
+/// matters.
+struct SerialAtExit {
+  ~SerialAtExit() { ThreadPool::set_global_jobs(1); }
+};
+
+bool outcomes_equal(const std::vector<TestOutcome>& a,
+                    const std::vector<TestOutcome>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].test != b[i].test) return false;
+    if (a[i].per_model.size() != b[i].per_model.size()) return false;
+    for (std::size_t j = 0; j < a[i].per_model.size(); ++j) {
+      const auto& x = a[i].per_model[j];
+      const auto& y = b[i].per_model[j];
+      if (x.model != y.model || x.allowed != y.allowed ||
+          x.expected != y.expected) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(ParallelRunner, SuiteDeterministicAcrossJobs) {
+  SerialAtExit guard;
+  const auto suite = builtin_suite();
+  ThreadPool::set_global_jobs(1);
+  const auto serial = run_suite(suite, models::paper_models());
+  const auto serial_matrix = format_matrix(serial);
+  for (unsigned jobs : {2u, 8u}) {
+    ThreadPool::set_global_jobs(jobs);
+    const auto parallel = run_suite(suite, models::paper_models());
+    EXPECT_TRUE(outcomes_equal(serial, parallel)) << "jobs=" << jobs;
+    EXPECT_EQ(serial_matrix, format_matrix(parallel)) << "jobs=" << jobs;
+  }
+}
+
+/// Histories admitted by every model in the merge workload below (they are
+/// SC-admissible or classic store-buffer outcomes, all far below the weak
+/// models used).  All-admitted matters: when every per-processor search
+/// completes, no cancellation fires and the node counts are exactly
+/// reproducible at any pool width.
+std::vector<LitmusTest> all_admitted_suite() {
+  std::vector<LitmusTest> suite;
+  {
+    LitmusTest t;
+    t.name = "mp-ok";
+    t.hist = HistoryBuilder(2, 2)
+                 .w("p", "x", 1)
+                 .w("p", "y", 1)
+                 .r("q", "y", 1)
+                 .r("q", "x", 1)
+                 .build();
+    suite.push_back(std::move(t));
+  }
+  {
+    LitmusTest t;
+    t.name = "sb-zeros";
+    t.hist = HistoryBuilder(2, 2)
+                 .w("p", "x", 1)
+                 .r("p", "y", 0)
+                 .w("q", "y", 1)
+                 .r("q", "x", 0)
+                 .build();
+    suite.push_back(std::move(t));
+  }
+  {
+    LitmusTest t;
+    t.name = "three-writers";
+    t.hist = HistoryBuilder(3, 3)
+                 .w("p", "x", 1)
+                 .r("p", "y", 0)
+                 .w("q", "y", 1)
+                 .r("q", "z", 0)
+                 .w("r", "z", 1)
+                 .r("r", "x", 0)
+                 .build();
+    suite.push_back(std::move(t));
+  }
+  return suite;
+}
+
+std::vector<models::ModelPtr> weak_models() {
+  std::vector<models::ModelPtr> out;
+  for (const char* name : {"PRAM", "Causal", "Slow", "Local"}) {
+    out.push_back(models::make_model(name));
+  }
+  return out;
+}
+
+TEST(ParallelRunner, StatsMergeAggregatesAcrossWorkers) {
+  SerialAtExit guard;
+  const auto suite = all_admitted_suite();
+
+  ThreadPool::set_global_jobs(1);
+  checker::reset_aggregate_search_stats();
+  const auto serial = run_suite(suite, weak_models());
+  const auto serial_stats = checker::aggregate_search_stats();
+
+  for (const auto& o : serial) {
+    for (const auto& cell : o.per_model) {
+      ASSERT_TRUE(cell.allowed)
+          << o.test << " vs " << cell.model
+          << ": workload must be all-admitted for exact stats equality";
+    }
+  }
+  EXPECT_GT(serial_stats.nodes, 0u);
+  EXPECT_GT(serial_stats.searches, 0u);
+  EXPECT_EQ(serial_stats.cancelled, 0u);
+
+  ThreadPool::set_global_jobs(4);
+  checker::reset_aggregate_search_stats();
+  const auto parallel = run_suite(suite, weak_models());
+  const auto parallel_stats = checker::aggregate_search_stats();
+
+  EXPECT_TRUE(outcomes_equal(serial, parallel));
+  // Workers each searched a slice; the merged totals must equal the
+  // serial run's exactly — nothing lost, nothing double-counted.
+  EXPECT_EQ(parallel_stats.nodes, serial_stats.nodes);
+  EXPECT_EQ(parallel_stats.memo_hits, serial_stats.memo_hits);
+  EXPECT_EQ(parallel_stats.searches, serial_stats.searches);
+  EXPECT_EQ(parallel_stats.cancelled, 0u);
+}
+
+}  // namespace
+}  // namespace ssm::litmus

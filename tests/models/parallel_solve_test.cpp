@@ -1,0 +1,141 @@
+// Parallel solve_per_processor: concurrent per-processor view searches
+// with early cancellation through the shared stop token.
+#include "models/per_processor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "checker/scope.hpp"
+#include "common/thread_pool.hpp"
+#include "history/builder.hpp"
+#include "models/registry.hpp"
+#include "order/orders.hpp"
+
+namespace ssm::models {
+namespace {
+
+using common::ThreadPool;
+using history::HistoryBuilder;
+
+struct SerialAtExit {
+  ~SerialAtExit() { ThreadPool::set_global_jobs(1); }
+};
+
+TEST(SearchControl, PreCancelledSearchStopsImmediately) {
+  // A satisfiable, wide search — but the token is already tripped, so the
+  // checker must unwind on the first expanded node.
+  auto b = HistoryBuilder(3, 3);
+  b.r("p", "x", 0).r("p", "y", 0).r("q", "y", 0).r("q", "z", 0)
+      .r("r", "z", 0).r("r", "x", 0);
+  auto h = std::move(b).build();
+  std::atomic<bool> cancel{true};
+  const checker::SearchControl control(&cancel);
+  const auto view =
+      checker::find_legal_view(h, checker::all_ops(h), rel::Relation(h.size()),
+                               rel::DynBitset(h.size()), control);
+  EXPECT_FALSE(view.has_value());
+  const auto stats = checker::last_search_stats();
+  EXPECT_EQ(stats.nodes, 1u);
+  EXPECT_EQ(stats.cancelled, 1u);
+}
+
+/// Engineered asymmetric instance: processor 0 owns an unsatisfiable view
+/// problem with a huge, memo-bounded state space (kWriters unconstrained
+/// writes plus a read of a value nobody writes); processor 1's problem is
+/// unsatisfiable in one node.  Serially, p0 is fully refuted before p1 is
+/// even attempted.  In parallel, p1 fails instantly and the stop token
+/// aborts p0 mid-search.
+constexpr Value kWriters = 15;
+
+history::SystemHistory asymmetric_history() {
+  auto b = HistoryBuilder(2, 2);
+  for (Value v = 1; v <= kWriters; ++v) b.w("p", "x", v);
+  b.r("p", "y", 99);   // never written: p0's problem is unsatisfiable
+  b.r("q", "y", 123);  // never written: p1 fails on its first node
+  return std::move(b).build_unchecked();
+}
+
+ViewProblemFn asymmetric_problem(const history::SystemHistory& h,
+                                 const rel::Relation& unconstrained) {
+  return [&h, &unconstrained](ProcId p) {
+    rel::DynBitset universe(h.size());
+    for (OpIndex i : h.processor_ops(p)) universe.set(i);
+    return ViewProblem{std::move(universe), unconstrained};
+  };
+}
+
+TEST(ParallelSolve, SiblingFailureCancelsLargeSearch) {
+  SerialAtExit guard;
+  const auto h = asymmetric_history();
+  const rel::Relation unconstrained(h.size());
+  const auto problem = asymmetric_problem(h, unconstrained);
+
+  ThreadPool::set_global_jobs(1);
+  checker::reset_aggregate_search_stats();
+  Verdict serial;
+  EXPECT_FALSE(solve_per_processor(h, problem, serial));
+  const auto serial_stats = checker::aggregate_search_stats();
+  // Serial order refutes p0 exhaustively (hundreds of thousands of nodes)
+  // before reaching the one-node refutation of p1.
+  ASSERT_GT(serial_stats.nodes, 100000u);
+  EXPECT_EQ(serial_stats.cancelled, 0u);
+
+  ThreadPool::set_global_jobs(4);
+  checker::reset_aggregate_search_stats();
+  Verdict parallel;
+  EXPECT_FALSE(solve_per_processor(h, problem, parallel));
+  const auto parallel_stats = checker::aggregate_search_stats();
+  // p1's instant failure must have cancelled p0 long before a full
+  // refutation.  The bound is deliberately loose (half the serial work);
+  // in practice cancellation lands within milliseconds of the fan-out.
+  EXPECT_LT(parallel_stats.nodes, serial_stats.nodes / 2)
+      << "stop token did not abort the sibling search";
+}
+
+TEST(ParallelSolve, VerdictsAndWitnessesMatchSerial) {
+  SerialAtExit guard;
+  const std::vector<const char*> model_names = {"SC", "TSO", "PC", "Causal",
+                                                "PRAM", "Local"};
+  std::vector<history::SystemHistory> histories;
+  histories.push_back(HistoryBuilder(2, 2)
+                          .w("p", "x", 1)
+                          .r("p", "y", 0)
+                          .w("q", "y", 1)
+                          .r("q", "x", 0)
+                          .build());  // fig.1 store buffering
+  histories.push_back(HistoryBuilder(2, 2)
+                          .w("p", "x", 1)
+                          .w("p", "y", 1)
+                          .r("q", "y", 1)
+                          .r("q", "x", 1)
+                          .build());  // message passing, SC outcome
+  histories.push_back(HistoryBuilder(3, 2)
+                          .w("p", "x", 1)
+                          .r("q", "x", 1)
+                          .r("q", "y", 0)
+                          .w("r", "y", 1)
+                          .r("r", "x", 0)
+                          .build());  // write-to-read causality chain
+
+  for (const char* name : model_names) {
+    const auto model = models::make_model(name);
+    for (std::size_t hi = 0; hi < histories.size(); ++hi) {
+      const auto& h = histories[hi];
+      ThreadPool::set_global_jobs(1);
+      const auto serial = model->check(h);
+      ThreadPool::set_global_jobs(4);
+      const auto parallel = model->check(h);
+      EXPECT_EQ(serial.allowed, parallel.allowed)
+          << name << " diverges on history " << hi;
+      if (parallel.allowed) {
+        const auto err = model->verify_witness(h, parallel);
+        EXPECT_FALSE(err.has_value())
+            << name << " history " << hi << ": " << *err;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssm::models

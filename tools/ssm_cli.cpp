@@ -19,6 +19,10 @@
 //                                   universe (agreement, sound, complete)
 //
 // Files use the litmus DSL (see src/litmus/parser.hpp).
+//
+// The global option `--jobs N` (or the SSM_JOBS environment variable)
+// sets the checking engine's thread-pool width; verdicts and matrices are
+// byte-identical across settings (see docs/PARALLELISM.md).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +32,7 @@
 
 #include "bakery/driver.hpp"
 #include "checker/verdict.hpp"
+#include "common/thread_pool.hpp"
 #include "history/dot.hpp"
 #include "history/print.hpp"
 #include "lattice/separate.hpp"
@@ -50,10 +55,41 @@ using namespace ssm;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: ssm <command> [args]\n"
+      "usage: ssm [--jobs N] <command> [args]\n"
       "  models | tests | check <model> [file] | show <test> [model...]\n"
-      "  matrix [file] | lattice [procs ops locs] | bakery <machine> [n]\n");
+      "  matrix [file] | lattice [procs ops locs] | bakery <machine> [n]\n"
+      "  --jobs N   checking-engine threads (default: SSM_JOBS or all "
+      "cores)\n");
   return 64;
+}
+
+/// Strips a leading-or-anywhere `--jobs N` / `--jobs=N` / `-j N` from argv
+/// and sizes the global pool accordingly.  Returns false on a malformed
+/// value (caller prints usage).
+bool apply_jobs_flag(int& argc, char** argv) {
+  int out = 1;
+  unsigned jobs = 0;
+  bool jobs_set = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--jobs" || arg == "-j") {
+      if (i + 1 >= argc) return false;
+      value = argv[++i];
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      value = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    const long v = std::atol(value.c_str());
+    if (v <= 0) return false;
+    jobs = static_cast<unsigned>(v);
+    jobs_set = true;
+  }
+  argc = out;
+  if (jobs_set) common::ThreadPool::set_global_jobs(jobs);
+  return true;
 }
 
 std::vector<litmus::LitmusTest> load_suite(int argc, char** argv, int pos) {
@@ -290,6 +326,7 @@ int cmd_identify(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!apply_jobs_flag(argc, argv)) return usage();
   if (argc < 2) return usage();
   try {
     const std::string cmd = argv[1];
