@@ -11,19 +11,26 @@
 //   ./checker_scaling --jobs N                 fan-out workload at N lanes
 //   ./checker_scaling --jobs N --json out.json ... plus machine-readable
 //                                              record (nodes/sec, wall
-//                                              time, matrix checksum) for
-//                                              the BENCH_*.json trajectory
+//                                              time, matrix checksum,
+//                                              metrics snapshot) for the
+//                                              BENCH_*.json trajectory
+//   ... --max-nodes N / --timeout-ms N         per-cell search budget;
+//                                              exhausted cells render "?"
+//                                              (docs/OBSERVABILITY.md)
 //
 // The matrix checksum is deterministic across --jobs settings: verdicts
 // and rendered output must be byte-identical however the pool interleaves
-// the work (docs/PARALLELISM.md).
+// the work (docs/PARALLELISM.md).  It is also unchanged by a budget that
+// never trips — only an actually-exhausted cell alters the matrix.
 #include "bench_util.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
 #include "checker/legality.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "lattice/enumerate.hpp"
 #include "litmus/runner.hpp"
@@ -97,7 +104,8 @@ std::uint64_t fnv1a(const std::string& s) {
 /// canonical histories classified against the paper's seven models.  Both
 /// fan-out levels engage — (test × model) cells across the suite, and
 /// per-processor view searches inside each check.
-int run_fanout_workload(unsigned jobs, const char* json_path) {
+int run_fanout_workload(unsigned jobs, const char* json_path,
+                        const checker::BudgetSpec& budget) {
   common::ThreadPool::set_global_jobs(jobs);
   constexpr std::uint32_t kProcs = 4;
   constexpr std::uint32_t kOps = 3;
@@ -115,8 +123,10 @@ int run_fanout_workload(unsigned jobs, const char* json_path) {
   const auto models = models::paper_models();
 
   checker::reset_aggregate_search_stats();
+  common::metrics::Registry::global().reset();
   const auto t0 = std::chrono::steady_clock::now();
-  const auto outcomes = litmus::run_suite(suite, models);
+  const auto outcomes =
+      litmus::run_suite(suite, models, litmus::RunOptions{budget});
   const auto t1 = std::chrono::steady_clock::now();
   const double wall_s = std::chrono::duration<double>(t1 - t0).count();
   const auto stats = checker::aggregate_search_stats();
@@ -128,12 +138,15 @@ int run_fanout_workload(unsigned jobs, const char* json_path) {
   std::printf("fanout workload: %u histories (%u procs x %u ops) x %zu "
               "models, jobs=%u\n",
               kHistories, kProcs, kOps, models.size(), jobs);
-  std::printf("wall=%.3fs nodes=%llu memo_hits=%llu searches=%llu "
-              "cancelled=%llu nodes/sec=%.3e matrix_fnv1a=%016llx\n",
+  std::printf("wall=%.3fs nodes=%llu memo_hits=%llu memo_misses=%llu "
+              "searches=%llu cancelled=%llu exhausted=%llu nodes/sec=%.3e "
+              "matrix_fnv1a=%016llx\n",
               wall_s, static_cast<unsigned long long>(stats.nodes),
               static_cast<unsigned long long>(stats.memo_hits),
+              static_cast<unsigned long long>(stats.memo_misses),
               static_cast<unsigned long long>(stats.searches),
               static_cast<unsigned long long>(stats.cancelled),
+              static_cast<unsigned long long>(stats.exhausted),
               nodes_per_sec,
               static_cast<unsigned long long>(fnv1a(matrix)));
 
@@ -143,7 +156,7 @@ int run_fanout_workload(unsigned jobs, const char* json_path) {
       std::fprintf(stderr, "cannot open %s\n", json_path);
       return 1;
     }
-    char buf[1024];
+    char buf[1536];
     std::snprintf(
         buf, sizeof buf,
         "{\n"
@@ -153,21 +166,29 @@ int run_fanout_workload(unsigned jobs, const char* json_path) {
         "  \"procs\": %u,\n"
         "  \"ops_per_proc\": %u,\n"
         "  \"models\": %zu,\n"
+        "  \"max_nodes\": %llu,\n"
+        "  \"timeout_ms\": %llu,\n"
         "  \"wall_seconds\": %.6f,\n"
         "  \"nodes\": %llu,\n"
         "  \"memo_hits\": %llu,\n"
+        "  \"memo_misses\": %llu,\n"
         "  \"searches\": %llu,\n"
         "  \"cancelled\": %llu,\n"
+        "  \"exhausted\": %llu,\n"
         "  \"nodes_per_sec\": %.3f,\n"
-        "  \"matrix_fnv1a\": \"%016llx\"\n"
-        "}\n",
-        jobs, kHistories, kProcs, kOps, models.size(), wall_s,
+        "  \"matrix_fnv1a\": \"%016llx\",\n"
+        "  \"metrics\": ",
+        jobs, kHistories, kProcs, kOps, models.size(),
+        static_cast<unsigned long long>(budget.max_nodes),
+        static_cast<unsigned long long>(budget.timeout_ms), wall_s,
         static_cast<unsigned long long>(stats.nodes),
         static_cast<unsigned long long>(stats.memo_hits),
+        static_cast<unsigned long long>(stats.memo_misses),
         static_cast<unsigned long long>(stats.searches),
-        static_cast<unsigned long long>(stats.cancelled), nodes_per_sec,
+        static_cast<unsigned long long>(stats.cancelled),
+        static_cast<unsigned long long>(stats.exhausted), nodes_per_sec,
         static_cast<unsigned long long>(fnv1a(matrix)));
-    out << buf;
+    out << buf << common::metrics::Registry::global().to_json() << "\n}\n";
   }
   return 0;
 }
@@ -177,6 +198,7 @@ int run_fanout_workload(unsigned jobs, const char* json_path) {
 int main(int argc, char** argv) {
   unsigned jobs = 0;
   const char* json_path = nullptr;
+  checker::BudgetSpec budget;
   bool fanout = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
@@ -188,6 +210,12 @@ int main(int argc, char** argv) {
       fanout = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+      fanout = true;
+    } else if (std::strcmp(argv[i], "--max-nodes") == 0 && i + 1 < argc) {
+      budget.max_nodes = std::strtoull(argv[++i], nullptr, 10);
+      fanout = true;
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      budget.timeout_ms = std::strtoull(argv[++i], nullptr, 10);
       fanout = true;
     } else {
       argv[out++] = argv[i];
@@ -201,7 +229,8 @@ int main(int argc, char** argv) {
 
   if (fanout) {
     return run_fanout_workload(
-        jobs == 0 ? common::ThreadPool::default_jobs() : jobs, json_path);
+        jobs == 0 ? common::ThreadPool::default_jobs() : jobs, json_path,
+        budget);
   }
 
   for (const char* model :

@@ -1,0 +1,26 @@
+#include "checker/budget.hpp"
+
+namespace ssm::checker {
+namespace {
+
+thread_local SearchBudget* g_current_budget = nullptr;
+
+}  // namespace
+
+BudgetScope::BudgetScope(SearchBudget* b) noexcept : prev_(g_current_budget) {
+  g_current_budget = b;
+}
+
+BudgetScope::~BudgetScope() { g_current_budget = prev_; }
+
+SearchBudget* current_budget() noexcept { return g_current_budget; }
+
+bool budget_exhausted() noexcept {
+  return g_current_budget != nullptr && g_current_budget->exhausted();
+}
+
+bool charge_budget(std::uint64_t n) noexcept {
+  return g_current_budget == nullptr || g_current_budget->charge(n);
+}
+
+}  // namespace ssm::checker

@@ -1,0 +1,114 @@
+// Search budgets: graceful degradation for the exponential legal-view
+// search (docs/OBSERVABILITY.md).
+//
+// A SearchBudget caps the total nodes expanded and/or the wall time of one
+// admission check.  All searches belonging to the check — including the
+// sibling searches fanned out across the thread pool by
+// models::solve_per_processor — charge the same shared budget, so the cap
+// is global to the check, not per search.  Exhaustion latches: every
+// subsequent search under the budget unwinds immediately, and the model
+// reports a first-class INCONCLUSIVE verdict (Verdict::undecided) instead
+// of a spurious yes/no or an unbounded hang.
+//
+// Budgets are ambient per thread: the driver (litmus::run_cell, the CLI)
+// installs one with a BudgetScope around Model::check; checker and model
+// code picks it up via current_budget().  solve_per_processor forwards the
+// caller's ambient budget into its worker lambdas explicitly, since
+// thread-locals do not cross the pool boundary.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ssm::checker {
+
+/// Limits for one admission check; zero means "unlimited" for that axis.
+struct BudgetSpec {
+  std::uint64_t max_nodes = 0;
+  std::uint64_t timeout_ms = 0;
+
+  [[nodiscard]] constexpr bool unlimited() const noexcept {
+    return max_nodes == 0 && timeout_ms == 0;
+  }
+};
+
+/// Shared, thread-safe budget for one check.  charge() is the only hot
+/// call: one relaxed fetch_add per node.  When a deadline is set the
+/// steady_clock probe is amortized — the clock is read only when the
+/// running total crosses a kClockStride-node boundary, so per-node cost
+/// stays a single relaxed RMW.  Node limits still trip exactly (charging
+/// is per node, so --max-nodes 1 works).
+class SearchBudget {
+ public:
+  static constexpr std::uint64_t kClockStride = 64;
+
+  explicit SearchBudget(const BudgetSpec& spec)
+      : spec_(spec),
+        deadline_(spec.timeout_ms == 0
+                      ? std::chrono::steady_clock::time_point::max()
+                      : std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(spec.timeout_ms)) {}
+
+  /// Charges `n` nodes of work.  Returns false — latching exhaustion —
+  /// once either limit trips (or a sibling already tripped it).
+  bool charge(std::uint64_t n) noexcept {
+    if (exhausted_.load(std::memory_order_relaxed)) return false;
+    const std::uint64_t used =
+        used_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (spec_.max_nodes != 0 && used > spec_.max_nodes) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    if (spec_.timeout_ms != 0 &&
+        (used / kClockStride) != ((used - n) / kClockStride) &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t nodes_used() const noexcept {
+    return used_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const BudgetSpec& spec() const noexcept { return spec_; }
+
+ private:
+  BudgetSpec spec_;
+  std::chrono::steady_clock::time_point deadline_;
+  std::atomic<std::uint64_t> used_{0};
+  std::atomic<bool> exhausted_{false};
+};
+
+/// RAII installation of the calling thread's ambient budget (nestable;
+/// restores the previous one on destruction).  Passing nullptr removes the
+/// ambient budget for the scope.
+class BudgetScope {
+ public:
+  explicit BudgetScope(SearchBudget* b) noexcept;
+  ~BudgetScope();
+  BudgetScope(const BudgetScope&) = delete;
+  BudgetScope& operator=(const BudgetScope&) = delete;
+
+ private:
+  SearchBudget* prev_;
+};
+
+/// The calling thread's ambient budget, or nullptr when unbudgeted.
+[[nodiscard]] SearchBudget* current_budget() noexcept;
+
+/// True iff an ambient budget exists and has been exhausted.  Models call
+/// this after a failed search to distinguish "proved unsatisfiable" from
+/// "ran out of budget" (the latter must become Verdict::undecided).
+[[nodiscard]] bool budget_exhausted() noexcept;
+
+/// Charges enumeration work performed outside ViewSearch (linear-extension
+/// and coherence-order candidate generation) against the ambient budget.
+/// Returns true when work may continue (also when no budget is installed).
+bool charge_budget(std::uint64_t n) noexcept;
+
+}  // namespace ssm::checker

@@ -1,10 +1,15 @@
 #include "checker/legality.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+
+#include "common/metrics.hpp"
 
 namespace ssm::checker {
 namespace {
+
+namespace metrics = common::metrics;
 
 thread_local SearchStats g_stats;
 thread_local bool g_memoize = true;
@@ -12,8 +17,17 @@ thread_local bool g_degenerate_hash = false;
 
 std::atomic<std::uint64_t> g_agg_nodes{0};
 std::atomic<std::uint64_t> g_agg_memo_hits{0};
+std::atomic<std::uint64_t> g_agg_memo_misses{0};
 std::atomic<std::uint64_t> g_agg_searches{0};
 std::atomic<std::uint64_t> g_agg_cancelled{0};
+std::atomic<std::uint64_t> g_agg_exhausted{0};
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Insert-only open-addressed set of failed search states, keyed by the
 /// FULL packed state (scheduled-mask words ++ per-location last values),
@@ -131,14 +145,55 @@ class ViewSearch {
   bool run() {
     dfs();
     if (control_.cancelled()) g_stats.cancelled = 1;
+    g_stats.exhausted = exhausted_ ? 1 : 0;
     g_agg_nodes.fetch_add(g_stats.nodes, std::memory_order_relaxed);
     g_agg_memo_hits.fetch_add(g_stats.memo_hits, std::memory_order_relaxed);
+    g_agg_memo_misses.fetch_add(g_stats.memo_misses,
+                                std::memory_order_relaxed);
     g_agg_searches.fetch_add(1, std::memory_order_relaxed);
     g_agg_cancelled.fetch_add(g_stats.cancelled, std::memory_order_relaxed);
+    g_agg_exhausted.fetch_add(g_stats.exhausted, std::memory_order_relaxed);
+    record_metrics();
     return stopped_;
   }
 
  private:
+  /// Folds this search's totals into the process-wide metrics registry.
+  /// One batched update per search: the hot dfs loop touches only plain
+  /// thread-local counters, and the instrument references are resolved
+  /// once per process (registry addresses are stable for its lifetime).
+  void record_metrics() {
+    static auto& nodes = metrics::Registry::global().counter("checker.nodes");
+    static auto& hits =
+        metrics::Registry::global().counter("checker.memo_hits");
+    static auto& misses =
+        metrics::Registry::global().counter("checker.memo_misses");
+    static auto& searches =
+        metrics::Registry::global().counter("checker.searches");
+    static auto& cancelled =
+        metrics::Registry::global().counter("checker.cancelled");
+    static auto& exhausted =
+        metrics::Registry::global().counter("checker.exhausted");
+    static auto& frontier =
+        metrics::Registry::global().histogram("checker.frontier_width");
+    static auto& latency = metrics::Registry::global().histogram(
+        "checker.cancel_latency_ns");
+    nodes.add(g_stats.nodes);
+    hits.add(g_stats.memo_hits);
+    misses.add(g_stats.memo_misses);
+    searches.add(1);
+    frontier.observe(max_frontier_);
+    if (g_stats.cancelled != 0) {
+      cancelled.add(1);
+      const std::uint64_t flipped = control_.cancel_time_ns();
+      if (flipped != 0) {
+        const std::uint64_t now = steady_now_ns();
+        latency.observe(now > flipped ? now - flipped : 0);
+      }
+    }
+    if (g_stats.exhausted != 0) exhausted.add(1);
+  }
+
   /// Packs the current (scheduled mask, per-location last value) state into
   /// the scratch buffer — the exact memo key, no information lost.
   [[nodiscard]] const std::uint64_t* pack_state() noexcept {
@@ -159,13 +214,25 @@ class ViewSearch {
       stopped_ = true;
       return false;
     }
+    // Budget gate: one node, one unit.  Exhaustion latches in the shared
+    // SearchBudget, so every sibling search of the same admission check
+    // unwinds on its next node too.
+    if (SearchBudget* b = control_.budget();
+        b != nullptr && !b->charge(1)) {
+      exhausted_ = true;
+      stopped_ = true;
+      return false;
+    }
     if (order_.size() == target_) {
       if (!visit_(order_)) stopped_ = true;
       return true;
     }
-    if (g_memoize && failed_.contains(pack_state())) {
-      ++g_stats.memo_hits;
-      return false;
+    if (g_memoize) {
+      if (failed_.contains(pack_state())) {
+        ++g_stats.memo_hits;
+        return false;
+      }
+      ++g_stats.memo_misses;
     }
     bool found = false;
     // Candidate ordering heuristic: expand frontier writes to locations
@@ -174,12 +241,19 @@ class ViewSearch {
     // earlier and dead ends are entered with fewer options left.  Both
     // passes see the identical restored state, so each ready candidate is
     // expanded in exactly one pass and the order is deterministic.
+    std::uint64_t width = 0;
     for (int pass = 0; pass < 2 && !stopped_; ++pass) {
       for (OpIndex i : members_) {
         if (stopped_) break;
         if (scheduled_.test(i) || indeg_[i] != 0) continue;
         const auto& op = h_.op(i);
         const bool hot = op.is_write() && pending_reads_[op.loc] > 0;
+        if (pass == 0) {
+          // Frontier width: ready (unscheduled, in-degree-0) candidates at
+          // this node, counted once in the first pass.
+          ++width;
+          if (width > max_frontier_) max_frontier_ = width;
+        }
         if ((pass == 0) != hot) continue;
         // Legality gate: a read-like operation must observe the current
         // value of its location at this point in the view (unless exempt,
@@ -232,7 +306,16 @@ class ViewSearch {
   View order_;
   FailedStateTable failed_;
   bool stopped_ = false;
+  bool exhausted_ = false;
+  std::uint64_t max_frontier_ = 0;
 };
+
+/// Adopts the calling thread's ambient budget when the caller supplied no
+/// explicit one (see SearchControl docs in legality.hpp).
+SearchControl with_ambient_budget(const SearchControl& control) {
+  if (control.budget() != nullptr) return control;
+  return control.with_budget(current_budget());
+}
 
 }  // namespace
 
@@ -254,7 +337,7 @@ std::optional<View> find_legal_view(const SystemHistory& h,
     return false;  // first witness wins
   };
   ViewSearch<decltype(visitor)> search(h, universe, constraints, exempt,
-                                       visitor, control);
+                                       visitor, with_ambient_budget(control));
   search.run();
   return result;
 }
@@ -271,7 +354,7 @@ bool for_each_legal_view(const SystemHistory& h, const DynBitset& universe,
                          const std::function<bool(const View&)>& visit,
                          const SearchControl& control) {
   ViewSearch<const std::function<bool(const View&)>> search(
-      h, universe, constraints, exempt, visit, control);
+      h, universe, constraints, exempt, visit, with_ambient_budget(control));
   return search.run();
 }
 
@@ -338,16 +421,20 @@ SearchStats aggregate_search_stats() noexcept {
   SearchStats s;
   s.nodes = g_agg_nodes.load(std::memory_order_relaxed);
   s.memo_hits = g_agg_memo_hits.load(std::memory_order_relaxed);
+  s.memo_misses = g_agg_memo_misses.load(std::memory_order_relaxed);
   s.searches = g_agg_searches.load(std::memory_order_relaxed);
   s.cancelled = g_agg_cancelled.load(std::memory_order_relaxed);
+  s.exhausted = g_agg_exhausted.load(std::memory_order_relaxed);
   return s;
 }
 
 void reset_aggregate_search_stats() noexcept {
   g_agg_nodes.store(0, std::memory_order_relaxed);
   g_agg_memo_hits.store(0, std::memory_order_relaxed);
+  g_agg_memo_misses.store(0, std::memory_order_relaxed);
   g_agg_searches.store(0, std::memory_order_relaxed);
   g_agg_cancelled.store(0, std::memory_order_relaxed);
+  g_agg_exhausted.store(0, std::memory_order_relaxed);
 }
 
 void set_memoization_enabled(bool enabled) noexcept { g_memoize = enabled; }

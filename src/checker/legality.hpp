@@ -31,6 +31,7 @@
 #include <optional>
 #include <vector>
 
+#include "checker/budget.hpp"
 #include "history/system_history.hpp"
 #include "relation/relation.hpp"
 
@@ -43,23 +44,52 @@ using rel::Relation;
 /// A concrete witness view: operation indices in view order.
 using View = std::vector<OpIndex>;
 
-/// Cooperative cancellation for a view search.  The referenced flag is
-/// polled (relaxed) once per expanded node; flipping it to true makes the
-/// search unwind promptly and report "no view found".  A cancelled search
-/// never memoizes the subtrees it abandoned, so a later un-cancelled
-/// search on the same thread stays sound.
+/// Cooperative cancellation and budgeting for a view search.  The cancel
+/// flag is polled (relaxed) once per expanded node; flipping it to true
+/// makes the search unwind promptly and report "no view found".  A
+/// cancelled search never memoizes the subtrees it abandoned, so a later
+/// un-cancelled search on the same thread stays sound.
+///
+/// `budget`, when non-null, is charged per expanded node (batched); an
+/// exhausted budget unwinds the search exactly like cancellation, and the
+/// exhaustion is visible to the caller through SearchBudget::exhausted()
+/// (models turn it into Verdict::undecided).  When no control is supplied,
+/// find_legal_view / for_each_legal_view adopt the calling thread's
+/// ambient budget (checker::current_budget()).
+///
+/// `cancel_ns`, when non-null, holds the steady_clock nanosecond timestamp
+/// at which the cancel flag was flipped (0 = never); a cancelled search
+/// uses it to record its cancellation latency into common::metrics.
 class SearchControl {
  public:
   constexpr SearchControl() = default;
   explicit constexpr SearchControl(const std::atomic<bool>* cancel) noexcept
       : cancel_(cancel) {}
+  constexpr SearchControl(const std::atomic<bool>* cancel,
+                          SearchBudget* budget,
+                          const std::atomic<std::uint64_t>* cancel_ns =
+                              nullptr) noexcept
+      : cancel_(cancel), budget_(budget), cancel_ns_(cancel_ns) {}
 
   [[nodiscard]] bool cancelled() const noexcept {
     return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
   }
+  [[nodiscard]] SearchBudget* budget() const noexcept { return budget_; }
+  /// Copy of this control with `budget` installed (cancel wiring kept).
+  [[nodiscard]] constexpr SearchControl with_budget(
+      SearchBudget* budget) const noexcept {
+    return SearchControl(cancel_, budget, cancel_ns_);
+  }
+  [[nodiscard]] std::uint64_t cancel_time_ns() const noexcept {
+    return cancel_ns_ == nullptr
+               ? 0
+               : cancel_ns_->load(std::memory_order_relaxed);
+  }
 
  private:
   const std::atomic<bool>* cancel_ = nullptr;
+  SearchBudget* budget_ = nullptr;
+  const std::atomic<std::uint64_t>* cancel_ns_ = nullptr;
 };
 
 /// Finds one legal linearization of `universe` extending `constraints`
@@ -109,16 +139,23 @@ bool for_each_legal_view(const SystemHistory& h, const DynBitset& universe,
 struct SearchStats {
   std::uint64_t nodes = 0;
   std::uint64_t memo_hits = 0;
+  /// Memo lookups that found no failed-state entry (hits + misses = number
+  /// of memo probes, one per non-leaf node while memoization is on).
+  std::uint64_t memo_misses = 0;
   /// Number of searches merged into this record (1 for a single search).
   std::uint64_t searches = 0;
   /// Searches that unwound due to SearchControl cancellation.
   std::uint64_t cancelled = 0;
+  /// Searches that unwound because their SearchBudget was exhausted.
+  std::uint64_t exhausted = 0;
 
   SearchStats& operator+=(const SearchStats& o) noexcept {
     nodes += o.nodes;
     memo_hits += o.memo_hits;
+    memo_misses += o.memo_misses;
     searches += o.searches;
     cancelled += o.cancelled;
+    exhausted += o.exhausted;
     return *this;
   }
 };

@@ -1,11 +1,33 @@
 #include "checker/verdict.hpp"
 
+#include "checker/budget.hpp"
 #include "history/print.hpp"
 
 namespace ssm::checker {
 
+Verdict resolve_with_budget(Verdict v) {
+  if (!v.allowed && !v.inconclusive && budget_exhausted()) {
+    const SearchBudget* b = current_budget();
+    std::string why = "search budget exhausted after " +
+                      std::to_string(b->nodes_used()) + " nodes";
+    if (!v.note.empty()) why += "; " + v.note;
+    return Verdict::undecided(std::move(why));
+  }
+  return v;
+}
+
 std::string format_verdict(const SystemHistory& h, const Verdict& v) {
   std::string out;
+  if (v.inconclusive) {
+    out = "INCONCLUSIVE";
+    if (!v.note.empty()) {
+      out += " (";
+      out += v.note;
+      out += ')';
+    }
+    out += '\n';
+    return out;
+  }
   if (!v.allowed) {
     out = "NOT ALLOWED";
     if (!v.note.empty()) {

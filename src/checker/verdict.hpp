@@ -12,8 +12,15 @@
 namespace ssm::checker {
 
 struct Verdict {
-  /// True iff the history is admitted by the model.
+  /// True iff the history is admitted by the model.  Meaningless when
+  /// `inconclusive` is set.
   bool allowed = false;
+
+  /// True when the check ran out of its SearchBudget before reaching a
+  /// definitive answer (docs/OBSERVABILITY.md).  Never set on a positive
+  /// verdict: a found witness proves admission regardless of how much
+  /// budget remains, so only failed searches are downgraded.
+  bool inconclusive = false;
 
   /// Witness per-processor views (index = ProcId).  For single-view models
   /// (SC) every entry is the same sequence.  Empty when !allowed.
@@ -40,7 +47,20 @@ struct Verdict {
     v.note = std::move(why);
     return v;
   }
+  static Verdict undecided(std::string why = {}) {
+    Verdict v;
+    v.inconclusive = true;
+    v.note = std::move(why);
+    return v;
+  }
 };
+
+/// Downgrades a negative verdict to Verdict::undecided when the calling
+/// thread's ambient SearchBudget is exhausted (a "no" produced by an
+/// aborted search proves nothing).  Positive verdicts pass through
+/// untouched — their witness is genuine evidence.  Models wrap their final
+/// return in this so budget exhaustion surfaces uniformly as INCONCLUSIVE.
+[[nodiscard]] Verdict resolve_with_budget(Verdict v);
 
 /// Pretty-print witness views, one per processor (paper style).
 [[nodiscard]] std::string format_verdict(const SystemHistory& h,

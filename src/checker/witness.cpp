@@ -1,0 +1,274 @@
+#include "checker/witness.hpp"
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace ssm::checker {
+namespace {
+
+/// δ scope of a model's views, keyed by model name (paper parameter 1).
+enum class Scope {
+  AllOthers,    // δp = a (SC)
+  WriteOthers,  // δp = w (everything else per-processor)
+  PerLocation,  // Cache: one view per location
+  None,         // TSOax: no views, only the memory order
+};
+
+Scope scope_of(std::string_view model) {
+  if (model == "SC") return Scope::AllOthers;
+  if (model == "Cache") return Scope::PerLocation;
+  if (model == "TSOax") return Scope::None;
+  return Scope::WriteOthers;
+}
+
+std::vector<OpIndex> delta_for(const SystemHistory& h, ProcId p,
+                               Scope scope) {
+  std::vector<OpIndex> out;
+  for (const auto& op : h.operations()) {
+    if (op.proc == p) continue;
+    if (scope == Scope::AllOthers || op.is_write()) out.push_back(op.index);
+  }
+  return out;
+}
+
+void append_index_array(std::string& out, const std::vector<OpIndex>& xs) {
+  out += '[';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(xs[i]);
+  }
+  out += ']';
+}
+
+void append_nested_array(std::string& out,
+                         const std::vector<std::vector<OpIndex>>& xss) {
+  out += '[';
+  for (std::size_t i = 0; i < xss.size(); ++i) {
+    if (i != 0) out += ',';
+    append_index_array(out, xss[i]);
+  }
+  out += ']';
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+/// Minimal parser for the fixed witness schema.  Accepts arbitrary
+/// whitespace; rejects everything outside the schema with a position-
+/// annotated InvalidInput.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', found '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (at_end() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        c = text_[pos_++];
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  OpIndex parse_index() {
+    skip_ws();
+    const std::size_t start = pos_;
+    std::uint64_t v = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      v = v * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (v > kNoOp) fail("operation index out of range");
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected an integer");
+    return static_cast<OpIndex>(v);
+  }
+
+  std::vector<OpIndex> parse_index_array() {
+    std::vector<OpIndex> out;
+    expect('[');
+    if (consume(']')) return out;
+    do {
+      out.push_back(parse_index());
+    } while (consume(','));
+    expect(']');
+    return out;
+  }
+
+  std::vector<std::vector<OpIndex>> parse_nested_array() {
+    std::vector<std::vector<OpIndex>> out;
+    expect('[');
+    if (consume(']')) return out;
+    do {
+      out.push_back(parse_index_array());
+    } while (consume(','));
+    expect(']');
+    return out;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidInput("witness JSON, offset " + std::to_string(pos_) +
+                       ": " + what);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Witness witness_from_verdict(const SystemHistory& h,
+                             std::string_view model_name, const Verdict& v) {
+  if (!v.allowed || v.inconclusive) {
+    throw InvalidInput("witness_from_verdict: verdict for " +
+                       std::string(model_name) +
+                       " is not positive; no certificate exists");
+  }
+  Witness w;
+  w.model = std::string(model_name);
+  w.views = v.views;
+  w.note = v.note;
+  const Scope scope = scope_of(w.model);
+  switch (scope) {
+    case Scope::AllOthers:
+    case Scope::WriteOthers:
+      w.delta.reserve(w.views.size());
+      for (ProcId p = 0; p < w.views.size(); ++p) {
+        w.delta.push_back(delta_for(h, p, scope));
+      }
+      break;
+    case Scope::PerLocation:
+      w.delta.resize(w.views.size());
+      for (LocId loc = 0; loc < w.views.size(); ++loc) {
+        for (const auto& op : h.operations()) {
+          if (op.loc == loc) w.delta[loc].push_back(op.index);
+        }
+      }
+      break;
+    case Scope::None:
+      break;
+  }
+  for (const auto& op : h.operations()) {
+    if (op.is_labeled()) w.labeled.push_back(op.index);
+  }
+  if (v.coherence) {
+    std::vector<std::vector<OpIndex>> per_loc;
+    per_loc.reserve(h.num_locations());
+    for (LocId loc = 0; loc < h.num_locations(); ++loc) {
+      per_loc.push_back(v.coherence->writes(loc));
+    }
+    w.coherence = std::move(per_loc);
+  }
+  w.labeled_order = v.labeled_order;
+  return w;
+}
+
+std::string to_json(const Witness& w) {
+  std::string out = "{\"model\": \"";
+  append_escaped(out, w.model);
+  out += "\", \"views\": ";
+  append_nested_array(out, w.views);
+  out += ", \"delta\": ";
+  append_nested_array(out, w.delta);
+  out += ", \"labeled\": ";
+  append_index_array(out, w.labeled);
+  if (w.coherence) {
+    out += ", \"coherence\": ";
+    append_nested_array(out, *w.coherence);
+  }
+  if (w.labeled_order) {
+    out += ", \"labeled_order\": ";
+    append_index_array(out, *w.labeled_order);
+  }
+  out += ", \"note\": \"";
+  append_escaped(out, w.note);
+  out += "\"}";
+  return out;
+}
+
+Witness witness_from_json(std::string_view json) {
+  JsonCursor cur(json);
+  Witness w;
+  bool saw_model = false, saw_views = false, saw_delta = false,
+       saw_labeled = false;
+  cur.expect('{');
+  if (!cur.consume('}')) {
+    do {
+      const std::string key = cur.parse_string();
+      cur.expect(':');
+      if (key == "model") {
+        w.model = cur.parse_string();
+        saw_model = true;
+      } else if (key == "views") {
+        w.views = cur.parse_nested_array();
+        saw_views = true;
+      } else if (key == "delta") {
+        w.delta = cur.parse_nested_array();
+        saw_delta = true;
+      } else if (key == "labeled") {
+        w.labeled = cur.parse_index_array();
+        saw_labeled = true;
+      } else if (key == "coherence") {
+        w.coherence = cur.parse_nested_array();
+      } else if (key == "labeled_order") {
+        w.labeled_order = cur.parse_index_array();
+      } else if (key == "note") {
+        w.note = cur.parse_string();
+      } else {
+        cur.fail("unknown key '" + key + "'");
+      }
+    } while (cur.consume(','));
+    cur.expect('}');
+  }
+  if (!cur.at_end()) cur.fail("trailing characters after witness object");
+  if (!saw_model || !saw_views || !saw_delta || !saw_labeled) {
+    throw InvalidInput(
+        "witness JSON: required keys are model, views, delta, labeled");
+  }
+  return w;
+}
+
+}  // namespace ssm::checker

@@ -1,0 +1,72 @@
+// Witness certificates: serializable evidence for a positive verdict.
+//
+// A Verdict proves admission only to the process that computed it; a
+// Witness packages the same evidence — the per-processor linearizations
+// S_{p+δp}, the δp sets, the labeling, and the mutual-consistency choices
+// (coherence order / global sequence) — into a model-tagged, serializable
+// record that can be re-validated later, elsewhere, by an independent
+// verifier (checker/witness_verifier.hpp).  The JSON encoding is the
+// interchange format `ssm check --json` emits; docs/OBSERVABILITY.md
+// documents the schema.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "checker/verdict.hpp"
+#include "history/system_history.hpp"
+
+namespace ssm::checker {
+
+struct Witness {
+  /// name() of the model that produced the verdict; selects the rules the
+  /// verifier re-checks the certificate against.
+  std::string model;
+
+  /// The linearizations.  Indexed by ProcId for every per-processor-view
+  /// model; indexed by LocId for Cache (per-location serializations);
+  /// empty for TSOax (whose whole witness is the memory order below).
+  std::vector<View> views;
+
+  /// delta[i] = the δ component of views[i]: the operations of OTHER
+  /// processors included in S_{p+δp} (paper parameter 1), sorted by dense
+  /// index.  δp = a for SC, δp = w for every other per-processor model.
+  /// For Cache, delta[loc] is the full operation set of the location
+  /// (the δ notion does not apply to per-location views).
+  std::vector<std::vector<OpIndex>> delta;
+
+  /// Dense indices of the labeled (synchronization) operations, sorted —
+  /// the labeling the certificate was produced under.  The verifier
+  /// cross-checks it against the history.
+  std::vector<OpIndex> labeled;
+
+  /// Mutual-consistency choice: the shared per-location write orders
+  /// (coherence[loc] = write indices in order), for coherence models.
+  std::optional<std::vector<std::vector<OpIndex>>> coherence;
+
+  /// Mutual-consistency choice: a shared global sequence.  The global
+  /// write order for TSO/TSOfwd, the SC order of labeled operations for
+  /// RCsc/WO/HC, the memory order M for TSOax.
+  std::optional<View> labeled_order;
+
+  /// Free-form diagnostic carried over from the verdict.
+  std::string note;
+};
+
+/// Packages a positive verdict from model `model_name` into a Witness.
+/// Throws InvalidInput when the verdict is not a positive one (negative
+/// and INCONCLUSIVE verdicts carry no certificate).
+[[nodiscard]] Witness witness_from_verdict(const SystemHistory& h,
+                                           std::string_view model_name,
+                                           const Verdict& v);
+
+/// Serializes to the documented JSON schema (stable key order).
+[[nodiscard]] std::string to_json(const Witness& w);
+
+/// Parses a witness back from JSON; throws InvalidInput on malformed
+/// input.  Round-trip identity: witness_from_json(to_json(w)) == w.
+[[nodiscard]] Witness witness_from_json(std::string_view json);
+
+}  // namespace ssm::checker

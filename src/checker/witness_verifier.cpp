@@ -1,0 +1,791 @@
+#include "checker/witness_verifier.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "history/print.hpp"
+
+// Everything below re-derives the paper's definitions from scratch on a
+// plain adjacency matrix.  Resist the urge to call into src/relation or
+// src/order here: the point of this translation unit is that it shares no
+// derivation code with the engine it audits.
+
+namespace ssm::checker {
+namespace {
+
+using history::Operation;
+
+constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+
+/// Dense adjacency matrix over OpIndex; the verifier's only relation type.
+class Edges {
+ public:
+  explicit Edges(std::size_t n) : n_(n), m_(n * n, 0) {}
+
+  void add(std::size_t a, std::size_t b) { m_[a * n_ + b] = 1; }
+  [[nodiscard]] bool has(std::size_t a, std::size_t b) const {
+    return m_[a * n_ + b] != 0;
+  }
+
+  Edges& operator|=(const Edges& o) {
+    for (std::size_t i = 0; i < m_.size(); ++i) m_[i] |= o.m_[i];
+    return *this;
+  }
+
+  /// Warshall closure; O(n³), fine at litmus scale.
+  void close() {
+    for (std::size_t k = 0; k < n_; ++k) {
+      for (std::size_t i = 0; i < n_; ++i) {
+        if (!has(i, k)) continue;
+        for (std::size_t j = 0; j < n_; ++j) {
+          if (has(k, j)) add(i, j);
+        }
+      }
+    }
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<char> m_;
+};
+
+bool po_before(const Operation& a, const Operation& b) {
+  return a.proc == b.proc && a.seq < b.seq;
+}
+
+Edges po_edges(const SystemHistory& h) {
+  Edges e(h.size());
+  for (const auto& a : h.operations()) {
+    for (const auto& b : h.operations()) {
+      if (po_before(a, b)) e.add(a.index, b.index);
+    }
+  }
+  return e;
+}
+
+Edges own_po_edges(const SystemHistory& h, ProcId p) {
+  Edges e(h.size());
+  for (const auto& a : h.operations()) {
+    if (a.proc != p) continue;
+    for (const auto& b : h.operations()) {
+      if (b.proc == p && a.seq < b.seq) e.add(a.index, b.index);
+    }
+  }
+  return e;
+}
+
+/// ppo clauses of paper §2; `forwarding` suppresses the same-location
+/// clause for store→load pairs satisfied by the issuing processor's store
+/// buffer (the TSOfwd reading).  Closure realizes the paper's transitive
+/// fourth clause — every base edge is intra-processor.
+Edges ppo_edges(const SystemHistory& h, bool forwarding) {
+  Edges e(h.size());
+  for (const auto& a : h.operations()) {
+    for (const auto& b : h.operations()) {
+      if (!po_before(a, b)) continue;
+      bool same_loc = a.loc == b.loc;
+      if (forwarding && same_loc && a.kind == OpKind::Write &&
+          b.kind == OpKind::Read && h.writer_of(b.index) == a.index) {
+        same_loc = false;
+      }
+      const bool both_reads = a.is_read() && b.is_read();
+      const bool both_writes = a.is_write() && b.is_write();
+      const bool read_then_write = a.is_read() && b.is_write();
+      if (same_loc || both_reads || both_writes || read_then_write) {
+        e.add(a.index, b.index);
+      }
+    }
+  }
+  e.close();
+  return e;
+}
+
+/// ppo restricted to processor p's own operations (RC/WO/HC apply ppo only
+/// within the issuing processor's own view).
+Edges own_ppo_edges(const SystemHistory& h, bool forwarding, ProcId p) {
+  Edges full = ppo_edges(h, forwarding);
+  Edges e(h.size());
+  for (const auto& a : h.operations()) {
+    if (a.proc != p) continue;
+    for (const auto& b : h.operations()) {
+      if (b.proc == p && full.has(a.index, b.index)) e.add(a.index, b.index);
+    }
+  }
+  return e;
+}
+
+Edges causal_edges(const SystemHistory& h) {
+  Edges e = po_edges(h);
+  for (const auto& r : h.operations()) {
+    if (!r.is_read()) continue;
+    const OpIndex w = h.writer_of(r.index);
+    if (w != kNoOp) e.add(w, r.index);
+  }
+  e.close();
+  return e;
+}
+
+/// Reads whose value the issuing processor's store buffer supplies: the
+/// read's writer is its own latest program-order-preceding same-location
+/// write.  Exempt from the legality gate under TSOfwd.
+std::vector<char> forwarded_reads(const SystemHistory& h) {
+  std::vector<char> out(h.size(), 0);
+  for (const auto& r : h.operations()) {
+    if (r.kind != OpKind::Read) continue;
+    const OpIndex wi = h.writer_of(r.index);
+    if (wi == kNoOp) continue;
+    const auto& w = h.op(wi);
+    if (w.proc != r.proc || w.seq >= r.seq) continue;
+    bool latest = true;
+    for (const auto& mid : h.operations()) {
+      if (mid.proc == r.proc && mid.is_write() && mid.loc == r.loc &&
+          mid.seq > w.seq && mid.seq < r.seq) {
+        latest = false;
+        break;
+      }
+    }
+    if (latest) out[r.index] = 1;
+  }
+  return out;
+}
+
+/// Bracket conditions of paper §3.4 (with the release erratum corrected,
+/// see models/rc.cpp).
+Edges bracket_edge_set(const SystemHistory& h) {
+  Edges e(h.size());
+  for (const auto& s : h.operations()) {
+    if (!s.is_labeled()) continue;
+    if (s.kind == OpKind::Read) {  // acquire
+      const OpIndex acquired = h.writer_of(s.index);
+      if (acquired == kNoOp) continue;
+      for (const auto& o : h.operations()) {
+        if (o.proc == s.proc && o.seq > s.seq && !o.is_labeled()) {
+          e.add(acquired, o.index);
+        }
+      }
+    }
+    if (s.is_write()) {  // release
+      for (const auto& o : h.operations()) {
+        if (o.proc == s.proc && o.seq < s.seq && !o.is_labeled()) {
+          e.add(o.index, s.index);
+        }
+      }
+    }
+  }
+  return e;
+}
+
+/// Same-processor po pairs with exactly one labeled endpoint (WO fences).
+Edges fence_edge_set(const SystemHistory& h) {
+  Edges e(h.size());
+  for (const auto& a : h.operations()) {
+    for (const auto& b : h.operations()) {
+      if (po_before(a, b) && a.is_labeled() != b.is_labeled()) {
+        e.add(a.index, b.index);
+      }
+    }
+  }
+  return e;
+}
+
+/// Same-processor po pairs with at least one labeled endpoint (HC).
+Edges hybrid_edge_set(const SystemHistory& h) {
+  Edges e(h.size());
+  for (const auto& a : h.operations()) {
+    for (const auto& b : h.operations()) {
+      if (po_before(a, b) && (a.is_labeled() || b.is_labeled())) {
+        e.add(a.index, b.index);
+      }
+    }
+  }
+  return e;
+}
+
+/// Position of each write within its location's witness coherence order.
+struct CohPositions {
+  std::vector<std::size_t> pos;  // kNoPos for non-members
+  explicit CohPositions(std::size_t n) : pos(n, kNoPos) {}
+  [[nodiscard]] bool precedes(OpIndex a, OpIndex b) const {
+    return pos[a] != kNoPos && pos[b] != kNoPos && pos[a] < pos[b];
+  }
+};
+
+/// Semi-causality sem = (ppo ∪ rwb ∪ rrb)+ of paper §3.3, parameterized by
+/// the witness coherence order.  `members`, when non-null, restricts every
+/// quantifier to the flagged operations (the labeled subhistory for RCpc);
+/// `ppo` must already be the restricted ppo in that case.
+Edges semi_causal_edges(const SystemHistory& h, const Edges& ppo,
+                        const CohPositions& coh,
+                        const std::vector<char>* members) {
+  const auto in = [&](const Operation& o) {
+    return members == nullptr || (*members)[o.index] != 0;
+  };
+  Edges e(h.size());
+  for (const auto& a : h.operations()) {
+    for (const auto& b : h.operations()) {
+      if (ppo.has(a.index, b.index)) e.add(a.index, b.index);
+    }
+  }
+  // rwb: w(x)v →rwb r(y)u when the write the read observes is ppo-after w.
+  for (const auto& o2 : h.operations()) {
+    if (!o2.is_read() || !in(o2)) continue;
+    const OpIndex oprime = h.writer_of(o2.index);
+    if (oprime == kNoOp || !in(h.op(oprime))) continue;
+    for (const auto& o1 : h.operations()) {
+      if (!o1.is_write() || !in(o1)) continue;
+      if (ppo.has(o1.index, oprime)) e.add(o1.index, o2.index);
+    }
+  }
+  // rrb: r(x)v →rrb w(y)u when a write o' supersedes (in coherence order)
+  // the write the read observed and o' →ppo w.
+  for (const auto& o1 : h.operations()) {
+    if (!o1.is_read() || !in(o1)) continue;
+    const OpIndex from = h.writer_of(o1.index);
+    for (const auto& oprime : h.operations()) {
+      if (!oprime.is_write() || oprime.loc != o1.loc || !in(oprime)) continue;
+      const bool old_before_new =
+          (from == kNoOp) ||
+          (from != oprime.index && coh.precedes(from, oprime.index));
+      if (!old_before_new) continue;
+      for (const auto& o2 : h.operations()) {
+        if (!o2.is_write() || !in(o2)) continue;
+        if (ppo.has(oprime.index, o2.index)) e.add(o1.index, o2.index);
+      }
+    }
+  }
+  e.close();
+  return e;
+}
+
+// --- certificate checks ---------------------------------------------------
+
+std::string op_str(const SystemHistory& h, OpIndex i) {
+  return history::format_op(h, i);
+}
+
+std::optional<std::string> check_indices(const SystemHistory& h,
+                                         const Witness& w) {
+  const auto bad = [&](const std::vector<OpIndex>& xs) {
+    return std::any_of(xs.begin(), xs.end(),
+                       [&](OpIndex i) { return i >= h.size(); });
+  };
+  for (const auto& v : w.views) {
+    if (bad(v)) return "view references an operation index out of range";
+  }
+  for (const auto& d : w.delta) {
+    if (bad(d)) return "delta references an operation index out of range";
+  }
+  if (bad(w.labeled)) return "labeling references an index out of range";
+  if (w.coherence) {
+    for (const auto& seq : *w.coherence) {
+      if (bad(seq)) return "coherence references an index out of range";
+    }
+  }
+  if (w.labeled_order && bad(*w.labeled_order)) {
+    return "labeled_order references an index out of range";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_labeling(const SystemHistory& h,
+                                          const Witness& w) {
+  std::vector<OpIndex> expected;
+  for (const auto& op : h.operations()) {
+    if (op.is_labeled()) expected.push_back(op.index);
+  }
+  std::vector<OpIndex> got = w.labeled;
+  std::sort(got.begin(), got.end());
+  if (got != expected) {
+    return "witness labeling disagrees with the history's labeled set";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_properly_labeled_indep(
+    const SystemHistory& h) {
+  for (const auto& op : h.operations()) {
+    if (!op.is_labeled() || !op.is_read()) continue;
+    const OpIndex w = h.writer_of(op.index);
+    if (w != kNoOp && !h.op(w).is_labeled()) {
+      return "labeled read " + op_str(h, op.index) +
+             " observes an ordinary write (improperly labeled)";
+    }
+  }
+  return std::nullopt;
+}
+
+/// The required δ_p for a per-processor view: all other-processor
+/// operations (δp = a) or their write-like operations (δp = w).
+std::vector<OpIndex> required_delta(const SystemHistory& h, ProcId p,
+                                    bool all_others) {
+  std::vector<OpIndex> out;
+  for (const auto& op : h.operations()) {
+    if (op.proc == p) continue;
+    if (all_others || op.is_write()) out.push_back(op.index);
+  }
+  return out;
+}
+
+/// view must be a permutation of `universe` (given sorted).
+std::optional<std::string> check_permutation(const View& view,
+                                             std::vector<OpIndex> universe,
+                                             const std::string& what) {
+  std::vector<OpIndex> got = view;
+  std::sort(got.begin(), got.end());
+  if (got != universe) {
+    return what + " is not a permutation of its required operation set";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_respects(const SystemHistory& h,
+                                          const View& view, const Edges& e,
+                                          const std::string& what) {
+  std::vector<std::size_t> pos(h.size(), kNoPos);
+  for (std::size_t k = 0; k < view.size(); ++k) pos[view[k]] = k;
+  for (std::size_t a = 0; a < h.size(); ++a) {
+    if (pos[a] == kNoPos) continue;
+    for (std::size_t b = 0; b < h.size(); ++b) {
+      if (pos[b] == kNoPos || !e.has(a, b)) continue;
+      if (pos[b] < pos[a]) {
+        return what + " violates required order " +
+               op_str(h, static_cast<OpIndex>(a)) + " -> " +
+               op_str(h, static_cast<OpIndex>(b));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_legal(const SystemHistory& h,
+                                       const View& view,
+                                       const std::vector<char>& exempt,
+                                       const std::string& what) {
+  std::vector<Value> last(h.num_locations(), kInitialValue);
+  for (OpIndex i : view) {
+    const auto& op = h.op(i);
+    if (op.is_read() && !exempt[i] && last[op.loc] != op.read_value()) {
+      return what + " is illegal: read " + op_str(h, i) + " observes " +
+             std::to_string(op.read_value()) + " but the location holds " +
+             std::to_string(last[op.loc]);
+    }
+    if (op.is_write()) last[op.loc] = op.value;
+  }
+  return std::nullopt;
+}
+
+/// Validates the witness coherence order: present, one sequence per
+/// location, each a permutation of that location's writes.  Returns the
+/// chain edges (pairs within each sequence; labeled endpoints only when
+/// `labeled_writes_only`) and fills `pos`.
+std::optional<std::string> check_coherence(const SystemHistory& h,
+                                           const Witness& w,
+                                           bool labeled_writes_only,
+                                           Edges& chain, CohPositions& pos) {
+  if (!w.coherence) {
+    return w.model + " witness lacks the required coherence order";
+  }
+  if (w.coherence->size() != h.num_locations()) {
+    return "coherence order must have one sequence per location";
+  }
+  for (LocId loc = 0; loc < h.num_locations(); ++loc) {
+    const auto& seq = (*w.coherence)[loc];
+    std::vector<OpIndex> expected;
+    for (const auto& op : h.operations()) {
+      if (op.is_write() && op.loc == loc) expected.push_back(op.index);
+    }
+    std::vector<OpIndex> got = seq;
+    std::sort(got.begin(), got.end());
+    if (got != expected) {
+      return "coherence sequence for location " +
+             h.symbols().location_name(loc) +
+             " is not a permutation of that location's writes";
+    }
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      pos.pos[seq[i]] = i;
+      if (labeled_writes_only && !h.op(seq[i]).is_labeled()) continue;
+      for (std::size_t j = i + 1; j < seq.size(); ++j) {
+        if (labeled_writes_only && !h.op(seq[j]).is_labeled()) continue;
+        chain.add(seq[i], seq[j]);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Validates a shared global sequence over `universe` (given sorted):
+/// permutation, po-respecting, legal on its own.  Adds its chain edges.
+std::optional<std::string> check_global_sequence(
+    const SystemHistory& h, const Witness& w,
+    const std::vector<OpIndex>& universe, const std::string& what,
+    bool check_legality, Edges& chain) {
+  if (!w.labeled_order) {
+    return w.model + " witness lacks the required " + what;
+  }
+  const View& seq = *w.labeled_order;
+  if (auto err = check_permutation(seq, universe, what)) return err;
+  std::vector<std::size_t> pos(h.size(), kNoPos);
+  for (std::size_t k = 0; k < seq.size(); ++k) pos[seq[k]] = k;
+  for (const auto& a : h.operations()) {
+    if (pos[a.index] == kNoPos) continue;
+    for (const auto& b : h.operations()) {
+      if (pos[b.index] == kNoPos) continue;
+      if (po_before(a, b) && pos[b.index] < pos[a.index]) {
+        return what + " violates program order " + op_str(h, a.index) +
+               " -> " + op_str(h, b.index);
+      }
+    }
+  }
+  if (check_legality) {
+    const std::vector<char> no_exempt(h.size(), 0);
+    if (auto err = check_legal(h, seq, no_exempt, what)) return err;
+  }
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    for (std::size_t j = i + 1; j < seq.size(); ++j) {
+      chain.add(seq[i], seq[j]);
+    }
+  }
+  return std::nullopt;
+}
+
+/// The per-processor-view backbone shared by every model except Cache and
+/// TSOax: membership (own ops + the model's δp, cross-checked against the
+/// stored delta), order respect (shared edges plus optional per-processor
+/// edges), and legality.
+std::optional<std::string> check_processor_views(
+    const SystemHistory& h, const Witness& w, bool all_others,
+    const Edges& shared,
+    const std::function<const Edges*(ProcId)>& own_extra,
+    const std::vector<char>& exempt) {
+  if (w.views.size() != h.num_processors()) {
+    return "witness has " + std::to_string(w.views.size()) + " views for " +
+           std::to_string(h.num_processors()) + " processors";
+  }
+  if (w.delta.size() != w.views.size()) {
+    return "witness delta sets do not align with its views";
+  }
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    const std::string what =
+        "view S_" + h.symbols().processor_name(p);
+    const std::vector<OpIndex> required = required_delta(h, p, all_others);
+    std::vector<OpIndex> got = w.delta[p];
+    std::sort(got.begin(), got.end());
+    if (got != required) {
+      return "delta set for " + what + " does not match the model's " +
+             (all_others ? std::string("\xce\xb4p=a")
+                         : std::string("\xce\xb4p=w")) +
+             " requirement";
+    }
+    std::vector<OpIndex> universe = required;
+    for (const auto& op : h.operations()) {
+      if (op.proc == p) universe.push_back(op.index);
+    }
+    std::sort(universe.begin(), universe.end());
+    if (auto err = check_permutation(w.views[p], std::move(universe),
+                                     what)) {
+      return err;
+    }
+    if (auto err = check_respects(h, w.views[p], shared, what)) return err;
+    if (const Edges* extra = own_extra ? own_extra(p) : nullptr) {
+      if (auto err = check_respects(h, w.views[p], *extra, what)) return err;
+    }
+    if (auto err = check_legal(h, w.views[p], exempt, what)) return err;
+  }
+  return std::nullopt;
+}
+
+// --- per-model dispatch ---------------------------------------------------
+
+std::optional<std::string> verify_sc(const SystemHistory& h,
+                                     const Witness& w) {
+  for (std::size_t p = 1; p < w.views.size(); ++p) {
+    if (w.views[p] != w.views[0]) {
+      return "SC requires all processor views to be the one shared "
+             "linearization";
+    }
+  }
+  const Edges po = po_edges(h);
+  const std::vector<char> no_exempt(h.size(), 0);
+  return check_processor_views(h, w, /*all_others=*/true, po, nullptr,
+                               no_exempt);
+}
+
+std::optional<std::string> verify_tso(const SystemHistory& h,
+                                      const Witness& w, bool forwarding) {
+  std::vector<OpIndex> writes;
+  for (const auto& op : h.operations()) {
+    if (op.is_write()) writes.push_back(op.index);
+  }
+  Edges constraints = ppo_edges(h, forwarding);
+  if (auto err = check_global_sequence(h, w, writes, "global write order",
+                                       /*check_legality=*/false,
+                                       constraints)) {
+    return err;
+  }
+  const std::vector<char> exempt =
+      forwarding ? forwarded_reads(h) : std::vector<char>(h.size(), 0);
+  return check_processor_views(h, w, /*all_others=*/false, constraints,
+                               nullptr, exempt);
+}
+
+std::optional<std::string> verify_tso_axiomatic(const SystemHistory& h,
+                                                const Witness& w) {
+  if (!w.views.empty()) {
+    return "TSOax witness carries no views; its evidence is the memory "
+           "order";
+  }
+  if (!w.labeled_order) return "TSOax witness lacks the memory order M";
+  const View& m = *w.labeled_order;
+  std::vector<OpIndex> universe(h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    universe[i] = static_cast<OpIndex>(i);
+  }
+  if (auto err = check_permutation(m, std::move(universe),
+                                   "memory order M")) {
+    return err;
+  }
+  std::vector<std::size_t> pos(h.size(), 0);
+  for (std::size_t k = 0; k < m.size(); ++k) pos[m[k]] = k;
+  // po ∖ store→load must be respected (base pairs, not a closure: closing
+  // through a dropped edge would resurrect it).
+  for (const auto& a : h.operations()) {
+    for (const auto& b : h.operations()) {
+      if (!po_before(a, b)) continue;
+      const bool store_then_load =
+          a.kind == OpKind::Write && b.kind == OpKind::Read;
+      if (!store_then_load && pos[b.index] < pos[a.index]) {
+        return "memory order M violates po \\ S->L at " +
+               op_str(h, a.index) + " -> " + op_str(h, b.index);
+      }
+    }
+  }
+  // Value axiom with store-buffer forwarding.
+  for (const auto& load : h.operations()) {
+    if (!load.is_read()) continue;
+    bool found = false;
+    std::size_t best_pos = 0;
+    Value best_value = kInitialValue;
+    for (const auto& store : h.operations()) {
+      if (!store.is_write() || store.loc != load.loc ||
+          store.index == load.index) {
+        continue;
+      }
+      const bool before_in_m = pos[store.index] < pos[load.index];
+      const bool own_po_earlier = po_before(store, load);
+      if (!before_in_m && !own_po_earlier) continue;
+      if (!found || pos[store.index] > best_pos) {
+        found = true;
+        best_pos = pos[store.index];
+        best_value = store.value;
+      }
+    }
+    if (load.read_value() != best_value) {
+      return "memory order M violates the Value axiom at " +
+             op_str(h, load.index);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> verify_cache(const SystemHistory& h,
+                                        const Witness& w) {
+  if (w.views.size() != h.num_locations()) {
+    return "Cache witness must carry one serialization per location";
+  }
+  if (w.delta.size() != w.views.size()) {
+    return "witness delta sets do not align with its views";
+  }
+  const Edges po = po_edges(h);
+  const std::vector<char> no_exempt(h.size(), 0);
+  for (LocId loc = 0; loc < h.num_locations(); ++loc) {
+    const std::string what =
+        "serialization of location " + h.symbols().location_name(loc);
+    std::vector<OpIndex> universe;
+    for (const auto& op : h.operations()) {
+      if (op.loc == loc) universe.push_back(op.index);
+    }
+    std::vector<OpIndex> got = w.delta[loc];
+    std::sort(got.begin(), got.end());
+    if (got != universe) {
+      return "delta set for " + what +
+             " does not match the location's operations";
+    }
+    if (auto err = check_permutation(w.views[loc], std::move(universe),
+                                     what)) {
+      return err;
+    }
+    if (auto err = check_respects(h, w.views[loc], po, what)) return err;
+    if (auto err = check_legal(h, w.views[loc], no_exempt, what)) return err;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> verify_slow_or_local(const SystemHistory& h,
+                                                const Witness& w,
+                                                bool pipelines) {
+  const std::vector<char> no_exempt(h.size(), 0);
+  std::vector<Edges> per_proc;
+  per_proc.reserve(h.num_processors());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    Edges e = own_po_edges(h, p);
+    if (pipelines) {
+      // Slow memory: other processors' writes stay ordered per
+      // (writer, location) pipeline.
+      for (const auto& a : h.operations()) {
+        if (a.proc == p || !a.is_write()) continue;
+        for (const auto& b : h.operations()) {
+          if (b.proc == a.proc && b.is_write() && b.loc == a.loc &&
+              a.seq < b.seq) {
+            e.add(a.index, b.index);
+          }
+        }
+      }
+    }
+    per_proc.push_back(std::move(e));
+  }
+  const Edges none(h.size());
+  return check_processor_views(
+      h, w, /*all_others=*/false, none,
+      [&](ProcId p) { return &per_proc[p]; }, no_exempt);
+}
+
+}  // namespace
+
+std::optional<std::string> verify_witness(const SystemHistory& h,
+                                          const Witness& w) {
+  if (auto err = check_indices(h, w)) return err;
+  if (auto err = check_labeling(h, w)) return err;
+  const std::vector<char> no_exempt(h.size(), 0);
+  const std::string& m = w.model;
+
+  if (m == "SC") return verify_sc(h, w);
+  if (m == "TSO") return verify_tso(h, w, false);
+  if (m == "TSOfwd") return verify_tso(h, w, true);
+  if (m == "TSOax") return verify_tso_axiomatic(h, w);
+  if (m == "Cache") return verify_cache(h, w);
+  if (m == "PRAM") {
+    return check_processor_views(h, w, false, po_edges(h), nullptr,
+                                 no_exempt);
+  }
+  if (m == "Causal") {
+    return check_processor_views(h, w, false, causal_edges(h), nullptr,
+                                 no_exempt);
+  }
+  if (m == "Slow") return verify_slow_or_local(h, w, true);
+  if (m == "Local") return verify_slow_or_local(h, w, false);
+
+  if (m == "PC") {
+    Edges chain(h.size());
+    CohPositions pos(h.size());
+    if (auto err = check_coherence(h, w, false, chain, pos)) return err;
+    Edges constraints =
+        semi_causal_edges(h, ppo_edges(h, false), pos, nullptr);
+    constraints |= chain;
+    return check_processor_views(h, w, false, constraints, nullptr,
+                                 no_exempt);
+  }
+  if (m == "PCg") {
+    Edges constraints(h.size());
+    CohPositions pos(h.size());
+    if (auto err = check_coherence(h, w, false, constraints, pos)) {
+      return err;
+    }
+    constraints |= po_edges(h);
+    return check_processor_views(h, w, false, constraints, nullptr,
+                                 no_exempt);
+  }
+  if (m == "CausalCoh" || m == "CausalCohL") {
+    const bool labeled_only = m == "CausalCohL";
+    if (labeled_only) {
+      if (auto err = check_properly_labeled_indep(h)) return err;
+    }
+    Edges constraints(h.size());
+    CohPositions pos(h.size());
+    if (auto err = check_coherence(h, w, labeled_only, constraints, pos)) {
+      return err;
+    }
+    constraints |= causal_edges(h);
+    return check_processor_views(h, w, false, constraints, nullptr,
+                                 no_exempt);
+  }
+
+  if (m == "WO" || m == "HC" || m == "RCsc" || m == "RCpc" || m == "RCg") {
+    if (auto err = check_properly_labeled_indep(h)) return err;
+    std::vector<OpIndex> labeled;
+    std::vector<char> labeled_flags(h.size(), 0);
+    for (const auto& op : h.operations()) {
+      if (op.is_labeled()) {
+        labeled.push_back(op.index);
+        labeled_flags[op.index] = 1;
+      }
+    }
+    Edges shared(h.size());
+    CohPositions pos(h.size());
+    if (m != "HC") {
+      if (auto err = check_coherence(h, w, false, shared, pos)) return err;
+      shared |= bracket_edge_set(h);
+    }
+    if (m == "WO" || m == "HC" || m == "RCsc") {
+      // The labeled (strong/synchronization) operations are sequentially
+      // consistent: the witness global sequence must itself be a legal
+      // po-respecting view of the labeled subhistory.
+      if (auto err = check_global_sequence(
+              h, w, labeled,
+              m == "HC" ? "strong-operation order" : "labeled order",
+              /*check_legality=*/true, shared)) {
+        return err;
+      }
+    } else if (m == "RCpc") {
+      // The labeled subhistory is processor consistent: its semi-causality
+      // order (under the labeled restriction of the coherence order)
+      // constrains every view.
+      Edges ppo_l(h.size());
+      for (const auto& a : h.operations()) {
+        if (!a.is_labeled()) continue;
+        for (const auto& b : h.operations()) {
+          if (!b.is_labeled() || !po_before(a, b)) continue;
+          const bool same_loc = a.loc == b.loc;
+          const bool both_reads = a.is_read() && b.is_read();
+          const bool both_writes = a.is_write() && b.is_write();
+          const bool read_then_write = a.is_read() && b.is_write();
+          if (same_loc || both_reads || both_writes || read_then_write) {
+            ppo_l.add(a.index, b.index);
+          }
+        }
+      }
+      ppo_l.close();
+      CohPositions pos_l(h.size());
+      for (LocId loc = 0; loc < h.num_locations(); ++loc) {
+        std::size_t k = 0;
+        for (OpIndex wi : (*w.coherence)[loc]) {
+          if (h.op(wi).is_labeled()) pos_l.pos[wi] = k++;
+        }
+      }
+      shared |= semi_causal_edges(h, ppo_l, pos_l, &labeled_flags);
+    } else {  // RCg: labeled subhistory is PRAM + coherent
+      for (const auto& a : h.operations()) {
+        if (!a.is_labeled()) continue;
+        for (const auto& b : h.operations()) {
+          if (b.is_labeled() && po_before(a, b)) shared.add(a.index, b.index);
+        }
+      }
+    }
+    if (m == "WO") shared |= fence_edge_set(h);
+    if (m == "HC") shared |= hybrid_edge_set(h);
+    std::vector<Edges> own;
+    own.reserve(h.num_processors());
+    for (ProcId p = 0; p < h.num_processors(); ++p) {
+      own.push_back(m == "HC" ? own_po_edges(h, p)
+                              : own_ppo_edges(h, false, p));
+    }
+    return check_processor_views(
+        h, w, false, shared, [&](ProcId p) { return &own[p]; }, no_exempt);
+  }
+
+  return "unknown model '" + m + "' in witness";
+}
+
+}  // namespace ssm::checker

@@ -1,0 +1,28 @@
+// Independent re-verification of witness certificates.
+//
+// verify_witness re-derives every ordering and mutual-consistency
+// requirement of the named model from the SystemHistory alone and checks
+// the certificate against them.  It is DELIBERATELY independent of the
+// checking engine: no rel::Relation, no checker::find_legal_view /
+// verify_view, no order:: derivations — everything is recomputed here
+// with separate O(n²)/O(n³) code over a plain adjacency matrix.  A bug in
+// the search or in the shared order construction therefore cannot
+// self-certify: the certificate has to survive a second, structurally
+// different implementation of the paper's definitions.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "checker/witness.hpp"
+#include "history/system_history.hpp"
+
+namespace ssm::checker {
+
+/// Validates `w` against `h` under the rules of `w.model`.  Returns
+/// std::nullopt when the certificate is valid, otherwise a message naming
+/// the first violated requirement.  Unknown model names are an error.
+[[nodiscard]] std::optional<std::string> verify_witness(
+    const SystemHistory& h, const Witness& w);
+
+}  // namespace ssm::checker

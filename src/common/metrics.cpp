@@ -1,0 +1,126 @@
+#include "common/metrics.hpp"
+
+#include <bit>
+
+#include "common/types.hpp"
+
+namespace ssm::common::metrics {
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+namespace {
+
+template <typename Map, typename... OtherMaps>
+auto& lookup(std::mutex& mu, Map& map, std::string_view name,
+             const char* kind, const OtherMaps&... others) {
+  std::lock_guard<std::mutex> lock(mu);
+  if ((... || (others.find(name) != others.end()))) {
+    throw InvalidInput("metric '" + std::string(name) +
+                       "' already registered with a different kind than " +
+                       kind);
+  }
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return lookup(mu_, counters_, name, "counter", gauges_, histograms_);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return lookup(mu_, gauges_, name, "gauge", counters_, histograms_);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return lookup(mu_, histograms_, name, "histogram", counters_, gauges_);
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_json_escaped(out, name);
+    out += "\": " + std::to_string(c->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_json_escaped(out, name);
+    out += "\": " + std::to_string(g->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_json_escaped(out, name);
+    out += "\": {\"count\": " + std::to_string(h->count()) +
+           ", \"sum\": " + std::to_string(h->sum()) +
+           ", \"max\": " + std::to_string(h->max()) + ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket(i);
+      if (n == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "[" + std::to_string(i) + ", " + std::to_string(n) + "]";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ssm::common::metrics

@@ -1,0 +1,124 @@
+// Metrics: a process-wide registry of counters, gauges and log2-bucket
+// histograms behind the checking engine's observability surface.
+//
+// Design constraints (docs/OBSERVABILITY.md):
+//   * hot paths stay lock-free — every instrument is a bundle of relaxed
+//     atomics, and call sites cache the instrument reference once (the
+//     registry hands out stable addresses for the process lifetime);
+//   * updates from thread-pool workers merge without coordination, so
+//     suite-level totals survive the fan-out in litmus::run_suite and
+//     models::solve_per_processor exactly like SearchStats aggregation;
+//   * the whole registry serializes to JSON deterministically (names are
+//     kept sorted), which is what `ssm --json` and
+//     `bench/checker_scaling --json` emit.
+//
+// Registration (name lookup) takes a mutex and is expected once per call
+// site:
+//
+//   static auto& nodes = metrics::Registry::global().counter("checker.x");
+//   nodes.add(n);
+//
+// reset() zeroes values in place without invalidating cached references.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace ssm::common::metrics {
+
+/// Monotonic event count (e.g. nodes expanded, memo hits).
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time value (e.g. configured thread-pool width).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Distribution of non-negative samples in power-of-two buckets: bucket i
+/// counts samples v with bit_width(v) == i, i.e. bucket 0 holds v == 0 and
+/// bucket i >= 1 holds 2^(i-1) <= v < 2^i.  Tracks count/sum/max exactly;
+/// the buckets give the shape (frontier widths, wall times, latencies)
+/// without per-sample storage.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // bit_width of uint64 in 0..64
+
+  void observe(std::uint64_t v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+};
+
+/// Name-indexed instrument registry.  Instruments are created on first
+/// lookup and live for the process lifetime at a stable address.  Looking
+/// up one name as two different instrument kinds throws InvalidInput.
+class Registry {
+ public:
+  [[nodiscard]] static Registry& global();
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  /// Zeroes every registered instrument in place (cached references stay
+  /// valid).  Used by benches and tests to scope a measurement window.
+  void reset();
+
+  /// Deterministic JSON snapshot (schema: docs/OBSERVABILITY.md).  Names
+  /// are sorted; histograms emit only their non-empty buckets as
+  /// [bit_width, count] pairs.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace ssm::common::metrics

@@ -1,10 +1,19 @@
 #include "litmus/parser.hpp"
 
+#include <algorithm>
+
 #include "common/text.hpp"
 #include "history/print.hpp"
+#include "models/registry.hpp"
 
 namespace ssm::litmus {
 namespace {
+
+/// Registered model names, cached once (the registry is immutable).
+const std::vector<std::string>& known_models() {
+  static const std::vector<std::string> names = models::model_names();
+  return names;
+}
 
 struct OpToken {
   OpKind kind;
@@ -84,7 +93,51 @@ void parse_expect_line(std::string_view rest, LitmusTest& t) {
     } else {
       throw InvalidInput("bad expectation value: '" + std::string(val) + "'");
     }
+    // A typo'd model name would silently never be checked against anything;
+    // reject it here, where the line is still known.
+    const auto& names = known_models();
+    if (std::find(names.begin(), names.end(), model) == names.end()) {
+      throw InvalidInput("expectation names unregistered model '" + model +
+                         "'");
+    }
     t.expectations[model] = allowed;
+  }
+}
+
+/// Parses one non-blank line into `t`.  Errors are annotated with the
+/// 1-based document line number by the caller.
+void parse_line(std::string_view line, LitmusTest& t) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos) {
+    throw InvalidInput("litmus line missing ':': '" + std::string(line) +
+                       "'");
+  }
+  const std::string_view key = trim(line.substr(0, colon));
+  const std::string_view rest = trim(line.substr(colon + 1));
+  if (key == "name") {
+    t.name = std::string(rest);
+  } else if (key == "origin") {
+    t.origin = std::string(rest);
+  } else if (key == "expect") {
+    parse_expect_line(rest, t);
+  } else {
+    if (!is_identifier(key)) {
+      throw InvalidInput("bad processor name: '" + std::string(key) + "'");
+    }
+    const ProcId proc = t.hist.symbols().intern_processor(key);
+    for (std::string_view tok : split(rest, ' ')) {
+      tok = trim(tok);
+      if (tok.empty()) continue;
+      const OpToken parsed = parse_op(tok);
+      history::Operation op;
+      op.kind = parsed.kind;
+      op.label = parsed.label;
+      op.proc = proc;
+      op.loc = t.hist.symbols().intern_location(parsed.loc);
+      op.value = parsed.value;
+      op.rmw_read = parsed.rmw_read;
+      t.hist.append(op);
+    }
   }
 }
 
@@ -95,37 +148,10 @@ LitmusTest parse_lines(const std::vector<std::string_view>& lines,
   for (std::size_t li = begin; li < end; ++li) {
     std::string_view line = trim(lines[li]);
     if (line.empty() || line.front() == '#') continue;
-    const std::size_t colon = line.find(':');
-    if (colon == std::string_view::npos) {
-      throw InvalidInput("litmus line missing ':': '" + std::string(line) +
-                         "'");
-    }
-    const std::string_view key = trim(line.substr(0, colon));
-    const std::string_view rest = trim(line.substr(colon + 1));
-    if (key == "name") {
-      t.name = std::string(rest);
-    } else if (key == "origin") {
-      t.origin = std::string(rest);
-    } else if (key == "expect") {
-      parse_expect_line(rest, t);
-    } else {
-      if (!is_identifier(key)) {
-        throw InvalidInput("bad processor name: '" + std::string(key) + "'");
-      }
-      const ProcId proc = t.hist.symbols().intern_processor(key);
-      for (std::string_view tok : split(rest, ' ')) {
-        tok = trim(tok);
-        if (tok.empty()) continue;
-        const OpToken parsed = parse_op(tok);
-        history::Operation op;
-        op.kind = parsed.kind;
-        op.label = parsed.label;
-        op.proc = proc;
-        op.loc = t.hist.symbols().intern_location(parsed.loc);
-        op.value = parsed.value;
-        op.rmw_read = parsed.rmw_read;
-        t.hist.append(op);
-      }
+    try {
+      parse_line(line, t);
+    } catch (const InvalidInput& e) {
+      throw InvalidInput("line " + std::to_string(li + 1) + ": " + e.what());
     }
   }
   if (t.name.empty()) throw InvalidInput("litmus test has no name");

@@ -1,17 +1,39 @@
 #include "litmus/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 
 namespace ssm::litmus {
 
 namespace {
 
-ModelOutcome run_cell(const LitmusTest& t, const models::Model& m) {
+ModelOutcome run_cell(const LitmusTest& t, const models::Model& m,
+                      const RunOptions& options) {
+  static auto& cell_time =
+      common::metrics::Registry::global().histogram("litmus.cell_time_us");
   ModelOutcome mo;
   mo.model = std::string(m.name());
-  mo.allowed = m.check(t.hist).allowed;
+  const auto start = std::chrono::steady_clock::now();
+  if (options.budget.unlimited()) {
+    const auto v = m.check(t.hist);
+    mo.allowed = v.allowed;
+    mo.inconclusive = v.inconclusive;
+  } else {
+    // Fresh budget per cell; ambient for the model and forwarded across
+    // the per-processor fan-out by solve_per_processor.
+    checker::SearchBudget budget(options.budget);
+    const checker::BudgetScope scope(&budget);
+    const auto v = m.check(t.hist);
+    mo.allowed = v.allowed;
+    mo.inconclusive = v.inconclusive;
+  }
+  cell_time.observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
   mo.expected = t.expectation(m.name());
   return mo;
 }
@@ -19,17 +41,20 @@ ModelOutcome run_cell(const LitmusTest& t, const models::Model& m) {
 }  // namespace
 
 TestOutcome run_test(const LitmusTest& t,
-                     const std::vector<models::ModelPtr>& models) {
+                     const std::vector<models::ModelPtr>& models,
+                     const RunOptions& options) {
   TestOutcome out;
   out.test = t.name;
   out.per_model.reserve(models.size());
-  for (const auto& m : models) out.per_model.push_back(run_cell(t, *m));
+  for (const auto& m : models) {
+    out.per_model.push_back(run_cell(t, *m, options));
+  }
   return out;
 }
 
-std::vector<TestOutcome> run_suite(
-    const std::vector<LitmusTest>& suite,
-    const std::vector<models::ModelPtr>& models) {
+std::vector<TestOutcome> run_suite(const std::vector<LitmusTest>& suite,
+                                   const std::vector<models::ModelPtr>& models,
+                                   const RunOptions& options) {
   const std::size_t num_models = models.size();
   const std::size_t cells = suite.size() * num_models;
   auto& pool = common::ThreadPool::global();
@@ -41,7 +66,7 @@ std::vector<TestOutcome> run_suite(
   if (pool.jobs() <= 1 || cells <= 1) {
     for (std::size_t ti = 0; ti < suite.size(); ++ti) {
       for (std::size_t mi = 0; mi < num_models; ++mi) {
-        out[ti].per_model[mi] = run_cell(suite[ti], *models[mi]);
+        out[ti].per_model[mi] = run_cell(suite[ti], *models[mi], options);
       }
     }
     return out;
@@ -53,7 +78,7 @@ std::vector<TestOutcome> run_suite(
   pool.parallel_for(cells, [&](std::size_t cell) {
     const std::size_t ti = cell / num_models;
     const std::size_t mi = cell % num_models;
-    out[ti].per_model[mi] = run_cell(suite[ti], *models[mi]);
+    out[ti].per_model[mi] = run_cell(suite[ti], *models[mi], options);
   });
   return out;
 }
@@ -74,7 +99,7 @@ std::string format_matrix(const std::vector<TestOutcome>& outcomes) {
     out += o.test;
     out.append(name_width - o.test.size(), ' ');
     for (const auto& m : o.per_model) {
-      std::string cell = m.allowed ? "Y" : "n";
+      std::string cell = m.inconclusive ? "?" : (m.allowed ? "Y" : "n");
       if (!m.matches()) cell += '!';
       const std::size_t col_width = m.model.size() + 1;
       if (cell.size() < col_width) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "checker/budget.hpp"
 #include "litmus/test.hpp"
 #include "models/model.hpp"
 
@@ -14,9 +15,15 @@ namespace ssm::litmus {
 struct ModelOutcome {
   std::string model;
   bool allowed = false;
+  /// True when the check exhausted its search budget before deciding; the
+  /// `allowed` flag is meaningless in that case and the matrix renders "?".
+  bool inconclusive = false;
   /// Set when the test carries an expectation for this model.
   std::optional<bool> expected;
   [[nodiscard]] bool matches() const {
+    // An undecided cell contradicts nothing: INCONCLUSIVE is a resource
+    // statement, not a classification.
+    if (inconclusive) return true;
     return !expected.has_value() || *expected == allowed;
   }
 };
@@ -32,9 +39,17 @@ struct TestOutcome {
   }
 };
 
+/// Knobs for a run.  The budget applies per (test × model) cell — each
+/// cell's check gets a fresh SearchBudget of this spec, so one pathological
+/// cell cannot starve the rest of the matrix.  Default: unlimited.
+struct RunOptions {
+  checker::BudgetSpec budget;
+};
+
 /// Runs one test against the given models.
-[[nodiscard]] TestOutcome run_test(
-    const LitmusTest& t, const std::vector<models::ModelPtr>& models);
+[[nodiscard]] TestOutcome run_test(const LitmusTest& t,
+                                   const std::vector<models::ModelPtr>& models,
+                                   const RunOptions& options = {});
 
 /// Runs every test against the given models.  The (test × model) cells
 /// are independent and fan out across the global common::ThreadPool; the
@@ -43,10 +58,12 @@ struct TestOutcome {
 /// safe to check() concurrently — all registry models are stateless.
 [[nodiscard]] std::vector<TestOutcome> run_suite(
     const std::vector<LitmusTest>& suite,
-    const std::vector<models::ModelPtr>& models);
+    const std::vector<models::ModelPtr>& models,
+    const RunOptions& options = {});
 
-/// ASCII matrix: rows = tests, columns = models; cells "Y"/"n", with "!"
-/// appended where the outcome contradicts the recorded expectation.
+/// ASCII matrix: rows = tests, columns = models; cells "Y"/"n" ("?" when
+/// the cell's budget ran out), with "!" appended where the outcome
+/// contradicts the recorded expectation.
 [[nodiscard]] std::string format_matrix(
     const std::vector<TestOutcome>& outcomes);
 

@@ -96,6 +96,7 @@ class AxiomaticTsoModel final : public Model {
     Verdict result = Verdict::no();
     rel::for_each_linear_extension(
         base, universe, [&](const std::vector<std::size_t>& m) {
+          if (!checker::charge_budget(1)) return false;
           if (!value_axiom_holds(h, m)) return true;
           result = Verdict::yes();
           result.labeled_order =
@@ -103,7 +104,7 @@ class AxiomaticTsoModel final : public Model {
           result.note = "labeled_order field holds the memory order M";
           return false;
         });
-    return result;
+    return checker::resolve_with_budget(std::move(result));
   }
 
   std::optional<std::string> verify_witness(const SystemHistory& h,

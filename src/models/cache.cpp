@@ -32,8 +32,9 @@ class CacheModel final : public Model {
       const auto universe = checker::ops_on(h, loc);
       auto view = checker::find_legal_view(h, universe, po);
       if (!view) {
-        return Verdict::no("location " + h.symbols().location_name(loc) +
-                           " has no legal per-location order");
+        return checker::resolve_with_budget(
+            Verdict::no("location " + h.symbols().location_name(loc) +
+                        " has no legal per-location order"));
       }
       per_loc.push_back(std::move(*view));
     }

@@ -25,7 +25,7 @@ class CausalModel final : public Model {
     solve_per_processor(h, [&](ProcId p) {
       return ViewProblem{checker::own_plus_writes(h, p), co};
     }, v);
-    return v;
+    return checker::resolve_with_budget(std::move(v));
   }
 
   std::optional<std::string> verify_witness(const SystemHistory& h,

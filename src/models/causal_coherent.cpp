@@ -43,6 +43,7 @@ class CausalCoherentModel final : public Model {
     // candidate's chain contribution.
     order::for_each_coherence_order(
         h, co, [&](const order::CoherenceOrder& coh) {
+          if (!checker::charge_budget(1)) return false;
           rel::Relation chain = coherence_chain(h, coh);
           rel::Relation constraints = co | chain;
           if (!constraints.is_acyclic()) return true;
@@ -57,7 +58,7 @@ class CausalCoherentModel final : public Model {
           }
           return true;
         });
-    return result;
+    return checker::resolve_with_budget(std::move(result));
   }
 
   std::optional<std::string> verify_witness(const SystemHistory& h,

@@ -27,6 +27,7 @@ class GoodmanModel final : public Model {
     Verdict result = Verdict::no();
     order::for_each_coherence_order(
         h, po, [&](const order::CoherenceOrder& coh) {
+          if (!checker::charge_budget(1)) return false;
           rel::Relation constraints = po | coh.as_relation();
           Verdict attempt;
           if (solve_per_processor(h, [&](ProcId p) {
@@ -39,7 +40,7 @@ class GoodmanModel final : public Model {
           }
           return true;
         });
-    return result;
+    return checker::resolve_with_budget(std::move(result));
   }
 
   std::optional<std::string> verify_witness(const SystemHistory& h,

@@ -60,6 +60,7 @@ class HybridModel final : public Model {
     Verdict result = Verdict::no();
     checker::for_each_legal_view(
         h, labeled, po, [&](const checker::View& t) {
+          if (!checker::charge_budget(1)) return false;
           rel::Relation shared = hybrid | chain_relation(h.size(), t);
           Verdict attempt;
           if (solve_per_processor(h, [&](ProcId p) {
@@ -72,7 +73,7 @@ class HybridModel final : public Model {
           }
           return true;
         });
-    return result;
+    return checker::resolve_with_budget(std::move(result));
   }
 
   std::optional<std::string> verify_witness(const SystemHistory& h,

@@ -37,7 +37,7 @@ class LocalModel final : public Model {
     solve_per_processor(h, [&](ProcId p) {
       return ViewProblem{checker::own_plus_writes(h, p), own_po_only(h, p)};
     }, v);
-    return v;
+    return checker::resolve_with_budget(std::move(v));
   }
 
   std::optional<std::string> verify_witness(const SystemHistory& h,

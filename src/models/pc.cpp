@@ -31,6 +31,7 @@ class PcModel final : public Model {
     Verdict result = Verdict::no();
     order::for_each_coherence_order(
         h, ppo, [&](const order::CoherenceOrder& coh) {
+          if (!checker::charge_budget(1)) return false;
           rel::Relation constraints =
               order::semi_causal(h, ppo, coh) | coh.as_relation();
           if (!constraints.is_acyclic()) return true;  // next coherence order
@@ -45,7 +46,7 @@ class PcModel final : public Model {
           }
           return true;
         });
-    return result;
+    return checker::resolve_with_budget(std::move(result));
   }
 
   std::optional<std::string> verify_witness(const SystemHistory& h,

@@ -1,7 +1,9 @@
 #include "models/per_processor.hpp"
 
 #include <atomic>
+#include <chrono>
 
+#include "checker/budget.hpp"
 #include "common/thread_pool.hpp"
 
 namespace ssm::models {
@@ -24,21 +26,36 @@ bool solve_per_processor(const SystemHistory& h, const ViewProblemFn& problem,
     // Fan the independent view searches out across the pool.  The first
     // processor proven to have no legal view flips the shared stop token,
     // which cancels every sibling search mid-DFS: the conjunction is
-    // already false, so their answers no longer matter.
+    // already false, so their answers no longer matter.  The caller's
+    // ambient SearchBudget is captured here and forwarded explicitly —
+    // thread-locals do not cross the pool boundary — so all sibling
+    // searches keep charging the one shared budget of the check.
+    checker::SearchBudget* budget = checker::current_budget();
     std::atomic<bool> failed{false};
+    std::atomic<std::uint64_t> cancel_ns{0};
     pool.parallel_for(procs, [&](std::size_t p) {
       if (failed.load(std::memory_order_relaxed)) return;
+      const checker::BudgetScope scope(budget);
       ViewProblem vp = problem(static_cast<ProcId>(p));
       if (vp.exempt.size() != h.size()) vp.exempt = DynBitset(h.size());
-      const checker::SearchControl control(&failed);
+      const checker::SearchControl control(&failed, budget, &cancel_ns);
       auto view = checker::find_legal_view(h, vp.universe, vp.constraints,
                                            vp.exempt, control);
       if (view) {
         views[p] = std::move(*view);
       } else {
-        // Genuinely unsatisfiable or cancelled; either way the verdict is
-        // already decided to be "not allowed".
-        failed.store(true, std::memory_order_relaxed);
+        // Genuinely unsatisfiable, cancelled, or out of budget; either way
+        // the conjunction is "not allowed" (the caller's resolve_with_budget
+        // downgrades it to INCONCLUSIVE when the budget tripped).  Stamp
+        // the flip time so cancelled siblings can report their latency.
+        if (!failed.exchange(true, std::memory_order_relaxed)) {
+          cancel_ns.store(
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count()),
+              std::memory_order_relaxed);
+        }
       }
     });
     if (failed.load(std::memory_order_relaxed)) return false;

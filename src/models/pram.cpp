@@ -24,7 +24,7 @@ class PramModel final : public Model {
     solve_per_processor(h, [&](ProcId p) {
       return ViewProblem{checker::own_plus_writes(h, p), po};
     }, v);
-    return v;
+    return checker::resolve_with_budget(std::move(v));
   }
 
   std::optional<std::string> verify_witness(const SystemHistory& h,

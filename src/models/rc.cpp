@@ -125,6 +125,7 @@ class RcModel final : public Model {
     Verdict result = Verdict::no();
     order::for_each_coherence_order(
         h, ppo, [&](const order::CoherenceOrder& coh) {
+          if (!checker::charge_budget(1)) return false;
           const rel::Relation coh_rel = coh.as_relation();
           rel::Relation base = coh_rel | brackets;
           if (!(base | ppo).is_acyclic()) return true;
@@ -177,7 +178,7 @@ class RcModel final : public Model {
           }
           return true;
         });
-    return result;
+    return checker::resolve_with_budget(std::move(result));
   }
 
   std::optional<std::string> verify_witness(const SystemHistory& h,

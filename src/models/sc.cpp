@@ -23,7 +23,7 @@ class ScModel final : public Model {
     const auto universe = checker::all_ops(h);
     const auto po = order::program_order(h);
     auto view = checker::find_legal_view(h, universe, po);
-    if (!view) return Verdict::no();
+    if (!view) return checker::resolve_with_budget(Verdict::no());
     Verdict v = Verdict::yes();
     v.views.assign(h.num_processors(), *view);
     return v;

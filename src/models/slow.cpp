@@ -48,7 +48,7 @@ class SlowModel final : public Model {
       return ViewProblem{checker::own_plus_writes(h, p),
                          slow_constraints(h, p)};
     }, v);
-    return v;
+    return checker::resolve_with_budget(std::move(v));
   }
 
   std::optional<std::string> verify_witness(const SystemHistory& h,

@@ -107,6 +107,7 @@ class TsoModel final : public Model {
     Verdict result = Verdict::no();
     rel::for_each_linear_extension(
         ppo, writes, [&](const std::vector<std::size_t>& worder) {
+          if (!checker::charge_budget(1)) return false;
           checker::View chain(worder.begin(), worder.end());
           rel::Relation constraints = ppo | chain_relation(h.size(), chain);
           Verdict attempt;
@@ -121,7 +122,7 @@ class TsoModel final : public Model {
           }
           return true;
         });
-    return result;
+    return checker::resolve_with_budget(std::move(result));
   }
 
   std::optional<std::string> verify_witness(const SystemHistory& h,

@@ -64,6 +64,7 @@ class WeakOrderingModel final : public Model {
     Verdict result = Verdict::no();
     order::for_each_coherence_order(
         h, ppo, [&](const order::CoherenceOrder& coh) {
+          if (!checker::charge_budget(1)) return false;
           const rel::Relation coh_rel = coh.as_relation();
           rel::Relation base = coh_rel | fences;
           if (!(base | ppo).is_acyclic()) return true;
@@ -84,7 +85,7 @@ class WeakOrderingModel final : public Model {
                 return true;
               });
         });
-    return result;
+    return checker::resolve_with_budget(std::move(result));
   }
 
   std::optional<std::string> verify_witness(const SystemHistory& h,

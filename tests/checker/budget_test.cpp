@@ -1,0 +1,143 @@
+#include "checker/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "checker/verdict.hpp"
+#include "history/builder.hpp"
+#include "models/models.hpp"
+
+namespace ssm::checker {
+namespace {
+
+TEST(Budget, UnlimitedNeverTrips) {
+  SearchBudget b(BudgetSpec{});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(b.charge(1));
+  }
+  EXPECT_FALSE(b.exhausted());
+}
+
+TEST(Budget, NodeLimitTripsExactly) {
+  SearchBudget b(BudgetSpec{3, 0});
+  EXPECT_TRUE(b.charge(1));
+  EXPECT_TRUE(b.charge(1));
+  EXPECT_TRUE(b.charge(1));
+  EXPECT_FALSE(b.charge(1));  // 4th node exceeds max_nodes=3
+  EXPECT_TRUE(b.exhausted());
+  // Exhaustion latches: everything afterwards fails immediately.
+  EXPECT_FALSE(b.charge(1));
+}
+
+TEST(Budget, SingleNodeBudgetWorks) {
+  SearchBudget b(BudgetSpec{1, 0});
+  EXPECT_TRUE(b.charge(1));
+  EXPECT_FALSE(b.charge(1));
+}
+
+TEST(Budget, TimeoutTripsEvenWithSlowCharging) {
+  // 1ms deadline; by the time kClockStride charges have accumulated the
+  // clock probe must fire.
+  SearchBudget b(BudgetSpec{0, 1});
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  bool tripped = false;
+  for (std::uint64_t i = 0; i < 2 * SearchBudget::kClockStride; ++i) {
+    if (!b.charge(1)) {
+      tripped = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(tripped);
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(Budget, AmbientScopeInstallAndRestore) {
+  EXPECT_EQ(current_budget(), nullptr);
+  SearchBudget outer(BudgetSpec{10, 0});
+  {
+    const BudgetScope scope(&outer);
+    EXPECT_EQ(current_budget(), &outer);
+    SearchBudget inner(BudgetSpec{5, 0});
+    {
+      const BudgetScope nested(&inner);
+      EXPECT_EQ(current_budget(), &inner);
+    }
+    EXPECT_EQ(current_budget(), &outer);
+  }
+  EXPECT_EQ(current_budget(), nullptr);
+  EXPECT_FALSE(budget_exhausted());
+}
+
+TEST(Budget, ChargeBudgetWithoutAmbientAlwaysContinues) {
+  EXPECT_EQ(current_budget(), nullptr);
+  EXPECT_TRUE(charge_budget(1000));
+}
+
+TEST(Budget, SharedAcrossThreadsLatchesOnce) {
+  SearchBudget b(BudgetSpec{1000, 0});
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&b] {
+      for (int i = 0; i < 1000; ++i) (void)b.charge(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_FALSE(b.charge(1));
+}
+
+history::SystemHistory sb_history() {
+  // Store-buffering: forbidden under SC, so the SC check must actually
+  // search (and fail), which is where the budget bites.
+  return history::HistoryBuilder(2, 2)
+      .w("p", "x", 1)
+      .r("p", "y", 0)
+      .w("q", "y", 1)
+      .r("q", "x", 0)
+      .build();
+}
+
+TEST(Budget, ExhaustedSearchYieldsInconclusiveNotNo) {
+  const auto h = sb_history();
+  const auto sc = models::make_sc();
+  SearchBudget b(BudgetSpec{1, 0});
+  const BudgetScope scope(&b);
+  const auto v = sc->check(h);
+  EXPECT_TRUE(v.inconclusive) << v.note;
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_NE(v.note.find("budget"), std::string::npos) << v.note;
+}
+
+TEST(Budget, AmpleBudgetLeavesVerdictUntouched) {
+  const auto h = sb_history();
+  const auto sc = models::make_sc();
+  SearchBudget b(BudgetSpec{1000000, 0});
+  const BudgetScope scope(&b);
+  const auto v = sc->check(h);
+  EXPECT_FALSE(v.inconclusive);
+  EXPECT_FALSE(v.allowed);
+  EXPECT_FALSE(b.exhausted());
+  EXPECT_GT(b.nodes_used(), 0u);
+}
+
+TEST(Budget, PositiveVerdictNeverDowngraded) {
+  // resolve_with_budget must pass a "yes" through even under an exhausted
+  // budget: the witness is genuine evidence.
+  SearchBudget b(BudgetSpec{1, 0});
+  const BudgetScope scope(&b);
+  (void)b.charge(1);
+  (void)b.charge(1);
+  ASSERT_TRUE(b.exhausted());
+  const auto v = resolve_with_budget(Verdict::yes());
+  EXPECT_TRUE(v.allowed);
+  EXPECT_FALSE(v.inconclusive);
+  const auto n = resolve_with_budget(Verdict::no("proved"));
+  EXPECT_TRUE(n.inconclusive);
+}
+
+}  // namespace
+}  // namespace ssm::checker

@@ -1,0 +1,97 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ssm::common::metrics {
+namespace {
+
+TEST(Metrics, CounterAddsAndResets) {
+  auto& c = Registry::global().counter("test.counter_basic");
+  c.reset();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  auto& g = Registry::global().gauge("test.gauge_basic");
+  g.reset();
+  g.set(7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(Metrics, HistogramBucketsByBitWidth) {
+  auto& h = Registry::global().histogram("test.hist_buckets");
+  h.reset();
+  h.observe(0);  // bucket 0
+  h.observe(1);  // bucket 1
+  h.observe(2);  // bucket 2
+  h.observe(3);  // bucket 2
+  h.observe(1023);  // bucket 10
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 1023);
+  EXPECT_EQ(h.max(), 1023u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(10), 1u);
+}
+
+TEST(Metrics, LookupReturnsStableAddress) {
+  auto& a = Registry::global().counter("test.stable");
+  auto& b = Registry::global().counter("test.stable");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  (void)Registry::global().counter("test.kind_clash");
+  EXPECT_THROW((void)Registry::global().gauge("test.kind_clash"),
+               InvalidInput);
+  EXPECT_THROW((void)Registry::global().histogram("test.kind_clash"),
+               InvalidInput);
+}
+
+TEST(Metrics, JsonSnapshotContainsInstruments) {
+  auto& c = Registry::global().counter("test.json_counter");
+  c.reset();
+  c.add(5);
+  auto& h = Registry::global().histogram("test.json_hist");
+  h.reset();
+  h.observe(6);
+  const std::string json = Registry::global().to_json();
+  EXPECT_NE(json.find("\"test.json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+}
+
+TEST(Metrics, ConcurrentUpdatesMergeLosslessly) {
+  auto& c = Registry::global().counter("test.concurrent_counter");
+  auto& h = Registry::global().histogram("test.concurrent_hist");
+  c.reset();
+  h.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.observe(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace ssm::common::metrics

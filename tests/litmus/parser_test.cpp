@@ -82,6 +82,49 @@ TEST(Parser, NegativeValuesParse) {
   EXPECT_EQ(t.hist.op(0).value, -3);
 }
 
+TEST(Parser, RejectsUnregisteredExpectationModel) {
+  // A typo'd model name used to be accepted silently into expectations,
+  // where it would never be checked against anything.
+  try {
+    (void)parse_test("name: t\np: w(x)1\nexpect: SCC=no\n");
+    FAIL() << "unregistered model accepted";
+  } catch (const InvalidInput& e) {
+    EXPECT_NE(std::string(e.what()).find("SCC"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Parser, ErrorsCarryDocumentLineNumbers) {
+  try {
+    (void)parse_test("name: t\n\np: v(x)1\n");
+    FAIL() << "malformed token accepted";
+  } catch (const InvalidInput& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+  // In a suite, line numbers are document-absolute, not test-relative.
+  try {
+    (void)parse_suite("name: one\np: w(x)1\nname: two\nq: r(y]0\n");
+    FAIL() << "malformed token accepted";
+  } catch (const InvalidInput& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Parser, FinalTestWithoutTrailingNewlineKeepsLastLine) {
+  // The last line of an unterminated document must not be dropped — here
+  // it carries the expectation of the final test.
+  const auto suite = parse_suite(
+      "name: one\np: w(x)1\nname: two\nq: r(y)0\nexpect: SC=yes");
+  ASSERT_EQ(suite.size(), 2u);
+  EXPECT_EQ(suite[1].expectation("SC"), std::make_optional(true));
+  // Same for an operation line.
+  const auto ops = parse_suite("name: only\np: w(x)1 r(x)1");
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].hist.size(), 2u);
+}
+
 TEST(Parser, SuiteSplitsOnNameHeaders) {
   const auto suite = parse_suite(R"(
 name: one
@@ -106,6 +149,49 @@ TEST(Parser, DslRoundTrip) {
           << t.name << " op " << i;
     }
     EXPECT_EQ(back.expectations, t.expectations);
+  }
+}
+
+TEST(Parser, DslRoundTripLabeledRmw) {
+  // Labeled read-modify-writes exercise every token feature at once:
+  // "rmw*(l)0:1" must survive to_dsl -> parse_test unchanged.
+  const auto t = parse_test(R"(
+name: rmw-labels
+p: w*(f)1 rmw*(l)0:1 rmw(l)1:2 r*(f)1
+q: rmw(m)0:5
+expect: SC=yes
+)");
+  const auto back = parse_test(to_dsl(t));
+  ASSERT_EQ(back.hist.size(), t.hist.size());
+  for (std::size_t i = 0; i < t.hist.size(); ++i) {
+    EXPECT_EQ(back.hist.op(static_cast<OpIndex>(i)),
+              t.hist.op(static_cast<OpIndex>(i)))
+        << "op " << i;
+  }
+  EXPECT_EQ(back.expectations, t.expectations);
+  // The serialization itself is a fixed point.
+  EXPECT_EQ(to_dsl(back), to_dsl(t));
+}
+
+TEST(Parser, SuiteDslRoundTripMultiTest) {
+  // Property: concatenating to_dsl over a suite and re-parsing with
+  // parse_suite reproduces every test, in order — including the built-in
+  // suite, whose documents carry comments, labels, rmws, and
+  // expectations.
+  const auto& suite = builtin_suite();
+  std::string doc;
+  for (const auto& t : suite) doc += to_dsl(t);
+  const auto back = parse_suite(doc);
+  ASSERT_EQ(back.size(), suite.size());
+  for (std::size_t k = 0; k < suite.size(); ++k) {
+    EXPECT_EQ(back[k].name, suite[k].name);
+    ASSERT_EQ(back[k].hist.size(), suite[k].hist.size()) << suite[k].name;
+    for (std::size_t i = 0; i < suite[k].hist.size(); ++i) {
+      EXPECT_EQ(back[k].hist.op(static_cast<OpIndex>(i)),
+                suite[k].hist.op(static_cast<OpIndex>(i)))
+          << suite[k].name << " op " << i;
+    }
+    EXPECT_EQ(back[k].expectations, suite[k].expectations) << suite[k].name;
   }
 }
 

@@ -52,5 +52,38 @@ TEST(Runner, EmptySuite) {
   EXPECT_EQ(format_matrix({}), "(no tests)\n");
 }
 
+TEST(Runner, TinyBudgetSurfacesInconclusive) {
+  // fig1-sb is forbidden under SC, so the check must exhaust the search —
+  // with one node of budget it cannot conclude anything, and the outcome
+  // has to say so rather than report a spurious "forbidden".
+  RunOptions options;
+  options.budget.max_nodes = 1;
+  const std::vector<LitmusTest> suite{find_test("fig1-sb")};
+  const auto outcomes = run_suite(suite, two_models(), options);
+  ASSERT_EQ(outcomes.size(), 1u);
+  const auto& sc = outcomes[0].per_model[0];
+  EXPECT_EQ(sc.model, "SC");
+  EXPECT_TRUE(sc.inconclusive);
+  // INCONCLUSIVE never contradicts an expectation.
+  EXPECT_TRUE(sc.matches());
+  const std::string m = format_matrix(outcomes);
+  EXPECT_NE(m.find('?'), std::string::npos) << m;
+}
+
+TEST(Runner, AmpleBudgetMatchesUnbudgetedRun) {
+  RunOptions generous;
+  generous.budget.max_nodes = 10'000'000;
+  const std::vector<LitmusTest> suite{find_test("fig1-sb"),
+                                      find_test("mp")};
+  const auto budgeted = run_suite(suite, two_models(), generous);
+  const auto free_run = run_suite(suite, two_models());
+  EXPECT_EQ(format_matrix(budgeted), format_matrix(free_run));
+  for (const auto& o : budgeted) {
+    for (const auto& pm : o.per_model) {
+      EXPECT_FALSE(pm.inconclusive) << o.test << " x " << pm.model;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ssm::litmus

@@ -20,18 +20,32 @@
 //
 // Files use the litmus DSL (see src/litmus/parser.hpp).
 //
-// The global option `--jobs N` (or the SSM_JOBS environment variable)
-// sets the checking engine's thread-pool width; verdicts and matrices are
-// byte-identical across settings (see docs/PARALLELISM.md).
+// Global options:
+//   --jobs N          checking-engine thread-pool width (or SSM_JOBS);
+//                     verdicts and matrices are byte-identical across
+//                     settings (see docs/PARALLELISM.md)
+//   --max-nodes N     cap search nodes per admission check; exhausted
+//                     checks report INCONCLUSIVE (docs/OBSERVABILITY.md)
+//   --timeout-ms N    wall-clock cap per admission check, same semantics
+//   --json            machine-readable output for check/matrix: witness
+//                     certificates (independently re-verified before
+//                     emission) plus a metrics snapshot
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
 #include "bakery/driver.hpp"
+#include "checker/budget.hpp"
 #include "checker/verdict.hpp"
+#include "checker/witness.hpp"
+#include "checker/witness_verifier.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "history/dot.hpp"
 #include "history/print.hpp"
@@ -55,41 +69,119 @@ using namespace ssm;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: ssm [--jobs N] <command> [args]\n"
+      "usage: ssm [--jobs N] [--max-nodes N] [--timeout-ms N] [--json] "
+      "<command> [args]\n"
       "  models | tests | check <model> [file] | show <test> [model...]\n"
       "  matrix [file] | lattice [procs ops locs] | bakery <machine> [n]\n"
-      "  --jobs N   checking-engine threads (default: SSM_JOBS or all "
-      "cores)\n");
+      "  --jobs N        checking-engine threads (default: SSM_JOBS or all "
+      "cores)\n"
+      "  --max-nodes N   search-node budget per check (0 = unlimited)\n"
+      "  --timeout-ms N  wall-clock budget per check (0 = unlimited)\n"
+      "  --json          machine-readable check/matrix output with witness\n"
+      "                  certificates and a metrics snapshot\n");
   return 64;
 }
 
-/// Strips a leading-or-anywhere `--jobs N` / `--jobs=N` / `-j N` from argv
-/// and sizes the global pool accordingly.  Returns false on a malformed
-/// value (caller prints usage).
-bool apply_jobs_flag(int& argc, char** argv) {
+/// Parses a decimal unsigned integer or dies with a diagnostic naming the
+/// offending token — never silently reads garbage the way atoi would.
+std::uint64_t parse_u64(const char* what, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (text[0] == '\0' || *end != '\0' || errno == ERANGE ||
+      std::strchr(text, '-') != nullptr) {
+    std::fprintf(stderr, "ssm: bad %s '%s' (expected unsigned integer)\n",
+                 what, text);
+    std::exit(64);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::uint32_t parse_u32(const char* what, const char* text) {
+  const std::uint64_t v = parse_u64(what, text);
+  if (v > std::numeric_limits<std::uint32_t>::max()) {
+    std::fprintf(stderr, "ssm: bad %s '%s' (out of range)\n", what, text);
+    std::exit(64);
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+/// Options shared by every command, stripped from argv before dispatch.
+struct GlobalOptions {
+  checker::BudgetSpec budget;  ///< per-admission-check budget
+  bool json = false;           ///< machine-readable output where supported
+};
+
+/// Strips global flags (`--jobs N`, `--max-nodes N`, `--timeout-ms N`,
+/// `--json`, with `=value` forms) from argv, anywhere on the line.
+/// Returns false on a malformed flag (caller prints usage).
+bool apply_global_flags(int& argc, char** argv, GlobalOptions& opts) {
   int out = 1;
   unsigned jobs = 0;
   bool jobs_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    std::string value;
-    if (arg == "--jobs" || arg == "-j") {
-      if (i + 1 >= argc) return false;
-      value = argv[++i];
-    } else if (arg.rfind("--jobs=", 0) == 0) {
-      value = arg.substr(7);
+    const auto value_of = [&](const char* flag) -> const char* {
+      const std::string eq = std::string(flag) + '=';
+      if (arg == flag) {
+        if (i + 1 >= argc) return nullptr;
+        return argv[++i];
+      }
+      if (arg.rfind(eq, 0) == 0) return argv[i] + eq.size();
+      return nullptr;
+    };
+    if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--jobs" || arg == "-j" ||
+               arg.rfind("--jobs=", 0) == 0) {
+      const char* v = value_of(arg == "-j" ? "-j" : "--jobs");
+      if (v == nullptr) return false;
+      const std::uint32_t n = parse_u32("--jobs value", v);
+      if (n == 0) return false;
+      jobs = n;
+      jobs_set = true;
+    } else if (arg == "--max-nodes" || arg.rfind("--max-nodes=", 0) == 0) {
+      const char* v = value_of("--max-nodes");
+      if (v == nullptr) return false;
+      opts.budget.max_nodes = parse_u64("--max-nodes value", v);
+    } else if (arg == "--timeout-ms" || arg.rfind("--timeout-ms=", 0) == 0) {
+      const char* v = value_of("--timeout-ms");
+      if (v == nullptr) return false;
+      opts.budget.timeout_ms = parse_u64("--timeout-ms value", v);
     } else {
       argv[out++] = argv[i];
-      continue;
     }
-    const long v = std::atol(value.c_str());
-    if (v <= 0) return false;
-    jobs = static_cast<unsigned>(v);
-    jobs_set = true;
   }
   argc = out;
   if (jobs_set) common::ThreadPool::set_global_jobs(jobs);
   return true;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
 }
 
 std::vector<litmus::LitmusTest> load_suite(int argc, char** argv, int pos) {
@@ -116,24 +208,82 @@ int cmd_tests() {
   return 0;
 }
 
-int cmd_check(int argc, char** argv) {
+/// Runs one admission check under a fresh budget from `opts` (ambient for
+/// the model and forwarded across the per-processor fan-out).
+checker::Verdict check_budgeted(const models::Model& m,
+                                const history::SystemHistory& h,
+                                const GlobalOptions& opts) {
+  if (opts.budget.unlimited()) return m.check(h);
+  checker::SearchBudget budget(opts.budget);
+  const checker::BudgetScope scope(&budget);
+  return m.check(h);
+}
+
+int cmd_check(int argc, char** argv, const GlobalOptions& opts) {
   if (argc < 3) return usage();
   const auto model = models::make_model(argv[2]);
   const auto suite = load_suite(argc, argv, 3);
   int failures = 0;
+  std::string json = "{\n  \"model\": \"";
+  append_json_escaped(json, model->name());
+  json += "\",\n  \"results\": [";
+  bool first = true;
   for (const auto& t : suite) {
-    const auto verdict = model->check(t.hist);
+    const auto verdict = check_budgeted(*model, t.hist, opts);
     const auto expected = t.expectation(model->name());
-    const bool mismatch = expected.has_value() && *expected != verdict.allowed;
-    std::printf("%-20s %-9s%s\n", t.name.c_str(),
-                verdict.allowed ? "allowed" : "forbidden",
-                mismatch ? "  (MISMATCH vs expectation)" : "");
+    // An INCONCLUSIVE cell contradicts nothing — it is a resource
+    // statement, not a classification.
+    const bool mismatch = !verdict.inconclusive && expected.has_value() &&
+                          *expected != verdict.allowed;
     failures += mismatch ? 1 : 0;
+    const char* status = verdict.inconclusive
+                             ? "inconclusive"
+                             : (verdict.allowed ? "allowed" : "forbidden");
+    if (!opts.json) {
+      std::printf("%-20s %-12s%s\n", t.name.c_str(), status,
+                  mismatch ? "  (MISMATCH vs expectation)" : "");
+      continue;
+    }
+    json += first ? "\n    {" : ",\n    {";
+    first = false;
+    json += "\"test\": \"";
+    append_json_escaped(json, t.name);
+    json += "\", \"verdict\": \"";
+    json += status;
+    json += '"';
+    if (verdict.inconclusive && !verdict.note.empty()) {
+      json += ", \"note\": \"";
+      append_json_escaped(json, verdict.note);
+      json += '"';
+    }
+    if (verdict.allowed && !verdict.inconclusive) {
+      // Emit the certificate only after the independent verifier accepts
+      // it: a witness that fails re-verification is a checker bug, and
+      // shipping it would defeat the point of certification.
+      const auto w = checker::witness_from_verdict(t.hist, model->name(),
+                                                   verdict);
+      if (const auto err = checker::verify_witness(t.hist, w)) {
+        std::fprintf(stderr,
+                     "ssm: witness for test '%s' failed independent "
+                     "re-verification: %s\n",
+                     t.name.c_str(), err->c_str());
+        return 3;
+      }
+      json += ", \"witness\": ";
+      json += checker::to_json(w);
+    }
+    json += '}';
+  }
+  if (opts.json) {
+    json += "\n  ],\n  \"metrics\": ";
+    json += common::metrics::Registry::global().to_json();
+    json += "\n}\n";
+    std::printf("%s", json.c_str());
   }
   return failures == 0 ? 0 : 2;
 }
 
-int cmd_show(int argc, char** argv) {
+int cmd_show(int argc, char** argv, const GlobalOptions& opts) {
   if (argc < 3) return usage();
   const auto& t = litmus::find_test(argv[2]);
   std::printf("%s\n", litmus::to_dsl(t).c_str());
@@ -146,16 +296,46 @@ int cmd_show(int argc, char** argv) {
     targets = models::all_models();
   }
   for (const auto& m : targets) {
+    const auto v = check_budgeted(*m, t.hist, opts);
     std::printf("%-10s %s", std::string(m->name()).c_str(),
-                checker::format_verdict(t.hist, m->check(t.hist)).c_str());
+                checker::format_verdict(t.hist, v).c_str());
   }
   return 0;
 }
 
-int cmd_matrix(int argc, char** argv) {
+int cmd_matrix(int argc, char** argv, const GlobalOptions& opts) {
   const auto suite = load_suite(argc, argv, 2);
-  const auto outcomes = litmus::run_suite(suite, models::all_models());
-  std::printf("%s", litmus::format_matrix(outcomes).c_str());
+  const auto outcomes = litmus::run_suite(suite, models::all_models(),
+                                          litmus::RunOptions{opts.budget});
+  if (opts.json) {
+    std::string json = "{\n  \"tests\": [";
+    bool first_test = true;
+    for (const auto& o : outcomes) {
+      json += first_test ? "\n    {" : ",\n    {";
+      first_test = false;
+      json += "\"test\": \"";
+      append_json_escaped(json, o.test);
+      json += "\", \"cells\": {";
+      bool first_cell = true;
+      for (const auto& m : o.per_model) {
+        if (!first_cell) json += ", ";
+        first_cell = false;
+        json += '"';
+        append_json_escaped(json, m.model);
+        json += "\": \"";
+        json += m.inconclusive ? "inconclusive"
+                               : (m.allowed ? "allowed" : "forbidden");
+        json += '"';
+      }
+      json += "}}";
+    }
+    json += "\n  ],\n  \"metrics\": ";
+    json += common::metrics::Registry::global().to_json();
+    json += "\n}\n";
+    std::printf("%s", json.c_str());
+  } else {
+    std::printf("%s", litmus::format_matrix(outcomes).c_str());
+  }
   for (const auto& o : outcomes) {
     if (!o.all_match()) return 2;
   }
@@ -165,9 +345,9 @@ int cmd_matrix(int argc, char** argv) {
 int cmd_lattice(int argc, char** argv) {
   lattice::EnumerationSpec spec;
   if (argc >= 5) {
-    spec.procs = static_cast<std::uint32_t>(std::atoi(argv[2]));
-    spec.ops_per_proc = static_cast<std::uint32_t>(std::atoi(argv[3]));
-    spec.locs = static_cast<std::uint32_t>(std::atoi(argv[4]));
+    spec.procs = parse_u32("lattice procs", argv[2]);
+    spec.ops_per_proc = parse_u32("lattice ops-per-proc", argv[3]);
+    spec.locs = parse_u32("lattice locs", argv[4]);
   }
   const auto report =
       lattice::compute_inclusions(spec, models::paper_models());
@@ -178,8 +358,7 @@ int cmd_lattice(int argc, char** argv) {
 int cmd_bakery(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string machine = argv[2];
-  const std::uint32_t n =
-      argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 2;
+  const std::uint32_t n = argc > 3 ? parse_u32("bakery n", argv[3]) : 2;
   bakery::MachineFactory factory;
   if (machine == "sc") {
     factory = [](std::size_t p, std::size_t l) {
@@ -326,15 +505,16 @@ int cmd_identify(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (!apply_jobs_flag(argc, argv)) return usage();
+  GlobalOptions opts;
+  if (!apply_global_flags(argc, argv, opts)) return usage();
   if (argc < 2) return usage();
   try {
     const std::string cmd = argv[1];
     if (cmd == "models") return cmd_models();
     if (cmd == "tests") return cmd_tests();
-    if (cmd == "check") return cmd_check(argc, argv);
-    if (cmd == "show") return cmd_show(argc, argv);
-    if (cmd == "matrix") return cmd_matrix(argc, argv);
+    if (cmd == "check") return cmd_check(argc, argv, opts);
+    if (cmd == "show") return cmd_show(argc, argv, opts);
+    if (cmd == "matrix") return cmd_matrix(argc, argv, opts);
     if (cmd == "lattice") return cmd_lattice(argc, argv);
     if (cmd == "bakery") return cmd_bakery(argc, argv);
     if (cmd == "explain") return cmd_explain(argc, argv);
