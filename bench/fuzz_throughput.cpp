@@ -1,0 +1,100 @@
+// Fuzzing throughput: cases/sec through the generate -> differential
+// oracle -> (on findings) shrink pipeline, per oracle configuration.
+//
+// Not a paper artifact — the operational question for the fuzzing
+// subsystem (docs/FUZZING.md): how much coverage does a CPU-second buy,
+// and what do the witness and operational oracles cost on top of the
+// plain verdict-vector sweep?
+//
+//   ./fuzz_throughput              summary run + google-benchmark rows
+//
+// The summary run reports cases/sec over a fixed-seed batch for three
+// oracle configurations (lattice only; + witnesses; + operational) so a
+// regression in any layer is visible at a glance.
+#include "bench_util.hpp"
+
+#include <chrono>
+
+#include "fuzz/fuzzer.hpp"
+
+namespace {
+
+using namespace ssm;
+
+fuzz::FuzzOptions base_options(std::uint64_t iters) {
+  fuzz::FuzzOptions o;
+  o.seed = 20260807;
+  o.iters = iters;
+  return o;
+}
+
+double cases_per_sec(const fuzz::FuzzOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto report = fuzz::run_fuzz(options);
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  if (!report.clean()) {
+    std::printf("UNEXPECTED FINDINGS:\n%s", report.format().c_str());
+  }
+  return static_cast<double>(report.cases) / wall.count();
+}
+
+void summary() {
+  ssm::bench::print_banner(
+      "fuzz_throughput: differential-fuzzing cases/sec",
+      "(none -- operational cost of the oracle layers, docs/FUZZING.md)");
+  const std::uint64_t iters = 200;
+  auto lattice_only = base_options(iters);
+  lattice_only.oracle.check_witnesses = false;
+  lattice_only.oracle.check_operational = false;
+  auto with_witnesses = base_options(iters);
+  with_witnesses.oracle.check_operational = false;
+  const auto full = base_options(iters);
+  std::printf("%-28s %10.1f cases/sec\n", "lattice oracle only",
+              cases_per_sec(lattice_only));
+  std::printf("%-28s %10.1f cases/sec\n", "+ witness re-verification",
+              cases_per_sec(with_witnesses));
+  std::printf("%-28s %10.1f cases/sec\n", "+ operational soundness",
+              cases_per_sec(full));
+  std::printf("\n");
+}
+
+void register_benchmarks() {
+  benchmark::RegisterBenchmark("fuzz/generate_only",
+                               [](benchmark::State& state) {
+                                 fuzz::GeneratorSpec spec;
+                                 Rng rng(1);
+                                 for (auto _ : state) {
+                                   benchmark::DoNotOptimize(
+                                       fuzz::random_test(spec, rng, "b"));
+                                 }
+                               });
+  benchmark::RegisterBenchmark(
+      "fuzz/case_lattice_only", [](benchmark::State& state) {
+        auto o = base_options(1);
+        o.oracle.check_witnesses = false;
+        o.oracle.check_operational = false;
+        std::uint64_t seed = 1;
+        for (auto _ : state) {
+          o.seed = seed++;
+          benchmark::DoNotOptimize(fuzz::run_fuzz(o).cases);
+        }
+      });
+  benchmark::RegisterBenchmark(
+      "fuzz/case_full_oracle", [](benchmark::State& state) {
+        auto o = base_options(1);
+        std::uint64_t seed = 1;
+        for (auto _ : state) {
+          o.seed = seed++;
+          benchmark::DoNotOptimize(fuzz::run_fuzz(o).cases);
+        }
+      });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  summary();
+  register_benchmarks();
+  return ssm::bench::run_benchmarks(argc, argv);
+}

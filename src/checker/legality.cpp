@@ -126,6 +126,7 @@ class ViewSearch {
         indeg_(constraints.indegrees(universe)),
         target_(universe.count()),
         last_value_(h.num_locations(), kInitialValue),
+        last_was_rmw_(h.num_locations(), 0),
         pending_reads_(h.num_locations(), 0),
         mask_words_(scheduled_.words().size()),
         key_scratch_(mask_words_ + h.num_locations()),
@@ -257,16 +258,31 @@ class ViewSearch {
         if ((pass == 0) != hot) continue;
         // Legality gate: a read-like operation must observe the current
         // value of its location at this point in the view (unless exempt,
-        // e.g. satisfied by store-buffer forwarding).
+        // e.g. satisfied by store-buffer forwarding).  An exempt rmw
+        // read-part loses its exemption when the previous write to the
+        // location is itself an rmw: rmws are global synchronizations, so
+        // consecutive same-location rmws chain in every view (this is what
+        // makes test-and-set a mutex even on the weakest models).
         const bool checked_read = op.is_read() && !exempt_.test(i);
-        if (checked_read && last_value_[op.loc] != op.read_value()) {
+        const bool chained_rmw = !checked_read && op.is_read() &&
+                                 op.kind == OpKind::ReadModifyWrite &&
+                                 last_was_rmw_[op.loc] != 0;
+        if ((checked_read || chained_rmw) &&
+            last_value_[op.loc] != op.read_value()) {
           continue;
         }
         // Schedule.
         scheduled_.set(i);
         order_.push_back(i);
         const Value saved = last_value_[op.loc];
-        if (op.is_write()) last_value_[op.loc] = op.value;
+        // last_was_rmw_ needs no slot in the memo key: write values are
+        // distinct per location, so last_value_ already determines which
+        // write (and hence which kind) produced it.
+        const char saved_rmw = last_was_rmw_[op.loc];
+        if (op.is_write()) {
+          last_value_[op.loc] = op.value;
+          last_was_rmw_[op.loc] = op.kind == OpKind::ReadModifyWrite ? 1 : 0;
+        }
         if (checked_read) --pending_reads_[op.loc];
         constraints_.successors(i).for_each([&](std::size_t j) {
           if (universe_.test(j)) --indeg_[j];
@@ -278,6 +294,7 @@ class ViewSearch {
         });
         if (checked_read) ++pending_reads_[op.loc];
         last_value_[op.loc] = saved;
+        last_was_rmw_[op.loc] = saved_rmw;
         order_.pop_back();
         scheduled_.reset(i);
       }
@@ -299,6 +316,7 @@ class ViewSearch {
   std::vector<std::uint32_t> indeg_;
   std::size_t target_;
   std::vector<Value> last_value_;
+  std::vector<char> last_was_rmw_;
   std::vector<std::uint32_t> pending_reads_;
   std::size_t mask_words_;
   std::vector<std::uint64_t> key_scratch_;
@@ -401,16 +419,26 @@ std::optional<std::string> verify_view(const SystemHistory& h,
              std::to_string(bad_b) + " violated";
     }
   }
-  // Legality.
+  // Legality.  Mirrors the search gate, including the rmw chain rule: an
+  // exempt rmw read-part is still checked when the previous write to its
+  // location was an rmw.
   std::vector<Value> last(h.num_locations(), kInitialValue);
+  std::vector<char> last_rmw(h.num_locations(), 0);
   for (OpIndex i : view) {
     const auto& op = h.op(i);
-    if (op.is_read() && !exempt.test(i) && last[op.loc] != op.read_value()) {
+    const bool checked =
+        op.is_read() &&
+        (!exempt.test(i) ||
+         (op.kind == OpKind::ReadModifyWrite && last_rmw[op.loc] != 0));
+    if (checked && last[op.loc] != op.read_value()) {
       return "read " + history::to_string(op) + " observes " +
              std::to_string(op.read_value()) + " but location holds " +
              std::to_string(last[op.loc]);
     }
-    if (op.is_write()) last[op.loc] = op.value;
+    if (op.is_write()) {
+      last[op.loc] = op.value;
+      last_rmw[op.loc] = op.kind == OpKind::ReadModifyWrite ? 1 : 0;
+    }
   }
   return std::nullopt;
 }

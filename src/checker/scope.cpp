@@ -37,6 +37,16 @@ DynBitset labeled_ops(const SystemHistory& h) {
   return mask;
 }
 
+DynBitset remote_rmw_reads(const SystemHistory& h, ProcId p) {
+  DynBitset mask(h.size());
+  for (const auto& op : h.operations()) {
+    if (op.kind == OpKind::ReadModifyWrite && op.proc != p) {
+      mask.set(op.index);
+    }
+  }
+  return mask;
+}
+
 DynBitset ops_on(const SystemHistory& h, LocId loc) {
   DynBitset mask(h.size());
   for (const auto& op : h.operations()) {

@@ -30,6 +30,26 @@ using rel::DynBitset;
 /// Mask of all labeled operations (RC synchronization accesses).
 [[nodiscard]] DynBitset labeled_ops(const SystemHistory& h);
 
+/// Read parts of read-modify-writes issued by processors OTHER than `p`.
+///
+/// A δ_p = w view contains remote rmws because they are write-like, but
+/// only the issuing processor's view checks the read part: rmw atomicity
+/// is a property of the issuer's local state (every operational machine
+/// performs the swap against the issuing replica), not of the orders in
+/// which other processors observe unrelated writes.  Models without a
+/// shared write order (PRAM, causal, PC, ...) pass this as the exempt set;
+/// TSO's common write order makes the remote check hold for free.  The
+/// differential fuzzer (src/fuzz) found the stricter remote check breaking
+/// both TSO ⊆ Causal and operational soundness of the PRAM/causal machines.
+///
+/// The exemption is not absolute: the legality gate re-checks an exempt rmw
+/// read-part whenever the previous write to its location in the view is
+/// itself an rmw.  Rmws are global synchronizations (every machine quiesces
+/// and broadcasts), so consecutive same-location rmws chain in every view —
+/// this is what keeps test-and-set a mutex even on the weakest models
+/// (see the `tas-mutex` suite entry).
+[[nodiscard]] DynBitset remote_rmw_reads(const SystemHistory& h, ProcId p);
+
 /// Mask of all operations on one location.
 [[nodiscard]] DynBitset ops_on(const SystemHistory& h, LocId loc);
 

@@ -365,14 +365,25 @@ std::optional<std::string> check_legal(const SystemHistory& h,
                                        const std::vector<char>& exempt,
                                        const std::string& what) {
   std::vector<Value> last(h.num_locations(), kInitialValue);
+  std::vector<char> last_rmw(h.num_locations(), 0);
   for (OpIndex i : view) {
     const auto& op = h.op(i);
-    if (op.is_read() && !exempt[i] && last[op.loc] != op.read_value()) {
+    // Mirrors the engine's gate: an exempt rmw read-part is still checked
+    // when the previous write to the location was an rmw — consecutive
+    // same-location rmws chain in every view.
+    const bool checked =
+        op.is_read() &&
+        (!exempt[i] ||
+         (op.kind == OpKind::ReadModifyWrite && last_rmw[op.loc] != 0));
+    if (checked && last[op.loc] != op.read_value()) {
       return what + " is illegal: read " + op_str(h, i) + " observes " +
              std::to_string(op.read_value()) + " but the location holds " +
              std::to_string(last[op.loc]);
     }
-    if (op.is_write()) last[op.loc] = op.value;
+    if (op.is_write()) {
+      last[op.loc] = op.value;
+      last_rmw[op.loc] = op.kind == OpKind::ReadModifyWrite ? 1 : 0;
+    }
   }
   return std::nullopt;
 }
@@ -454,12 +465,15 @@ std::optional<std::string> check_global_sequence(
 /// The per-processor-view backbone shared by every model except Cache and
 /// TSOax: membership (own ops + the model's δp, cross-checked against the
 /// stored delta), order respect (shared edges plus optional per-processor
-/// edges), and legality.
+/// edges), and legality.  `exempt_remote_rmw` additionally exempts the read
+/// part of other processors' read-modify-writes from each view's legality
+/// gate: in models without a shared write order, rmw atomicity is the
+/// issuing processor's obligation alone (see checker/scope.hpp).
 std::optional<std::string> check_processor_views(
     const SystemHistory& h, const Witness& w, bool all_others,
     const Edges& shared,
     const std::function<const Edges*(ProcId)>& own_extra,
-    const std::vector<char>& exempt) {
+    const std::vector<char>& exempt, bool exempt_remote_rmw = false) {
   if (w.views.size() != h.num_processors()) {
     return "witness has " + std::to_string(w.views.size()) + " views for " +
            std::to_string(h.num_processors()) + " processors";
@@ -492,7 +506,15 @@ std::optional<std::string> check_processor_views(
     if (const Edges* extra = own_extra ? own_extra(p) : nullptr) {
       if (auto err = check_respects(h, w.views[p], *extra, what)) return err;
     }
-    if (auto err = check_legal(h, w.views[p], exempt, what)) return err;
+    std::vector<char> view_exempt = exempt;
+    if (exempt_remote_rmw) {
+      for (const auto& op : h.operations()) {
+        if (op.kind == OpKind::ReadModifyWrite && op.proc != p) {
+          view_exempt[op.index] = 1;
+        }
+      }
+    }
+    if (auto err = check_legal(h, w.views[p], view_exempt, what)) return err;
   }
   return std::nullopt;
 }
@@ -649,7 +671,8 @@ std::optional<std::string> verify_slow_or_local(const SystemHistory& h,
   const Edges none(h.size());
   return check_processor_views(
       h, w, /*all_others=*/false, none,
-      [&](ProcId p) { return &per_proc[p]; }, no_exempt);
+      [&](ProcId p) { return &per_proc[p]; }, no_exempt,
+      /*exempt_remote_rmw=*/true);
 }
 
 }  // namespace
@@ -668,11 +691,11 @@ std::optional<std::string> verify_witness(const SystemHistory& h,
   if (m == "Cache") return verify_cache(h, w);
   if (m == "PRAM") {
     return check_processor_views(h, w, false, po_edges(h), nullptr,
-                                 no_exempt);
+                                 no_exempt, /*exempt_remote_rmw=*/true);
   }
   if (m == "Causal") {
     return check_processor_views(h, w, false, causal_edges(h), nullptr,
-                                 no_exempt);
+                                 no_exempt, /*exempt_remote_rmw=*/true);
   }
   if (m == "Slow") return verify_slow_or_local(h, w, true);
   if (m == "Local") return verify_slow_or_local(h, w, false);
@@ -685,7 +708,7 @@ std::optional<std::string> verify_witness(const SystemHistory& h,
         semi_causal_edges(h, ppo_edges(h, false), pos, nullptr);
     constraints |= chain;
     return check_processor_views(h, w, false, constraints, nullptr,
-                                 no_exempt);
+                                 no_exempt, /*exempt_remote_rmw=*/true);
   }
   if (m == "PCg") {
     Edges constraints(h.size());
@@ -695,7 +718,7 @@ std::optional<std::string> verify_witness(const SystemHistory& h,
     }
     constraints |= po_edges(h);
     return check_processor_views(h, w, false, constraints, nullptr,
-                                 no_exempt);
+                                 no_exempt, /*exempt_remote_rmw=*/true);
   }
   if (m == "CausalCoh" || m == "CausalCohL") {
     const bool labeled_only = m == "CausalCohL";
@@ -709,7 +732,7 @@ std::optional<std::string> verify_witness(const SystemHistory& h,
     }
     constraints |= causal_edges(h);
     return check_processor_views(h, w, false, constraints, nullptr,
-                                 no_exempt);
+                                 no_exempt, /*exempt_remote_rmw=*/true);
   }
 
   if (m == "WO" || m == "HC" || m == "RCsc" || m == "RCpc" || m == "RCg") {
@@ -782,7 +805,8 @@ std::optional<std::string> verify_witness(const SystemHistory& h,
                               : own_ppo_edges(h, false, p));
     }
     return check_processor_views(
-        h, w, false, shared, [&](ProcId p) { return &own[p]; }, no_exempt);
+        h, w, false, shared, [&](ProcId p) { return &own[p]; }, no_exempt,
+        /*exempt_remote_rmw=*/true);
   }
 
   return "unknown model '" + m + "' in witness";

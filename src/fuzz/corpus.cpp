@@ -1,0 +1,141 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/oracle.hpp"
+#include "litmus/emit.hpp"
+#include "litmus/parser.hpp"
+#include "litmus/runner.hpp"
+#include "models/registry.hpp"
+
+namespace ssm::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// History-only rendering (no name/origin/expect), so the file name is
+/// stable across renames and expectation refreshes.
+std::string history_text(const litmus::LitmusTest& t) {
+  litmus::LitmusTest bare;
+  bare.name = "h";
+  bare.hist = t.hist;
+  return litmus::emit(bare);
+}
+
+}  // namespace
+
+std::string corpus_file_name(const litmus::LitmusTest& t) {
+  return t.name + "-" + hex16(fnv1a64(history_text(t))) + ".litmus";
+}
+
+std::string save_case(const std::string& dir, litmus::LitmusTest t,
+                      const std::vector<models::ModelPtr>& reference,
+                      const checker::BudgetSpec& budget) {
+  const auto outcome =
+      litmus::run_test(t, reference, litmus::RunOptions{budget});
+  t.expectations.clear();
+  for (const auto& cell : outcome.per_model) {
+    if (cell.inconclusive) continue;
+    t.expectations[cell.model] = cell.allowed;
+  }
+  fs::create_directories(dir);
+  const fs::path path = fs::path(dir) / corpus_file_name(t);
+  std::ofstream out(path);
+  if (!out) {
+    throw InvalidInput("cannot write corpus file " + path.string());
+  }
+  out << litmus::emit(t);
+  return path.string();
+}
+
+std::vector<litmus::LitmusTest> load_corpus(const std::string& dir) {
+  if (!fs::is_directory(dir)) {
+    throw InvalidInput("corpus directory not found: " + dir);
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".litmus") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<litmus::LitmusTest> out;
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    if (!in) throw InvalidInput("cannot read corpus file " + file.string());
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      for (auto& t : litmus::parse_suite(text.str())) {
+        out.push_back(std::move(t));
+      }
+    } catch (const InvalidInput& e) {
+      throw InvalidInput(file.string() + ": " + e.what());
+    }
+  }
+  return out;
+}
+
+ReplayResult replay_corpus(const std::string& dir,
+                           const std::vector<models::ModelPtr>& models,
+                           const checker::BudgetSpec& budget) {
+  ReplayResult result;
+  const auto tests = load_corpus(dir);
+  // The oracle re-checks the lattice invariant on every corpus entry;
+  // recorded expectations guard against verdicts drifting over time.
+  OracleOptions opts;
+  opts.check_witnesses = true;
+  opts.check_operational = false;  // corpus replay stays cheap (tier-1)
+  opts.budget = budget;
+  std::vector<models::ModelPtr> oracle_models;
+  for (const auto& m : models) {
+    oracle_models.push_back(models::make_model(m->name()));
+  }
+  const Oracle oracle(std::move(oracle_models), opts);
+  for (const auto& t : tests) {
+    ++result.tests;
+    const auto outcome =
+        litmus::run_test(t, models, litmus::RunOptions{budget});
+    for (const auto& cell : outcome.per_model) {
+      ++result.cells;
+      if (!cell.matches()) {
+        result.failures.push_back(
+            {t.name, cell.model + ": got " +
+                         (cell.inconclusive
+                              ? "inconclusive"
+                              : (cell.allowed ? "allowed" : "forbidden")) +
+                         ", expected " +
+                         (cell.expected.value() ? "allowed" : "forbidden")});
+      }
+    }
+    for (const auto& f : oracle.run_case(t).findings) {
+      result.failures.push_back(
+          {t.name, std::string(to_string(f.kind)) + ": " + f.detail});
+    }
+  }
+  return result;
+}
+
+}  // namespace ssm::fuzz

@@ -1,0 +1,62 @@
+// Regression corpus: shrunk fuzz findings persisted as .litmus files.
+//
+// Every finding the fuzzer shrinks is saved under a deterministic file
+// name derived from its canonical DSL text, so re-running the same seed
+// never duplicates entries and corpora merge by simple file copy.  Saved
+// tests carry `expect:` lines recorded from a reference model set at save
+// time — replaying the corpus is then just litmus::run_suite plus the
+// oracle's lattice invariant, which is exactly what the `fuzz`-labeled
+// ctest corpus runner does (tools/CMakeLists.txt).  The starter corpus
+// under tests/litmus/corpus/ holds the shrunk paper figures 1–4 and the
+// §5 Bakery RC_pc violation; docs/FUZZING.md describes the triage
+// workflow that grows it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "checker/budget.hpp"
+#include "litmus/test.hpp"
+#include "models/model.hpp"
+
+namespace ssm::fuzz {
+
+/// Deterministic corpus file name: "<name>-<fnv1a64 of the emitted
+/// history>.litmus".  Two structurally equal shrunk cases collide on
+/// purpose (same content, same file).
+[[nodiscard]] std::string corpus_file_name(const litmus::LitmusTest& t);
+
+/// Records `expect:` lines on `t` from the reference models' conclusive
+/// verdicts (INCONCLUSIVE cells stay unspecified), then writes
+/// litmus::emit(t) to `dir`/corpus_file_name(t).  Creates `dir` when
+/// missing.  Returns the full path written.
+std::string save_case(const std::string& dir, litmus::LitmusTest t,
+                      const std::vector<models::ModelPtr>& reference,
+                      const checker::BudgetSpec& budget = {});
+
+/// Parses every *.litmus file under `dir` (sorted by file name, one or
+/// more tests per file).  Throws InvalidInput on unreadable or malformed
+/// files — a corrupt corpus should fail loudly, not shrink silently.
+[[nodiscard]] std::vector<litmus::LitmusTest> load_corpus(
+    const std::string& dir);
+
+struct ReplayFailure {
+  std::string test;
+  std::string detail;
+};
+
+struct ReplayResult {
+  std::uint64_t tests = 0;
+  std::uint64_t cells = 0;
+  std::vector<ReplayFailure> failures;
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+/// Replays the corpus: every test is checked against `models`, recorded
+/// expectations must match (INCONCLUSIVE cells contradict nothing), and
+/// no verdict vector may invert a figure5 containment edge.
+[[nodiscard]] ReplayResult replay_corpus(
+    const std::string& dir, const std::vector<models::ModelPtr>& models,
+    const checker::BudgetSpec& budget = {});
+
+}  // namespace ssm::fuzz

@@ -1,0 +1,236 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <cstdio>
+
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/shrink.hpp"
+#include "litmus/emit.hpp"
+#include "models/registry.hpp"
+
+namespace ssm::fuzz {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void json_escape(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Per-iteration result, written only by its own worker.
+struct CaseSlot {
+  std::vector<FuzzFinding> findings;
+  std::vector<InconclusiveCase> inconclusive;
+  std::uint64_t shrink_steps = 0;
+};
+
+}  // namespace
+
+std::uint64_t case_seed(std::uint64_t seed, std::uint64_t i) {
+  // Case 0 uses the master seed directly: that is what makes
+  // `--seed <case_seed> --iters 1` replay any case from a larger run.
+  if (i == 0) return seed;
+  return splitmix64(seed ^ splitmix64(i));
+}
+
+std::string FuzzReport::to_json() const {
+  std::string json = "{\n  \"seed\": " + std::to_string(seed) +
+                     ",\n  \"cases\": " + std::to_string(cases) +
+                     ",\n  \"shrink_steps\": " + std::to_string(shrink_steps) +
+                     ",\n  \"findings\": [";
+  bool first = true;
+  for (const auto& f : findings) {
+    json += first ? "\n    {" : ",\n    {";
+    first = false;
+    json += "\"case\": " + std::to_string(f.case_index) +
+            ", \"case_seed\": " + std::to_string(f.case_seed) +
+            ", \"kind\": \"";
+    json += to_string(f.kind);
+    json += "\", \"model\": \"";
+    json_escape(json, f.model);
+    json += "\", \"other\": \"";
+    json_escape(json, f.other);
+    json += "\", \"detail\": \"";
+    json_escape(json, f.detail);
+    json += "\", \"litmus\": \"";
+    json_escape(json, f.dsl);
+    json += "\"}";
+  }
+  json += "\n  ],\n  \"inconclusive\": [";
+  first = true;
+  for (const auto& c : inconclusive) {
+    json += first ? "\n    {" : ",\n    {";
+    first = false;
+    json += "\"case\": " + std::to_string(c.case_index) +
+            ", \"case_seed\": " + std::to_string(c.case_seed) +
+            ", \"detail\": \"";
+    json_escape(json, c.detail);
+    json += "\", \"litmus\": \"";
+    json_escape(json, c.dsl);
+    json += "\"}";
+  }
+  json += "\n  ]\n}\n";
+  return json;
+}
+
+std::string FuzzReport::format() const {
+  std::string out;
+  for (const auto& f : findings) {
+    out += "FINDING [";
+    out += to_string(f.kind);
+    out += "] case " + std::to_string(f.case_index) + " (reproduce: --seed " +
+           std::to_string(f.case_seed) + " --iters 1): " + f.detail +
+           "\n  shrunk to " + std::to_string(f.test.hist.size()) +
+           " ops:\n" + f.dsl;
+  }
+  for (const auto& c : inconclusive) {
+    out += "INCONCLUSIVE case " + std::to_string(c.case_index) +
+           " (reproduce: --seed " + std::to_string(c.case_seed) +
+           " --iters 1): " + c.detail + "\n";
+  }
+  out += "fuzz: " + std::to_string(cases) + " cases, " +
+         std::to_string(findings.size()) + " findings, " +
+         std::to_string(inconclusive.size()) + " inconclusive\n";
+  return out;
+}
+
+FuzzReport run_fuzz(const FuzzOptions& options,
+                    std::vector<models::ModelPtr> models) {
+  auto& registry = common::metrics::Registry::global();
+  auto& cases_ctr = registry.counter("fuzz.cases");
+  auto& findings_ctr = registry.counter("fuzz.findings");
+  auto& shrink_ctr = registry.counter("fuzz.shrink_steps");
+  auto& inconclusive_ctr = registry.counter("fuzz.inconclusive");
+
+  const Oracle oracle(std::move(models), options.oracle);
+  const std::uint64_t n = options.iters;
+  std::vector<CaseSlot> slots(n);
+
+  const auto run_one = [&](std::size_t i) {
+    CaseSlot& slot = slots[i];
+    const std::uint64_t cs = case_seed(options.seed, i);
+    Rng rng(cs);
+    const auto t = random_test(options.gen, rng,
+                               "fuzz-" + std::to_string(i));
+    cases_ctr.add(1);
+    auto result = oracle.run_case(t);
+    for (const auto& note : result.inconclusive) {
+      slot.inconclusive.push_back(
+          {i, cs, note, litmus::emit(t)});
+    }
+    for (auto& raw : result.findings) {
+      FuzzFinding f;
+      f.case_index = i;
+      f.case_seed = cs;
+      f.kind = raw.kind;
+      f.model = std::move(raw.model);
+      f.other = std::move(raw.other);
+      f.detail = std::move(raw.detail);
+      f.test = t;
+      f.test.expectations.clear();
+      if (options.shrink) {
+        Finding probe;  // shrink predicate re-checks this finding only
+        probe.kind = f.kind;
+        probe.model = f.model;
+        probe.other = f.other;
+        ShrinkStats stats;
+        f.test.hist = shrink(
+            t.hist,
+            [&](const history::SystemHistory& h) {
+              return oracle.reproduces(h, probe);
+            },
+            &stats);
+        slot.shrink_steps += stats.steps;
+      }
+      // No case index in the name: structurally equal findings from
+      // different iterations must collide in the corpus (dedup by
+      // content); the reproducing seed lives in origin and the report.
+      f.test.name = "fuzz-" + std::string(to_string(f.kind));
+      f.test.origin = "shrunk fuzz finding (seed " + std::to_string(cs) +
+                      "): " + f.detail;
+      f.dsl = litmus::emit(f.test);
+      slot.findings.push_back(std::move(f));
+    }
+  };
+
+  auto& pool = common::ThreadPool::global();
+  if (pool.jobs() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    pool.parallel_for(n, run_one);
+  }
+
+  FuzzReport report;
+  report.seed = options.seed;
+  report.cases = n;
+  for (auto& slot : slots) {
+    report.shrink_steps += slot.shrink_steps;
+    for (auto& f : slot.findings) report.findings.push_back(std::move(f));
+    for (auto& c : slot.inconclusive) {
+      report.inconclusive.push_back(std::move(c));
+    }
+  }
+  findings_ctr.add(report.findings.size());
+  shrink_ctr.add(report.shrink_steps);
+  inconclusive_ctr.add(report.inconclusive.size());
+
+  if (!options.corpus_dir.empty() && !report.findings.empty()) {
+    // Expectations come from a clean registry — with an injected bug the
+    // wrapped model must not poison the recorded ground truth.
+    const auto reference = models::all_models();
+    for (auto& f : report.findings) {
+      save_case(options.corpus_dir, f.test, reference,
+                options.oracle.budget);
+    }
+  }
+  return report;
+}
+
+FuzzReport run_fuzz(const FuzzOptions& options) {
+  auto models = models::all_models();
+  if (!options.inject_bug_into.empty()) {
+    bool wrapped = false;
+    for (auto& m : models) {
+      if (m->name() == options.inject_bug_into) {
+        m = make_buggy_model(std::move(m));
+        wrapped = true;
+      }
+    }
+    if (!wrapped) {
+      throw InvalidInput("--inject-bug: unknown model '" +
+                         options.inject_bug_into + "'");
+    }
+  }
+  return run_fuzz(options, std::move(models));
+}
+
+}  // namespace ssm::fuzz

@@ -1,0 +1,90 @@
+// The fuzzing loop: generate → differentially check → shrink → report.
+//
+// Iterations are independent and fan out across the process-wide
+// common::ThreadPool exactly like litmus::run_suite cells: each iteration
+// derives its own Rng from (seed, index) by splitmix64, writes only its
+// presized result slot, and the report is assembled in index order
+// afterwards — so the findings JSON is byte-identical for any --jobs
+// value and across runs (docs/FUZZING.md, determinism contract).
+//
+// Every finding carries the reproducing (seed, case index, case seed)
+// triple and the shrunk case's DSL; every INCONCLUSIVE budget trip is
+// reported the same way so resource limits never silently eat coverage.
+// Metrics: fuzz.cases / fuzz.findings / fuzz.shrink_steps /
+// fuzz.inconclusive (common/metrics.hpp, exported by `ssm --json fuzz`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
+
+namespace ssm::fuzz {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t iters = 1000;
+  GeneratorSpec gen;
+  OracleOptions oracle;
+  /// Shrink findings before reporting (off: report the raw case).
+  bool shrink = true;
+  /// When non-empty, save each shrunk finding here (see corpus.hpp).
+  std::string corpus_dir;
+  /// Test hook: plant make_buggy_model around this model name ("" = none).
+  std::string inject_bug_into;
+};
+
+struct FuzzFinding {
+  std::uint64_t case_index = 0;
+  /// The derived per-case seed; `ssm fuzz --seed <case_seed> --iters 1`
+  /// with the same generator knobs reproduces the case directly.
+  std::uint64_t case_seed = 0;
+  FindingKind kind = FindingKind::LatticeInversion;
+  std::string model;
+  std::string other;
+  std::string detail;
+  /// The shrunk (or raw, when shrinking is off) counterexample.
+  litmus::LitmusTest test;
+  std::string dsl;  ///< litmus::emit(test)
+};
+
+struct InconclusiveCase {
+  std::uint64_t case_index = 0;
+  std::uint64_t case_seed = 0;
+  std::string detail;  ///< "model: note"
+  std::string dsl;     ///< the case that tripped the budget
+};
+
+struct FuzzReport {
+  std::uint64_t seed = 0;
+  std::uint64_t cases = 0;
+  std::uint64_t shrink_steps = 0;
+  std::vector<FuzzFinding> findings;
+  std::vector<InconclusiveCase> inconclusive;
+
+  [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+  /// Deterministic JSON (no timestamps / wall times): the artifact the
+  /// cross-jobs and cross-run byte-identity tests compare.
+  [[nodiscard]] std::string to_json() const;
+  /// Human-readable finding lines with reproduction seeds.
+  [[nodiscard]] std::string format() const;
+};
+
+/// Derives the per-case seed the fuzzer uses for iteration `i`.  Case 0
+/// uses `seed` itself, so `--seed <case_seed> --iters 1` regenerates any
+/// case from a larger run exactly (exposed so tests can predict it).
+[[nodiscard]] std::uint64_t case_seed(std::uint64_t seed, std::uint64_t i);
+
+/// Runs the loop.  `models` is consumed by the oracle; pass
+/// models::all_models() (optionally with one entry wrapped by
+/// make_buggy_model — FuzzOptions::inject_bug_into does this for you).
+[[nodiscard]] FuzzReport run_fuzz(const FuzzOptions& options,
+                                  std::vector<models::ModelPtr> models);
+
+/// Convenience: run_fuzz over the full registry (honoring
+/// inject_bug_into).
+[[nodiscard]] FuzzReport run_fuzz(const FuzzOptions& options);
+
+}  // namespace ssm::fuzz

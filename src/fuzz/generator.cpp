@@ -1,0 +1,195 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+
+#include "history/symbol_table.hpp"
+
+namespace ssm::fuzz {
+namespace {
+
+/// Kind/location/label of one slot; values are resolved in a second pass
+/// so read values can range over every write in the final history.
+struct Slot {
+  ProcId proc = 0;
+  OpKind kind = OpKind::Read;
+  LocId loc = 0;
+  /// Template reads pin their outcome ("stale" = initial value, "fresh" =
+  /// the location's first write); free reads draw uniformly.
+  enum class Pin : std::uint8_t { Free, Initial, FirstWrite } pin = Pin::Free;
+};
+
+std::uint32_t pick_in(Rng& rng, std::uint32_t lo, std::uint32_t hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<std::uint32_t>(rng.below(hi - lo + 1));
+}
+
+/// Free-mode slot for processor `p`.
+Slot free_slot(const GeneratorSpec& spec, Rng& rng, ProcId p) {
+  Slot s;
+  s.proc = p;
+  s.loc = static_cast<LocId>(rng.below(spec.locs));
+  if (rng.chance(spec.write_percent, 100)) {
+    s.kind = rng.chance(spec.rmw_percent, 100) ? OpKind::ReadModifyWrite
+                                               : OpKind::Write;
+  } else {
+    s.kind = OpKind::Read;
+  }
+  return s;
+}
+
+/// Two distinct locations for a skeleton (falls back to one when the spec
+/// has a single location — the skeleton degrades to a coherence shape).
+std::pair<LocId, LocId> two_locs(const GeneratorSpec& spec, Rng& rng) {
+  const LocId x = static_cast<LocId>(rng.below(spec.locs));
+  if (spec.locs < 2) return {x, x};
+  LocId y = static_cast<LocId>(rng.below(spec.locs - 1));
+  if (y >= x) ++y;
+  return {x, y};
+}
+
+Slot::Pin pick_pin(Rng& rng) {
+  return rng.chance(1, 2) ? Slot::Pin::Initial : Slot::Pin::FirstWrite;
+}
+
+/// Message passing: p writes x then y; q reads y then x.  The interesting
+/// outcome (y fresh, x stale) is one of the four random pin choices.
+void mp_skeleton(const GeneratorSpec& spec, Rng& rng,
+                 std::vector<Slot>& slots) {
+  const auto [x, y] = two_locs(spec, rng);
+  slots.push_back({0, OpKind::Write, x, Slot::Pin::Free});
+  slots.push_back({0, OpKind::Write, y, Slot::Pin::Free});
+  slots.push_back({1, OpKind::Read, y, pick_pin(rng)});
+  slots.push_back({1, OpKind::Read, x, pick_pin(rng)});
+}
+
+/// Store buffering: p writes x reads y; q writes y reads x.
+void sb_skeleton(const GeneratorSpec& spec, Rng& rng,
+                 std::vector<Slot>& slots) {
+  const auto [x, y] = two_locs(spec, rng);
+  slots.push_back({0, OpKind::Write, x, Slot::Pin::Free});
+  slots.push_back({0, OpKind::Read, y, pick_pin(rng)});
+  slots.push_back({1, OpKind::Write, y, Slot::Pin::Free});
+  slots.push_back({1, OpKind::Read, x, pick_pin(rng)});
+}
+
+/// IRIW: two writers, two readers observing in opposite orders (needs 4
+/// processors; callers only select it when max_procs allows).
+void iriw_skeleton(const GeneratorSpec& spec, Rng& rng,
+                   std::vector<Slot>& slots) {
+  const auto [x, y] = two_locs(spec, rng);
+  slots.push_back({0, OpKind::Write, x, Slot::Pin::Free});
+  slots.push_back({1, OpKind::Write, y, Slot::Pin::Free});
+  slots.push_back({2, OpKind::Read, x, pick_pin(rng)});
+  slots.push_back({2, OpKind::Read, y, pick_pin(rng)});
+  slots.push_back({3, OpKind::Read, y, pick_pin(rng)});
+  slots.push_back({3, OpKind::Read, x, pick_pin(rng)});
+}
+
+}  // namespace
+
+litmus::LitmusTest random_test(const GeneratorSpec& spec, Rng& rng,
+                               std::string name) {
+  const std::uint32_t locs = std::max<std::uint32_t>(spec.locs, 1);
+  // Per-location synchronization flags, drawn up front: a sync location
+  // has every operation labeled, so the history stays properly labeled.
+  std::vector<bool> sync(locs, false);
+  for (std::uint32_t l = 0; l < locs; ++l) {
+    sync[l] = rng.chance(spec.label_percent, 100);
+  }
+  std::vector<Slot> slots;
+  std::uint32_t procs = 0;
+  const char* origin = "fuzz (free)";
+  const bool templated = rng.chance(spec.shape_percent, 100);
+  if (templated) {
+    const bool iriw_ok = spec.max_procs >= 4;
+    switch (rng.below(iriw_ok ? 3 : 2)) {
+      case 0:
+        mp_skeleton(spec, rng, slots);
+        procs = 2;
+        origin = "fuzz (mp skeleton)";
+        break;
+      case 1:
+        sb_skeleton(spec, rng, slots);
+        procs = 2;
+        origin = "fuzz (sb skeleton)";
+        break;
+      default:
+        iriw_skeleton(spec, rng, slots);
+        procs = 4;
+        origin = "fuzz (iriw skeleton)";
+        break;
+    }
+    // Pad with free ops so templates still explore the surrounding space.
+    for (ProcId p = 0; p < procs; ++p) {
+      const std::uint32_t extra =
+          static_cast<std::uint32_t>(rng.below(spec.max_ops + 1)) / 2;
+      for (std::uint32_t k = 0; k < extra; ++k) {
+        slots.push_back(free_slot(spec, rng, p));
+      }
+    }
+  } else {
+    procs = pick_in(rng, std::max<std::uint32_t>(spec.min_procs, 1),
+                    std::max<std::uint32_t>(spec.max_procs, 1));
+    for (ProcId p = 0; p < procs; ++p) {
+      const std::uint32_t ops =
+          pick_in(rng, std::max<std::uint32_t>(spec.min_ops, 1),
+                  std::max<std::uint32_t>(spec.max_ops, 1));
+      for (std::uint32_t k = 0; k < ops; ++k) {
+        slots.push_back(free_slot(spec, rng, p));
+      }
+    }
+  }
+  // Guarantee every processor issues at least one operation (an empty
+  // processor would vanish from the emitted DSL and break round-trips).
+  std::vector<bool> seen(procs, false);
+  for (const Slot& s : slots) seen[s.proc] = true;
+  for (ProcId p = 0; p < procs; ++p) {
+    if (!seen[p]) slots.push_back(free_slot(spec, rng, p));
+  }
+  // Order slots processor-major (templates interleave processors; dense
+  // append order must follow per-processor program order per line).
+  std::stable_sort(slots.begin(), slots.end(),
+                   [](const Slot& a, const Slot& b) { return a.proc < b.proc; });
+
+  // Value pass: canonical write values keep every (location, value) pair
+  // unique, which is exactly what SystemHistory::validate() requires of a
+  // checkable history.
+  std::vector<std::uint32_t> writes_to(locs, 0);
+  for (const Slot& s : slots) {
+    if (is_write_like(s.kind)) ++writes_to[s.loc];
+  }
+  litmus::LitmusTest t;
+  t.name = std::move(name);
+  t.origin = origin;
+  t.hist = history::SystemHistory(history::SymbolTable::canonical(procs,
+                                                                  locs));
+  std::vector<std::uint32_t> next_value(locs, 0);
+  for (const Slot& s : slots) {
+    history::Operation op;
+    op.proc = s.proc;
+    op.kind = s.kind;
+    op.loc = s.loc;
+    op.label = sync[s.loc] ? OpLabel::Labeled : OpLabel::Ordinary;
+    const auto read_value = [&]() -> Value {
+      switch (s.pin) {
+        case Slot::Pin::Initial:
+          return kInitialValue;
+        case Slot::Pin::FirstWrite:
+          return writes_to[s.loc] > 0 ? Value{1} : kInitialValue;
+        case Slot::Pin::Free:
+          break;
+      }
+      return static_cast<Value>(rng.below(writes_to[s.loc] + 1));
+    };
+    if (s.kind == OpKind::Read) {
+      op.value = read_value();
+    } else {
+      op.value = static_cast<Value>(++next_value[s.loc]);
+      if (s.kind == OpKind::ReadModifyWrite) op.rmw_read = read_value();
+    }
+    t.hist.append(op);
+  }
+  return t;
+}
+
+}  // namespace ssm::fuzz

@@ -1,0 +1,63 @@
+// Random litmus-test generator for the fuzzing subsystem (diy-style).
+//
+// Produces straight-line programs-as-histories: every generated case is a
+// well-formed SystemHistory (passes SystemHistory::validate()), rendered
+// with canonical processor/location names so it round-trips exactly
+// through litmus::emit / litmus::parse_test.
+//
+// Labeling is per-location: each location is independently chosen (with
+// probability `label_percent`) to be a synchronization location, and then
+// EVERY operation on it is labeled.  This keeps every generated history
+// properly labeled (models::check_properly_labeled) — the labeled models
+// (WO, HC, RC*) are only defined on that subspace, and the Figure 5
+// containments are theorems there, not over arbitrarily mixed labelings.
+//
+// Two generation modes are mixed by `shape_percent`:
+//   * free mode — every slot's kind/location drawn independently
+//     from the knob distribution, canonical write values (the k-th write
+//     to a location writes k), read values uniform over {initial} ∪
+//     {values written to the location};
+//   * template mode — the classic weak-memory skeletons (message passing,
+//     store buffering, IRIW) instantiated on random locations with random
+//     read outcomes and optional labeling, then padded with free-mode
+//     ops.  These shapes sit exactly on the model separations of paper
+//     Figures 1–4, so biasing toward them concentrates the fuzzer on the
+//     regions where verdict vectors actually differ across the lattice.
+//
+// Determinism: generation consumes ONLY the passed Rng (common/rng.hpp,
+// golden-sequence pinned), so a (seed, spec) pair reproduces the same
+// case on any platform.
+#pragma once
+
+#include "common/rng.hpp"
+#include "litmus/test.hpp"
+
+namespace ssm::fuzz {
+
+struct GeneratorSpec {
+  /// Processor count range (inclusive).
+  std::uint32_t min_procs = 2;
+  std::uint32_t max_procs = 3;
+  /// Operations per processor (inclusive range, drawn per processor).
+  std::uint32_t min_ops = 1;
+  std::uint32_t max_ops = 3;
+  /// Number of shared locations.
+  std::uint32_t locs = 2;
+  /// Percent of operations that are writes (free mode).
+  std::uint32_t write_percent = 50;
+  /// Percent chance each location is a synchronization location (every
+  /// operation on it labeled — see the proper-labeling note above).
+  std::uint32_t label_percent = 20;
+  /// Percent of writes that are atomic read-modify-writes.
+  std::uint32_t rmw_percent = 10;
+  /// Percent of cases built from a classic skeleton (MP / SB / IRIW).
+  std::uint32_t shape_percent = 35;
+};
+
+/// One random test.  `name` becomes the test's name (the fuzzer passes
+/// "fuzz-<case index>" so findings are addressable); origin records the
+/// generation mode for triage.
+[[nodiscard]] litmus::LitmusTest random_test(const GeneratorSpec& spec,
+                                             Rng& rng, std::string name);
+
+}  // namespace ssm::fuzz

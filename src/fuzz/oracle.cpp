@@ -1,0 +1,235 @@
+#include "fuzz/oracle.hpp"
+
+#include "checker/witness.hpp"
+#include "checker/witness_verifier.hpp"
+#include "lattice/inclusion.hpp"
+#include "models/operational.hpp"
+
+namespace ssm::fuzz {
+namespace {
+
+/// The sound machine→model correspondences established by
+/// tests/models/operational_test.cpp (EXPERIMENTS.md records the
+/// completeness gaps; soundness is what the oracle enforces).
+struct MachinePair {
+  const char* machine;
+  const char* model;
+};
+constexpr MachinePair kSoundPairs[] = {
+    {"sc", "SC"},         {"tso", "TSOfwd"},   {"pram", "PRAM"},
+    {"causal", "Causal"}, {"coherent", "PCg"},
+};
+
+bool has_labeled_ops(const history::SystemHistory& h) {
+  for (const auto& op : h.operations()) {
+    if (op.is_labeled()) return true;
+  }
+  return false;
+}
+
+class BuggyModel final : public models::Model {
+ public:
+  BuggyModel(models::ModelPtr inner, std::uint32_t min_writes)
+      : inner_(std::move(inner)), min_writes_(min_writes) {}
+
+  std::string_view name() const noexcept override { return inner_->name(); }
+  std::string_view description() const noexcept override {
+    return "INJECTED BUG wrapper (rejects multi-write processors)";
+  }
+
+  checker::Verdict check(const history::SystemHistory& h) const override {
+    std::vector<std::uint32_t> writes(h.num_processors(), 0);
+    for (const auto& op : h.operations()) {
+      if (op.is_write() && ++writes[op.proc] >= min_writes_) {
+        return checker::Verdict::no("injected bug: processor issues " +
+                                    std::to_string(min_writes_) +
+                                    "+ writes");
+      }
+    }
+    return inner_->check(h);
+  }
+
+ private:
+  models::ModelPtr inner_;
+  std::uint32_t min_writes_;
+};
+
+}  // namespace
+
+const char* to_string(FindingKind k) noexcept {
+  switch (k) {
+    case FindingKind::LatticeInversion:
+      return "lattice-inversion";
+    case FindingKind::OperationalUnsound:
+      return "operational-unsound";
+    case FindingKind::WitnessMismatch:
+      return "witness-mismatch";
+  }
+  return "unknown";
+}
+
+Oracle::Oracle(std::vector<models::ModelPtr> models, OracleOptions options)
+    : models_(std::move(models)), options_(options) {
+  const auto index_of = [&](std::string_view name) -> std::size_t {
+    for (std::size_t i = 0; i < models_.size(); ++i) {
+      if (models_[i]->name() == name) return i;
+    }
+    return models_.size();
+  };
+  for (const auto& edge : lattice::figure5_containments()) {
+    const std::size_t s = index_of(edge.stronger);
+    const std::size_t w = index_of(edge.weaker);
+    if (s < models_.size() && w < models_.size()) {
+      edges_.push_back({s, w, edge.unlabeled_only});
+    }
+  }
+  if (options_.check_operational) {
+    for (const auto& pair : kSoundPairs) {
+      const std::size_t m = index_of(pair.model);
+      if (m < models_.size()) {
+        machines_.emplace_back(
+            models::make_operational(pair.machine, options_.max_schedules),
+            m);
+      }
+    }
+  }
+}
+
+checker::Verdict Oracle::check_budgeted(
+    const models::Model& m, const history::SystemHistory& h) const {
+  if (options_.budget.unlimited()) return m.check(h);
+  checker::SearchBudget budget(options_.budget);
+  const checker::BudgetScope scope(&budget);
+  return m.check(h);
+}
+
+const models::Model* Oracle::by_name(std::string_view name) const {
+  for (const auto& m : models_) {
+    if (m->name() == name) return m.get();
+  }
+  return nullptr;
+}
+
+CaseResult Oracle::run_case(const litmus::LitmusTest& t) const {
+  CaseResult out;
+  const auto& h = t.hist;
+  std::vector<checker::Verdict> verdicts;
+  verdicts.reserve(models_.size());
+  for (const auto& m : models_) {
+    verdicts.push_back(check_budgeted(*m, h));
+    const auto& v = verdicts.back();
+    if (v.inconclusive) {
+      out.inconclusive.push_back(std::string(m->name()) + ": " + v.note);
+    }
+  }
+  // Invariant 1: no containment inversion among conclusive cells.
+  const bool labeled_case = has_labeled_ops(h);
+  for (const auto& [s, w, unlabeled_only] : edges_) {
+    if (unlabeled_only && labeled_case) continue;
+    const auto& strong = verdicts[s];
+    const auto& weak = verdicts[w];
+    if (strong.inconclusive || weak.inconclusive) continue;
+    if (strong.allowed && !weak.allowed) {
+      Finding f;
+      f.kind = FindingKind::LatticeInversion;
+      f.model = std::string(models_[s]->name());
+      f.other = std::string(models_[w]->name());
+      f.detail = f.model + " admits but " + f.other +
+                 " rejects (containment " + f.model + " ⊆ " + f.other +
+                 " violated)";
+      out.findings.push_back(std::move(f));
+    }
+  }
+  // Invariant 2: every positive verdict certifies.
+  if (options_.check_witnesses) {
+    for (std::size_t i = 0; i < models_.size(); ++i) {
+      const auto& v = verdicts[i];
+      if (!v.allowed || v.inconclusive) continue;
+      Finding f;
+      f.kind = FindingKind::WitnessMismatch;
+      f.model = std::string(models_[i]->name());
+      try {
+        const auto w = checker::witness_from_verdict(h, f.model, v);
+        const auto err = checker::verify_witness(h, w);
+        if (!err) continue;
+        f.detail = "independent verifier rejects certificate: " + *err;
+      } catch (const InvalidInput& e) {
+        f.detail = std::string("certificate packaging failed: ") + e.what();
+      }
+      out.findings.push_back(std::move(f));
+    }
+  }
+  // Invariant 3: machine-reachable implies declaratively admitted.
+  if (options_.check_operational &&
+      h.size() <= options_.max_operational_ops) {
+    for (const auto& [machine, mi] : machines_) {
+      const auto& decl = verdicts[mi];
+      if (decl.inconclusive || decl.allowed) continue;
+      const auto reach = machine->check(h);
+      if (!reach.allowed) continue;
+      Finding f;
+      f.kind = FindingKind::OperationalUnsound;
+      f.model = std::string(machine->name());
+      f.other = std::string(models_[mi]->name());
+      f.detail = f.model + " reaches this trace but " + f.other +
+                 " rejects it";
+      out.findings.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+bool Oracle::reproduces(const history::SystemHistory& h,
+                        const Finding& finding) const {
+  switch (finding.kind) {
+    case FindingKind::LatticeInversion: {
+      const auto* strong = by_name(finding.model);
+      const auto* weak = by_name(finding.other);
+      if (strong == nullptr || weak == nullptr) return false;
+      for (const auto& e : edges_) {
+        if (e.unlabeled_only && models_[e.stronger].get() == strong &&
+            models_[e.weaker].get() == weak && has_labeled_ops(h)) {
+          return false;
+        }
+      }
+      const auto sv = check_budgeted(*strong, h);
+      if (sv.inconclusive || !sv.allowed) return false;
+      const auto wv = check_budgeted(*weak, h);
+      return !wv.inconclusive && !wv.allowed;
+    }
+    case FindingKind::WitnessMismatch: {
+      const auto* m = by_name(finding.model);
+      if (m == nullptr) return false;
+      const auto v = check_budgeted(*m, h);
+      if (v.inconclusive || !v.allowed) return false;
+      try {
+        const auto w = checker::witness_from_verdict(h, finding.model, v);
+        return checker::verify_witness(h, w).has_value();
+      } catch (const InvalidInput&) {
+        return true;
+      }
+    }
+    case FindingKind::OperationalUnsound: {
+      if (h.size() > options_.max_operational_ops) return false;
+      const models::Model* machine = nullptr;
+      for (const auto& [op, mi] : machines_) {
+        (void)mi;
+        if (op->name() == finding.model) machine = op.get();
+      }
+      const auto* decl = by_name(finding.other);
+      if (machine == nullptr || decl == nullptr) return false;
+      const auto dv = check_budgeted(*decl, h);
+      if (dv.inconclusive || dv.allowed) return false;
+      return machine->check(h).allowed;
+    }
+  }
+  return false;
+}
+
+models::ModelPtr make_buggy_model(models::ModelPtr inner,
+                                  std::uint32_t min_writes_to_reject) {
+  return std::make_unique<BuggyModel>(std::move(inner),
+                                      min_writes_to_reject);
+}
+
+}  // namespace ssm::fuzz

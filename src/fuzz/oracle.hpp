@@ -1,0 +1,135 @@
+// Differential oracle: cross-checks every model's verdict on one case
+// against ground truth that does not depend on any single checker being
+// right.
+//
+// For each generated case the oracle computes the full verdict vector over
+// a model set and validates three invariants:
+//
+//   1. Lattice consistency (lattice::figure5_containments): a history
+//      admitted by a stronger model must be admitted by every weaker
+//      model.  An inversion means one of the two implementations is wrong
+//      — the containments are theorems, not empirical observations.
+//   2. Witness integrity: every positive verdict must package into a
+//      checker::Witness that the deliberately independent
+//      checker/witness_verifier accepts.  A verdict whose own evidence
+//      fails re-verification is a checker bug even when the boolean answer
+//      happens to be right.
+//   3. Operational soundness: every trace reachable by an operational
+//      machine in src/simulate must be admitted by the machine's sound
+//      declarative counterpart (sc→SC, tso→TSOfwd, pram→PRAM,
+//      causal→Causal, coherent→PCg).  Concretely: if exhaustive schedule
+//      exploration (models::make_operational) reproduces the case's read
+//      values, the declarative model must say yes.
+//
+// INCONCLUSIVE verdicts (budget trips) are never findings: an exhausted
+// search proves nothing in either direction, so budget trips are reported
+// separately and every invariant skips undecided cells.
+//
+// The oracle is stateless after construction and safe to call from
+// thread-pool workers concurrently (registry models are stateless; each
+// run_case installs fresh SearchBudgets).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "checker/budget.hpp"
+#include "litmus/test.hpp"
+#include "models/model.hpp"
+
+namespace ssm::fuzz {
+
+enum class FindingKind : std::uint8_t {
+  /// Stronger model admits, weaker model rejects (both conclusive).
+  LatticeInversion,
+  /// Machine-reachable trace rejected by the machine's sound model.
+  OperationalUnsound,
+  /// A positive verdict whose certificate fails independent
+  /// re-verification (or cannot be packaged at all).
+  WitnessMismatch,
+};
+
+[[nodiscard]] const char* to_string(FindingKind k) noexcept;
+
+struct Finding {
+  FindingKind kind = FindingKind::LatticeInversion;
+  /// The implicated models: for LatticeInversion the (stronger, weaker)
+  /// pair; for OperationalUnsound the (machine, model) pair; for
+  /// WitnessMismatch `model` only.
+  std::string model;
+  std::string other;
+  /// Human-readable diagnostic (verifier message, machine note, …).
+  std::string detail;
+};
+
+struct OracleOptions {
+  bool check_witnesses = true;
+  bool check_operational = true;
+  /// Histories larger than this skip invariant 3 (exploration is
+  /// exponential in total operations).
+  std::uint32_t max_operational_ops = 6;
+  /// Schedule cap forwarded to models::make_operational.
+  std::uint64_t max_schedules = 500'000;
+  /// Per model-check search budget (0/0 = unlimited).
+  checker::BudgetSpec budget;
+};
+
+struct CaseResult {
+  std::vector<Finding> findings;
+  /// "model: note" for every budget-tripped (INCONCLUSIVE) cell.
+  std::vector<std::string> inconclusive;
+};
+
+class Oracle {
+ public:
+  /// Checks cases against `models` (typically models::all_models()).  The
+  /// figure5 containment edges and operational pairs are resolved against
+  /// the set by name; edges naming absent models are skipped, so a
+  /// filtered or instrumented model set (see make_buggy_model) just
+  /// narrows the oracle.
+  Oracle(std::vector<models::ModelPtr> models, OracleOptions options = {});
+
+  [[nodiscard]] CaseResult run_case(const litmus::LitmusTest& t) const;
+
+  /// True when `finding` still reproduces on `h` — the shrinker's
+  /// predicate.  Re-runs only the implicated checks, not the full vector.
+  [[nodiscard]] bool reproduces(const history::SystemHistory& h,
+                                const Finding& finding) const;
+
+  [[nodiscard]] const std::vector<models::ModelPtr>& models() const noexcept {
+    return models_;
+  }
+  [[nodiscard]] const OracleOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  [[nodiscard]] checker::Verdict check_budgeted(
+      const models::Model& m, const history::SystemHistory& h) const;
+  [[nodiscard]] const models::Model* by_name(std::string_view name) const;
+
+  std::vector<models::ModelPtr> models_;
+  OracleOptions options_;
+  /// Containment edges as (stronger, weaker) indices into models_.
+  /// Edges marked unlabeled_only are skipped on labeled histories.
+  struct Edge {
+    std::size_t stronger;
+    std::size_t weaker;
+    bool unlabeled_only;
+  };
+  std::vector<Edge> edges_;
+  /// (operational machine model, sound declarative model index) pairs.
+  std::vector<std::pair<models::ModelPtr, std::size_t>> machines_;
+};
+
+/// Test hook: wraps `inner` so that check() wrongly REJECTS any history in
+/// which some processor issues at least `min_writes_to_reject` writes.
+/// The wrapper keeps inner's name, so wrapping a weak model (e.g. Causal)
+/// plants a lattice inversion the fuzzer must catch: TSO still admits
+/// multi-write histories that the sabotaged Causal now rejects.  Used by
+/// the acceptance tests and `ssm fuzz --inject-bug`.
+[[nodiscard]] models::ModelPtr make_buggy_model(
+    models::ModelPtr inner, std::uint32_t min_writes_to_reject = 2);
+
+}  // namespace ssm::fuzz

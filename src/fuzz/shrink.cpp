@@ -1,0 +1,187 @@
+#include "fuzz/shrink.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "history/symbol_table.hpp"
+
+namespace ssm::fuzz {
+namespace {
+
+using history::SystemHistory;
+
+/// Well-formed rebuild of `h` keeping ops for which `keep(op)` is true,
+/// with an optional per-op rewrite; nullopt when the result is empty or
+/// fails validate().
+template <typename Keep, typename Rewrite>
+std::optional<SystemHistory> rebuild(const SystemHistory& h, Keep keep,
+                                     Rewrite rewrite) {
+  SystemHistory out(h.symbols());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    for (OpIndex i : h.processor_ops(p)) {
+      const auto& op = h.op(i);
+      if (!keep(op)) continue;
+      history::Operation copy = op;
+      rewrite(copy);
+      out.append(copy);
+    }
+  }
+  if (out.empty() || out.validate().has_value()) return std::nullopt;
+  return out;
+}
+
+std::optional<SystemHistory> drop_processor(const SystemHistory& h,
+                                            ProcId victim) {
+  return rebuild(
+      h, [victim](const history::Operation& op) { return op.proc != victim; },
+      [](history::Operation&) {});
+}
+
+std::optional<SystemHistory> drop_op(const SystemHistory& h, OpIndex victim) {
+  return rebuild(
+      h, [victim](const history::Operation& op) { return op.index != victim; },
+      [](history::Operation&) {});
+}
+
+/// Appends processor `src`'s sequence onto `dst`'s (src disappears).
+std::optional<SystemHistory> merge_processors(const SystemHistory& h,
+                                              ProcId dst, ProcId src) {
+  SystemHistory out(h.symbols());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    if (p == src) continue;
+    for (OpIndex i : h.processor_ops(p)) out.append(h.op(i));
+    if (p == dst) {
+      for (OpIndex i : h.processor_ops(src)) {
+        history::Operation copy = h.op(i);
+        copy.proc = dst;
+        out.append(copy);
+      }
+    }
+  }
+  if (out.empty() || out.validate().has_value()) return std::nullopt;
+  return out;
+}
+
+/// Makes every operation on `loc` ordinary.  Labels are stripped
+/// per-location, not per-op: properly-labeled histories (the subspace the
+/// labeled models are defined on — models/labeling.hpp) label a location
+/// all-or-nothing, and shrinking must not leave that subspace.
+std::optional<SystemHistory> strip_location_labels(const SystemHistory& h,
+                                                   LocId loc) {
+  bool any = false;
+  for (const auto& op : h.operations()) {
+    if (op.loc == loc && op.is_labeled()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return std::nullopt;
+  return rebuild(
+      h, [](const history::Operation&) { return true; },
+      [loc](history::Operation& op) {
+        if (op.loc == loc) op.label = OpLabel::Ordinary;
+      });
+}
+
+/// Tries one candidate; on success commits it to `current`.
+bool try_candidate(SystemHistory& current,
+                   std::optional<SystemHistory> candidate,
+                   const Predicate& reproduces, ShrinkStats& stats) {
+  if (!candidate) return false;
+  ++stats.attempts;
+  if (!reproduces(*candidate)) return false;
+  current = std::move(*candidate);
+  ++stats.steps;
+  return true;
+}
+
+}  // namespace
+
+SystemHistory compact(const SystemHistory& h) {
+  std::vector<bool> loc_used(h.num_locations(), false);
+  std::vector<bool> proc_used(h.num_processors(), false);
+  for (const auto& op : h.operations()) {
+    loc_used[op.loc] = true;
+    proc_used[op.proc] = true;
+  }
+  std::vector<ProcId> proc_map(h.num_processors(), 0);
+  std::vector<LocId> loc_map(h.num_locations(), 0);
+  ProcId procs = 0;
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    if (proc_used[p]) proc_map[p] = procs++;
+  }
+  LocId locs = 0;
+  for (LocId l = 0; l < h.num_locations(); ++l) {
+    if (loc_used[l]) loc_map[l] = locs++;
+  }
+  SystemHistory out(history::SymbolTable::canonical(procs, locs));
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    for (OpIndex i : h.processor_ops(p)) {
+      history::Operation copy = h.op(i);
+      copy.proc = proc_map[copy.proc];
+      copy.loc = loc_map[copy.loc];
+      out.append(copy);
+    }
+  }
+  return out;
+}
+
+SystemHistory shrink(const SystemHistory& h, const Predicate& reproduces,
+                     ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& s = stats != nullptr ? *stats : local;
+  SystemHistory current = h;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    // Pass 1: whole processors, biggest cut first.
+    for (ProcId p = 0; p < current.num_processors(); ++p) {
+      if (current.processor_ops(p).empty()) continue;
+      if (try_candidate(current, drop_processor(current, p), reproduces,
+                        s)) {
+        progressed = true;
+        break;
+      }
+    }
+    if (progressed) continue;
+    // Pass 2: single operations.
+    for (OpIndex i = 0; i < current.size(); ++i) {
+      if (try_candidate(current, drop_op(current, i), reproduces, s)) {
+        progressed = true;
+        break;
+      }
+    }
+    if (progressed) continue;
+    // Pass 3: merge processor pairs (fewer processors, same ops).
+    for (ProcId a = 0; a < current.num_processors() && !progressed; ++a) {
+      for (ProcId b = 0; b < current.num_processors(); ++b) {
+        if (a == b || current.processor_ops(a).empty() ||
+            current.processor_ops(b).empty()) {
+          continue;
+        }
+        if (try_candidate(current, merge_processors(current, a, b),
+                          reproduces, s)) {
+          progressed = true;
+          break;
+        }
+      }
+    }
+    if (progressed) continue;
+    // Pass 4: demote whole synchronization locations to ordinary.
+    for (LocId l = 0; l < current.num_locations(); ++l) {
+      if (try_candidate(current, strip_location_labels(current, l),
+                        reproduces, s)) {
+        progressed = true;
+        break;
+      }
+    }
+  }
+  // Canonical names for the corpus; renaming must not (and does not)
+  // change any verdict, but verify rather than assume.
+  SystemHistory compacted = compact(current);
+  ++s.attempts;
+  if (reproduces(compacted)) return compacted;
+  return current;
+}
+
+}  // namespace ssm::fuzz

@@ -1,0 +1,48 @@
+// Counterexample shrinker: greedy 1-minimal reduction of a fuzz finding.
+//
+// Given a history and a predicate "the finding still reproduces", the
+// shrinker repeatedly applies the cheapest transformation that keeps the
+// predicate true, largest reductions first:
+//
+//   1. drop a whole processor (all its operations),
+//   2. drop a single operation,
+//   3. merge two processors (append one sequence onto another),
+//   4. strip a synchronization label (Labeled → Ordinary).
+//
+// Every candidate must stay well-formed (SystemHistory::validate()), so
+// dropping a read's writer automatically forces the read out too on a
+// later step.  The loop runs to a fixpoint: no single transformation can
+// shrink the result further (local 1-minimality — the same guarantee
+// lattice::shrink_separation gives, generalized to any predicate).  The
+// result is finally compacted to canonical processor/location names with
+// no empty processors, which is the form the corpus stores.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "history/system_history.hpp"
+
+namespace ssm::fuzz {
+
+using Predicate = std::function<bool(const history::SystemHistory&)>;
+
+struct ShrinkStats {
+  /// Accepted transformations (metrics counter fuzz.shrink_steps).
+  std::uint64_t steps = 0;
+  /// Candidate histories evaluated (accepted + rejected).
+  std::uint64_t attempts = 0;
+};
+
+/// Shrinks `h` while `reproduces` holds.  `reproduces(h)` must be true on
+/// entry; the returned history satisfies it and is locally minimal.
+[[nodiscard]] history::SystemHistory shrink(const history::SystemHistory& h,
+                                            const Predicate& reproduces,
+                                            ShrinkStats* stats = nullptr);
+
+/// Rebuilds `h` dropping empty processors and unused locations, renaming
+/// both to canonical symbols (p,q,r,… / x,y,z,…).  Verdicts are invariant
+/// under this renaming; the shrinker re-checks the predicate anyway.
+[[nodiscard]] history::SystemHistory compact(const history::SystemHistory& h);
+
+}  // namespace ssm::fuzz

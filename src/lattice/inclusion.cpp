@@ -75,6 +75,28 @@ InclusionReport compute_inclusions(
   return r;
 }
 
+const std::vector<Containment>& figure5_containments() {
+  // Figure 5 chains: SC ⊆ TSO ⊆ {PC, Causal} ⊆ PRAM, plus extension
+  // floors.  Transitive closure is intentionally not expanded: the fuzzing
+  // oracle and the property tests close over chains by checking every
+  // edge, and keeping the list primitive keeps failure messages sharp.
+  static const std::vector<Containment> edges = {
+      {"SC", "TSO"},           {"TSO", "PC"},      {"TSO", "Causal"},
+      {"PC", "PRAM"},          {"Causal", "PRAM"}, {"SC", "PCg"},
+      {"PCg", "PRAM"},         {"PRAM", "Slow"},   {"Slow", "Local"},
+      {"SC", "Cache"},         {"TSO", "TSOfwd"},  {"SC", "CausalCoh"},
+      {"CausalCoh", "Causal"}, {"SC", "RCsc"},     {"RCsc", "RCpc"},
+      {"SC", "WO"},            {"WO", "RCsc"},     {"WO", "HC"},
+      {"SC", "HC"},            {"RCsc", "RCg"},
+      {"CausalCoh", "CausalCohL"},                 {"CausalCohL", "Causal"},
+      // Found by the differential fuzzer (src/fuzz): with even one strong
+      // operation HC orders weak operations across processors, which
+      // Local never does — the floor edge only holds unlabeled.
+      {"Local", "HC", /*unlabeled_only=*/true},
+  };
+  return edges;
+}
+
 InclusionReport sample_inclusions(const EnumerationSpec& spec,
                                   const std::vector<models::ModelPtr>& models,
                                   std::uint64_t samples, std::uint64_t seed) {

@@ -50,4 +50,25 @@ struct InclusionReport {
     const EnumerationSpec& spec, const std::vector<models::ModelPtr>& models,
     std::uint64_t samples, std::uint64_t seed);
 
+/// One proven containment edge of the paper's Figure 5 (extended with the
+/// registry's extra models at their lattice positions): every history
+/// admitted by `stronger` must be admitted by `weaker`.
+struct Containment {
+  const char* stronger;
+  const char* weaker;
+  /// True for edges that are theorems only over histories with no labeled
+  /// operations.  HC floors the unlabeled lattice (its weak operations
+  /// carry no cross-processor obligations at all), but one strong
+  /// operation gives HC cross-processor ordering that Local never has —
+  /// so Local ⊆ HC must not be checked against labeled histories.
+  bool unlabeled_only = false;
+};
+
+/// The proven containment edges.  This is the ground truth the fuzzing
+/// oracle (src/fuzz/oracle.hpp) and the Figure 5 property tests validate
+/// model implementations against: an edge here is a theorem, so a random
+/// history admitted by the stronger model but rejected by the weaker one
+/// is always an implementation bug, never a surprise.
+[[nodiscard]] const std::vector<Containment>& figure5_containments();
+
 }  // namespace ssm::lattice

@@ -1,0 +1,33 @@
+// DSL emitter: the inverse of the litmus parser.
+//
+// emit() renders a LitmusTest into the exact textual form parse_test
+// accepts, and the pair round-trips both ways:
+//
+//   emit(parse_test(text))   reproduces canonically formatted `text`
+//   parse_test(emit(t))      reproduces `t` (same per-processor op
+//                            sequences, labels, rmw values, expectations)
+//
+// The round trip is property-tested against the fuzz generator
+// (tests/litmus/emit_test.cpp), which is what lets the fuzzing subsystem
+// persist shrunk counterexamples as .litmus regression files
+// (src/fuzz/corpus.hpp) that the parser replays byte-for-byte.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "litmus/test.hpp"
+
+namespace ssm::litmus {
+
+/// Renders one test as DSL text (trailing newline included).  Processors
+/// are emitted in ProcId order and expectations in the map's sorted model
+/// order, so the output is canonical: two structurally equal tests emit
+/// byte-identical text.
+[[nodiscard]] std::string emit(const LitmusTest& t);
+
+/// Renders a document of tests separated by blank lines; the inverse of
+/// parse_suite.
+[[nodiscard]] std::string emit_suite(const std::vector<LitmusTest>& tests);
+
+}  // namespace ssm::litmus

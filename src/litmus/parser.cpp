@@ -4,6 +4,7 @@
 
 #include "common/text.hpp"
 #include "history/print.hpp"
+#include "litmus/emit.hpp"
 #include "models/registry.hpp"
 
 namespace ssm::litmus {
@@ -188,50 +189,6 @@ std::vector<LitmusTest> parse_suite(std::string_view text) {
   return out;
 }
 
-std::string to_dsl(const LitmusTest& t) {
-  std::string out = "name: " + t.name + "\n";
-  if (!t.origin.empty()) out += "origin: " + t.origin + "\n";
-  const auto& h = t.hist;
-  for (ProcId p = 0; p < h.num_processors(); ++p) {
-    out += h.symbols().processor_name(p);
-    out += ':';
-    for (OpIndex i : h.processor_ops(p)) {
-      const auto& op = h.op(i);
-      out += ' ';
-      switch (op.kind) {
-        case OpKind::Read:
-          out += 'r';
-          break;
-        case OpKind::Write:
-          out += 'w';
-          break;
-        case OpKind::ReadModifyWrite:
-          out += "rmw";
-          break;
-      }
-      if (op.is_labeled()) out += '*';
-      out += '(';
-      out += h.symbols().location_name(op.loc);
-      out += ')';
-      if (op.kind == OpKind::ReadModifyWrite) {
-        out += std::to_string(op.rmw_read) + ":" + std::to_string(op.value);
-      } else {
-        out += std::to_string(op.value);
-      }
-    }
-    out += '\n';
-  }
-  if (!t.expectations.empty()) {
-    out += "expect:";
-    for (const auto& [model, allowed] : t.expectations) {
-      out += ' ';
-      out += model;
-      out += '=';
-      out += allowed ? "yes" : "no";
-    }
-    out += '\n';
-  }
-  return out;
-}
+std::string to_dsl(const LitmusTest& t) { return emit(t); }
 
 }  // namespace ssm::litmus

@@ -27,7 +27,8 @@ namespace ssm::litmus {
 /// Parses a document of one or more tests.
 [[nodiscard]] std::vector<LitmusTest> parse_suite(std::string_view text);
 
-/// Renders a test back into DSL text (round-trip tested).
+/// Renders a test back into DSL text (round-trip tested).  Alias for
+/// litmus::emit (emit.hpp), kept for callers that only include the parser.
 [[nodiscard]] std::string to_dsl(const LitmusTest& t);
 
 }  // namespace ssm::litmus

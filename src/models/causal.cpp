@@ -23,7 +23,8 @@ class CausalModel final : public Model {
     }
     Verdict v;
     solve_per_processor(h, [&](ProcId p) {
-      return ViewProblem{checker::own_plus_writes(h, p), co};
+      return ViewProblem{checker::own_plus_writes(h, p), co,
+                         checker::remote_rmw_reads(h, p)};
     }, v);
     return checker::resolve_with_budget(std::move(v));
   }
@@ -32,7 +33,8 @@ class CausalModel final : public Model {
                                             const Verdict& v) const override {
     const auto co = order::causal_order(h);
     return verify_per_processor(h, [&](ProcId p) {
-      return ViewProblem{checker::own_plus_writes(h, p), co};
+      return ViewProblem{checker::own_plus_writes(h, p), co,
+                         checker::remote_rmw_reads(h, p)};
     }, v);
   }
 };

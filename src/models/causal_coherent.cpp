@@ -50,7 +50,8 @@ class CausalCoherentModel final : public Model {
           Verdict attempt;
           if (solve_per_processor(h, [&](ProcId p) {
                 return ViewProblem{checker::own_plus_writes(h, p),
-                                   constraints};
+                                   constraints,
+                                   checker::remote_rmw_reads(h, p)};
               }, attempt)) {
             result = std::move(attempt);
             result.coherence = coh;
@@ -70,7 +71,8 @@ class CausalCoherentModel final : public Model {
     rel::Relation constraints =
         order::causal_order(h) | coherence_chain(h, *v.coherence);
     return verify_per_processor(h, [&](ProcId p) {
-      return ViewProblem{checker::own_plus_writes(h, p), constraints};
+      return ViewProblem{checker::own_plus_writes(h, p), constraints,
+                         checker::remote_rmw_reads(h, p)};
     }, v);
   }
 

@@ -32,7 +32,8 @@ class GoodmanModel final : public Model {
           Verdict attempt;
           if (solve_per_processor(h, [&](ProcId p) {
                 return ViewProblem{checker::own_plus_writes(h, p),
-                                   constraints};
+                                   constraints,
+                                   checker::remote_rmw_reads(h, p)};
               }, attempt)) {
             result = std::move(attempt);
             result.coherence = coh;
@@ -50,7 +51,8 @@ class GoodmanModel final : public Model {
     rel::Relation constraints =
         order::program_order(h) | v.coherence->as_relation();
     return verify_per_processor(h, [&](ProcId p) {
-      return ViewProblem{checker::own_plus_writes(h, p), constraints};
+      return ViewProblem{checker::own_plus_writes(h, p), constraints,
+                         checker::remote_rmw_reads(h, p)};
     }, v);
   }
 };

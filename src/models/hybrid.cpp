@@ -65,7 +65,8 @@ class HybridModel final : public Model {
           Verdict attempt;
           if (solve_per_processor(h, [&](ProcId p) {
                 return ViewProblem{checker::own_plus_writes(h, p),
-                                   shared | own_po[p]};
+                                   shared | own_po[p],
+                                   checker::remote_rmw_reads(h, p)};
               }, attempt)) {
             result = std::move(attempt);
             result.labeled_order = t;
@@ -92,7 +93,8 @@ class HybridModel final : public Model {
       rel::DynBitset own(h.size());
       for (OpIndex i : h.processor_ops(p)) own.set(i);
       return ViewProblem{checker::own_plus_writes(h, p),
-                         constraints | po.restricted_to(own)};
+                         constraints | po.restricted_to(own),
+                         checker::remote_rmw_reads(h, p)};
     }, v);
   }
 };

@@ -35,7 +35,8 @@ class LocalModel final : public Model {
   Verdict check(const SystemHistory& h) const override {
     Verdict v;
     solve_per_processor(h, [&](ProcId p) {
-      return ViewProblem{checker::own_plus_writes(h, p), own_po_only(h, p)};
+      return ViewProblem{checker::own_plus_writes(h, p), own_po_only(h, p),
+                         checker::remote_rmw_reads(h, p)};
     }, v);
     return checker::resolve_with_budget(std::move(v));
   }
@@ -43,7 +44,8 @@ class LocalModel final : public Model {
   std::optional<std::string> verify_witness(const SystemHistory& h,
                                             const Verdict& v) const override {
     return verify_per_processor(h, [&](ProcId p) {
-      return ViewProblem{checker::own_plus_writes(h, p), own_po_only(h, p)};
+      return ViewProblem{checker::own_plus_writes(h, p), own_po_only(h, p),
+                         checker::remote_rmw_reads(h, p)};
     }, v);
   }
 };

@@ -38,7 +38,8 @@ class PcModel final : public Model {
           Verdict attempt;
           if (solve_per_processor(h, [&](ProcId p) {
                 return ViewProblem{checker::own_plus_writes(h, p),
-                                   constraints};
+                                   constraints,
+                                   checker::remote_rmw_reads(h, p)};
               }, attempt)) {
             result = std::move(attempt);
             result.coherence = coh;
@@ -57,7 +58,8 @@ class PcModel final : public Model {
     rel::Relation constraints =
         order::semi_causal(h, ppo, *v.coherence) | v.coherence->as_relation();
     return verify_per_processor(h, [&](ProcId p) {
-      return ViewProblem{checker::own_plus_writes(h, p), constraints};
+      return ViewProblem{checker::own_plus_writes(h, p), constraints,
+                         checker::remote_rmw_reads(h, p)};
     }, v);
   }
 };

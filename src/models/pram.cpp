@@ -22,7 +22,8 @@ class PramModel final : public Model {
     const auto po = order::program_order(h);
     Verdict v;
     solve_per_processor(h, [&](ProcId p) {
-      return ViewProblem{checker::own_plus_writes(h, p), po};
+      return ViewProblem{checker::own_plus_writes(h, p), po,
+                         checker::remote_rmw_reads(h, p)};
     }, v);
     return checker::resolve_with_budget(std::move(v));
   }
@@ -31,7 +32,8 @@ class PramModel final : public Model {
                                             const Verdict& v) const override {
     const auto po = order::program_order(h);
     return verify_per_processor(h, [&](ProcId p) {
-      return ViewProblem{checker::own_plus_writes(h, p), po};
+      return ViewProblem{checker::own_plus_writes(h, p), po,
+                         checker::remote_rmw_reads(h, p)};
     }, v);
   }
 };

@@ -119,7 +119,8 @@ class RcModel final : public Model {
                                 Verdict& attempt) {
       return solve_per_processor(h, [&](ProcId p) {
         return ViewProblem{checker::own_plus_writes(h, p),
-                           shared | own_ppo[p]};
+                           shared | own_ppo[p],
+                           checker::remote_rmw_reads(h, p)};
       }, attempt);
     };
     Verdict result = Verdict::no();
@@ -212,7 +213,8 @@ class RcModel final : public Model {
       rel::DynBitset own(h.size());
       for (OpIndex i : h.processor_ops(p)) own.set(i);
       return ViewProblem{checker::own_plus_writes(h, p),
-                         constraints | ppo.restricted_to(own)};
+                         constraints | ppo.restricted_to(own),
+                         checker::remote_rmw_reads(h, p)};
     }, v);
   }
 

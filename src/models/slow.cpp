@@ -46,7 +46,8 @@ class SlowModel final : public Model {
     Verdict v;
     solve_per_processor(h, [&](ProcId p) {
       return ViewProblem{checker::own_plus_writes(h, p),
-                         slow_constraints(h, p)};
+                         slow_constraints(h, p),
+                         checker::remote_rmw_reads(h, p)};
     }, v);
     return checker::resolve_with_budget(std::move(v));
   }
@@ -55,7 +56,8 @@ class SlowModel final : public Model {
                                             const Verdict& v) const override {
     return verify_per_processor(h, [&](ProcId p) {
       return ViewProblem{checker::own_plus_writes(h, p),
-                         slow_constraints(h, p)};
+                         slow_constraints(h, p),
+                         checker::remote_rmw_reads(h, p)};
     }, v);
   }
 };

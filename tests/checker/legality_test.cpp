@@ -82,6 +82,42 @@ TEST(LegalView, RmwHandoffWorks) {
   EXPECT_EQ((*view)[0], 0u);
 }
 
+TEST(LegalView, ExemptRmwReadChainsAfterAnotherRmw) {
+  // Both test-and-sets read 0.  Even with both rmw read-parts exempt, the
+  // chain rule re-checks an rmw whose predecessor write is an rmw, so no
+  // legal view exists — exemption must not break mutual exclusion.
+  auto h = HistoryBuilder(2, 1)
+               .rmw("p", "x", 0, 1)
+               .rmw("q", "x", 0, 2)
+               .build();
+  DynBitset exempt(h.size());
+  exempt.set(0);
+  exempt.set(1);
+  EXPECT_FALSE(find_legal_view(h, all_ops(h), order::program_order(h), exempt)
+                   .has_value());
+  // A correctly chained handoff stays legal under the same exemption.
+  auto ok = HistoryBuilder(2, 1)
+                .rmw("p", "x", 0, 1)
+                .rmw("q", "x", 1, 2)
+                .build();
+  DynBitset exempt2(ok.size());
+  exempt2.set(0);
+  exempt2.set(1);
+  EXPECT_TRUE(
+      find_legal_view(ok, all_ops(ok), order::program_order(ok), exempt2)
+          .has_value());
+  // An exempt rmw whose predecessor write is PLAIN keeps its exemption.
+  auto plain = HistoryBuilder(2, 1)
+                   .w("p", "x", 1)
+                   .rmw("q", "x", 0, 2)
+                   .build();
+  DynBitset exempt3(plain.size());
+  exempt3.set(1);
+  const auto view = find_legal_view(plain, all_ops(plain),
+                                    order::program_order(plain), exempt3);
+  ASSERT_TRUE(view.has_value());
+}
+
 TEST(ForEachLegalView, EnumeratesAll) {
   // Two independent writes to different locations: both orders legal.
   auto h = HistoryBuilder(2, 2).w("p", "x", 1).w("q", "y", 1).build();

@@ -60,5 +60,20 @@ TEST(Scope, RmwIsWriteLikeForViews) {
   EXPECT_EQ(write_ops(h).count(), 1u);
 }
 
+TEST(Scope, RemoteRmwReadsExemptsOnlyOtherProcessorsRmws) {
+  auto h = HistoryBuilder(2, 1)
+               .rmw("p", "x", 0, 1)
+               .r("q", "x", 1)
+               .rmw("q", "x", 1, 2)
+               .build();
+  const auto for_p = remote_rmw_reads(h, 0);
+  EXPECT_FALSE(for_p.test(0));  // own rmw: read part stays checked
+  EXPECT_FALSE(for_p.test(1));  // plain read: never exempt here
+  EXPECT_TRUE(for_p.test(2));   // q's rmw: atomicity is q's obligation
+  const auto for_q = remote_rmw_reads(h, 1);
+  EXPECT_TRUE(for_q.test(0));
+  EXPECT_FALSE(for_q.test(2));
+}
+
 }  // namespace
 }  // namespace ssm::checker

@@ -1,0 +1,102 @@
+// Corpus manager: content-hashed file names (dedup by construction),
+// recorded expectations, loud failures on corrupt files, and replay that
+// catches verdict drift.
+#include "fuzz/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "litmus/emit.hpp"
+#include "litmus/parser.hpp"
+#include "litmus/suite.hpp"
+#include "models/registry.hpp"
+
+namespace ssm::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const char* leaf) {
+  const fs::path dir = fs::path(::testing::TempDir()) / leaf;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(Corpus, SaveRecordsExpectationsAndLoadsBack) {
+  const auto dir = fresh_dir("corpus-save");
+  const auto models = models::all_models();
+  const auto path = save_case(dir, litmus::find_test("fig1-sb"), models);
+  EXPECT_TRUE(fs::exists(path));
+  const auto tests = load_corpus(dir);
+  ASSERT_EQ(tests.size(), 1u);
+  EXPECT_EQ(tests[0].name, "fig1-sb");
+  // Every model got a recorded verdict (nothing was inconclusive).
+  EXPECT_EQ(tests[0].expectations.size(), models.size());
+  EXPECT_EQ(tests[0].expectation("SC"), std::optional<bool>(false));
+  EXPECT_EQ(tests[0].expectation("TSO"), std::optional<bool>(true));
+  const auto replay = replay_corpus(dir, models);
+  EXPECT_TRUE(replay.ok());
+  EXPECT_EQ(replay.tests, 1u);
+}
+
+TEST(Corpus, ContentHashedNamesDedupStructurallyEqualCases) {
+  const auto dir = fresh_dir("corpus-dedup");
+  const auto models = models::all_models();
+  auto t = litmus::find_test("fig1-sb");
+  const auto p1 = save_case(dir, t, models);
+  t.origin = "different origin, same history";  // hash ignores metadata
+  const auto p2 = save_case(dir, t, models);
+  EXPECT_EQ(p1, p2);
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST(Corpus, ReplayCatchesVerdictDrift) {
+  const auto dir = fresh_dir("corpus-drift");
+  const auto models = models::all_models();
+  const auto path = save_case(dir, litmus::find_test("fig1-sb"), models);
+  // Forge the record: claim SC admits store buffering.
+  auto text = slurp(path);
+  const auto pos = text.find("SC=no");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "SC=yes");
+  std::ofstream(path) << text;
+  const auto replay = replay_corpus(dir, models);
+  ASSERT_EQ(replay.failures.size(), 1u);
+  EXPECT_NE(replay.failures[0].detail.find("SC"), std::string::npos);
+}
+
+TEST(Corpus, MalformedFilesFailLoudlyWithTheFileName) {
+  const auto dir = fresh_dir("corpus-bad");
+  fs::create_directories(dir);
+  std::ofstream(fs::path(dir) / "broken.litmus") << "name: b\np: q(x)1\n";
+  try {
+    (void)load_corpus(dir);
+    FAIL() << "corrupt corpus must not load";
+  } catch (const InvalidInput& e) {
+    EXPECT_NE(std::string(e.what()).find("broken.litmus"),
+              std::string::npos);
+  }
+}
+
+TEST(Corpus, MissingDirectoryThrows) {
+  EXPECT_THROW((void)load_corpus(fresh_dir("corpus-absent")),
+               InvalidInput);
+}
+
+}  // namespace
+}  // namespace ssm::fuzz

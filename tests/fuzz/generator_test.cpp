@@ -1,0 +1,112 @@
+// Generator invariants: determinism, well-formedness, proper labeling,
+// canonical write values.  Every downstream oracle/corpus guarantee
+// assumes these hold for every (seed, spec) pair.
+#include "fuzz/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "litmus/emit.hpp"
+
+namespace ssm::fuzz {
+namespace {
+
+GeneratorSpec rich_spec() {
+  GeneratorSpec spec;
+  spec.max_procs = 4;
+  spec.max_ops = 4;
+  spec.locs = 3;
+  spec.label_percent = 40;
+  spec.rmw_percent = 30;
+  return spec;
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  const auto spec = rich_spec();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng a(seed), b(seed);
+    EXPECT_EQ(litmus::emit(random_test(spec, a, "t")),
+              litmus::emit(random_test(spec, b, "t")));
+  }
+}
+
+TEST(Generator, SeedsActuallyVary) {
+  const auto spec = rich_spec();
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (litmus::emit(random_test(spec, a, "t")) ==
+        litmus::emit(random_test(spec, b, "t"))) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 10);  // small cases can collide, streams must not track
+}
+
+TEST(Generator, EveryCaseIsWellFormed) {
+  const auto spec = rich_spec();
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const auto t = random_test(spec, rng, "t");
+    const auto err = t.hist.validate();
+    EXPECT_FALSE(err.has_value()) << (err ? *err : "");
+    EXPECT_GE(t.hist.num_processors(), 1u);
+    EXPECT_LE(t.hist.num_processors(), spec.max_procs);
+    for (ProcId p = 0; p < t.hist.num_processors(); ++p) {
+      EXPECT_FALSE(t.hist.processor_ops(p).empty())
+          << "empty processor breaks DSL round-trips";
+    }
+  }
+}
+
+TEST(Generator, LabelingIsPerLocation) {
+  // A location is sync (all ops labeled) or ordinary (none) — mixed
+  // labeling would leave the properly-labeled subspace the labeled
+  // models are defined on (models/labeling.hpp).
+  auto spec = rich_spec();
+  spec.label_percent = 50;
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    const auto t = random_test(spec, rng, "t");
+    std::vector<int> label_kind(spec.locs, -1);  // -1 unseen, else 0/1
+    for (const auto& op : t.hist.operations()) {
+      const int labeled = op.is_labeled() ? 1 : 0;
+      if (label_kind[op.loc] == -1) {
+        label_kind[op.loc] = labeled;
+      } else {
+        EXPECT_EQ(label_kind[op.loc], labeled)
+            << "mixed labeling on location " << op.loc;
+      }
+    }
+  }
+}
+
+TEST(Generator, CanonicalWriteValues) {
+  const auto spec = rich_spec();
+  Rng rng(13);
+  for (int i = 0; i < 300; ++i) {
+    const auto t = random_test(spec, rng, "t");
+    std::vector<Value> next(spec.locs, 0);
+    for (const auto& op : t.hist.operations()) {
+      if (op.is_write()) {
+        EXPECT_EQ(op.value, ++next[op.loc]);
+      }
+    }
+  }
+}
+
+TEST(Generator, RespectsSizeKnobs) {
+  GeneratorSpec spec;
+  spec.min_procs = spec.max_procs = 2;
+  spec.min_ops = spec.max_ops = 1;
+  spec.locs = 1;
+  spec.shape_percent = 0;  // free mode only: exact sizes
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const auto t = random_test(spec, rng, "t");
+    EXPECT_EQ(t.hist.num_processors(), 2u);
+    EXPECT_EQ(t.hist.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace ssm::fuzz

@@ -1,0 +1,166 @@
+// Oracle invariants: clean registry models never produce findings,
+// budget trips are inconclusive (not findings), the injected-bug hook is
+// caught as a lattice inversion, and broken certificates surface as
+// witness mismatches.
+#include "fuzz/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "litmus/parser.hpp"
+#include "litmus/suite.hpp"
+#include "models/registry.hpp"
+
+namespace ssm::fuzz {
+namespace {
+
+litmus::LitmusTest parse(const char* text) {
+  return litmus::parse_test(text);
+}
+
+TEST(Oracle, CleanModelsProduceNoFindingsOnBuiltinSuite) {
+  OracleOptions opts;
+  opts.max_operational_ops = 5;  // keep exhaustive exploration cheap here
+  const Oracle oracle(models::all_models(), opts);
+  for (const auto& t : litmus::builtin_suite()) {
+    if (t.hist.size() > 8) continue;  // large bakery runs have own tests
+    const auto result = oracle.run_case(t);
+    for (const auto& f : result.findings) {
+      ADD_FAILURE() << t.name << ": " << to_string(f.kind) << " "
+                    << f.detail;
+    }
+    EXPECT_TRUE(result.inconclusive.empty()) << t.name;
+  }
+}
+
+TEST(Oracle, InjectedBugIsALatticeInversion) {
+  auto models = models::all_models();
+  for (auto& m : models) {
+    if (m->name() == "Causal") m = make_buggy_model(std::move(m));
+  }
+  const Oracle oracle(std::move(models));
+  const auto t = parse("name: two-writes\np: w(x)1 w(x)2\n");
+  const auto result = oracle.run_case(t);
+  bool found = false;
+  for (const auto& f : result.findings) {
+    if (f.kind == FindingKind::LatticeInversion && f.other == "Causal") {
+      found = true;
+      EXPECT_TRUE(oracle.reproduces(t.hist, f));
+    }
+  }
+  EXPECT_TRUE(found) << "sabotaged Causal must invert an edge";
+  // The single-write history does not trigger the planted bug.
+  const auto clean = parse("name: one-write\np: w(x)1\n");
+  EXPECT_TRUE(oracle.run_case(clean).findings.empty());
+}
+
+TEST(Oracle, InjectedBugAlsoBreaksOperationalSoundness) {
+  auto models = models::all_models();
+  for (auto& m : models) {
+    if (m->name() == "Causal") m = make_buggy_model(std::move(m));
+  }
+  const Oracle oracle(std::move(models));
+  const auto t = parse("name: two-writes\np: w(x)1 w(x)2\n");
+  bool unsound = false;
+  for (const auto& f : oracle.run_case(t).findings) {
+    if (f.kind == FindingKind::OperationalUnsound &&
+        f.model == "op:causal") {
+      unsound = true;
+      EXPECT_TRUE(oracle.reproduces(t.hist, f));
+    }
+  }
+  EXPECT_TRUE(unsound)
+      << "causal machine reaches the trace the sabotaged model rejects";
+}
+
+TEST(Oracle, BudgetTripsAreInconclusiveNotFindings) {
+  OracleOptions opts;
+  opts.budget.max_nodes = 1;
+  opts.check_operational = false;
+  const Oracle oracle(models::all_models(), opts);
+  const auto t = parse(
+      "name: sb\np: w(x)1 r(y)0\nq: w(y)1 r(x)0\n");
+  const auto result = oracle.run_case(t);
+  EXPECT_TRUE(result.findings.empty())
+      << "an exhausted search proves nothing";
+  EXPECT_FALSE(result.inconclusive.empty());
+}
+
+TEST(Oracle, RemoteRmwAtomicityIsNotALatticeInversion) {
+  // Regression for a real fuzz finding (seed 5825575583206072987): TSO
+  // admits this SB-with-rmw shape via its global write order, and the
+  // per-processor-view models must too — a remote rmw's read part is
+  // exempt in their views (checker::remote_rmw_reads), so the missing
+  // shared write order no longer manufactures TSO ⊆ Causal / PC ⊆ PRAM
+  // inversions or witness mismatches.
+  const Oracle oracle(models::all_models());
+  const auto t = parse(
+      "name: sb-rmw\np: w(y)1 rmw(x)0:1\nq: w(x)2 r(y)0\n");
+  for (const auto& f : oracle.run_case(t).findings) {
+    ADD_FAILURE() << to_string(f.kind) << " [" << f.model << "]: "
+                  << f.detail;
+  }
+}
+
+TEST(Oracle, ReplicatedMachineRmwTraceIsSound) {
+  // Regression for a real fuzz finding (seed 5628249533259684064): the
+  // PRAM and causal machines reach this trace (the rmw swaps against the
+  // issuer's replica, which saw w(x)2 before w(x)1), so the declarative
+  // models must admit it.
+  const Oracle oracle(models::all_models());
+  const auto t = parse(
+      "name: rmw-replica\np: w(x)1 r(x)2\nq: w(x)2 rmw(x)1:3\n");
+  for (const auto& f : oracle.run_case(t).findings) {
+    ADD_FAILURE() << to_string(f.kind) << " [" << f.model << "]: "
+                  << f.detail;
+  }
+}
+
+TEST(Oracle, UnlabeledOnlyEdgesSkipLabeledHistories) {
+  // HC rejects this properly-labeled MP outcome while Local admits it;
+  // the Local ⊆ HC edge only holds unlabeled, so this is NOT a finding.
+  const Oracle oracle(models::all_models());
+  const auto t = parse(
+      "name: mp-sync\np: w(y)1 w*(x)1\nq: r*(x)1 r(y)0\n");
+  for (const auto& f : oracle.run_case(t).findings) {
+    ADD_FAILURE() << to_string(f.kind) << ": " << f.detail;
+  }
+}
+
+/// A model whose positive verdicts carry no usable evidence.
+class NoEvidenceModel final : public models::Model {
+ public:
+  std::string_view name() const noexcept override { return "Bogus"; }
+  std::string_view description() const noexcept override {
+    return "returns yes with an empty witness";
+  }
+  checker::Verdict check(const history::SystemHistory&) const override {
+    return checker::Verdict::yes();  // no views, no coherence
+  }
+};
+
+TEST(Oracle, UncertifiablePositiveVerdictIsAWitnessMismatch) {
+  std::vector<models::ModelPtr> models;
+  models.push_back(std::make_unique<NoEvidenceModel>());
+  OracleOptions opts;
+  opts.check_operational = false;
+  const Oracle oracle(std::move(models), opts);
+  const auto t = parse("name: w\np: w(x)1\n");
+  const auto result = oracle.run_case(t);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].kind, FindingKind::WitnessMismatch);
+  EXPECT_EQ(result.findings[0].model, "Bogus");
+  EXPECT_TRUE(oracle.reproduces(t.hist, result.findings[0]));
+}
+
+TEST(Oracle, NarrowedModelSetSkipsAbsentEdges) {
+  // An oracle over two models keeps only the edges between them.
+  std::vector<models::ModelPtr> models;
+  models.push_back(models::make_model("SC"));
+  models.push_back(models::make_model("TSO"));
+  const Oracle oracle(std::move(models));
+  const auto t = parse("name: sb\np: w(x)1 r(y)0\nq: w(y)1 r(x)0\n");
+  EXPECT_TRUE(oracle.run_case(t).findings.empty());
+}
+
+}  // namespace
+}  // namespace ssm::fuzz

@@ -1,0 +1,94 @@
+// litmus::emit is the inverse of the parser; the fuzzing corpus depends
+// on the round trip being exact (labels, rmw values, expect lines).
+#include "litmus/emit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fuzz/generator.hpp"
+#include "litmus/parser.hpp"
+#include "litmus/suite.hpp"
+
+namespace ssm::litmus {
+namespace {
+
+/// Structural equality: same processor sequences, op for op.
+void expect_same_history(const SystemHistory& a, const SystemHistory& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.num_processors(), b.num_processors());
+  for (OpIndex i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a.op(i) == b.op(i)) << "op " << i << " differs";
+  }
+}
+
+TEST(Emit, RoundTripsEveryBuiltinTest) {
+  for (const auto& t : builtin_suite()) {
+    const std::string text = emit(t);
+    const auto back = parse_test(text);
+    EXPECT_EQ(back.name, t.name);
+    EXPECT_EQ(back.origin, t.origin);
+    EXPECT_EQ(back.expectations, t.expectations);
+    expect_same_history(back.hist, t.hist);
+    // Emit is canonical: a second trip reproduces the text byte-for-byte.
+    EXPECT_EQ(emit(back), text) << "non-canonical emit for " << t.name;
+  }
+}
+
+TEST(Emit, RoundTripsGeneratedCases) {
+  // Crank every generator feature: labels, rmw, 4-proc IRIW skeletons.
+  fuzz::GeneratorSpec spec;
+  spec.max_procs = 4;
+  spec.max_ops = 4;
+  spec.locs = 3;
+  spec.label_percent = 50;
+  spec.rmw_percent = 40;
+  Rng rng(20260807);
+  for (int i = 0; i < 300; ++i) {
+    const auto t = fuzz::random_test(spec, rng, "case-" + std::to_string(i));
+    const std::string text = emit(t);
+    const auto back = parse_test(text);
+    // The parser assigns LocIds by first appearance while the generator
+    // numbers them up front, so histories match up to location renaming;
+    // canonical-text equality is the exact structural contract.
+    EXPECT_EQ(emit(back), text) << text;
+    ASSERT_EQ(back.hist.size(), t.hist.size());
+    for (OpIndex j = 0; j < t.hist.size(); ++j) {
+      const auto& a = t.hist.op(j);
+      const auto& b = back.hist.op(j);
+      EXPECT_EQ(a.kind, b.kind);
+      EXPECT_EQ(a.proc, b.proc);
+      EXPECT_EQ(a.value, b.value);
+      EXPECT_EQ(a.label, b.label);
+      EXPECT_EQ(t.hist.symbols().location_name(a.loc),
+                back.hist.symbols().location_name(b.loc));
+    }
+  }
+}
+
+TEST(Emit, ExpectLinesSortedByModelName) {
+  auto t = parse_test("name: e\np: w(x)1\nexpect: TSO=yes SC=no\n");
+  const std::string text = emit(t);
+  EXPECT_NE(text.find("expect: SC=no TSO=yes"), std::string::npos) << text;
+}
+
+TEST(Emit, LabeledAndRmwSyntax) {
+  const std::string text =
+      "name: syntax\np: w*(x)1 rmw(x)1:2 r(x)2\nq: r*(x)0\n";
+  const auto t = parse_test(text);
+  EXPECT_EQ(emit(t), text);
+}
+
+TEST(Emit, SuiteRoundTrip) {
+  const auto suite = builtin_suite();
+  const auto back = parse_suite(emit_suite(suite));
+  ASSERT_EQ(back.size(), suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(emit(back[i]), emit(suite[i]));
+  }
+}
+
+TEST(Emit, ToDslIsAnAlias) {
+  for (const auto& t : builtin_suite()) EXPECT_EQ(to_dsl(t), emit(t));
+}
+
+}  // namespace
+}  // namespace ssm::litmus

@@ -4,27 +4,15 @@
 
 #include "history/print.hpp"
 #include "lattice/enumerate.hpp"
+#include "lattice/inclusion.hpp"
 #include "models/models.hpp"
 
 namespace ssm::models {
 namespace {
 
-struct Containment {
-  const char* stronger;
-  const char* weaker;
-};
-
-// Figure 5 chains: SC ⊆ TSO ⊆ {PC, Causal} ⊆ PRAM, plus extension floors.
-const Containment kContainments[] = {
-    {"SC", "TSO"},         {"TSO", "PC"},     {"TSO", "Causal"},
-    {"PC", "PRAM"},        {"Causal", "PRAM"}, {"SC", "PCg"},
-    {"PCg", "PRAM"},       {"PRAM", "Slow"},  {"Slow", "Local"},
-    {"SC", "Cache"},       {"TSO", "TSOfwd"}, {"SC", "CausalCoh"},
-    {"CausalCoh", "Causal"}, {"SC", "RCsc"},  {"RCsc", "RCpc"},
-    {"SC", "WO"},          {"WO", "RCsc"},    {"WO", "HC"},
-    {"SC", "HC"},          {"Local", "HC"},   {"RCsc", "RCg"},
-    {"CausalCoh", "CausalCohL"},              {"CausalCohL", "Causal"},
-};
+// The proven Figure 5 edges live in lattice::figure5_containments() — the
+// same ground truth the fuzzing oracle enforces at scale (src/fuzz).
+using lattice::Containment;
 
 ModelPtr by_name(std::string_view name) {
   for (auto maker : {make_sc, make_tso, make_tso_fwd, make_pc, make_goodman,
@@ -72,7 +60,7 @@ std::string containment_name(
 }
 
 INSTANTIATE_TEST_SUITE_P(Figure5, ContainmentProperty,
-                         ::testing::ValuesIn(kContainments),
+                         ::testing::ValuesIn(lattice::figure5_containments()),
                          containment_name);
 
 TEST(Figure5Separations, KnownWitnessesExist) {

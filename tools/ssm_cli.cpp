@@ -17,6 +17,13 @@
 //   ssm identify <machine>          match a machine against every
 //                                   declarative model over an exhaustive
 //                                   universe (agreement, sound, complete)
+//   ssm fuzz [--seed S --iters N ...]
+//                                   differential fuzzing over all models:
+//                                   random histories, lattice/witness/
+//                                   operational oracles, shrunk findings
+//                                   (docs/FUZZING.md)
+//   ssm replay <dir>                replay a .litmus regression corpus
+//                                   against recorded expectations
 //
 // Files use the litmus DSL (see src/litmus/parser.hpp).
 //
@@ -57,6 +64,8 @@
 #include "litmus/parser.hpp"
 #include "litmus/runner.hpp"
 #include "litmus/suite.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/fuzzer.hpp"
 #include "models/registry.hpp"
 #include "simulate/rc_memory.hpp"
 #include "simulate/sc_memory.hpp"
@@ -73,6 +82,10 @@ int usage() {
       "<command> [args]\n"
       "  models | tests | check <model> [file] | show <test> [model...]\n"
       "  matrix [file] | lattice [procs ops locs] | bakery <machine> [n]\n"
+      "  fuzz [--seed S] [--iters N] [--procs P] [--ops O] [--locs L]\n"
+      "       [--labels PCT] [--corpus DIR] [--inject-bug MODEL]\n"
+      "       [--op-ops N] [--no-operational] [--no-shrink]   |   "
+      "replay <dir>\n"
       "  --jobs N        checking-engine threads (default: SSM_JOBS or all "
       "cores)\n"
       "  --max-nodes N   search-node budget per check (0 = unlimited)\n"
@@ -342,6 +355,80 @@ int cmd_matrix(int argc, char** argv, const GlobalOptions& opts) {
   return 0;
 }
 
+int cmd_fuzz(int argc, char** argv, const GlobalOptions& opts) {
+  fuzz::FuzzOptions fopts;
+  fopts.oracle.budget = opts.budget;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ssm: flag %s needs a value\n", arg.c_str());
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      fopts.seed = parse_u64("--seed value", value());
+    } else if (arg == "--iters") {
+      fopts.iters = parse_u64("--iters value", value());
+    } else if (arg == "--procs") {
+      const std::uint32_t n = parse_u32("--procs value", value());
+      if (n == 0) return usage();
+      fopts.gen.min_procs = std::min(fopts.gen.min_procs, n);
+      fopts.gen.max_procs = n;
+    } else if (arg == "--ops") {
+      const std::uint32_t n = parse_u32("--ops value", value());
+      if (n == 0) return usage();
+      fopts.gen.min_ops = std::min(fopts.gen.min_ops, n);
+      fopts.gen.max_ops = n;
+    } else if (arg == "--locs") {
+      const std::uint32_t n = parse_u32("--locs value", value());
+      if (n == 0) return usage();
+      fopts.gen.locs = n;
+    } else if (arg == "--labels") {
+      fopts.gen.label_percent = parse_u32("--labels value", value());
+    } else if (arg == "--corpus") {
+      fopts.corpus_dir = value();
+    } else if (arg == "--inject-bug") {
+      fopts.inject_bug_into = value();
+    } else if (arg == "--op-ops") {
+      fopts.oracle.max_operational_ops = parse_u32("--op-ops value", value());
+    } else if (arg == "--no-operational") {
+      fopts.oracle.check_operational = false;
+    } else if (arg == "--no-shrink") {
+      fopts.shrink = false;
+    } else {
+      return usage();
+    }
+  }
+  const auto report = fuzz::run_fuzz(fopts);
+  if (opts.json) {
+    std::string json = report.to_json();
+    json.erase(json.rfind("\n}"));  // reopen for the metrics snapshot
+    json += ",\n  \"metrics\": ";
+    json += common::metrics::Registry::global().to_json();
+    json += "\n}\n";
+    std::printf("%s", json.c_str());
+  } else {
+    std::printf("%s", report.format().c_str());
+  }
+  return report.clean() ? 0 : 2;
+}
+
+int cmd_replay(int argc, char** argv, const GlobalOptions& opts) {
+  if (argc < 3) return usage();
+  const auto result =
+      fuzz::replay_corpus(argv[2], models::all_models(), opts.budget);
+  for (const auto& f : result.failures) {
+    std::printf("FAIL %-24s %s\n", f.test.c_str(), f.detail.c_str());
+  }
+  std::printf("replay: %llu tests, %llu cells, %zu failures\n",
+              static_cast<unsigned long long>(result.tests),
+              static_cast<unsigned long long>(result.cells),
+              result.failures.size());
+  return result.ok() ? 0 : 2;
+}
+
 int cmd_lattice(int argc, char** argv) {
   lattice::EnumerationSpec spec;
   if (argc >= 5) {
@@ -521,6 +608,8 @@ int main(int argc, char** argv) {
     if (cmd == "dot") return cmd_dot(argc, argv);
     if (cmd == "separate") return cmd_separate(argc, argv);
     if (cmd == "identify") return cmd_identify(argc, argv);
+    if (cmd == "fuzz") return cmd_fuzz(argc, argv, opts);
+    if (cmd == "replay") return cmd_replay(argc, argv, opts);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
