@@ -177,7 +177,7 @@ int run_fanout_workload(unsigned jobs, const char* json_path,
         "  \"exhausted\": %llu,\n"
         "  \"nodes_per_sec\": %.3f,\n"
         "  \"matrix_fnv1a\": \"%016llx\",\n"
-        "  \"metrics\": ",
+        "  ",
         jobs, kHistories, kProcs, kOps, models.size(),
         static_cast<unsigned long long>(budget.max_nodes),
         static_cast<unsigned long long>(budget.timeout_ms), wall_s,
@@ -188,7 +188,9 @@ int run_fanout_workload(unsigned jobs, const char* json_path,
         static_cast<unsigned long long>(stats.cancelled),
         static_cast<unsigned long long>(stats.exhausted), nodes_per_sec,
         static_cast<unsigned long long>(fnv1a(matrix)));
-    out << buf << common::metrics::Registry::global().to_json() << "\n}\n";
+    std::string snapshot;
+    common::metrics::append_global_snapshot(snapshot);
+    out << buf << snapshot << "\n}\n";
   }
   return 0;
 }

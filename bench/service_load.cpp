@@ -1,0 +1,324 @@
+// service_load — load generator for the check service (docs/SERVICE.md).
+//
+// Spins up an in-process server on a private unix socket, builds the
+// request workload from a .litmus corpus (one check request per test), and
+// drives it twice with --conns concurrent client connections:
+//
+//   cold pass   empty cache: every cell is solved;
+//   warm pass   same server: every cell should come from the cache.
+//
+// Reports per-pass throughput and p50/p95/p99 latency, the warm/cold
+// speedup, and — the point of the exercise — whether every verdict payload
+// (model, verdict, witness bytes, note; `source`/`meta` excluded) was
+// byte-identical between the passes, checked by fnv1a digest.  Exit 2 on
+// any divergence.
+//
+//   service_load [--corpus DIR] [--conns N] [--iters N] [--rps R] [--json]
+//                [--max-nodes N] [--timeout-ms N]
+//
+//   --iters N   workload repetitions per pass (default 1; raise for
+//               longer runs)
+//   --rps R     global request-rate cap, 0 = unlimited
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/types.hpp"
+#include "litmus/emit.hpp"
+#include "litmus/parser.hpp"
+#include "service/cache.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using namespace ssm;
+using Clock = std::chrono::steady_clock;
+
+struct LoadOptions {
+  std::string corpus = "tests/litmus/corpus";
+  unsigned conns = 4;
+  unsigned iters = 1;
+  double rps = 0.0;  // 0 = unlimited
+  bool json = false;
+  checker::BudgetSpec budget;
+};
+
+struct WorkItem {
+  std::string id;
+  std::string frame;  // complete request line
+};
+
+struct PassStats {
+  double seconds = 0.0;
+  std::size_t requests = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+
+  [[nodiscard]] double rps() const {
+    return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+};
+
+std::uint64_t percentile(std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// Digest of one response's verdict payload: model, verdict, witness bytes
+/// (via the embedded witness_fnv1a, which hashes the exact serializer
+/// output), and note — everything that must not differ between a solved
+/// and a cached answer.
+std::uint64_t digest_response(const common::json::Value& doc) {
+  std::string flat;
+  for (const auto& r : doc.at("results").items()) {
+    flat += r.at("model").as_string();
+    flat += '|';
+    flat += r.at("verdict").as_string();
+    flat += '|';
+    if (const auto* w = r.find("witness_fnv1a")) flat += w->as_string();
+    flat += '|';
+    if (const auto* n = r.find("note")) flat += n->as_string();
+    flat += ';';
+  }
+  return service::fnv1a64(flat);
+}
+
+std::vector<WorkItem> build_workload(const LoadOptions& opts) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(opts.corpus)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".litmus") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<WorkItem> work;
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    for (const auto& t : litmus::parse_suite(text.str())) {
+      WorkItem item;
+      item.id = t.name;
+      item.frame = "{\"op\": \"check\", \"id\": ";
+      common::json::append_quoted(item.frame, t.name);
+      item.frame += ", \"program\": ";
+      common::json::append_quoted(item.frame, litmus::emit(t));
+      item.frame += '}';
+      work.push_back(std::move(item));
+    }
+  }
+  if (work.empty()) throw InvalidInput("no .litmus tests in " + opts.corpus);
+  return work;
+}
+
+/// One pass: `conns` threads split the workload; every response's digest
+/// is recorded under its request id.  Returns the latency/throughput
+/// stats; `digests` accumulates id → digest (first writer wins, every
+/// later observation must agree or `identical` drops to false).
+PassStats run_pass(const std::string& socket_path,
+                   const std::vector<WorkItem>& work, const LoadOptions& opts,
+                   std::map<std::string, std::uint64_t>& digests,
+                   bool& identical) {
+  std::mutex mu;  // digests + latencies
+  std::vector<std::uint64_t> latencies;
+  const double per_req_interval =
+      opts.rps > 0.0 ? static_cast<double>(opts.conns) / opts.rps : 0.0;
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  std::size_t total = 0;
+  for (unsigned c = 0; c < opts.conns; ++c) {
+    // Round-robin split so every connection sees a mix of programs.
+    std::vector<const WorkItem*> mine;
+    for (unsigned rep = 0; rep < opts.iters; ++rep) {
+      for (std::size_t i = c; i < work.size(); i += opts.conns) {
+        mine.push_back(&work[i]);
+      }
+    }
+    total += mine.size();
+    threads.emplace_back([&, mine] {
+      auto client = service::Client::connect_unix(socket_path);
+      auto next_send = Clock::now();
+      for (const WorkItem* item : mine) {
+        if (per_req_interval > 0.0) {
+          std::this_thread::sleep_until(next_send);
+          next_send += std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(per_req_interval));
+        }
+        const auto start = Clock::now();
+        const std::string reply = client.call(item->frame);
+        const auto us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - start)
+                .count());
+        const auto doc = common::json::parse(reply);
+        if (!doc.at("ok").as_bool()) {
+          std::fprintf(stderr, "service_load: request %s failed: %s\n",
+                       item->id.c_str(), reply.c_str());
+          std::exit(1);
+        }
+        const std::uint64_t d = digest_response(doc);
+        std::lock_guard<std::mutex> lock(mu);
+        latencies.push_back(us);
+        const auto [it, inserted] = digests.emplace(item->id, d);
+        if (!inserted && it->second != d) identical = false;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::sort(latencies.begin(), latencies.end());
+  PassStats stats;
+  stats.seconds = seconds;
+  stats.requests = total;
+  stats.p50_us = percentile(latencies, 0.50);
+  stats.p95_us = percentile(latencies, 0.95);
+  stats.p99_us = percentile(latencies, 0.99);
+  return stats;
+}
+
+int run(const LoadOptions& opts) {
+  const std::vector<WorkItem> work = build_workload(opts);
+
+  char tmpl[] = "/tmp/ssm-load-XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) throw InvalidInput("mkdtemp failed");
+  const std::string socket_path = std::string(tmpl) + "/s";
+
+  service::ServerOptions sopts;
+  sopts.unix_socket = socket_path;
+  sopts.workers = std::max(2u, opts.conns);
+  sopts.queue_capacity = std::max<std::size_t>(1024, work.size() * opts.conns);
+  sopts.service.default_budget = opts.budget;
+  service::Server server(sopts);
+  server.start();
+
+  std::map<std::string, std::uint64_t> digests;
+  bool identical = true;
+  const PassStats cold = run_pass(socket_path, work, opts, digests, identical);
+  const PassStats warm = run_pass(socket_path, work, opts, digests, identical);
+
+  server.begin_drain();
+  server.wait();
+  std::filesystem::remove_all(tmpl);
+
+  const double speedup = cold.rps() > 0.0 ? warm.rps() / cold.rps() : 0.0;
+  std::uint64_t combined = 0xcbf29ce484222325ULL;
+  for (const auto& [id, d] : digests) {
+    combined ^= d;
+    combined *= 0x100000001b3ULL;
+  }
+
+  if (opts.json) {
+    std::printf(
+        "{\n"
+        "  \"benchmark\": \"service_load\",\n"
+        "  \"corpus\": \"%s\",\n"
+        "  \"conns\": %u,\n"
+        "  \"programs\": %zu,\n"
+        "  \"cold\": {\"requests\": %zu, \"seconds\": %.6f, \"rps\": %.1f, "
+        "\"p50_us\": %llu, \"p95_us\": %llu, \"p99_us\": %llu},\n"
+        "  \"warm\": {\"requests\": %zu, \"seconds\": %.6f, \"rps\": %.1f, "
+        "\"p50_us\": %llu, \"p95_us\": %llu, \"p99_us\": %llu},\n"
+        "  \"warm_over_cold\": %.2f,\n"
+        "  \"verdicts_identical\": %s,\n"
+        "  \"digest_fnv1a\": \"%s\"\n"
+        "}\n",
+        opts.corpus.c_str(), opts.conns, work.size(), cold.requests,
+        cold.seconds, cold.rps(),
+        static_cast<unsigned long long>(cold.p50_us),
+        static_cast<unsigned long long>(cold.p95_us),
+        static_cast<unsigned long long>(cold.p99_us), warm.requests,
+        warm.seconds, warm.rps(),
+        static_cast<unsigned long long>(warm.p50_us),
+        static_cast<unsigned long long>(warm.p95_us),
+        static_cast<unsigned long long>(warm.p99_us), speedup,
+        identical ? "true" : "false",
+        service::hex16(combined).c_str());
+  } else {
+    std::printf("service_load: %zu programs x %u conns x %u iters\n",
+                work.size(), opts.conns, opts.iters);
+    std::printf("  cold: %6zu req in %8.3fs = %9.1f rps   p50 %llu us  "
+                "p95 %llu us  p99 %llu us\n",
+                cold.requests, cold.seconds, cold.rps(),
+                static_cast<unsigned long long>(cold.p50_us),
+                static_cast<unsigned long long>(cold.p95_us),
+                static_cast<unsigned long long>(cold.p99_us));
+    std::printf("  warm: %6zu req in %8.3fs = %9.1f rps   p50 %llu us  "
+                "p95 %llu us  p99 %llu us\n",
+                warm.requests, warm.seconds, warm.rps(),
+                static_cast<unsigned long long>(warm.p50_us),
+                static_cast<unsigned long long>(warm.p95_us),
+                static_cast<unsigned long long>(warm.p99_us));
+    std::printf("  warm/cold: %.2fx   verdicts identical: %s   digest %s\n",
+                speedup, identical ? "yes" : "NO",
+                service::hex16(combined).c_str());
+  }
+  return identical ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "service_load: flag %s needs a value\n",
+                     arg.c_str());
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (arg == "--corpus") {
+      opts.corpus = value();
+    } else if (arg == "--conns") {
+      opts.conns = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--iters") {
+      opts.iters = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--rps") {
+      opts.rps = std::strtod(value(), nullptr);
+    } else if (arg == "--max-nodes") {
+      opts.budget.max_nodes = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--timeout-ms") {
+      opts.budget.timeout_ms = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: service_load [--corpus DIR] [--conns N] "
+                   "[--iters N] [--rps R] [--max-nodes N] [--timeout-ms N] "
+                   "[--json]\n");
+      return 64;
+    }
+  }
+  if (opts.conns == 0 || opts.iters == 0) {
+    std::fprintf(stderr, "service_load: --conns/--iters must be positive\n");
+    return 64;
+  }
+  try {
+    return run(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "service_load: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,313 @@
+#include "common/json.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/types.hpp"
+
+namespace ssm::common::json {
+
+void escape(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  escape(out, s);
+  out += '"';
+}
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::Bool) throw InvalidInput("JSON: expected a boolean");
+  return bool_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::String) throw InvalidInput("JSON: expected a string");
+  return scalar_;
+}
+
+std::uint64_t Value::as_u64() const {
+  if (kind_ != Kind::Number) throw InvalidInput("JSON: expected a number");
+  // Reject anything but a plain decimal natural: budgets and counts must
+  // round-trip exactly, and a fraction or sign here is a caller bug.
+  if (scalar_.empty() ||
+      scalar_.find_first_not_of("0123456789") != std::string::npos) {
+    throw InvalidInput("JSON: expected an unsigned integer, got '" + scalar_ +
+                       "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(scalar_.c_str(), &end, 10);
+  if (errno == ERANGE || end != scalar_.c_str() + scalar_.size()) {
+    throw InvalidInput("JSON: integer out of range: '" + scalar_ + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double Value::as_double() const {
+  if (kind_ != Kind::Number) throw InvalidInput("JSON: expected a number");
+  return std::strtod(scalar_.c_str(), nullptr);
+}
+
+const std::vector<Value>& Value::items() const {
+  if (kind_ != Kind::Array) throw InvalidInput("JSON: expected an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+  if (kind_ != Kind::Object) throw InvalidInput("JSON: expected an object");
+  return members_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  if (v == nullptr) {
+    throw InvalidInput("JSON: missing key '" + std::string(key) + "'");
+  }
+  return *v;
+}
+
+/// Recursive-descent parser.  Depth is bounded to keep hostile frames
+/// from exhausting the stack (the service feeds network input here).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_word(std::string_view w) {
+    skip_ws();
+    if (text_.substr(pos_, w.size()) != w) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    const char c = peek();
+    Value v;
+    if (c == '{') {
+      v.kind_ = Value::Kind::Object;
+      ++pos_;
+      if (consume('}')) return v;
+      do {
+        skip_ws();
+        std::string key = parse_string_body();
+        expect(':');
+        v.members_.emplace_back(std::move(key), parse_value(depth + 1));
+      } while (consume(','));
+      expect('}');
+    } else if (c == '[') {
+      v.kind_ = Value::Kind::Array;
+      ++pos_;
+      if (consume(']')) return v;
+      do {
+        v.items_.push_back(parse_value(depth + 1));
+      } while (consume(','));
+      expect(']');
+    } else if (c == '"') {
+      v.kind_ = Value::Kind::String;
+      v.scalar_ = parse_string_body();
+    } else if (c == 't') {
+      if (!consume_word("true")) fail("bad literal");
+      v.kind_ = Value::Kind::Bool;
+      v.bool_ = true;
+    } else if (c == 'f') {
+      if (!consume_word("false")) fail("bad literal");
+      v.kind_ = Value::Kind::Bool;
+      v.bool_ = false;
+    } else if (c == 'n') {
+      if (!consume_word("null")) fail("bad literal");
+      v.kind_ = Value::Kind::Null;
+    } else if (c == '-' || (c >= '0' && c <= '9')) {
+      v.kind_ = Value::Kind::Number;
+      v.scalar_ = parse_number_body();
+    } else {
+      fail("unexpected character");
+    }
+    return v;
+  }
+
+  std::string parse_string_body() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out += e;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape digit");
+            }
+          }
+          if (cp >= 0xD800 && cp <= 0xDFFF) {
+            fail("surrogate \\u escapes are unsupported");
+          }
+          // Encode the BMP codepoint as UTF-8.
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  std::string parse_number_body() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      const std::size_t d0 = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == d0) fail("expected digits");
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      digits();
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidInput("JSON, offset " + std::to_string(pos_) + ": " + what);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace ssm::common::json

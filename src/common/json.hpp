@@ -1,0 +1,91 @@
+// Small shared JSON layer: one escaping routine and one generic value
+// parser for every machine-readable surface in the tree.
+//
+// Before this existed, `tools/ssm_cli.cpp`, `src/common/metrics.cpp` and
+// `bench/checker_scaling.cpp` each carried their own (subtly different)
+// string-escaping loop, and the witness parser was welded to its fixed
+// schema.  The check service (src/service) needs both directions for
+// arbitrary request frames, so the common pieces live here:
+//
+//   * json::escape / json::append_quoted — RFC 8259 string escaping
+//     (quotes, backslashes, and control characters as \n/\t/\r/\uXXXX),
+//     used by every emitter;
+//   * json::Value / json::parse — a small recursive-descent parser for
+//     full JSON (null/bool/number/string/array/object) that keeps number
+//     literals as raw text so uint64 budget caps round-trip exactly.
+//
+// Emission stays hand-rolled at each call site (the schemas are small and
+// the byte-exact layouts are pinned by tests); only escaping and parsing
+// are shared.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ssm::common::json {
+
+/// Appends `s` escaped for inclusion inside a JSON string literal:
+/// `"` and `\` are backslash-escaped, \n/\t/\r use their short forms,
+/// every other control character becomes \u00XX.
+void escape(std::string& out, std::string_view s);
+
+/// Appends `"<escaped s>"` (with the surrounding quotes).
+void append_quoted(std::string& out, std::string_view s);
+
+/// A parsed JSON value.  Object member order is preserved (insertion
+/// order) so emitters that round-trip stay deterministic; lookup is
+/// linear, which is fine for the small frames this tree exchanges.
+class Value {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::String;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::Object;
+  }
+
+  /// Value accessors; each throws InvalidInput when the kind mismatches.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] const std::string& as_string() const;
+  /// Number accessors parse the raw literal; as_u64 rejects signs,
+  /// fractions, and overflow so budget caps cannot silently truncate.
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::vector<Value>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members()
+      const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// find() that throws InvalidInput naming the missing key.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+
+ private:
+  friend class Parser;
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::string scalar_;  // raw number literal, or decoded string payload
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).  Throws InvalidInput with a byte offset on
+/// malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+}  // namespace ssm::common::json

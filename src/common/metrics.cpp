@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "common/json.hpp"
 #include "common/types.hpp"
 
 namespace ssm::common::metrics {
@@ -49,10 +50,7 @@ auto& lookup(std::mutex& mu, Map& map, std::string_view name,
 }
 
 void append_json_escaped(std::string& out, std::string_view s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
+  json::escape(out, s);
 }
 
 }  // namespace
@@ -120,6 +118,33 @@ std::string Registry::to_json() const {
   }
   out += first ? "}\n" : "\n  }\n";
   out += "}\n";
+  return out;
+}
+
+void append_global_snapshot(std::string& out, std::string_view key) {
+  out += '"';
+  json::escape(out, key);
+  out += "\": ";
+  out += Registry::global().to_json();
+}
+
+std::string compact_global_snapshot() {
+  // to_json never emits newlines inside string literals (they would be
+  // \n-escaped), so flattening the pretty layout is a pure whitespace
+  // rewrite: drop the line breaks and collapse the indent runs.
+  const std::string pretty = Registry::global().to_json();
+  std::string out;
+  out.reserve(pretty.size());
+  bool at_line_start = false;
+  for (const char c : pretty) {
+    if (c == '\n') {
+      at_line_start = true;
+      continue;
+    }
+    if (at_line_start && c == ' ') continue;
+    at_line_start = false;
+    out += c;
+  }
   return out;
 }
 

@@ -121,4 +121,15 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
+/// Appends `"<key>": <Registry::global().to_json()>` to a JSON document
+/// under construction — the shared tail of every machine-readable
+/// emitter (`ssm --json check|matrix|fuzz`, `checker_scaling --json`,
+/// the check service's `stats` response).
+void append_global_snapshot(std::string& out, std::string_view key = "metrics");
+
+/// Registry::global().to_json() flattened to one line (newlines and
+/// indentation collapsed) for newline-delimited framing — what the check
+/// service embeds in a `stats` response frame (docs/SERVICE.md).
+[[nodiscard]] std::string compact_global_snapshot();
+
 }  // namespace ssm::common::metrics

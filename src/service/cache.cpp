@@ -1,0 +1,309 @@
+#include "service/cache.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "checker/witness.hpp"
+#include "checker/witness_verifier.hpp"
+#include "common/json.hpp"
+#include "common/types.hpp"
+#include "litmus/emit.hpp"
+#include "litmus/parser.hpp"
+
+namespace ssm::service {
+
+namespace fs = std::filesystem;
+namespace json = common::json;
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string canonical_program(const litmus::LitmusTest& t) {
+  litmus::LitmusTest bare;
+  bare.name = "h";
+  bare.hist = t.hist;
+  return litmus::emit(bare);
+}
+
+namespace {
+
+constexpr std::uint64_t kRecordVersion = 1;
+
+/// Length-prefixes each field so boundaries cannot be confused by crafted
+/// contents; shared by the key hash and the record checksum.
+void append_field(std::string& s, std::string_view f) {
+  s += std::to_string(f.size());
+  s += ':';
+  s += f;
+}
+
+std::string checksum_payload(const CacheKey& k, const CachedVerdict& v) {
+  std::string s = key_string(k);
+  append_field(s, to_string(v.status));
+  append_field(s, v.witness_json);
+  append_field(s, v.note);
+  return s;
+}
+
+}  // namespace
+
+std::string key_string(const CacheKey& k) {
+  std::string s;
+  append_field(s, k.program);
+  append_field(s, k.model);
+  append_field(s, std::to_string(k.max_nodes));
+  append_field(s, std::to_string(k.timeout_ms));
+  return s;
+}
+
+std::uint64_t key_hash(const CacheKey& k) { return fnv1a64(key_string(k)); }
+
+const char* to_string(CachedVerdict::Status s) noexcept {
+  switch (s) {
+    case CachedVerdict::Status::Allowed:
+      return "allowed";
+    case CachedVerdict::Status::Forbidden:
+      return "forbidden";
+    case CachedVerdict::Status::Inconclusive:
+      return "inconclusive";
+  }
+  return "?";
+}
+
+VerdictCache::VerdictCache(Options options)
+    : options_(std::move(options)),
+      per_shard_capacity_(std::max<std::size_t>(
+          1, (options_.capacity + kShards - 1) / kShards)) {}
+
+std::optional<CachedVerdict> VerdictCache::get(const CacheKey& key) {
+  const std::uint64_t h = key_hash(key);
+  Shard& s = shard_for(h);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(h);
+  // The index is hash-addressed; a hit must still compare the full key so
+  // a 64-bit collision can never alias one program's verdict to another
+  // (the PR-1 memo lesson, applied here from day one).
+  if (it == s.index.end() || !(it->second->key == key)) {
+    ++s.misses;
+    return std::nullopt;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);
+  ++s.hits;
+  return it->second->value;
+}
+
+void VerdictCache::insert_memory(const CacheKey& key,
+                                 const CachedVerdict& value) {
+  const std::uint64_t h = key_hash(key);
+  Shard& s = shard_for(h);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(h);
+  if (it != s.index.end()) {
+    // Refresh (or displace a hash-colliding key — harmless: correctness
+    // lives in the full-key compare on the read side).
+    it->second->key = key;
+    it->second->value = value;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.push_front(Entry{key, value});
+  s.index.emplace(h, s.lru.begin());
+  while (s.lru.size() > per_shard_capacity_) {
+    s.index.erase(key_hash(s.lru.back().key));
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+}
+
+void VerdictCache::put(const CacheKey& key, const CachedVerdict& value) {
+  insert_memory(key, value);
+  if (!options_.dir.empty() &&
+      value.status != CachedVerdict::Status::Inconclusive) {
+    write_record(key, value);
+  }
+}
+
+std::string VerdictCache::record_path(const CacheKey& key) const {
+  return (fs::path(options_.dir) / (hex16(key_hash(key)) + ".json")).string();
+}
+
+std::string encode_record(const CacheKey& key, const CachedVerdict& value) {
+  std::string out = "{\"version\": " + std::to_string(kRecordVersion);
+  out += ", \"model\": ";
+  json::append_quoted(out, key.model);
+  out += ", \"max_nodes\": " + std::to_string(key.max_nodes);
+  out += ", \"timeout_ms\": " + std::to_string(key.timeout_ms);
+  out += ", \"status\": ";
+  json::append_quoted(out, to_string(value.status));
+  out += ", \"program\": ";
+  json::append_quoted(out, key.program);
+  if (!value.note.empty()) {
+    out += ", \"note\": ";
+    json::append_quoted(out, value.note);
+  }
+  if (!value.witness_json.empty()) {
+    // Stored as a JSON *string* (not an embedded object) so the exact
+    // serializer bytes survive the round trip: a cached response must be
+    // byte-identical to a freshly solved one.
+    out += ", \"witness\": ";
+    json::append_quoted(out, value.witness_json);
+  }
+  out += ", \"check\": ";
+  json::append_quoted(out, hex16(fnv1a64(checksum_payload(key, value))));
+  out += "}\n";
+  return out;
+}
+
+std::optional<std::pair<CacheKey, CachedVerdict>> decode_record(
+    std::string_view text) {
+  try {
+    const json::Value doc = json::parse(text);
+    if (!doc.is_object() || doc.at("version").as_u64() != kRecordVersion) {
+      return std::nullopt;
+    }
+    CacheKey key;
+    key.model = doc.at("model").as_string();
+    key.max_nodes = doc.at("max_nodes").as_u64();
+    key.timeout_ms = doc.at("timeout_ms").as_u64();
+    key.program = doc.at("program").as_string();
+    CachedVerdict value;
+    const std::string& status = doc.at("status").as_string();
+    if (status == "allowed") {
+      value.status = CachedVerdict::Status::Allowed;
+    } else if (status == "forbidden") {
+      value.status = CachedVerdict::Status::Forbidden;
+    } else {
+      return std::nullopt;  // inconclusive records are never written
+    }
+    if (const json::Value* note = doc.find("note")) {
+      value.note = note->as_string();
+    }
+    if (const json::Value* witness = doc.find("witness")) {
+      value.witness_json = witness->as_string();
+    }
+    // Integrity first: the checksum covers every field above, so a
+    // bit-flipped or truncated record is rejected before any semantic
+    // work.
+    if (doc.at("check").as_string() !=
+        hex16(fnv1a64(checksum_payload(key, value)))) {
+      return std::nullopt;
+    }
+    // The program must parse, be a single test, and re-canonicalize to
+    // itself (a drifted program would never be hit and would alias
+    // lookups).
+    const auto tests = litmus::parse_suite(key.program);
+    if (tests.size() != 1 || canonical_program(tests[0]) != key.program) {
+      return std::nullopt;
+    }
+    if (value.status == CachedVerdict::Status::Allowed) {
+      // A positive verdict is only as good as its certificate: re-verify
+      // it with the independent witness verifier against the program's
+      // history, and require the stored bytes to be the serializer's
+      // canonical form (so cached responses stay byte-identical to fresh
+      // solves).
+      if (value.witness_json.empty()) return std::nullopt;
+      const checker::Witness w =
+          checker::witness_from_json(value.witness_json);
+      if (checker::to_json(w) != value.witness_json) return std::nullopt;
+      if (w.model != key.model) return std::nullopt;
+      if (checker::verify_witness(tests[0].hist, w).has_value()) {
+        return std::nullopt;
+      }
+    } else if (!value.witness_json.empty()) {
+      return std::nullopt;  // a forbidden entry must not smuggle one in
+    }
+    return std::make_pair(std::move(key), std::move(value));
+  } catch (const InvalidInput&) {
+    return std::nullopt;
+  }
+}
+
+void VerdictCache::write_record(const CacheKey& key,
+                                const CachedVerdict& value) const {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  const fs::path path = record_path(key);
+  // Atomic publish: write the full record to a sibling temp file, then
+  // rename over the final name.  A reader (or a crash) can therefore
+  // never observe a half-written record — it sees the old file or the
+  // new one.
+  const fs::path tmp =
+      path.string() + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // persistence is best-effort; memory layer is live
+    out << encode_record(key, value);
+    if (!out.flush()) {
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+VerdictCache::LoadReport VerdictCache::load_persistent() {
+  LoadReport report;
+  if (options_.dir.empty()) return report;
+  std::error_code ec;
+  if (!fs::is_directory(options_.dir, ec)) return report;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream text;
+    if (!in || !(text << in.rdbuf())) {
+      ++report.skipped;
+      continue;
+    }
+    if (auto record = decode_record(text.str())) {
+      insert_memory(record->first, record->second);
+      ++report.loaded;
+    } else {
+      ++report.skipped;
+    }
+  }
+  return report;
+}
+
+VerdictCache::Stats VerdictCache::stats() const {
+  Stats total;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total.entries += s.lru.size();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+  }
+  return total;
+}
+
+std::size_t VerdictCache::size() const { return stats().entries; }
+
+}  // namespace ssm::service

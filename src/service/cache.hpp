@@ -1,0 +1,170 @@
+// Verdict cache: the content-addressed heart of the check service.
+//
+// The checking engine is deterministic — the same (program, model,
+// budget) triple always yields the same verdict and, for a positive one,
+// the same witness certificate bytes (docs/PARALLELISM.md).  That makes
+// verdicts perfectly cacheable: the key is the *canonical* litmus program
+// (litmus::emit of the bare history — name, origin and expectations
+// stripped, so renamed copies of one program share an entry), the model
+// name, and the effective budget caps.
+//
+// Two layers:
+//   * a sharded in-memory LRU (mutex per shard, keyed by fnv1a-picked
+//     shard) sized by `capacity`;
+//   * an optional persistent directory (`dir`): every conclusive verdict
+//     is written through as a versioned one-record JSON file, atomically
+//     (temp file + rename), and `load_persistent()` re-populates the
+//     memory layer at startup.  A loaded *allowed* entry is only accepted
+//     after its witness certificate re-validates against the
+//     independently implemented checker::verify_witness — a corrupt or
+//     stale disk record can therefore never resurface as a wrong positive
+//     verdict.  Forbidden entries carry no certificate; they are guarded
+//     by a content checksum (detects corruption, not forgery — the cache
+//     directory is a trust boundary, see docs/SERVICE.md).
+//   * INCONCLUSIVE verdicts are cached in memory (the node-budget that
+//     produced them is part of the key) but never persisted: a timeout-
+//     induced '?' is a statement about one machine's wall clock, not
+//     about the program.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "litmus/test.hpp"
+
+namespace ssm::service {
+
+/// Identity of one cached cell.  `program` must be the canonical DSL text
+/// (see canonical_program); the budget caps are the *effective* ones the
+/// solve ran under, so differently-budgeted answers never alias.
+struct CacheKey {
+  std::string program;
+  std::string model;
+  std::uint64_t max_nodes = 0;
+  std::uint64_t timeout_ms = 0;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+/// Canonical cache text for a litmus test: the emitted history alone,
+/// under a fixed name, with origin and expectations stripped.  Two
+/// structurally identical programs submitted under different names hash
+/// to the same entry.
+[[nodiscard]] std::string canonical_program(const litmus::LitmusTest& t);
+
+/// Canonical flat rendering of all key fields (length-prefixed, so field
+/// boundaries cannot be confused); the exact identity used by the
+/// single-flight table.
+[[nodiscard]] std::string key_string(const CacheKey& k);
+
+/// fnv1a-64 of key_string (the content address; also the persistent
+/// file stem).
+[[nodiscard]] std::uint64_t key_hash(const CacheKey& k);
+
+/// 16-hex-digit rendering of a 64-bit hash (file stems, witness refs).
+[[nodiscard]] std::string hex16(std::uint64_t v);
+
+/// fnv1a-64 of a string (shared by the key hash, record checksums, and
+/// the load generator's verdict-identity check).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view s) noexcept;
+
+/// One cached verdict.  `witness_json` is the PR-2 serializer's output
+/// (checker::to_json) for Allowed entries, empty otherwise.
+struct CachedVerdict {
+  enum class Status : std::uint8_t { Allowed, Forbidden, Inconclusive };
+  Status status = Status::Forbidden;
+  std::string witness_json;
+  std::string note;
+
+  bool operator==(const CachedVerdict&) const = default;
+};
+
+[[nodiscard]] const char* to_string(CachedVerdict::Status s) noexcept;
+
+class VerdictCache {
+ public:
+  struct Options {
+    std::size_t capacity = 4096;  ///< total in-memory entries across shards
+    std::string dir;              ///< persistent directory; empty = off
+  };
+
+  struct Stats {
+    std::size_t entries = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  struct LoadReport {
+    std::size_t loaded = 0;   ///< records accepted into the memory layer
+    std::size_t skipped = 0;  ///< corrupt / stale / failed re-verification
+  };
+
+  explicit VerdictCache(Options options);
+
+  /// Memory-layer lookup; promotes the entry to most-recently-used.
+  [[nodiscard]] std::optional<CachedVerdict> get(const CacheKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting the shard's LRU tail past
+  /// capacity.  Conclusive verdicts are also written through to `dir`
+  /// when persistence is on.
+  void put(const CacheKey& key, const CachedVerdict& value);
+
+  /// Scans `dir` for record files and loads every valid one (witnesses
+  /// re-verified, checksums checked).  No-op when persistence is off.
+  LoadReport load_persistent();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// The persistent record path for a key (exposed for tests that corrupt
+  /// records deliberately).
+  [[nodiscard]] std::string record_path(const CacheKey& key) const;
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Entry {
+    CacheKey key;
+    CachedVerdict value;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t hash) noexcept {
+    return shards_[hash % kShards];
+  }
+
+  void insert_memory(const CacheKey& key, const CachedVerdict& value);
+  void write_record(const CacheKey& key, const CachedVerdict& value) const;
+
+  Options options_;
+  std::size_t per_shard_capacity_;
+  Shard shards_[kShards];
+};
+
+/// Serializes one persistent record (versioned, checksummed, one JSON
+/// object per file).  Exposed for tests.
+[[nodiscard]] std::string encode_record(const CacheKey& key,
+                                        const CachedVerdict& value);
+
+/// Parses and validates one persistent record: version check, checksum
+/// check, program parse, and — for Allowed entries — independent witness
+/// re-verification.  Returns std::nullopt (never throws) on any defect.
+[[nodiscard]] std::optional<std::pair<CacheKey, CachedVerdict>> decode_record(
+    std::string_view text);
+
+}  // namespace ssm::service

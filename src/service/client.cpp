@@ -1,0 +1,120 @@
+#include "service/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace ssm::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw InvalidInput(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw InvalidInput("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    throw_errno("connect " + path);
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    throw_errno("connect 127.0.0.1:" + std::to_string(port));
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buf_(std::move(other.buf_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buf_ = std::move(other.buf_);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_frame(std::string_view frame) {
+  std::string line(frame);
+  if (line.empty() || line.back() != '\n') line += '\n';
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<std::string> Client::read_frame() {
+  for (;;) {
+    const std::size_t pos = buf_.find('\n');
+    if (pos != std::string::npos) {
+      std::string frame = buf_.substr(0, pos);
+      buf_.erase(0, pos + 1);
+      return frame;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (!buf_.empty()) {
+        throw InvalidInput("connection closed mid-frame");
+      }
+      return std::nullopt;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string Client::call(std::string_view frame) {
+  send_frame(frame);
+  auto reply = read_frame();
+  if (!reply) throw InvalidInput("server closed the connection");
+  return *std::move(reply);
+}
+
+void Client::shutdown_write() noexcept { ::shutdown(fd_, SHUT_WR); }
+
+}  // namespace ssm::service

@@ -1,0 +1,52 @@
+// Blocking NDJSON client for the check service: one socket, one frame out,
+// one frame back, strictly in order (the server answers per-connection in
+// request order).  Shared by `ssm client`, the smoke test, and the
+// bench/service_load generator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ssm::service {
+
+class Client {
+ public:
+  /// Connects to a unix-domain socket.  Throws InvalidInput on failure.
+  [[nodiscard]] static Client connect_unix(const std::string& path);
+
+  /// Connects to 127.0.0.1:`port`.  Throws InvalidInput on failure.
+  [[nodiscard]] static Client connect_tcp(std::uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Writes one frame ('\n' appended when missing).  Throws InvalidInput
+  /// when the connection is gone.
+  void send_frame(std::string_view frame);
+
+  /// Reads one frame (without the trailing '\n').  Returns std::nullopt on
+  /// a clean EOF at a frame boundary; throws InvalidInput on an EOF that
+  /// truncates a frame.
+  [[nodiscard]] std::optional<std::string> read_frame();
+
+  /// send_frame + read_frame; throws InvalidInput when the server hung up
+  /// instead of answering.
+  [[nodiscard]] std::string call(std::string_view frame);
+
+  /// Half-closes the write side (tells the server "no more requests")
+  /// while leaving reads open for the remaining responses.
+  void shutdown_write() noexcept;
+
+ private:
+  explicit Client(int fd) noexcept : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace ssm::service

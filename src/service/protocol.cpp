@@ -1,0 +1,177 @@
+#include "service/protocol.hpp"
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "service/cache.hpp"
+
+namespace ssm::service {
+
+namespace json = common::json;
+
+Request parse_request(std::string_view frame) {
+  json::Value doc;
+  try {
+    doc = json::parse(frame);
+  } catch (const InvalidInput& e) {
+    throw ProtocolError("parse_error", e.what());
+  }
+  std::string frame_id;
+  try {
+    if (!doc.is_object()) {
+      throw ProtocolError("bad_request", "request frame must be an object");
+    }
+    Request req;
+    if (const json::Value* id = doc.find("id")) req.id = id->as_string();
+    frame_id = req.id;
+    const std::string& op = doc.at("op").as_string();
+    if (op == "ping") {
+      req.op = Request::Op::Ping;
+    } else if (op == "stats") {
+      req.op = Request::Op::Stats;
+    } else if (op == "shutdown") {
+      req.op = Request::Op::Shutdown;
+    } else if (op == "check") {
+      req.op = Request::Op::Check;
+      req.check.program = doc.at("program").as_string();
+      if (req.check.program.empty()) {
+        throw ProtocolError("bad_request", "empty program");
+      }
+      if (const json::Value* models = doc.find("models")) {
+        for (const json::Value& m : models->items()) {
+          req.check.models.push_back(m.as_string());
+        }
+        if (req.check.models.empty()) {
+          throw ProtocolError("bad_request",
+                              "models, when present, must be non-empty");
+        }
+      }
+      if (const json::Value* v = doc.find("max_nodes")) {
+        req.check.budget.max_nodes = v->as_u64();
+      }
+      if (const json::Value* v = doc.find("timeout_ms")) {
+        req.check.budget.timeout_ms = v->as_u64();
+      }
+      if (const json::Value* v = doc.find("no_cache")) {
+        req.check.no_cache = v->as_bool();
+      }
+    } else {
+      throw ProtocolError("bad_request", "unknown op '" + op + "'");
+    }
+    return req;
+  } catch (ProtocolError& e) {
+    e.set_id(frame_id);
+    throw;
+  } catch (const InvalidInput& e) {
+    // Missing keys / kind mismatches from the JSON accessors.
+    ProtocolError err("bad_request", e.what());
+    err.set_id(frame_id);
+    throw err;
+  }
+}
+
+std::string serialize_results(const std::vector<ModelResult>& results) {
+  std::string out = "[";
+  bool first = true;
+  for (const ModelResult& r : results) {
+    out += first ? "{" : ", {";
+    first = false;
+    out += "\"model\": ";
+    json::append_quoted(out, r.model);
+    out += ", \"verdict\": ";
+    json::append_quoted(out, r.verdict);
+    if (!r.witness_json.empty()) {
+      out += ", \"witness\": ";
+      out += r.witness_json;  // serializer bytes, embedded verbatim
+      out += ", \"witness_fnv1a\": ";
+      json::append_quoted(out, hex16(fnv1a64(r.witness_json)));
+    }
+    if (!r.note.empty()) {
+      out += ", \"note\": ";
+      json::append_quoted(out, r.note);
+    }
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+namespace {
+
+void open_frame(std::string& out, std::string_view id, bool ok) {
+  out += "{\"id\": ";
+  json::append_quoted(out, id);
+  out += ok ? ", \"ok\": true" : ", \"ok\": false";
+}
+
+}  // namespace
+
+std::string serialize_check_response(const CheckResponse& r) {
+  std::string out;
+  open_frame(out, r.id, true);
+  out += ", \"results\": [";
+  bool first = true;
+  for (const ModelResult& m : r.results) {
+    out += first ? "{" : ", {";
+    first = false;
+    out += "\"model\": ";
+    json::append_quoted(out, m.model);
+    out += ", \"verdict\": ";
+    json::append_quoted(out, m.verdict);
+    out += ", \"source\": ";
+    json::append_quoted(out, m.source);
+    if (!m.witness_json.empty()) {
+      out += ", \"witness\": ";
+      out += m.witness_json;
+      out += ", \"witness_fnv1a\": ";
+      json::append_quoted(out, hex16(fnv1a64(m.witness_json)));
+    }
+    if (!m.note.empty()) {
+      out += ", \"note\": ";
+      json::append_quoted(out, m.note);
+    }
+    out += '}';
+  }
+  out += "], \"meta\": {\"latency_us\": " + std::to_string(r.latency_us);
+  out += ", \"cache_hits\": " + std::to_string(r.cache_hits);
+  out += ", \"solved\": " + std::to_string(r.solved);
+  out += ", \"dedup_waits\": " + std::to_string(r.dedup_waits);
+  out += "}}\n";
+  return out;
+}
+
+std::string serialize_error(std::string_view id, std::string_view type,
+                            std::string_view message) {
+  std::string out;
+  open_frame(out, id, false);
+  out += ", \"error\": {\"type\": ";
+  json::append_quoted(out, type);
+  out += ", \"message\": ";
+  json::append_quoted(out, message);
+  out += "}}\n";
+  return out;
+}
+
+std::string serialize_stats(std::string_view id) {
+  std::string out;
+  open_frame(out, id, true);
+  out += ", \"stats\": ";
+  out += common::metrics::compact_global_snapshot();
+  out += "}\n";
+  return out;
+}
+
+std::string serialize_pong(std::string_view id) {
+  std::string out;
+  open_frame(out, id, true);
+  out += ", \"pong\": true}\n";
+  return out;
+}
+
+std::string serialize_drain_ack(std::string_view id) {
+  std::string out;
+  open_frame(out, id, true);
+  out += ", \"draining\": true}\n";
+  return out;
+}
+
+}  // namespace ssm::service

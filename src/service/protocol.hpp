@@ -1,0 +1,102 @@
+// Wire protocol for the check service: newline-delimited JSON frames.
+//
+// One request per line, one response per line, strictly in request order
+// per connection.  The full grammar, error taxonomy, and examples live in
+// docs/SERVICE.md; the shapes:
+//
+//   {"op":"check","id":"r1","program":"name: t\np: w(x)1 r(y)0\n...",
+//    "models":["SC","TSO"],"max_nodes":0,"timeout_ms":0}
+//   {"op":"stats"} | {"op":"ping"} | {"op":"shutdown"}
+//
+//   {"id":"r1","ok":true,"results":[{"model":"SC","verdict":"forbidden",
+//    "source":"solved"},...],"meta":{"latency_us":412,"cache_hits":1,
+//    "solved":1,"dedup_waits":0}}
+//   {"id":"r1","ok":false,"error":{"type":"overloaded","message":"..."}}
+//
+// Error types are part of the contract: "parse_error" (frame is not
+// valid JSON), "bad_request" (valid JSON, invalid request: unknown op,
+// malformed program, unknown model), "overloaded" (admission queue full
+// — retry later), "draining" (server shutting down), "internal" (a
+// checker invariant failed; never expected).  A malformed frame gets a
+// typed error response, never a disconnect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "checker/budget.hpp"
+#include "common/types.hpp"
+
+namespace ssm::service {
+
+/// A protocol-level failure that should become a typed error frame.
+/// Carries the request id (when one was successfully extracted before the
+/// failure) so the error frame can echo it back.
+class ProtocolError : public InvalidInput {
+ public:
+  ProtocolError(std::string type, const std::string& message)
+      : InvalidInput(message), type_(std::move(type)) {}
+  [[nodiscard]] const std::string& type() const noexcept { return type_; }
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  void set_id(std::string id) { id_ = std::move(id); }
+
+ private:
+  std::string type_;
+  std::string id_;
+};
+
+struct CheckRequest {
+  std::string program;              ///< litmus DSL text (exactly one test)
+  std::vector<std::string> models;  ///< empty = every registered model
+  checker::BudgetSpec budget;       ///< 0 = server default / cap
+  bool no_cache = false;            ///< bypass lookup (still populates)
+};
+
+struct Request {
+  enum class Op : std::uint8_t { Check, Stats, Ping, Shutdown };
+  Op op = Op::Ping;
+  std::string id;
+  CheckRequest check;  ///< meaningful when op == Check
+};
+
+/// Parses one request frame.  Throws ProtocolError ("parse_error" or
+/// "bad_request") on anything outside the contract.
+[[nodiscard]] Request parse_request(std::string_view frame);
+
+/// One model's verdict within a check response.
+struct ModelResult {
+  std::string model;
+  std::string verdict;       ///< "allowed" | "forbidden" | "inconclusive"
+  std::string source;        ///< "solved" | "cache" | "dedup"
+  std::string witness_json;  ///< serializer bytes when allowed, else empty
+  std::string note;          ///< diagnostic for inconclusive cells
+};
+
+struct CheckResponse {
+  std::string id;
+  std::vector<ModelResult> results;
+  std::uint64_t latency_us = 0;
+  std::uint32_t cache_hits = 0;
+  std::uint32_t solved = 0;
+  std::uint32_t dedup_waits = 0;
+};
+
+/// Canonical serialization of the results array alone — the payload the
+/// byte-identity acceptance check hashes (it excludes the per-request
+/// `source`/`meta` fields, which legitimately differ between a cold and a
+/// warm run).
+[[nodiscard]] std::string serialize_results(
+    const std::vector<ModelResult>& results);
+
+/// Full response frames (single line, '\n'-terminated).
+[[nodiscard]] std::string serialize_check_response(const CheckResponse& r);
+[[nodiscard]] std::string serialize_error(std::string_view id,
+                                          std::string_view type,
+                                          std::string_view message);
+[[nodiscard]] std::string serialize_stats(std::string_view id);
+[[nodiscard]] std::string serialize_pong(std::string_view id);
+[[nodiscard]] std::string serialize_drain_ack(std::string_view id);
+
+}  // namespace ssm::service

@@ -1,0 +1,594 @@
+#include "service/server.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "checker/witness.hpp"
+#include "checker/witness_verifier.hpp"
+#include "common/metrics.hpp"
+#include "common/types.hpp"
+#include "litmus/parser.hpp"
+#include "models/registry.hpp"
+
+namespace ssm::service {
+
+namespace fs = std::filesystem;
+namespace metrics = common::metrics;
+
+namespace {
+
+metrics::Gauge& queue_depth_gauge() {
+  static auto& g = metrics::Registry::global().gauge("service.queue_depth");
+  return g;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw InvalidInput(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CheckService
+// ---------------------------------------------------------------------------
+
+CheckService::CheckService(Options options, Solver solver_override)
+    : options_(std::move(options)),
+      solver_(std::move(solver_override)),
+      cache_(options_.cache) {}
+
+checker::BudgetSpec CheckService::effective_budget(
+    checker::BudgetSpec req) const noexcept {
+  const auto clamp = [](std::uint64_t r, std::uint64_t cap) {
+    if (cap == 0) return r;        // no server cap on this axis
+    if (r == 0 || r > cap) return cap;  // unset or over-ask inherits the cap
+    return r;
+  };
+  req.max_nodes = clamp(req.max_nodes, options_.default_budget.max_nodes);
+  req.timeout_ms = clamp(req.timeout_ms, options_.default_budget.timeout_ms);
+  return req;
+}
+
+CachedVerdict CheckService::solve(const litmus::LitmusTest& test,
+                                  const std::string& model,
+                                  const checker::BudgetSpec& budget) {
+  static auto& solve_us =
+      metrics::Registry::global().histogram("service.solve_us");
+  const auto start = std::chrono::steady_clock::now();
+  if (solver_) return solver_(test, model, budget);
+  const auto m = models::make_model(model);
+  checker::Verdict v;
+  if (budget.unlimited()) {
+    v = m->check(test.hist);
+  } else {
+    checker::SearchBudget b(budget);
+    const checker::BudgetScope scope(&b);
+    v = m->check(test.hist);
+  }
+  CachedVerdict out;
+  if (v.inconclusive) {
+    out.status = CachedVerdict::Status::Inconclusive;
+    out.note = v.note;
+  } else if (v.allowed) {
+    out.status = CachedVerdict::Status::Allowed;
+    // Certify before caching or shipping: a witness the independent
+    // verifier rejects is a checker bug and must surface as `internal`,
+    // never be served (same policy as the CLI's exit 3).
+    const auto w = checker::witness_from_verdict(test.hist, m->name(), v);
+    if (const auto err = checker::verify_witness(test.hist, w)) {
+      throw ProtocolError(
+          "internal", "witness failed independent re-verification: " + *err);
+    }
+    out.witness_json = checker::to_json(w);
+  } else {
+    out.status = CachedVerdict::Status::Forbidden;
+  }
+  solve_us.observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return out;
+}
+
+CachedVerdict CheckService::lookup_or_solve(const CacheKey& key,
+                                            const litmus::LitmusTest& test,
+                                            bool no_cache,
+                                            const checker::BudgetSpec& budget,
+                                            std::string& source) {
+  static auto& hits = metrics::Registry::global().counter("service.cache_hits");
+  static auto& misses =
+      metrics::Registry::global().counter("service.cache_misses");
+  static auto& dedup =
+      metrics::Registry::global().counter("service.inflight_dedup");
+  if (!no_cache) {
+    if (auto hit = cache_.get(key)) {
+      hits.add();
+      source = "cache";
+      return *hit;
+    }
+  }
+  misses.add();
+
+  const std::string id = key_string(key);
+  std::shared_ptr<Inflight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    const auto it = inflight_.find(id);
+    if (it == inflight_.end()) {
+      flight = std::make_shared<Inflight>();
+      inflight_.emplace(id, flight);
+      leader = true;
+    } else {
+      flight = it->second;
+    }
+  }
+
+  if (!leader) {
+    dedup.add();
+    source = "dedup";
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (flight->failed) throw ProtocolError("internal", flight->error);
+    return flight->result;
+  }
+
+  source = "solved";
+  CachedVerdict result;
+  try {
+    result = solve(test, key.model, budget);
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.erase(id);
+    }
+    {
+      std::lock_guard<std::mutex> lock(flight->mu);
+      flight->failed = true;
+      flight->error = e.what();
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    throw;
+  }
+  // Publish to the cache BEFORE retiring the flight: a request arriving in
+  // between hits the cache instead of opening a duplicate solve window.
+  cache_.put(key, result);
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(id);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->result = result;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  return result;
+}
+
+CheckResponse CheckService::handle_check(const CheckRequest& req) {
+  static auto& requests =
+      metrics::Registry::global().counter("service.requests");
+  static auto& latency =
+      metrics::Registry::global().histogram("service.latency_us");
+  const auto start = std::chrono::steady_clock::now();
+  requests.add();
+
+  std::vector<litmus::LitmusTest> tests;
+  try {
+    tests = litmus::parse_suite(req.program);
+  } catch (const InvalidInput& e) {
+    throw ProtocolError("bad_request", std::string("program: ") + e.what());
+  }
+  if (tests.size() != 1) {
+    throw ProtocolError("bad_request",
+                        "program must contain exactly one litmus test");
+  }
+  const litmus::LitmusTest& test = tests[0];
+
+  std::vector<std::string> model_list = req.models;
+  if (model_list.empty()) model_list = models::model_names();
+  // Validate every model up front: a typo'd name rejects the whole request
+  // before any solving starts (no partial answers).
+  for (const std::string& name : model_list) {
+    try {
+      (void)models::make_model(name);
+    } catch (const InvalidInput& e) {
+      throw ProtocolError("bad_request", e.what());
+    }
+  }
+
+  const checker::BudgetSpec budget = effective_budget(req.budget);
+  CacheKey key;
+  key.program = canonical_program(test);
+  key.max_nodes = budget.max_nodes;
+  key.timeout_ms = budget.timeout_ms;
+
+  CheckResponse resp;
+  for (const std::string& name : model_list) {
+    key.model = name;
+    std::string source;
+    const CachedVerdict v =
+        lookup_or_solve(key, test, req.no_cache, budget, source);
+    ModelResult r;
+    r.model = name;
+    r.verdict = to_string(v.status);
+    r.source = source;
+    r.witness_json = v.witness_json;
+    r.note = v.note;
+    if (source == "cache") {
+      ++resp.cache_hits;
+    } else if (source == "dedup") {
+      ++resp.dedup_waits;
+    } else {
+      ++resp.solved;
+    }
+    resp.results.push_back(std::move(r));
+  }
+  resp.latency_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  latency.observe(resp.latency_us);
+  return resp;
+}
+
+CheckService::PreloadReport CheckService::preload(
+    const std::string& corpus_dir) {
+  PreloadReport report;
+  std::error_code ec;
+  if (!fs::is_directory(corpus_dir, ec)) {
+    throw InvalidInput("preload: not a directory: " + corpus_dir);
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(corpus_dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".litmus") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  const checker::BudgetSpec budget = effective_budget({});
+  const std::vector<std::string> names = models::model_names();
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream text;
+    std::vector<litmus::LitmusTest> tests;
+    try {
+      if (!in || !(text << in.rdbuf())) throw InvalidInput("unreadable");
+      tests = litmus::parse_suite(text.str());
+    } catch (const InvalidInput&) {
+      ++report.skipped;  // one bad file never aborts the warm-up
+      continue;
+    }
+    ++report.files;
+    for (const litmus::LitmusTest& test : tests) {
+      CacheKey key;
+      key.program = canonical_program(test);
+      key.max_nodes = budget.max_nodes;
+      key.timeout_ms = budget.timeout_ms;
+      for (const std::string& name : names) {
+        key.model = name;
+        if (cache_.get(key).has_value()) {
+          ++report.skipped;  // already warm (e.g. from the persistent layer)
+          continue;
+        }
+        cache_.put(key, solve(test, name, budget));
+        ++report.loaded;
+      }
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// One accepted socket.  Shared by its reader thread and every queued job,
+/// so the fd stays open (and writable) until the last response referencing
+/// it has been flushed — the mechanism behind "zero dropped in-flight".
+struct Server::Connection {
+  int fd = -1;
+  std::mutex write_mu;
+  bool dead = false;  // guarded by write_mu; set on the first write error
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void write_frame(std::string_view frame) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (dead) return;
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        dead = true;  // client went away; its answers are undeliverable
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  void shutdown_read() { ::shutdown(fd, SHUT_RD); }
+};
+
+Server::Server(ServerOptions options, CheckService::Solver solver_override)
+    : options_(std::move(options)),
+      service_(options_.service, std::move(solver_override)) {}
+
+Server::~Server() {
+  if (started_.load(std::memory_order_acquire)) {
+    begin_drain();
+    wait();
+  } else if (drain_pipe_[0] >= 0) {
+    ::close(drain_pipe_[0]);
+    ::close(drain_pipe_[1]);
+  }
+}
+
+void Server::start() {
+  if (::pipe(drain_pipe_) != 0) throw_errno("pipe");
+  if (options_.use_tcp) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.tcp_port);
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw_errno("bind 127.0.0.1:" + std::to_string(options_.tcp_port));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      bound_port_ = ntohs(bound.sin_port);
+    }
+  } else {
+    if (options_.unix_socket.empty()) {
+      throw InvalidInput("server needs a unix socket path or --tcp");
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket.size() >= sizeof addr.sun_path) {
+      throw InvalidInput("unix socket path too long: " + options_.unix_socket);
+    }
+    std::memcpy(addr.sun_path, options_.unix_socket.c_str(),
+                options_.unix_socket.size() + 1);
+    ::unlink(options_.unix_socket.c_str());  // stale socket from a crash
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("socket");
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw_errno("bind " + options_.unix_socket);
+    }
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw_errno("listen");
+  }
+  const unsigned workers = std::max(1u, options_.workers);
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back(&Server::worker_loop, this);
+  }
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+  started_.store(true, std::memory_order_release);
+}
+
+void Server::begin_drain() noexcept {
+  if (drain_requested_.exchange(true, std::memory_order_acq_rel)) return;
+  // One byte through a pre-opened pipe: async-signal-safe, so a
+  // SIGINT/SIGTERM handler may call this directly.
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(drain_pipe_[1], &byte, 1);
+}
+
+void Server::wait() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (drained_) return;
+  }
+  if (!draining()) {
+    // poll (not read) so concurrent waiters all see the signal byte.
+    pollfd p{drain_pipe_[0], POLLIN, 0};
+    while (::poll(&p, 1, -1) < 0 && errno == EINTR) {
+    }
+  }
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!drained_) {
+    do_drain();
+    drained_ = true;
+  }
+}
+
+void Server::do_drain() {
+  // 1. Stop accepting: half-close the listener (accept() unblocks with an
+  //    error) and join the accept loop, so no new connection appears below.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // 2. Stop reading: half-close every connection's read side.  Frames
+  //    already received keep flowing through the queue; readers see EOF
+  //    and exit.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& c : conns_) c->shutdown_read();
+  }
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    readers.swap(reader_threads_);
+  }
+  for (std::thread& t : readers) t.join();
+  // 3. Finish every admitted request: workers exit only once the queue is
+  //    empty.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    workers_should_exit_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  // 4. Every response has been flushed; now the sockets may close.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+  if (!options_.use_tcp && !options_.unix_socket.empty()) {
+    ::unlink(options_.unix_socket.c_str());
+  }
+  if (drain_pipe_[0] >= 0) {
+    ::close(drain_pipe_[0]);
+    ::close(drain_pipe_[1]);
+    drain_pipe_[0] = drain_pipe_[1] = -1;
+  }
+}
+
+void Server::accept_loop() {
+  static auto& connections =
+      metrics::Registry::global().counter("service.connections");
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener was shut down (drain)
+    }
+    if (draining()) {
+      ::close(fd);
+      continue;
+    }
+    connections.add();
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(conn);
+    reader_threads_.emplace_back(&Server::reader_loop, this, conn);
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // EOF, error, or SHUT_RD from the drain
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while ((pos = buf.find('\n')) != std::string::npos) {
+      const std::string frame = buf.substr(0, pos);
+      buf.erase(0, pos + 1);
+      if (!frame.empty()) handle_frame(conn, frame);
+    }
+  }
+}
+
+void Server::handle_frame(const std::shared_ptr<Connection>& conn,
+                          std::string_view frame) {
+  static auto& rejected =
+      metrics::Registry::global().counter("service.rejected");
+  Request req;
+  try {
+    req = parse_request(frame);
+  } catch (const ProtocolError& e) {
+    // A malformed frame gets a typed error, never a disconnect.
+    conn->write_frame(serialize_error(e.id(), e.type(), e.what()));
+    return;
+  }
+  switch (req.op) {
+    case Request::Op::Ping:
+      conn->write_frame(serialize_pong(req.id));
+      return;
+    case Request::Op::Stats:
+      conn->write_frame(serialize_stats(req.id));
+      return;
+    case Request::Op::Shutdown:
+      // Flag first (atomic + pipe write, no teardown), then ack: a client
+      // that has read the ack must observe the server as draining.
+      begin_drain();
+      conn->write_frame(serialize_drain_ack(req.id));
+      return;
+    case Request::Op::Check:
+      break;
+  }
+  if (draining()) {
+    conn->write_frame(serialize_error(req.id, "draining",
+                                      "server is draining; not admitting"));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= options_.queue_capacity) {
+      rejected.add();
+      conn->write_frame(serialize_error(
+          req.id, "overloaded",
+          "admission queue full (capacity " +
+              std::to_string(options_.queue_capacity) + "); retry later"));
+      return;
+    }
+    queue_.push_back(Job{conn, std::move(req)});
+    queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [&] { return !queue_.empty() || workers_should_exit_; });
+      if (queue_.empty()) return;  // drained: exit only with an empty queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+    }
+    process(job);
+  }
+}
+
+void Server::process(const Job& job) {
+  try {
+    CheckResponse resp = service_.handle_check(job.request.check);
+    resp.id = job.request.id;
+    job.conn->write_frame(serialize_check_response(resp));
+  } catch (const ProtocolError& e) {
+    job.conn->write_frame(serialize_error(job.request.id, e.type(), e.what()));
+  } catch (const std::exception& e) {
+    job.conn->write_frame(
+        serialize_error(job.request.id, "internal", e.what()));
+  }
+}
+
+}  // namespace ssm::service

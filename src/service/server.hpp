@@ -1,0 +1,208 @@
+// Check-as-a-service: a long-running, multi-threaded admission-check
+// server (`ssm serve`, docs/SERVICE.md).
+//
+// Layering:
+//
+//   CheckService — the transport-free core.  One handle_check() call
+//     resolves a request's models, clamps its budget to the server caps,
+//     and answers each (program, model, budget) cell from three tiers:
+//       1. the content-addressed VerdictCache (cache.hpp);
+//       2. single-flight deduplication — if an identical cell is already
+//          being solved by another worker, wait for that solve instead of
+//          duplicating it (N identical concurrent requests → 1 solve);
+//       3. a fresh budgeted solve, whose positive verdicts are re-checked
+//          through the independent witness verifier before they are
+//          cached or shipped.
+//     Solves run on the calling worker thread and fan out internally
+//     across the PR-1 common::ThreadPool (per-processor views, exactly
+//     like the CLI path).
+//
+//   Server — the socket front end.  Accepts connections on a unix-domain
+//     or 127.0.0.1 TCP socket, reads newline-delimited JSON frames, and
+//     feeds check requests through a BOUNDED admission queue drained by a
+//     fixed set of worker threads.  A full queue rejects immediately with
+//     a typed `overloaded` error — the server never queues unboundedly.
+//     begin_drain()/SIGINT stops accepting and reading, finishes every
+//     admitted request, flushes the responses, and only then returns from
+//     wait(): zero in-flight requests are dropped.
+//
+// Metrics (common::metrics registry, exposed via the `stats` op):
+//   service.requests, service.cache_hits, service.cache_misses,
+//   service.inflight_dedup, service.rejected, service.queue_depth (gauge),
+//   service.connections, service.latency_us / service.solve_us
+//   (log2 histograms).  Table: docs/OBSERVABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "checker/budget.hpp"
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+
+namespace ssm::service {
+
+class CheckService {
+ public:
+  struct Options {
+    VerdictCache::Options cache;
+    /// Server-side budget: the default when a request leaves an axis
+    /// unset AND the cap a request cannot exceed.
+    checker::BudgetSpec default_budget;
+  };
+
+  /// Test seam: replaces the real solve (budgeted Model::check + witness
+  /// certification) so dedup/queue/drain tests can control solve timing
+  /// deterministically.  Production code never sets it.
+  using Solver = std::function<CachedVerdict(
+      const litmus::LitmusTest&, const std::string& model,
+      const checker::BudgetSpec&)>;
+
+  explicit CheckService(Options options, Solver solver_override = nullptr);
+
+  /// Serves one check request (cache → single-flight → solve).  Throws
+  /// ProtocolError for malformed programs / unknown models.
+  [[nodiscard]] CheckResponse handle_check(const CheckRequest& req);
+
+  struct PreloadReport {
+    std::size_t loaded = 0;   ///< cells solved (or re-read) into the cache
+    std::size_t skipped = 0;  ///< already-cached cells + unparsable files
+    std::size_t files = 0;
+  };
+
+  /// Warms the cache from a .litmus corpus directory: every (test ×
+  /// model) cell under the server default budget.  Cells already present
+  /// (e.g. from the persistent layer) are counted as skipped.
+  PreloadReport preload(const std::string& corpus_dir);
+
+  /// Clamps a request budget to the server caps (0 = unlimited request
+  /// axis inherits the cap; a non-zero axis is reduced to the cap).
+  [[nodiscard]] checker::BudgetSpec effective_budget(
+      checker::BudgetSpec req) const noexcept;
+
+  [[nodiscard]] VerdictCache& cache() noexcept { return cache_; }
+
+ private:
+  struct Inflight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    CachedVerdict result;
+    bool failed = false;
+    std::string error;  // set when the leader's solve threw
+  };
+
+  /// Cache → single-flight → solve for one cell.  `source` is set to
+  /// "cache" | "dedup" | "solved".
+  CachedVerdict lookup_or_solve(const CacheKey& key,
+                                const litmus::LitmusTest& test, bool no_cache,
+                                const checker::BudgetSpec& budget,
+                                std::string& source);
+
+  CachedVerdict solve(const litmus::LitmusTest& test, const std::string& model,
+                      const checker::BudgetSpec& budget);
+
+  Options options_;
+  Solver solver_;
+  VerdictCache cache_;
+  std::mutex inflight_mu_;
+  /// Keyed by the full key_string — a 64-bit hash collision must degrade
+  /// to an extra solve, never join two different programs' flights.
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
+};
+
+struct ServerOptions {
+  /// Bind address: a unix-domain socket path, or (when empty) 127.0.0.1
+  /// TCP on `tcp_port` (0 = kernel-assigned; read back via port()).
+  std::string unix_socket;
+  std::uint16_t tcp_port = 0;
+  bool use_tcp = false;
+
+  std::size_t queue_capacity = 256;  ///< bounded admission queue
+  unsigned workers = 2;              ///< request worker threads
+
+  CheckService::Options service;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options,
+                  CheckService::Solver solver_override = nullptr);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the accept loop + workers.  Throws
+  /// InvalidInput when the socket cannot be bound.
+  void start();
+
+  /// Requests a graceful drain.  Async-signal-safe (one write to an
+  /// internal pipe): callable directly from a SIGINT/SIGTERM handler.
+  void begin_drain() noexcept;
+
+  /// Blocks until a drain completes: every admitted request answered,
+  /// every response flushed, all threads joined.
+  void wait();
+
+  /// True once begin_drain has been requested.
+  [[nodiscard]] bool draining() const noexcept {
+    return drain_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Bound TCP port (after start(); 0 for unix-domain servers).
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+
+  [[nodiscard]] CheckService& service() noexcept { return service_; }
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct Connection;
+  struct Job {
+    std::shared_ptr<Connection> conn;
+    Request request;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void worker_loop();
+  void handle_frame(const std::shared_ptr<Connection>& conn,
+                    std::string_view frame);
+  void process(const Job& job);
+  void do_drain();
+
+  ServerOptions options_;
+  CheckService service_;
+
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  int drain_pipe_[2] = {-1, -1};
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> started_{false};
+  bool drained_ = false;  // guarded by lifecycle_mu_
+  std::mutex lifecycle_mu_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> reader_threads_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool workers_should_exit_ = false;  // guarded by queue_mu_
+};
+
+}  // namespace ssm::service

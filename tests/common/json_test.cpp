@@ -1,0 +1,102 @@
+// Tests for the shared JSON layer (common/json.hpp): escaping, parsing,
+// strict accessors, and error behavior.  The service wire protocol and the
+// persistent verdict cache both stand on this parser, so defects here
+// would surface as protocol or cache corruption.
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+
+namespace json = ssm::common::json;
+using ssm::InvalidInput;
+
+namespace {
+
+std::string escaped(std::string_view s) {
+  std::string out;
+  json::escape(out, s);
+  return out;
+}
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(escaped("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(escaped("a\"b"), "a\\\"b");
+  EXPECT_EQ(escaped("a\\b"), "a\\\\b");
+  EXPECT_EQ(escaped("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(escaped(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonEscape, RoundTripsThroughParse) {
+  const std::string nasty = "line1\nline2\t\"quoted\" \\slash\\ \x02 end";
+  std::string doc = "{\"k\": ";
+  json::append_quoted(doc, nasty);
+  doc += '}';
+  const json::Value v = json::parse(doc);
+  EXPECT_EQ(v.at("k").as_string(), nasty);
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(json::parse("true").as_bool());
+  EXPECT_FALSE(json::parse("false").as_bool());
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_EQ(json::parse("42").as_u64(), 42u);
+  EXPECT_EQ(json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_DOUBLE_EQ(json::parse("-2.5").as_double(), -2.5);
+}
+
+TEST(JsonParse, U64IsStrict) {
+  EXPECT_EQ(json::parse("18446744073709551615").as_u64(),
+            18446744073709551615ull);
+  EXPECT_THROW((void)json::parse("-1").as_u64(), InvalidInput);
+  EXPECT_THROW((void)json::parse("1.5").as_u64(), InvalidInput);
+  EXPECT_THROW((void)json::parse("\"7\"").as_u64(), InvalidInput);
+}
+
+TEST(JsonParse, ObjectsKeepInsertionOrderAndSupportLookup) {
+  const json::Value v = json::parse("{\"b\": 1, \"a\": [2, 3], \"c\": {}}");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "b");
+  EXPECT_EQ(v.at("a").items().size(), 2u);
+  EXPECT_EQ(v.at("a").items()[1].as_u64(), 3u);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW((void)v.at("missing"), InvalidInput);
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");   // é
+  EXPECT_EQ(json::parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac");  // €
+  EXPECT_THROW((void)json::parse("\"\\ud800\""), InvalidInput);  // surrogate
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)json::parse(""), InvalidInput);
+  EXPECT_THROW((void)json::parse("{"), InvalidInput);
+  EXPECT_THROW((void)json::parse("{\"a\": }"), InvalidInput);
+  EXPECT_THROW((void)json::parse("[1, 2,]"), InvalidInput);
+  EXPECT_THROW((void)json::parse("nul"), InvalidInput);
+  EXPECT_THROW((void)json::parse("\"unterminated"), InvalidInput);
+  EXPECT_THROW((void)json::parse("\"raw\nnewline\""), InvalidInput);
+  EXPECT_THROW((void)json::parse("{} trailing"), InvalidInput);
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW((void)json::parse(deep), InvalidInput);
+}
+
+TEST(JsonParse, AccessorsRejectKindMismatch) {
+  const json::Value v = json::parse("{\"n\": 1}");
+  EXPECT_THROW((void)v.as_string(), InvalidInput);
+  EXPECT_THROW((void)v.items(), InvalidInput);
+  EXPECT_THROW((void)v.at("n").as_bool(), InvalidInput);
+  EXPECT_THROW((void)json::parse("[1]").members(), InvalidInput);
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+// Verdict-cache tests: canonical keying, LRU eviction, write-through
+// persistence, and — most important — that a corrupted or tampered disk
+// record is rejected on load instead of resurfacing as a wrong verdict.
+#include "service/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "checker/witness.hpp"
+#include "litmus/parser.hpp"
+#include "models/registry.hpp"
+
+namespace fs = std::filesystem;
+using namespace ssm;
+using service::CachedVerdict;
+using service::CacheKey;
+using service::VerdictCache;
+
+namespace {
+
+constexpr const char* kSbText =
+    "name: sb\np: w(x)1 r(y)0\nq: w(y)1 r(x)0\n";
+
+litmus::LitmusTest sb_test() { return litmus::parse_test(kSbText); }
+
+CacheKey sb_key(const std::string& model) {
+  CacheKey key;
+  key.program = service::canonical_program(sb_test());
+  key.model = model;
+  return key;
+}
+
+/// Solves one (program, model) cell for real and certifies the witness —
+/// the same pipeline the service uses, so records written here are
+/// representative.
+CachedVerdict solve_cell(const litmus::LitmusTest& t,
+                         const std::string& model) {
+  const auto m = models::make_model(model);
+  const auto v = m->check(t.hist);
+  CachedVerdict out;
+  if (v.allowed) {
+    out.status = CachedVerdict::Status::Allowed;
+    out.witness_json = checker::to_json(
+        checker::witness_from_verdict(t.hist, m->name(), v));
+  } else {
+    out.status = CachedVerdict::Status::Forbidden;
+  }
+  return out;
+}
+
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/ssm-cache-test-XXXXXX";
+    path = ::mkdtemp(tmpl);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+TEST(CanonicalProgram, StripsNameOriginAndExpectations) {
+  const auto a = litmus::parse_test(
+      "name: one\norigin: somewhere\np: w(x)1 r(y)0\nq: w(y)1 r(x)0\n"
+      "expect: SC=no\n");
+  const auto b = litmus::parse_test(
+      "name: two\np: w(x)1 r(y)0\nq: w(y)1 r(x)0\n");
+  EXPECT_EQ(service::canonical_program(a), service::canonical_program(b));
+}
+
+TEST(CacheKeying, BudgetAxesAndModelSeparateEntries) {
+  VerdictCache cache({.capacity = 16, .dir = ""});
+  CacheKey key = sb_key("SC");
+  cache.put(key, {CachedVerdict::Status::Forbidden, "", ""});
+  EXPECT_TRUE(cache.get(key).has_value());
+
+  CacheKey other = key;
+  other.model = "TSO";
+  EXPECT_FALSE(cache.get(other).has_value());
+  other = key;
+  other.max_nodes = 100;
+  EXPECT_FALSE(cache.get(other).has_value());
+  other = key;
+  other.timeout_ms = 5;
+  EXPECT_FALSE(cache.get(other).has_value());
+}
+
+TEST(CacheLru, EvictsLeastRecentlyUsedWithinShardCapacity) {
+  // capacity 16 over 16 shards = 1 entry per shard: two keys landing in
+  // one shard must displace each other, and stats must say so.
+  VerdictCache cache({.capacity = 16, .dir = ""});
+  const CachedVerdict v{CachedVerdict::Status::Forbidden, "", ""};
+  // Insert many distinct keys; with 1-per-shard capacity the total can
+  // never exceed the shard count.
+  for (int i = 0; i < 64; ++i) {
+    CacheKey key = sb_key("SC");
+    key.max_nodes = static_cast<std::uint64_t>(i + 1);
+    cache.put(key, v);
+  }
+  EXPECT_LE(cache.size(), 16u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(CacheLru, HitReturnsStoredValueAndCountsStats) {
+  VerdictCache cache({.capacity = 1024, .dir = ""});
+  CacheKey key = sb_key("SC");
+  const CachedVerdict v{CachedVerdict::Status::Forbidden, "", "hello"};
+  cache.put(key, v);
+  const auto hit = cache.get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->note, "hello");
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(RecordCodec, RoundTripsAllowedAndForbidden) {
+  const auto t = sb_test();
+  for (const char* model : {"SC", "TSO"}) {
+    CacheKey key = sb_key(model);
+    const CachedVerdict v = solve_cell(t, model);
+    const std::string record = service::encode_record(key, v);
+    const auto decoded = service::decode_record(record);
+    ASSERT_TRUE(decoded.has_value()) << model;
+    EXPECT_EQ(decoded->first, key);
+    EXPECT_EQ(decoded->second, v);
+  }
+}
+
+TEST(RecordCodec, RejectsTamperedRecords) {
+  const auto t = sb_test();
+  CacheKey key = sb_key("TSO");  // SB is allowed under TSO => has witness
+  const CachedVerdict v = solve_cell(t, "TSO");
+  ASSERT_EQ(v.status, CachedVerdict::Status::Allowed);
+  const std::string record = service::encode_record(key, v);
+
+  EXPECT_FALSE(service::decode_record("not json").has_value());
+  EXPECT_FALSE(service::decode_record("{}").has_value());
+
+  // Flip the verdict: checksum catches it.
+  std::string tampered = record;
+  const auto pos = tampered.find("\"allowed\"");
+  ASSERT_NE(pos, std::string::npos);
+  tampered.replace(pos, 9, "\"forbidden\"");
+  EXPECT_FALSE(service::decode_record(tampered).has_value());
+
+  // Truncate: parse or checksum catches it.
+  EXPECT_FALSE(
+      service::decode_record(record.substr(0, record.size() / 2)).has_value());
+
+  // A forbidden record smuggling a witness is rejected even if someone
+  // recomputed the checksum: re-encode with inconsistent fields.
+  CachedVerdict smuggled = v;
+  smuggled.status = CachedVerdict::Status::Forbidden;  // witness kept
+  EXPECT_FALSE(
+      service::decode_record(service::encode_record(key, smuggled))
+          .has_value());
+
+  // A witness for the wrong model fails independent re-verification.
+  CacheKey wrong = key;
+  wrong.model = "SC";
+  EXPECT_FALSE(
+      service::decode_record(service::encode_record(wrong, v)).has_value());
+}
+
+TEST(PersistentCache, WriteThroughAndReload) {
+  TempDir dir;
+  const auto t = sb_test();
+  CacheKey sc = sb_key("SC");
+  CacheKey tso = sb_key("TSO");
+  {
+    VerdictCache cache({.capacity = 64, .dir = dir.path});
+    cache.put(sc, solve_cell(t, "SC"));
+    cache.put(tso, solve_cell(t, "TSO"));
+    EXPECT_TRUE(fs::exists(cache.record_path(sc)));
+    EXPECT_TRUE(fs::exists(cache.record_path(tso)));
+  }
+  VerdictCache reloaded({.capacity = 64, .dir = dir.path});
+  const auto report = reloaded.load_persistent();
+  EXPECT_EQ(report.loaded, 2u);
+  EXPECT_EQ(report.skipped, 0u);
+  const auto hit = reloaded.get(tso);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->status, CachedVerdict::Status::Allowed);
+  EXPECT_FALSE(hit->witness_json.empty());
+}
+
+TEST(PersistentCache, CorruptedEntryIsSkippedOnLoad) {
+  TempDir dir;
+  const auto t = sb_test();
+  CacheKey sc = sb_key("SC");
+  CacheKey tso = sb_key("TSO");
+  std::string tso_path;
+  {
+    VerdictCache cache({.capacity = 64, .dir = dir.path});
+    cache.put(sc, solve_cell(t, "SC"));
+    cache.put(tso, solve_cell(t, "TSO"));
+    tso_path = cache.record_path(tso);
+  }
+  {
+    // Corrupt one byte in the middle of the TSO record.
+    std::fstream f(tso_path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(
+        fs::file_size(tso_path) / 2));
+    f.put('#');
+  }
+  VerdictCache reloaded({.capacity = 64, .dir = dir.path});
+  const auto report = reloaded.load_persistent();
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_TRUE(reloaded.get(sc).has_value());
+  EXPECT_FALSE(reloaded.get(tso).has_value());
+}
+
+TEST(PersistentCache, InconclusiveIsNeverPersisted) {
+  TempDir dir;
+  VerdictCache cache({.capacity = 64, .dir = dir.path});
+  CacheKey key = sb_key("SC");
+  key.max_nodes = 1;
+  cache.put(key, {CachedVerdict::Status::Inconclusive, "", "budget"});
+  EXPECT_TRUE(cache.get(key).has_value());  // memory layer serves it
+  EXPECT_FALSE(fs::exists(cache.record_path(key)));
+}
+
+TEST(KeyString, FieldsCannotBleedIntoEachOther) {
+  // "ab" + "c" and "a" + "bc" must produce different key strings (the
+  // length prefixes keep field boundaries); a flat concatenation would
+  // alias them.
+  CacheKey a{.program = "ab", .model = "c", .max_nodes = 0, .timeout_ms = 0};
+  CacheKey b{.program = "a", .model = "bc", .max_nodes = 0, .timeout_ms = 0};
+  EXPECT_NE(service::key_string(a), service::key_string(b));
+  EXPECT_NE(service::key_hash(a), service::key_hash(b));
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Wire-protocol tests: request parsing (valid frames, the typed-error
+// taxonomy for invalid ones) and response serialization, including the
+// canonical results payload the byte-identity check hashes.
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "service/cache.hpp"
+
+namespace json = ssm::common::json;
+using namespace ssm;
+using service::ProtocolError;
+using service::Request;
+
+namespace {
+
+/// Parses `frame` expecting a ProtocolError; returns its type tag.
+std::string error_type(std::string_view frame) {
+  try {
+    (void)service::parse_request(frame);
+  } catch (const ProtocolError& e) {
+    return e.type();
+  }
+  return "(no error)";
+}
+
+TEST(ParseRequest, CheckFrameFullForm) {
+  const Request req = service::parse_request(
+      "{\"op\": \"check\", \"id\": \"r1\", \"program\": \"p: w(x)1\\n\","
+      " \"models\": [\"SC\", \"TSO\"], \"max_nodes\": 100,"
+      " \"timeout_ms\": 50, \"no_cache\": true}");
+  EXPECT_EQ(req.op, Request::Op::Check);
+  EXPECT_EQ(req.id, "r1");
+  EXPECT_EQ(req.check.program, "p: w(x)1\n");
+  ASSERT_EQ(req.check.models.size(), 2u);
+  EXPECT_EQ(req.check.models[1], "TSO");
+  EXPECT_EQ(req.check.budget.max_nodes, 100u);
+  EXPECT_EQ(req.check.budget.timeout_ms, 50u);
+  EXPECT_TRUE(req.check.no_cache);
+}
+
+TEST(ParseRequest, CheckFrameDefaults) {
+  const Request req = service::parse_request(
+      "{\"op\": \"check\", \"program\": \"p: w(x)1\\n\"}");
+  EXPECT_TRUE(req.id.empty());
+  EXPECT_TRUE(req.check.models.empty());  // empty = all models
+  EXPECT_TRUE(req.check.budget.unlimited());
+  EXPECT_FALSE(req.check.no_cache);
+}
+
+TEST(ParseRequest, ControlOps) {
+  EXPECT_EQ(service::parse_request("{\"op\": \"ping\"}").op,
+            Request::Op::Ping);
+  EXPECT_EQ(service::parse_request("{\"op\": \"stats\"}").op,
+            Request::Op::Stats);
+  EXPECT_EQ(service::parse_request("{\"op\": \"shutdown\"}").op,
+            Request::Op::Shutdown);
+}
+
+TEST(ParseRequest, ErrorTaxonomy) {
+  // Not JSON at all -> parse_error.
+  EXPECT_EQ(error_type("not json"), "parse_error");
+  EXPECT_EQ(error_type("{\"op\": \"check\""), "parse_error");
+  // Valid JSON, invalid request -> bad_request.
+  EXPECT_EQ(error_type("[1, 2]"), "bad_request");
+  EXPECT_EQ(error_type("{\"id\": \"x\"}"), "bad_request");  // missing op
+  EXPECT_EQ(error_type("{\"op\": \"frobnicate\"}"), "bad_request");
+  EXPECT_EQ(error_type("{\"op\": \"check\"}"), "bad_request");  // no program
+  EXPECT_EQ(error_type("{\"op\": \"check\", \"program\": \"\"}"),
+            "bad_request");
+  EXPECT_EQ(error_type("{\"op\": \"check\", \"program\": \"x\","
+                       " \"models\": []}"),
+            "bad_request");
+  EXPECT_EQ(error_type("{\"op\": \"check\", \"program\": \"x\","
+                       " \"max_nodes\": -1}"),
+            "bad_request");
+}
+
+TEST(ParseRequest, ErrorsCarryTheRequestId) {
+  try {
+    (void)service::parse_request("{\"op\": \"nope\", \"id\": \"r9\"}");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.id(), "r9");
+    EXPECT_EQ(e.type(), "bad_request");
+  }
+}
+
+TEST(Serialize, CheckResponseRoundTripsThroughTheParser) {
+  service::CheckResponse resp;
+  resp.id = "r1";
+  resp.results.push_back({"SC", "forbidden", "solved", "", ""});
+  resp.results.push_back(
+      {"TSO", "allowed", "cache", "{\"model\": \"TSO\"}", ""});
+  resp.latency_us = 412;
+  resp.cache_hits = 1;
+  resp.solved = 1;
+
+  const std::string frame = service::serialize_check_response(resp);
+  ASSERT_EQ(frame.back(), '\n');
+  const json::Value doc = json::parse(
+      std::string_view(frame).substr(0, frame.size() - 1));
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("id").as_string(), "r1");
+  const auto& results = doc.at("results").items();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].at("verdict").as_string(), "forbidden");
+  EXPECT_EQ(results[1].at("source").as_string(), "cache");
+  // Witness bytes are embedded verbatim as an object, with their hash.
+  EXPECT_EQ(results[1].at("witness").at("model").as_string(), "TSO");
+  EXPECT_EQ(results[1].at("witness_fnv1a").as_string(),
+            service::hex16(service::fnv1a64("{\"model\": \"TSO\"}")));
+  EXPECT_EQ(doc.at("meta").at("latency_us").as_u64(), 412u);
+}
+
+TEST(Serialize, CanonicalResultsPayloadExcludesSource) {
+  // The byte-identity acceptance check hashes serialize_results; a cached
+  // and a solved answer must produce identical bytes there even though
+  // the full response frames differ in `source`/`meta`.
+  std::vector<service::ModelResult> solved = {
+      {"SC", "forbidden", "solved", "", ""}};
+  std::vector<service::ModelResult> cached = {
+      {"SC", "forbidden", "cache", "", ""}};
+  EXPECT_EQ(service::serialize_results(solved),
+            service::serialize_results(cached));
+}
+
+TEST(Serialize, ErrorFrame) {
+  const std::string frame =
+      service::serialize_error("r2", "overloaded", "queue full");
+  const json::Value doc = json::parse(
+      std::string_view(frame).substr(0, frame.size() - 1));
+  EXPECT_FALSE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("id").as_string(), "r2");
+  EXPECT_EQ(doc.at("error").at("type").as_string(), "overloaded");
+  EXPECT_EQ(doc.at("error").at("message").as_string(), "queue full");
+}
+
+TEST(Serialize, FramesAreSingleLines) {
+  for (const std::string frame :
+       {service::serialize_pong("a"), service::serialize_drain_ack("b"),
+        service::serialize_error("c", "internal", "multi\nline\nmessage"),
+        service::serialize_stats("d")}) {
+    ASSERT_FALSE(frame.empty());
+    EXPECT_EQ(frame.back(), '\n');
+    EXPECT_EQ(frame.find('\n'), frame.size() - 1)
+        << "frame must be one line: " << frame;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,401 @@
+// Check-server tests: end-to-end over real sockets (unix and TCP), with
+// the deterministic test-seam solver driving the concurrency cases —
+// single-flight dedup, bounded-queue rejection, and graceful drain with
+// zero dropped in-flight requests.  Runs under the `service` and
+// `concurrency` labels (the latter means a TSan build exercises it).
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "service/client.hpp"
+
+namespace json = ssm::common::json;
+namespace metrics = ssm::common::metrics;
+using namespace ssm;
+using namespace std::chrono_literals;
+using service::CachedVerdict;
+using service::CheckService;
+using service::Client;
+using service::Server;
+using service::ServerOptions;
+
+namespace {
+
+constexpr const char* kSbProgram =
+    "name: sb\np: w(x)1 r(y)0\nq: w(y)1 r(x)0\n";
+
+std::string check_frame(const std::vector<std::string>& models,
+                        bool no_cache = false,
+                        const std::string& id = "t") {
+  std::string frame = "{\"op\": \"check\", \"id\": ";
+  json::append_quoted(frame, id);
+  frame += ", \"program\": ";
+  json::append_quoted(frame, kSbProgram);
+  if (!models.empty()) {
+    frame += ", \"models\": [";
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      if (i > 0) frame += ", ";
+      json::append_quoted(frame, models[i]);
+    }
+    frame += ']';
+  }
+  if (no_cache) frame += ", \"no_cache\": true";
+  frame += '}';
+  return frame;
+}
+
+/// Polls `pred` for up to ~5s; the tests gate on observable state (metrics
+/// counters, solver entry) rather than sleeps, so this converges in
+/// microseconds when healthy and only burns the timeout on a real bug.
+bool eventually(const std::function<bool()>& pred) {
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+/// Test-seam solver that blocks every call until released, counting
+/// entries — the handle that makes dedup/queue/drain timing deterministic.
+struct BlockingSolver {
+  std::atomic<int> calls{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+
+  CheckService::Solver fn() {
+    return [this](const litmus::LitmusTest&, const std::string&,
+                  const checker::BudgetSpec&) {
+      calls.fetch_add(1);
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [this] { return released; });
+      return CachedVerdict{CachedVerdict::Status::Forbidden, "", ""};
+    };
+  }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      released = true;
+    }
+    cv.notify_all();
+  }
+};
+
+ServerOptions tcp_options(unsigned workers, std::size_t queue) {
+  ServerOptions opts;
+  opts.use_tcp = true;
+  opts.tcp_port = 0;  // kernel-assigned
+  opts.workers = workers;
+  opts.queue_capacity = queue;
+  return opts;
+}
+
+TEST(ServerEndToEnd, SolvesThenServesFromCacheOverTcp) {
+  Server server(tcp_options(2, 64));
+  server.start();
+  auto client = Client::connect_tcp(server.port());
+
+  const json::Value first =
+      json::parse(client.call(check_frame({"SC", "TSO"})));
+  ASSERT_TRUE(first.at("ok").as_bool());
+  const auto& r1 = first.at("results").items();
+  ASSERT_EQ(r1.size(), 2u);
+  EXPECT_EQ(r1[0].at("model").as_string(), "SC");
+  EXPECT_EQ(r1[0].at("verdict").as_string(), "forbidden");
+  EXPECT_EQ(r1[0].at("source").as_string(), "solved");
+  EXPECT_EQ(r1[1].at("verdict").as_string(), "allowed");
+  ASSERT_NE(r1[1].find("witness_fnv1a"), nullptr);
+
+  const json::Value second =
+      json::parse(client.call(check_frame({"SC", "TSO"})));
+  const auto& r2 = second.at("results").items();
+  EXPECT_EQ(r2[0].at("source").as_string(), "cache");
+  EXPECT_EQ(r2[1].at("source").as_string(), "cache");
+  // Byte-identity of the verdict payload: same witness hash both times.
+  EXPECT_EQ(r2[1].at("witness_fnv1a").as_string(),
+            r1[1].at("witness_fnv1a").as_string());
+
+  server.begin_drain();
+  server.wait();
+}
+
+TEST(ServerEndToEnd, WorksOverUnixSocketAndAnswersControlOps) {
+  char tmpl[] = "/tmp/ssm-srv-test-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string socket_path = std::string(tmpl) + "/s";
+
+  ServerOptions opts;
+  opts.unix_socket = socket_path;
+  opts.workers = 1;
+  Server server(opts);
+  server.start();
+  auto client = Client::connect_unix(socket_path);
+
+  const json::Value pong = json::parse(client.call("{\"op\": \"ping\"}"));
+  EXPECT_TRUE(pong.at("ok").as_bool());
+  const json::Value stats =
+      json::parse(client.call("{\"op\": \"stats\", \"id\": \"s\"}"));
+  EXPECT_TRUE(stats.at("ok").as_bool());
+  ASSERT_NE(stats.at("stats").find("counters"), nullptr);
+
+  server.begin_drain();
+  server.wait();
+  EXPECT_FALSE(std::filesystem::exists(socket_path));  // unlinked on drain
+  std::filesystem::remove_all(tmpl);
+}
+
+TEST(ServerProtocol, MalformedFrameGetsTypedErrorNotDisconnect) {
+  Server server(tcp_options(1, 16));
+  server.start();
+  auto client = Client::connect_tcp(server.port());
+
+  const json::Value err = json::parse(client.call("this is not json"));
+  EXPECT_FALSE(err.at("ok").as_bool());
+  EXPECT_EQ(err.at("error").at("type").as_string(), "parse_error");
+
+  const json::Value err2 = json::parse(
+      client.call("{\"op\": \"check\", \"id\": \"x\", \"program\": \"???\"}"));
+  EXPECT_FALSE(err2.at("ok").as_bool());
+  EXPECT_EQ(err2.at("error").at("type").as_string(), "bad_request");
+  EXPECT_EQ(err2.at("id").as_string(), "x");
+
+  // The connection survives both errors.
+  const json::Value pong = json::parse(client.call("{\"op\": \"ping\"}"));
+  EXPECT_TRUE(pong.at("ok").as_bool());
+
+  server.begin_drain();
+  server.wait();
+}
+
+TEST(ServerProtocol, UnknownModelRejectsTheWholeRequest) {
+  Server server(tcp_options(1, 16));
+  server.start();
+  auto client = Client::connect_tcp(server.port());
+  const json::Value err =
+      json::parse(client.call(check_frame({"SC", "NoSuchModel"})));
+  EXPECT_FALSE(err.at("ok").as_bool());
+  EXPECT_EQ(err.at("error").at("type").as_string(), "bad_request");
+  server.begin_drain();
+  server.wait();
+}
+
+TEST(ServerConcurrency, IdenticalConcurrentRequestsSolveOnce) {
+  BlockingSolver solver;
+  Server server(tcp_options(4, 64), solver.fn());
+  server.start();
+
+  auto& dedup =
+      metrics::Registry::global().counter("service.inflight_dedup");
+  const std::uint64_t dedup_base = dedup.value();
+
+  constexpr int kClients = 4;
+  std::vector<std::string> replies(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      auto client = Client::connect_tcp(server.port());
+      replies[static_cast<std::size_t>(i)] =
+          client.call(check_frame({"SC"}));
+    });
+  }
+  // The leader is inside the (blocked) solve; the other three must join
+  // its flight rather than open their own.
+  ASSERT_TRUE(eventually([&] { return solver.calls.load() == 1; }));
+  ASSERT_TRUE(
+      eventually([&] { return dedup.value() >= dedup_base + kClients - 1; }));
+  solver.release();
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(solver.calls.load(), 1) << "N identical requests -> 1 solve";
+  int solved = 0, dedup_srcs = 0;
+  for (const std::string& reply : replies) {
+    const json::Value doc = json::parse(reply);
+    ASSERT_TRUE(doc.at("ok").as_bool()) << reply;
+    const auto& r = doc.at("results").items();
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0].at("verdict").as_string(), "forbidden");
+    const std::string source = r[0].at("source").as_string();
+    if (source == "solved") ++solved;
+    if (source == "dedup") ++dedup_srcs;
+  }
+  EXPECT_EQ(solved, 1);
+  EXPECT_EQ(dedup_srcs, kClients - 1);
+
+  server.begin_drain();
+  server.wait();
+}
+
+TEST(ServerConcurrency, FullAdmissionQueueRejectsWithOverloaded) {
+  BlockingSolver solver;
+  Server server(tcp_options(1, 1), solver.fn());
+  server.start();
+  auto& depth = metrics::Registry::global().gauge("service.queue_depth");
+
+  // A occupies the single worker (inside the blocked solver)...
+  auto a = Client::connect_tcp(server.port());
+  a.send_frame(check_frame({"SC"}, false, "a"));
+  ASSERT_TRUE(eventually([&] { return solver.calls.load() == 1; }));
+  // ...B fills the queue's single slot (a different program cell would do
+  // the same; dedup does not admit — admission happens before solving)...
+  auto b = Client::connect_tcp(server.port());
+  b.send_frame(check_frame({"TSO"}, false, "b"));
+  ASSERT_TRUE(eventually([&] { return depth.value() == 1; }));
+  // ...and C must be rejected immediately with the typed overload error,
+  // answered by the reader thread while the worker is still busy.
+  auto c = Client::connect_tcp(server.port());
+  const json::Value rejection =
+      json::parse(c.call(check_frame({"SC"}, false, "c")));
+  EXPECT_FALSE(rejection.at("ok").as_bool());
+  EXPECT_EQ(rejection.at("error").at("type").as_string(), "overloaded");
+  EXPECT_EQ(rejection.at("id").as_string(), "c");
+
+  solver.release();
+  const auto ra = a.read_frame();
+  const auto rb = b.read_frame();
+  ASSERT_TRUE(ra.has_value());
+  ASSERT_TRUE(rb.has_value());
+  EXPECT_TRUE(json::parse(*ra).at("ok").as_bool());
+  EXPECT_TRUE(json::parse(*rb).at("ok").as_bool());
+
+  server.begin_drain();
+  server.wait();
+}
+
+TEST(ServerConcurrency, GracefulDrainAnswersEveryAdmittedRequest) {
+  BlockingSolver solver;
+  Server server(tcp_options(1, 16), solver.fn());
+  server.start();
+
+  // A is mid-solve, B is admitted but still queued: both must be answered
+  // even though the drain starts before either finishes.
+  auto a = Client::connect_tcp(server.port());
+  a.send_frame(check_frame({"SC"}, false, "a"));
+  ASSERT_TRUE(eventually([&] { return solver.calls.load() == 1; }));
+  auto b = Client::connect_tcp(server.port());
+  b.send_frame(check_frame({"TSO"}, false, "b"));
+  ASSERT_TRUE(eventually([&] {
+    return metrics::Registry::global().gauge("service.queue_depth").value() ==
+           1;
+  }));
+
+  server.begin_drain();
+  EXPECT_TRUE(server.draining());
+  solver.release();
+  server.wait();  // returns only after every response is flushed
+
+  const auto ra = a.read_frame();
+  ASSERT_TRUE(ra.has_value()) << "in-flight request dropped by drain";
+  EXPECT_TRUE(json::parse(*ra).at("ok").as_bool());
+  EXPECT_EQ(json::parse(*ra).at("id").as_string(), "a");
+  const auto rb = b.read_frame();
+  ASSERT_TRUE(rb.has_value()) << "queued request dropped by drain";
+  EXPECT_TRUE(json::parse(*rb).at("ok").as_bool());
+  EXPECT_EQ(json::parse(*rb).at("id").as_string(), "b");
+
+  // After the answered frames the server closes cleanly: EOF, not junk.
+  EXPECT_FALSE(a.read_frame().has_value());
+  EXPECT_FALSE(b.read_frame().has_value());
+}
+
+TEST(ServerConcurrency, ShutdownOpDrainsTheServer) {
+  Server server(tcp_options(1, 16));
+  server.start();
+  auto client = Client::connect_tcp(server.port());
+  const json::Value ack =
+      json::parse(client.call("{\"op\": \"shutdown\", \"id\": \"z\"}"));
+  EXPECT_TRUE(ack.at("ok").as_bool());
+  EXPECT_TRUE(server.draining());
+  server.wait();
+  EXPECT_FALSE(client.read_frame().has_value());  // clean EOF after drain
+}
+
+TEST(CheckServiceUnit, EffectiveBudgetClampsToServerCaps) {
+  CheckService::Options opts;
+  opts.default_budget = {.max_nodes = 1000, .timeout_ms = 500};
+  CheckService svc(opts);
+  // Unset axes inherit the cap.
+  EXPECT_EQ(svc.effective_budget({}).max_nodes, 1000u);
+  EXPECT_EQ(svc.effective_budget({}).timeout_ms, 500u);
+  // Requests under the cap are honored; over-asks are reduced.
+  EXPECT_EQ(svc.effective_budget({.max_nodes = 10, .timeout_ms = 0}).max_nodes,
+            10u);
+  EXPECT_EQ(
+      svc.effective_budget({.max_nodes = 99999, .timeout_ms = 0}).max_nodes,
+      1000u);
+  // An uncapped server passes requests through untouched.
+  CheckService open(CheckService::Options{});
+  EXPECT_EQ(open.effective_budget({.max_nodes = 7, .timeout_ms = 0}).max_nodes,
+            7u);
+  EXPECT_TRUE(open.effective_budget({}).unlimited());
+}
+
+TEST(CheckServiceUnit, NoCacheBypassesLookupButStillPopulates) {
+  std::atomic<int> calls{0};
+  CheckService svc(
+      CheckService::Options{},
+      [&](const litmus::LitmusTest&, const std::string&,
+          const checker::BudgetSpec&) {
+        calls.fetch_add(1);
+        return CachedVerdict{CachedVerdict::Status::Forbidden, "", ""};
+      });
+  service::CheckRequest req;
+  req.program = kSbProgram;
+  req.models = {"SC"};
+  req.no_cache = true;
+  (void)svc.handle_check(req);
+  (void)svc.handle_check(req);
+  EXPECT_EQ(calls.load(), 2) << "no_cache must bypass the lookup";
+  req.no_cache = false;
+  const auto resp = svc.handle_check(req);
+  EXPECT_EQ(calls.load(), 2) << "no_cache must still populate the cache";
+  EXPECT_EQ(resp.results[0].source, "cache");
+}
+
+TEST(CheckServiceUnit, PreloadWarmsEveryCellOnceAndLogsSkips) {
+  char tmpl[] = "/tmp/ssm-preload-test-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  std::ofstream(dir + "/a.litmus") << kSbProgram;
+  std::ofstream(dir + "/broken.litmus") << "this is not a litmus program";
+  std::ofstream(dir + "/notes.txt") << "ignored: wrong extension";
+
+  std::atomic<int> calls{0};
+  CheckService svc(
+      CheckService::Options{},
+      [&](const litmus::LitmusTest&, const std::string&,
+          const checker::BudgetSpec&) {
+        calls.fetch_add(1);
+        return CachedVerdict{CachedVerdict::Status::Forbidden, "", ""};
+      });
+  const auto first = svc.preload(dir);
+  EXPECT_EQ(first.files, 1u);                        // a.litmus
+  EXPECT_EQ(first.skipped, 1u);                      // broken.litmus
+  EXPECT_GT(first.loaded, 0u);                       // one cell per model
+  EXPECT_EQ(first.loaded, static_cast<std::size_t>(calls.load()));
+
+  const auto second = svc.preload(dir);
+  EXPECT_EQ(second.loaded, 0u) << "second preload must be all cache hits";
+  EXPECT_EQ(second.skipped, first.loaded + 1);
+  EXPECT_EQ(static_cast<std::size_t>(calls.load()), first.loaded);
+
+  EXPECT_THROW((void)svc.preload(dir + "/missing"), InvalidInput);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace

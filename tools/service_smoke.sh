@@ -1,0 +1,59 @@
+#!/bin/sh
+# Service smoke test (ctest: cli_service_smoke, label `service`).
+#
+# Starts `ssm serve` on a private unix socket, replays three corpus
+# entries through `ssm client`, replays them again asserting every cell
+# comes back from the cache, then shuts the server down through the
+# protocol and checks it drains cleanly (exit 0, drain line logged).
+#
+# usage: service_smoke.sh <ssm-binary> <corpus-dir>
+set -eu
+
+SSM="$1"
+CORPUS="$2"
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/ssm-smoke-XXXXXX")
+trap 'rm -rf "$TMP"' EXIT
+SOCK="$TMP/s"
+
+"$SSM" serve --socket "$SOCK" --workers 2 2> "$TMP/serve.log" &
+SERVER_PID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "FAIL: server socket never appeared" >&2
+    cat "$TMP/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+pick_three() {
+  ls "$CORPUS"/*.litmus | sort | head -n 3
+}
+
+# Pass 1: cold — every cell is solved (and cached).
+for f in $(pick_three); do
+  "$SSM" client --socket "$SOCK" check "$f" > /dev/null
+done
+
+# Pass 2: identical requests — 100% cache hits or --expect-cached exits 7.
+for f in $(pick_three); do
+  "$SSM" client --socket "$SOCK" check "$f" --expect-cached > /dev/null
+done
+
+# Protocol-level shutdown must drain and exit 0.
+"$SSM" client --socket "$SOCK" shutdown > /dev/null
+if ! wait "$SERVER_PID"; then
+  echo "FAIL: server exited non-zero" >&2
+  cat "$TMP/serve.log" >&2
+  exit 1
+fi
+grep -q "drained, exiting" "$TMP/serve.log" || {
+  echo "FAIL: no drain line in the server log" >&2
+  cat "$TMP/serve.log" >&2
+  exit 1
+}
+echo "service smoke OK"

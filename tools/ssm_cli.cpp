@@ -24,6 +24,14 @@
 //                                   (docs/FUZZING.md)
 //   ssm replay <dir>                replay a .litmus regression corpus
 //                                   against recorded expectations
+//   ssm serve [--socket P | --tcp [PORT]] [--cache-dir D] [--preload D] ...
+//                                   long-running check server: NDJSON
+//                                   protocol, verdict cache, single-flight
+//                                   dedup, bounded admission queue,
+//                                   graceful drain (docs/SERVICE.md)
+//   ssm client (--socket P | --tcp PORT) <op> ...
+//                                   one-shot client: check <file>
+//                                   [model...], stats, ping, shutdown
 //
 // Files use the litmus DSL (see src/litmus/parser.hpp).
 //
@@ -37,6 +45,7 @@
 //   --json            machine-readable output for check/matrix: witness
 //                     certificates (independently re-verified before
 //                     emission) plus a metrics snapshot
+#include <csignal>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -52,6 +61,7 @@
 #include "checker/verdict.hpp"
 #include "checker/witness.hpp"
 #include "checker/witness_verifier.hpp"
+#include "common/json.hpp"
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "history/dot.hpp"
@@ -67,6 +77,9 @@
 #include "fuzz/corpus.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "models/registry.hpp"
+#include "litmus/emit.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
 #include "simulate/rc_memory.hpp"
 #include "simulate/sc_memory.hpp"
 #include "simulate/tso_memory.hpp"
@@ -75,23 +88,48 @@ namespace {
 
 using namespace ssm;
 
-int usage() {
+void print_usage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage: ssm [--jobs N] [--max-nodes N] [--timeout-ms N] [--json] "
       "<command> [args]\n"
+      "commands:\n"
       "  models | tests | check <model> [file] | show <test> [model...]\n"
       "  matrix [file] | lattice [procs ops locs] | bakery <machine> [n]\n"
+      "  explain <test> | dot <test> | separate <A> <B> | identify "
+      "<machine>\n"
       "  fuzz [--seed S] [--iters N] [--procs P] [--ops O] [--locs L]\n"
       "       [--labels PCT] [--corpus DIR] [--inject-bug MODEL]\n"
-      "       [--op-ops N] [--no-operational] [--no-shrink]   |   "
-      "replay <dir>\n"
+      "       [--op-ops N] [--no-operational] [--no-shrink]\n"
+      "                  differential fuzzing over all models "
+      "(docs/FUZZING.md)\n"
+      "  replay <dir>    replay a .litmus regression corpus against its\n"
+      "                  recorded expectations\n"
+      "  serve [--socket PATH | --tcp [PORT]] [--cache-dir DIR]\n"
+      "        [--cache-capacity N] [--queue N] [--workers N] "
+      "[--preload DIR]\n"
+      "                  long-running check server: NDJSON protocol over a\n"
+      "                  unix or 127.0.0.1 TCP socket, verdict cache,\n"
+      "                  single-flight dedup, bounded admission queue,\n"
+      "                  graceful drain on SIGINT/SIGTERM "
+      "(docs/SERVICE.md)\n"
+      "  client (--socket PATH | --tcp PORT) <op> [args]\n"
+      "                  ops: check <file> [model...] [--no-cache]\n"
+      "                       [--expect-cached] | stats | ping | shutdown\n"
+      "global options:\n"
       "  --jobs N        checking-engine threads (default: SSM_JOBS or all "
       "cores)\n"
-      "  --max-nodes N   search-node budget per check (0 = unlimited)\n"
-      "  --timeout-ms N  wall-clock budget per check (0 = unlimited)\n"
-      "  --json          machine-readable check/matrix output with witness\n"
-      "                  certificates and a metrics snapshot\n");
+      "  --max-nodes N   search-node budget per check (0 = unlimited);\n"
+      "                  for serve: the server-side cap\n"
+      "  --timeout-ms N  wall-clock budget per check (0 = unlimited);\n"
+      "                  for serve: the server-side cap\n"
+      "  --json          machine-readable check/matrix/fuzz output with\n"
+      "                  witness certificates and a metrics snapshot\n"
+      "  --help          print this help and exit 0\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 64;
 }
 
@@ -171,30 +209,7 @@ bool apply_global_flags(int& argc, char** argv, GlobalOptions& opts) {
 }
 
 void append_json_escaped(std::string& out, std::string_view s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
+  common::json::escape(out, s);  // shared with the service wire protocol
 }
 
 std::vector<litmus::LitmusTest> load_suite(int argc, char** argv, int pos) {
@@ -288,8 +303,8 @@ int cmd_check(int argc, char** argv, const GlobalOptions& opts) {
     json += '}';
   }
   if (opts.json) {
-    json += "\n  ],\n  \"metrics\": ";
-    json += common::metrics::Registry::global().to_json();
+    json += "\n  ],\n  ";
+    common::metrics::append_global_snapshot(json);
     json += "\n}\n";
     std::printf("%s", json.c_str());
   }
@@ -342,8 +357,8 @@ int cmd_matrix(int argc, char** argv, const GlobalOptions& opts) {
       }
       json += "}}";
     }
-    json += "\n  ],\n  \"metrics\": ";
-    json += common::metrics::Registry::global().to_json();
+    json += "\n  ],\n  ";
+    common::metrics::append_global_snapshot(json);
     json += "\n}\n";
     std::printf("%s", json.c_str());
   } else {
@@ -405,8 +420,8 @@ int cmd_fuzz(int argc, char** argv, const GlobalOptions& opts) {
   if (opts.json) {
     std::string json = report.to_json();
     json.erase(json.rfind("\n}"));  // reopen for the metrics snapshot
-    json += ",\n  \"metrics\": ";
-    json += common::metrics::Registry::global().to_json();
+    json += ",\n  ";
+    common::metrics::append_global_snapshot(json);
     json += "\n}\n";
     std::printf("%s", json.c_str());
   } else {
@@ -427,6 +442,184 @@ int cmd_replay(int argc, char** argv, const GlobalOptions& opts) {
               static_cast<unsigned long long>(result.cells),
               result.failures.size());
   return result.ok() ? 0 : 2;
+}
+
+/// The serve loop's drain hook.  SIGINT/SIGTERM must interrupt a blocked
+/// wait() with nothing but async-signal-safe calls; Server::begin_drain is
+/// exactly that (one atomic exchange + one pipe write).
+service::Server* g_serving = nullptr;
+
+extern "C" void handle_drain_signal(int) {
+  if (g_serving != nullptr) g_serving->begin_drain();
+}
+
+int cmd_serve(int argc, char** argv, const GlobalOptions& opts) {
+  service::ServerOptions sopts;
+  sopts.service.default_budget = opts.budget;
+  std::string preload_dir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ssm: flag %s needs a value\n", arg.c_str());
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      sopts.unix_socket = value();
+    } else if (arg == "--tcp") {
+      sopts.use_tcp = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        sopts.tcp_port =
+            static_cast<std::uint16_t>(parse_u32("--tcp port", argv[++i]));
+      }
+    } else if (arg == "--cache-dir") {
+      sopts.service.cache.dir = value();
+    } else if (arg == "--cache-capacity") {
+      sopts.service.cache.capacity = parse_u64("--cache-capacity value",
+                                               value());
+    } else if (arg == "--queue") {
+      sopts.queue_capacity = parse_u64("--queue value", value());
+    } else if (arg == "--workers") {
+      sopts.workers = parse_u32("--workers value", value());
+    } else if (arg == "--preload") {
+      preload_dir = value();
+    } else {
+      return usage();
+    }
+  }
+  if (!sopts.use_tcp && sopts.unix_socket.empty()) {
+    std::fprintf(stderr, "ssm serve: need --socket PATH or --tcp [PORT]\n");
+    return 64;
+  }
+  service::Server server(sopts);
+  if (!sopts.service.cache.dir.empty()) {
+    const auto report = server.service().cache().load_persistent();
+    std::fprintf(stderr,
+                 "ssm serve: persistent cache: %zu loaded, %zu skipped\n",
+                 report.loaded, report.skipped);
+  }
+  if (!preload_dir.empty()) {
+    const auto report = server.service().preload(preload_dir);
+    std::fprintf(
+        stderr,
+        "ssm serve: preload %s: %zu files, %zu cells loaded, %zu skipped\n",
+        preload_dir.c_str(), report.files, report.loaded, report.skipped);
+  }
+  server.start();
+  if (sopts.use_tcp) {
+    std::fprintf(stderr, "ssm serve: listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(server.port()));
+  } else {
+    std::fprintf(stderr, "ssm serve: listening on %s\n",
+                 sopts.unix_socket.c_str());
+  }
+  g_serving = &server;
+  struct sigaction sa{};
+  sa.sa_handler = handle_drain_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  server.wait();
+  g_serving = nullptr;
+  std::fprintf(stderr, "ssm serve: drained, exiting\n");
+  return 0;
+}
+
+int cmd_client(int argc, char** argv, const GlobalOptions& opts) {
+  std::string socket_path;
+  std::uint16_t tcp_port = 0;
+  bool use_tcp = false;
+  bool no_cache = false;
+  bool expect_cached = false;
+  std::vector<std::string> rest;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ssm: flag %s needs a value\n", arg.c_str());
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = value();
+    } else if (arg == "--tcp") {
+      use_tcp = true;
+      tcp_port = static_cast<std::uint16_t>(parse_u32("--tcp port", value()));
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--expect-cached") {
+      expect_cached = true;
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  if ((socket_path.empty() && !use_tcp) || rest.empty()) return usage();
+  auto client = use_tcp ? service::Client::connect_tcp(tcp_port)
+                        : service::Client::connect_unix(socket_path);
+
+  const std::string& op = rest[0];
+  if (op == "ping" || op == "stats" || op == "shutdown") {
+    const std::string reply =
+        client.call("{\"op\": \"" + op + "\", \"id\": \"cli\"}");
+    std::printf("%s\n", reply.c_str());
+    const auto doc = common::json::parse(reply);
+    return doc.at("ok").as_bool() ? 0 : 2;
+  }
+  if (op != "check" || rest.size() < 2) return usage();
+
+  std::ifstream in(rest[1]);
+  if (!in) throw InvalidInput("cannot open " + rest[1]);
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto tests = litmus::parse_suite(text.str());
+  std::vector<std::string> model_args(rest.begin() + 2, rest.end());
+
+  // One request per test (the protocol takes exactly one program each);
+  // responses come back in order on the same connection.
+  int worst = 0;
+  for (const auto& t : tests) {
+    std::string frame = "{\"op\": \"check\", \"id\": ";
+    common::json::append_quoted(frame, t.name);
+    frame += ", \"program\": ";
+    common::json::append_quoted(frame, litmus::emit(t));
+    if (!model_args.empty()) {
+      frame += ", \"models\": [";
+      for (std::size_t i = 0; i < model_args.size(); ++i) {
+        if (i > 0) frame += ", ";
+        common::json::append_quoted(frame, model_args[i]);
+      }
+      frame += ']';
+    }
+    if (opts.budget.max_nodes != 0) {
+      frame += ", \"max_nodes\": " + std::to_string(opts.budget.max_nodes);
+    }
+    if (opts.budget.timeout_ms != 0) {
+      frame += ", \"timeout_ms\": " + std::to_string(opts.budget.timeout_ms);
+    }
+    if (no_cache) frame += ", \"no_cache\": true";
+    frame += '}';
+    const std::string reply = client.call(frame);
+    std::printf("%s\n", reply.c_str());
+    const auto doc = common::json::parse(reply);
+    if (!doc.at("ok").as_bool()) {
+      worst = std::max(worst, 2);
+      continue;
+    }
+    if (expect_cached) {
+      for (const auto& r : doc.at("results").items()) {
+        if (r.at("source").as_string() != "cache") {
+          std::fprintf(stderr,
+                       "ssm client: expected a cache hit for %s/%s, got %s\n",
+                       t.name.c_str(), r.at("model").as_string().c_str(),
+                       r.at("source").as_string().c_str());
+          worst = std::max(worst, 7);
+        }
+      }
+    }
+  }
+  return worst;
 }
 
 int cmd_lattice(int argc, char** argv) {
@@ -597,6 +790,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   try {
     const std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+      print_usage(stdout);
+      return 0;
+    }
     if (cmd == "models") return cmd_models();
     if (cmd == "tests") return cmd_tests();
     if (cmd == "check") return cmd_check(argc, argv, opts);
@@ -610,6 +807,9 @@ int main(int argc, char** argv) {
     if (cmd == "identify") return cmd_identify(argc, argv);
     if (cmd == "fuzz") return cmd_fuzz(argc, argv, opts);
     if (cmd == "replay") return cmd_replay(argc, argv, opts);
+    if (cmd == "serve") return cmd_serve(argc, argv, opts);
+    if (cmd == "client") return cmd_client(argc, argv, opts);
+    std::fprintf(stderr, "ssm: unknown command '%s'\n", cmd.c_str());
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
