@@ -35,6 +35,12 @@ metrics::Gauge& queue_depth_gauge() {
   return g;
 }
 
+metrics::Gauge& open_conns_gauge() {
+  static auto& g =
+      metrics::Registry::global().gauge("service.open_connections");
+  return g;
+}
+
 [[noreturn]] void throw_errno(const std::string& what) {
   throw InvalidInput(what + ": " + std::strerror(errno));
 }
@@ -444,12 +450,17 @@ void Server::do_drain() {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (const auto& c : conns_) c->shutdown_read();
   }
-  std::vector<std::thread> readers;
+  // A reader joined here still runs its retire step; it finds its id gone
+  // from the (swapped-out) map and leaves the handle to this join.
+  std::unordered_map<std::uint64_t, std::thread> live;
+  std::vector<std::thread> finished;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
-    readers.swap(reader_threads_);
+    live.swap(reader_threads_);
+    finished.swap(finished_readers_);
   }
-  for (std::thread& t : readers) t.join();
+  for (auto& [id, t] : live) t.join();
+  for (std::thread& t : finished) t.join();
   // 3. Finish every admitted request: workers exit only once the queue is
   //    empty.
   {
@@ -474,43 +485,99 @@ void Server::do_drain() {
   }
 }
 
+void Server::reap_finished_readers() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    finished.swap(finished_readers_);
+  }
+  for (std::thread& t : finished) t.join();
+}
+
 void Server::accept_loop() {
   static auto& connections =
       metrics::Registry::global().counter("service.connections");
   for (;;) {
+    reap_finished_readers();
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      return;  // listener was shut down (drain)
+      if (draining()) return;  // listener was shut down by the drain
+      // Transient failure — ECONNABORTED is routine under load, and
+      // EMFILE/ENFILE mean fds are temporarily exhausted.  The listener
+      // must survive all of these: back off briefly and keep accepting.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
     }
     if (draining()) {
       ::close(fd);
       continue;
     }
     connections.add();
+    open_conns_gauge().add(1);
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     std::lock_guard<std::mutex> lock(conns_mu_);
+    const std::uint64_t id = next_reader_id_++;
     conns_.push_back(conn);
-    reader_threads_.emplace_back(&Server::reader_loop, this, conn);
+    // Emplaced under conns_mu_: a reader that exits instantly blocks on
+    // the same mutex in retire_connection until its map entry exists.
+    reader_threads_.emplace(id,
+                            std::thread(&Server::reader_loop, this, conn, id));
   }
 }
 
-void Server::reader_loop(std::shared_ptr<Connection> conn) {
+void Server::retire_connection(const std::shared_ptr<Connection>& conn,
+                               std::uint64_t reader_id) {
+  open_conns_gauge().add(-1);
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(std::remove(conns_.begin(), conns_.end(), conn), conns_.end());
+  const auto it = reader_threads_.find(reader_id);
+  if (it != reader_threads_.end()) {
+    finished_readers_.push_back(std::move(it->second));
+    reader_threads_.erase(it);
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn,
+                         std::uint64_t reader_id) {
   std::string buf;
   char chunk[4096];
+  bool discarding = false;  // oversized frame: skip to its terminator
   for (;;) {
     const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return;  // EOF, error, or SHUT_RD from the drain
-    buf.append(chunk, static_cast<std::size_t>(n));
+    if (n <= 0) break;  // EOF, error, or SHUT_RD from the drain
+    if (discarding) {
+      const char* nl = static_cast<const char*>(
+          std::memchr(chunk, '\n', static_cast<std::size_t>(n)));
+      if (nl == nullptr) continue;  // still inside the oversized frame
+      discarding = false;
+      buf.assign(nl + 1, static_cast<std::size_t>(chunk + n - (nl + 1)));
+    } else {
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
     std::size_t pos;
     while ((pos = buf.find('\n')) != std::string::npos) {
       const std::string frame = buf.substr(0, pos);
       buf.erase(0, pos + 1);
       if (!frame.empty()) handle_frame(conn, frame);
     }
+    if (buf.size() > options_.max_frame_bytes) {
+      // A frame this large with no terminator in sight would otherwise
+      // grow server memory without bound.  Answer once, drop the buffered
+      // bytes, and skip the rest of the frame — the typed-error-never-
+      // disconnect contract holds even here.
+      conn->write_frame(serialize_error(
+          "", "parse_error",
+          "frame exceeds " + std::to_string(options_.max_frame_bytes) +
+              " bytes without a newline; discarded"));
+      buf.clear();
+      buf.shrink_to_fit();
+      discarding = true;
+    }
   }
+  retire_connection(conn, reader_id);
 }
 
 void Server::handle_frame(const std::shared_ptr<Connection>& conn,

@@ -21,7 +21,14 @@
 //     or 127.0.0.1 TCP socket, reads newline-delimited JSON frames, and
 //     feeds check requests through a BOUNDED admission queue drained by a
 //     fixed set of worker threads.  A full queue rejects immediately with
-//     a typed `overloaded` error — the server never queues unboundedly.
+//     a typed `overloaded` error — the server never queues unboundedly,
+//     and a frame larger than ServerOptions::max_frame_bytes gets a typed
+//     `parse_error` and is discarded up to its terminator instead of
+//     growing the read buffer without bound.  A client disconnect
+//     retires its connection
+//     immediately (fd closed once the last queued response has flushed,
+//     reader thread reaped by the accept loop) — a long-running server
+//     does not accumulate dead fds or threads.
 //     begin_drain()/SIGINT stops accepting and reading, finishes every
 //     admitted request, flushes the responses, and only then returns from
 //     wait(): zero in-flight requests are dropped.
@@ -29,7 +36,8 @@
 // Metrics (common::metrics registry, exposed via the `stats` op):
 //   service.requests, service.cache_hits, service.cache_misses,
 //   service.inflight_dedup, service.rejected, service.queue_depth (gauge),
-//   service.connections, service.latency_us / service.solve_us
+//   service.connections, service.open_connections (gauge),
+//   service.latency_us / service.solve_us
 //   (log2 histograms).  Table: docs/OBSERVABILITY.md.
 #pragma once
 
@@ -130,6 +138,12 @@ struct ServerOptions {
   std::size_t queue_capacity = 256;  ///< bounded admission queue
   unsigned workers = 2;              ///< request worker threads
 
+  /// A buffered, un-terminated frame exceeding this is answered with a
+  /// `parse_error` and discarded up to its terminator — bounds
+  /// per-connection memory against a client that streams bytes without a
+  /// newline, while keeping the connection usable for later frames.
+  std::size_t max_frame_bytes = 4u << 20;
+
   CheckService::Options service;
 };
 
@@ -175,12 +189,20 @@ class Server {
   };
 
   void accept_loop();
-  void reader_loop(std::shared_ptr<Connection> conn);
+  void reader_loop(std::shared_ptr<Connection> conn, std::uint64_t reader_id);
   void worker_loop();
   void handle_frame(const std::shared_ptr<Connection>& conn,
                     std::string_view frame);
   void process(const Job& job);
   void do_drain();
+
+  /// Called by a reader on exit: drops the connection from conns_ (queued
+  /// jobs keep the fd alive via their shared_ptr until the last response
+  /// flushes) and moves the reader's own thread handle to finished_readers_
+  /// for the accept loop (or the drain) to join.
+  void retire_connection(const std::shared_ptr<Connection>& conn,
+                         std::uint64_t reader_id);
+  void reap_finished_readers();
 
   ServerOptions options_;
   CheckService service_;
@@ -197,7 +219,11 @@ class Server {
   std::vector<std::thread> workers_;
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;
-  std::vector<std::thread> reader_threads_;
+  /// Live readers by id; a reader that exits moves its own handle to
+  /// finished_readers_ (it cannot join itself).  Both guarded by conns_mu_.
+  std::unordered_map<std::uint64_t, std::thread> reader_threads_;
+  std::vector<std::thread> finished_readers_;
+  std::uint64_t next_reader_id_ = 0;  // guarded by conns_mu_
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -182,6 +182,63 @@ TEST(ServerProtocol, MalformedFrameGetsTypedErrorNotDisconnect) {
   server.wait();
 }
 
+TEST(ServerProtocol, OversizedFrameGetsParseErrorAndIsDiscarded) {
+  ServerOptions opts = tcp_options(1, 16);
+  opts.max_frame_bytes = 512;
+  Server server(opts);
+  server.start();
+  auto client = Client::connect_tcp(server.port());
+
+  // 8 KiB with the only newline at the very end: the server's 4 KiB read
+  // chunks overflow the 512-byte frame cap long before the terminator, so
+  // the frame is answered with a typed error and skipped — never buffered
+  // whole.
+  client.send_frame(std::string(8192, 'x'));
+  const auto reply = client.read_frame();
+  ASSERT_TRUE(reply.has_value());
+  const json::Value err = json::parse(*reply);
+  EXPECT_FALSE(err.at("ok").as_bool());
+  EXPECT_EQ(err.at("error").at("type").as_string(), "parse_error");
+  // Exactly one error per oversized frame, and the connection survives:
+  // the next frame on the same socket parses normally.
+  const json::Value pong = json::parse(client.call("{\"op\": \"ping\"}"));
+  EXPECT_TRUE(pong.at("ok").as_bool());
+
+  server.begin_drain();
+  server.wait();
+}
+
+TEST(ServerLifecycle, DisconnectedClientsAreReclaimed) {
+  Server server(tcp_options(1, 16));
+  server.start();
+  auto& open = metrics::Registry::global().gauge("service.open_connections");
+  const std::int64_t base = open.value();
+
+  {
+    std::vector<Client> clients;
+    for (int i = 0; i < 8; ++i) {
+      clients.push_back(Client::connect_tcp(server.port()));
+      EXPECT_TRUE(json::parse(clients.back().call("{\"op\": \"ping\"}"))
+                      .at("ok")
+                      .as_bool());
+    }
+    ASSERT_TRUE(eventually([&] { return open.value() == base + 8; }));
+  }  // all eight clients hang up
+
+  // Each disconnect must retire its connection (fd + reader) immediately,
+  // not hold it until drain — a long-running server would otherwise run
+  // out of fds one one-shot client at a time.
+  ASSERT_TRUE(eventually([&] { return open.value() == base; }));
+
+  // The listener is still healthy afterwards.
+  auto fresh = Client::connect_tcp(server.port());
+  EXPECT_TRUE(json::parse(fresh.call("{\"op\": \"ping\"}")).at("ok").as_bool());
+
+  server.begin_drain();
+  server.wait();
+  EXPECT_EQ(open.value(), base) << "drain must retire the open connection too";
+}
+
 TEST(ServerProtocol, UnknownModelRejectsTheWholeRequest) {
   Server server(tcp_options(1, 16));
   server.start();

@@ -481,6 +481,11 @@ int cmd_serve(int argc, char** argv, const GlobalOptions& opts) {
                                                value());
     } else if (arg == "--queue") {
       sopts.queue_capacity = parse_u64("--queue value", value());
+      if (sopts.queue_capacity == 0) {
+        // A zero-slot queue would reject every check as overloaded.
+        std::fprintf(stderr, "ssm serve: --queue must be >= 1\n");
+        return 64;
+      }
     } else if (arg == "--workers") {
       sopts.workers = parse_u32("--workers value", value());
     } else if (arg == "--preload") {
