@@ -1,0 +1,238 @@
+// Canonicalization effectiveness: cache and dedup hit rates on isomorphic
+// clones of the regression corpus.
+//
+// Not a paper artifact — this measures the PR-5 symmetry layer
+// (litmus/canonical.hpp, docs/PERFORMANCE.md).  The workload replays the
+// starter corpus through a transport-free CheckService twice: a cold pass
+// over the original programs (every cell solves), then a warm pass over
+// deterministically permuted/renamed clones of the same programs.  Every
+// warm cell must be a cache hit — the clones are different DSL bytes but
+// the same isomorphism class, so they canonicalize to the same key and
+// their witnesses transport back along the inverse renaming.  The same
+// clones are then pushed through litmus::run_suite to measure the
+// suite-level isomorphism dedup.
+//
+// Modes:
+//   ./canonical_hit [--corpus DIR] [--clones N] [--json out.json]
+//
+// JSON record (BENCH_canonical.json trajectory): per-pass wall time,
+// cache hit rate over the clone pass (acceptance floor: >= 0.90), suite
+// dedup hits, and the global metrics snapshot.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
+#include "fuzz/corpus.hpp"
+#include "history/system_history.hpp"
+#include "litmus/canonical.hpp"
+#include "litmus/emit.hpp"
+#include "litmus/runner.hpp"
+#include "models/registry.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using namespace ssm;
+
+/// Deterministic isomorphic clone #k of `t`: processors rotated by k,
+/// locations reverse-permuted, every written value mapped through
+/// v -> v + 7 * (k + 1).  Reads follow their writer (SystemHistory::
+/// writer_of); reads of the initial value keep 0, which no renamed write
+/// collides with.  The result is a different DSL text in the same
+/// isomorphism class, so canonicalize() must map it to the same key.
+litmus::LitmusTest make_clone(const litmus::LitmusTest& t, std::size_t k) {
+  const history::SystemHistory& h = t.hist;
+  const std::size_t procs = h.num_processors();
+  const std::size_t locs = h.num_locations();
+  const auto new_proc = [&](ProcId p) {
+    return static_cast<ProcId>((p + k + 1) % procs);
+  };
+  const auto new_loc = [&](LocId l) {
+    return static_cast<LocId>(locs - 1 - l);
+  };
+  const Value offset = static_cast<Value>(7 * (k + 1));
+  const auto new_value = [&](Value v) { return static_cast<Value>(v + offset); };
+
+  history::SymbolTable symbols;
+  for (std::size_t p = 0; p < procs; ++p) {
+    symbols.intern_processor("q" + std::to_string(p));
+  }
+  for (std::size_t l = 0; l < locs; ++l) {
+    symbols.intern_location("y" + std::to_string(l));
+  }
+  litmus::LitmusTest out;
+  out.name = t.name + "_clone" + std::to_string(k);
+  out.hist = history::SystemHistory(std::move(symbols));
+  // Emit processor sequences in the clone's processor order so the DSL
+  // lines move too, not just the names.
+  for (std::size_t pos = 0; pos < procs; ++pos) {
+    for (ProcId orig = 0; orig < procs; ++orig) {
+      if (new_proc(orig) != static_cast<ProcId>(pos)) continue;
+      for (OpIndex i : h.processor_ops(orig)) {
+        const history::Operation& src = h.op(i);
+        history::Operation op;
+        op.kind = src.kind;
+        op.label = src.label;
+        op.proc = static_cast<ProcId>(pos);
+        op.loc = new_loc(src.loc);
+        const auto read_value = [&]() {
+          return h.writer_of(i) == kNoOp ? kInitialValue
+                                         : new_value(src.read_value());
+        };
+        if (src.kind == OpKind::ReadModifyWrite) {
+          op.value = new_value(src.value);
+          op.rmw_read = read_value();
+        } else if (src.is_write()) {
+          op.value = new_value(src.value);
+        } else {
+          op.value = read_value();
+        }
+        out.hist.append(op);
+      }
+    }
+  }
+  return out;
+}
+
+double wall_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string corpus_dir = "../tests/litmus/corpus";
+  std::size_t clones = 3;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--corpus") == 0 && i + 1 < argc) {
+      corpus_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--clones") == 0 && i + 1 < argc) {
+      clones = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: canonical_hit [--corpus DIR] [--clones N] "
+                           "[--json out.json]\n");
+      return 64;
+    }
+  }
+
+  std::vector<litmus::LitmusTest> corpus;
+  try {
+    corpus = fuzz::load_corpus(corpus_dir);
+  } catch (const InvalidInput& e) {
+    std::fprintf(stderr, "canonical_hit: %s\n", e.what());
+    return 1;
+  }
+  common::metrics::Registry::global().reset();
+
+  // --- Service passes: cold originals, then warm isomorphic clones. ---
+  service::CheckService svc(service::CheckService::Options{});
+  service::CheckRequest req;
+
+  const auto cold0 = std::chrono::steady_clock::now();
+  std::uint64_t cold_cells = 0;
+  for (const auto& t : corpus) {
+    req.program = litmus::emit(t);
+    cold_cells += svc.handle_check(req).results.size();
+  }
+  const double cold_s = wall_since(cold0);
+
+  const auto warm0 = std::chrono::steady_clock::now();
+  std::uint64_t warm_cells = 0, warm_hits = 0;
+  for (std::size_t k = 0; k < clones; ++k) {
+    for (const auto& t : corpus) {
+      const litmus::LitmusTest clone = make_clone(t, k);
+      req.program = litmus::emit(clone);
+      const auto resp = svc.handle_check(req);
+      warm_cells += resp.results.size();
+      warm_hits += resp.cache_hits;
+    }
+  }
+  const double warm_s = wall_since(warm0);
+  const double hit_rate =
+      warm_cells == 0 ? 0.0
+                      : static_cast<double>(warm_hits) /
+                            static_cast<double>(warm_cells);
+
+  // --- Suite pass: originals + clones through run_suite's dedup. ---
+  std::vector<litmus::LitmusTest> suite;
+  for (const auto& t : corpus) {
+    suite.push_back(t);
+    for (std::size_t k = 0; k < clones; ++k) {
+      suite.push_back(make_clone(t, k));
+    }
+  }
+  common::ThreadPool::set_global_jobs(1);
+  const auto models = models::paper_models();
+  const auto suite0 = std::chrono::steady_clock::now();
+  const auto outcomes = litmus::run_suite(suite, models, {});
+  const double suite_s = wall_since(suite0);
+  std::uint64_t suite_cells = 0;
+  for (const auto& o : outcomes) suite_cells += o.per_model.size();
+  const std::uint64_t dedup_hits =
+      common::metrics::Registry::global()
+          .counter("suite.iso_dedup_hits")
+          .value();
+  const double dedup_rate =
+      suite_cells == 0 ? 0.0
+                       : static_cast<double>(dedup_hits) /
+                             static_cast<double>(suite_cells);
+
+  std::printf("canonical_hit: %zu corpus tests x %zu clones\n", corpus.size(),
+              clones);
+  std::printf("cold pass:  %llu cells in %.3fs (all solved)\n",
+              static_cast<unsigned long long>(cold_cells), cold_s);
+  std::printf("warm pass:  %llu cells in %.3fs, %llu cache hits "
+              "(hit rate %.3f)\n",
+              static_cast<unsigned long long>(warm_cells), warm_s,
+              static_cast<unsigned long long>(warm_hits), hit_rate);
+  std::printf("suite pass: %llu cells in %.3fs, %llu replayed by iso-dedup "
+              "(rate %.3f)\n",
+              static_cast<unsigned long long>(suite_cells), suite_s,
+              static_cast<unsigned long long>(dedup_hits), dedup_rate);
+
+  if (json_path != nullptr) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    char buf[1024];
+    std::snprintf(buf, sizeof buf,
+                  "{\n"
+                  "  \"benchmark\": \"canonical_hit\",\n"
+                  "  \"corpus_tests\": %zu,\n"
+                  "  \"clones_per_test\": %zu,\n"
+                  "  \"cold_cells\": %llu,\n"
+                  "  \"cold_wall_seconds\": %.6f,\n"
+                  "  \"warm_cells\": %llu,\n"
+                  "  \"warm_wall_seconds\": %.6f,\n"
+                  "  \"warm_cache_hits\": %llu,\n"
+                  "  \"warm_hit_rate\": %.4f,\n"
+                  "  \"suite_cells\": %llu,\n"
+                  "  \"suite_wall_seconds\": %.6f,\n"
+                  "  \"suite_iso_dedup_hits\": %llu,\n"
+                  "  \"suite_dedup_rate\": %.4f,\n"
+                  "  ",
+                  corpus.size(), clones,
+                  static_cast<unsigned long long>(cold_cells), cold_s,
+                  static_cast<unsigned long long>(warm_cells), warm_s,
+                  static_cast<unsigned long long>(warm_hits), hit_rate,
+                  static_cast<unsigned long long>(suite_cells), suite_s,
+                  static_cast<unsigned long long>(dedup_hits), dedup_rate);
+    std::string snapshot;
+    common::metrics::append_global_snapshot(snapshot);
+    out << buf << snapshot << "\n}\n";
+  }
+  // The warm pass is the whole point: a sub-90% hit rate means the
+  // canonicalization missed an isomorphism it is specified to catch.
+  return hit_rate >= 0.90 ? 0 : 1;
+}

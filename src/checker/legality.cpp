@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <memory>
 
 #include "common/metrics.hpp"
 
@@ -40,6 +41,19 @@ class FailedStateTable {
  public:
   explicit FailedStateTable(std::size_t key_words)
       : key_words_(key_words), slots_(kInitialCapacity, 0) {}
+
+  /// Rearm for a new search with `key_words`-word keys.  The arena and
+  /// hash vectors keep their heap capacity; the slot array shrinks back to
+  /// the initial 64 entries (a 256-byte memset) so small searches don't
+  /// pay for a predecessor that grew large.  Membership is exact full-key
+  /// comparison, so table capacity never affects results.
+  void reset(std::size_t key_words) {
+    key_words_ = key_words;
+    count_ = 0;
+    arena_.clear();
+    hashes_.clear();
+    slots_.assign(kInitialCapacity, 0);
+  }
 
   [[nodiscard]] bool contains(const std::uint64_t* key) const noexcept {
     const std::uint64_t h = hash(key);
@@ -107,6 +121,44 @@ class FailedStateTable {
   std::vector<std::uint64_t> arena_;   // count_ × key_words_ packed keys
 };
 
+/// Per-thread scratch owning every buffer a ViewSearch needs.  The litmus
+/// workload runs tens of thousands of tiny searches (one per processor per
+/// coherence/write-order candidate), so per-search heap traffic dominated
+/// construction; recycling the buffers turns it into a handful of memsets.
+/// A small per-thread stack of workspaces handles re-entrancy (a visitor
+/// that starts a nested search gets the next workspace down).
+struct SearchWorkspace {
+  DynBitset scheduled;
+  DynBitset ready;
+  std::vector<Value> last_value;
+  std::vector<char> last_was_rmw;
+  std::vector<std::uint32_t> pending_reads;
+  std::vector<std::uint64_t> key_scratch;
+  std::vector<std::uint64_t> preds;
+  std::vector<std::uint32_t> succ_off;
+  std::vector<OpIndex> succ;
+  std::vector<std::uint32_t> cursor;
+  std::vector<std::vector<OpIndex>> frontier_stack;
+  View order;
+  FailedStateTable failed{0};
+};
+
+std::vector<std::unique_ptr<SearchWorkspace>>& workspace_pool() {
+  thread_local std::vector<std::unique_ptr<SearchWorkspace>> pool;
+  return pool;
+}
+thread_local std::size_t g_workspace_depth = 0;
+
+SearchWorkspace& acquire_workspace() {
+  auto& pool = workspace_pool();
+  if (g_workspace_depth == pool.size()) {
+    pool.push_back(std::make_unique<SearchWorkspace>());
+  }
+  return *pool[g_workspace_depth++];
+}
+
+void release_workspace() noexcept { --g_workspace_depth; }
+
 /// DFS over downward-closed subsets of the constraint order.  Templated on
 /// the visitor so the hot first-witness path (find_legal_view's tiny
 /// lambda) inlines instead of bouncing through std::function.
@@ -118,29 +170,85 @@ class ViewSearch {
              Visitor& visit, const SearchControl& control)
       : h_(h),
         universe_(universe),
-        constraints_(constraints),
         exempt_(exempt),
         visit_(visit),
         control_(control),
-        scheduled_(h.size()),
-        indeg_(constraints.indegrees(universe)),
+        ws_(acquire_workspace()),
+        scheduled_(ws_.scheduled),
+        ready_(ws_.ready),
         target_(universe.count()),
-        last_value_(h.num_locations(), kInitialValue),
-        last_was_rmw_(h.num_locations(), 0),
-        pending_reads_(h.num_locations(), 0),
-        mask_words_(scheduled_.words().size()),
-        key_scratch_(mask_words_ + h.num_locations()),
-        failed_(mask_words_ + h.num_locations()) {
-    members_.reserve(target_);
+        last_value_(ws_.last_value),
+        last_was_rmw_(ws_.last_was_rmw),
+        pending_reads_(ws_.pending_reads),
+        mask_words_((h.size() + 63) / 64),
+        key_scratch_(ws_.key_scratch),
+        preds_(ws_.preds),
+        succ_off_(ws_.succ_off),
+        succ_(ws_.succ),
+        frontier_stack_(ws_.frontier_stack),
+        order_(ws_.order),
+        failed_(ws_.failed) {
+    scheduled_.assign(h.size());
+    ready_.assign(h.size());
+    last_value_.assign(h.num_locations(), kInitialValue);
+    last_was_rmw_.assign(h.num_locations(), 0);
+    pending_reads_.assign(h.num_locations(), 0);
+    key_scratch_.resize(mask_words_ + h.num_locations());
+    failed_.reset(mask_words_ + h.num_locations());
+    // Precompute the universe-restricted graph once: per-operation
+    // predecessor masks (the "all predecessors scheduled" test becomes
+    // mask_words_ word-wide AND/compare ops) and a CSR successor list (the
+    // frontier update touches only real out-edges).
+    preds_.assign(h.size() * mask_words_, 0);
+    succ_off_.assign(h.size() + 1, 0);
     universe_.for_each([&](std::size_t i) {
-      members_.push_back(static_cast<OpIndex>(i));
       const auto& op = h_.op(i);
       if (op.is_read() && !exempt_.test(i)) ++pending_reads_[op.loc];
+      constraints.successors(i).for_each([&](std::size_t j) {
+        if (!universe_.test(j)) return;
+        ++succ_off_[i + 1];
+        preds_[j * mask_words_ + (i >> 6)] |= std::uint64_t{1} << (i & 63);
+      });
     });
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      succ_off_[i + 1] += succ_off_[i];
+    }
+    succ_.resize(succ_off_[h.size()]);
+    {
+      auto& cursor = ws_.cursor;
+      cursor.assign(succ_off_.begin(), succ_off_.end() - 1);
+      universe_.for_each([&](std::size_t i) {
+        constraints.successors(i).for_each([&](std::size_t j) {
+          if (universe_.test(j)) succ_[cursor[i]++] = static_cast<OpIndex>(j);
+        });
+      });
+    }
+    // Initially ready: universe members with no (universe) predecessor.
+    universe_.for_each([&](std::size_t i) {
+      const std::uint64_t* p = preds_.data() + i * mask_words_;
+      bool none = true;
+      for (std::size_t w = 0; w < mask_words_; ++w) {
+        if (p[w] != 0) {
+          none = false;
+          break;
+        }
+      }
+      if (none) ready_.set(i);
+    });
+    // Never shrinks: deeper stacks' inner vectors keep their capacity for
+    // the next deep search on this thread.
+    if (frontier_stack_.size() < target_ + 1) {
+      frontier_stack_.resize(target_ + 1);
+    }
+    order_.clear();
     order_.reserve(target_);
     g_stats = {};
     g_stats.searches = 1;
   }
+
+  ~ViewSearch() { release_workspace(); }
+  ViewSearch(const ViewSearch&) = delete;
+  ViewSearch& operator=(const ViewSearch&) = delete;
 
   /// Returns true if the visitor or the stop token requested early stop.
   bool run() {
@@ -236,25 +344,28 @@ class ViewSearch {
       ++g_stats.memo_misses;
     }
     bool found = false;
+    // The ready frontier (unscheduled ops whose predecessors are all
+    // scheduled) is maintained incrementally as a bitset; snapshot it once
+    // per node in ascending index order.  The snapshot is safe because the
+    // schedule/undo pair below restores the entry state exactly before the
+    // next candidate, so the live frontier at each iteration equals the
+    // entry frontier.  Per-depth scratch avoids allocation.
+    auto& frontier = frontier_stack_[order_.size()];
+    frontier.clear();
+    ready_.for_each(
+        [&](std::size_t i) { frontier.push_back(static_cast<OpIndex>(i)); });
+    if (frontier.size() > max_frontier_) max_frontier_ = frontier.size();
     // Candidate ordering heuristic: expand frontier writes to locations
     // with pending (unscheduled, value-checked) reads first — they are the
     // moves that can discharge a read obligation, so witnesses surface
     // earlier and dead ends are entered with fewer options left.  Both
     // passes see the identical restored state, so each ready candidate is
     // expanded in exactly one pass and the order is deterministic.
-    std::uint64_t width = 0;
     for (int pass = 0; pass < 2 && !stopped_; ++pass) {
-      for (OpIndex i : members_) {
+      for (OpIndex i : frontier) {
         if (stopped_) break;
-        if (scheduled_.test(i) || indeg_[i] != 0) continue;
         const auto& op = h_.op(i);
         const bool hot = op.is_write() && pending_reads_[op.loc] > 0;
-        if (pass == 0) {
-          // Frontier width: ready (unscheduled, in-degree-0) candidates at
-          // this node, counted once in the first pass.
-          ++width;
-          if (width > max_frontier_) max_frontier_ = width;
-        }
         if ((pass == 0) != hot) continue;
         // Legality gate: a read-like operation must observe the current
         // value of its location at this point in the view (unless exempt,
@@ -271,8 +382,10 @@ class ViewSearch {
             last_value_[op.loc] != op.read_value()) {
           continue;
         }
-        // Schedule.
+        // Schedule: flip the bits, then promote any successor whose
+        // predecessor mask is now fully covered by the scheduled mask.
         scheduled_.set(i);
+        ready_.reset(i);
         order_.push_back(i);
         const Value saved = last_value_[op.loc];
         // last_was_rmw_ needs no slot in the memo key: write values are
@@ -284,19 +397,32 @@ class ViewSearch {
           last_was_rmw_[op.loc] = op.kind == OpKind::ReadModifyWrite ? 1 : 0;
         }
         if (checked_read) --pending_reads_[op.loc];
-        constraints_.successors(i).for_each([&](std::size_t j) {
-          if (universe_.test(j)) --indeg_[j];
-        });
+        const auto& sched_words = scheduled_.words();
+        for (std::uint32_t s = succ_off_[i]; s < succ_off_[i + 1]; ++s) {
+          const OpIndex j = succ_[s];
+          if (scheduled_.test(j)) continue;
+          const std::uint64_t* p = preds_.data() + j * mask_words_;
+          bool covered = true;
+          for (std::size_t w = 0; w < mask_words_; ++w) {
+            if ((p[w] & ~sched_words[w]) != 0) {
+              covered = false;
+              break;
+            }
+          }
+          if (covered) ready_.set(j);
+        }
         if (dfs()) found = true;
-        // Undo.
-        constraints_.successors(i).for_each([&](std::size_t j) {
-          if (universe_.test(j)) ++indeg_[j];
-        });
+        // Undo.  Every successor has i as a predecessor, so none can be
+        // ready once i is unscheduled; i itself was ready at this node.
+        for (std::uint32_t s = succ_off_[i]; s < succ_off_[i + 1]; ++s) {
+          ready_.reset(succ_[s]);
+        }
         if (checked_read) ++pending_reads_[op.loc];
         last_value_[op.loc] = saved;
         last_was_rmw_[op.loc] = saved_rmw;
         order_.pop_back();
         scheduled_.reset(i);
+        ready_.set(i);
       }
     }
     // A stopped search (visitor satisfied or cancelled) abandoned part of
@@ -308,21 +434,31 @@ class ViewSearch {
 
   const SystemHistory& h_;
   const DynBitset& universe_;
-  const Relation& constraints_;
   const DynBitset& exempt_;
   Visitor& visit_;
   SearchControl control_;
-  DynBitset scheduled_;
-  std::vector<std::uint32_t> indeg_;
+  /// All mutable buffers live in the recycled per-thread workspace; the
+  /// references below just keep the hot-path member names short.
+  SearchWorkspace& ws_;
+  DynBitset& scheduled_;
+  /// Unscheduled universe ops whose predecessor masks are covered by
+  /// scheduled_ — the DFS frontier, maintained incrementally.
+  DynBitset& ready_;
   std::size_t target_;
-  std::vector<Value> last_value_;
-  std::vector<char> last_was_rmw_;
-  std::vector<std::uint32_t> pending_reads_;
+  std::vector<Value>& last_value_;
+  std::vector<char>& last_was_rmw_;
+  std::vector<std::uint32_t>& pending_reads_;
   std::size_t mask_words_;
-  std::vector<std::uint64_t> key_scratch_;
-  std::vector<OpIndex> members_;
-  View order_;
-  FailedStateTable failed_;
+  std::vector<std::uint64_t>& key_scratch_;
+  /// h.size() rows × mask_words_ words: row i = universe predecessors of i.
+  std::vector<std::uint64_t>& preds_;
+  /// CSR successor lists restricted to the universe.
+  std::vector<std::uint32_t>& succ_off_;
+  std::vector<OpIndex>& succ_;
+  /// Per-depth frontier snapshots (reused across visits to each depth).
+  std::vector<std::vector<OpIndex>>& frontier_stack_;
+  View& order_;
+  FailedStateTable& failed_;
   bool stopped_ = false;
   bool exhausted_ = false;
   std::uint64_t max_frontier_ = 0;

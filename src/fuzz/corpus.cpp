@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "fuzz/oracle.hpp"
+#include "litmus/canonical.hpp"
 #include "litmus/emit.hpp"
 #include "litmus/parser.hpp"
 #include "litmus/runner.hpp"
@@ -35,19 +36,14 @@ std::string hex16(std::uint64_t v) {
   return out;
 }
 
-/// History-only rendering (no name/origin/expect), so the file name is
-/// stable across renames and expectation refreshes.
-std::string history_text(const litmus::LitmusTest& t) {
-  litmus::LitmusTest bare;
-  bare.name = "h";
-  bare.hist = t.hist;
-  return litmus::emit(bare);
-}
-
 }  // namespace
 
 std::string corpus_file_name(const litmus::LitmusTest& t) {
-  return t.name + "-" + hex16(fnv1a64(history_text(t))) + ".litmus";
+  // Hash the symmetry-canonical form (litmus/canonical.hpp), not just the
+  // name-stripped emit: isomorphic shrunk findings — same bug modulo
+  // processor/location/value renaming — collide onto one corpus file, so
+  // re-fuzzing with different seeds doesn't accrete renamed duplicates.
+  return t.name + "-" + hex16(fnv1a64(litmus::canonical_key(t))) + ".litmus";
 }
 
 std::string save_case(const std::string& dir, litmus::LitmusTest t,

@@ -21,9 +21,10 @@
 
 namespace ssm::fuzz {
 
-/// Deterministic corpus file name: "<name>-<fnv1a64 of the emitted
-/// history>.litmus".  Two structurally equal shrunk cases collide on
-/// purpose (same content, same file).
+/// Deterministic corpus file name: "<name>-<fnv1a64 of the symmetry-
+/// canonical form (litmus::canonical_key)>.litmus".  Two isomorphic
+/// shrunk cases — equal up to processor/location/value renaming — collide
+/// on purpose (same class, same file).
 [[nodiscard]] std::string corpus_file_name(const litmus::LitmusTest& t);
 
 /// Records `expect:` lines on `t` from the reference models' conclusive

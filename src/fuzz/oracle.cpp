@@ -4,6 +4,7 @@
 #include "checker/witness_verifier.hpp"
 #include "lattice/inclusion.hpp"
 #include "models/operational.hpp"
+#include "order/derived.hpp"
 
 namespace ssm::fuzz {
 namespace {
@@ -113,6 +114,10 @@ const models::Model* Oracle::by_name(std::string_view name) const {
 CaseResult Oracle::run_case(const litmus::LitmusTest& t) const {
   CaseResult out;
   const auto& h = t.hist;
+  // One shared derived-order cache for the whole model sweep (and the
+  // witness re-verification below): po/ppo/wb/co derive once per case.
+  const order::DerivedOrders orders(h);
+  const order::OrdersScope orders_scope(orders);
   std::vector<checker::Verdict> verdicts;
   verdicts.reserve(models_.size());
   for (const auto& m : models_) {

@@ -1,0 +1,346 @@
+#include "litmus/canonical.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "litmus/emit.hpp"
+
+namespace ssm::litmus {
+namespace {
+
+using history::Operation;
+using history::SystemHistory;
+
+/// Enumeration cap: the product of the symmetry-group factorials is not
+/// allowed past this.  7! = 5040 — far beyond any litmus-scale test with a
+/// genuine symmetry; an over-cap input degrades to one deterministic
+/// (but not permutation-invariant) candidate, which weakens dedup, never
+/// soundness.
+constexpr std::size_t kMaxProcOrders = 5040;
+
+/// Invariant fingerprint of one processor's sequence: op kinds, labels,
+/// locations by first appearance *within this processor*, and non-initial
+/// values by first appearance per location within this processor.  Reads
+/// of the initial value render as 'i' (writer-less, so "observes 0" is a
+/// structural fact, not a value identity).  Two processors related by any
+/// processor/location/value renaming produce the same signature.
+std::string proc_signature(const SystemHistory& h, ProcId p,
+                           const std::vector<OpIndex>& writer) {
+  std::string sig;
+  std::map<LocId, std::size_t> loc_idx;
+  std::map<LocId, std::map<Value, std::size_t>> val_idx;
+  const auto value_token = [&](LocId loc, Value v, bool initial) {
+    if (initial) {
+      sig += 'i';
+      return;
+    }
+    auto& vals = val_idx[loc];
+    const auto it = vals.emplace(v, vals.size()).first;
+    sig += 'v';
+    sig += std::to_string(it->second);
+  };
+  for (OpIndex i : h.processor_ops(p)) {
+    const Operation& op = h.op(i);
+    switch (op.kind) {
+      case OpKind::Read:
+        sig += 'r';
+        break;
+      case OpKind::Write:
+        sig += 'w';
+        break;
+      case OpKind::ReadModifyWrite:
+        sig += 'm';
+        break;
+    }
+    if (op.is_labeled()) sig += '*';
+    const auto lit = loc_idx.emplace(op.loc, loc_idx.size()).first;
+    sig += 'l';
+    sig += std::to_string(lit->second);
+    if (op.is_read()) {
+      value_token(op.loc, op.read_value(), writer[i] == kNoOp);
+    }
+    if (op.is_write()) value_token(op.loc, op.value, false);
+    sig += ';';
+  }
+  return sig;
+}
+
+/// One candidate renaming under a fixed processor order: location ids by
+/// first appearance over the whole traversal, write values per location
+/// renamed to 1,2,… by first appearance of the *written* value (two writes
+/// of one value stay equal — their equality is unobservable anyway, see
+/// SystemHistory::writer_of).  Reads take their writer's renamed value;
+/// initial-value reads stay 0, and since no renamed write stores 0 the
+/// result still validates.
+struct Renaming {
+  std::vector<LocId> loc_map;                 // original -> canonical
+  std::vector<std::map<Value, Value>> vals;   // per ORIGINAL loc
+};
+
+Renaming build_renaming(const SystemHistory& h,
+                        const std::vector<ProcId>& order) {
+  Renaming ren;
+  ren.loc_map.assign(h.num_locations(), static_cast<LocId>(-1));
+  ren.vals.resize(h.num_locations());
+  LocId next_loc = 0;
+  for (const ProcId p : order) {
+    for (OpIndex i : h.processor_ops(p)) {
+      const Operation& op = h.op(i);
+      if (ren.loc_map[op.loc] == static_cast<LocId>(-1)) {
+        ren.loc_map[op.loc] = next_loc++;
+      }
+      if (op.is_write()) {
+        auto& vals = ren.vals[op.loc];
+        vals.emplace(op.value, static_cast<Value>(vals.size() + 1));
+      }
+    }
+  }
+  return ren;
+}
+
+Value renamed_read_value(const Renaming& ren, const Operation& op,
+                         OpIndex writer_idx) {
+  if (writer_idx == kNoOp) return kInitialValue;
+  return ren.vals[op.loc].at(op.read_value());
+}
+
+/// Renders the candidate's emit body (everything after the "name: h" line)
+/// byte-for-byte as litmus::emit would — candidates are compared, and the
+/// minimum chosen, on these exact bytes.
+std::string render_body(const SystemHistory& h,
+                        const std::vector<ProcId>& order, const Renaming& ren,
+                        const std::vector<OpIndex>& writer) {
+  std::string out;
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    out += 'p';
+    out += std::to_string(pos);
+    out += ':';
+    for (OpIndex i : h.processor_ops(order[pos])) {
+      const Operation& op = h.op(i);
+      out += ' ';
+      switch (op.kind) {
+        case OpKind::Read:
+          out += 'r';
+          break;
+        case OpKind::Write:
+          out += 'w';
+          break;
+        case OpKind::ReadModifyWrite:
+          out += "rmw";
+          break;
+      }
+      if (op.is_labeled()) out += '*';
+      out += "(x";
+      out += std::to_string(ren.loc_map[op.loc]);
+      out += ')';
+      if (op.kind == OpKind::ReadModifyWrite) {
+        out += std::to_string(renamed_read_value(ren, op, writer[i]));
+        out += ':';
+        out += std::to_string(ren.vals[op.loc].at(op.value));
+      } else if (op.is_write()) {
+        out += std::to_string(ren.vals[op.loc].at(op.value));
+      } else {
+        out += std::to_string(renamed_read_value(ren, op, writer[i]));
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+/// Candidate processor orders: processors grouped by signature (groups in
+/// sorted signature order), every within-group permutation enumerated up
+/// to kMaxProcOrders total.  Distinct-signature processors never swap, so
+/// the candidate count is the product of the symmetry groups' factorials,
+/// not P!.
+std::vector<std::vector<ProcId>> candidate_orders(
+    const SystemHistory& h, const std::vector<OpIndex>& writer) {
+  const std::size_t procs = h.num_processors();
+  std::map<std::string, std::vector<ProcId>> groups;
+  for (ProcId p = 0; p < procs; ++p) {
+    groups[proc_signature(h, p, writer)].push_back(p);
+  }
+  std::size_t total = 1;
+  for (const auto& [sig, members] : groups) {
+    for (std::size_t k = 2; k <= members.size(); ++k) {
+      total *= k;
+      if (total > kMaxProcOrders) break;
+    }
+    if (total > kMaxProcOrders) break;
+  }
+  if (total > kMaxProcOrders) {
+    // Over the cap: one deterministic candidate (grouped, members in
+    // original order).  Sound, possibly non-invariant — see header.
+    std::vector<ProcId> order;
+    for (const auto& [sig, members] : groups) {
+      order.insert(order.end(), members.begin(), members.end());
+    }
+    return {std::move(order)};
+  }
+  std::vector<std::vector<ProcId>> orders{{}};
+  for (auto& [sig, members] : groups) {
+    std::sort(members.begin(), members.end());
+    std::vector<std::vector<ProcId>> expanded;
+    std::vector<ProcId> perm = members;
+    do {
+      for (const auto& prefix : orders) {
+        std::vector<ProcId> next = prefix;
+        next.insert(next.end(), perm.begin(), perm.end());
+        expanded.push_back(std::move(next));
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    orders = std::move(expanded);
+  }
+  return orders;
+}
+
+}  // namespace
+
+Canonical canonicalize(const LitmusTest& t) {
+  const SystemHistory& h = t.hist;
+  std::vector<OpIndex> writer(h.size(), kNoOp);
+  for (const Operation& op : h.operations()) {
+    if (op.is_read()) writer[op.index] = h.writer_of(op.index);
+  }
+
+  const auto orders = candidate_orders(h, writer);
+  std::size_t best = 0;
+  std::string best_body;
+  Renaming best_ren;
+  for (std::size_t k = 0; k < orders.size(); ++k) {
+    Renaming ren = build_renaming(h, orders[k]);
+    std::string body = render_body(h, orders[k], ren, writer);
+    if (k == 0 || body < best_body) {
+      best = k;
+      best_body = std::move(body);
+      best_ren = std::move(ren);
+    }
+  }
+  const std::vector<ProcId>& order = orders[best];
+
+  Canonical out;
+  out.proc_map.assign(h.num_processors(), 0);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    out.proc_map[order[pos]] = static_cast<ProcId>(pos);
+  }
+  out.loc_map = best_ren.loc_map;
+  // Interned-but-unused locations (possible in builder-made tests) never
+  // appeared in the traversal; give them the remaining canonical ids so
+  // loc_map stays a total bijection.
+  {
+    LocId next = 0;
+    for (const LocId m : out.loc_map) {
+      if (m != static_cast<LocId>(-1) && m >= next) {
+        next = static_cast<LocId>(m + 1);
+      }
+    }
+    for (auto& m : out.loc_map) {
+      if (m == static_cast<LocId>(-1)) m = next++;
+    }
+  }
+  out.op_map.assign(h.size(), kNoOp);
+
+  history::SymbolTable symbols;
+  for (std::size_t p = 0; p < h.num_processors(); ++p) {
+    symbols.intern_processor("p" + std::to_string(p));
+  }
+  for (std::size_t l = 0; l < h.num_locations(); ++l) {
+    symbols.intern_location("x" + std::to_string(l));
+  }
+  out.test.name = "h";
+  out.test.hist = SystemHistory(std::move(symbols));
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    for (OpIndex i : h.processor_ops(order[pos])) {
+      const Operation& src = h.op(i);
+      Operation op;
+      op.kind = src.kind;
+      op.label = src.label;
+      op.proc = static_cast<ProcId>(pos);
+      op.loc = best_ren.loc_map[src.loc];
+      if (src.is_write()) op.value = best_ren.vals[src.loc].at(src.value);
+      if (src.kind == OpKind::ReadModifyWrite) {
+        op.rmw_read = renamed_read_value(best_ren, src, writer[i]);
+      } else if (src.is_read()) {
+        op.value = renamed_read_value(best_ren, src, writer[i]);
+      }
+      out.op_map[i] = out.test.hist.append(op);
+    }
+  }
+  out.key = emit(out.test);
+
+  LitmusTest stripped;
+  stripped.name = "h";
+  stripped.hist = t.hist;
+  out.identity_ = (emit(stripped) == out.key);
+  return out;
+}
+
+std::string canonical_key(const LitmusTest& t) { return canonicalize(t).key; }
+
+checker::Witness remap_witness_from_canonical(const checker::Witness& w,
+                                              const Canonical& c) {
+  std::vector<OpIndex> inv_op(c.op_map.size(), kNoOp);
+  for (std::size_t orig = 0; orig < c.op_map.size(); ++orig) {
+    inv_op[c.op_map[orig]] = static_cast<OpIndex>(orig);
+  }
+  const auto remap_seq = [&](const std::vector<OpIndex>& seq) {
+    std::vector<OpIndex> out;
+    out.reserve(seq.size());
+    for (const OpIndex i : seq) out.push_back(inv_op.at(i));
+    return out;
+  };
+
+  checker::Witness out;
+  out.model = w.model;
+  out.note = w.note;
+
+  // views/delta are indexed by ProcId — except the Cache model, whose
+  // per-location serializations are indexed by LocId (witness.hpp).
+  const bool by_loc = (w.model == "Cache");
+  const std::size_t slots = by_loc ? c.loc_map.size() : c.proc_map.size();
+  const auto canonical_slot = [&](std::size_t orig) {
+    return by_loc ? static_cast<std::size_t>(c.loc_map[orig])
+                  : static_cast<std::size_t>(c.proc_map[orig]);
+  };
+  if (w.views.size() == slots) {
+    out.views.resize(slots);
+    out.delta.resize(w.delta.size() == slots ? slots : 0);
+    for (std::size_t orig = 0; orig < slots; ++orig) {
+      out.views[orig] = remap_seq(w.views[canonical_slot(orig)]);
+      if (w.delta.size() == slots) {
+        out.delta[orig] = remap_seq(w.delta[canonical_slot(orig)]);
+        std::sort(out.delta[orig].begin(), out.delta[orig].end());
+      }
+    }
+  } else {
+    // Slot count does not match the per-proc/per-loc convention (e.g.
+    // TSOax's empty views): remap elements in place.
+    for (const auto& v : w.views) out.views.push_back(remap_seq(v));
+    for (const auto& d : w.delta) {
+      auto mapped = remap_seq(d);
+      std::sort(mapped.begin(), mapped.end());
+      out.delta.push_back(std::move(mapped));
+    }
+  }
+
+  out.labeled = remap_seq(w.labeled);
+  std::sort(out.labeled.begin(), out.labeled.end());
+
+  if (w.coherence.has_value() && w.coherence->size() == c.loc_map.size()) {
+    std::vector<std::vector<OpIndex>> coh(c.loc_map.size());
+    for (std::size_t orig = 0; orig < c.loc_map.size(); ++orig) {
+      coh[orig] = remap_seq((*w.coherence)[c.loc_map[orig]]);
+    }
+    out.coherence = std::move(coh);
+  } else if (w.coherence.has_value()) {
+    std::vector<std::vector<OpIndex>> coh;
+    for (const auto& seq : *w.coherence) coh.push_back(remap_seq(seq));
+    out.coherence = std::move(coh);
+  }
+  if (w.labeled_order.has_value()) {
+    out.labeled_order = remap_seq(*w.labeled_order);
+  }
+  return out;
+}
+
+}  // namespace ssm::litmus

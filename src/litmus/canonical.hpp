@@ -1,0 +1,77 @@
+// Symmetry canonicalization: a litmus test rewritten into a canonical
+// representative of its isomorphism class.
+//
+// Two tests are *isomorphic* when one maps onto the other by a processor
+// permutation, a location renaming, and a per-location renaming of the
+// written values (reads follow their writers; a read of the initial value
+// stays 0).  Such a mapping is a bijection of operations that preserves
+// kind, label, rmw structure, program order, and the reads-from function —
+// so every order the checker derives (po, ppo, wb, co, sem) and every view
+// problem it solves transports along the mapping, and all 18 models give
+// the same verdict to both tests (docs/PERFORMANCE.md spells the argument
+// out).  Canonicalization picks one fixed representative per class, which
+// turns "isomorphic" into "equal canonical key" — the content address used
+// by the service verdict cache, the persisted cache records, the fuzz
+// corpus dedup, and litmus::run_suite's isomorphism dedup.
+//
+// Completeness is best-effort: processor permutations are enumerated only
+// within groups of processors whose invariant signatures collide, and the
+// enumeration is capped (kMaxProcOrders).  Past the cap some isomorphic
+// pairs may canonicalize differently — that costs a cache hit, never a
+// wrong verdict, because the representative is always isomorphic to its
+// input.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "checker/witness.hpp"
+#include "litmus/test.hpp"
+
+namespace ssm::litmus {
+
+/// A canonical representative plus the mapping that produced it.
+struct Canonical {
+  /// The representative: an isomorphic clone of the input over canonical
+  /// processor names p0,p1,…, location names x0,x1,…, and per-location
+  /// write values 1,2,… in first-appearance order.  `name` is the fixed
+  /// "h"; origin and expectations are stripped.
+  LitmusTest test;
+
+  /// Canonical cache key: litmus::emit(test).  Equal for every member of
+  /// the isomorphism class (up to the enumeration cap).
+  std::string key;
+
+  /// proc_map[original ProcId] = canonical ProcId.
+  std::vector<ProcId> proc_map;
+  /// loc_map[original LocId] = canonical LocId.
+  std::vector<LocId> loc_map;
+  /// op_map[original dense OpIndex] = canonical dense OpIndex.
+  std::vector<OpIndex> op_map;
+
+  /// True when the input already was its own representative (identity
+  /// mapping AND identical symbol names/values — emit(input-stripped)
+  /// equals `key`).
+  [[nodiscard]] bool is_identity() const noexcept { return identity_; }
+  bool identity_ = false;
+};
+
+/// Canonicalizes `t`.  Requires t.hist to pass SystemHistory::validate()
+/// (guaranteed for parser- and builder-produced tests).
+[[nodiscard]] Canonical canonicalize(const LitmusTest& t);
+
+/// Just the canonical key of `t` — what run_suite's dedup and the fuzz
+/// corpus file name hash.
+[[nodiscard]] std::string canonical_key(const LitmusTest& t);
+
+/// Transports a witness certificate computed on `c.test.hist` (the
+/// canonical history) back into the frame of the original test the
+/// Canonical was built from: op indices through op_map⁻¹, the per-
+/// processor view/delta arrays through proc_map⁻¹ (per-location arrays —
+/// the Cache model's views and every coherence block — through loc_map⁻¹).
+/// The result verifies against the original history iff the input
+/// verifies against the canonical one.
+[[nodiscard]] checker::Witness remap_witness_from_canonical(
+    const checker::Witness& w, const Canonical& c);
+
+}  // namespace ssm::litmus

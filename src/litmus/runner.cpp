@@ -2,21 +2,29 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
+#include <memory>
 
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "litmus/canonical.hpp"
+#include "order/derived.hpp"
 
 namespace ssm::litmus {
 
 namespace {
 
 ModelOutcome run_cell(const LitmusTest& t, const models::Model& m,
-                      const RunOptions& options) {
+                      const RunOptions& options,
+                      const order::DerivedOrders& orders) {
   static auto& cell_time =
       common::metrics::Registry::global().histogram("litmus.cell_time_us");
   ModelOutcome mo;
   mo.model = std::string(m.name());
   const auto start = std::chrono::steady_clock::now();
+  // Every model cell of one test derives its orders from the same shared
+  // per-test cache (scoped like the ambient budget below).
+  const order::OrdersScope orders_scope(orders);
   if (options.budget.unlimited()) {
     const auto v = m.check(t.hist);
     mo.allowed = v.allowed;
@@ -46,8 +54,9 @@ TestOutcome run_test(const LitmusTest& t,
   TestOutcome out;
   out.test = t.name;
   out.per_model.reserve(models.size());
+  order::DerivedOrders orders(t.hist);
   for (const auto& m : models) {
-    out.per_model.push_back(run_cell(t, *m, options));
+    out.per_model.push_back(run_cell(t, *m, options, orders));
   }
   return out;
 }
@@ -55,31 +64,71 @@ TestOutcome run_test(const LitmusTest& t,
 std::vector<TestOutcome> run_suite(const std::vector<LitmusTest>& suite,
                                    const std::vector<models::ModelPtr>& models,
                                    const RunOptions& options) {
+  static auto& iso_hits =
+      common::metrics::Registry::global().counter("suite.iso_dedup_hits");
   const std::size_t num_models = models.size();
-  const std::size_t cells = suite.size() * num_models;
   auto& pool = common::ThreadPool::global();
   std::vector<TestOutcome> out(suite.size());
   for (std::size_t ti = 0; ti < suite.size(); ++ti) {
     out[ti].test = suite[ti].name;
     out[ti].per_model.resize(num_models);
   }
-  if (pool.jobs() <= 1 || cells <= 1) {
+
+  // Isomorphism dedup (see RunOptions::dedup_isomorphic): only the first
+  // test of each canonical-key class is checked; the rest replay its
+  // verdict below.
+  std::vector<std::size_t> rep(suite.size());
+  const bool dedup = options.dedup_isomorphic && options.budget.unlimited();
+  if (dedup) {
+    std::map<std::string, std::size_t> first_of_class;
     for (std::size_t ti = 0; ti < suite.size(); ++ti) {
-      for (std::size_t mi = 0; mi < num_models; ++mi) {
-        out[ti].per_model[mi] = run_cell(suite[ti], *models[mi], options);
-      }
+      rep[ti] = first_of_class.emplace(canonical_key(suite[ti]), ti)
+                    .first->second;
     }
-    return out;
+  } else {
+    for (std::size_t ti = 0; ti < suite.size(); ++ti) rep[ti] = ti;
   }
-  // Fan out the independent (test × model) cells.  Each task writes only
-  // its own presized slot, so result order — and therefore the rendered
-  // matrix — is byte-identical to the serial loop regardless of how the
-  // pool interleaves the work.
-  pool.parallel_for(cells, [&](std::size_t cell) {
-    const std::size_t ti = cell / num_models;
+
+  std::vector<std::size_t> reps;
+  reps.reserve(suite.size());
+  for (std::size_t ti = 0; ti < suite.size(); ++ti) {
+    if (rep[ti] == ti) reps.push_back(ti);
+  }
+  // One shared order cache per checked test (DerivedOrders is pinned in
+  // place — pool workers hold references across the fan-out).
+  std::vector<std::unique_ptr<order::DerivedOrders>> orders(suite.size());
+  for (const std::size_t ti : reps) {
+    orders[ti] = std::make_unique<order::DerivedOrders>(suite[ti].hist);
+  }
+
+  const std::size_t cells = reps.size() * num_models;
+  const auto run_one = [&](std::size_t cell) {
+    const std::size_t ti = reps[cell / num_models];
     const std::size_t mi = cell % num_models;
-    out[ti].per_model[mi] = run_cell(suite[ti], *models[mi], options);
-  });
+    out[ti].per_model[mi] =
+        run_cell(suite[ti], *models[mi], options, *orders[ti]);
+  };
+  if (pool.jobs() <= 1 || cells <= 1) {
+    for (std::size_t cell = 0; cell < cells; ++cell) run_one(cell);
+  } else {
+    // Fan out the independent (test × model) cells.  Each task writes only
+    // its own presized slot, so result order — and therefore the rendered
+    // matrix — is byte-identical to the serial loop regardless of how the
+    // pool interleaves the work.
+    pool.parallel_for(cells, run_one);
+  }
+
+  // Replay representative verdicts to the deduplicated members.  Verdicts
+  // transport along the isomorphism; expectations are the member's own.
+  for (std::size_t ti = 0; ti < suite.size(); ++ti) {
+    if (rep[ti] == ti) continue;
+    for (std::size_t mi = 0; mi < num_models; ++mi) {
+      ModelOutcome mo = out[rep[ti]].per_model[mi];
+      mo.expected = suite[ti].expectation(mo.model);
+      out[ti].per_model[mi] = std::move(mo);
+    }
+    iso_hits.add(num_models);
+  }
   return out;
 }
 

@@ -44,6 +44,15 @@ struct TestOutcome {
 /// cell cannot starve the rest of the matrix.  Default: unlimited.
 struct RunOptions {
   checker::BudgetSpec budget;
+  /// run_suite checks one representative per isomorphism class (see
+  /// litmus/canonical.hpp) and replays its verdict to the other members,
+  /// whose expectations are still evaluated against their own expect lines.
+  /// Sound because isomorphic tests get identical verdicts from every
+  /// model; the replayed cells count into `suite.iso_dedup_hits`.  Only
+  /// active when the budget is unlimited — under a budget, isomorphic
+  /// tests may exhaust at different points (search order follows operation
+  /// indices, which the isomorphism permutes), so every cell runs.
+  bool dedup_isomorphic = true;
 };
 
 /// Runs one test against the given models.

@@ -11,7 +11,7 @@
 #include "checker/scope.hpp"
 #include "models/models.hpp"
 #include "models/per_processor.hpp"
-#include "order/orders.hpp"
+#include "order/derived.hpp"
 
 namespace ssm::models {
 namespace {
@@ -25,7 +25,8 @@ class CacheModel final : public Model {
   }
 
   Verdict check(const SystemHistory& h) const override {
-    const auto po = order::program_order(h);
+    const order::Orders ord(h);
+    const auto& po = ord.po();
     std::vector<checker::View> per_loc;
     per_loc.reserve(h.num_locations());
     for (LocId loc = 0; loc < h.num_locations(); ++loc) {
@@ -50,7 +51,8 @@ class CacheModel final : public Model {
     if (v.views.size() != h.num_locations()) {
       return "cache witness must have one view per location";
     }
-    const auto po = order::program_order(h);
+    const order::Orders ord(h);
+    const auto& po = ord.po();
     for (LocId loc = 0; loc < h.num_locations(); ++loc) {
       const auto universe = checker::ops_on(h, loc);
       if (auto err = checker::verify_view(h, universe, po, v.views[loc])) {

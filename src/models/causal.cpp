@@ -3,7 +3,7 @@
 #include "checker/scope.hpp"
 #include "models/models.hpp"
 #include "models/per_processor.hpp"
-#include "order/orders.hpp"
+#include "order/derived.hpp"
 
 namespace ssm::models {
 namespace {
@@ -17,7 +17,8 @@ class CausalModel final : public Model {
   }
 
   Verdict check(const SystemHistory& h) const override {
-    const auto co = order::causal_order(h);
+    const order::Orders ord(h);
+    const auto& co = ord.co();
     if (!co.is_acyclic()) {
       return Verdict::no("causal order is cyclic");
     }
@@ -31,7 +32,8 @@ class CausalModel final : public Model {
 
   std::optional<std::string> verify_witness(const SystemHistory& h,
                                             const Verdict& v) const override {
-    const auto co = order::causal_order(h);
+    const order::Orders ord(h);
+    const auto& co = ord.co();
     return verify_per_processor(h, [&](ProcId p) {
       return ViewProblem{checker::own_plus_writes(h, p), co,
                          checker::remote_rmw_reads(h, p)};

@@ -11,7 +11,7 @@
 #include "models/models.hpp"
 #include "models/per_processor.hpp"
 #include "order/coherence.hpp"
-#include "order/orders.hpp"
+#include "order/derived.hpp"
 
 namespace ssm::models {
 namespace {
@@ -35,7 +35,8 @@ class CausalCoherentModel final : public Model {
     if (labeled_only_) {
       if (auto err = check_properly_labeled(h)) return Verdict::no(*err);
     }
-    const auto co = order::causal_order(h);
+    const order::Orders ord(h);
+    const auto& co = ord.co();
     if (!co.is_acyclic()) return Verdict::no("causal order is cyclic");
     Verdict result = Verdict::no();
     // For the labeled-only variant, restrict the enumerated per-location
@@ -68,8 +69,8 @@ class CausalCoherentModel final : public Model {
     if (!v.coherence) {
       return std::string(name()) + " witness lacks a coherence order";
     }
-    rel::Relation constraints =
-        order::causal_order(h) | coherence_chain(h, *v.coherence);
+    const order::Orders ord(h);
+    rel::Relation constraints = ord.co() | coherence_chain(h, *v.coherence);
     return verify_per_processor(h, [&](ProcId p) {
       return ViewProblem{checker::own_plus_writes(h, p), constraints,
                          checker::remote_rmw_reads(h, p)};

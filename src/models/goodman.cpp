@@ -10,7 +10,7 @@
 #include "models/models.hpp"
 #include "models/per_processor.hpp"
 #include "order/coherence.hpp"
-#include "order/orders.hpp"
+#include "order/derived.hpp"
 
 namespace ssm::models {
 namespace {
@@ -23,7 +23,8 @@ class GoodmanModel final : public Model {
   }
 
   Verdict check(const SystemHistory& h) const override {
-    const auto po = order::program_order(h);
+    const order::Orders ord(h);
+    const auto& po = ord.po();
     Verdict result = Verdict::no();
     order::for_each_coherence_order(
         h, po, [&](const order::CoherenceOrder& coh) {
@@ -48,8 +49,8 @@ class GoodmanModel final : public Model {
                                             const Verdict& v) const override {
     if (!v.allowed) return std::nullopt;
     if (!v.coherence) return "PCg witness lacks a coherence order";
-    rel::Relation constraints =
-        order::program_order(h) | v.coherence->as_relation();
+    const order::Orders ord(h);
+    rel::Relation constraints = ord.po() | v.coherence->as_relation();
     return verify_per_processor(h, [&](ProcId p) {
       return ViewProblem{checker::own_plus_writes(h, p), constraints,
                          checker::remote_rmw_reads(h, p)};

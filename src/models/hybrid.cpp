@@ -16,7 +16,7 @@
 #include "models/labeling.hpp"
 #include "models/models.hpp"
 #include "models/per_processor.hpp"
-#include "order/orders.hpp"
+#include "order/derived.hpp"
 
 namespace ssm::models {
 namespace {
@@ -47,7 +47,8 @@ class HybridModel final : public Model {
 
   Verdict check(const SystemHistory& h) const override {
     if (auto err = check_properly_labeled(h)) return Verdict::no(*err);
-    const auto po = order::program_order(h);
+    const order::Orders ord(h);
+    const auto& po = ord.po();
     const auto hybrid = hybrid_edges(h);
     const auto labeled = checker::labeled_ops(h);
     std::vector<rel::Relation> own_po;
@@ -81,14 +82,15 @@ class HybridModel final : public Model {
                                             const Verdict& v) const override {
     if (!v.allowed) return std::nullopt;
     if (!v.labeled_order) return "HC witness lacks a strong-op order";
+    const order::Orders ord(h);
     const auto labeled = checker::labeled_ops(h);
-    if (auto err = checker::verify_view(h, labeled, order::program_order(h),
-                                        *v.labeled_order)) {
+    if (auto err =
+            checker::verify_view(h, labeled, ord.po(), *v.labeled_order)) {
       return "strong order: " + *err;
     }
     rel::Relation constraints =
         hybrid_edges(h) | chain_relation(h.size(), *v.labeled_order);
-    const auto po = order::program_order(h);
+    const auto& po = ord.po();
     return verify_per_processor(h, [&](ProcId p) {
       rel::DynBitset own(h.size());
       for (OpIndex i : h.processor_ops(p)) own.set(i);

@@ -13,6 +13,7 @@
 #include "checker/scope.hpp"
 #include "models/models.hpp"
 #include "models/per_processor.hpp"
+#include "order/derived.hpp"
 #include "order/semi_causal.hpp"
 
 namespace ssm::models {
@@ -27,13 +28,15 @@ class PcModel final : public Model {
   }
 
   Verdict check(const SystemHistory& h) const override {
-    const auto ppo = order::partial_program_order(h);
+    const order::Orders ord(h);
+    const auto& ppo = ord.ppo();
+    const auto& rwb = ord.rwb();
     Verdict result = Verdict::no();
     order::for_each_coherence_order(
         h, ppo, [&](const order::CoherenceOrder& coh) {
           if (!checker::charge_budget(1)) return false;
           rel::Relation constraints =
-              order::semi_causal(h, ppo, coh) | coh.as_relation();
+              order::semi_causal(h, ppo, rwb, coh) | coh.as_relation();
           if (!constraints.is_acyclic()) return true;  // next coherence order
           Verdict attempt;
           if (solve_per_processor(h, [&](ProcId p) {
@@ -54,9 +57,11 @@ class PcModel final : public Model {
                                             const Verdict& v) const override {
     if (!v.allowed) return std::nullopt;
     if (!v.coherence) return "PC witness lacks a coherence order";
-    const auto ppo = order::partial_program_order(h);
+    const order::Orders ord(h);
+    const auto& ppo = ord.ppo();
     rel::Relation constraints =
-        order::semi_causal(h, ppo, *v.coherence) | v.coherence->as_relation();
+        order::semi_causal(h, ppo, ord.rwb(), *v.coherence) |
+        v.coherence->as_relation();
     return verify_per_processor(h, [&](ProcId p) {
       return ViewProblem{checker::own_plus_writes(h, p), constraints,
                          checker::remote_rmw_reads(h, p)};

@@ -18,7 +18,7 @@ bool solve_per_processor(const SystemHistory& h, const ViewProblemFn& problem,
       ViewProblem vp = problem(p);
       if (vp.exempt.size() != h.size()) vp.exempt = DynBitset(h.size());
       auto view =
-          checker::find_legal_view(h, vp.universe, vp.constraints, vp.exempt);
+          checker::find_legal_view(h, vp.universe, vp.constraints(), vp.exempt);
       if (!view) return false;
       views[p] = std::move(*view);
     }
@@ -39,7 +39,7 @@ bool solve_per_processor(const SystemHistory& h, const ViewProblemFn& problem,
       ViewProblem vp = problem(static_cast<ProcId>(p));
       if (vp.exempt.size() != h.size()) vp.exempt = DynBitset(h.size());
       const checker::SearchControl control(&failed, budget, &cancel_ns);
-      auto view = checker::find_legal_view(h, vp.universe, vp.constraints,
+      auto view = checker::find_legal_view(h, vp.universe, vp.constraints(),
                                            vp.exempt, control);
       if (view) {
         views[p] = std::move(*view);
@@ -77,7 +77,7 @@ std::optional<std::string> verify_per_processor(const SystemHistory& h,
   for (ProcId p = 0; p < h.num_processors(); ++p) {
     ViewProblem vp = problem(p);
     if (vp.exempt.size() != h.size()) vp.exempt = DynBitset(h.size());
-    if (auto err = checker::verify_view(h, vp.universe, vp.constraints,
+    if (auto err = checker::verify_view(h, vp.universe, vp.constraints(),
                                         v.views[p], vp.exempt)) {
       return "processor " + std::to_string(p) + ": " + *err;
     }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 
 #include "checker/legality.hpp"
 #include "checker/scope.hpp"
@@ -21,16 +22,50 @@ using history::SystemHistory;
 /// Supplies, for processor p, the universe of its view (paper parameter 1)
 /// and the constraint relation its view must extend (parameters 2+3, with
 /// mutual-consistency choices already baked in as chain edges).
+///
+/// The constraint relation is borrowed when constructed from an lvalue
+/// (the common case: one shared relation per coherence candidate, handed
+/// to every processor's problem) and owned when constructed from a
+/// temporary (e.g. `shared | own_ppo[p]`).  Borrowing skips a per-problem
+/// deep copy of the relation's row bitsets; the caller's lambda — alive
+/// for the whole solve — keeps the referent valid.
 struct ViewProblem {
-  ViewProblem(DynBitset u, Relation c)
-      : universe(std::move(u)), constraints(std::move(c)) {}
-  ViewProblem(DynBitset u, Relation c, DynBitset e)
+  ViewProblem(DynBitset u, const Relation& c)
+      : universe(std::move(u)), constraints_(&c) {}
+  ViewProblem(DynBitset u, Relation&& c)
+      : universe(std::move(u)), owned_(std::move(c)), constraints_(&*owned_) {}
+  ViewProblem(DynBitset u, const Relation& c, DynBitset e)
+      : universe(std::move(u)), constraints_(&c), exempt(std::move(e)) {}
+  ViewProblem(DynBitset u, Relation&& c, DynBitset e)
       : universe(std::move(u)),
-        constraints(std::move(c)),
+        owned_(std::move(c)),
+        constraints_(&*owned_),
         exempt(std::move(e)) {}
 
+  ViewProblem(ViewProblem&& o) noexcept
+      : universe(std::move(o.universe)),
+        owned_(std::move(o.owned_)),
+        // An owning problem's pointer must follow its relation into the
+        // new object; a borrowing one keeps pointing at the caller's.
+        constraints_(o.owned_.has_value() && o.constraints_ == &*o.owned_
+                         ? &*owned_
+                         : o.constraints_),
+        exempt(std::move(o.exempt)) {}
+  ViewProblem(const ViewProblem&) = delete;
+  ViewProblem& operator=(const ViewProblem&) = delete;
+  ViewProblem& operator=(ViewProblem&&) = delete;
+
+  [[nodiscard]] const Relation& constraints() const noexcept {
+    return *constraints_;
+  }
+
   DynBitset universe;
-  Relation constraints;
+
+ private:
+  std::optional<Relation> owned_;
+  const Relation* constraints_;
+
+ public:
   /// Reads excused from the legality gate (see checker::find_legal_view);
   /// empty (default) means every read is checked.
   DynBitset exempt;

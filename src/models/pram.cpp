@@ -5,7 +5,7 @@
 #include "checker/scope.hpp"
 #include "models/models.hpp"
 #include "models/per_processor.hpp"
-#include "order/orders.hpp"
+#include "order/derived.hpp"
 
 namespace ssm::models {
 namespace {
@@ -19,7 +19,8 @@ class PramModel final : public Model {
   }
 
   Verdict check(const SystemHistory& h) const override {
-    const auto po = order::program_order(h);
+    const order::Orders ord(h);
+    const auto& po = ord.po();
     Verdict v;
     solve_per_processor(h, [&](ProcId p) {
       return ViewProblem{checker::own_plus_writes(h, p), po,
@@ -30,7 +31,8 @@ class PramModel final : public Model {
 
   std::optional<std::string> verify_witness(const SystemHistory& h,
                                             const Verdict& v) const override {
-    const auto po = order::program_order(h);
+    const order::Orders ord(h);
+    const auto& po = ord.po();
     return verify_per_processor(h, [&](ProcId p) {
       return ViewProblem{checker::own_plus_writes(h, p), po,
                          checker::remote_rmw_reads(h, p)};

@@ -37,6 +37,7 @@
 #include "models/labeling.hpp"
 #include "models/models.hpp"
 #include "models/per_processor.hpp"
+#include "order/derived.hpp"
 #include "order/semi_causal.hpp"
 
 namespace ssm::models {
@@ -102,8 +103,9 @@ class RcModel final : public Model {
 
   Verdict check(const SystemHistory& h) const override {
     if (auto err = check_properly_labeled(h)) return Verdict::no(*err);
-    const auto ppo = order::partial_program_order(h);
-    const auto po = order::program_order(h);
+    const order::Orders ord(h);
+    const auto& ppo = ord.ppo();
+    const auto& po = ord.po();
     const auto brackets = bracket_edges(h);
     const auto labeled = checker::labeled_ops(h);
     // ppo applies only within the issuing processor's own view, so each
@@ -186,17 +188,17 @@ class RcModel final : public Model {
                                             const Verdict& v) const override {
     if (!v.allowed) return std::nullopt;
     if (!v.coherence) return "RC witness lacks a coherence order";
-    const auto ppo = order::partial_program_order(h);
+    const order::Orders ord(h);
+    const auto& ppo = ord.ppo();
     rel::Relation constraints = v.coherence->as_relation() | bracket_edges(h);
     if (labeled_ == Labeled::Goodman) {
-      constraints |=
-          order::program_order(h).restricted_to(checker::labeled_ops(h));
+      constraints |= ord.po().restricted_to(checker::labeled_ops(h));
     } else if (labeled_ == Labeled::Sc) {
       if (!v.labeled_order) return "RCsc witness lacks a labeled order";
       // The labeled order itself must be a legal SC view of labeled ops.
       const auto labeled = checker::labeled_ops(h);
-      if (auto err = checker::verify_view(h, labeled, order::program_order(h),
-                                          *v.labeled_order)) {
+      if (auto err =
+              checker::verify_view(h, labeled, ord.po(), *v.labeled_order)) {
         return "labeled order: " + *err;
       }
       constraints |= chain_relation(h.size(), *v.labeled_order);

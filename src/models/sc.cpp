@@ -6,7 +6,7 @@
 #include "checker/scope.hpp"
 #include "models/models.hpp"
 #include "models/per_processor.hpp"
-#include "order/orders.hpp"
+#include "order/derived.hpp"
 
 namespace ssm::models {
 namespace {
@@ -21,7 +21,8 @@ class ScModel final : public Model {
 
   Verdict check(const SystemHistory& h) const override {
     const auto universe = checker::all_ops(h);
-    const auto po = order::program_order(h);
+    const order::Orders ord(h);
+    const auto& po = ord.po();
     auto view = checker::find_legal_view(h, universe, po);
     if (!view) return checker::resolve_with_budget(Verdict::no());
     Verdict v = Verdict::yes();
@@ -33,7 +34,8 @@ class ScModel final : public Model {
                                             const Verdict& v) const override {
     if (!v.allowed) return std::nullopt;
     const auto universe = checker::all_ops(h);
-    const auto po = order::program_order(h);
+    const order::Orders ord(h);
+    const auto& po = ord.po();
     if (v.views.empty()) return "SC witness has no views";
     for (std::size_t p = 1; p < v.views.size(); ++p) {
       if (v.views[p] != v.views[0]) {

@@ -20,7 +20,7 @@
 #include "checker/scope.hpp"
 #include "models/models.hpp"
 #include "models/per_processor.hpp"
-#include "order/orders.hpp"
+#include "order/derived.hpp"
 #include "relation/topo.hpp"
 
 namespace ssm::models {
@@ -99,8 +99,10 @@ class TsoModel final : public Model {
   }
 
   Verdict check(const SystemHistory& h) const override {
-    const rel::Relation ppo = forwarding_ ? forwarding_ppo(h)
-                                          : order::partial_program_order(h);
+    const order::Orders ord(h);
+    const rel::Relation fwd_ppo =
+        forwarding_ ? forwarding_ppo(h) : rel::Relation();
+    const rel::Relation& ppo = forwarding_ ? fwd_ppo : ord.ppo();
     const rel::DynBitset exempt =
         forwarding_ ? forwarded_reads(h) : rel::DynBitset(h.size());
     const auto writes = checker::write_ops(h);
@@ -129,8 +131,10 @@ class TsoModel final : public Model {
                                             const Verdict& v) const override {
     if (!v.allowed) return std::nullopt;
     if (!v.labeled_order) return "TSO witness lacks a global write order";
-    const rel::Relation ppo = forwarding_ ? forwarding_ppo(h)
-                                          : order::partial_program_order(h);
+    const order::Orders ord(h);
+    const rel::Relation fwd_ppo =
+        forwarding_ ? forwarding_ppo(h) : rel::Relation();
+    const rel::Relation& ppo = forwarding_ ? fwd_ppo : ord.ppo();
     const auto writes = checker::write_ops(h);
     if (v.labeled_order->size() != writes.count()) {
       return "TSO witness write order has wrong size";

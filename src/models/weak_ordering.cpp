@@ -16,7 +16,7 @@
 #include "models/labeling.hpp"
 #include "models/models.hpp"
 #include "models/per_processor.hpp"
-#include "order/orders.hpp"
+#include "order/derived.hpp"
 
 namespace ssm::models {
 namespace {
@@ -47,8 +47,9 @@ class WeakOrderingModel final : public Model {
 
   Verdict check(const SystemHistory& h) const override {
     if (auto err = check_properly_labeled(h)) return Verdict::no(*err);
-    const auto ppo = order::partial_program_order(h);
-    const auto po = order::program_order(h);
+    const order::Orders ord(h);
+    const auto& ppo = ord.ppo();
+    const auto& po = ord.po();
     // Dubois' conditions make synchronization reads "globally performed"
     // before later accesses issue, which is exactly the RC publication
     // bracket; WO = fences + brackets + coherence + SC sync ops.
@@ -94,12 +95,13 @@ class WeakOrderingModel final : public Model {
     if (!v.allowed) return std::nullopt;
     if (!v.coherence) return "WO witness lacks a coherence order";
     if (!v.labeled_order) return "WO witness lacks a labeled order";
+    const order::Orders ord(h);
     const auto labeled = checker::labeled_ops(h);
-    if (auto err = checker::verify_view(h, labeled, order::program_order(h),
-                                        *v.labeled_order)) {
+    if (auto err =
+            checker::verify_view(h, labeled, ord.po(), *v.labeled_order)) {
       return "labeled order: " + *err;
     }
-    const auto ppo = order::partial_program_order(h);
+    const auto& ppo = ord.ppo();
     rel::Relation constraints = v.coherence->as_relation() | fence_edges(h) |
                                 bracket_edges(h) |
                                 chain_relation(h.size(), *v.labeled_order);

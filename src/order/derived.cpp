@@ -1,0 +1,65 @@
+#include "order/derived.hpp"
+
+#include "common/metrics.hpp"
+
+namespace ssm::order {
+namespace {
+
+thread_local const DerivedOrders* g_current_orders = nullptr;
+
+common::metrics::Counter& reuse_counter() {
+  static auto& c =
+      common::metrics::Registry::global().counter("checker.order_derive_reuse");
+  return c;
+}
+
+}  // namespace
+
+template <typename Build>
+const Relation& DerivedOrders::materialize(Slot& slot, Build&& build) const {
+  if (slot.ready.load(std::memory_order_acquire)) {
+    if (shared_.load(std::memory_order_relaxed)) reuse_counter().add();
+    return slot.rel;
+  }
+  std::call_once(slot.once, [&] {
+    slot.rel = build();
+    slot.ready.store(true, std::memory_order_release);
+  });
+  return slot.rel;
+}
+
+const Relation& DerivedOrders::po() const {
+  return materialize(po_, [&] { return program_order(*h_); });
+}
+
+const Relation& DerivedOrders::ppo() const {
+  return materialize(ppo_, [&] { return partial_program_order(*h_); });
+}
+
+const Relation& DerivedOrders::wb() const {
+  return materialize(wb_, [&] { return writes_before(*h_); });
+}
+
+const Relation& DerivedOrders::co() const {
+  return materialize(co_, [&] { return causal_order(*h_); });
+}
+
+const Relation& DerivedOrders::rwb() const {
+  return materialize(rwb_, [&] { return remote_writes_before(*h_, ppo()); });
+}
+
+OrdersScope::OrdersScope(const DerivedOrders& d) noexcept
+    : prev_(g_current_orders) {
+  d.shared_.store(true, std::memory_order_relaxed);
+  g_current_orders = &d;
+}
+
+OrdersScope::~OrdersScope() { g_current_orders = prev_; }
+
+const DerivedOrders* OrdersScope::current(const SystemHistory& h) noexcept {
+  const DerivedOrders* d = g_current_orders;
+  if (d != nullptr && &d->history() == &h) return d;
+  return nullptr;
+}
+
+}  // namespace ssm::order

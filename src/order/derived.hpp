@@ -1,0 +1,115 @@
+// DerivedOrders: the derived orders of one history (po, ppo, wb, co, and
+// the coherence-independent rwb component of sem) computed once and shared
+// by every model cell checking that history.
+//
+// The paper derives every model's legality constraints from the same small
+// family of orders over H; before this layer each of the 18 model cells
+// re-derived them from scratch.  A DerivedOrders is a lazy, thread-safe
+// per-history cache: each order materializes on first request (std::call_once)
+// and is then served by reference to all callers — including litmus
+// run_suite's thread-pool workers, which check different models of one test
+// concurrently.
+//
+// Plumbing mirrors the ambient-budget pattern (checker/budget.hpp): a
+// driver that will check one history against many models builds one
+// DerivedOrders and installs it for the current thread with an OrdersScope;
+// model code constructs a stack `Orders` handle from the history it was
+// handed, which binds the ambient cache when it describes the same history
+// and otherwise falls back to a private one.  Model code is therefore
+// correct with or without a scope installed.
+//
+// Metrics: `checker.order_derive_reuse` counts requests served from an
+// already-materialized order of a *shared* (scope-installed) cache — the
+// work the layer avoids (docs/OBSERVABILITY.md, docs/PERFORMANCE.md).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+
+#include "order/orders.hpp"
+#include "order/semi_causal.hpp"
+
+namespace ssm::order {
+
+class DerivedOrders {
+ public:
+  explicit DerivedOrders(const SystemHistory& h) : h_(&h) {}
+  DerivedOrders(const DerivedOrders&) = delete;
+  DerivedOrders& operator=(const DerivedOrders&) = delete;
+
+  [[nodiscard]] const SystemHistory& history() const noexcept { return *h_; }
+
+  [[nodiscard]] const Relation& po() const;
+  [[nodiscard]] const Relation& ppo() const;
+  [[nodiscard]] const Relation& wb() const;
+  [[nodiscard]] const Relation& co() const;
+  /// remote_writes_before(h, ppo()) — the coherence-independent part of
+  /// sem; PC-family models combine it with per-coherence rrb via the
+  /// semi_causal(h, ppo, rwb, coh) overload.
+  [[nodiscard]] const Relation& rwb() const;
+
+ private:
+  friend class OrdersScope;
+
+  struct Slot {
+    std::once_flag once;
+    Relation rel;
+    std::atomic<bool> ready{false};
+  };
+
+  template <typename Build>
+  const Relation& materialize(Slot& slot, Build&& build) const;
+
+  const SystemHistory* h_;
+  /// Set by OrdersScope: reuse of a shared cache is the metric-worthy event.
+  mutable std::atomic<bool> shared_{false};
+  mutable Slot po_, ppo_, wb_, co_, rwb_;
+};
+
+/// RAII installation of the calling thread's ambient DerivedOrders
+/// (nestable; restores the previous one on destruction).
+class OrdersScope {
+ public:
+  explicit OrdersScope(const DerivedOrders& d) noexcept;
+  ~OrdersScope();
+  OrdersScope(const OrdersScope&) = delete;
+  OrdersScope& operator=(const OrdersScope&) = delete;
+
+  /// The ambient cache iff it describes `h` (same object), else nullptr.
+  [[nodiscard]] static const DerivedOrders* current(
+      const SystemHistory& h) noexcept;
+
+ private:
+  const DerivedOrders* prev_;
+};
+
+/// Stack handle model code uses in place of direct order:: calls:
+///
+///   order::Orders ord(h);
+///   const Relation& po = ord.po();
+///
+/// Binds the ambient shared cache when one is installed for `h`, otherwise
+/// owns a private lazy cache (same results, no sharing).
+class Orders {
+ public:
+  explicit Orders(const SystemHistory& h) : shared_(OrdersScope::current(h)) {
+    if (shared_ == nullptr) owned_.emplace(h);
+  }
+
+  [[nodiscard]] const Relation& po() const { return src().po(); }
+  [[nodiscard]] const Relation& ppo() const { return src().ppo(); }
+  [[nodiscard]] const Relation& wb() const { return src().wb(); }
+  [[nodiscard]] const Relation& co() const { return src().co(); }
+  [[nodiscard]] const Relation& rwb() const { return src().rwb(); }
+
+ private:
+  [[nodiscard]] const DerivedOrders& src() const {
+    return shared_ != nullptr ? *shared_ : *owned_;
+  }
+
+  const DerivedOrders* shared_;
+  std::optional<DerivedOrders> owned_;
+};
+
+}  // namespace ssm::order

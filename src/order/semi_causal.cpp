@@ -42,8 +42,13 @@ Relation remote_reads_before(const SystemHistory& h, const Relation& ppo,
 
 Relation semi_causal(const SystemHistory& h, const Relation& ppo,
                      const CoherenceOrder& coh) {
+  return semi_causal(h, ppo, remote_writes_before(h, ppo), coh);
+}
+
+Relation semi_causal(const SystemHistory& h, const Relation& ppo,
+                     const Relation& rwb, const CoherenceOrder& coh) {
   Relation r = ppo;
-  r |= remote_writes_before(h, ppo);
+  r |= rwb;
   r |= remote_reads_before(h, ppo, coh);
   return r.transitive_closure();
 }

@@ -28,4 +28,11 @@ namespace ssm::order {
                                    const Relation& ppo,
                                    const CoherenceOrder& coh);
 
+/// As above with rwb precomputed — rwb depends only on ppo, so callers
+/// enumerating coherence orders (PC family) hoist it out of the loop
+/// (typically via order::DerivedOrders::rwb()).
+[[nodiscard]] Relation semi_causal(const SystemHistory& h,
+                                   const Relation& ppo, const Relation& rwb,
+                                   const CoherenceOrder& coh);
+
 }  // namespace ssm::order

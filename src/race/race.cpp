@@ -1,7 +1,7 @@
 #include "race/race.hpp"
 
 #include "history/print.hpp"
-#include "order/orders.hpp"
+#include "order/derived.hpp"
 
 namespace ssm::race {
 
@@ -16,7 +16,7 @@ rel::Relation synchronizes_with(const SystemHistory& h) {
 }
 
 rel::Relation happens_before(const SystemHistory& h) {
-  rel::Relation hb = order::program_order(h);
+  rel::Relation hb = order::Orders(h).po();
   hb |= synchronizes_with(h);
   return hb.transitive_closure();
 }

@@ -33,6 +33,14 @@ class DynBitset {
     for (auto& w : words_) w = 0;
   }
 
+  /// Resize to `bits` with all bits cleared, reusing the word storage
+  /// (the checker's per-thread scratch bitsets are recycled across
+  /// searches of different histories).
+  void assign(std::size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
   [[nodiscard]] bool any() const noexcept {
     for (auto w : words_) {
       if (w) return true;

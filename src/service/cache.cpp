@@ -12,7 +12,7 @@
 #include "checker/witness_verifier.hpp"
 #include "common/json.hpp"
 #include "common/types.hpp"
-#include "litmus/emit.hpp"
+#include "litmus/canonical.hpp"
 #include "litmus/parser.hpp"
 
 namespace ssm::service {
@@ -40,15 +40,23 @@ std::string hex16(std::uint64_t v) {
 }
 
 std::string canonical_program(const litmus::LitmusTest& t) {
-  litmus::LitmusTest bare;
-  bare.name = "h";
-  bare.hist = t.hist;
-  return litmus::emit(bare);
+  // Full symmetry canonicalization (litmus/canonical.hpp): processor
+  // permutations, location renamings, and write-value renamings of one
+  // program all share a single cache entry.  Verdicts transport along the
+  // isomorphism, so the entry is correct for every member of the class;
+  // witnesses are stored in canonical coordinates and remapped per
+  // response (server.cpp).
+  return litmus::canonicalize(t).key;
 }
 
 namespace {
 
-constexpr std::uint64_t kRecordVersion = 1;
+// Version 2: `program` is the full symmetry-canonical form, not just the
+// name/expectation-stripped emit.  Version-1 records are keyed on
+// non-canonical text — a v1 key would never be looked up again and, worse,
+// its witness is in the old coordinates — so reload skips them (counted in
+// LoadReport::stale_version).
+constexpr std::uint64_t kRecordVersion = 2;
 
 /// Length-prefixes each field so boundaries cannot be confused by crafted
 /// contents; shared by the key hash and the record checksum.
@@ -287,6 +295,19 @@ VerdictCache::LoadReport VerdictCache::load_persistent() {
       ++report.loaded;
     } else {
       ++report.skipped;
+      // Distinguish upgrade churn from corruption: a well-formed record
+      // whose version predates kRecordVersion is the expected aftermath of
+      // a cache-format bump, not a damaged file.
+      try {
+        const json::Value doc = json::parse(text.str());
+        if (doc.is_object()) {
+          if (const json::Value* v = doc.find("version");
+              v != nullptr && v->as_u64() != kRecordVersion) {
+            ++report.stale_version;
+          }
+        }
+      } catch (const InvalidInput&) {
+      }
     }
   }
   return report;

@@ -4,9 +4,12 @@
 // budget) triple always yields the same verdict and, for a positive one,
 // the same witness certificate bytes (docs/PARALLELISM.md).  That makes
 // verdicts perfectly cacheable: the key is the *canonical* litmus program
-// (litmus::emit of the bare history — name, origin and expectations
-// stripped, so renamed copies of one program share an entry), the model
-// name, and the effective budget caps.
+// (litmus::canonicalize — name, origin and expectations stripped, then
+// processors, locations and write values canonically renamed, so every
+// isomorphic variant of one program shares an entry), the model name, and
+// the effective budget caps.  Cached witnesses are in canonical
+// coordinates; the server remaps them back per response
+// (litmus::remap_witness_from_canonical) and re-verifies the result.
 //
 // Two layers:
 //   * a sharded in-memory LRU (mutex per shard, keyed by fnv1a-picked
@@ -51,10 +54,11 @@ struct CacheKey {
   bool operator==(const CacheKey&) const = default;
 };
 
-/// Canonical cache text for a litmus test: the emitted history alone,
-/// under a fixed name, with origin and expectations stripped.  Two
-/// structurally identical programs submitted under different names hash
-/// to the same entry.
+/// Canonical cache text for a litmus test: the symmetry-canonical form
+/// (litmus::canonicalize — name, origin and expectations stripped, then
+/// processors/locations/write-values canonically renamed).  Every program
+/// in one isomorphism class hashes to the same entry, not just renamed
+/// copies with identical structure.
 [[nodiscard]] std::string canonical_program(const litmus::LitmusTest& t);
 
 /// Canonical flat rendering of all key fields (length-prefixed, so field
@@ -103,6 +107,11 @@ class VerdictCache {
   struct LoadReport {
     std::size_t loaded = 0;   ///< records accepted into the memory layer
     std::size_t skipped = 0;  ///< corrupt / stale / failed re-verification
+    /// Subset of `skipped`: well-formed records written by an older
+    /// kRecordVersion (e.g. v1 records keyed on non-canonical program
+    /// text).  Expected after an upgrade; they re-materialize at v2 as
+    /// programs are re-checked.
+    std::size_t stale_version = 0;
   };
 
   explicit VerdictCache(Options options);

@@ -20,6 +20,7 @@
 #include "checker/witness_verifier.hpp"
 #include "common/metrics.hpp"
 #include "common/types.hpp"
+#include "litmus/canonical.hpp"
 #include "litmus/parser.hpp"
 #include "models/registry.hpp"
 
@@ -219,8 +220,15 @@ CheckResponse CheckService::handle_check(const CheckRequest& req) {
   }
 
   const checker::BudgetSpec budget = effective_budget(req.budget);
+  // Solve (and cache) the canonical clone: every isomorphic variant of
+  // this program maps to the same key, so permuted/renamed resubmissions
+  // are cache hits.  Witnesses come back in canonical coordinates and are
+  // remapped to the submitted program below.
+  static auto& canonical_hits =
+      metrics::Registry::global().counter("service.cache_canonical_hits");
+  const litmus::Canonical canon = litmus::canonicalize(test);
   CacheKey key;
-  key.program = canonical_program(test);
+  key.program = canon.key;
   key.max_nodes = budget.max_nodes;
   key.timeout_ms = budget.timeout_ms;
 
@@ -229,15 +237,30 @@ CheckResponse CheckService::handle_check(const CheckRequest& req) {
     key.model = name;
     std::string source;
     const CachedVerdict v =
-        lookup_or_solve(key, test, req.no_cache, budget, source);
+        lookup_or_solve(key, canon.test, req.no_cache, budget, source);
     ModelResult r;
     r.model = name;
     r.verdict = to_string(v.status);
     r.source = source;
     r.witness_json = v.witness_json;
     r.note = v.note;
+    if (!canon.is_identity() && !v.witness_json.empty()) {
+      // The cached certificate proves the canonical clone; transport it
+      // along the inverse isomorphism and re-verify against the program
+      // the client actually sent — a remap bug must surface as `internal`,
+      // never ship as a wrong certificate.
+      const checker::Witness remapped = litmus::remap_witness_from_canonical(
+          checker::witness_from_json(v.witness_json), canon);
+      if (const auto err = checker::verify_witness(test.hist, remapped)) {
+        throw ProtocolError(
+            "internal",
+            "remapped witness failed independent re-verification: " + *err);
+      }
+      r.witness_json = checker::to_json(remapped);
+    }
     if (source == "cache") {
       ++resp.cache_hits;
+      if (!canon.is_identity()) canonical_hits.add();
     } else if (source == "dedup") {
       ++resp.dedup_waits;
     } else {
@@ -283,8 +306,11 @@ CheckService::PreloadReport CheckService::preload(
     }
     ++report.files;
     for (const litmus::LitmusTest& test : tests) {
+      // Warm the canonical clone — the same entry handle_check will look
+      // up for any isomorphic variant of this corpus program.
+      const litmus::Canonical canon = litmus::canonicalize(test);
       CacheKey key;
-      key.program = canonical_program(test);
+      key.program = canon.key;
       key.max_nodes = budget.max_nodes;
       key.timeout_ms = budget.timeout_ms;
       for (const std::string& name : names) {
@@ -293,7 +319,7 @@ CheckService::PreloadReport CheckService::preload(
           ++report.skipped;  // already warm (e.g. from the persistent layer)
           continue;
         }
-        cache_.put(key, solve(test, name, budget));
+        cache_.put(key, solve(canon.test, name, budget));
         ++report.loaded;
       }
     }

@@ -9,6 +9,7 @@
 #include "checker/legality.hpp"
 #include "common/thread_pool.hpp"
 #include "history/builder.hpp"
+#include "litmus/canonical.hpp"
 #include "litmus/suite.hpp"
 #include "models/registry.hpp"
 
@@ -141,6 +142,58 @@ TEST(ParallelRunner, StatsMergeAggregatesAcrossWorkers) {
   EXPECT_EQ(parallel_stats.memo_hits, serial_stats.memo_hits);
   EXPECT_EQ(parallel_stats.searches, serial_stats.searches);
   EXPECT_EQ(parallel_stats.cancelled, 0u);
+}
+
+TEST(ParallelRunner, IsomorphismDedupIdenticalAcrossJobsAndToggles) {
+  SerialAtExit guard;
+  // Each builtin test plus a hand-renamed isomorph (locations swapped via
+  // the reversal l -> max-l, values shifted by +7): the dedup path must
+  // replay, not re-solve, and the outcome vector must be byte-identical
+  // with dedup off, at every pool width.
+  std::vector<LitmusTest> suite;
+  for (const auto& t : builtin_suite()) {
+    suite.push_back(t);
+    LitmusTest clone;
+    clone.name = t.name + "-iso";
+    history::SymbolTable symbols;
+    for (std::size_t p = 0; p < t.hist.num_processors(); ++p) {
+      symbols.intern_processor("q" + std::to_string(p));
+    }
+    const std::size_t locs = t.hist.num_locations();
+    for (std::size_t l = 0; l < locs; ++l) {
+      symbols.intern_location("y" + std::to_string(l));
+    }
+    clone.hist = history::SystemHistory(std::move(symbols));
+    for (std::size_t p = 0; p < t.hist.num_processors(); ++p) {
+      for (OpIndex i : t.hist.processor_ops(static_cast<ProcId>(p))) {
+        history::Operation op = t.hist.op(i);
+        op.loc = static_cast<LocId>(locs - 1 - op.loc);
+        if (op.is_write()) op.value += 7;
+        if (op.kind == OpKind::ReadModifyWrite) {
+          op.rmw_read =
+              t.hist.writer_of(i) == kNoOp ? kInitialValue : op.rmw_read + 7;
+        } else if (op.is_read()) {
+          op.value =
+              t.hist.writer_of(i) == kNoOp ? kInitialValue : op.value + 7;
+        }
+        clone.hist.append(op);
+      }
+    }
+    ASSERT_EQ(canonical_key(clone), canonical_key(t)) << t.name;
+    suite.push_back(std::move(clone));
+  }
+
+  RunOptions dedup_off;
+  dedup_off.dedup_isomorphic = false;
+  ThreadPool::set_global_jobs(1);
+  const auto reference = run_suite(suite, models::paper_models(), dedup_off);
+  for (unsigned jobs : {1u, 4u}) {
+    ThreadPool::set_global_jobs(jobs);
+    const auto deduped = run_suite(suite, models::paper_models());
+    EXPECT_TRUE(outcomes_equal(reference, deduped)) << "jobs=" << jobs;
+    EXPECT_EQ(format_matrix(reference), format_matrix(deduped))
+        << "jobs=" << jobs;
+  }
 }
 
 }  // namespace

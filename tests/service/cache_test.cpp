@@ -213,6 +213,45 @@ TEST(PersistentCache, CorruptedEntryIsSkippedOnLoad) {
   EXPECT_FALSE(reloaded.get(tso).has_value());
 }
 
+TEST(PersistentCache, OldVersionRecordIsSkippedAndCounted) {
+  // PR-5 changed the canonical program key (full symmetry canonicalization)
+  // and bumped kRecordVersion 1 -> 2: a v1 record's program text is keyed
+  // under the OLD canonicalization, so resurrecting it could alias a
+  // different isomorphism class.  Reload must skip it — and report it as
+  // stale_version, not as corruption.
+  TempDir dir;
+  const auto t = sb_test();
+  CacheKey sc = sb_key("SC");
+  CacheKey tso = sb_key("TSO");
+  std::string tso_path;
+  {
+    VerdictCache cache({.capacity = 64, .dir = dir.path});
+    cache.put(sc, solve_cell(t, "SC"));
+    cache.put(tso, solve_cell(t, "TSO"));
+    tso_path = cache.record_path(tso);
+  }
+  {
+    // Rewrite the TSO record as version 1.  The version gate must reject
+    // it before anything downstream (checksum, witness) is even consulted.
+    std::ifstream in(tso_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    const auto pos = text.find("\"version\": 2");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 12, "\"version\": 1");
+    std::ofstream out(tso_path, std::ios::trunc);
+    out << text;
+  }
+  VerdictCache reloaded({.capacity = 64, .dir = dir.path});
+  const auto report = reloaded.load_persistent();
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(report.stale_version, 1u);
+  EXPECT_TRUE(reloaded.get(sc).has_value());
+  EXPECT_FALSE(reloaded.get(tso).has_value());
+}
+
 TEST(PersistentCache, InconclusiveIsNeverPersisted) {
   TempDir dir;
   VerdictCache cache({.capacity = 64, .dir = dir.path});

@@ -502,8 +502,9 @@ int cmd_serve(int argc, char** argv, const GlobalOptions& opts) {
   if (!sopts.service.cache.dir.empty()) {
     const auto report = server.service().cache().load_persistent();
     std::fprintf(stderr,
-                 "ssm serve: persistent cache: %zu loaded, %zu skipped\n",
-                 report.loaded, report.skipped);
+                 "ssm serve: persistent cache: %zu loaded, %zu skipped "
+                 "(%zu stale-version)\n",
+                 report.loaded, report.skipped, report.stale_version);
   }
   if (!preload_dir.empty()) {
     const auto report = server.service().preload(preload_dir);
