@@ -2,33 +2,42 @@
 //
 // Spins up an in-process server on a private unix socket, builds the
 // request workload from a .litmus corpus (one check request per test), and
-// drives it twice with --conns concurrent client connections:
+// drives it with --conns concurrent client connections:
 //
-//   cold pass   empty cache: every cell is solved;
-//   warm pass   same server: every cell should come from the cache.
+//   cold pass   empty cache: the first request per cell is solved;
+//   warm pass   same server: every cell comes from the cache;
+//   sustained   optional (--duration S): keeps replaying the warm
+//               workload until the deadline — the steady-state numbers.
+//
+// Every connection drives the FULL workload (--iters repetitions), so
+// --conns N means N genuinely concurrent request streams, and --pipeline W
+// keeps up to W requests in flight per connection (NDJSON pipelining; the
+// server answers strictly in order per connection, which this generator
+// asserts by matching response ids against the send queue).
 //
 // Reports per-pass throughput and p50/p95/p99 latency, the warm/cold
-// speedup, and — the point of the exercise — whether every verdict payload
-// (model, verdict, witness bytes, note; `source`/`meta` excluded) was
-// byte-identical between the passes, checked by fnv1a digest.  Exit 2 on
-// any divergence.
+// speedup, server thread count (threads alive after server start, BEFORE
+// any client thread exists — the O(io-threads)-not-O(conns) acceptance
+// check), peak RSS, and — the point of the exercise — whether every
+// verdict payload (model, verdict, witness bytes, note; `source`/`meta`
+// excluded) was byte-identical across all passes, checked by fnv1a
+// digest.  Exit 2 on any divergence.
 //
-//   service_load [--corpus DIR] [--conns N] [--iters N] [--rps R] [--json]
+//   service_load [--corpus DIR] [--conns N] [--iters N] [--pipeline W]
+//                [--duration S] [--rps R] [--workers N] [--json]
 //                [--max-nodes N] [--timeout-ms N]
-//
-//   --iters N   workload repetitions per pass (default 1; raise for
-//               longer runs)
-//   --rps R     global request-rate cap, 0 = unlimited
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -51,14 +60,18 @@ struct LoadOptions {
   std::string corpus = "tests/litmus/corpus";
   unsigned conns = 4;
   unsigned iters = 1;
-  double rps = 0.0;  // 0 = unlimited
+  unsigned pipeline = 1;   // max in-flight requests per connection
+  double duration = 0.0;   // sustained-pass seconds; 0 = skip
+  double rps = 0.0;        // 0 = unlimited
+  unsigned workers = 0;     // 0 = server default
+  unsigned io_threads = 0;  // 0 = server default
   bool json = false;
   checker::BudgetSpec budget;
 };
 
 struct WorkItem {
   std::string id;
-  std::string frame;  // complete request line
+  std::string frame;  // complete request line ('\n'-terminated)
 };
 
 struct PassStats {
@@ -78,6 +91,20 @@ std::uint64_t percentile(std::vector<std::uint64_t>& sorted, double p) {
   const auto idx = static_cast<std::size_t>(
       p * static_cast<double>(sorted.size() - 1) + 0.5);
   return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// Reads one numeric field from /proc/self/status (Linux; returns 0 when
+/// unavailable).  Used for "Threads:", "VmRSS:", "VmHWM:".
+std::uint64_t proc_status_field(const char* key) {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  const std::size_t klen = std::strlen(key);
+  while (std::getline(in, line)) {
+    if (line.compare(0, klen, key) == 0) {
+      return std::strtoull(line.c_str() + klen, nullptr, 10);
+    }
+  }
+  return 0;
 }
 
 /// Digest of one response's verdict payload: model, verdict, witness bytes
@@ -120,7 +147,7 @@ std::vector<WorkItem> build_workload(const LoadOptions& opts) {
       common::json::append_quoted(item.frame, t.name);
       item.frame += ", \"program\": ";
       common::json::append_quoted(item.frame, litmus::emit(t));
-      item.frame += '}';
+      item.frame += "}\n";
       work.push_back(std::move(item));
     }
   }
@@ -128,58 +155,96 @@ std::vector<WorkItem> build_workload(const LoadOptions& opts) {
   return work;
 }
 
-/// One pass: `conns` threads split the workload; every response's digest
-/// is recorded under its request id.  Returns the latency/throughput
-/// stats; `digests` accumulates id → digest (first writer wins, every
-/// later observation must agree or `identical` drops to false).
+/// One pass: every connection drives the whole workload (`iters` reps, or
+/// until `deadline` when one is set), keeping up to `pipeline` requests in
+/// flight.  Response ids are matched against the per-connection send
+/// queue — a reordered response aborts, because in-order responses per
+/// connection are part of the protocol contract.  `digests` accumulates
+/// id → digest (first writer wins, every later observation must agree or
+/// `identical` drops to false).
 PassStats run_pass(const std::string& socket_path,
                    const std::vector<WorkItem>& work, const LoadOptions& opts,
                    std::map<std::string, std::uint64_t>& digests,
-                   bool& identical) {
+                   bool& identical,
+                   std::optional<Clock::time_point> deadline = {}) {
   std::mutex mu;  // digests + latencies
   std::vector<std::uint64_t> latencies;
+  std::size_t total = 0;
   const double per_req_interval =
       opts.rps > 0.0 ? static_cast<double>(opts.conns) / opts.rps : 0.0;
 
   const auto t0 = Clock::now();
   std::vector<std::thread> threads;
-  std::size_t total = 0;
+  threads.reserve(opts.conns);
   for (unsigned c = 0; c < opts.conns; ++c) {
-    // Round-robin split so every connection sees a mix of programs.
-    std::vector<const WorkItem*> mine;
-    for (unsigned rep = 0; rep < opts.iters; ++rep) {
-      for (std::size_t i = c; i < work.size(); i += opts.conns) {
-        mine.push_back(&work[i]);
-      }
-    }
-    total += mine.size();
-    threads.emplace_back([&, mine] {
+    threads.emplace_back([&, c] {
       auto client = service::Client::connect_unix(socket_path);
+      std::vector<std::uint64_t> local;
+      struct Sent {
+        const WorkItem* item;
+        Clock::time_point at;
+      };
+      std::deque<Sent> inflight;
       auto next_send = Clock::now();
-      for (const WorkItem* item : mine) {
-        if (per_req_interval > 0.0) {
-          std::this_thread::sleep_until(next_send);
-          next_send += std::chrono::duration_cast<Clock::duration>(
-              std::chrono::duration<double>(per_req_interval));
+      std::size_t done = 0;
+
+      const auto read_one = [&] {
+        const Sent sent = inflight.front();
+        inflight.pop_front();
+        auto reply = client.read_frame();
+        if (!reply) {
+          std::fprintf(stderr, "service_load: server closed mid-pass\n");
+          std::exit(1);
         }
-        const auto start = Clock::now();
-        const std::string reply = client.call(item->frame);
-        const auto us = static_cast<std::uint64_t>(
+        local.push_back(static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(
-                Clock::now() - start)
-                .count());
-        const auto doc = common::json::parse(reply);
+                Clock::now() - sent.at)
+                .count()));
+        const auto doc = common::json::parse(*reply);
         if (!doc.at("ok").as_bool()) {
           std::fprintf(stderr, "service_load: request %s failed: %s\n",
-                       item->id.c_str(), reply.c_str());
+                       sent.item->id.c_str(), reply->c_str());
+          std::exit(1);
+        }
+        if (doc.at("id").as_string() != sent.item->id) {
+          std::fprintf(stderr,
+                       "service_load: response out of order: sent %s got %s\n",
+                       sent.item->id.c_str(),
+                       doc.at("id").as_string().c_str());
           std::exit(1);
         }
         const std::uint64_t d = digest_response(doc);
         std::lock_guard<std::mutex> lock(mu);
-        latencies.push_back(us);
-        const auto [it, inserted] = digests.emplace(item->id, d);
+        const auto [it, inserted] = digests.emplace(sent.item->id, d);
         if (!inserted && it->second != d) identical = false;
+        ++done;
+      };
+
+      // iters repetitions of the workload — or keep looping until the
+      // deadline in sustained mode (at least one full repetition).
+      std::size_t sent_count = 0;
+      for (unsigned rep = 0;; ++rep) {
+        if (deadline) {
+          if (rep > 0 && Clock::now() >= *deadline) break;
+        } else if (rep >= opts.iters) {
+          break;
+        }
+        for (const WorkItem& item : work) {
+          while (inflight.size() >= opts.pipeline) read_one();
+          if (per_req_interval > 0.0) {
+            std::this_thread::sleep_until(next_send);
+            next_send += std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(per_req_interval));
+          }
+          client.send_frame(item.frame);
+          inflight.push_back(Sent{&item, Clock::now()});
+          ++sent_count;
+        }
       }
+      while (!inflight.empty()) read_one();
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+      total += done;
     });
   }
   for (auto& t : threads) t.join();
@@ -196,6 +261,27 @@ PassStats run_pass(const std::string& socket_path,
   return stats;
 }
 
+void print_pass(const char* name, const PassStats& s) {
+  std::printf("  %-9s %7zu req in %8.3fs = %9.1f rps   p50 %llu us  "
+              "p95 %llu us  p99 %llu us\n",
+              name, s.requests, s.seconds, s.rps(),
+              static_cast<unsigned long long>(s.p50_us),
+              static_cast<unsigned long long>(s.p95_us),
+              static_cast<unsigned long long>(s.p99_us));
+}
+
+std::string pass_json(const PassStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"requests\": %zu, \"seconds\": %.6f, \"rps\": %.1f, "
+                "\"p50_us\": %llu, \"p95_us\": %llu, \"p99_us\": %llu}",
+                s.requests, s.seconds, s.rps(),
+                static_cast<unsigned long long>(s.p50_us),
+                static_cast<unsigned long long>(s.p95_us),
+                static_cast<unsigned long long>(s.p99_us));
+  return buf;
+}
+
 int run(const LoadOptions& opts) {
   const std::vector<WorkItem> work = build_workload(opts);
 
@@ -203,23 +289,41 @@ int run(const LoadOptions& opts) {
   if (::mkdtemp(tmpl) == nullptr) throw InvalidInput("mkdtemp failed");
   const std::string socket_path = std::string(tmpl) + "/s";
 
+  const std::uint64_t threads_before = proc_status_field("Threads:");
   service::ServerOptions sopts;
   sopts.unix_socket = socket_path;
-  sopts.workers = std::max(2u, opts.conns);
-  sopts.queue_capacity = std::max<std::size_t>(1024, work.size() * opts.conns);
+  if (opts.workers != 0) sopts.workers = opts.workers;
+  if (opts.io_threads != 0) sopts.io_threads = opts.io_threads;
+  sopts.queue_capacity = std::max<std::size_t>(
+      1024, static_cast<std::size_t>(opts.conns) * opts.pipeline * 2);
   sopts.service.default_budget = opts.budget;
   service::Server server(sopts);
   server.start();
+  // Threads alive now, minus the main thread's baseline, are the server's
+  // own — measured before any client thread exists, so this is the
+  // O(io-threads)-not-O(conns) acceptance number.
+  const std::uint64_t server_threads =
+      proc_status_field("Threads:") - threads_before;
 
   std::map<std::string, std::uint64_t> digests;
   bool identical = true;
   const PassStats cold = run_pass(socket_path, work, opts, digests, identical);
   const PassStats warm = run_pass(socket_path, work, opts, digests, identical);
+  PassStats sustained;
+  if (opts.duration > 0.0) {
+    sustained = run_pass(
+        socket_path, work, opts, digests, identical,
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(opts.duration)));
+  }
+  const std::uint64_t peak_threads = proc_status_field("Threads:");
 
   server.begin_drain();
   server.wait();
   std::filesystem::remove_all(tmpl);
 
+  const std::uint64_t rss_kb = proc_status_field("VmRSS:");
+  const std::uint64_t rss_peak_kb = proc_status_field("VmHWM:");
   const double speedup = cold.rps() > 0.0 ? warm.rps() / cold.rps() : 0.0;
   std::uint64_t combined = 0xcbf29ce484222325ULL;
   for (const auto& [id, d] : digests) {
@@ -233,41 +337,43 @@ int run(const LoadOptions& opts) {
         "  \"benchmark\": \"service_load\",\n"
         "  \"corpus\": \"%s\",\n"
         "  \"conns\": %u,\n"
+        "  \"pipeline\": %u,\n"
         "  \"programs\": %zu,\n"
-        "  \"cold\": {\"requests\": %zu, \"seconds\": %.6f, \"rps\": %.1f, "
-        "\"p50_us\": %llu, \"p95_us\": %llu, \"p99_us\": %llu},\n"
-        "  \"warm\": {\"requests\": %zu, \"seconds\": %.6f, \"rps\": %.1f, "
-        "\"p50_us\": %llu, \"p95_us\": %llu, \"p99_us\": %llu},\n"
+        "  \"server_threads\": %llu,\n"
+        "  \"peak_threads\": %llu,\n"
+        "  \"rss_kb\": %llu,\n"
+        "  \"rss_peak_kb\": %llu,\n"
+        "  \"cold\": %s,\n"
+        "  \"warm\": %s,\n",
+        opts.corpus.c_str(), opts.conns, opts.pipeline, work.size(),
+        static_cast<unsigned long long>(server_threads),
+        static_cast<unsigned long long>(peak_threads),
+        static_cast<unsigned long long>(rss_kb),
+        static_cast<unsigned long long>(rss_peak_kb),
+        pass_json(cold).c_str(), pass_json(warm).c_str());
+    if (opts.duration > 0.0) {
+      std::printf("  \"sustained\": %s,\n", pass_json(sustained).c_str());
+    }
+    std::printf(
         "  \"warm_over_cold\": %.2f,\n"
         "  \"verdicts_identical\": %s,\n"
         "  \"digest_fnv1a\": \"%s\"\n"
         "}\n",
-        opts.corpus.c_str(), opts.conns, work.size(), cold.requests,
-        cold.seconds, cold.rps(),
-        static_cast<unsigned long long>(cold.p50_us),
-        static_cast<unsigned long long>(cold.p95_us),
-        static_cast<unsigned long long>(cold.p99_us), warm.requests,
-        warm.seconds, warm.rps(),
-        static_cast<unsigned long long>(warm.p50_us),
-        static_cast<unsigned long long>(warm.p95_us),
-        static_cast<unsigned long long>(warm.p99_us), speedup,
-        identical ? "true" : "false",
+        speedup, identical ? "true" : "false",
         service::hex16(combined).c_str());
   } else {
-    std::printf("service_load: %zu programs x %u conns x %u iters\n",
-                work.size(), opts.conns, opts.iters);
-    std::printf("  cold: %6zu req in %8.3fs = %9.1f rps   p50 %llu us  "
-                "p95 %llu us  p99 %llu us\n",
-                cold.requests, cold.seconds, cold.rps(),
-                static_cast<unsigned long long>(cold.p50_us),
-                static_cast<unsigned long long>(cold.p95_us),
-                static_cast<unsigned long long>(cold.p99_us));
-    std::printf("  warm: %6zu req in %8.3fs = %9.1f rps   p50 %llu us  "
-                "p95 %llu us  p99 %llu us\n",
-                warm.requests, warm.seconds, warm.rps(),
-                static_cast<unsigned long long>(warm.p50_us),
-                static_cast<unsigned long long>(warm.p95_us),
-                static_cast<unsigned long long>(warm.p99_us));
+    std::printf(
+        "service_load: %zu programs x %u conns x %u iters, pipeline %u\n",
+        work.size(), opts.conns, opts.iters, opts.pipeline);
+    std::printf("  server threads: %llu   peak threads: %llu   "
+                "rss %llu kB (peak %llu kB)\n",
+                static_cast<unsigned long long>(server_threads),
+                static_cast<unsigned long long>(peak_threads),
+                static_cast<unsigned long long>(rss_kb),
+                static_cast<unsigned long long>(rss_peak_kb));
+    print_pass("cold:", cold);
+    print_pass("warm:", warm);
+    if (opts.duration > 0.0) print_pass("sustained:", sustained);
     std::printf("  warm/cold: %.2fx   verdicts identical: %s   digest %s\n",
                 speedup, identical ? "yes" : "NO",
                 service::hex16(combined).c_str());
@@ -295,6 +401,16 @@ int main(int argc, char** argv) {
       opts.conns = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--iters") {
       opts.iters = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--pipeline") {
+      opts.pipeline =
+          static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--duration") {
+      opts.duration = std::strtod(value(), nullptr);
+    } else if (arg == "--workers") {
+      opts.workers = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--io-threads") {
+      opts.io_threads =
+          static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--rps") {
       opts.rps = std::strtod(value(), nullptr);
     } else if (arg == "--max-nodes") {
@@ -306,13 +422,15 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: service_load [--corpus DIR] [--conns N] "
-                   "[--iters N] [--rps R] [--max-nodes N] [--timeout-ms N] "
-                   "[--json]\n");
+                   "[--iters N] [--pipeline W] [--duration S] [--workers N] "
+                   "[--io-threads N] [--rps R] [--max-nodes N] "
+                   "[--timeout-ms N] [--json]\n");
       return 64;
     }
   }
-  if (opts.conns == 0 || opts.iters == 0) {
-    std::fprintf(stderr, "service_load: --conns/--iters must be positive\n");
+  if (opts.conns == 0 || opts.iters == 0 || opts.pipeline == 0) {
+    std::fprintf(stderr,
+                 "service_load: --conns/--iters/--pipeline must be positive\n");
     return 64;
   }
   try {

@@ -11,6 +11,7 @@
 #include "checker/witness.hpp"
 #include "checker/witness_verifier.hpp"
 #include "common/json.hpp"
+#include "common/metrics.hpp"
 #include "common/types.hpp"
 #include "litmus/canonical.hpp"
 #include "litmus/parser.hpp"
@@ -104,11 +105,23 @@ VerdictCache::VerdictCache(Options options)
       per_shard_capacity_(std::max<std::size_t>(
           1, (options_.capacity + kShards - 1) / kShards)) {}
 
-std::optional<CachedVerdict> VerdictCache::get(const CacheKey& key) {
-  const std::uint64_t h = key_hash(key);
-  Shard& s = shard_for(h);
-  std::lock_guard<std::mutex> lock(s.mu);
-  const auto it = s.index.find(h);
+namespace {
+
+/// Counts every shard-mutex acquisition on the get/put paths — the
+/// observable that lets tests assert a batch took each shard's lock at
+/// most once (docs/SERVICE.md, `service.shard_lock_acquisitions`).
+common::metrics::Counter& shard_lock_counter() {
+  static auto& c = common::metrics::Registry::global().counter(
+      "service.shard_lock_acquisitions");
+  return c;
+}
+
+}  // namespace
+
+std::optional<CachedVerdict> VerdictCache::get_locked(Shard& s,
+                                                      std::uint64_t hash,
+                                                      const CacheKey& key) {
+  const auto it = s.index.find(hash);
   // The index is hash-addressed; a hit must still compare the full key so
   // a 64-bit collision can never alias one program's verdict to another
   // (the PR-1 memo lesson, applied here from day one).
@@ -121,12 +134,18 @@ std::optional<CachedVerdict> VerdictCache::get(const CacheKey& key) {
   return it->second->value;
 }
 
-void VerdictCache::insert_memory(const CacheKey& key,
-                                 const CachedVerdict& value) {
+std::optional<CachedVerdict> VerdictCache::get(const CacheKey& key) {
   const std::uint64_t h = key_hash(key);
   Shard& s = shard_for(h);
+  shard_lock_counter().add();
   std::lock_guard<std::mutex> lock(s.mu);
-  const auto it = s.index.find(h);
+  return get_locked(s, h, key);
+}
+
+void VerdictCache::insert_locked(Shard& s, std::uint64_t hash,
+                                 const CacheKey& key,
+                                 const CachedVerdict& value) {
+  const auto it = s.index.find(hash);
   if (it != s.index.end()) {
     // Refresh (or displace a hash-colliding key — harmless: correctness
     // lives in the full-key compare on the read side).
@@ -136,11 +155,70 @@ void VerdictCache::insert_memory(const CacheKey& key,
     return;
   }
   s.lru.push_front(Entry{key, value});
-  s.index.emplace(h, s.lru.begin());
+  s.index.emplace(hash, s.lru.begin());
   while (s.lru.size() > per_shard_capacity_) {
     s.index.erase(key_hash(s.lru.back().key));
     s.lru.pop_back();
     ++s.evictions;
+  }
+}
+
+void VerdictCache::insert_memory(const CacheKey& key,
+                                 const CachedVerdict& value) {
+  const std::uint64_t h = key_hash(key);
+  Shard& s = shard_for(h);
+  shard_lock_counter().add();
+  std::lock_guard<std::mutex> lock(s.mu);
+  insert_locked(s, h, key, value);
+}
+
+void VerdictCache::get_many(std::vector<BatchCell>& cells) {
+  // Group cell indices by shard, then visit each populated shard exactly
+  // once — a batch of N cells costs at most kShards lock acquisitions, and
+  // each shard's lock is taken once no matter how many cells map to it.
+  std::vector<std::uint32_t> by_shard[kShards];
+  for (std::uint32_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].hash == 0) cells[i].hash = key_hash(*cells[i].key);
+    by_shard[shard_id(cells[i].hash)].push_back(i);
+  }
+  for (std::size_t sid = 0; sid < kShards; ++sid) {
+    if (by_shard[sid].empty()) continue;
+    Shard& s = shards_[sid];
+    shard_lock_counter().add();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const std::uint32_t i : by_shard[sid]) {
+      cells[i].result = get_locked(s, cells[i].hash, *cells[i].key);
+    }
+  }
+}
+
+void VerdictCache::put_many(const std::vector<BatchCell>& cells) {
+  std::vector<std::uint32_t> by_shard[kShards];
+  for (std::uint32_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].value == nullptr) continue;
+    const std::uint64_t h =
+        cells[i].hash != 0 ? cells[i].hash : key_hash(*cells[i].key);
+    by_shard[h % kShards].push_back(i);
+  }
+  for (std::size_t sid = 0; sid < kShards; ++sid) {
+    if (by_shard[sid].empty()) continue;
+    Shard& s = shards_[sid];
+    shard_lock_counter().add();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const std::uint32_t i : by_shard[sid]) {
+      const std::uint64_t h =
+          cells[i].hash != 0 ? cells[i].hash : key_hash(*cells[i].key);
+      insert_locked(s, h, *cells[i].key, *cells[i].value);
+    }
+  }
+  // Persistence outside the shard locks: write-through is filesystem I/O
+  // and must never extend the memory layer's critical sections.
+  if (options_.dir.empty()) return;
+  for (const BatchCell& cell : cells) {
+    if (cell.value != nullptr &&
+        cell.value->status != CachedVerdict::Status::Inconclusive) {
+      write_record(*cell.key, *cell.value);
+    }
   }
 }
 

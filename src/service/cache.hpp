@@ -124,6 +124,34 @@ class VerdictCache {
   /// when persistence is on.
   void put(const CacheKey& key, const CachedVerdict& value);
 
+  /// One cell of a batched lookup/insert.  The caller fills `key` (and may
+  /// pre-compute `hash` = key_hash(*key); 0 means "compute for me" — a real
+  /// key never hashes to 0 in practice, but 0 is simply the sentinel for
+  /// "not yet computed" and is recomputed harmlessly).
+  struct BatchCell {
+    const CacheKey* key = nullptr;
+    std::uint64_t hash = 0;
+    std::optional<CachedVerdict> result;  ///< get_many output
+    const CachedVerdict* value = nullptr;  ///< put_many input
+  };
+
+  /// Batched lookup: cells are grouped by shard id and each shard's mutex
+  /// is taken AT MOST ONCE for the whole batch (service.shard_lock_
+  /// acquisitions counts exactly these acquisitions), instead of once per
+  /// cell.  Fills `cell.result`; misses stay nullopt.
+  void get_many(std::vector<BatchCell>& cells);
+
+  /// Batched insert, same shard-grouped single-lock discipline.  Reads
+  /// `cell.value`; cells with a null value are skipped.  Persistence
+  /// write-through happens outside the shard locks, after every memory
+  /// insert has landed.
+  void put_many(const std::vector<BatchCell>& cells);
+
+  static constexpr std::size_t shard_count() noexcept { return kShards; }
+  [[nodiscard]] static std::size_t shard_id(std::uint64_t hash) noexcept {
+    return hash % kShards;
+  }
+
   /// Scans `dir` for record files and loads every valid one (witnesses
   /// re-verified, checksums checked).  No-op when persistence is off.
   LoadReport load_persistent();
@@ -156,6 +184,14 @@ class VerdictCache {
   [[nodiscard]] Shard& shard_for(std::uint64_t hash) noexcept {
     return shards_[hash % kShards];
   }
+
+  /// get/put bodies with the shard mutex already held (the batched entry
+  /// points share them with the single-key paths).
+  [[nodiscard]] std::optional<CachedVerdict> get_locked(Shard& s,
+                                                       std::uint64_t hash,
+                                                       const CacheKey& key);
+  void insert_locked(Shard& s, std::uint64_t hash, const CacheKey& key,
+                     const CachedVerdict& value);
 
   void insert_memory(const CacheKey& key, const CachedVerdict& value);
   void write_record(const CacheKey& key, const CachedVerdict& value) const;

@@ -8,13 +8,12 @@ namespace ssm::service {
 
 namespace json = common::json;
 
-Request parse_request(std::string_view frame) {
-  json::Value doc;
-  try {
-    doc = json::parse(frame);
-  } catch (const InvalidInput& e) {
-    throw ProtocolError("parse_error", e.what());
-  }
+namespace {
+
+/// Converts one already-parsed JSON object into a Request.  Throws
+/// ProtocolError ("bad_request") with the element's id attached whenever
+/// one was extractable — shared by the single-object and batch paths.
+Request request_from_json(const json::Value& doc) {
   std::string frame_id;
   try {
     if (!doc.is_object()) {
@@ -67,6 +66,52 @@ Request parse_request(std::string_view frame) {
     err.set_id(frame_id);
     throw err;
   }
+}
+
+}  // namespace
+
+Request parse_request(std::string_view frame) {
+  json::Value doc;
+  try {
+    doc = json::parse(frame);
+  } catch (const InvalidInput& e) {
+    throw ProtocolError("parse_error", e.what());
+  }
+  return request_from_json(doc);
+}
+
+std::vector<FrameItem> parse_frame(std::string_view frame) {
+  json::Value doc;
+  try {
+    doc = json::parse(frame);
+  } catch (const InvalidInput& e) {
+    throw ProtocolError("parse_error", e.what());
+  }
+  std::vector<FrameItem> items;
+  if (doc.is_array()) {
+    const auto& elems = doc.items();
+    if (elems.empty()) {
+      throw ProtocolError("bad_request", "batch frame must not be empty");
+    }
+    items.reserve(elems.size());
+    for (const json::Value& elem : elems) {
+      FrameItem item;
+      try {
+        item.request = request_from_json(elem);
+      } catch (const ProtocolError& e) {
+        item.ok = false;
+        item.error_type = e.type();
+        item.error_message = e.what();
+        item.error_id = e.id();
+      }
+      items.push_back(std::move(item));
+    }
+    return items;
+  }
+  FrameItem item;
+  item.request = request_from_json(doc);  // whole-frame errors propagate
+  items.push_back(std::move(item));
+  return items;
 }
 
 std::string serialize_results(const std::vector<ModelResult>& results) {

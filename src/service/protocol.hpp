@@ -65,6 +65,25 @@ struct Request {
 /// "bad_request") on anything outside the contract.
 [[nodiscard]] Request parse_request(std::string_view frame);
 
+/// One element of a parsed frame: a request, or a per-element error that
+/// should become a typed error frame in the element's response position.
+struct FrameItem {
+  bool ok = true;
+  Request request;            ///< meaningful when ok
+  std::string error_type;     ///< meaningful when !ok
+  std::string error_message;  ///< meaningful when !ok
+  std::string error_id;       ///< id echo when one was extractable
+};
+
+/// Parses one NDJSON frame into its request items.  A frame is either a
+/// single request object, or a BATCH — a bare JSON array of request
+/// objects, answered with one response frame per element in array order.
+/// Elements parse independently: one malformed element yields an error
+/// item in its position and never rejects its siblings.  Throws
+/// ProtocolError only when the whole frame is unusable (invalid JSON,
+/// neither object nor array, or an empty array).
+[[nodiscard]] std::vector<FrameItem> parse_frame(std::string_view frame);
+
 /// One model's verdict within a check response.
 struct ModelResult {
   std::string model;

@@ -3,6 +3,8 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -110,170 +112,346 @@ CachedVerdict CheckService::solve(const litmus::LitmusTest& test,
   return out;
 }
 
-CachedVerdict CheckService::lookup_or_solve(const CacheKey& key,
-                                            const litmus::LitmusTest& test,
-                                            bool no_cache,
-                                            const checker::BudgetSpec& budget,
-                                            std::string& source) {
+std::vector<CheckService::Outcome> CheckService::handle_checks(
+    const std::vector<const CheckRequest*>& reqs) {
+  static auto& requests_ctr =
+      metrics::Registry::global().counter("service.requests");
+  static auto& latency =
+      metrics::Registry::global().histogram("service.latency_us");
   static auto& hits = metrics::Registry::global().counter("service.cache_hits");
   static auto& misses =
       metrics::Registry::global().counter("service.cache_misses");
   static auto& dedup =
       metrics::Registry::global().counter("service.inflight_dedup");
-  if (!no_cache) {
-    if (auto hit = cache_.get(key)) {
-      hits.add();
-      source = "cache";
-      return *hit;
+  static auto& canonical_hits =
+      metrics::Registry::global().counter("service.cache_canonical_hits");
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<Outcome> outcomes(reqs.size());
+  if (reqs.empty()) return outcomes;
+
+  struct ReqInfo {
+    bool failed = false;
+    litmus::LitmusTest test;
+    litmus::Canonical canon;
+    std::vector<std::string> models;
+    checker::BudgetSpec budget;
+    std::vector<std::size_t> cells;  ///< distinct-cell index, one per model
+  };
+  enum class How : std::uint8_t { Unresolved, Cache, Lead, Follow };
+  // One DISTINCT (canonical program, model, budget) cell of the batch.
+  // Repeated occurrences across the batch's requests share one cell: one
+  // cache probe, at most one solve.
+  struct Cell {
+    CacheKey key;
+    std::uint64_t hash = 0;
+    std::string flight_id;  // key_string(key): the single-flight identity
+    const litmus::LitmusTest* canon_test = nullptr;
+    bool no_cache = false;
+    How how = How::Unresolved;
+    std::shared_ptr<Inflight> flight;
+    CachedVerdict result;
+    bool have = false;
+    bool failed = false;
+    std::string error_type;
+    std::string error;
+    bool first_occurrence_taken = false;  // "solved" vs "dedup" attribution
+    std::size_t occurrences = 0;  // request-cells referencing this cell
+  };
+
+  std::vector<ReqInfo> info(reqs.size());
+  std::vector<Cell> cells;
+  std::unordered_map<std::string, std::size_t> cell_index;
+
+  // Pass 1 — per-request parse/validate/canonicalize; build distinct cells.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    requests_ctr.add();
+    const CheckRequest& req = *reqs[i];
+    ReqInfo& ri = info[i];
+    const auto fail = [&](std::string type, std::string msg) {
+      ri.failed = true;
+      outcomes[i].ok = false;
+      outcomes[i].error_type = std::move(type);
+      outcomes[i].error_message = std::move(msg);
+    };
+    std::vector<litmus::LitmusTest> tests;
+    try {
+      tests = litmus::parse_suite(req.program);
+    } catch (const InvalidInput& e) {
+      fail("bad_request", std::string("program: ") + e.what());
+      continue;
+    }
+    if (tests.size() != 1) {
+      fail("bad_request", "program must contain exactly one litmus test");
+      continue;
+    }
+    ri.test = std::move(tests[0]);
+    ri.models = req.models.empty() ? models::model_names() : req.models;
+    // Validate every model up front: a typo'd name rejects the whole
+    // request before any solving starts (no partial answers).
+    bool bad_model = false;
+    for (const std::string& name : ri.models) {
+      try {
+        (void)models::make_model(name);
+      } catch (const InvalidInput& e) {
+        fail("bad_request", e.what());
+        bad_model = true;
+        break;
+      }
+    }
+    if (bad_model) continue;
+    ri.budget = effective_budget(req.budget);
+    // Solve (and cache) the canonical clone: every isomorphic variant of
+    // this program maps to the same cell, so permuted/renamed batchmates
+    // collapse into one probe/solve.  Witnesses are remapped back per
+    // request in pass 5.
+    ri.canon = litmus::canonicalize(ri.test);
+    ri.cells.reserve(ri.models.size());
+    for (const std::string& name : ri.models) {
+      CacheKey key;
+      key.program = ri.canon.key;
+      key.model = name;
+      key.max_nodes = ri.budget.max_nodes;
+      key.timeout_ms = ri.budget.timeout_ms;
+      std::string fid = key_string(key);
+      // no_cache requests get their own cell (they must not be satisfied
+      // by a batchmate's cache hit), but SHARE the flight id, so they
+      // still join an in-progress solve instead of duplicating it.
+      std::string map_key = (req.no_cache ? "n:" : "c:") + fid;
+      const auto [it, inserted] = cell_index.try_emplace(map_key, cells.size());
+      if (inserted) {
+        Cell c;
+        c.key = std::move(key);
+        c.hash = key_hash(c.key);
+        c.flight_id = std::move(fid);
+        c.canon_test = &ri.canon.test;
+        c.no_cache = req.no_cache;
+        cells.push_back(std::move(c));
+      }
+      ++cells[it->second].occurrences;
+      ri.cells.push_back(it->second);
     }
   }
-  misses.add();
 
-  const std::string id = key_string(key);
-  std::shared_ptr<Inflight> flight;
-  bool leader = false;
+  // Pass 2 — shard-grouped batched lookup: each of the cache's shard locks
+  // is taken at most once for the whole batch.
+  {
+    std::vector<VerdictCache::BatchCell> lookups;
+    std::vector<std::size_t> lookup_cell;
+    for (std::size_t j = 0; j < cells.size(); ++j) {
+      if (cells[j].no_cache) continue;  // bypass lookup (still populates)
+      VerdictCache::BatchCell bc;
+      bc.key = &cells[j].key;
+      bc.hash = cells[j].hash;
+      lookups.push_back(bc);
+      lookup_cell.push_back(j);
+    }
+    if (!lookups.empty()) cache_.get_many(lookups);
+    for (std::size_t k = 0; k < lookups.size(); ++k) {
+      if (!lookups[k].result) continue;
+      Cell& c = cells[lookup_cell[k]];
+      c.result = std::move(*lookups[k].result);
+      c.have = true;
+      c.how = How::Cache;
+    }
+  }
+
+  // Pass 3 — single-flight election, ONE inflight-table lock for the whole
+  // batch: missing cells either open a flight (leader) or join one another
+  // batch already opened (follower).
+  std::vector<std::size_t> leaders;
+  std::vector<std::size_t> followers;
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
-    const auto it = inflight_.find(id);
-    if (it == inflight_.end()) {
-      flight = std::make_shared<Inflight>();
-      inflight_.emplace(id, flight);
-      leader = true;
-    } else {
-      flight = it->second;
+    for (std::size_t j = 0; j < cells.size(); ++j) {
+      Cell& c = cells[j];
+      if (c.how == How::Cache) continue;
+      const auto it = inflight_.find(c.flight_id);
+      if (it == inflight_.end()) {
+        c.flight = std::make_shared<Inflight>();
+        inflight_.emplace(c.flight_id, c.flight);
+        c.how = How::Lead;
+        leaders.push_back(j);
+      } else {
+        c.flight = it->second;
+        c.how = How::Follow;
+        followers.push_back(j);
+      }
+      // Dedup is counted at election time (a follower is a dedup the
+      // moment it joins a flight, observably before the flight resolves);
+      // a leader's extra occurrences ride its own solve — dedups too.
+      const std::size_t riders =
+          c.how == How::Follow ? c.occurrences : c.occurrences - 1;
+      if (riders > 0) dedup.add(riders);
     }
   }
 
-  if (!leader) {
-    dedup.add();
-    source = "dedup";
-    std::unique_lock<std::mutex> lock(flight->mu);
-    flight->cv.wait(lock, [&] { return flight->done; });
-    if (flight->failed) throw ProtocolError("internal", flight->error);
-    return flight->result;
+  // Pass 4 — leaders solve.  ALL leader cells finish (and their flights
+  // retire) before ANY follower wait below: two batches leading disjoint
+  // cells and following each other's can therefore never deadlock.
+  for (const std::size_t j : leaders) {
+    Cell& c = cells[j];
+    checker::BudgetSpec budget;
+    budget.max_nodes = c.key.max_nodes;
+    budget.timeout_ms = c.key.timeout_ms;
+    try {
+      c.result = solve(*c.canon_test, c.key.model, budget);
+      c.have = true;
+    } catch (const ProtocolError& e) {
+      c.failed = true;
+      c.error_type = e.type();
+      c.error = e.what();
+    } catch (const std::exception& e) {
+      c.failed = true;
+      c.error_type = "internal";
+      c.error = e.what();
+    }
   }
-
-  source = "solved";
-  CachedVerdict result;
-  try {
-    result = solve(test, key.model, budget);
-  } catch (const std::exception& e) {
+  // Publish to the cache BEFORE retiring the flights: a request arriving
+  // in between hits the cache instead of opening a duplicate solve window.
+  {
+    std::vector<VerdictCache::BatchCell> puts;
+    for (const std::size_t j : leaders) {
+      if (!cells[j].have) continue;
+      VerdictCache::BatchCell bc;
+      bc.key = &cells[j].key;
+      bc.hash = cells[j].hash;
+      bc.value = &cells[j].result;
+      puts.push_back(bc);
+    }
+    if (!puts.empty()) cache_.put_many(puts);
+  }
+  if (!leaders.empty()) {
     {
       std::lock_guard<std::mutex> lock(inflight_mu_);
-      inflight_.erase(id);
+      for (const std::size_t j : leaders) inflight_.erase(cells[j].flight_id);
     }
-    {
-      std::lock_guard<std::mutex> lock(flight->mu);
-      flight->failed = true;
-      flight->error = e.what();
-      flight->done = true;
+    for (const std::size_t j : leaders) {
+      Cell& c = cells[j];
+      {
+        std::lock_guard<std::mutex> lock(c.flight->mu);
+        if (c.failed) {
+          c.flight->failed = true;
+          c.flight->error = c.error;
+        } else {
+          c.flight->result = c.result;
+        }
+        c.flight->done = true;
+      }
+      c.flight->cv.notify_all();
     }
-    flight->cv.notify_all();
-    throw;
   }
-  // Publish to the cache BEFORE retiring the flight: a request arriving in
-  // between hits the cache instead of opening a duplicate solve window.
-  cache_.put(key, result);
-  {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
-    inflight_.erase(id);
+  for (const std::size_t j : followers) {
+    Cell& c = cells[j];
+    std::unique_lock<std::mutex> lock(c.flight->mu);
+    c.flight->cv.wait(lock, [&] { return c.flight->done; });
+    if (c.flight->failed) {
+      c.failed = true;
+      c.error_type = "internal";
+      c.error = c.flight->error;
+    } else {
+      c.result = c.flight->result;
+      c.have = true;
+    }
   }
-  {
-    std::lock_guard<std::mutex> lock(flight->mu);
-    flight->result = result;
-    flight->done = true;
+
+  // Pass 5 — assemble per-request responses in request order, remapping
+  // witnesses from canonical coordinates and re-verifying each remap.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    ReqInfo& ri = info[i];
+    if (ri.failed) continue;
+    CheckResponse resp;
+    bool failed = false;
+    for (std::size_t m = 0; m < ri.models.size(); ++m) {
+      Cell& c = cells[ri.cells[m]];
+      if (c.failed) {
+        outcomes[i].ok = false;
+        outcomes[i].error_type =
+            c.error_type.empty() ? "internal" : c.error_type;
+        outcomes[i].error_message = c.error;
+        failed = true;
+        break;
+      }
+      std::string source;
+      if (c.how == How::Cache) {
+        source = "cache";
+      } else if (c.how == How::Follow) {
+        source = "dedup";
+      } else {
+        // The leader's solve serves its first occurrence; further
+        // occurrences in the same batch rode along — that's a dedup.
+        source = c.first_occurrence_taken ? "dedup" : "solved";
+        c.first_occurrence_taken = true;
+      }
+      if (source == "cache") {
+        hits.add();
+      } else {
+        misses.add();  // dedup was already counted at election time
+      }
+      ModelResult r;
+      r.model = ri.models[m];
+      r.verdict = to_string(c.result.status);
+      r.source = source;
+      r.witness_json = c.result.witness_json;
+      r.note = c.result.note;
+      if (!ri.canon.is_identity() && !c.result.witness_json.empty()) {
+        // The cached certificate proves the canonical clone; transport it
+        // along the inverse isomorphism and re-verify against the program
+        // the client actually sent — a remap bug must surface as
+        // `internal`, never ship as a wrong certificate.
+        try {
+          const checker::Witness remapped =
+              litmus::remap_witness_from_canonical(
+                  checker::witness_from_json(c.result.witness_json), ri.canon);
+          if (const auto err = checker::verify_witness(ri.test.hist, remapped)) {
+            throw ProtocolError("internal",
+                                "remapped witness failed independent "
+                                "re-verification: " +
+                                    *err);
+          }
+          r.witness_json = checker::to_json(remapped);
+        } catch (const ProtocolError& e) {
+          outcomes[i].ok = false;
+          outcomes[i].error_type = e.type();
+          outcomes[i].error_message = e.what();
+          failed = true;
+          break;
+        } catch (const std::exception& e) {
+          outcomes[i].ok = false;
+          outcomes[i].error_type = "internal";
+          outcomes[i].error_message = e.what();
+          failed = true;
+          break;
+        }
+      }
+      if (source == "cache") {
+        ++resp.cache_hits;
+        if (!ri.canon.is_identity()) canonical_hits.add();
+      } else if (source == "dedup") {
+        ++resp.dedup_waits;
+      } else {
+        ++resp.solved;
+      }
+      resp.results.push_back(std::move(r));
+    }
+    if (failed) continue;
+    resp.latency_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    latency.observe(resp.latency_us);
+    outcomes[i].ok = true;
+    outcomes[i].response = std::move(resp);
   }
-  flight->cv.notify_all();
-  return result;
+  return outcomes;
 }
 
 CheckResponse CheckService::handle_check(const CheckRequest& req) {
-  static auto& requests =
-      metrics::Registry::global().counter("service.requests");
-  static auto& latency =
-      metrics::Registry::global().histogram("service.latency_us");
-  const auto start = std::chrono::steady_clock::now();
-  requests.add();
-
-  std::vector<litmus::LitmusTest> tests;
-  try {
-    tests = litmus::parse_suite(req.program);
-  } catch (const InvalidInput& e) {
-    throw ProtocolError("bad_request", std::string("program: ") + e.what());
-  }
-  if (tests.size() != 1) {
-    throw ProtocolError("bad_request",
-                        "program must contain exactly one litmus test");
-  }
-  const litmus::LitmusTest& test = tests[0];
-
-  std::vector<std::string> model_list = req.models;
-  if (model_list.empty()) model_list = models::model_names();
-  // Validate every model up front: a typo'd name rejects the whole request
-  // before any solving starts (no partial answers).
-  for (const std::string& name : model_list) {
-    try {
-      (void)models::make_model(name);
-    } catch (const InvalidInput& e) {
-      throw ProtocolError("bad_request", e.what());
-    }
-  }
-
-  const checker::BudgetSpec budget = effective_budget(req.budget);
-  // Solve (and cache) the canonical clone: every isomorphic variant of
-  // this program maps to the same key, so permuted/renamed resubmissions
-  // are cache hits.  Witnesses come back in canonical coordinates and are
-  // remapped to the submitted program below.
-  static auto& canonical_hits =
-      metrics::Registry::global().counter("service.cache_canonical_hits");
-  const litmus::Canonical canon = litmus::canonicalize(test);
-  CacheKey key;
-  key.program = canon.key;
-  key.max_nodes = budget.max_nodes;
-  key.timeout_ms = budget.timeout_ms;
-
-  CheckResponse resp;
-  for (const std::string& name : model_list) {
-    key.model = name;
-    std::string source;
-    const CachedVerdict v =
-        lookup_or_solve(key, canon.test, req.no_cache, budget, source);
-    ModelResult r;
-    r.model = name;
-    r.verdict = to_string(v.status);
-    r.source = source;
-    r.witness_json = v.witness_json;
-    r.note = v.note;
-    if (!canon.is_identity() && !v.witness_json.empty()) {
-      // The cached certificate proves the canonical clone; transport it
-      // along the inverse isomorphism and re-verify against the program
-      // the client actually sent — a remap bug must surface as `internal`,
-      // never ship as a wrong certificate.
-      const checker::Witness remapped = litmus::remap_witness_from_canonical(
-          checker::witness_from_json(v.witness_json), canon);
-      if (const auto err = checker::verify_witness(test.hist, remapped)) {
-        throw ProtocolError(
-            "internal",
-            "remapped witness failed independent re-verification: " + *err);
-      }
-      r.witness_json = checker::to_json(remapped);
-    }
-    if (source == "cache") {
-      ++resp.cache_hits;
-      if (!canon.is_identity()) canonical_hits.add();
-    } else if (source == "dedup") {
-      ++resp.dedup_waits;
-    } else {
-      ++resp.solved;
-    }
-    resp.results.push_back(std::move(r));
-  }
-  resp.latency_us = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - start)
-          .count());
-  latency.observe(resp.latency_us);
-  return resp;
+  const std::vector<const CheckRequest*> one{&req};
+  std::vector<Outcome> out = handle_checks(one);
+  Outcome& oc = out[0];
+  if (!oc.ok) throw ProtocolError(oc.error_type, oc.error_message);
+  return std::move(oc.response);
 }
 
 CheckService::PreloadReport CheckService::preload(
@@ -306,7 +484,7 @@ CheckService::PreloadReport CheckService::preload(
     }
     ++report.files;
     for (const litmus::LitmusTest& test : tests) {
-      // Warm the canonical clone — the same entry handle_check will look
+      // Warm the canonical clone — the same entry handle_checks will look
       // up for any isomorphic variant of this corpus program.
       const litmus::Canonical canon = litmus::canonicalize(test);
       CacheKey key;
@@ -328,39 +506,76 @@ CheckService::PreloadReport CheckService::preload(
 }
 
 // ---------------------------------------------------------------------------
-// Server
+// Server: connection and event-loop state
 // ---------------------------------------------------------------------------
 
-/// One accepted socket.  Shared by its reader thread and every queued job,
-/// so the fd stays open (and writable) until the last response referencing
-/// it has been flushed — the mechanism behind "zero dropped in-flight".
-struct Server::Connection {
+/// One accepted, non-blocking socket and its state machine.
+///
+/// Ownership/locking model:
+///   * The read side (`rbuf`, `discarding`) is touched ONLY by the owning
+///     io thread — no lock.
+///   * Everything else is guarded by `mu`, shared between the io thread
+///     (flush on EPOLLOUT, retire) and workers (response writes, strand
+///     continuation).
+///   * The fd is registered/closed only by the owning io thread; workers
+///     observe `closed` under `mu` before touching it.
+struct Server::Connection
+    : std::enable_shared_from_this<Server::Connection> {
   int fd = -1;
-  std::mutex write_mu;
-  bool dead = false;  // guarded by write_mu; set on the first write error
+  int epfd = -1;              ///< owning loop's epoll fd
+  std::size_t loop_index = 0;
+
+  // Reader-side state — owning io thread only.
+  std::string rbuf;
+  bool discarding = false;  ///< oversized frame: skip to its terminator
+
+  std::mutex mu;
+  std::string out;          ///< response bytes not yet accepted by the socket
+  std::size_t out_off = 0;  ///< flushed prefix of `out`
+  std::deque<Batch> batches;   ///< parsed, unprocessed batches (strand FIFO)
+  bool strand_active = false;  ///< a worker currently owns this strand
+  bool peer_eof = false;       ///< read side saw EOF (responses still flush)
+  bool dead = false;           ///< write error: the peer is gone
+  bool closed = false;
+  bool shed = false;  ///< picked as the EMFILE victim; owner loop confirms
+  bool want_read = true;
+  bool want_write = false;
+  std::uint32_t reg_events = 0;  ///< mask currently registered with epoll
 
   ~Connection() {
     if (fd >= 0) ::close(fd);
   }
 
-  void write_frame(std::string_view frame) {
-    std::lock_guard<std::mutex> lock(write_mu);
-    if (dead) return;
-    std::size_t off = 0;
-    while (off < frame.size()) {
-      const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off,
-                               MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        dead = true;  // client went away; its answers are undeliverable
-        return;
-      }
-      off += static_cast<std::size_t>(n);
+  /// Owning io thread, `mu` held: deregister and close the socket.  The
+  /// object stays alive (and inert) until the conns list drops it.
+  void close_locked() noexcept {
+    if (closed) return;
+    closed = true;
+    if (fd >= 0) {
+      ::epoll_ctl(epfd, EPOLL_CTL_DEL, fd, nullptr);
+      ::close(fd);
+      fd = -1;
     }
+    open_conns_gauge().add(-1);
   }
-
-  void shutdown_read() { ::shutdown(fd, SHUT_RD); }
 };
+
+/// One epoll event loop: an epoll instance, an eventfd for cross-thread
+/// wakeups (drain, worker flush nudges), and the connections it owns.
+struct Server::IoLoop {
+  std::size_t index = 0;
+  int epfd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  std::mutex mu;  ///< guards `conns` (adoption and shed scans cross threads)
+  std::vector<std::shared_ptr<Connection>> conns;
+  std::atomic<bool> reads_stopped{false};
+  std::atomic<bool> flush_mode{false};
+};
+
+// ---------------------------------------------------------------------------
+// Server: lifecycle
+// ---------------------------------------------------------------------------
 
 Server::Server(ServerOptions options, CheckService::Solver solver_override)
     : options_(std::move(options)),
@@ -420,26 +635,72 @@ void Server::start() {
       throw_errno("bind " + options_.unix_socket);
     }
   }
-  if (::listen(listen_fd_, 64) != 0) {
+  if (::listen(listen_fd_, 256) != 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     throw_errno("listen");
   }
+  // The listener must be non-blocking: accept() is driven by level-
+  // triggered EPOLLIN on loop 0 and must never park the event loop.
+  const int lflags = ::fcntl(listen_fd_, F_GETFL, 0);
+  ::fcntl(listen_fd_, F_SETFL, lflags | O_NONBLOCK);
+
+  const unsigned nio = std::max(1u, options_.io_threads);
+  loops_.reserve(nio);
+  for (unsigned i = 0; i < nio; ++i) {
+    auto loop = std::make_unique<IoLoop>();
+    loop->index = i;
+    loop->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (loop->epfd < 0) throw_errno("epoll_create1");
+    loop->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->wake_fd < 0) throw_errno("eventfd");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = loop.get();  // wake tag: the loop itself
+    if (::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, loop->wake_fd, &ev) != 0) {
+      throw_errno("epoll_ctl wakeup");
+    }
+    loops_.push_back(std::move(loop));
+  }
+  {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = this;  // listener tag: the server itself
+    if (::epoll_ctl(loops_[0]->epfd, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+      throw_errno("epoll_ctl listener");
+    }
+  }
+
   const unsigned workers = std::max(1u, options_.workers);
   workers_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
     workers_.emplace_back(&Server::worker_loop, this);
   }
-  accept_thread_ = std::thread(&Server::accept_loop, this);
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->thread = std::thread(&Server::io_loop_main, this, i);
+  }
   started_.store(true, std::memory_order_release);
 }
 
 void Server::begin_drain() noexcept {
   if (drain_requested_.exchange(true, std::memory_order_acq_rel)) return;
-  // One byte through a pre-opened pipe: async-signal-safe, so a
+  // One byte through a pre-opened pipe (for wait()), one eventfd tick per
+  // loop (to pop them out of epoll_wait): plain write() calls, so a
   // SIGINT/SIGTERM handler may call this directly.
   const char byte = 1;
-  [[maybe_unused]] const ssize_t n = ::write(drain_pipe_[1], &byte, 1);
+  [[maybe_unused]] ssize_t n = ::write(drain_pipe_[1], &byte, 1);
+  if (started_.load(std::memory_order_acquire)) {
+    const std::uint64_t one = 1;
+    for (const auto& loop : loops_) {
+      n = ::write(loop->wake_fd, &one, sizeof one);
+    }
+  }
+}
+
+void Server::wake_loop(std::size_t index) noexcept {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(loops_[index]->wake_fd, &one, sizeof one);
 }
 
 void Server::wait() {
@@ -461,34 +722,19 @@ void Server::wait() {
 }
 
 void Server::do_drain() {
-  // 1. Stop accepting: half-close the listener (accept() unblocks with an
-  //    error) and join the accept loop, so no new connection appears below.
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  // 1. Every loop observes the drain flag (begin_drain woke them all),
+  //    deregisters the listener (loop 0), half-closes every connection's
+  //    read side, and acknowledges.  Once acknowledged, that loop can
+  //    never create another batch.
+  for (const auto& loop : loops_) {
+    while (!loop->reads_stopped.load(std::memory_order_acquire)) {
+      wake_loop(loop->index);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
   }
-  // 2. Stop reading: half-close every connection's read side.  Frames
-  //    already received keep flowing through the queue; readers see EOF
-  //    and exit.
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (const auto& c : conns_) c->shutdown_read();
-  }
-  // A reader joined here still runs its retire step; it finds its id gone
-  // from the (swapped-out) map and leaves the handle to this join.
-  std::unordered_map<std::uint64_t, std::thread> live;
-  std::vector<std::thread> finished;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    live.swap(reader_threads_);
-    finished.swap(finished_readers_);
-  }
-  for (auto& [id, t] : live) t.join();
-  for (std::thread& t : finished) t.join();
-  // 3. Finish every admitted request: workers exit only once the queue is
-  //    empty.
+  // 2. Finish every admitted request: workers exit only once the strand
+  //    queue is empty (a worker with a non-empty connection re-enqueues it
+  //    before returning to the queue, so no batch is stranded).
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     workers_should_exit_ = true;
@@ -496,10 +742,23 @@ void Server::do_drain() {
   queue_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
-  // 4. Every response has been flushed; now the sockets may close.
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conns_.clear();
+  // 3. Flush mode: every response has been produced; the loops push the
+  //    remaining bytes out and close the sockets.
+  for (const auto& loop : loops_) {
+    loop->flush_mode.store(true, std::memory_order_release);
+    wake_loop(loop->index);
+  }
+  for (const auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  for (const auto& loop : loops_) {
+    ::close(loop->wake_fd);
+    ::close(loop->epfd);
+  }
+  loops_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
   if (!options_.use_tcp && !options_.unix_socket.empty()) {
     ::unlink(options_.unix_socket.c_str());
@@ -511,29 +770,99 @@ void Server::do_drain() {
   }
 }
 
-void Server::reap_finished_readers() {
-  std::vector<std::thread> finished;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    finished.swap(finished_readers_);
+// ---------------------------------------------------------------------------
+// Server: event loop
+// ---------------------------------------------------------------------------
+
+void Server::io_loop_main(std::size_t index) {
+  static auto& wakeups =
+      metrics::Registry::global().counter("service.epoll_wakeups");
+  IoLoop& loop = *loops_[index];
+  std::vector<epoll_event> events(256);
+  bool reads_stopped = false;
+  for (;;) {
+    const bool flushing = loop.flush_mode.load(std::memory_order_acquire);
+    const int n = ::epoll_wait(loop.epfd, events.data(),
+                               static_cast<int>(events.size()),
+                               flushing ? 100 : -1);
+    if (n < 0 && errno != EINTR) return;  // epoll fd gone: bail out
+    if (n > 0) wakeups.add();
+    for (int i = 0; i < n; ++i) {
+      void* tag = events[i].data.ptr;
+      if (tag == &loop) {
+        std::uint64_t v;
+        while (::read(loop.wake_fd, &v, sizeof v) > 0) {
+        }
+        continue;
+      }
+      if (tag == this) {
+        handle_accept(loop);
+        continue;
+      }
+      auto* cp = static_cast<Connection*>(tag);
+      // `closed` is only ever set by this thread, so the unlocked read is
+      // safe; it guards against later events for an already-shed socket
+      // in this same events array (the object outlives the array — conns
+      // are only erased in retire_eligible, after the array is done).
+      if (cp->closed) continue;
+      if (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+        handle_readable(loop, cp->shared_from_this());
+      }
+      if (cp->closed) continue;
+      if (events[i].events & EPOLLOUT) {
+        handle_writable(cp->shared_from_this());
+      }
+    }
+    if (draining() && !reads_stopped) {
+      stop_reads(loop);
+      reads_stopped = true;
+      loop.reads_stopped.store(true, std::memory_order_release);
+    }
+    retire_eligible(loop);
+    if (loop.flush_mode.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(loop.mu);
+      if (loop.conns.empty()) return;
+    }
   }
-  for (std::thread& t : finished) t.join();
 }
 
-void Server::accept_loop() {
+void Server::handle_accept(IoLoop& loop) {
   static auto& connections =
       metrics::Registry::global().counter("service.connections");
+  static auto& accept_errors =
+      metrics::Registry::global().counter("service.accept_errors");
+  bool shed_this_event = false;
   for (;;) {
-    reap_finished_readers();
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      if (draining()) return;  // listener was shut down by the drain
-      // Transient failure — ECONNABORTED is routine under load, and
-      // EMFILE/ENFILE mean fds are temporarily exhausted.  The listener
-      // must survive all of these: back off briefly and keep accepting.
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (draining()) return;
+      accept_errors.add();
+      if (errno == EMFILE || errno == ENFILE) {
+        // fd exhaustion: shed one idle connection (no admitted work,
+        // nothing buffered) and retry immediately instead of going deaf.
+        // At most one shed per listener event: with a full fd table the
+        // kernel reports EMFILE before it looks at the backlog, so once
+        // the pending queue is drained the would-be EAGAIN surfaces as a
+        // second EMFILE — shedding again would evict an idle connection
+        // for no waiting client.  If connections really are still
+        // queued, level-triggered epoll re-reports the listener and the
+        // next event sheds the next victim.
+        if (shed_this_event) return;
+        if (shed_one_idle_connection(loop)) {
+          shed_this_event = true;
+          continue;
+        }
+        // Nothing sheddable right now: brief backoff so the level-
+        // triggered listener doesn't busy-spin the loop.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        return;
+      }
+      if (errno == ECONNABORTED || errno == EPROTO) continue;  // per-conn
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      return;
     }
     if (draining()) {
       ::close(fd);
@@ -541,147 +870,469 @@ void Server::accept_loop() {
     }
     connections.add();
     open_conns_gauge().add(1);
-    auto conn = std::make_shared<Connection>();
-    conn->fd = fd;
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    const std::uint64_t id = next_reader_id_++;
-    conns_.push_back(conn);
-    // Emplaced under conns_mu_: a reader that exits instantly blocks on
-    // the same mutex in retire_connection until its map entry exists.
-    reader_threads_.emplace(id,
-                            std::thread(&Server::reader_loop, this, conn, id));
+    adopt_connection(fd);
   }
 }
 
-void Server::retire_connection(const std::shared_ptr<Connection>& conn,
-                               std::uint64_t reader_id) {
-  open_conns_gauge().add(-1);
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  conns_.erase(std::remove(conns_.begin(), conns_.end(), conn), conns_.end());
-  const auto it = reader_threads_.find(reader_id);
-  if (it != reader_threads_.end()) {
-    finished_readers_.push_back(std::move(it->second));
-    reader_threads_.erase(it);
+void Server::adopt_connection(int fd) {
+  auto conn = std::make_shared<Connection>();
+  conn->fd = fd;
+  IoLoop& target = *loops_[next_loop_++ % loops_.size()];
+  conn->epfd = target.epfd;
+  conn->loop_index = target.index;
+  {
+    std::lock_guard<std::mutex> lock(target.mu);
+    target.conns.push_back(conn);
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = conn.get();
+  conn->reg_events = EPOLLIN;
+  if (::epoll_ctl(target.epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    std::lock_guard<std::mutex> lock(target.mu);
+    std::lock_guard<std::mutex> clock(conn->mu);
+    conn->close_locked();
+    target.conns.erase(
+        std::remove(target.conns.begin(), target.conns.end(), conn),
+        target.conns.end());
   }
 }
 
-void Server::reader_loop(std::shared_ptr<Connection> conn,
-                         std::uint64_t reader_id) {
-  std::string buf;
-  char chunk[4096];
-  bool discarding = false;  // oversized frame: skip to its terminator
-  for (;;) {
-    const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF, error, or SHUT_RD from the drain
-    if (discarding) {
-      const char* nl = static_cast<const char*>(
-          std::memchr(chunk, '\n', static_cast<std::size_t>(n)));
-      if (nl == nullptr) continue;  // still inside the oversized frame
-      discarding = false;
-      buf.assign(nl + 1, static_cast<std::size_t>(chunk + n - (nl + 1)));
+bool Server::shed_one_idle_connection(IoLoop& self) {
+  const auto idle_locked = [](const Connection& c) {
+    return !c.closed && !c.shed && !c.dead && !c.peer_eof &&
+           !c.strand_active && c.batches.empty() && c.out_off >= c.out.size();
+  };
+  // Own loop first: this thread owns these sockets, so the victim can be
+  // closed right here and the freed fd used by the accept() retry.
+  {
+    std::lock_guard<std::mutex> lock(self.mu);
+    for (const auto& c : self.conns) {
+      std::lock_guard<std::mutex> clock(c->mu);
+      if (idle_locked(*c) && c->rbuf.empty()) {
+        c->close_locked();  // erased by retire_eligible after this array
+        return true;
+      }
+    }
+  }
+  // Other loops: flag a victim and wake its owner; the fd frees
+  // asynchronously, so the caller backs off instead of retrying.
+  for (const auto& lp : loops_) {
+    if (lp.get() == &self) continue;
+    std::lock_guard<std::mutex> lock(lp->mu);
+    for (const auto& c : lp->conns) {
+      std::lock_guard<std::mutex> clock(c->mu);
+      if (idle_locked(*c)) {  // rbuf is owner-thread state: owner re-checks
+        c->shed = true;
+        wake_loop(lp->index);
+        return false;
+      }
+    }
+  }
+  return false;
+}
+
+void Server::stop_reads(IoLoop& loop) {
+  if (loop.index == 0 && listen_fd_ >= 0) {
+    ::epoll_ctl(loop.epfd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  }
+  std::lock_guard<std::mutex> lock(loop.mu);
+  for (const auto& c : loop.conns) {
+    std::lock_guard<std::mutex> clock(c->mu);
+    if (c->closed) continue;
+    ::shutdown(c->fd, SHUT_RD);
+    c->rbuf.clear();
+    c->discarding = false;
+    c->want_read = false;
+    update_interest_locked(*c);
+  }
+}
+
+void Server::retire_eligible(IoLoop& loop) {
+  const bool flushing = loop.flush_mode.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lock(loop.mu);
+  auto it = loop.conns.begin();
+  while (it != loop.conns.end()) {
+    Connection& c = **it;
+    bool erase_now;
+    {
+      std::lock_guard<std::mutex> clock(c.mu);
+      if (!c.closed) {
+        if (flushing) (void)try_flush_locked(c);
+        const bool idle = !c.strand_active && c.batches.empty();
+        const bool flushed = c.out_off >= c.out.size();
+        // The shed flag was set by another loop's accept path from
+        // lock-guarded state only; this (owning) thread is the arbiter —
+        // veto if the connection has become active since.
+        if (c.shed && !(idle && flushed && c.rbuf.empty() && !c.peer_eof)) {
+          c.shed = false;
+        }
+        const bool kill =
+            idle && (c.dead || ((c.peer_eof || c.shed || flushing) && flushed));
+        if (kill) c.close_locked();
+      }
+      erase_now = c.closed;
+    }
+    if (erase_now) {
+      it = loop.conns.erase(it);
     } else {
-      buf.append(chunk, static_cast<std::size_t>(n));
+      ++it;
     }
-    std::size_t pos;
-    while ((pos = buf.find('\n')) != std::string::npos) {
-      const std::string frame = buf.substr(0, pos);
-      buf.erase(0, pos + 1);
-      if (!frame.empty()) handle_frame(conn, frame);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server: read path (io threads)
+// ---------------------------------------------------------------------------
+
+void Server::handle_readable(IoLoop& loop,
+                             const std::shared_ptr<Connection>& conn) {
+  (void)loop;
+  // Per-event drain cap: a firehose client cannot monopolize the loop or
+  // grow rbuf unboundedly in one event; level-triggered epoll re-arms for
+  // the remainder.
+  constexpr std::size_t kChunk = 64 * 1024;
+  constexpr std::size_t kEventCap = 256 * 1024;
+  std::string& rbuf = conn->rbuf;
+  std::size_t drained = 0;
+  bool eof = false;
+  while (drained < kEventCap) {
+    const std::size_t old = rbuf.size();
+    rbuf.resize(old + kChunk);
+    const ssize_t n = ::recv(conn->fd, rbuf.data() + old, kChunk, 0);
+    if (n < 0) {
+      rbuf.resize(old);
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      eof = true;  // hard error: treat like EOF; pending responses flush
+      break;
     }
+    rbuf.resize(old + static_cast<std::size_t>(n));
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    drained += static_cast<std::size_t>(n);
+    if (static_cast<std::size_t>(n) < kChunk) break;  // socket drained
+  }
+  if (drained > 0) scan_frames(conn);
+  if (eof) {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->peer_eof = true;
+    conn->want_read = false;
+    update_interest_locked(*conn);
+    // Eligible-for-retire decision happens in the post-events sweep.
+  }
+}
+
+void Server::scan_frames(const std::shared_ptr<Connection>& conn) {
+  std::string& buf = conn->rbuf;
+  Batch batch;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t nl = buf.find('\n', pos);
+    if (nl == std::string::npos) break;
+    if (conn->discarding) {
+      // Tail of an oversized frame: drop through its terminator.
+      conn->discarding = false;
+      pos = nl + 1;
+      continue;
+    }
+    const std::string_view frame(buf.data() + pos, nl - pos);
+    pos = nl + 1;
+    if (!frame.empty()) frame_to_items(conn, frame, batch);
+  }
+  if (conn->discarding) {
+    buf.clear();  // everything unconsumed belongs to the oversized frame
+  } else {
+    if (pos > 0) buf.erase(0, pos);  // keep the partial frame for next event
     if (buf.size() > options_.max_frame_bytes) {
       // A frame this large with no terminator in sight would otherwise
       // grow server memory without bound.  Answer once, drop the buffered
       // bytes, and skip the rest of the frame — the typed-error-never-
       // disconnect contract holds even here.
-      conn->write_frame(serialize_error(
+      BatchItem item;
+      item.preformatted = true;
+      item.text = serialize_error(
           "", "parse_error",
           "frame exceeds " + std::to_string(options_.max_frame_bytes) +
-              " bytes without a newline; discarded"));
+              " bytes without a newline; discarded");
+      batch.push_back(std::move(item));
       buf.clear();
       buf.shrink_to_fit();
-      discarding = true;
+      conn->discarding = true;
     }
   }
-  retire_connection(conn, reader_id);
+  finish_event_batch(conn, std::move(batch));
 }
 
-void Server::handle_frame(const std::shared_ptr<Connection>& conn,
-                          std::string_view frame) {
+void Server::frame_to_items(const std::shared_ptr<Connection>& conn,
+                            std::string_view frame, Batch& batch) {
+  (void)conn;
   static auto& rejected =
       metrics::Registry::global().counter("service.rejected");
-  Request req;
+  std::vector<FrameItem> items;
   try {
-    req = parse_request(frame);
+    items = parse_frame(frame);
   } catch (const ProtocolError& e) {
     // A malformed frame gets a typed error, never a disconnect.
-    conn->write_frame(serialize_error(e.id(), e.type(), e.what()));
+    BatchItem item;
+    item.preformatted = true;
+    item.text = serialize_error(e.id(), e.type(), e.what());
+    batch.push_back(std::move(item));
     return;
   }
-  switch (req.op) {
-    case Request::Op::Ping:
-      conn->write_frame(serialize_pong(req.id));
-      return;
-    case Request::Op::Stats:
-      conn->write_frame(serialize_stats(req.id));
-      return;
-    case Request::Op::Shutdown:
-      // Flag first (atomic + pipe write, no teardown), then ack: a client
-      // that has read the ack must observe the server as draining.
-      begin_drain();
-      conn->write_frame(serialize_drain_ack(req.id));
-      return;
-    case Request::Op::Check:
-      break;
+  for (FrameItem& fi : items) {
+    BatchItem item;
+    if (!fi.ok) {
+      item.preformatted = true;
+      item.text =
+          serialize_error(fi.error_id, fi.error_type, fi.error_message);
+      batch.push_back(std::move(item));
+      continue;
+    }
+    Request& req = fi.request;
+    switch (req.op) {
+      case Request::Op::Ping:
+        item.preformatted = true;
+        item.text = serialize_pong(req.id);
+        break;
+      case Request::Op::Stats:
+        item.preformatted = true;
+        item.text = serialize_stats(req.id);
+        break;
+      case Request::Op::Shutdown:
+        // Flag first (atomic + fd writes, no teardown), then ack: a client
+        // that has read the ack must observe the server as draining.
+        begin_drain();
+        item.preformatted = true;
+        item.text = serialize_drain_ack(req.id);
+        break;
+      case Request::Op::Check: {
+        if (draining()) {
+          item.preformatted = true;
+          item.text = serialize_error(req.id, "draining",
+                                      "server is draining; not admitting");
+          break;
+        }
+        // Per-request admission: every element of a pipelined burst or
+        // batch frame is accounted individually, so a giant batch can
+        // never bypass the bounded-admission guarantee.  Overflow is
+        // rejected per request, id echoed, in response position.
+        std::size_t cur = admitted_.load(std::memory_order_relaxed);
+        bool admitted = false;
+        while (cur < options_.queue_capacity) {
+          if (admitted_.compare_exchange_weak(cur, cur + 1,
+                                              std::memory_order_relaxed)) {
+            admitted = true;
+            break;
+          }
+        }
+        if (!admitted) {
+          rejected.add();
+          item.preformatted = true;
+          item.text = serialize_error(
+              req.id, "overloaded",
+              "admission queue full (capacity " +
+                  std::to_string(options_.queue_capacity) + "); retry later");
+          break;
+        }
+        queue_depth_gauge().set(
+            static_cast<std::int64_t>(admitted_.load(std::memory_order_relaxed)));
+        item.request = std::move(req);
+        break;
+      }
+    }
+    batch.push_back(std::move(item));
   }
-  if (draining()) {
-    conn->write_frame(serialize_error(req.id, "draining",
-                                      "server is draining; not admitting"));
-    return;
+}
+
+void Server::finish_event_batch(const std::shared_ptr<Connection>& conn,
+                                Batch&& batch) {
+  static auto& batch_size =
+      metrics::Registry::global().histogram("service.batch_size");
+  if (batch.empty()) return;
+  std::size_t checks = 0;
+  for (const BatchItem& item : batch) {
+    if (!item.preformatted) ++checks;
   }
+  bool need_enqueue = false;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (queue_.size() >= options_.queue_capacity) {
-      rejected.add();
-      conn->write_frame(serialize_error(
-          req.id, "overloaded",
-          "admission queue full (capacity " +
-              std::to_string(options_.queue_capacity) + "); retry later"));
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (checks == 0 && conn->batches.empty() && !conn->strand_active) {
+      // Control-only fast path: nothing is pending on this connection, so
+      // ordering is trivial — write straight from the io thread.
+      if (!conn->closed && !conn->dead) {
+        for (BatchItem& item : batch) conn->out += item.text;
+        (void)try_flush_locked(*conn);
+      }
       return;
     }
-    queue_.push_back(Job{conn, std::move(req)});
-    queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+    if (checks > 0) batch_size.observe(checks);
+    conn->batches.push_back(std::move(batch));
+    if (!conn->strand_active) {
+      conn->strand_active = true;
+      need_enqueue = true;
+    }
+  }
+  if (need_enqueue) enqueue_strand(conn);
+}
+
+// ---------------------------------------------------------------------------
+// Server: write path (shared)
+// ---------------------------------------------------------------------------
+
+bool Server::try_flush_locked(Connection& conn) {
+  if (conn.closed || conn.fd < 0 || conn.dead) {
+    conn.out.clear();
+    conn.out_off = 0;
+    return true;
+  }
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data() + conn.out_off,
+               conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn.want_write) {
+          conn.want_write = true;
+          update_interest_locked(conn);
+        }
+        return false;  // the owning loop finishes this on EPOLLOUT
+      }
+      conn.dead = true;  // client went away; its answers are undeliverable
+      break;
+    }
+    conn.out_off += static_cast<std::size_t>(n);
+  }
+  conn.out.clear();
+  conn.out_off = 0;
+  if (conn.want_write) {
+    conn.want_write = false;
+    update_interest_locked(conn);
+  }
+  return true;
+}
+
+void Server::update_interest_locked(Connection& conn) {
+  if (conn.closed || conn.fd < 0) return;
+  std::uint32_t ev = 0;
+  if (conn.want_read) ev |= EPOLLIN;
+  if (conn.want_write) ev |= EPOLLOUT;
+  if (ev == conn.reg_events) return;
+  epoll_event e{};
+  e.events = ev;
+  e.data.ptr = &conn;
+  if (::epoll_ctl(conn.epfd, EPOLL_CTL_MOD, conn.fd, &e) == 0) {
+    conn.reg_events = ev;
+  }
+}
+
+void Server::conn_write(const std::shared_ptr<Connection>& conn,
+                        std::string_view data) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->closed || conn->dead) return;
+  conn->out.append(data);
+  (void)try_flush_locked(*conn);
+}
+
+void Server::handle_writable(const std::shared_ptr<Connection>& conn) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->closed) return;
+  (void)try_flush_locked(*conn);
+}
+
+// ---------------------------------------------------------------------------
+// Server: worker side
+// ---------------------------------------------------------------------------
+
+void Server::enqueue_strand(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    strand_queue_.push_back(conn);
   }
   queue_cv_.notify_one();
 }
 
 void Server::worker_loop() {
   for (;;) {
-    Job job;
+    std::shared_ptr<Connection> conn;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock,
-                     [&] { return !queue_.empty() || workers_should_exit_; });
-      if (queue_.empty()) return;  // drained: exit only with an empty queue
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+      queue_cv_.wait(lock, [&] {
+        return !strand_queue_.empty() || workers_should_exit_;
+      });
+      if (strand_queue_.empty()) return;  // drained: only with an empty queue
+      conn = std::move(strand_queue_.front());
+      strand_queue_.pop_front();
     }
-    process(job);
+    process_strand(conn);
   }
 }
 
-void Server::process(const Job& job) {
-  try {
-    CheckResponse resp = service_.handle_check(job.request.check);
-    resp.id = job.request.id;
-    job.conn->write_frame(serialize_check_response(resp));
-  } catch (const ProtocolError& e) {
-    job.conn->write_frame(serialize_error(job.request.id, e.type(), e.what()));
-  } catch (const std::exception& e) {
-    job.conn->write_frame(
-        serialize_error(job.request.id, "internal", e.what()));
+void Server::process_strand(const std::shared_ptr<Connection>& conn) {
+  Batch batch;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    batch = std::move(conn->batches.front());
+    conn->batches.pop_front();
   }
+  std::vector<const CheckRequest*> checks;
+  for (const BatchItem& item : batch) {
+    if (!item.preformatted) checks.push_back(&item.request.check);
+  }
+  if (!checks.empty()) {
+    // Picked up: these requests no longer occupy admission capacity (the
+    // PR-4 contract — capacity bounds WAITING requests).
+    admitted_.fetch_sub(checks.size(), std::memory_order_relaxed);
+    queue_depth_gauge().set(
+        static_cast<std::int64_t>(admitted_.load(std::memory_order_relaxed)));
+  }
+  std::vector<CheckService::Outcome> outcomes;
+  if (!checks.empty()) {
+    try {
+      outcomes = service_.handle_checks(checks);
+    } catch (const std::exception& e) {
+      outcomes.assign(checks.size(), {});
+      for (CheckService::Outcome& oc : outcomes) {
+        oc.ok = false;
+        oc.error_type = "internal";
+        oc.error_message = e.what();
+      }
+    }
+  }
+  // One gathered write for the whole batch, responses in request order.
+  std::string out;
+  std::size_t ci = 0;
+  for (BatchItem& item : batch) {
+    if (item.preformatted) {
+      out += item.text;
+      continue;
+    }
+    CheckService::Outcome& oc = outcomes[ci++];
+    if (oc.ok) {
+      oc.response.id = item.request.id;
+      out += serialize_check_response(oc.response);
+    } else {
+      out += serialize_error(item.request.id, oc.error_type, oc.error_message);
+    }
+  }
+  conn_write(conn, out);
+
+  bool requeue = false;
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (!conn->batches.empty()) {
+      requeue = true;  // strand stays active; keep FIFO order
+    } else {
+      conn->strand_active = false;
+      if (conn->peer_eof || conn->dead) wake = true;  // owner may retire it
+    }
+  }
+  if (requeue) enqueue_strand(conn);
+  if (wake) wake_loop(conn->loop_index);
 }
 
 }  // namespace ssm::service

@@ -1,44 +1,58 @@
-// Check-as-a-service: a long-running, multi-threaded admission-check
+// Check-as-a-service: a long-running, event-driven admission-check
 // server (`ssm serve`, docs/SERVICE.md).
 //
 // Layering:
 //
-//   CheckService — the transport-free core.  One handle_check() call
-//     resolves a request's models, clamps its budget to the server caps,
-//     and answers each (program, model, budget) cell from three tiers:
-//       1. the content-addressed VerdictCache (cache.hpp);
-//       2. single-flight deduplication — if an identical cell is already
-//          being solved by another worker, wait for that solve instead of
-//          duplicating it (N identical concurrent requests → 1 solve);
-//       3. a fresh budgeted solve, whose positive verdicts are re-checked
-//          through the independent witness verifier before they are
-//          cached or shipped.
-//     Solves run on the calling worker thread and fan out internally
-//     across the PR-1 common::ThreadPool (per-processor views, exactly
-//     like the CLI path).
+//   CheckService — the transport-free core.  handle_checks() answers a
+//     BATCH of check requests in one call: every (program, model, budget)
+//     cell in the batch is canonicalized, the distinct cells are looked up
+//     through the verdict cache's shard-grouped multi-get (each of the 16
+//     shard locks is taken at most once per batch, not once per cell),
+//     single-flight leaders are elected once per batch under one
+//     inflight-table lock, the leaders solve, the results publish through
+//     one shard-grouped multi-put, and only then do followers of other
+//     batches' flights get waited on — so two batches can never deadlock
+//     on each other's cells.  Positive verdicts are re-checked through the
+//     independent witness verifier before they are cached or shipped,
+//     exactly as in the single-request path (which is now a batch of one).
 //
-//   Server — the socket front end.  Accepts connections on a unix-domain
-//     or 127.0.0.1 TCP socket, reads newline-delimited JSON frames, and
-//     feeds check requests through a BOUNDED admission queue drained by a
-//     fixed set of worker threads.  A full queue rejects immediately with
-//     a typed `overloaded` error — the server never queues unboundedly,
-//     and a frame larger than ServerOptions::max_frame_bytes gets a typed
-//     `parse_error` and is discarded up to its terminator instead of
-//     growing the read buffer without bound.  A client disconnect
-//     retires its connection
-//     immediately (fd closed once the last queued response has flushed,
-//     reader thread reaped by the accept loop) — a long-running server
-//     does not accumulate dead fds or threads.
+//   Server — the socket front end, rebuilt as an epoll event loop.  A
+//     small fixed set of I/O threads (ServerOptions::io_threads, default
+//     1) owns every connection through level-triggered epoll on
+//     non-blocking sockets — there are no per-connection reader threads,
+//     so 1024 connections cost O(io_threads + workers) threads, not
+//     O(connections).  Each connection is a little state machine: bytes
+//     land in a reusable read buffer, complete NDJSON frames are scanned
+//     incrementally and parsed as string_view slices (no per-frame substr
+//     on the hot path), and ALL requests parsed from one readable event
+//     coalesce into one batch.  Batches flow through a per-connection
+//     strand (FIFO, one worker at a time per connection — responses stay
+//     in request order even under pipelining) to the worker pool, which
+//     answers the whole batch via CheckService::handle_checks and flushes
+//     every response of the batch as one gathered write.  Admission is
+//     accounted PER REQUEST against ServerOptions::queue_capacity — a
+//     giant pipelined burst admits up to capacity and rejects the
+//     overflow individually with id-echoed `overloaded` errors, so
+//     batching can never bypass the bounded-admission guarantee.
+//
+//     The accept path survives fd exhaustion: EMFILE/ENFILE sheds one
+//     idle connection (no admitted work, nothing buffered) and retries
+//     instead of sleeping blind, and every transient accept failure is
+//     counted in `service.accept_errors`.
+//
 //     begin_drain()/SIGINT stops accepting and reading, finishes every
 //     admitted request, flushes the responses, and only then returns from
-//     wait(): zero in-flight requests are dropped.
+//     wait(): zero in-flight requests are dropped — byte-for-byte the
+//     PR-4 drain contract.
 //
 // Metrics (common::metrics registry, exposed via the `stats` op):
 //   service.requests, service.cache_hits, service.cache_misses,
 //   service.inflight_dedup, service.rejected, service.queue_depth (gauge),
 //   service.connections, service.open_connections (gauge),
-//   service.latency_us / service.solve_us
-//   (log2 histograms).  Table: docs/OBSERVABILITY.md.
+//   service.batch_size (histogram), service.epoll_wakeups,
+//   service.accept_errors, service.shard_lock_acquisitions,
+//   service.latency_us / service.solve_us (log2 histograms).
+//   Table: docs/OBSERVABILITY.md.
 #pragma once
 
 #include <atomic>
@@ -77,8 +91,26 @@ class CheckService {
 
   explicit CheckService(Options options, Solver solver_override = nullptr);
 
-  /// Serves one check request (cache → single-flight → solve).  Throws
-  /// ProtocolError for malformed programs / unknown models.
+  /// One request's result within a batch: either a CheckResponse or a
+  /// typed error (the batch path never throws per-request failures — one
+  /// bad request must not poison its batchmates).
+  struct Outcome {
+    bool ok = true;
+    CheckResponse response;     ///< when ok
+    std::string error_type;     ///< when !ok
+    std::string error_message;  ///< when !ok
+  };
+
+  /// Serves a batch of check requests: shard-grouped cache multi-get,
+  /// per-batch single-flight leader election, leader solves, shard-grouped
+  /// multi-put, then follower waits (in that order — leaders always finish
+  /// before any follower blocks, so batches cannot deadlock).  Outcomes
+  /// come back in request order.
+  [[nodiscard]] std::vector<Outcome> handle_checks(
+      const std::vector<const CheckRequest*>& reqs);
+
+  /// Single-request convenience wrapper over handle_checks (a batch of
+  /// one).  Throws ProtocolError for malformed programs / unknown models.
   [[nodiscard]] CheckResponse handle_check(const CheckRequest& req);
 
   struct PreloadReport {
@@ -109,13 +141,6 @@ class CheckService {
     std::string error;  // set when the leader's solve threw
   };
 
-  /// Cache → single-flight → solve for one cell.  `source` is set to
-  /// "cache" | "dedup" | "solved".
-  CachedVerdict lookup_or_solve(const CacheKey& key,
-                                const litmus::LitmusTest& test, bool no_cache,
-                                const checker::BudgetSpec& budget,
-                                std::string& source);
-
   CachedVerdict solve(const litmus::LitmusTest& test, const std::string& model,
                       const checker::BudgetSpec& budget);
 
@@ -135,8 +160,12 @@ struct ServerOptions {
   std::uint16_t tcp_port = 0;
   bool use_tcp = false;
 
-  std::size_t queue_capacity = 256;  ///< bounded admission queue
-  unsigned workers = 2;              ///< request worker threads
+  /// Bounded admission: check requests admitted but not yet picked up by
+  /// a worker, accounted PER REQUEST (a pipelined burst or batch frame
+  /// admits up to capacity; the overflow is rejected individually).
+  std::size_t queue_capacity = 256;
+  unsigned workers = 2;     ///< request worker threads (batch solvers)
+  unsigned io_threads = 1;  ///< epoll event-loop threads
 
   /// A buffered, un-terminated frame exceeding this is answered with a
   /// `parse_error` and discarded up to its terminator — bounds
@@ -156,12 +185,13 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and spawns the accept loop + workers.  Throws
+  /// Binds, listens, and spawns the event loops + workers.  Throws
   /// InvalidInput when the socket cannot be bound.
   void start();
 
-  /// Requests a graceful drain.  Async-signal-safe (one write to an
-  /// internal pipe): callable directly from a SIGINT/SIGTERM handler.
+  /// Requests a graceful drain.  Async-signal-safe (atomic exchange plus
+  /// writes to pre-opened fds): callable directly from a SIGINT/SIGTERM
+  /// handler.
   void begin_drain() noexcept;
 
   /// Blocks until a drain completes: every admitted request answered,
@@ -183,26 +213,51 @@ class Server {
 
  private:
   struct Connection;
-  struct Job {
-    std::shared_ptr<Connection> conn;
-    Request request;
+  struct IoLoop;
+
+  /// One element of a connection batch: either a pre-serialized response
+  /// frame (control ops, typed errors — written verbatim in position, so
+  /// responses stay in request order) or an admitted check request.
+  struct BatchItem {
+    bool preformatted = false;
+    std::string text;  ///< response frame when preformatted
+    Request request;   ///< check request otherwise
   };
+  using Batch = std::vector<BatchItem>;
 
-  void accept_loop();
-  void reader_loop(std::shared_ptr<Connection> conn, std::uint64_t reader_id);
+  // --- event-loop side (io threads) ---
+  void io_loop_main(std::size_t index);
+  void handle_accept(IoLoop& loop);
+  void adopt_connection(int fd);
+  void handle_readable(IoLoop& loop, const std::shared_ptr<Connection>& conn);
+  void handle_writable(const std::shared_ptr<Connection>& conn);
+  void scan_frames(const std::shared_ptr<Connection>& conn);
+  void frame_to_items(const std::shared_ptr<Connection>& conn,
+                      std::string_view frame, Batch& batch);
+  void finish_event_batch(const std::shared_ptr<Connection>& conn,
+                          Batch&& batch);
+  void stop_reads(IoLoop& loop);
+  void retire_eligible(IoLoop& loop);
+  bool shed_one_idle_connection(IoLoop& loop);
+  void wake_loop(std::size_t index) noexcept;
+
+  // --- worker side ---
   void worker_loop();
-  void handle_frame(const std::shared_ptr<Connection>& conn,
-                    std::string_view frame);
-  void process(const Job& job);
-  void do_drain();
+  void process_strand(const std::shared_ptr<Connection>& conn);
 
-  /// Called by a reader on exit: drops the connection from conns_ (queued
-  /// jobs keep the fd alive via their shared_ptr until the last response
-  /// flushes) and moves the reader's own thread handle to finished_readers_
-  /// for the accept loop (or the drain) to join.
-  void retire_connection(const std::shared_ptr<Connection>& conn,
-                         std::uint64_t reader_id);
-  void reap_finished_readers();
+  // --- shared write path ---
+  /// Appends to the connection's output buffer and flushes as much as the
+  /// socket accepts (one gathered write per batch); the remainder is
+  /// flushed by the owning event loop on EPOLLOUT.
+  void conn_write(const std::shared_ptr<Connection>& conn,
+                  std::string_view data);
+  /// Flush under conn->mu; updates EPOLLOUT interest.  Returns true when
+  /// the output buffer is empty (or the peer is gone).
+  bool try_flush_locked(Connection& conn);
+  void update_interest_locked(Connection& conn);
+
+  void enqueue_strand(const std::shared_ptr<Connection>& conn);
+  void do_drain();
 
   ServerOptions options_;
   CheckService service_;
@@ -215,20 +270,21 @@ class Server {
   bool drained_ = false;  // guarded by lifecycle_mu_
   std::mutex lifecycle_mu_;
 
-  std::thread accept_thread_;
-  std::vector<std::thread> workers_;
-  std::mutex conns_mu_;
-  std::vector<std::shared_ptr<Connection>> conns_;
-  /// Live readers by id; a reader that exits moves its own handle to
-  /// finished_readers_ (it cannot join itself).  Both guarded by conns_mu_.
-  std::unordered_map<std::uint64_t, std::thread> reader_threads_;
-  std::vector<std::thread> finished_readers_;
-  std::uint64_t next_reader_id_ = 0;  // guarded by conns_mu_
+  std::vector<std::unique_ptr<IoLoop>> loops_;
+  std::size_t next_loop_ = 0;  // round-robin connection placement (io 0 only)
 
+  std::vector<std::thread> workers_;
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<Job> queue_;
+  /// Connections with at least one unprocessed batch (each appears at
+  /// most once: the per-connection strand keeps one worker per
+  /// connection, which is what keeps pipelined responses in order).
+  std::deque<std::shared_ptr<Connection>> strand_queue_;
   bool workers_should_exit_ = false;  // guarded by queue_mu_
+
+  /// Check requests admitted but not yet picked up by a worker — the
+  /// per-request bounded-admission count (queue_capacity).
+  std::atomic<std::size_t> admitted_{0};
 };
 
 }  // namespace ssm::service

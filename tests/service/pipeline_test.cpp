@@ -1,0 +1,462 @@
+// Event-loop server tests: pipelining, batch frames, partial-frame
+// reassembly, shard-grouped cache fan-out, per-request admission, and
+// EMFILE shedding — the PR-6 surface.  Runs under the `concurrency`
+// label, so a TSan build exercises the io-thread/worker/strand handoffs.
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "service/cache.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace json = ssm::common::json;
+namespace metrics = ssm::common::metrics;
+using namespace ssm;
+using namespace std::chrono_literals;
+using service::CachedVerdict;
+using service::CheckService;
+using service::Client;
+using service::Server;
+using service::ServerOptions;
+using service::VerdictCache;
+
+namespace {
+
+constexpr const char* kSbProgram =
+    "name: sb\np: w(x)1 r(y)0\nq: w(y)1 r(x)0\n";
+
+std::string check_frame(const std::string& id,
+                        const std::string& program = kSbProgram) {
+  std::string frame = "{\"op\": \"check\", \"id\": ";
+  json::append_quoted(frame, id);
+  frame += ", \"program\": ";
+  json::append_quoted(frame, program);
+  frame += ", \"models\": [\"SC\"]}";
+  return frame;
+}
+
+/// A one-processor program with `n` writes: every `n` yields a distinct
+/// canonical form (op count differs), so these make arbitrarily many
+/// distinct cache cells that are still trivial to solve.
+std::string chain_program(std::size_t n) {
+  std::string p = "name: chain\np:";
+  for (std::size_t i = 1; i <= n; ++i) p += " w(x)" + std::to_string(i);
+  p += '\n';
+  return p;
+}
+
+bool eventually(const std::function<bool()>& pred) {
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+/// Instant test-seam solver: every cell is Forbidden, counted.  Keeps the
+/// protocol tests independent of engine timing.
+CheckService::Solver instant_solver(std::atomic<int>* calls = nullptr) {
+  return [calls](const litmus::LitmusTest&, const std::string&,
+                 const checker::BudgetSpec&) {
+    if (calls != nullptr) calls->fetch_add(1);
+    return CachedVerdict{CachedVerdict::Status::Forbidden, "", ""};
+  };
+}
+
+struct BlockingSolver {
+  std::atomic<int> calls{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+
+  CheckService::Solver fn() {
+    return [this](const litmus::LitmusTest&, const std::string&,
+                  const checker::BudgetSpec&) {
+      calls.fetch_add(1);
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [this] { return released; });
+      return CachedVerdict{CachedVerdict::Status::Forbidden, "", ""};
+    };
+  }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      released = true;
+    }
+    cv.notify_all();
+  }
+};
+
+ServerOptions tcp_options(unsigned workers, std::size_t queue) {
+  ServerOptions opts;
+  opts.use_tcp = true;
+  opts.tcp_port = 0;
+  opts.workers = workers;
+  opts.queue_capacity = queue;
+  return opts;
+}
+
+/// A raw TCP connection: byte-exact writes (no newline fixups), so tests
+/// can split frames at arbitrary boundaries and concatenate many frames
+/// into one send() — the things the Client class deliberately hides.
+struct RawConn {
+  int fd = -1;
+  std::string buf;
+
+  static RawConn connect_tcp(std::uint16_t port) {
+    RawConn c;
+    c.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (c.fd < 0) throw InvalidInput("raw socket failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(c.fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      throw InvalidInput("raw connect failed");
+    }
+    return c;
+  }
+
+  RawConn() = default;
+  RawConn(RawConn&& o) noexcept : fd(o.fd), buf(std::move(o.buf)) {
+    o.fd = -1;
+  }
+  RawConn(const RawConn&) = delete;
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void send_all(std::string_view s) {
+    std::size_t off = 0;
+    while (off < s.size()) {
+      const ssize_t n =
+          ::send(fd, s.data() + off, s.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw InvalidInput("raw send failed");
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::string read_line() {
+    for (;;) {
+      const std::size_t pos = buf.find('\n');
+      if (pos != std::string::npos) {
+        std::string line = buf.substr(0, pos);
+        buf.erase(0, pos + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw InvalidInput("raw recv failed");
+      }
+      if (n == 0) throw InvalidInput("raw peer closed");
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+};
+
+TEST(Pipelining, ManyFramesInOneWriteAnswerInOrder) {
+  Server server(tcp_options(2, 64), instant_solver());
+  server.start();
+  auto conn = RawConn::connect_tcp(server.port());
+
+  constexpr int kRequests = 16;
+  std::string burst;
+  for (int i = 0; i < kRequests; ++i) {
+    burst += check_frame("p" + std::to_string(i));
+    burst += '\n';
+  }
+  conn.send_all(burst);  // one write, 16 back-to-back requests
+
+  for (int i = 0; i < kRequests; ++i) {
+    const json::Value doc = json::parse(conn.read_line());
+    ASSERT_TRUE(doc.at("ok").as_bool()) << "request " << i;
+    // Strictly in request order — the per-connection strand contract.
+    EXPECT_EQ(doc.at("id").as_string(), "p" + std::to_string(i));
+  }
+
+  server.begin_drain();
+  server.wait();
+}
+
+TEST(Pipelining, PartialFrameSurvivesReadBoundary) {
+  Server server(tcp_options(1, 16), instant_solver());
+  server.start();
+  auto conn = RawConn::connect_tcp(server.port());
+
+  const std::string frame = check_frame("split") + "\n";
+  const std::size_t cut = frame.size() / 2;
+  // First half lands alone: the server must buffer the partial frame
+  // across the readable-event boundary, not answer or reject it.
+  conn.send_all(frame.substr(0, cut));
+  std::this_thread::sleep_for(30ms);
+  // Second half, plus a whole ping, in the next event.
+  conn.send_all(frame.substr(cut) + "{\"op\": \"ping\", \"id\": \"after\"}\n");
+
+  const json::Value first = json::parse(conn.read_line());
+  EXPECT_TRUE(first.at("ok").as_bool());
+  EXPECT_EQ(first.at("id").as_string(), "split");
+  const json::Value second = json::parse(conn.read_line());
+  EXPECT_TRUE(second.at("ok").as_bool());
+  EXPECT_EQ(second.at("id").as_string(), "after");
+
+  server.begin_drain();
+  server.wait();
+}
+
+TEST(Pipelining, BatchArrayFrameAnswersPerElementInOrder) {
+  Server server(tcp_options(1, 16), instant_solver());
+  server.start();
+  auto conn = RawConn::connect_tcp(server.port());
+
+  // A bare JSON array is a batch: one response per element, in array
+  // order; a malformed element errors in position without poisoning its
+  // siblings.
+  std::string batch = "[";
+  batch += check_frame("b1");
+  batch += ", {\"op\": \"nope\", \"id\": \"b2\"}, ";
+  batch += "{\"op\": \"ping\", \"id\": \"b3\"}]\n";
+  conn.send_all(batch);
+
+  const json::Value r1 = json::parse(conn.read_line());
+  EXPECT_TRUE(r1.at("ok").as_bool());
+  EXPECT_EQ(r1.at("id").as_string(), "b1");
+  const json::Value r2 = json::parse(conn.read_line());
+  EXPECT_FALSE(r2.at("ok").as_bool());
+  EXPECT_EQ(r2.at("id").as_string(), "b2");
+  EXPECT_EQ(r2.at("error").at("type").as_string(), "bad_request");
+  const json::Value r3 = json::parse(conn.read_line());
+  EXPECT_TRUE(r3.at("ok").as_bool());
+  EXPECT_EQ(r3.at("id").as_string(), "b3");
+
+  // An empty batch is a whole-frame error (nothing to answer per-element).
+  conn.send_all("[]\n");
+  const json::Value r4 = json::parse(conn.read_line());
+  EXPECT_FALSE(r4.at("ok").as_bool());
+  EXPECT_EQ(r4.at("error").at("type").as_string(), "bad_request");
+
+  server.begin_drain();
+  server.wait();
+}
+
+TEST(Pipelining, BatchFanOutTakesEachShardLockAtMostOncePerBatch) {
+  char tmpl[] = "/tmp/ssm-pipe-test-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string socket_path = std::string(tmpl) + "/s";
+
+  ServerOptions opts;
+  opts.unix_socket = socket_path;
+  opts.workers = 1;
+  opts.queue_capacity = 256;
+  Server server(opts, instant_solver());
+  server.start();
+
+  constexpr std::size_t kPrograms = 64;
+  std::vector<std::string> frames;
+  frames.reserve(kPrograms);
+  for (std::size_t i = 0; i < kPrograms; ++i) {
+    frames.push_back(check_frame("s" + std::to_string(i),
+                                 chain_program(i + 1)));
+  }
+
+  // Warm pass: one call per program, every cell lands in the cache.
+  {
+    auto client = Client::connect_unix(socket_path);
+    for (const std::string& f : frames) {
+      const json::Value doc = json::parse(client.call(f));
+      ASSERT_TRUE(doc.at("ok").as_bool());
+    }
+  }
+
+  auto& shard_locks =
+      metrics::Registry::global().counter("service.shard_lock_acquisitions");
+  auto& batch_size =
+      metrics::Registry::global().histogram("service.batch_size");
+  const std::uint64_t locks_base = shard_locks.value();
+  const std::uint64_t batches_base = batch_size.count();
+
+  // Warm burst: all 64 requests in one write on a unix socket, so the
+  // server coalesces them into very few batches and answers them through
+  // the shard-grouped multi-get.
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  RawConn conn;
+  conn.fd = fd;
+  std::string burst;
+  for (const std::string& f : frames) {
+    burst += f;
+    burst += '\n';
+  }
+  conn.send_all(burst);
+  for (std::size_t i = 0; i < kPrograms; ++i) {
+    const json::Value doc = json::parse(conn.read_line());
+    ASSERT_TRUE(doc.at("ok").as_bool());
+    EXPECT_EQ(doc.at("id").as_string(), "s" + std::to_string(i));
+    EXPECT_EQ(doc.at("results").items()[0].at("source").as_string(), "cache");
+  }
+
+  const std::uint64_t locks = shard_locks.value() - locks_base;
+  const std::uint64_t batches = batch_size.count() - batches_base;
+  ASSERT_GE(batches, 1u);
+  // The contract under test: each of the 16 shard locks is taken at most
+  // once per batch, NOT once per request.  Per-request locking would cost
+  // 64 acquisitions here.
+  EXPECT_LE(locks, VerdictCache::shard_count() * batches)
+      << "a batch must not take a shard lock more than once";
+  EXPECT_LT(locks, kPrograms)
+      << "64 warm requests must not cost 64 shard-lock acquisitions";
+
+  server.begin_drain();
+  server.wait();
+  std::filesystem::remove_all(tmpl);
+}
+
+TEST(Admission, GiantPipelinedBurstIsAdmittedPerRequest) {
+  BlockingSolver solver;
+  Server server(tcp_options(1, 2), solver.fn());
+  server.start();
+  auto& rejected = metrics::Registry::global().counter("service.rejected");
+  const std::uint64_t rejected_base = rejected.value();
+
+  // A occupies the single worker inside the blocked solve; its request has
+  // been picked up, so it no longer holds an admission slot.
+  auto a = RawConn::connect_tcp(server.port());
+  a.send_all(check_frame("a0", chain_program(1)) + "\n");
+  ASSERT_TRUE(eventually([&] { return solver.calls.load() == 1; }));
+
+  // One write, five back-to-back requests against capacity 2: the first
+  // two are admitted, the other three must be rejected INDIVIDUALLY (id
+  // echoed, in response position) — a big burst cannot bypass bounded
+  // admission, and a partial burst is not rejected wholesale either.
+  auto b = RawConn::connect_tcp(server.port());
+  std::string burst;
+  for (int i = 1; i <= 5; ++i) {
+    burst += check_frame("c" + std::to_string(i), chain_program(i + 1));
+    burst += '\n';
+  }
+  b.send_all(burst);
+  ASSERT_TRUE(
+      eventually([&] { return rejected.value() == rejected_base + 3; }));
+
+  solver.release();
+  const json::Value ra = json::parse(a.read_line());
+  EXPECT_TRUE(ra.at("ok").as_bool());
+  for (int i = 1; i <= 5; ++i) {
+    const json::Value doc = json::parse(b.read_line());
+    EXPECT_EQ(doc.at("id").as_string(), "c" + std::to_string(i));
+    if (i <= 2) {
+      EXPECT_TRUE(doc.at("ok").as_bool()) << "admitted request " << i;
+    } else {
+      ASSERT_FALSE(doc.at("ok").as_bool()) << "over-capacity request " << i;
+      EXPECT_EQ(doc.at("error").at("type").as_string(), "overloaded");
+    }
+  }
+
+  server.begin_drain();
+  server.wait();
+}
+
+TEST(AcceptLoop, EmfileShedsOneIdleConnectionAndRecovers) {
+  Server server(tcp_options(1, 16), instant_solver());
+  server.start();
+  auto& accept_errors =
+      metrics::Registry::global().counter("service.accept_errors");
+  auto& open = metrics::Registry::global().gauge("service.open_connections");
+  const std::int64_t open_base = open.value();
+
+  // Two idle connections (a ping each proves they are registered).
+  auto idle1 = RawConn::connect_tcp(server.port());
+  idle1.send_all("{\"op\": \"ping\", \"id\": \"i1\"}\n");
+  (void)idle1.read_line();
+  auto idle2 = RawConn::connect_tcp(server.port());
+  idle2.send_all("{\"op\": \"ping\", \"id\": \"i2\"}\n");
+  (void)idle2.read_line();
+  ASSERT_TRUE(eventually([&] { return open.value() == open_base + 2; }));
+  const std::uint64_t errors_base = accept_errors.value();
+
+  // Pre-create the client socket, THEN clamp RLIMIT_NOFILE to the current
+  // frontier: connect() consumes no new client fd, but the server-side
+  // accept() needs one and gets EMFILE — it must shed an idle connection
+  // and retry, not go deaf.
+  const int spare = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(spare, 0);
+  struct RlimitGuard {
+    rlimit saved{};
+    bool armed = false;
+    ~RlimitGuard() {
+      if (armed) ::setrlimit(RLIMIT_NOFILE, &saved);
+    }
+  } guard;
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &guard.saved), 0);
+  const int probe = ::dup(0);  // first free fd number
+  ASSERT_GE(probe, 0);
+  ::close(probe);
+  rlimit clamped = guard.saved;
+  clamped.rlim_cur = static_cast<rlim_t>(probe);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &clamped), 0);
+  guard.armed = true;
+
+  RawConn fresh;
+  fresh.fd = spare;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(spare, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+
+  // The accept failure is counted, an idle connection is shed to free its
+  // fd, and the new connection gets served.
+  ASSERT_TRUE(
+      eventually([&] { return accept_errors.value() > errors_base; }));
+  fresh.send_all("{\"op\": \"ping\", \"id\": \"fresh\"}\n");
+  const json::Value pong = json::parse(fresh.read_line());
+  EXPECT_TRUE(pong.at("ok").as_bool());
+  EXPECT_EQ(pong.at("id").as_string(), "fresh");
+  // Net connections: the two idles minus the shed victim, plus the fresh
+  // one.
+  ASSERT_TRUE(eventually([&] { return open.value() == open_base + 2; }))
+      << "open=" << open.value() << " base=" << open_base
+      << " accept_errors=" << accept_errors.value() - errors_base;
+
+  ::setrlimit(RLIMIT_NOFILE, &guard.saved);
+  guard.armed = false;
+  server.begin_drain();
+  server.wait();
+}
+
+}  // namespace

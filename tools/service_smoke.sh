@@ -3,14 +3,24 @@
 #
 # Starts `ssm serve` on a private unix socket, replays three corpus
 # entries through `ssm client`, replays them again asserting every cell
-# comes back from the cache, then shuts the server down through the
-# protocol and checks it drains cleanly (exit 0, drain line logged).
+# comes back from the cache — once sequentially and once with 8 frames
+# pipelined down one connection (responses must come back id-matched and
+# in order; `ssm client --pipeline` exits 5 on reordering) — then shuts
+# the server down through the protocol and checks it drains cleanly
+# (exit 0, drain line logged).
 #
-# usage: service_smoke.sh <ssm-binary> <corpus-dir>
+# When a service_load binary is passed, a 512-connection soak rides
+# along: every connection pipelines against the one event loop and the
+# run must exit 0 (in-order responses, verdict digest stable across
+# cold/warm passes).  Skipped when `ulimit -n` cannot cover 2 fds per
+# connection plus slack.
+#
+# usage: service_smoke.sh <ssm-binary> <corpus-dir> [service-load-binary]
 set -eu
 
 SSM="$1"
 CORPUS="$2"
+LOAD="${3:-}"
 
 TMP=$(mktemp -d "${TMPDIR:-/tmp}/ssm-smoke-XXXXXX")
 trap 'rm -rf "$TMP"' EXIT
@@ -44,6 +54,14 @@ for f in $(pick_three); do
   "$SSM" client --socket "$SOCK" check "$f" --expect-cached > /dev/null
 done
 
+# Pass 3: the same three warmed tests concatenated into one multi-test
+# file and pipelined 8 frames deep down ONE connection — the client
+# writes every frame before reading any response and exits 5 if the
+# id-echoed responses come back out of order, 7 on a cache miss.
+cat $(pick_three) > "$TMP/warm.litmus"
+"$SSM" client --socket "$SOCK" check "$TMP/warm.litmus" --pipeline 8 \
+  --expect-cached > /dev/null
+
 # Protocol-level shutdown must drain and exit 0.
 "$SSM" client --socket "$SOCK" shutdown > /dev/null
 if ! wait "$SERVER_PID"; then
@@ -56,4 +74,31 @@ grep -q "drained, exiting" "$TMP/serve.log" || {
   cat "$TMP/serve.log" >&2
   exit 1
 }
+
+# Soak: 512 pipelined connections against one event-loop thread.  The
+# bench binary asserts in-order responses per connection and a stable
+# verdict digest across the cold/warm passes (non-zero exit on either),
+# so this doubles as a many-connection correctness gate.  2 fds per
+# connection (client + server end, one process) plus slack for the
+# binary's own files; skip rather than flake when the limit is too low.
+if [ -n "$LOAD" ]; then
+  SOAK_CONNS=512
+  NOFILE=$(ulimit -n 2> /dev/null || echo 0)
+  NEEDED=$((SOAK_CONNS * 2 + 128))
+  if [ "$NOFILE" != "unlimited" ] && [ "$NOFILE" -lt "$NEEDED" ]; then
+    # Try to raise the soft limit toward the hard limit before giving up.
+    ulimit -n "$NEEDED" 2> /dev/null || true
+    NOFILE=$(ulimit -n 2> /dev/null || echo 0)
+  fi
+  if [ "$NOFILE" = "unlimited" ] || [ "$NOFILE" -ge "$NEEDED" ]; then
+    "$LOAD" --corpus "$CORPUS" --conns "$SOAK_CONNS" --iters 1 \
+      --pipeline 4 --workers 2 > "$TMP/soak.json" || {
+      echo "FAIL: 512-connection soak failed" >&2
+      cat "$TMP/soak.json" >&2
+      exit 1
+    }
+  else
+    echo "soak skipped: ulimit -n $NOFILE < $NEEDED" >&2
+  fi
+fi
 echo "service smoke OK"

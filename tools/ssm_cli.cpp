@@ -106,16 +106,18 @@ void print_usage(std::FILE* out) {
       "  replay <dir>    replay a .litmus regression corpus against its\n"
       "                  recorded expectations\n"
       "  serve [--socket PATH | --tcp [PORT]] [--cache-dir DIR]\n"
-      "        [--cache-capacity N] [--queue N] [--workers N] "
-      "[--preload DIR]\n"
-      "                  long-running check server: NDJSON protocol over a\n"
+      "        [--cache-capacity N] [--queue N] [--workers N]\n"
+      "        [--io-threads N] [--preload DIR]\n"
+      "                  long-running check server: epoll event loop,\n"
+      "                  NDJSON protocol (pipelining + batch frames) over a\n"
       "                  unix or 127.0.0.1 TCP socket, verdict cache,\n"
       "                  single-flight dedup, bounded admission queue,\n"
       "                  graceful drain on SIGINT/SIGTERM "
       "(docs/SERVICE.md)\n"
       "  client (--socket PATH | --tcp PORT) <op> [args]\n"
       "                  ops: check <file> [model...] [--no-cache]\n"
-      "                       [--expect-cached] | stats | ping | shutdown\n"
+      "                       [--expect-cached] [--pipeline N] |\n"
+      "                       stats | ping | shutdown\n"
       "global options:\n"
       "  --jobs N        checking-engine threads (default: SSM_JOBS or all "
       "cores)\n"
@@ -488,6 +490,12 @@ int cmd_serve(int argc, char** argv, const GlobalOptions& opts) {
       }
     } else if (arg == "--workers") {
       sopts.workers = parse_u32("--workers value", value());
+    } else if (arg == "--io-threads") {
+      sopts.io_threads = parse_u32("--io-threads value", value());
+      if (sopts.io_threads == 0) {
+        std::fprintf(stderr, "ssm serve: --io-threads must be >= 1\n");
+        return 64;
+      }
     } else if (arg == "--preload") {
       preload_dir = value();
     } else {
@@ -538,6 +546,7 @@ int cmd_client(int argc, char** argv, const GlobalOptions& opts) {
   bool use_tcp = false;
   bool no_cache = false;
   bool expect_cached = false;
+  std::size_t pipeline = 1;
   std::vector<std::string> rest;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -557,6 +566,12 @@ int cmd_client(int argc, char** argv, const GlobalOptions& opts) {
       no_cache = true;
     } else if (arg == "--expect-cached") {
       expect_cached = true;
+    } else if (arg == "--pipeline") {
+      pipeline = parse_u64("--pipeline value", value());
+      if (pipeline == 0) {
+        std::fprintf(stderr, "ssm client: --pipeline must be >= 1\n");
+        return 64;
+      }
     } else {
       rest.push_back(arg);
     }
@@ -582,9 +597,12 @@ int cmd_client(int argc, char** argv, const GlobalOptions& opts) {
   const auto tests = litmus::parse_suite(text.str());
   std::vector<std::string> model_args(rest.begin() + 2, rest.end());
 
-  // One request per test (the protocol takes exactly one program each);
-  // responses come back in order on the same connection.
-  int worst = 0;
+  // One request per test (the protocol takes exactly one program each).
+  // With --pipeline W, up to W requests are on the wire before the first
+  // response is read; the server answers strictly in request order on one
+  // connection, which the id check below enforces (exit 5 on a violation).
+  std::vector<std::string> frames;
+  frames.reserve(tests.size());
   for (const auto& t : tests) {
     std::string frame = "{\"op\": \"check\", \"id\": ";
     common::json::append_quoted(frame, t.name);
@@ -606,9 +624,31 @@ int cmd_client(int argc, char** argv, const GlobalOptions& opts) {
     }
     if (no_cache) frame += ", \"no_cache\": true";
     frame += '}';
-    const std::string reply = client.call(frame);
-    std::printf("%s\n", reply.c_str());
-    const auto doc = common::json::parse(reply);
+    frames.push_back(std::move(frame));
+  }
+
+  int worst = 0;
+  std::size_t sent = 0;
+  for (std::size_t recvd = 0; recvd < frames.size(); ++recvd) {
+    while (sent < frames.size() && sent - recvd < pipeline) {
+      client.send_frame(frames[sent]);
+      ++sent;
+    }
+    const auto reply = client.read_frame();
+    if (!reply) {
+      std::fprintf(stderr, "ssm client: server closed mid-conversation\n");
+      return 2;
+    }
+    std::printf("%s\n", reply->c_str());
+    const auto doc = common::json::parse(*reply);
+    const litmus::LitmusTest& t = tests[recvd];
+    if (doc.at("id").as_string() != t.name) {
+      std::fprintf(stderr,
+                   "ssm client: response out of order: expected id %s, "
+                   "got %s\n",
+                   t.name.c_str(), doc.at("id").as_string().c_str());
+      return 5;
+    }
     if (!doc.at("ok").as_bool()) {
       worst = std::max(worst, 2);
       continue;
