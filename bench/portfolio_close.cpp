@@ -1,0 +1,193 @@
+// Portfolio closure: how close racing both backends comes to the
+// per-cell best backend, and how many search-INCONCLUSIVEs the race
+// retires at the same budget (docs/PORTFOLIO.md).
+//
+// Not a paper artifact — this measures the PR-7 second decision backend.
+// The workload runs the builtin suite × all 18 registry models three
+// times under one budget: once per backend (search, encode, race), every
+// cell on one thread so per-cell walls are honest.  For each cell the
+// per-backend wall time and verdict are recorded; the race's wall is then
+// compared against min(search, encode) — the "oracle best" a perfect
+// per-cell backend picker would achieve.
+//
+// Modes:
+//   ./portfolio_close [--max-nodes N] [--json out.json]
+//
+// JSON record (BENCH_portfolio.json trajectory): per-backend cell counts,
+// inconclusive counts, wall seconds, the race's retire rate over search's
+// undecided cells (acceptance floor: >= 0.50, enforced by exit code), the
+// race-vs-oracle-best closure ratio, and the global metrics snapshot.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
+#include "litmus/suite.hpp"
+#include "models/registry.hpp"
+#include "solve/portfolio.hpp"
+
+namespace {
+
+using namespace ssm;
+
+struct BackendTotals {
+  std::uint64_t cells = 0;
+  std::uint64_t inconclusive = 0;
+  double wall_s = 0.0;
+};
+
+double wall_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t max_nodes = 100;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-nodes") == 0 && i + 1 < argc) {
+      max_nodes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: portfolio_close [--max-nodes N] [--json out.json]\n");
+      return 64;
+    }
+  }
+
+  common::metrics::Registry::global().reset();
+  common::ThreadPool::set_global_jobs(1);
+  const checker::BudgetSpec spec{.max_nodes = max_nodes, .timeout_ms = 0};
+  const auto& suite = litmus::builtin_suite();
+  const auto names = models::model_names();
+
+  // Per-cell verdict+wall per backend, cells in (test, model) order.
+  const auto sweep = [&](checker::Backend backend, BackendTotals& totals,
+                         std::vector<double>* walls,
+                         std::vector<bool>* undecided) {
+    for (const auto& t : suite) {
+      for (const auto& name : names) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto v = checker::Portfolio::check(t.hist, name, backend, spec);
+        const double w = wall_since(t0);
+        ++totals.cells;
+        totals.wall_s += w;
+        if (v.inconclusive) ++totals.inconclusive;
+        if (walls != nullptr) walls->push_back(w);
+        if (undecided != nullptr) undecided->push_back(v.inconclusive);
+      }
+    }
+  };
+
+  BackendTotals search, encode, race;
+  std::vector<double> search_walls, encode_walls, race_walls;
+  std::vector<bool> search_undecided, race_undecided;
+  sweep(checker::Backend::Search, search, &search_walls, &search_undecided);
+  sweep(checker::Backend::Encode, encode, &encode_walls, nullptr);
+  sweep(checker::Backend::Race, race, &race_walls, &race_undecided);
+
+  // Race vs the per-cell best single backend ("oracle best").
+  double best_wall = 0.0;
+  for (std::size_t i = 0; i < race_walls.size(); ++i) {
+    best_wall += std::min(search_walls[i], encode_walls[i]);
+  }
+  const double closure =
+      race.wall_s == 0.0 ? 0.0 : race.wall_s / std::max(best_wall, 1e-9);
+
+  // The acceptance metric: of the cells search left undecided, how many
+  // does the race retire at the SAME budget?
+  std::uint64_t retired = 0;
+  for (std::size_t i = 0; i < search_undecided.size(); ++i) {
+    if (search_undecided[i] && !race_undecided[i]) ++retired;
+  }
+  const double retire_rate =
+      search.inconclusive == 0
+          ? 1.0
+          : static_cast<double>(retired) /
+                static_cast<double>(search.inconclusive);
+
+  const std::uint64_t search_wins =
+      common::metrics::Registry::global()
+          .counter("checker.portfolio_search_wins")
+          .value();
+  const std::uint64_t encode_wins =
+      common::metrics::Registry::global()
+          .counter("checker.portfolio_encode_wins")
+          .value();
+
+  std::printf("portfolio_close: %zu tests x %zu models, max_nodes=%llu\n",
+              suite.size(), names.size(),
+              static_cast<unsigned long long>(max_nodes));
+  std::printf("search: %llu cells, %llu undecided, %.3fs\n",
+              static_cast<unsigned long long>(search.cells),
+              static_cast<unsigned long long>(search.inconclusive),
+              search.wall_s);
+  std::printf("encode: %llu cells, %llu undecided, %.3fs\n",
+              static_cast<unsigned long long>(encode.cells),
+              static_cast<unsigned long long>(encode.inconclusive),
+              encode.wall_s);
+  std::printf("race:   %llu cells, %llu undecided, %.3fs "
+              "(%.2fx oracle-best %.3fs)\n",
+              static_cast<unsigned long long>(race.cells),
+              static_cast<unsigned long long>(race.inconclusive), race.wall_s,
+              closure, best_wall);
+  std::printf("race retires %llu/%llu search-undecided cells (rate %.3f); "
+              "wins: search %llu, encode %llu\n",
+              static_cast<unsigned long long>(retired),
+              static_cast<unsigned long long>(search.inconclusive),
+              retire_rate, static_cast<unsigned long long>(search_wins),
+              static_cast<unsigned long long>(encode_wins));
+
+  if (json_path != nullptr) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    char buf[1536];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\n"
+        "  \"benchmark\": \"portfolio_close\",\n"
+        "  \"suite_tests\": %zu,\n"
+        "  \"models\": %zu,\n"
+        "  \"max_nodes\": %llu,\n"
+        "  \"cells_per_backend\": %llu,\n"
+        "  \"search_inconclusive\": %llu,\n"
+        "  \"search_wall_seconds\": %.6f,\n"
+        "  \"encode_inconclusive\": %llu,\n"
+        "  \"encode_wall_seconds\": %.6f,\n"
+        "  \"race_inconclusive\": %llu,\n"
+        "  \"race_wall_seconds\": %.6f,\n"
+        "  \"oracle_best_wall_seconds\": %.6f,\n"
+        "  \"race_closure_ratio\": %.4f,\n"
+        "  \"race_retired\": %llu,\n"
+        "  \"race_retire_rate\": %.4f,\n"
+        "  \"portfolio_search_wins\": %llu,\n"
+        "  \"portfolio_encode_wins\": %llu,\n"
+        "  ",
+        suite.size(), names.size(),
+        static_cast<unsigned long long>(max_nodes),
+        static_cast<unsigned long long>(search.cells),
+        static_cast<unsigned long long>(search.inconclusive), search.wall_s,
+        static_cast<unsigned long long>(encode.inconclusive), encode.wall_s,
+        static_cast<unsigned long long>(race.inconclusive), race.wall_s,
+        best_wall, closure, static_cast<unsigned long long>(retired),
+        retire_rate, static_cast<unsigned long long>(search_wins),
+        static_cast<unsigned long long>(encode_wins));
+    std::string snapshot;
+    common::metrics::append_global_snapshot(snapshot);
+    out << buf << snapshot << "\n}\n";
+  }
+  // The retire rate is the whole point: below 50% the second backend is
+  // not pulling its weight on exactly the cells the search cannot decide.
+  return retire_rate >= 0.50 ? 0 : 1;
+}

@@ -16,7 +16,12 @@ BudgetScope::~BudgetScope() { g_current_budget = prev_; }
 SearchBudget* current_budget() noexcept { return g_current_budget; }
 
 bool budget_exhausted() noexcept {
-  return g_current_budget != nullptr && g_current_budget->exhausted();
+  if (g_current_budget == nullptr) return false;
+  // Exhaustion-latch checks probe the deadline unconditionally: a check
+  // that blew past --timeout-ms without ever crossing a charge stride must
+  // still resolve to INCONCLUSIVE, not a verdict computed over budget.
+  g_current_budget->probe_deadline();
+  return g_current_budget->exhausted();
 }
 
 bool charge_budget(std::uint64_t n) noexcept {

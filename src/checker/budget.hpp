@@ -69,6 +69,34 @@ class SearchBudget {
     return true;
   }
 
+  /// Probes the wall-clock deadline unconditionally — no stride
+  /// amortization.  charge() only reads the clock when the running total
+  /// crosses a kClockStride boundary, so a check whose searches each
+  /// expand fewer than kClockStride nodes between long per-node stalls
+  /// would never trip --timeout-ms from charging alone; search entry
+  /// (ViewSearch::run) and the exhaustion-latch checks (budget_exhausted)
+  /// call this instead.  Returns false — latching — once the deadline has
+  /// passed (or anything else already tripped the budget).
+  bool probe_deadline() noexcept {
+    if (exhausted_.load(std::memory_order_relaxed)) return false;
+    if (spec_.timeout_ms != 0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  /// Trips the exhaustion latch from outside (no nodes charged).  The
+  /// portfolio poisons the losing backend's budget together with flipping
+  /// the cancel token: cancellation unwinds the search, poisoning makes
+  /// the unwound result read as budget exhaustion, so the loser's verdict
+  /// degrades to INCONCLUSIVE through the same path as a genuine timeout
+  /// instead of surfacing a spurious definite "no".
+  void poison() noexcept {
+    exhausted_.store(true, std::memory_order_relaxed);
+  }
+
   [[nodiscard]] bool exhausted() const noexcept {
     return exhausted_.load(std::memory_order_relaxed);
   }

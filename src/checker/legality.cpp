@@ -15,6 +15,7 @@ namespace metrics = common::metrics;
 thread_local SearchStats g_stats;
 thread_local bool g_memoize = true;
 thread_local bool g_degenerate_hash = false;
+thread_local void (*g_slow_legality_hook)() = nullptr;
 
 std::atomic<std::uint64_t> g_agg_nodes{0};
 std::atomic<std::uint64_t> g_agg_memo_hits{0};
@@ -252,7 +253,17 @@ class ViewSearch {
 
   /// Returns true if the visitor or the stop token requested early stop.
   bool run() {
-    dfs();
+    // Search entry probes the deadline unconditionally: per-node charging
+    // amortizes its clock reads over kClockStride nodes, so a run of small
+    // searches would otherwise never notice a deadline that passed during
+    // slow per-node legality work between them.
+    if (SearchBudget* b = control_.budget();
+        b != nullptr && !b->probe_deadline()) {
+      exhausted_ = true;
+      stopped_ = true;
+    } else {
+      dfs();
+    }
     if (control_.cancelled()) g_stats.cancelled = 1;
     g_stats.exhausted = exhausted_ ? 1 : 0;
     g_agg_nodes.fetch_add(g_stats.nodes, std::memory_order_relaxed);
@@ -332,6 +343,7 @@ class ViewSearch {
       stopped_ = true;
       return false;
     }
+    if (g_slow_legality_hook != nullptr) g_slow_legality_hook();
     if (order_.size() == target_) {
       if (!visit_(order_)) stopped_ = true;
       return true;
@@ -602,6 +614,10 @@ void reset_aggregate_search_stats() noexcept {
 }
 
 void set_memoization_enabled(bool enabled) noexcept { g_memoize = enabled; }
+
+void set_slow_legality_hook_for_testing(void (*hook)()) noexcept {
+  g_slow_legality_hook = hook;
+}
 
 void set_degenerate_memo_hash_for_testing(bool degenerate) noexcept {
   g_degenerate_hash = degenerate;

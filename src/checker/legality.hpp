@@ -167,6 +167,14 @@ void reset_aggregate_search_stats() noexcept;
 /// globally on this thread.  Results are identical; only work changes.
 void set_memoization_enabled(bool enabled) noexcept;
 
+/// Test hook (thread-local): invoked once per expanded node, simulating
+/// long per-node legality work.  tests/checker/budget_test.cpp uses it to
+/// pin the unconditional deadline probes on search entry and on
+/// exhaustion-latch checks — with only the stride-amortized probe in
+/// SearchBudget::charge, a run of sub-kClockStride searches with slow
+/// nodes blows far past --timeout-ms.  Pass nullptr to clear.
+void set_slow_legality_hook_for_testing(void (*hook)()) noexcept;
+
 /// Test hook (thread-local): collapse the memo table's hash to a constant
 /// so every pair of distinct states collides.  With a hash-keyed memo this
 /// provokes wrong rejections (the pre-full-key implementation pruned live

@@ -238,32 +238,40 @@ class Parser {
           out += '\f';
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned cp = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            cp <<= 4;
-            if (h >= '0' && h <= '9') {
-              cp |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              cp |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              cp |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              fail("bad \\u escape digit");
+          unsigned cp = parse_hex4();
+          // Surrogate halves are not codepoints.  A high surrogate must be
+          // immediately followed by an escaped low surrogate (the pair
+          // names one supplementary codepoint); anything else — a lone low
+          // surrogate, a high surrogate at end of string, or two highs in
+          // a row — is rejected so that parse/emit stays a strict inverse
+          // (a decoded lone surrogate could never be re-emitted as valid
+          // UTF-8).
+          if (cp >= 0xDC00 && cp <= 0xDFFF) fail("lone low surrogate");
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("high surrogate without a paired \\u escape");
             }
+            pos_ += 2;
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              fail("high surrogate paired with a non-low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
           }
-          if (cp >= 0xD800 && cp <= 0xDFFF) {
-            fail("surrogate \\u escapes are unsupported");
-          }
-          // Encode the BMP codepoint as UTF-8.
+          // Shortest-form UTF-8 for the decoded codepoint.
           if (cp < 0x80) {
             out += static_cast<char>(cp);
           } else if (cp < 0x800) {
             out += static_cast<char>(0xC0 | (cp >> 6));
             out += static_cast<char>(0x80 | (cp & 0x3F));
-          } else {
+          } else if (cp < 0x10000) {
             out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (cp & 0x3F));
           }
@@ -273,6 +281,26 @@ class Parser {
           fail("unknown escape");
       }
     }
+  }
+
+  /// Four hex digits of a \u escape (the cursor sits just past the 'u').
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      cp <<= 4;
+      if (h >= '0' && h <= '9') {
+        cp |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        cp |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        cp |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        fail("bad \\u escape digit");
+      }
+    }
+    return cp;
   }
 
   std::string parse_number_body() {

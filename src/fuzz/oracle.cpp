@@ -5,6 +5,7 @@
 #include "lattice/inclusion.hpp"
 #include "models/operational.hpp"
 #include "order/derived.hpp"
+#include "solve/backend.hpp"
 
 namespace ssm::fuzz {
 namespace {
@@ -65,6 +66,8 @@ const char* to_string(FindingKind k) noexcept {
       return "operational-unsound";
     case FindingKind::WitnessMismatch:
       return "witness-mismatch";
+    case FindingKind::BackendDisagreement:
+      return "backend-disagreement";
   }
   return "unknown";
 }
@@ -102,6 +105,14 @@ checker::Verdict Oracle::check_budgeted(
   checker::SearchBudget budget(options_.budget);
   const checker::BudgetScope scope(&budget);
   return m.check(h);
+}
+
+checker::Verdict Oracle::encode_budgeted(
+    std::string_view model_name, const history::SystemHistory& h) const {
+  if (options_.budget.unlimited()) return solve::encode_check(h, model_name);
+  checker::SearchBudget budget(options_.budget);
+  const checker::SearchControl control(nullptr, &budget);
+  return solve::encode_check(h, model_name, control);
 }
 
 const models::Model* Oracle::by_name(std::string_view name) const {
@@ -164,6 +175,31 @@ CaseResult Oracle::run_case(const litmus::LitmusTest& t) const {
       out.findings.push_back(std::move(f));
     }
   }
+  // Invariant 4: search and encoding must agree wherever both decide.
+  // The encode side is always the real encoding by model NAME, so a
+  // sabotaged search model (make_buggy_model) disagrees here.
+  if (options_.check_backends) {
+    for (std::size_t i = 0; i < models_.size(); ++i) {
+      const std::string name(models_[i]->name());
+      if (!solve::encode_supports(name)) continue;
+      const auto& sv = verdicts[i];
+      if (sv.inconclusive) continue;
+      const auto ev = encode_budgeted(name, h);
+      if (ev.inconclusive) {
+        out.inconclusive.push_back(name + " (encode): " + ev.note);
+        continue;
+      }
+      if (sv.allowed == ev.allowed) continue;
+      Finding f;
+      f.kind = FindingKind::BackendDisagreement;
+      f.model = name;
+      f.detail = "search says " +
+                 std::string(sv.allowed ? "allowed" : "forbidden") +
+                 " but encode says " +
+                 std::string(ev.allowed ? "allowed" : "forbidden");
+      out.findings.push_back(std::move(f));
+    }
+  }
   // Invariant 3: machine-reachable implies declaratively admitted.
   if (options_.check_operational &&
       h.size() <= options_.max_operational_ops) {
@@ -213,6 +249,16 @@ bool Oracle::reproduces(const history::SystemHistory& h,
       } catch (const InvalidInput&) {
         return true;
       }
+    }
+    case FindingKind::BackendDisagreement: {
+      const auto* m = by_name(finding.model);
+      if (m == nullptr || !solve::encode_supports(finding.model)) {
+        return false;
+      }
+      const auto sv = check_budgeted(*m, h);
+      if (sv.inconclusive) return false;
+      const auto ev = encode_budgeted(finding.model, h);
+      return !ev.inconclusive && sv.allowed != ev.allowed;
     }
     case FindingKind::OperationalUnsound: {
       if (h.size() > options_.max_operational_ops) return false;

@@ -20,6 +20,13 @@
 //      causal→Causal, coherent→PCg).  Concretely: if exhaustive schedule
 //      exploration (models::make_operational) reproduces the case's read
 //      values, the declarative model must say yes.
+//   4. Backend agreement (docs/PORTFOLIO.md): the enumerating search and
+//      the SAT-encoding backend decide the same predicate, so two
+//      conclusive verdicts for the same (history, model) must be equal.
+//      The encode side always runs the REAL encoding (solve::encode_check
+//      by model name), so a sabotaged search model (make_buggy_model,
+//      `ssm fuzz --inject-bug`) surfaces here as a disagreement even when
+//      no lattice edge catches it.
 //
 // INCONCLUSIVE verdicts (budget trips) are never findings: an exhausted
 // search proves nothing in either direction, so budget trips are reported
@@ -48,6 +55,9 @@ enum class FindingKind : std::uint8_t {
   /// A positive verdict whose certificate fails independent
   /// re-verification (or cannot be packaged at all).
   WitnessMismatch,
+  /// Search and SAT-encoding backends return different conclusive
+  /// verdicts for the same (history, model) cell.
+  BackendDisagreement,
 };
 
 [[nodiscard]] const char* to_string(FindingKind k) noexcept;
@@ -66,6 +76,9 @@ struct Finding {
 struct OracleOptions {
   bool check_witnesses = true;
   bool check_operational = true;
+  /// Invariant 4: differential search-vs-encode on every case, for every
+  /// model the encoding supports.
+  bool check_backends = true;
   /// Histories larger than this skip invariant 3 (exploration is
   /// exponential in total operations).
   std::uint32_t max_operational_ops = 6;
@@ -107,6 +120,10 @@ class Oracle {
  private:
   [[nodiscard]] checker::Verdict check_budgeted(
       const models::Model& m, const history::SystemHistory& h) const;
+  /// The SAT-encoding counterpart of check_budgeted: always the real
+  /// encoding (by name), never a wrapped/instrumented model.
+  [[nodiscard]] checker::Verdict encode_budgeted(
+      std::string_view model_name, const history::SystemHistory& h) const;
   [[nodiscard]] const models::Model* by_name(std::string_view name) const;
 
   std::vector<models::ModelPtr> models_;

@@ -25,7 +25,15 @@ ModelOutcome run_cell(const LitmusTest& t, const models::Model& m,
   // Every model cell of one test derives its orders from the same shared
   // per-test cache (scoped like the ambient budget below).
   const order::OrdersScope orders_scope(orders);
-  if (options.budget.unlimited()) {
+  if (options.backend != checker::Backend::Search) {
+    // Encode / race cells go through the portfolio, which owns its own
+    // budgets (one per backend for a race).
+    const auto v =
+        checker::Portfolio::check(t.hist, m.name(), options.backend,
+                                  options.budget);
+    mo.allowed = v.allowed;
+    mo.inconclusive = v.inconclusive;
+  } else if (options.budget.unlimited()) {
     const auto v = m.check(t.hist);
     mo.allowed = v.allowed;
     mo.inconclusive = v.inconclusive;

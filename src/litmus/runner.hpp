@@ -9,6 +9,7 @@
 #include "checker/budget.hpp"
 #include "litmus/test.hpp"
 #include "models/model.hpp"
+#include "solve/portfolio.hpp"
 
 namespace ssm::litmus {
 
@@ -44,6 +45,11 @@ struct TestOutcome {
 /// cell cannot starve the rest of the matrix.  Default: unlimited.
 struct RunOptions {
   checker::BudgetSpec budget;
+  /// Decision backend per cell: the enumerating search (default), the SAT
+  /// encoding, or a race of both (docs/PORTFOLIO.md).  Race pairs
+  /// naturally with a budget — each backend gets its own fresh budget of
+  /// this spec and the first definite verdict retires the cell.
+  checker::Backend backend = checker::Backend::Search;
   /// run_suite checks one representative per isomorphism class (see
   /// litmus/canonical.hpp) and replays its verdict to the other members,
   /// whose expectations are still evaluated against their own expect lines.

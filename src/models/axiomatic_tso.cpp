@@ -20,6 +20,7 @@
 // comparison: paper's view-based TSO vs this axiomatic TSO vs the
 // operational store-buffer machine, over exhaustive universes.
 #include "checker/scope.hpp"
+#include "models/edges.hpp"
 #include "models/models.hpp"
 #include "models/per_processor.hpp"
 #include "order/orders.hpp"
@@ -27,27 +28,6 @@
 
 namespace ssm::models {
 namespace {
-
-/// po with every store→load edge removed (regardless of location).
-rel::Relation po_minus_store_load(const SystemHistory& h) {
-  rel::Relation r(h.size());
-  for (ProcId p = 0; p < h.num_processors(); ++p) {
-    const auto ops = h.processor_ops(p);
-    for (std::size_t i = 0; i < ops.size(); ++i) {
-      const auto& a = h.op(ops[i]);
-      for (std::size_t j = i + 1; j < ops.size(); ++j) {
-        const auto& b = h.op(ops[j]);
-        const bool store_then_load =
-            a.kind == OpKind::Write && b.kind == OpKind::Read;
-        if (!store_then_load) r.add(ops[i], ops[j]);
-      }
-    }
-  }
-  // NOT transitively closed on purpose: closure through a dropped edge
-  // would resurrect it.  Linear-extension enumeration only needs the
-  // base edges.
-  return r;
-}
 
 /// Does memory order M (a permutation of all ops) satisfy the Value
 /// axiom for every load?

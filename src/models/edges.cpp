@@ -1,0 +1,145 @@
+#include "models/edges.hpp"
+
+#include "common/types.hpp"
+
+namespace ssm::models {
+
+rel::DynBitset forwarded_reads(const SystemHistory& h) {
+  rel::DynBitset out(h.size());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    const auto ops = h.processor_ops(p);
+    for (std::size_t j = 0; j < ops.size(); ++j) {
+      const auto& r = h.op(ops[j]);
+      if (r.kind != OpKind::Read) continue;
+      const OpIndex w = h.writer_of(ops[j]);
+      if (w == kNoOp || h.op(w).proc != p || h.op(w).seq >= r.seq) continue;
+      // w must be the latest preceding same-location write of p.
+      bool latest = true;
+      for (std::size_t k = 0; k < j; ++k) {
+        const auto& mid = h.op(ops[k]);
+        if (mid.is_write() && mid.loc == r.loc && mid.seq > h.op(w).seq) {
+          latest = false;
+          break;
+        }
+      }
+      if (latest) out.set(ops[j]);
+    }
+  }
+  return out;
+}
+
+rel::Relation forwarding_ppo(const SystemHistory& h) {
+  rel::Relation base(h.size());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    const auto ops = h.processor_ops(p);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const auto& o1 = h.op(ops[i]);
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        const auto& o2 = h.op(ops[j]);
+        const bool both_reads = o1.is_read() && o2.is_read();
+        const bool both_writes = o1.is_write() && o2.is_write();
+        const bool read_then_write = o1.is_read() && o2.is_write();
+        bool same_loc = o1.loc == o2.loc;
+        if (same_loc && o1.kind == OpKind::Write && o2.kind == OpKind::Read &&
+            h.writer_of(ops[j]) == ops[i]) {
+          same_loc = false;  // forwarded: no global ordering obligation
+        }
+        if (same_loc || both_reads || both_writes || read_then_write) {
+          base.add(ops[i], ops[j]);
+        }
+      }
+    }
+  }
+  return base.transitive_closure();
+}
+
+rel::Relation fence_edges(const SystemHistory& h) {
+  rel::Relation r(h.size());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    const auto ops = h.processor_ops(p);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        if (h.op(ops[i]).is_labeled() != h.op(ops[j]).is_labeled()) {
+          r.add(ops[i], ops[j]);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+rel::Relation hybrid_edges(const SystemHistory& h) {
+  rel::Relation r(h.size());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    const auto ops = h.processor_ops(p);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        if (h.op(ops[i]).is_labeled() || h.op(ops[j]).is_labeled()) {
+          r.add(ops[i], ops[j]);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+rel::Relation slow_constraints(const SystemHistory& h, ProcId p) {
+  rel::Relation r(h.size());
+  // Own operations: full program order.
+  const auto own = h.processor_ops(p);
+  for (std::size_t i = 0; i < own.size(); ++i) {
+    for (std::size_t j = i + 1; j < own.size(); ++j) {
+      r.add(own[i], own[j]);
+    }
+  }
+  // Other processors' writes: program order per (writer, location) pipeline.
+  for (ProcId q = 0; q < h.num_processors(); ++q) {
+    if (q == p) continue;
+    const auto ops = h.processor_ops(q);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const auto& o1 = h.op(ops[i]);
+      if (!o1.is_write()) continue;
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        const auto& o2 = h.op(ops[j]);
+        if (o2.is_write() && o2.loc == o1.loc) r.add(ops[i], ops[j]);
+      }
+    }
+  }
+  return r;
+}
+
+rel::Relation own_po_only(const SystemHistory& h, ProcId p) {
+  rel::Relation r(h.size());
+  const auto ops = h.processor_ops(p);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (std::size_t j = i + 1; j < ops.size(); ++j) {
+      r.add(ops[i], ops[j]);
+    }
+  }
+  return r;
+}
+
+rel::Relation po_minus_store_load(const SystemHistory& h) {
+  rel::Relation r(h.size());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    const auto ops = h.processor_ops(p);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const auto& a = h.op(ops[i]);
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        const auto& b = h.op(ops[j]);
+        const bool store_then_load =
+            a.kind == OpKind::Write && b.kind == OpKind::Read;
+        if (!store_then_load) r.add(ops[i], ops[j]);
+      }
+    }
+  }
+  return r;
+}
+
+rel::DynBitset own_mask(const SystemHistory& h, ProcId p) {
+  rel::DynBitset own(h.size());
+  for (OpIndex i : h.processor_ops(p)) own.set(i);
+  return own;
+}
+
+}  // namespace ssm::models

@@ -1,0 +1,52 @@
+// Constraint-edge builders shared by the models and the encode backend
+// (src/solve).  Each of these used to be a file-static helper inside one
+// model's translation unit; the second decision backend must construct the
+// *same* relations to encode the same admission predicate, so they live
+// here and both callers use one definition.
+#pragma once
+
+#include "history/system_history.hpp"
+#include "relation/relation.hpp"
+
+namespace ssm::models {
+
+using history::SystemHistory;
+
+/// Reads satisfied by store-buffer forwarding (TSOfwd): the read's writer
+/// is the issuing processor's latest program-order-preceding write to the
+/// same location.  Such reads (a) lose the same-location w→r ppo edge and
+/// (b) are exempt from the view legality gate in their own processor's
+/// view — the buffer, not the view position, justifies their value.
+[[nodiscard]] rel::DynBitset forwarded_reads(const SystemHistory& h);
+
+/// ppo for the forwarding variant: the paper's ppo except that the "same
+/// location" clause is suppressed when o1 is a write, o2 is a read, and
+/// o2 reads o1's value (store-buffer forwarding).  Transitively closed.
+[[nodiscard]] rel::Relation forwarding_ppo(const SystemHistory& h);
+
+/// Fence edges (WO): same-processor po pairs with exactly one labeled
+/// endpoint.
+[[nodiscard]] rel::Relation fence_edges(const SystemHistory& h);
+
+/// Hybrid edges (HC): same-processor po pairs with >= 1 labeled endpoint.
+[[nodiscard]] rel::Relation hybrid_edges(const SystemHistory& h);
+
+/// Slow-memory constraints for processor p: own full program order plus,
+/// per other processor and location, that writer's same-location write
+/// pipeline.
+[[nodiscard]] rel::Relation slow_constraints(const SystemHistory& h,
+                                             ProcId p);
+
+/// Program order restricted to processor p's own operations (Local).
+[[nodiscard]] rel::Relation own_po_only(const SystemHistory& h, ProcId p);
+
+/// po with every store→load edge removed, regardless of location (TSOax).
+/// NOT transitively closed on purpose: closure through a dropped edge
+/// would resurrect it.
+[[nodiscard]] rel::Relation po_minus_store_load(const SystemHistory& h);
+
+/// The operations of processor p as a mask (the own_ppo / own_po
+/// restriction the WO/HC/RC models apply per processor).
+[[nodiscard]] rel::DynBitset own_mask(const SystemHistory& h, ProcId p);
+
+}  // namespace ssm::models

@@ -3,26 +3,13 @@
 // processors' writes may be observed in any order whatsoever.  Useful as a
 // lattice floor: everything the paper discusses is strictly stronger.
 #include "checker/scope.hpp"
+#include "models/edges.hpp"
 #include "models/models.hpp"
 #include "models/per_processor.hpp"
 #include "order/orders.hpp"
 
 namespace ssm::models {
 namespace {
-
-/// Program order restricted to each processor's own operations only (an
-/// edge o1 -> o2 survives; edges among other processors' writes do not
-/// constrain p's view).
-rel::Relation own_po_only(const SystemHistory& h, ProcId p) {
-  rel::Relation r(h.size());
-  const auto ops = h.processor_ops(p);
-  for (std::size_t i = 0; i < ops.size(); ++i) {
-    for (std::size_t j = i + 1; j < ops.size(); ++j) {
-      r.add(ops[i], ops[j]);
-    }
-  }
-  return r;
-}
 
 class LocalModel final : public Model {
  public:

@@ -3,36 +3,12 @@
 // other processor q and location x, the program order of q's writes to x —
 // but q's writes to *different* locations may be observed out of order.
 #include "checker/scope.hpp"
+#include "models/edges.hpp"
 #include "models/models.hpp"
 #include "models/per_processor.hpp"
 
 namespace ssm::models {
 namespace {
-
-rel::Relation slow_constraints(const SystemHistory& h, ProcId p) {
-  rel::Relation r(h.size());
-  // Own operations: full program order.
-  const auto own = h.processor_ops(p);
-  for (std::size_t i = 0; i < own.size(); ++i) {
-    for (std::size_t j = i + 1; j < own.size(); ++j) {
-      r.add(own[i], own[j]);
-    }
-  }
-  // Other processors' writes: program order per (writer, location) pipeline.
-  for (ProcId q = 0; q < h.num_processors(); ++q) {
-    if (q == p) continue;
-    const auto ops = h.processor_ops(q);
-    for (std::size_t i = 0; i < ops.size(); ++i) {
-      const auto& o1 = h.op(ops[i]);
-      if (!o1.is_write()) continue;
-      for (std::size_t j = i + 1; j < ops.size(); ++j) {
-        const auto& o2 = h.op(ops[j]);
-        if (o2.is_write() && o2.loc == o1.loc) r.add(ops[i], ops[j]);
-      }
-    }
-  }
-  return r;
-}
 
 class SlowModel final : public Model {
  public:

@@ -18,6 +18,7 @@
 // two (the paper's characterization = make_tso forbids it; SPARC/x86
 // axiomatic TSO = make_tso_fwd admits it).
 #include "checker/scope.hpp"
+#include "models/edges.hpp"
 #include "models/models.hpp"
 #include "models/per_processor.hpp"
 #include "order/derived.hpp"
@@ -25,63 +26,6 @@
 
 namespace ssm::models {
 namespace {
-
-/// Reads satisfied by store-buffer forwarding: the read's writer is the
-/// issuing processor's latest program-order-preceding write to the same
-/// location.  Such reads (a) lose the same-location w→r ppo edge and
-/// (b) are exempt from the view legality gate in their own processor's
-/// view — the buffer, not the view position, justifies their value.
-rel::DynBitset forwarded_reads(const SystemHistory& h) {
-  rel::DynBitset out(h.size());
-  for (ProcId p = 0; p < h.num_processors(); ++p) {
-    const auto ops = h.processor_ops(p);
-    for (std::size_t j = 0; j < ops.size(); ++j) {
-      const auto& r = h.op(ops[j]);
-      if (r.kind != OpKind::Read) continue;
-      const OpIndex w = h.writer_of(ops[j]);
-      if (w == kNoOp || h.op(w).proc != p || h.op(w).seq >= r.seq) continue;
-      // w must be the latest preceding same-location write of p.
-      bool latest = true;
-      for (std::size_t k = 0; k < j; ++k) {
-        const auto& mid = h.op(ops[k]);
-        if (mid.is_write() && mid.loc == r.loc && mid.seq > h.op(w).seq) {
-          latest = false;
-          break;
-        }
-      }
-      if (latest) out.set(ops[j]);
-    }
-  }
-  return out;
-}
-
-/// ppo for the forwarding variant: same as the paper's ppo except that the
-/// "same location" clause is suppressed when o1 is a write, o2 is a read,
-/// and o2 reads o1's value (store-buffer forwarding).
-rel::Relation forwarding_ppo(const SystemHistory& h) {
-  rel::Relation base(h.size());
-  for (ProcId p = 0; p < h.num_processors(); ++p) {
-    const auto ops = h.processor_ops(p);
-    for (std::size_t i = 0; i < ops.size(); ++i) {
-      const auto& o1 = h.op(ops[i]);
-      for (std::size_t j = i + 1; j < ops.size(); ++j) {
-        const auto& o2 = h.op(ops[j]);
-        const bool both_reads = o1.is_read() && o2.is_read();
-        const bool both_writes = o1.is_write() && o2.is_write();
-        const bool read_then_write = o1.is_read() && o2.is_write();
-        bool same_loc = o1.loc == o2.loc;
-        if (same_loc && o1.kind == OpKind::Write && o2.kind == OpKind::Read &&
-            h.writer_of(ops[j]) == ops[i]) {
-          same_loc = false;  // forwarded: no global ordering obligation
-        }
-        if (same_loc || both_reads || both_writes || read_then_write) {
-          base.add(ops[i], ops[j]);
-        }
-      }
-    }
-  }
-  return base.transitive_closure();
-}
 
 class TsoModel final : public Model {
  public:

@@ -13,6 +13,7 @@
 //     the litmus test `wo-vs-rcsc` separates the two.
 //   * each processor's own view preserves ppo.
 #include "checker/scope.hpp"
+#include "models/edges.hpp"
 #include "models/labeling.hpp"
 #include "models/models.hpp"
 #include "models/per_processor.hpp"
@@ -20,22 +21,6 @@
 
 namespace ssm::models {
 namespace {
-
-/// Fence edges: same-processor po pairs with exactly one labeled endpoint.
-rel::Relation fence_edges(const SystemHistory& h) {
-  rel::Relation r(h.size());
-  for (ProcId p = 0; p < h.num_processors(); ++p) {
-    const auto ops = h.processor_ops(p);
-    for (std::size_t i = 0; i < ops.size(); ++i) {
-      for (std::size_t j = i + 1; j < ops.size(); ++j) {
-        if (h.op(ops[i]).is_labeled() != h.op(ops[j]).is_labeled()) {
-          r.add(ops[i], ops[j]);
-        }
-      }
-    }
-  }
-  return r;
-}
 
 class WeakOrderingModel final : public Model {
  public:

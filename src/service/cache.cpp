@@ -15,6 +15,7 @@
 #include "common/types.hpp"
 #include "litmus/canonical.hpp"
 #include "litmus/parser.hpp"
+#include "solve/portfolio.hpp"
 
 namespace ssm::service {
 
@@ -52,12 +53,12 @@ std::string canonical_program(const litmus::LitmusTest& t) {
 
 namespace {
 
-// Version 2: `program` is the full symmetry-canonical form, not just the
-// name/expectation-stripped emit.  Version-1 records are keyed on
-// non-canonical text — a v1 key would never be looked up again and, worse,
-// its witness is in the old coordinates — so reload skips them (counted in
-// LoadReport::stale_version).
-constexpr std::uint64_t kRecordVersion = 2;
+// Version 3: the key grew a `backend` field (docs/PORTFOLIO.md).  A v2
+// record has no backend and would decode into a key that never matches a
+// lookup, so reload skips older versions (counted in
+// LoadReport::stale_version); they re-materialize at v3 as programs are
+// re-checked.  (Version 2 made `program` the full symmetry-canonical form.)
+constexpr std::uint64_t kRecordVersion = 3;
 
 /// Length-prefixes each field so boundaries cannot be confused by crafted
 /// contents; shared by the key hash and the record checksum.
@@ -83,8 +84,29 @@ std::string key_string(const CacheKey& k) {
   append_field(s, k.model);
   append_field(s, std::to_string(k.max_nodes));
   append_field(s, std::to_string(k.timeout_ms));
+  append_field(s, k.backend);
   return s;
 }
+
+CacheKey alias_key(const CacheKey& k) {
+  CacheKey a = k;
+  // UINT64_MAX (not 0) so the alias can never collide with a real
+  // effective budget: 0 means "unlimited", which IS a key budgets resolve
+  // to.  The empty backend likewise never occurs as a primary key.
+  a.max_nodes = UINT64_MAX;
+  a.timeout_ms = UINT64_MAX;
+  a.backend.clear();
+  return a;
+}
+
+namespace {
+
+bool is_alias_key(const CacheKey& k) noexcept {
+  return k.max_nodes == UINT64_MAX && k.timeout_ms == UINT64_MAX &&
+         k.backend.empty();
+}
+
+}  // namespace
 
 std::uint64_t key_hash(const CacheKey& k) { return fnv1a64(key_string(k)); }
 
@@ -116,6 +138,14 @@ common::metrics::Counter& shard_lock_counter() {
   return c;
 }
 
+/// Alias-key hits: a definite verdict solved under one (budget, backend)
+/// answering a request made under another (docs/SERVICE.md).
+common::metrics::Counter& budget_upgrade_counter() {
+  static auto& c = common::metrics::Registry::global().counter(
+      "service.cache_budget_upgrades");
+  return c;
+}
+
 }  // namespace
 
 std::optional<CachedVerdict> VerdictCache::get_locked(Shard& s,
@@ -136,10 +166,24 @@ std::optional<CachedVerdict> VerdictCache::get_locked(Shard& s,
 
 std::optional<CachedVerdict> VerdictCache::get(const CacheKey& key) {
   const std::uint64_t h = key_hash(key);
-  Shard& s = shard_for(h);
+  {
+    Shard& s = shard_for(h);
+    shard_lock_counter().add();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (auto hit = get_locked(s, h, key)) return hit;
+  }
+  // Primary miss: re-probe the budget-independent alias.  Definite
+  // verdicts don't depend on the budget (or backend) that produced them,
+  // so a verdict solved under any other key retires this lookup too.
+  if (is_alias_key(key)) return std::nullopt;
+  const CacheKey alias = alias_key(key);
+  const std::uint64_t ah = key_hash(alias);
+  Shard& as = shard_for(ah);
   shard_lock_counter().add();
-  std::lock_guard<std::mutex> lock(s.mu);
-  return get_locked(s, h, key);
+  std::lock_guard<std::mutex> lock(as.mu);
+  auto hit = get_locked(as, ah, alias);
+  if (hit) budget_upgrade_counter().add();
+  return hit;
 }
 
 void VerdictCache::insert_locked(Shard& s, std::uint64_t hash,
@@ -190,15 +234,64 @@ void VerdictCache::get_many(std::vector<BatchCell>& cells) {
       cells[i].result = get_locked(s, cells[i].hash, *cells[i].key);
     }
   }
+  // Second, alias sweep — ONLY over cells that missed the primary probe,
+  // so a fully warm batch still costs at most kShards acquisitions total.
+  // Same shard-grouped single-lock discipline for the misses.
+  std::vector<std::uint32_t> miss_idx;
+  std::vector<CacheKey> aliases;  // stable storage for the sweep
+  std::vector<std::uint64_t> alias_hashes;
+  for (std::uint32_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].result.has_value() || is_alias_key(*cells[i].key)) continue;
+    miss_idx.push_back(i);
+    aliases.push_back(alias_key(*cells[i].key));
+    alias_hashes.push_back(key_hash(aliases.back()));
+  }
+  if (miss_idx.empty()) return;
+  std::vector<std::uint32_t> alias_by_shard[kShards];
+  for (std::uint32_t k = 0; k < miss_idx.size(); ++k) {
+    alias_by_shard[shard_id(alias_hashes[k])].push_back(k);
+  }
+  for (std::size_t sid = 0; sid < kShards; ++sid) {
+    if (alias_by_shard[sid].empty()) continue;
+    Shard& s = shards_[sid];
+    shard_lock_counter().add();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const std::uint32_t k : alias_by_shard[sid]) {
+      auto hit = get_locked(s, alias_hashes[k], aliases[k]);
+      if (hit) {
+        budget_upgrade_counter().add();
+        cells[miss_idx[k]].result = std::move(hit);
+      }
+    }
+  }
 }
 
 void VerdictCache::put_many(const std::vector<BatchCell>& cells) {
+  // Flatten into (key, hash, value) items, mirroring every DEFINITE
+  // verdict under its alias key, then do ONE shard-grouped sweep over the
+  // whole set — primaries and aliases alike obey the at-most-one-lock-per-
+  // shard discipline.
+  struct Item {
+    const CacheKey* key;
+    std::uint64_t hash;
+    const CachedVerdict* value;
+  };
+  std::vector<Item> items;
+  std::vector<CacheKey> aliases;  // stable storage: reserve before taking &
+  aliases.reserve(cells.size());
+  for (const BatchCell& cell : cells) {
+    if (cell.value == nullptr) continue;
+    const std::uint64_t h = cell.hash != 0 ? cell.hash : key_hash(*cell.key);
+    items.push_back({cell.key, h, cell.value});
+    if (cell.value->status != CachedVerdict::Status::Inconclusive &&
+        !is_alias_key(*cell.key)) {
+      aliases.push_back(alias_key(*cell.key));
+      items.push_back({&aliases.back(), key_hash(aliases.back()), cell.value});
+    }
+  }
   std::vector<std::uint32_t> by_shard[kShards];
-  for (std::uint32_t i = 0; i < cells.size(); ++i) {
-    if (cells[i].value == nullptr) continue;
-    const std::uint64_t h =
-        cells[i].hash != 0 ? cells[i].hash : key_hash(*cells[i].key);
-    by_shard[h % kShards].push_back(i);
+  for (std::uint32_t i = 0; i < items.size(); ++i) {
+    by_shard[shard_id(items[i].hash)].push_back(i);
   }
   for (std::size_t sid = 0; sid < kShards; ++sid) {
     if (by_shard[sid].empty()) continue;
@@ -206,9 +299,7 @@ void VerdictCache::put_many(const std::vector<BatchCell>& cells) {
     shard_lock_counter().add();
     std::lock_guard<std::mutex> lock(s.mu);
     for (const std::uint32_t i : by_shard[sid]) {
-      const std::uint64_t h =
-          cells[i].hash != 0 ? cells[i].hash : key_hash(*cells[i].key);
-      insert_locked(s, h, *cells[i].key, *cells[i].value);
+      insert_locked(s, items[i].hash, *items[i].key, *items[i].value);
     }
   }
   // Persistence outside the shard locks: write-through is filesystem I/O
@@ -224,9 +315,12 @@ void VerdictCache::put_many(const std::vector<BatchCell>& cells) {
 
 void VerdictCache::put(const CacheKey& key, const CachedVerdict& value) {
   insert_memory(key, value);
-  if (!options_.dir.empty() &&
-      value.status != CachedVerdict::Status::Inconclusive) {
-    write_record(key, value);
+  if (value.status != CachedVerdict::Status::Inconclusive) {
+    // Mirror the definite verdict under the budget-independent alias (in
+    // memory only — on disk one record per primary key suffices, since
+    // load_persistent re-mirrors).
+    if (!is_alias_key(key)) insert_memory(alias_key(key), value);
+    if (!options_.dir.empty()) write_record(key, value);
   }
 }
 
@@ -240,6 +334,8 @@ std::string encode_record(const CacheKey& key, const CachedVerdict& value) {
   json::append_quoted(out, key.model);
   out += ", \"max_nodes\": " + std::to_string(key.max_nodes);
   out += ", \"timeout_ms\": " + std::to_string(key.timeout_ms);
+  out += ", \"backend\": ";
+  json::append_quoted(out, key.backend);
   out += ", \"status\": ";
   json::append_quoted(out, to_string(value.status));
   out += ", \"program\": ";
@@ -272,6 +368,12 @@ std::optional<std::pair<CacheKey, CachedVerdict>> decode_record(
     key.model = doc.at("model").as_string();
     key.max_nodes = doc.at("max_nodes").as_u64();
     key.timeout_ms = doc.at("timeout_ms").as_u64();
+    key.backend = doc.at("backend").as_string();
+    // The backend must be a real one — a record carrying a fabricated
+    // backend string would occupy a key no lookup can ever form.
+    if (!checker::backend_from_string(key.backend).has_value()) {
+      return std::nullopt;
+    }
     key.program = doc.at("program").as_string();
     CachedVerdict value;
     const std::string& status = doc.at("status").as_string();
@@ -370,6 +472,11 @@ VerdictCache::LoadReport VerdictCache::load_persistent() {
     }
     if (auto record = decode_record(text.str())) {
       insert_memory(record->first, record->second);
+      // Persisted records are definite by construction; restore the
+      // budget-independent alias mirror the original put() created.
+      if (!is_alias_key(record->first)) {
+        insert_memory(alias_key(record->first), record->second);
+      }
       ++report.loaded;
     } else {
       ++report.skipped;

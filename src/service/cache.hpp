@@ -28,6 +28,12 @@
 //     produced them is part of the key) but never persisted: a timeout-
 //     induced '?' is a statement about one machine's wall clock, not
 //     about the program.
+//   * DEFINITE verdicts are additionally mirrored under a budget- and
+//     backend-independent alias key (see alias_key): the engine is
+//     deterministic, so "allowed"/"forbidden" cannot depend on how much
+//     budget the solve happened to have.  A primary-key miss re-probes the
+//     alias, letting a verdict solved under one budget retire requests
+//     made under any other (`service.cache_budget_upgrades`).
 #pragma once
 
 #include <cstdint>
@@ -50,9 +56,22 @@ struct CacheKey {
   std::string model;
   std::uint64_t max_nodes = 0;
   std::uint64_t timeout_ms = 0;
+  /// Decision backend (checker::to_string(Backend)).  Keyed because an
+  /// INCONCLUSIVE verdict is a statement about one backend's budget, not
+  /// about the program; definite verdicts transcend it via the alias layer.
+  std::string backend = "search";
 
   bool operator==(const CacheKey&) const = default;
 };
+
+/// The budget- and backend-independent ALIAS of a key: budget axes set to
+/// the UINT64_MAX sentinel, backend cleared.  A DEFINITE verdict does not
+/// depend on the budget that produced it (the search is deterministic and
+/// both backends provably agree — docs/PORTFOLIO.md), so every conclusive
+/// put is mirrored under this key and a primary-key miss re-probes it.  A
+/// hit there — a verdict solved under one budget answering a request made
+/// under another — counts into `service.cache_budget_upgrades`.
+[[nodiscard]] CacheKey alias_key(const CacheKey& k);
 
 /// Canonical cache text for a litmus test: the symmetry-canonical form
 /// (litmus::canonicalize — name, origin and expectations stripped, then

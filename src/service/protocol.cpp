@@ -53,6 +53,15 @@ Request request_from_json(const json::Value& doc) {
       if (const json::Value* v = doc.find("no_cache")) {
         req.check.no_cache = v->as_bool();
       }
+      if (const json::Value* v = doc.find("backend")) {
+        const std::string& b = v->as_string();
+        const auto parsed = checker::backend_from_string(b);
+        if (!parsed) {
+          throw ProtocolError(
+              "bad_request", "unknown backend '" + b + "' (search|encode|race)");
+        }
+        req.check.backend = *parsed;
+      }
     } else {
       throw ProtocolError("bad_request", "unknown op '" + op + "'");
     }

@@ -5,7 +5,7 @@
 // docs/SERVICE.md; the shapes:
 //
 //   {"op":"check","id":"r1","program":"name: t\np: w(x)1 r(y)0\n...",
-//    "models":["SC","TSO"],"max_nodes":0,"timeout_ms":0}
+//    "models":["SC","TSO"],"max_nodes":0,"timeout_ms":0,"backend":"race"}
 //   {"op":"stats"} | {"op":"ping"} | {"op":"shutdown"}
 //
 //   {"id":"r1","ok":true,"results":[{"model":"SC","verdict":"forbidden",
@@ -28,6 +28,7 @@
 
 #include "checker/budget.hpp"
 #include "common/types.hpp"
+#include "solve/portfolio.hpp"
 
 namespace ssm::service {
 
@@ -52,6 +53,10 @@ struct CheckRequest {
   std::vector<std::string> models;  ///< empty = every registered model
   checker::BudgetSpec budget;       ///< 0 = server default / cap
   bool no_cache = false;            ///< bypass lookup (still populates)
+  /// Optional "backend" field: "search" (default) | "encode" | "race"
+  /// (docs/PORTFOLIO.md).  Part of the cache key — an INCONCLUSIVE from
+  /// one backend must never answer for another.
+  checker::Backend backend = checker::Backend::Search;
 };
 
 struct Request {

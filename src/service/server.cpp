@@ -25,6 +25,7 @@
 #include "litmus/canonical.hpp"
 #include "litmus/parser.hpp"
 #include "models/registry.hpp"
+#include "solve/portfolio.hpp"
 
 namespace ssm::service {
 
@@ -73,20 +74,17 @@ checker::BudgetSpec CheckService::effective_budget(
 
 CachedVerdict CheckService::solve(const litmus::LitmusTest& test,
                                   const std::string& model,
-                                  const checker::BudgetSpec& budget) {
+                                  const checker::BudgetSpec& budget,
+                                  checker::Backend backend) {
   static auto& solve_us =
       metrics::Registry::global().histogram("service.solve_us");
   const auto start = std::chrono::steady_clock::now();
   if (solver_) return solver_(test, model, budget);
-  const auto m = models::make_model(model);
-  checker::Verdict v;
-  if (budget.unlimited()) {
-    v = m->check(test.hist);
-  } else {
-    checker::SearchBudget b(budget);
-    const checker::BudgetScope scope(&b);
-    v = m->check(test.hist);
-  }
+  // One entry point for all three backends: search and encode run under a
+  // fresh budget of `budget`; race gives each backend its own
+  // (docs/PORTFOLIO.md).
+  const checker::Verdict v =
+      checker::Portfolio::check(test.hist, model, backend, budget);
   CachedVerdict out;
   if (v.inconclusive) {
     out.status = CachedVerdict::Status::Inconclusive;
@@ -96,7 +94,7 @@ CachedVerdict CheckService::solve(const litmus::LitmusTest& test,
     // Certify before caching or shipping: a witness the independent
     // verifier rejects is a checker bug and must surface as `internal`,
     // never be served (same policy as the CLI's exit 3).
-    const auto w = checker::witness_from_verdict(test.hist, m->name(), v);
+    const auto w = checker::witness_from_verdict(test.hist, model, v);
     if (const auto err = checker::verify_witness(test.hist, w)) {
       throw ProtocolError(
           "internal", "witness failed independent re-verification: " + *err);
@@ -136,6 +134,7 @@ std::vector<CheckService::Outcome> CheckService::handle_checks(
     litmus::Canonical canon;
     std::vector<std::string> models;
     checker::BudgetSpec budget;
+    checker::Backend backend = checker::Backend::Search;
     std::vector<std::size_t> cells;  ///< distinct-cell index, one per model
   };
   enum class How : std::uint8_t { Unresolved, Cache, Lead, Follow };
@@ -147,6 +146,7 @@ std::vector<CheckService::Outcome> CheckService::handle_checks(
     std::uint64_t hash = 0;
     std::string flight_id;  // key_string(key): the single-flight identity
     const litmus::LitmusTest* canon_test = nullptr;
+    checker::Backend backend = checker::Backend::Search;
     bool no_cache = false;
     How how = How::Unresolved;
     std::shared_ptr<Inflight> flight;
@@ -201,6 +201,7 @@ std::vector<CheckService::Outcome> CheckService::handle_checks(
     }
     if (bad_model) continue;
     ri.budget = effective_budget(req.budget);
+    ri.backend = req.backend;
     // Solve (and cache) the canonical clone: every isomorphic variant of
     // this program maps to the same cell, so permuted/renamed batchmates
     // collapse into one probe/solve.  Witnesses are remapped back per
@@ -213,6 +214,7 @@ std::vector<CheckService::Outcome> CheckService::handle_checks(
       key.model = name;
       key.max_nodes = ri.budget.max_nodes;
       key.timeout_ms = ri.budget.timeout_ms;
+      key.backend = checker::to_string(ri.backend);
       std::string fid = key_string(key);
       // no_cache requests get their own cell (they must not be satisfied
       // by a batchmate's cache hit), but SHARE the flight id, so they
@@ -225,6 +227,7 @@ std::vector<CheckService::Outcome> CheckService::handle_checks(
         c.hash = key_hash(c.key);
         c.flight_id = std::move(fid);
         c.canon_test = &ri.canon.test;
+        c.backend = ri.backend;
         c.no_cache = req.no_cache;
         cells.push_back(std::move(c));
       }
@@ -295,7 +298,7 @@ std::vector<CheckService::Outcome> CheckService::handle_checks(
     budget.max_nodes = c.key.max_nodes;
     budget.timeout_ms = c.key.timeout_ms;
     try {
-      c.result = solve(*c.canon_test, c.key.model, budget);
+      c.result = solve(*c.canon_test, c.key.model, budget, c.backend);
       c.have = true;
     } catch (const ProtocolError& e) {
       c.failed = true;
@@ -497,7 +500,8 @@ CheckService::PreloadReport CheckService::preload(
           ++report.skipped;  // already warm (e.g. from the persistent layer)
           continue;
         }
-        cache_.put(key, solve(canon.test, name, budget));
+        cache_.put(key,
+                   solve(canon.test, name, budget, checker::Backend::Search));
         ++report.loaded;
       }
     }

@@ -142,7 +142,8 @@ class CheckService {
   };
 
   CachedVerdict solve(const litmus::LitmusTest& test, const std::string& model,
-                      const checker::BudgetSpec& budget);
+                      const checker::BudgetSpec& budget,
+                      checker::Backend backend);
 
   Options options_;
   Solver solver_;

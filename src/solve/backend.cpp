@@ -1,0 +1,741 @@
+#include "solve/backend.hpp"
+
+#include <functional>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "checker/budget.hpp"
+#include "checker/scope.hpp"
+#include "common/metrics.hpp"
+#include "common/types.hpp"
+#include "history/subhistory.hpp"
+#include "models/edges.hpp"
+#include "models/labeling.hpp"
+#include "order/coherence.hpp"
+#include "order/derived.hpp"
+#include "order/semi_causal.hpp"
+#include "solve/encode.hpp"
+
+namespace ssm::solve {
+namespace {
+
+using checker::SearchBudget;
+using checker::SearchControl;
+using checker::Verdict;
+using order::CoherenceOrder;
+
+namespace metrics = common::metrics;
+
+Verdict undecided_verdict() {
+  return Verdict::undecided("SAT budget exhausted or cancelled");
+}
+
+std::vector<OpIndex> to_elems(const DynBitset& mask) {
+  std::vector<OpIndex> out;
+  mask.for_each(
+      [&](std::size_t i) { out.push_back(static_cast<OpIndex>(i)); });
+  return out;
+}
+
+std::vector<OpIndex> identity_elems(std::size_t n) {
+  std::vector<OpIndex> out(n);
+  std::iota(out.begin(), out.end(), OpIndex{0});
+  return out;
+}
+
+/// src's chosen orientation of every pair is imposed on dst (pairs with an
+/// endpoint missing from dst are skipped — the view-search semantics for
+/// constraint edges outside the universe).  `filter`, when given, keeps
+/// only pairs with both endpoints in the mask (CausalCohL's labeled-only
+/// coherence obligation).
+void imply_order(SatSolver& s, const OrderBlock& src, const OrderBlock& dst,
+                 const DynBitset* filter = nullptr) {
+  const auto& e = src.elems();
+  for (std::size_t j = 1; j < e.size(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const OpIndex a = e[i], b = e[j];
+      if (filter != nullptr && (!filter->test(a) || !filter->test(b))) {
+        continue;
+      }
+      if (!dst.contains(a) || !dst.contains(b)) continue;
+      s.add_implication(src.before(a, b), dst.before(a, b));
+      s.add_implication(src.before(b, a), dst.before(b, a));
+    }
+  }
+}
+
+/// Every edge src asserts is imposed as an ordering obligation on dst.
+void imply_directed(SatSolver& s, const DirectedBlock& src,
+                    const OrderBlock& dst) {
+  const auto& e = src.elems();
+  for (const OpIndex a : e) {
+    for (const OpIndex b : e) {
+      if (a == b || !dst.contains(a) || !dst.contains(b)) continue;
+      s.add_implication(src.edge(a, b), dst.before(a, b));
+    }
+  }
+}
+
+/// The coherence choice: one total order of writes per location, each a
+/// linear extension of `base` restricted to that location's writes —
+/// exactly the candidate space order::for_each_coherence_order walks.
+struct CoherenceBlocks {
+  const SystemHistory* h = nullptr;
+  std::vector<OrderBlock> per_loc;
+
+  [[nodiscard]] Lit before(OpIndex w1, OpIndex w2) const {
+    return per_loc[h->op(w1).loc].before(w1, w2);
+  }
+  void imply_on(SatSolver& s, const OrderBlock& dst,
+                const DynBitset* filter = nullptr) const {
+    for (const auto& b : per_loc) imply_order(s, b, dst, filter);
+  }
+  [[nodiscard]] CoherenceOrder decode(const SatSolver& s) const {
+    std::vector<std::vector<OpIndex>> seqs;
+    seqs.reserve(per_loc.size());
+    for (const auto& b : per_loc) seqs.push_back(b.decode(s));
+    return CoherenceOrder(h->size(), std::move(seqs));
+  }
+};
+
+CoherenceBlocks make_coherence_blocks(SatSolver& s, const SystemHistory& h,
+                                      const Relation& base) {
+  CoherenceBlocks c;
+  c.h = &h;
+  c.per_loc.reserve(h.num_locations());
+  for (LocId loc = 0; loc < h.num_locations(); ++loc) {
+    c.per_loc.emplace_back(s, h.writes_to(loc));
+    c.per_loc.back().require_edges(base);
+  }
+  return c;
+}
+
+/// One δp = w view block per processor, with legality clauses installed.
+struct ViewBlocks {
+  std::vector<DynBitset> universes;
+  std::vector<OrderBlock> blocks;
+};
+
+ViewBlocks make_view_blocks(
+    SatSolver& s, const SystemHistory& h,
+    const std::function<DynBitset(ProcId)>& exempt_for) {
+  ViewBlocks v;
+  v.universes.reserve(h.num_processors());
+  v.blocks.reserve(h.num_processors());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    DynBitset u = checker::own_plus_writes(h, p);
+    v.blocks.emplace_back(s, to_elems(u));
+    add_legality(s, v.blocks.back(), h, u, exempt_for(p));
+    v.universes.push_back(std::move(u));
+  }
+  return v;
+}
+
+ViewBlocks make_view_blocks(SatSolver& s, const SystemHistory& h) {
+  return make_view_blocks(s, h, [&](ProcId p) {
+    return checker::remote_rmw_reads(h, p);
+  });
+}
+
+Verdict yes_with_views(const ViewBlocks& v, const SatSolver& s) {
+  Verdict out = Verdict::yes();
+  out.views.reserve(v.blocks.size());
+  for (const auto& b : v.blocks) out.views.push_back(b.decode(s));
+  return out;
+}
+
+/// The semi-causality relation sem = (ppo ∪ rwb ∪ rrb(coh))+ as a layer of
+/// edge variables over `hw` (the full history for PC; the labeled
+/// subhistory for RCpc, with `to_parent` lifting indices).  rrb depends on
+/// the coherence choice, so its edges are guarded by coherence literals;
+/// the closure clauses then force every satisfying assignment to contain
+/// the true closure (least model = exact sem, and supersets only
+/// over-constrain — imposing MORE order on views/acyclicity layers — so
+/// equivalence with the enumeration backend is preserved).
+DirectedBlock build_sem_layer(SatSolver& s, const SystemHistory& hw,
+                              const std::vector<OpIndex>& to_parent,
+                              const Relation& ppo_w, const Relation& rwb_w,
+                              const CoherenceBlocks& c) {
+  std::vector<OpIndex> elems;
+  elems.reserve(hw.size());
+  for (std::size_t i = 0; i < hw.size(); ++i) elems.push_back(to_parent[i]);
+  DirectedBlock e(s, elems);
+  for (std::size_t a = 0; a < hw.size(); ++a) {
+    for (std::size_t b = 0; b < hw.size(); ++b) {
+      if (!ppo_w.test(a, b) && !rwb_w.test(a, b)) continue;
+      if (a == b) {
+        s.add_clause({});  // reflexive sem edge: cyclic for every choice
+        continue;
+      }
+      e.require(to_parent[a], to_parent[b]);
+    }
+  }
+  // rrb: o1 (read) → o2 (write) when some write o' to o1's location
+  // supersedes o1's source in the chosen coherence order and o' →ppo o2.
+  for (const auto& o1 : hw.operations()) {
+    if (!o1.is_read()) continue;
+    const OpIndex from = hw.writer_of(o1.index);
+    for (const auto& oprime : hw.operations()) {
+      if (!oprime.is_write() || oprime.loc != o1.loc) continue;
+      const bool unconditional = from == kNoOp;
+      if (!unconditional && from == oprime.index) continue;
+      const Lit guard =
+          unconditional ? 0
+                        : c.before(to_parent[from], to_parent[oprime.index]);
+      for (const auto& o2 : hw.operations()) {
+        if (!o2.is_write() || !ppo_w.test(oprime.index, o2.index)) continue;
+        if (o2.index == o1.index) {
+          // Reflexive rrb edge: sem is cyclic under any coherence order
+          // that activates it, so forbid the activating choice.
+          if (unconditional) {
+            s.add_clause({});
+          } else {
+            s.add_unit(negate(guard));
+          }
+          continue;
+        }
+        const Lit edge = e.edge(to_parent[o1.index], to_parent[o2.index]);
+        if (unconditional) {
+          s.add_unit(edge);
+        } else {
+          s.add_implication(guard, edge);
+        }
+      }
+    }
+  }
+  e.add_closure();
+  return e;
+}
+
+// ---------------------------------------------------------------------
+// Per-model encodings.  Each mirrors the corresponding src/models cell;
+// see that file's comments for the semantics being encoded.
+// ---------------------------------------------------------------------
+
+Verdict check_sc(const SystemHistory& h, const SearchControl& ctl) {
+  const order::Orders ord(h);
+  const auto universe = checker::all_ops(h);
+  SatSolver s;
+  OrderBlock b(s, to_elems(universe));
+  b.require_edges(ord.po());
+  add_legality(s, b, h, universe, DynBitset(h.size()));
+  switch (s.solve(ctl)) {
+    case SatResult::Unsat:
+      return Verdict::no();
+    case SatResult::Undecided:
+      return undecided_verdict();
+    case SatResult::Sat:
+      break;
+  }
+  Verdict v = Verdict::yes();
+  v.views.assign(h.num_processors(), b.decode(s));
+  return v;
+}
+
+Verdict check_cache(const SystemHistory& h, const SearchControl& ctl) {
+  const order::Orders ord(h);
+  std::vector<View> per_loc;
+  per_loc.reserve(h.num_locations());
+  for (LocId loc = 0; loc < h.num_locations(); ++loc) {
+    const auto universe = checker::ops_on(h, loc);
+    SatSolver s;
+    OrderBlock b(s, to_elems(universe));
+    b.require_edges(ord.po());
+    add_legality(s, b, h, universe, DynBitset(h.size()));
+    switch (s.solve(ctl)) {
+      case SatResult::Unsat:
+        return Verdict::no("location " + h.symbols().location_name(loc) +
+                           " has no legal per-location order");
+      case SatResult::Undecided:
+        return undecided_verdict();
+      case SatResult::Sat:
+        break;
+    }
+    per_loc.push_back(b.decode(s));
+  }
+  Verdict v = Verdict::yes();
+  v.views = std::move(per_loc);
+  v.note = "views are per-location serializations";
+  return v;
+}
+
+/// Shared by the models whose predicate is "one independent legal view per
+/// processor extending a fixed relation" (PRAM, Causal, Slow, Local): the
+/// instances share nothing, so each is its own small SAT problem and the
+/// first UNSAT processor decides the whole check.
+Verdict solve_separate_views(
+    const SystemHistory& h, const SearchControl& ctl,
+    const std::function<const Relation&(ProcId)>& constraints_for) {
+  Verdict out = Verdict::yes();
+  out.views.reserve(h.num_processors());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    const DynBitset u = checker::own_plus_writes(h, p);
+    SatSolver s;
+    OrderBlock b(s, to_elems(u));
+    b.require_edges(constraints_for(p));
+    add_legality(s, b, h, u, checker::remote_rmw_reads(h, p));
+    switch (s.solve(ctl)) {
+      case SatResult::Unsat:
+        return Verdict::no();
+      case SatResult::Undecided:
+        return undecided_verdict();
+      case SatResult::Sat:
+        break;
+    }
+    out.views.push_back(b.decode(s));
+  }
+  return out;
+}
+
+Verdict check_pram(const SystemHistory& h, const SearchControl& ctl) {
+  const order::Orders ord(h);
+  return solve_separate_views(
+      h, ctl, [&](ProcId) -> const Relation& { return ord.po(); });
+}
+
+Verdict check_causal(const SystemHistory& h, const SearchControl& ctl) {
+  const order::Orders ord(h);
+  const auto& co = ord.co();
+  if (!co.is_acyclic()) return Verdict::no("causal order is cyclic");
+  return solve_separate_views(
+      h, ctl, [&](ProcId) -> const Relation& { return co; });
+}
+
+Verdict check_local(const SystemHistory& h, const SearchControl& ctl) {
+  std::vector<Relation> per_proc;
+  per_proc.reserve(h.num_processors());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    per_proc.push_back(models::own_po_only(h, p));
+  }
+  return solve_separate_views(
+      h, ctl, [&](ProcId p) -> const Relation& { return per_proc[p]; });
+}
+
+Verdict check_slow(const SystemHistory& h, const SearchControl& ctl) {
+  std::vector<Relation> per_proc;
+  per_proc.reserve(h.num_processors());
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    per_proc.push_back(models::slow_constraints(h, p));
+  }
+  return solve_separate_views(
+      h, ctl, [&](ProcId p) -> const Relation& { return per_proc[p]; });
+}
+
+Verdict check_tso(const SystemHistory& h, const SearchControl& ctl,
+                  bool forwarding) {
+  const order::Orders ord(h);
+  const Relation fwd_ppo =
+      forwarding ? models::forwarding_ppo(h) : Relation();
+  const Relation& ppo = forwarding ? fwd_ppo : ord.ppo();
+  const DynBitset exempt =
+      forwarding ? models::forwarded_reads(h) : DynBitset(h.size());
+  SatSolver s;
+  // The global write order: a linear extension of ppo over the writes,
+  // embedded in every view.
+  OrderBlock g(s, to_elems(checker::write_ops(h)));
+  g.require_edges(ppo);
+  ViewBlocks v = make_view_blocks(s, h, [&](ProcId) { return exempt; });
+  for (auto& b : v.blocks) {
+    b.require_edges(ppo);
+    imply_order(s, g, b);
+  }
+  switch (s.solve(ctl)) {
+    case SatResult::Unsat:
+      return Verdict::no();
+    case SatResult::Undecided:
+      return undecided_verdict();
+    case SatResult::Sat:
+      break;
+  }
+  Verdict out = yes_with_views(v, s);
+  out.labeled_order = g.decode(s);
+  out.note = "labeled_order field holds the global write order";
+  return out;
+}
+
+/// The Value axiom of axiomatic TSO as clauses over the memory order M:
+/// the load's justifying store must be available (before the load in M,
+/// or an own program-order-earlier store) and later in M than every other
+/// available same-location store.  Writer identity is exact because write
+/// values are distinct per location (SystemHistory::validate).
+void add_value_axiom(SatSolver& s, const OrderBlock& m,
+                     const SystemHistory& h) {
+  for (const auto& load : h.operations()) {
+    if (!load.is_read()) continue;
+    const OpIndex w = h.writer_of(load.index);
+    if (w == load.index) {
+      s.add_clause({});  // an rmw can never supply its own read part
+      continue;
+    }
+    const auto own_po_earlier = [&](const history::Operation& st) {
+      return st.proc == load.proc && st.seq < load.seq;
+    };
+    if (w == kNoOp) {
+      // Initial value: no store to the location may be available.
+      for (const auto& st : h.operations()) {
+        if (!st.is_write() || st.loc != load.loc ||
+            st.index == load.index) {
+          continue;
+        }
+        if (own_po_earlier(st)) {
+          s.add_clause({});  // an own earlier store is always available
+        } else {
+          s.add_unit(m.before(load.index, st.index));
+        }
+      }
+      continue;
+    }
+    if (!own_po_earlier(h.op(w))) {
+      s.add_unit(m.before(w, load.index));  // availability of the source
+    }
+    for (const auto& st : h.operations()) {
+      if (!st.is_write() || st.loc != load.loc || st.index == load.index ||
+          st.index == w) {
+        continue;
+      }
+      if (own_po_earlier(st)) {
+        // Always available, so it must sit earlier in M than the source.
+        s.add_unit(m.before(st.index, w));
+      } else {
+        // Available only when before the load in M; then st < w in M.
+        s.add_clause({m.before(load.index, st.index),
+                      m.before(st.index, w)});
+      }
+    }
+  }
+}
+
+Verdict check_tso_axiomatic(const SystemHistory& h,
+                            const SearchControl& ctl) {
+  SatSolver s;
+  OrderBlock m(s, identity_elems(h.size()));
+  m.require_edges(models::po_minus_store_load(h));
+  add_value_axiom(s, m, h);
+  switch (s.solve(ctl)) {
+    case SatResult::Unsat:
+      return Verdict::no();
+    case SatResult::Undecided:
+      return undecided_verdict();
+    case SatResult::Sat:
+      break;
+  }
+  Verdict out = Verdict::yes();
+  out.labeled_order = m.decode(s);
+  out.note = "labeled_order field holds the memory order M";
+  return out;
+}
+
+Verdict check_goodman(const SystemHistory& h, const SearchControl& ctl) {
+  const order::Orders ord(h);
+  const auto& po = ord.po();
+  SatSolver s;
+  CoherenceBlocks c = make_coherence_blocks(s, h, po);
+  ViewBlocks v = make_view_blocks(s, h);
+  for (auto& b : v.blocks) {
+    b.require_edges(po);
+    c.imply_on(s, b);
+  }
+  switch (s.solve(ctl)) {
+    case SatResult::Unsat:
+      return Verdict::no();
+    case SatResult::Undecided:
+      return undecided_verdict();
+    case SatResult::Sat:
+      break;
+  }
+  Verdict out = yes_with_views(v, s);
+  out.coherence = c.decode(s);
+  return out;
+}
+
+Verdict check_pc(const SystemHistory& h, const SearchControl& ctl) {
+  const order::Orders ord(h);
+  const auto& ppo = ord.ppo();
+  SatSolver s;
+  CoherenceBlocks c = make_coherence_blocks(s, h, ppo);
+  const DirectedBlock sem = build_sem_layer(s, h, identity_elems(h.size()),
+                                            ppo, ord.rwb(), c);
+  // sem ∪ coherence must be acyclic GLOBALLY (a cycle through two
+  // processors' reads is invisible to every individual view, so the view
+  // constraints alone do not replicate the model's acyclicity test).
+  OrderBlock acyc(s, identity_elems(h.size()));
+  c.imply_on(s, acyc);
+  imply_directed(s, sem, acyc);
+  ViewBlocks v = make_view_blocks(s, h);
+  for (auto& b : v.blocks) {
+    c.imply_on(s, b);
+    imply_directed(s, sem, b);
+  }
+  switch (s.solve(ctl)) {
+    case SatResult::Unsat:
+      return Verdict::no();
+    case SatResult::Undecided:
+      return undecided_verdict();
+    case SatResult::Sat:
+      break;
+  }
+  Verdict out = yes_with_views(v, s);
+  out.coherence = c.decode(s);
+  return out;
+}
+
+Verdict check_causal_coherent(const SystemHistory& h,
+                              const SearchControl& ctl, bool labeled_only) {
+  if (labeled_only) {
+    if (auto err = models::check_properly_labeled(h)) {
+      return Verdict::no(*err);
+    }
+  }
+  const order::Orders ord(h);
+  const auto& co = ord.co();
+  if (!co.is_acyclic()) return Verdict::no("causal order is cyclic");
+  const DynBitset labeled = checker::labeled_ops(h);
+  const DynBitset* filter = labeled_only ? &labeled : nullptr;
+  SatSolver s;
+  CoherenceBlocks c = make_coherence_blocks(s, h, co);
+  // co ∪ chain must be acyclic globally.
+  OrderBlock acyc(s, identity_elems(h.size()));
+  acyc.require_edges(co);
+  c.imply_on(s, acyc, filter);
+  ViewBlocks v = make_view_blocks(s, h);
+  for (auto& b : v.blocks) {
+    b.require_edges(co);
+    c.imply_on(s, b, filter);
+  }
+  switch (s.solve(ctl)) {
+    case SatResult::Unsat:
+      return Verdict::no();
+    case SatResult::Undecided:
+      return undecided_verdict();
+    case SatResult::Sat:
+      break;
+  }
+  Verdict out = yes_with_views(v, s);
+  out.coherence = c.decode(s);
+  return out;
+}
+
+/// WO and RCsc share a skeleton: coherence + a static fencing relation +
+/// an SC (legal, coherence-consistent) order T of the labeled operations
+/// embedded in every view + per-processor ppo.  They differ only in the
+/// fencing relation (WO fences ordinary ops against sync ops in both
+/// directions; RCsc uses the weaker publication brackets).
+Verdict check_sync_sc(const SystemHistory& h, const SearchControl& ctl,
+                      const Relation& fencing) {
+  if (auto err = models::check_properly_labeled(h)) return Verdict::no(*err);
+  const order::Orders ord(h);
+  const auto& ppo = ord.ppo();
+  const auto& po = ord.po();
+  const DynBitset labeled = checker::labeled_ops(h);
+  SatSolver s;
+  CoherenceBlocks c = make_coherence_blocks(s, h, ppo);
+  // (coherence ∪ fencing ∪ ppo) must be acyclic globally.
+  OrderBlock acyc(s, identity_elems(h.size()));
+  acyc.require_edges(fencing);
+  acyc.require_edges(ppo);
+  c.imply_on(s, acyc);
+  // T: a legal view of the labeled operations extending po and coherence.
+  OrderBlock t(s, to_elems(labeled));
+  t.require_edges(po);
+  c.imply_on(s, t);
+  add_legality(s, t, h, labeled, DynBitset(h.size()));
+  ViewBlocks v = make_view_blocks(s, h);
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    auto& b = v.blocks[p];
+    b.require_edges(fencing);
+    b.require_edges(ppo.restricted_to(models::own_mask(h, p)));
+    c.imply_on(s, b);
+    imply_order(s, t, b);
+  }
+  switch (s.solve(ctl)) {
+    case SatResult::Unsat:
+      return Verdict::no();
+    case SatResult::Undecided:
+      return undecided_verdict();
+    case SatResult::Sat:
+      break;
+  }
+  Verdict out = yes_with_views(v, s);
+  out.coherence = c.decode(s);
+  out.labeled_order = t.decode(s);
+  return out;
+}
+
+Verdict check_hybrid(const SystemHistory& h, const SearchControl& ctl) {
+  if (auto err = models::check_properly_labeled(h)) return Verdict::no(*err);
+  const order::Orders ord(h);
+  const auto& po = ord.po();
+  const Relation hybrid = models::hybrid_edges(h);
+  const DynBitset labeled = checker::labeled_ops(h);
+  SatSolver s;
+  OrderBlock t(s, to_elems(labeled));
+  t.require_edges(po);
+  add_legality(s, t, h, labeled, DynBitset(h.size()));
+  ViewBlocks v = make_view_blocks(s, h);
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    auto& b = v.blocks[p];
+    b.require_edges(hybrid);
+    b.require_edges(po.restricted_to(models::own_mask(h, p)));
+    imply_order(s, t, b);
+  }
+  switch (s.solve(ctl)) {
+    case SatResult::Unsat:
+      return Verdict::no();
+    case SatResult::Undecided:
+      return undecided_verdict();
+    case SatResult::Sat:
+      break;
+  }
+  Verdict out = yes_with_views(v, s);
+  out.labeled_order = t.decode(s);
+  return out;
+}
+
+Verdict check_rc_goodman(const SystemHistory& h, const SearchControl& ctl) {
+  if (auto err = models::check_properly_labeled(h)) return Verdict::no(*err);
+  const order::Orders ord(h);
+  const auto& ppo = ord.ppo();
+  const Relation brackets = models::bracket_edges(h);
+  const Relation po_labeled =
+      ord.po().restricted_to(checker::labeled_ops(h));
+  SatSolver s;
+  CoherenceBlocks c = make_coherence_blocks(s, h, ppo);
+  // Both of the enumeration backend's candidate filters, as global
+  // acyclicity layers: (coh ∪ brackets ∪ ppo) and the shared relation
+  // (coh ∪ brackets ∪ po|labeled).  They are separate layers on purpose —
+  // a single order extending both would wrongly require their UNION to be
+  // acyclic.
+  OrderBlock acyc1(s, identity_elems(h.size()));
+  acyc1.require_edges(brackets);
+  acyc1.require_edges(ppo);
+  c.imply_on(s, acyc1);
+  OrderBlock acyc2(s, identity_elems(h.size()));
+  acyc2.require_edges(brackets);
+  acyc2.require_edges(po_labeled);
+  c.imply_on(s, acyc2);
+  ViewBlocks v = make_view_blocks(s, h);
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    auto& b = v.blocks[p];
+    b.require_edges(brackets);
+    b.require_edges(po_labeled);
+    b.require_edges(ppo.restricted_to(models::own_mask(h, p)));
+    c.imply_on(s, b);
+  }
+  switch (s.solve(ctl)) {
+    case SatResult::Unsat:
+      return Verdict::no();
+    case SatResult::Undecided:
+      return undecided_verdict();
+    case SatResult::Sat:
+      break;
+  }
+  Verdict out = yes_with_views(v, s);
+  out.coherence = c.decode(s);
+  return out;
+}
+
+Verdict check_rc_pc(const SystemHistory& h, const SearchControl& ctl) {
+  if (auto err = models::check_properly_labeled(h)) return Verdict::no(*err);
+  const order::Orders ord(h);
+  const auto& ppo = ord.ppo();
+  const Relation brackets = models::bracket_edges(h);
+  const DynBitset labeled = checker::labeled_ops(h);
+  SatSolver s;
+  CoherenceBlocks c = make_coherence_blocks(s, h, ppo);
+  OrderBlock acyc1(s, identity_elems(h.size()));
+  acyc1.require_edges(brackets);
+  acyc1.require_edges(ppo);
+  c.imply_on(s, acyc1);
+  // Semi-causality of the labeled subhistory, with its rrb guarded by the
+  // labeled restriction of the coherence choice, lifted to parent indices.
+  const auto sub = history::extract(h, labeled);
+  const Relation ppo_l = order::partial_program_order(sub.sub);
+  const Relation rwb_l = order::remote_writes_before(sub.sub, ppo_l);
+  const DirectedBlock sem =
+      build_sem_layer(s, sub.sub, sub.to_parent, ppo_l, rwb_l, c);
+  // The shared relation (coh ∪ brackets ∪ lift(sem_l)) must be acyclic.
+  OrderBlock acyc2(s, identity_elems(h.size()));
+  acyc2.require_edges(brackets);
+  c.imply_on(s, acyc2);
+  imply_directed(s, sem, acyc2);
+  ViewBlocks v = make_view_blocks(s, h);
+  for (ProcId p = 0; p < h.num_processors(); ++p) {
+    auto& b = v.blocks[p];
+    b.require_edges(brackets);
+    b.require_edges(ppo.restricted_to(models::own_mask(h, p)));
+    c.imply_on(s, b);
+    imply_directed(s, sem, b);
+  }
+  switch (s.solve(ctl)) {
+    case SatResult::Unsat:
+      return Verdict::no();
+    case SatResult::Undecided:
+      return undecided_verdict();
+    case SatResult::Sat:
+      break;
+  }
+  Verdict out = yes_with_views(v, s);
+  out.coherence = c.decode(s);
+  return out;
+}
+
+Verdict dispatch(const SystemHistory& h, std::string_view name,
+                 const SearchControl& ctl) {
+  if (name == "SC") return check_sc(h, ctl);
+  if (name == "TSO") return check_tso(h, ctl, false);
+  if (name == "TSOfwd") return check_tso(h, ctl, true);
+  if (name == "TSOax") return check_tso_axiomatic(h, ctl);
+  if (name == "PC") return check_pc(h, ctl);
+  if (name == "PCg") return check_goodman(h, ctl);
+  if (name == "WO") {
+    return check_sync_sc(
+        h, ctl, models::fence_edges(h) | models::bracket_edges(h));
+  }
+  if (name == "HC") return check_hybrid(h, ctl);
+  if (name == "RCsc") return check_sync_sc(h, ctl, models::bracket_edges(h));
+  if (name == "RCpc") return check_rc_pc(h, ctl);
+  if (name == "RCg") return check_rc_goodman(h, ctl);
+  if (name == "CausalCoh") return check_causal_coherent(h, ctl, false);
+  if (name == "CausalCohL") return check_causal_coherent(h, ctl, true);
+  if (name == "Causal") return check_causal(h, ctl);
+  if (name == "Cache") return check_cache(h, ctl);
+  if (name == "PRAM") return check_pram(h, ctl);
+  if (name == "Slow") return check_slow(h, ctl);
+  if (name == "Local") return check_local(h, ctl);
+  throw InvalidInput("encode backend: unknown model '" + std::string(name) +
+                     "'");
+}
+
+}  // namespace
+
+bool encode_supports(std::string_view model_name) noexcept {
+  static constexpr std::string_view kNames[] = {
+      "SC",   "TSO",       "TSOfwd",     "TSOax",  "PC",    "PCg",
+      "WO",   "HC",        "RCsc",       "RCpc",   "RCg",   "CausalCoh",
+      "CausalCohL", "Causal", "Cache",   "PRAM",   "Slow",  "Local"};
+  for (const auto n : kNames) {
+    if (n == model_name) return true;
+  }
+  return false;
+}
+
+Verdict encode_check(const SystemHistory& h, std::string_view model_name,
+                     const SearchControl& control) {
+  static auto& checks =
+      metrics::Registry::global().counter("checker.encode_checks");
+  checks.add(1);
+  SearchControl ctl = control;
+  if (ctl.budget() == nullptr) {
+    ctl = ctl.with_budget(checker::current_budget());
+  }
+  if (SearchBudget* b = ctl.budget();
+      b != nullptr && !b->probe_deadline()) {
+    return undecided_verdict();
+  }
+  if (ctl.cancelled()) return undecided_verdict();
+  return dispatch(h, model_name, ctl);
+}
+
+}  // namespace ssm::solve

@@ -1,0 +1,46 @@
+// The encode decision backend: a second, independent implementation of
+// every model's admission predicate (docs/PORTFOLIO.md).
+//
+// Where the search backend (src/models + checker/legality.cpp) *enumerates*
+// — coherence orders, global write orders, labeled views, then a DFS per
+// processor — encode_check translates the same predicate into one or a few
+// propositional instances over boolean order variables and hands them to
+// the in-tree CDCL solver (solve/sat.hpp).  Both backends decide the same
+// predicate, so on any input where both reach a definite verdict they must
+// agree; the fuzz oracle differential-tests exactly that every iteration,
+// and checker::Portfolio races them per check.
+//
+// Verdict semantics match Model::check:
+//   * SAT  → Verdict::yes() with the same witness shape the search backend
+//     produces (views decoded from the assignment, plus the model's
+//     mutual-consistency choices), so positive verdicts re-validate
+//     through the independent checker/witness_verifier;
+//   * UNSAT → Verdict::no().  An UNSAT proof is complete regardless of how
+//     much budget remains, so — unlike an aborted enumeration — it is
+//     never downgraded to INCONCLUSIVE;
+//   * budget exhausted / cancelled mid-solve → Verdict::undecided.
+#pragma once
+
+#include <string_view>
+
+#include "checker/legality.hpp"
+#include "checker/verdict.hpp"
+#include "history/system_history.hpp"
+
+namespace ssm::solve {
+
+/// True iff `model_name` is a model the encode backend can decide (all 18
+/// registry models; unknown names return false).
+[[nodiscard]] bool encode_supports(std::string_view model_name) noexcept;
+
+/// Decides model `model_name` on `h` by SAT encoding.  Preconditions match
+/// Model::check: `h` passed SystemHistory::validate().  `control` carries
+/// the budget (charged per solver decision and conflict — different units
+/// from search nodes, same knobs) and the cancel token; when it has no
+/// budget, the calling thread's ambient budget is adopted, mirroring
+/// find_legal_view.  Throws InvalidInput for unknown model names.
+[[nodiscard]] checker::Verdict encode_check(
+    const history::SystemHistory& h, std::string_view model_name,
+    const checker::SearchControl& control = {});
+
+}  // namespace ssm::solve

@@ -1,0 +1,199 @@
+#include "solve/encode.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ssm::solve {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+
+std::vector<std::size_t> build_index(std::size_t parent_size,
+                                     const std::vector<OpIndex>& elems) {
+  std::vector<std::size_t> index(parent_size, kNpos);
+  for (std::size_t i = 0; i < elems.size(); ++i) index[elems[i]] = i;
+  return index;
+}
+}  // namespace
+
+OrderBlock::OrderBlock(SatSolver& s, std::vector<OpIndex> elems)
+    : s_(&s), elems_(std::move(elems)) {
+  std::size_t max_parent = 0;
+  for (OpIndex e : elems_) max_parent = std::max<std::size_t>(max_parent, e);
+  index_of_ = build_index(elems_.empty() ? 0 : max_parent + 1, elems_);
+  const std::size_t n = elems_.size();
+  pair_var_.resize(n < 2 ? 0 : n * (n - 1) / 2);
+  for (std::size_t j = 1; j < n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      pair_var_[pair_index(i, j)] = s.new_var();
+    }
+  }
+  // Triangle clauses: with x = B(i,j), y = B(j,k), z = B(i,k), the two
+  // cyclic orientations (i<j<k<i and its mirror) are the assignments
+  // (x,y,¬z) and (¬x,¬y,z); forbidding both makes every assignment a
+  // total strict order (antisymmetry holds by construction).
+  for (std::size_t k = 2; k < n; ++k) {
+    for (std::size_t j = 1; j < k; ++j) {
+      for (std::size_t i = 0; i < j; ++i) {
+        const Lit x = lit(pair_var_[pair_index(i, j)]);
+        const Lit y = lit(pair_var_[pair_index(j, k)]);
+        const Lit z = lit(pair_var_[pair_index(i, k)]);
+        s.add_clause({negate(x), negate(y), z});
+        s.add_clause({x, y, negate(z)});
+      }
+    }
+  }
+}
+
+std::size_t OrderBlock::pair_index(std::size_t i,
+                                   std::size_t j) const noexcept {
+  // Precondition: i < j.
+  return j * (j - 1) / 2 + i;
+}
+
+bool OrderBlock::contains(OpIndex a) const noexcept {
+  return a < index_of_.size() && index_of_[a] != kNpos;
+}
+
+Lit OrderBlock::before(OpIndex a, OpIndex b) const {
+  const std::size_t i = index_of_[a];
+  const std::size_t j = index_of_[b];
+  return i < j ? lit(pair_var_[pair_index(i, j)])
+               : negate(lit(pair_var_[pair_index(j, i)]));
+}
+
+void OrderBlock::require(OpIndex a, OpIndex b) {
+  s_->add_unit(before(a, b));
+}
+
+void OrderBlock::require_edges(const Relation& r) {
+  for (OpIndex a : elems_) {
+    if (a >= r.size()) continue;
+    r.successors(a).for_each([&](std::size_t b) {
+      if (b != a && contains(static_cast<OpIndex>(b))) {
+        require(a, static_cast<OpIndex>(b));
+      }
+    });
+  }
+}
+
+View OrderBlock::decode(const SatSolver& s) const {
+  // Count predecessors: in a total order the element with k predecessors
+  // sits at position k, so no comparator-based sort is needed.
+  const std::size_t n = elems_.size();
+  View out(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == j) continue;
+      const std::size_t lo = std::min(i, j), hi = std::max(i, j);
+      const bool i_first = s.value(pair_var_[pair_index(lo, hi)]) == (lo == i);
+      if (i_first) ++pos;
+    }
+    out[pos] = elems_[j];
+  }
+  return out;
+}
+
+DirectedBlock::DirectedBlock(SatSolver& s, std::vector<OpIndex> elems)
+    : s_(&s), elems_(std::move(elems)) {
+  std::size_t max_parent = 0;
+  for (OpIndex e : elems_) max_parent = std::max<std::size_t>(max_parent, e);
+  index_of_ = build_index(elems_.empty() ? 0 : max_parent + 1, elems_);
+  const std::size_t n = elems_.size();
+  edge_var_.resize(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) edge_var_[i * n + j] = s.new_var();
+    }
+  }
+}
+
+bool DirectedBlock::contains(OpIndex a) const noexcept {
+  return a < index_of_.size() && index_of_[a] != kNpos;
+}
+
+Lit DirectedBlock::edge(OpIndex a, OpIndex b) const {
+  const std::size_t n = elems_.size();
+  return lit(edge_var_[index_of_[a] * n + index_of_[b]]);
+}
+
+void DirectedBlock::require(OpIndex a, OpIndex b) {
+  s_->add_unit(edge(a, b));
+}
+
+void DirectedBlock::add_closure() {
+  const std::size_t n = elems_.size();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (b == a) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        if (c == a || c == b) continue;
+        s_->add_clause({negate(lit(edge_var_[a * n + b])),
+                        negate(lit(edge_var_[b * n + c])),
+                        lit(edge_var_[a * n + c])});
+      }
+    }
+  }
+}
+
+void add_legality(SatSolver& s, const OrderBlock& block,
+                  const SystemHistory& h, const DynBitset& universe,
+                  const DynBitset& exempt) {
+  universe.for_each([&](std::size_t ri) {
+    const auto r = static_cast<OpIndex>(ri);
+    const auto& op = h.op(r);
+    if (!op.is_read()) return;
+    const OpIndex w = h.writer_of(r);
+    // Same-location writes of this universe, excluding the read itself
+    // (an rmw's own store can never be "the last write before" its read).
+    std::vector<OpIndex> writes;
+    universe.for_each([&](std::size_t ei) {
+      const auto e = static_cast<OpIndex>(ei);
+      if (e != r && h.op(e).is_write() && h.op(e).loc == op.loc) {
+        writes.push_back(e);
+      }
+    });
+    const bool checked = !exempt.test(r);
+    if (checked) {
+      if (w == kNoOp) {
+        // Initial value: no same-location write may precede the read.
+        for (OpIndex e : writes) s.add_unit(block.before(r, e));
+        return;
+      }
+      if (w == r || !block.contains(w)) {
+        // The justifying write cannot appear before the read in this
+        // view; no placement is legal.
+        s.add_clause({});
+        return;
+      }
+      s.add_unit(block.before(w, r));
+      for (OpIndex e : writes) {
+        if (e == w) continue;
+        // No write strictly between w and r.
+        s.add_clause({negate(block.before(w, e)),
+                      negate(block.before(e, r))});
+      }
+      return;
+    }
+    if (op.kind != OpKind::ReadModifyWrite) return;  // fully exempt
+    // Chained-rmw gate (checker/scope.hpp): an exempt rmw read-part is
+    // still illegal when the last same-location write before it is an rmw
+    // other than its own writer.  Forbid each such rmw e from being last:
+    // either e is after r, or some other write sits strictly between.
+    for (OpIndex e : writes) {
+      if (e == w || h.op(e).kind != OpKind::ReadModifyWrite) continue;
+      std::vector<Lit> clause{negate(block.before(e, r))};
+      for (OpIndex e2 : writes) {
+        if (e2 == e) continue;
+        const Var aux = s.new_var();
+        s.add_implication(lit(aux), block.before(e, e2));
+        s.add_implication(lit(aux), block.before(e2, r));
+        clause.push_back(lit(aux));
+      }
+      s.add_clause(std::move(clause));
+    }
+  });
+}
+
+}  // namespace ssm::solve

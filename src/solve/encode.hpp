@@ -1,0 +1,123 @@
+// Building blocks for encoding admission predicates as SAT instances.
+//
+// The paper's framework asks, per model: do per-processor views S_{p+δp}
+// exist that are legal, extend the model's constraint relation, and agree
+// on the model's mutual-consistency choices?  solve/backend.cpp phrases
+// that as clauses over boolean *order variables*; the pieces here are the
+// shared vocabulary:
+//
+//   * OrderBlock — a total order over a set of operations, one variable
+//     per unordered pair (antisymmetry is structural: before(b,a) is the
+//     negation of before(a,b)) plus the two triangle clauses per triple
+//     that forbid cyclic orientations.  One block per view, per coherence
+//     location sequence, per global write order, per labeled sequence.
+//   * DirectedBlock — one variable per *ordered* pair, for relations that
+//     are not total orders: the semi-causality closure of PC/RCpc, whose
+//     edges depend on the chosen coherence order.  Closure clauses make
+//     every satisfying assignment a superset of the real transitive
+//     closure; the least model is the exact closure, so encodings that
+//     only *impose* these edges downstream stay equivalence-preserving
+//     (supersets can only over-constrain, never admit).
+//   * add_legality — the read-maps-to-most-recent-write clauses for one
+//     view.  SystemHistory::validate() guarantees distinct write values
+//     per location, so "the last write before read r has r's value" is
+//     equivalent to "writer_of(r) is the last write before r", which is
+//     a writer-identity condition expressible with before() literals
+//     alone.  The exempt-read and chained-rmw rules mirror the DFS
+//     legality gate in checker/legality.cpp exactly.
+//
+// docs/PORTFOLIO.md documents the clause schema per model family.
+#pragma once
+
+#include <vector>
+
+#include "history/system_history.hpp"
+#include "relation/relation.hpp"
+#include "solve/sat.hpp"
+
+namespace ssm::solve {
+
+using checker::View;
+using history::SystemHistory;
+using rel::DynBitset;
+using rel::Relation;
+
+/// A total strict order over `elems`, as pair variables in `s`.
+class OrderBlock {
+ public:
+  /// Creates the pair variables and the triangle (transitivity) clauses.
+  OrderBlock(SatSolver& s, std::vector<OpIndex> elems);
+
+  [[nodiscard]] const std::vector<OpIndex>& elems() const noexcept {
+    return elems_;
+  }
+  [[nodiscard]] bool contains(OpIndex a) const noexcept;
+
+  /// The literal "a precedes b in this order".  Precondition: both
+  /// contained, a != b.
+  [[nodiscard]] Lit before(OpIndex a, OpIndex b) const;
+
+  /// Requires a to precede b (unit clause).
+  void require(OpIndex a, OpIndex b);
+
+  /// Requires every edge of `r` whose endpoints are both in this block
+  /// (edges touching outside operations are ignored, mirroring the view
+  /// search's constraint-restriction semantics).
+  void require_edges(const Relation& r);
+
+  /// The order as a sequence, after solve() == Sat.
+  [[nodiscard]] View decode(const SatSolver& s) const;
+
+ private:
+  [[nodiscard]] std::size_t pair_index(std::size_t i,
+                                       std::size_t j) const noexcept;
+
+  SatSolver* s_;
+  std::vector<OpIndex> elems_;
+  std::vector<std::size_t> index_of_;  ///< parent index -> block index
+  std::vector<Var> pair_var_;          ///< triangular, block index pairs i<j
+};
+
+/// One variable per ordered pair of `elems`: an arbitrary directed
+/// relation, with optional transitive-closure clauses.
+class DirectedBlock {
+ public:
+  DirectedBlock(SatSolver& s, std::vector<OpIndex> elems);
+
+  [[nodiscard]] const std::vector<OpIndex>& elems() const noexcept {
+    return elems_;
+  }
+  [[nodiscard]] bool contains(OpIndex a) const noexcept;
+  /// The literal "edge a -> b holds".  Precondition: both contained, a != b.
+  [[nodiscard]] Lit edge(OpIndex a, OpIndex b) const;
+  void require(OpIndex a, OpIndex b);
+
+  /// edge(a,b) ∧ edge(b,c) → edge(a,c) for every ordered triple; with
+  /// these, any satisfying assignment is transitively closed (and hence a
+  /// superset of the closure of whatever edges were required).
+  void add_closure();
+
+ private:
+  SatSolver* s_;
+  std::vector<OpIndex> elems_;
+  std::vector<std::size_t> index_of_;
+  std::vector<Var> edge_var_;  ///< block index pair (i, j), row-major
+};
+
+/// Adds the legality clauses for a view of `universe` ordered by `block`
+/// (block's element set must equal `universe`):
+///   * a checked read r (non-exempt) with writer w:  before(w, r) and no
+///     other same-location write of the universe between them; a read of
+///     the initial value precedes every same-location write;
+///   * an exempt ReadModifyWrite read-part: only the chained-rmw gate —
+///     no rmw write other than its own writer may be the LAST
+///     same-location write before it (encoded with one auxiliary
+///     "strictly between" variable per excluding write);
+///   * other exempt reads: unconstrained.
+/// The instance becomes unsatisfiable outright when a checked read's
+/// writer is outside the universe (no placement can justify the value).
+void add_legality(SatSolver& s, const OrderBlock& block,
+                  const SystemHistory& h, const DynBitset& universe,
+                  const DynBitset& exempt);
+
+}  // namespace ssm::solve

@@ -1,0 +1,142 @@
+#include "solve/portfolio.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/metrics.hpp"
+#include "models/registry.hpp"
+#include "solve/backend.hpp"
+
+namespace ssm::checker {
+namespace {
+
+namespace metrics = common::metrics;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Verdict run_search(const history::SystemHistory& h,
+                   std::string_view model_name, SearchBudget* budget) {
+  const auto model = models::make_model(model_name);
+  if (budget == nullptr) return model->check(h);
+  const BudgetScope scope(budget);
+  return model->check(h);
+}
+
+Verdict run_race(const history::SystemHistory& h, std::string_view model_name,
+                 const BudgetSpec& spec) {
+  static auto& search_wins = metrics::Registry::global().counter(
+      "checker.portfolio_search_wins");
+  static auto& encode_wins = metrics::Registry::global().counter(
+      "checker.portfolio_encode_wins");
+  static auto& cancel_latency = metrics::Registry::global().histogram(
+      "checker.portfolio_cancel_latency_ns");
+
+  // Resolve the model name before spawning anything so an unknown name
+  // throws InvalidInput on the calling thread.
+  (void)models::make_model(model_name);
+
+  SearchBudget search_budget(spec);
+  SearchBudget encode_budget(spec);
+  std::atomic<bool> cancel{false};
+  std::atomic<std::uint64_t> cancel_ns{0};
+  // -1 = no winner yet, 0 = search, 1 = encode.  Only DEFINITE verdicts
+  // claim the slot; an inconclusive finisher leaves the other running.
+  std::atomic<int> winner{-1};
+
+  const auto claim = [&](int who, SearchBudget& loser_budget) {
+    int expected = -1;
+    if (!winner.compare_exchange_strong(expected, who,
+                                        std::memory_order_acq_rel)) {
+      return;
+    }
+    cancel_ns.store(now_ns(), std::memory_order_relaxed);
+    cancel.store(true, std::memory_order_relaxed);
+    loser_budget.poison();
+  };
+
+  Verdict search_verdict;
+  std::uint64_t search_end = 0;
+  std::thread search_thread([&] {
+    search_verdict = run_search(h, model_name, &search_budget);
+    search_end = now_ns();
+    if (!search_verdict.inconclusive) claim(0, encode_budget);
+  });
+
+  const SearchControl encode_control(&cancel, &encode_budget, &cancel_ns);
+  Verdict encode_verdict = solve::encode_check(h, model_name, encode_control);
+  const std::uint64_t encode_end = now_ns();
+  if (!encode_verdict.inconclusive) claim(1, search_budget);
+
+  search_thread.join();
+
+  const int who = winner.load(std::memory_order_acquire);
+  const std::uint64_t cancelled_at = cancel_ns.load(std::memory_order_relaxed);
+  if (who == 0) {
+    search_wins.add(1);
+    if (cancelled_at != 0 && encode_end > cancelled_at) {
+      cancel_latency.observe(encode_end - cancelled_at);
+    }
+    return search_verdict;
+  }
+  if (who == 1) {
+    encode_wins.add(1);
+    if (cancelled_at != 0 && search_end > cancelled_at) {
+      cancel_latency.observe(search_end - cancelled_at);
+    }
+    return encode_verdict;
+  }
+  // Both backends inconclusive: the race could not retire the check.
+  return search_verdict;
+}
+
+}  // namespace
+
+const char* to_string(Backend b) noexcept {
+  switch (b) {
+    case Backend::Search:
+      return "search";
+    case Backend::Encode:
+      return "encode";
+    case Backend::Race:
+      return "race";
+  }
+  return "?";
+}
+
+std::optional<Backend> backend_from_string(std::string_view s) noexcept {
+  if (s == "search") return Backend::Search;
+  if (s == "encode") return Backend::Encode;
+  if (s == "race") return Backend::Race;
+  return std::nullopt;
+}
+
+Verdict Portfolio::check(const history::SystemHistory& h,
+                         std::string_view model_name, Backend backend,
+                         const BudgetSpec& spec) {
+  switch (backend) {
+    case Backend::Search: {
+      if (spec.unlimited()) return run_search(h, model_name, nullptr);
+      SearchBudget budget(spec);
+      return run_search(h, model_name, &budget);
+    }
+    case Backend::Encode: {
+      if (spec.unlimited()) return solve::encode_check(h, model_name);
+      SearchBudget budget(spec);
+      const SearchControl control(nullptr, &budget);
+      return solve::encode_check(h, model_name, control);
+    }
+    case Backend::Race:
+      return run_race(h, model_name, spec);
+  }
+  throw InvalidInput("unknown backend");
+}
+
+}  // namespace ssm::checker

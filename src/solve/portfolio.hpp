@@ -1,0 +1,62 @@
+// Backend selection and portfolio racing (docs/PORTFOLIO.md).
+//
+// The repo has two independent decision backends for the same 18 admission
+// predicates: the enumerating search (src/models, the reference
+// implementation) and the SAT encoding (solve/backend.hpp).  They charge
+// budgets in different units — search nodes vs solver decisions/conflicts —
+// so on many inputs one backend finishes comfortably inside a budget that
+// exhausts the other.  Backend::Race exploits that: both backends run the
+// same check concurrently, each under its OWN fresh SearchBudget built from
+// the same BudgetSpec (same knobs, independent meters — this is what makes
+// the raced VERDICT deterministic: which backend wins may vary with
+// scheduling, but each backend's own verdict depends only on its private
+// budget, and definite verdicts from the two backends always agree).
+//
+// First definite verdict wins.  The winner cancels the loser through the
+// existing cooperative paths: it poisons the loser's budget
+// (SearchBudget::poison — every subsequent charge/probe latches false and
+// the search unwinds exactly like a timeout) and flips the shared cancel
+// token (polled by the SAT solver at every decision).  An INCONCLUSIVE
+// finisher cancels nothing — the other backend keeps running and may still
+// retire the check.  Only when BOTH backends come back inconclusive does
+// the race report INCONCLUSIVE.
+//
+// Metrics: checker.portfolio_search_wins / checker.portfolio_encode_wins
+// count races won per backend; checker.portfolio_cancel_latency_ns records
+// how long a cancelled loser took to actually unwind after the winner
+// flipped the token (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "checker/budget.hpp"
+#include "checker/verdict.hpp"
+#include "history/system_history.hpp"
+
+namespace ssm::checker {
+
+enum class Backend : std::uint8_t {
+  Search,  ///< the enumerating reference backend (src/models)
+  Encode,  ///< the SAT-encoding backend (src/solve)
+  Race,    ///< both concurrently; first definite verdict wins
+};
+
+[[nodiscard]] const char* to_string(Backend b) noexcept;
+/// Parses "search" / "encode" / "race" (exact); nullopt otherwise.
+[[nodiscard]] std::optional<Backend> backend_from_string(
+    std::string_view s) noexcept;
+
+class Portfolio {
+ public:
+  /// Decides `model_name` on `h` with the chosen backend.  Search and
+  /// Encode run under one fresh SearchBudget of `spec` (none when `spec`
+  /// is unlimited); Race gives each backend its own budget of `spec`.
+  /// Throws InvalidInput for unknown model names.
+  [[nodiscard]] static Verdict check(const history::SystemHistory& h,
+                                     std::string_view model_name,
+                                     Backend backend,
+                                     const BudgetSpec& spec = {});
+};
+
+}  // namespace ssm::checker

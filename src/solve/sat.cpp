@@ -1,0 +1,247 @@
+#include "solve/sat.hpp"
+
+#include <algorithm>
+
+namespace ssm::solve {
+
+using checker::SearchBudget;
+
+Var SatSolver::new_var() {
+  const Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(0);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  phase_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+void SatSolver::watch(Lit l, std::uint32_t clause_index) {
+  watches_[l].push_back(clause_index);
+}
+
+bool SatSolver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  // Root-level simplification: drop false literals, discard satisfied
+  // clauses, reject tautologies (l ∨ ¬l).
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<Lit> kept;
+  kept.reserve(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    if (i + 1 < lits.size() && lits[i + 1] == negate(lits[i])) return true;
+    if (i > 0 && lits[i] == negate(lits[i - 1])) return true;
+    const int v = lit_value(lits[i]);
+    if (v > 0) return true;  // already satisfied at the root
+    if (v == 0) kept.push_back(lits[i]);
+  }
+  if (kept.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (kept.size() == 1) {
+    enqueue(kept[0], kNoReason);
+    // Propagate root units eagerly so later add_clause simplification
+    // sees their consequences.
+    if (propagate() != kNoReason) ok_ = false;
+    return ok_;
+  }
+  const auto ci = static_cast<std::uint32_t>(clauses_.size());
+  clauses_.push_back(Clause{std::move(kept)});
+  watch(clauses_[ci].lits[0], ci);
+  watch(clauses_[ci].lits[1], ci);
+  return true;
+}
+
+void SatSolver::enqueue(Lit l, std::uint32_t reason) {
+  const Var v = var_of(l);
+  assign_[v] = sign_of(l) ? -1 : 1;
+  level_[v] = static_cast<std::uint32_t>(trail_lim_.size());
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+std::uint32_t SatSolver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    // Clauses watching ¬p lost a watched literal; repair or derive.
+    auto& wl = watches_[negate(p)];
+    std::size_t keep = 0;
+    for (std::size_t wi = 0; wi < wl.size(); ++wi) {
+      const std::uint32_t ci = wl[wi];
+      auto& c = clauses_[ci].lits;
+      const Lit false_lit = negate(p);
+      // Normalize: the false watcher sits at c[1].
+      if (c[0] == false_lit) std::swap(c[0], c[1]);
+      if (lit_value(c[0]) > 0) {
+        wl[keep++] = ci;  // satisfied by the other watcher
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (lit_value(c[k]) >= 0) {
+          std::swap(c[1], c[k]);
+          watch(c[1], ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;  // watch migrated; drop from this list
+      wl[keep++] = ci;
+      if (lit_value(c[0]) < 0) {
+        // Conflict: restore the remaining watch entries and report.
+        for (std::size_t rest = wi + 1; rest < wl.size(); ++rest) {
+          wl[keep++] = wl[rest];
+        }
+        wl.resize(keep);
+        qhead_ = trail_.size();
+        return ci;
+      }
+      enqueue(c[0], ci);  // unit
+    }
+    wl.resize(keep);
+  }
+  return kNoReason;
+}
+
+std::uint32_t SatSolver::analyze(std::uint32_t confl) {
+  learnt_.clear();
+  learnt_.push_back(0);  // slot for the asserting literal
+  std::uint32_t counter = 0;
+  Lit p = 0;
+  bool have_p = false;
+  std::size_t index = trail_.size();
+  const auto current = static_cast<std::uint32_t>(trail_lim_.size());
+  for (;;) {
+    const auto& c = clauses_[confl].lits;
+    for (const Lit q : c) {
+      if (have_p && q == p) continue;
+      const Var v = var_of(q);
+      if (seen_[v] != 0 || level_[v] == 0) continue;
+      seen_[v] = 1;
+      bump(v);
+      if (level_[v] >= current) {
+        ++counter;
+      } else {
+        learnt_.push_back(q);
+      }
+    }
+    // Next literal to resolve on: walk the trail backwards to the most
+    // recently assigned seen variable.
+    while (seen_[var_of(trail_[index - 1])] == 0) --index;
+    p = trail_[--index];
+    have_p = true;
+    seen_[var_of(p)] = 0;
+    --counter;
+    if (counter == 0) break;
+    confl = reason_[var_of(p)];
+  }
+  learnt_[0] = negate(p);
+  std::uint32_t back = 0;
+  for (std::size_t i = 1; i < learnt_.size(); ++i) {
+    back = std::max(back, level_[var_of(learnt_[i])]);
+    seen_[var_of(learnt_[i])] = 0;
+  }
+  // Second-highest-level literal at position 1 (the other watcher must be
+  // the first to unassign on backjump).
+  if (learnt_.size() > 2) {
+    std::size_t best = 1;
+    for (std::size_t i = 2; i < learnt_.size(); ++i) {
+      if (level_[var_of(learnt_[i])] > level_[var_of(learnt_[best])]) {
+        best = i;
+      }
+    }
+    std::swap(learnt_[1], learnt_[best]);
+  }
+  return back;
+}
+
+void SatSolver::backtrack_to(std::uint32_t level) {
+  if (trail_lim_.size() <= level) return;
+  const std::uint32_t bound = trail_lim_[level];
+  for (std::size_t i = trail_.size(); i > bound; --i) {
+    const Var v = var_of(trail_[i - 1]);
+    phase_[v] = assign_[v];
+    assign_[v] = 0;
+    reason_[v] = kNoReason;
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(level);
+  qhead_ = bound;
+}
+
+void SatSolver::bump(Var v) {
+  activity_[v] += bump_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    bump_inc_ *= 1e-100;
+  }
+}
+
+void SatSolver::decay() { bump_inc_ *= (1.0 / 0.95); }
+
+bool SatSolver::pick_branch(Lit& out) {
+  // Highest activity wins; ties break to the lowest variable index, which
+  // keeps runs deterministic.  Linear scan: instances here are small.
+  double best = -1.0;
+  Var chosen = 0;
+  bool found = false;
+  for (Var v = 0; v < assign_.size(); ++v) {
+    if (assign_[v] != 0) continue;
+    if (!found || activity_[v] > best) {
+      best = activity_[v];
+      chosen = v;
+      found = true;
+    }
+  }
+  if (!found) return false;
+  out = lit(chosen, phase_[chosen] < 0);
+  return true;
+}
+
+SatResult SatSolver::solve(const checker::SearchControl& control) {
+  if (!ok_) return SatResult::Unsat;
+  if (propagate() != kNoReason) {
+    ok_ = false;
+    return SatResult::Unsat;
+  }
+  for (;;) {
+    const std::uint32_t confl = propagate();
+    if (confl != kNoReason) {
+      ++stats_.conflicts;
+      if (trail_lim_.empty()) return SatResult::Unsat;
+      if (SearchBudget* b = control.budget();
+          b != nullptr && !b->charge(1)) {
+        return SatResult::Undecided;
+      }
+      const std::uint32_t back = analyze(confl);
+      backtrack_to(back);
+      if (learnt_.size() == 1) {
+        enqueue(learnt_[0], kNoReason);
+      } else {
+        const auto ci = static_cast<std::uint32_t>(clauses_.size());
+        clauses_.push_back(Clause{learnt_});
+        watch(learnt_[0], ci);
+        watch(learnt_[1], ci);
+        enqueue(learnt_[0], ci);
+      }
+      decay();
+      continue;
+    }
+    if (control.cancelled()) return SatResult::Undecided;
+    Lit next = 0;
+    if (!pick_branch(next)) return SatResult::Sat;
+    ++stats_.decisions;
+    if (SearchBudget* b = control.budget(); b != nullptr && !b->charge(1)) {
+      return SatResult::Undecided;
+    }
+    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    enqueue(next, kNoReason);
+  }
+}
+
+}  // namespace ssm::solve

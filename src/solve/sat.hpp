@@ -1,0 +1,130 @@
+// A small in-tree CDCL SAT solver: the engine of the encode decision
+// backend (docs/PORTFOLIO.md).
+//
+// The encode backend (solve/backend.cpp) translates each model's admission
+// predicate — "do legal views / coherence orders / a memory order exist?" —
+// into clauses over boolean order variables, and this solver decides them.
+// It is a deliberately compact conflict-driven solver: two-watched-literal
+// propagation, first-UIP clause learning with backjumping, and an
+// activity-driven (VSIDS-style) decision heuristic with saved phases.  No
+// restarts and no learnt-clause deletion: at litmus scale instances are
+// thousands of variables at most, and a restart-free solver is trivially
+// deterministic — the same instance always explores the same tree, which
+// the portfolio's verdict-determinism guarantee (tests/solve) leans on.
+//
+// Budgeting mirrors the view search: one unit is charged against the
+// SearchControl's budget per decision and per conflict, so --max-nodes and
+// --timeout-ms bound the encode backend with the same knobs (the units
+// differ from DFS nodes — that asymmetry is exactly why one backend often
+// finishes inside a budget that exhausts the other; see docs/PORTFOLIO.md).
+// The control's cancel token is polled at every decision, which is the
+// portfolio's loser-cancellation path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "checker/legality.hpp"
+
+namespace ssm::solve {
+
+/// A literal: variable << 1 | sign (sign 1 = negated).
+using Var = std::uint32_t;
+using Lit = std::uint32_t;
+
+[[nodiscard]] constexpr Lit lit(Var v, bool negated = false) noexcept {
+  return (v << 1) | static_cast<Lit>(negated);
+}
+[[nodiscard]] constexpr Lit negate(Lit l) noexcept { return l ^ 1U; }
+[[nodiscard]] constexpr Var var_of(Lit l) noexcept { return l >> 1; }
+[[nodiscard]] constexpr bool sign_of(Lit l) noexcept {
+  return (l & 1U) != 0;
+}
+
+enum class SatResult : std::uint8_t {
+  Sat,        ///< satisfying assignment found (read via value())
+  Unsat,      ///< proved unsatisfiable
+  Undecided,  ///< budget exhausted or cancelled before a proof
+};
+
+class SatSolver {
+ public:
+  SatSolver() = default;
+  SatSolver(const SatSolver&) = delete;
+  SatSolver& operator=(const SatSolver&) = delete;
+
+  [[nodiscard]] Var new_var();
+  [[nodiscard]] std::size_t num_vars() const noexcept {
+    return assign_.size();
+  }
+
+  /// Adds a clause (empty = immediate contradiction).  Literals false at
+  /// the root level are dropped; clauses with a root-true literal are
+  /// discarded as satisfied.  Returns false once the instance is known
+  /// unsatisfiable (further adds are ignored; solve() reports Unsat).
+  bool add_clause(std::vector<Lit> lits);
+
+  /// Convenience forms.
+  bool add_unit(Lit a) { return add_clause({a}); }
+  /// a -> b as a clause.
+  bool add_implication(Lit a, Lit b) { return add_clause({negate(a), b}); }
+
+  /// Decides the instance.  `control` supplies the budget charged per
+  /// decision and per conflict, and the cancel token polled per decision;
+  /// a default-constructed control solves without limits.
+  [[nodiscard]] SatResult solve(const checker::SearchControl& control = {});
+
+  /// The satisfying assignment after solve() == Sat.
+  [[nodiscard]] bool value(Var v) const noexcept {
+    return assign_[v] == 1;
+  }
+
+  struct Stats {
+    std::uint64_t decisions = 0;
+    std::uint64_t conflicts = 0;
+    std::uint64_t propagations = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+  };
+
+  static constexpr std::uint32_t kNoReason = 0xFFFFFFFFU;
+
+  [[nodiscard]] int lit_value(Lit l) const noexcept {
+    const int v = assign_[var_of(l)];
+    return sign_of(l) ? -v : v;
+  }
+  void enqueue(Lit l, std::uint32_t reason);
+  /// Propagates to fixpoint; returns the conflicting clause index or
+  /// kNoReason.
+  [[nodiscard]] std::uint32_t propagate();
+  /// First-UIP conflict analysis; fills `learnt_` (asserting literal
+  /// first) and returns the backjump level.
+  [[nodiscard]] std::uint32_t analyze(std::uint32_t confl);
+  void backtrack_to(std::uint32_t level);
+  void bump(Var v);
+  void decay();
+  [[nodiscard]] bool pick_branch(Lit& out);
+  void watch(Lit l, std::uint32_t clause_index);
+
+  std::vector<std::int8_t> assign_;  ///< per var: 0 undef, +1 true, -1 false
+  std::vector<std::uint32_t> level_;
+  std::vector<std::uint32_t> reason_;
+  std::vector<double> activity_;
+  std::vector<std::int8_t> phase_;  ///< saved polarity per var
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<std::uint32_t>> watches_;  ///< per literal
+  std::vector<Lit> trail_;
+  std::vector<std::uint32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+  std::vector<Lit> learnt_;
+  std::vector<char> seen_;
+  double bump_inc_ = 1.0;
+  bool ok_ = true;
+  Stats stats_;
+};
+
+}  // namespace ssm::solve

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
+#include "checker/legality.hpp"
 #include "checker/verdict.hpp"
 #include "history/builder.hpp"
 #include "models/models.hpp"
@@ -137,6 +139,51 @@ TEST(Budget, PositiveVerdictNeverDowngraded) {
   EXPECT_FALSE(v.inconclusive);
   const auto n = resolve_with_budget(Verdict::no("proved"));
   EXPECT_TRUE(n.inconclusive);
+}
+
+TEST(BudgetDeadline, ProbeDeadlineIgnoresStride) {
+  // probe_deadline reads the clock even when not a single node has been
+  // charged (the stride-amortized path in charge() never would).
+  SearchBudget b(BudgetSpec{0, 1});
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(b.probe_deadline());
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(BudgetDeadline, ExhaustionLatchCheckProbesDeadline) {
+  // budget_exhausted() is the models' "proved vs ran-out" check; it must
+  // notice a blown deadline even when no charge ever crossed a stride.
+  SearchBudget b(BudgetSpec{0, 1});
+  const BudgetScope scope(&b);
+  (void)b.charge(1);  // well below kClockStride: no clock probe here
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(budget_exhausted());
+  EXPECT_TRUE(b.exhausted());
+}
+
+TEST(BudgetDeadline, SlowSmallSearchesTripTimeoutOnEntry) {
+  // Regression for the stride-amortization hole: each of these searches
+  // expands ~3 nodes — far under kClockStride — so charge() alone never
+  // reads the clock, and with 2ms of (hooked) legality work per node the
+  // loop would run all 500 iterations (~3s) before anyone noticed the
+  // 30ms deadline.  The unconditional probe on search entry must latch
+  // exhaustion within a few iterations of the deadline passing.
+  const auto h = history::HistoryBuilder(1, 1).w("p", "x", 1).build();
+  rel::DynBitset universe(h.size());
+  universe.set(0);
+  const rel::Relation none(h.size());
+  SearchBudget b(BudgetSpec{0, 30});
+  const BudgetScope scope(&b);
+  set_slow_legality_hook_for_testing(
+      +[] { std::this_thread::sleep_for(std::chrono::milliseconds(2)); });
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 500 && !b.exhausted(); ++i) {
+    (void)find_legal_view(h, universe, none);
+  }
+  set_slow_legality_hook_for_testing(nullptr);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1000));
 }
 
 }  // namespace

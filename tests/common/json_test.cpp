@@ -71,7 +71,80 @@ TEST(JsonParse, UnicodeEscapes) {
   EXPECT_EQ(json::parse("\"\\u0041\"").as_string(), "A");
   EXPECT_EQ(json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");   // é
   EXPECT_EQ(json::parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac");  // €
-  EXPECT_THROW((void)json::parse("\"\\ud800\""), InvalidInput);  // surrogate
+}
+
+TEST(JsonParse, SurrogatePairsDecodeToSupplementaryCodepoints) {
+  // U+1F600 as a high/low pair -> 4-byte UTF-8.
+  EXPECT_EQ(json::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+  // First and last supplementary codepoints.
+  EXPECT_EQ(json::parse("\"\\ud800\\udc00\"").as_string(),
+            "\xf0\x90\x80\x80");
+  EXPECT_EQ(json::parse("\"\\udbff\\udfff\"").as_string(),
+            "\xf4\x8f\xbf\xbf");
+  // Mixed case hex digits and surrounding text survive.
+  EXPECT_EQ(json::parse("\"a\\uD83D\\uDE00b\"").as_string(),
+            "a\xf0\x9f\x98\x80" "b");
+}
+
+TEST(JsonParse, RejectsInvalidSurrogates) {
+  // Lone high surrogate (end of string, non-escape follower, raw char).
+  EXPECT_THROW((void)json::parse("\"\\ud800\""), InvalidInput);
+  EXPECT_THROW((void)json::parse("\"\\ud800x\""), InvalidInput);
+  EXPECT_THROW((void)json::parse("\"\\ud800\\n\""), InvalidInput);
+  // Lone low surrogate, and an inverted pair.
+  EXPECT_THROW((void)json::parse("\"\\udc00\""), InvalidInput);
+  EXPECT_THROW((void)json::parse("\"\\udc00\\ud800\""), InvalidInput);
+  // High followed by a non-surrogate escape, and two highs in a row.
+  EXPECT_THROW((void)json::parse("\"\\ud800\\u0041\""), InvalidInput);
+  EXPECT_THROW((void)json::parse("\"\\ud800\\ud800\""), InvalidInput);
+  // Truncated low half.
+  EXPECT_THROW((void)json::parse("\"\\ud800\\udc\""), InvalidInput);
+}
+
+TEST(JsonParse, ParseIsAStrictInverseOfEmit) {
+  // Every byte string the emitter can be handed must round-trip exactly:
+  // parse(append_quoted(s)) == s.  Exercise a deterministic sweep of all
+  // single bytes plus pseudo-random byte strings (including ones that look
+  // like escape fragments and multi-byte UTF-8).
+  for (int b = 0; b < 256; ++b) {
+    const std::string s(1, static_cast<char>(b));
+    std::string doc;
+    json::append_quoted(doc, s);
+    EXPECT_EQ(json::parse(doc).as_string(), s) << "byte " << b;
+  }
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string s;
+    const std::size_t len = next() % 40;
+    for (std::size_t i = 0; i < len; ++i) {
+      s += static_cast<char>(next() % 256);
+    }
+    // Sprinkle in escape-looking fragments and real UTF-8.
+    if (iter % 3 == 0) s += "\\ud800\\ude00";
+    if (iter % 4 == 0) s += "\xf0\x9f\x98\x80\"\n";
+    std::string doc;
+    json::append_quoted(doc, s);
+    ASSERT_EQ(json::parse(doc).as_string(), s) << "iter " << iter;
+  }
+}
+
+TEST(JsonParse, ReEmittingAParsedEscapeIsCanonical) {
+  // The emitter never produces \u for printable or supplementary
+  // codepoints, so parse-then-emit canonicalizes a pair to raw UTF-8 —
+  // and parsing the canonical form yields the same bytes again (the
+  // emitter's fixed point).
+  const std::string decoded = json::parse("\"\\ud83d\\ude00\"").as_string();
+  std::string doc;
+  json::append_quoted(doc, decoded);
+  EXPECT_EQ(doc, "\"\xf0\x9f\x98\x80\"");
+  EXPECT_EQ(json::parse(doc).as_string(), decoded);
 }
 
 TEST(JsonParse, RejectsMalformedInput) {

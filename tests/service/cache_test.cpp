@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "checker/witness.hpp"
+#include "common/metrics.hpp"
 #include "litmus/parser.hpp"
 #include "models/registry.hpp"
 
@@ -70,20 +71,54 @@ TEST(CanonicalProgram, StripsNameOriginAndExpectations) {
   EXPECT_EQ(service::canonical_program(a), service::canonical_program(b));
 }
 
-TEST(CacheKeying, BudgetAxesAndModelSeparateEntries) {
+TEST(CacheKeying, ModelsSeparateEntriesAndInconclusiveStaysBudgetKeyed) {
   VerdictCache cache({.capacity = 16, .dir = ""});
   CacheKey key = sb_key("SC");
-  cache.put(key, {CachedVerdict::Status::Forbidden, "", ""});
+  key.max_nodes = 50;
+  cache.put(key, {CachedVerdict::Status::Inconclusive, "", "budget"});
   EXPECT_TRUE(cache.get(key).has_value());
 
+  // A different model never aliases, definite or not.
   CacheKey other = key;
   other.model = "TSO";
   EXPECT_FALSE(cache.get(other).has_value());
+  // An INCONCLUSIVE verdict is a statement about ONE budget (and backend):
+  // it must never answer for a different budget key.
   other = key;
   other.max_nodes = 100;
   EXPECT_FALSE(cache.get(other).has_value());
   other = key;
   other.timeout_ms = 5;
+  EXPECT_FALSE(cache.get(other).has_value());
+  other = key;
+  other.backend = "encode";
+  EXPECT_FALSE(cache.get(other).has_value());
+}
+
+TEST(CacheKeying, DefiniteVerdictsUpgradeAcrossBudgetAndBackendKeys) {
+  // The PR-7 contract: "forbidden"/"allowed" cannot depend on the budget
+  // that produced them (the engine is deterministic) nor on the backend
+  // (they provably agree), so a definite verdict solved under one key must
+  // retire lookups under every other (budget, backend) combination of the
+  // same (program, model).
+  VerdictCache cache({.capacity = 64, .dir = ""});
+  CacheKey key = sb_key("SC");
+  key.max_nodes = 50;
+  cache.put(key, {CachedVerdict::Status::Forbidden, "", ""});
+
+  CacheKey other = key;
+  other.max_nodes = 100;
+  auto hit = cache.get(other);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->status, CachedVerdict::Status::Forbidden);
+  other = key;
+  other.max_nodes = 0;  // even unlimited
+  other.timeout_ms = 0;
+  other.backend = "race";
+  EXPECT_TRUE(cache.get(other).has_value());
+  // But never across models.
+  other = key;
+  other.model = "TSO";
   EXPECT_FALSE(cache.get(other).has_value());
 }
 
@@ -112,7 +147,8 @@ TEST(CacheLru, HitReturnsStoredValueAndCountsStats) {
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->note, "hello");
   EXPECT_EQ(cache.stats().hits, 1u);
-  EXPECT_EQ(cache.stats().entries, 1u);
+  // Two entries: the primary key and its budget-independent alias mirror.
+  EXPECT_EQ(cache.stats().entries, 2u);
 }
 
 TEST(RecordCodec, RoundTripsAllowedAndForbidden) {
@@ -237,7 +273,7 @@ TEST(PersistentCache, OldVersionRecordIsSkippedAndCounted) {
     std::stringstream buf;
     buf << in.rdbuf();
     std::string text = buf.str();
-    const auto pos = text.find("\"version\": 2");
+    const auto pos = text.find("\"version\": 3");
     ASSERT_NE(pos, std::string::npos);
     text.replace(pos, 12, "\"version\": 1");
     std::ofstream out(tso_path, std::ios::trunc);
@@ -250,6 +286,40 @@ TEST(PersistentCache, OldVersionRecordIsSkippedAndCounted) {
   EXPECT_EQ(report.stale_version, 1u);
   EXPECT_TRUE(reloaded.get(sc).has_value());
   EXPECT_FALSE(reloaded.get(tso).has_value());
+}
+
+TEST(PersistentCache, BudgetUpgradeSurvivesEvictionAndReload) {
+  // Satellite contract: a definite verdict solved under budget B1 keeps
+  // answering requests under budget B2 even after the memory layer is
+  // gone — the alias mirror is rebuilt from the persistent record.
+  auto& upgrades = ssm::common::metrics::Registry::global().counter(
+      "service.cache_budget_upgrades");
+  TempDir dir;
+  const auto t = sb_test();
+  CacheKey b1 = sb_key("TSO");
+  b1.max_nodes = 1000;
+  b1.timeout_ms = 50;
+  {
+    VerdictCache cache({.capacity = 64, .dir = dir.path});
+    cache.put(b1, solve_cell(t, "TSO"));
+  }
+  // A fresh instance: the memory layer (primary AND alias entries) is
+  // empty until load_persistent re-populates it from the one record.
+  VerdictCache reloaded({.capacity = 64, .dir = dir.path});
+  CacheKey b2 = b1;
+  b2.max_nodes = 77;
+  b2.backend = "encode";
+  EXPECT_FALSE(reloaded.get(b2).has_value());
+  ASSERT_EQ(reloaded.load_persistent().loaded, 1u);
+  const std::uint64_t upgrades_before = upgrades.value();
+  const auto hit = reloaded.get(b2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->status, CachedVerdict::Status::Allowed);
+  EXPECT_FALSE(hit->witness_json.empty());
+  EXPECT_EQ(upgrades.value(), upgrades_before + 1);
+  // The exact-key lookup still hits directly (no upgrade counted).
+  EXPECT_TRUE(reloaded.get(b1).has_value());
+  EXPECT_EQ(upgrades.value(), upgrades_before + 1);
 }
 
 TEST(PersistentCache, InconclusiveIsNeverPersisted) {

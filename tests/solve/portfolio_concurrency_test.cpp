@@ -1,0 +1,45 @@
+// Thread-interaction coverage for portfolio racing, run under the
+// `concurrency` label so the TSan build exercises the winner CAS, the
+// cancel token, budget poisoning, and the search-thread join from many
+// races in flight at once (via run_suite's pool fan-out) — not just one
+// race at a time.
+#include <gtest/gtest.h>
+
+#include "litmus/parser.hpp"
+#include "litmus/runner.hpp"
+#include "litmus/suite.hpp"
+#include "models/registry.hpp"
+#include "solve/portfolio.hpp"
+
+namespace ssm::checker {
+namespace {
+
+TEST(PortfolioConcurrency, ManyConcurrentRacesUnderBudget) {
+  // Every (test × model) cell races both backends, fanned out across the
+  // global pool: dozens of concurrent winner-claims and cancellations.
+  litmus::RunOptions opts;
+  opts.budget = BudgetSpec{.max_nodes = 100, .timeout_ms = 0};
+  opts.backend = Backend::Race;
+  const auto out = litmus::run_suite(litmus::builtin_suite(),
+                                     models::all_models(), opts);
+  EXPECT_EQ(out.size(), litmus::builtin_suite().size());
+}
+
+TEST(PortfolioConcurrency, RepeatedCancellationsOfAMidFlightLoser) {
+  // The search side needs minutes here; the encoder wins in milliseconds
+  // and must cancel a search that is genuinely mid-flight, every time.
+  const auto t = litmus::parse_test(
+      "name: bigrace\n"
+      "p: w(x)1 w(x)2\n"
+      "q: r(x)2 r(x)1\n"
+      "r: w(y)1 w(y)2 w(y)3 w(y)4 w(y)5 w(y)6 w(y)7 w(y)8\n"
+      "s: w(z)1 w(z)2 w(z)3 w(z)4 w(z)5 w(z)6 w(z)7 w(z)8\n");
+  for (int i = 0; i < 8; ++i) {
+    const auto v = Portfolio::check(t.hist, "TSO", Backend::Race);
+    ASSERT_FALSE(v.inconclusive);
+    EXPECT_FALSE(v.allowed);
+  }
+}
+
+}  // namespace
+}  // namespace ssm::checker

@@ -1,0 +1,148 @@
+#include "solve/portfolio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "litmus/parser.hpp"
+#include "litmus/runner.hpp"
+#include "litmus/suite.hpp"
+#include "models/registry.hpp"
+
+namespace ssm::checker {
+namespace {
+
+namespace metrics = common::metrics;
+
+// A history where the enumerating search must exhaust ~2M interleaved
+// write orders to refute the coherence violation (minutes), while the
+// encoding refutes it by unit propagation (milliseconds).  The race's
+// whole reason to exist.
+litmus::LitmusTest search_hostile_case() {
+  return litmus::parse_test(
+      "name: bigrace\n"
+      "p: w(x)1 w(x)2\n"
+      "q: r(x)2 r(x)1\n"
+      "r: w(y)1 w(y)2 w(y)3 w(y)4 w(y)5 w(y)6 w(y)7 w(y)8\n"
+      "s: w(z)1 w(z)2 w(z)3 w(z)4 w(z)5 w(z)6 w(z)7 w(z)8\n");
+}
+
+TEST(Backend, ToStringFromStringRoundTrips) {
+  for (const Backend b : {Backend::Search, Backend::Encode, Backend::Race}) {
+    const auto parsed = backend_from_string(to_string(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(backend_from_string("").has_value());
+  EXPECT_FALSE(backend_from_string("Search").has_value());
+  EXPECT_FALSE(backend_from_string("portfolio").has_value());
+}
+
+TEST(Portfolio, ThrowsOnUnknownModelForEveryBackend) {
+  const auto t = litmus::find_test("fig1-sb");
+  for (const Backend b : {Backend::Search, Backend::Encode, Backend::Race}) {
+    EXPECT_THROW((void)Portfolio::check(t.hist, "NoSuchModel", b),
+                 InvalidInput);
+  }
+}
+
+TEST(Portfolio, AllThreeBackendsAgreeOnBuiltinSuite) {
+  const auto names = models::model_names();
+  for (const auto& t : litmus::builtin_suite()) {
+    for (const auto& name : names) {
+      const auto s = Portfolio::check(t.hist, name, Backend::Search);
+      const auto e = Portfolio::check(t.hist, name, Backend::Encode);
+      const auto r = Portfolio::check(t.hist, name, Backend::Race);
+      ASSERT_FALSE(s.inconclusive) << t.name << " / " << name;
+      ASSERT_FALSE(e.inconclusive) << t.name << " / " << name;
+      ASSERT_FALSE(r.inconclusive) << t.name << " / " << name;
+      EXPECT_EQ(s.allowed, e.allowed) << t.name << " / " << name;
+      EXPECT_EQ(s.allowed, r.allowed) << t.name << " / " << name;
+    }
+  }
+}
+
+// The PR's acceptance bar: at a budget where the search backend leaves
+// cells undecided, racing the encoder retires at least half of them —
+// the backends charge budgets in different units, so one often finishes
+// well inside a budget that exhausts the other.
+TEST(Portfolio, RaceRetiresAtLeastHalfOfSearchInconclusives) {
+  const BudgetSpec spec{.max_nodes = 100, .timeout_ms = 0};
+  const auto names = models::model_names();
+  std::size_t search_undecided = 0;
+  std::size_t retired = 0;
+  for (const auto& t : litmus::builtin_suite()) {
+    for (const auto& name : names) {
+      const auto s = Portfolio::check(t.hist, name, Backend::Search, spec);
+      if (!s.inconclusive) continue;
+      ++search_undecided;
+      const auto r = Portfolio::check(t.hist, name, Backend::Race, spec);
+      if (!r.inconclusive) ++retired;
+    }
+  }
+  ASSERT_GT(search_undecided, 0u)
+      << "budget too generous: no search cell ran out";
+  EXPECT_GE(retired * 2, search_undecided)
+      << retired << "/" << search_undecided << " retired";
+}
+
+TEST(Portfolio, RaceWinIsCountedAndLoserCancelLatencyIsBounded) {
+  auto& encode_wins =
+      metrics::Registry::global().counter("checker.portfolio_encode_wins");
+  auto& cancel_latency = metrics::Registry::global().histogram(
+      "checker.portfolio_cancel_latency_ns");
+  const std::uint64_t wins_before = encode_wins.value();
+  const std::uint64_t observed_before = cancel_latency.count();
+
+  const auto t = search_hostile_case();
+  const auto v = Portfolio::check(t.hist, "TSO", Backend::Race);
+  EXPECT_FALSE(v.inconclusive);
+  EXPECT_FALSE(v.allowed);
+
+  // The encoder must have won (the search needs minutes on this case)
+  // and the poisoned search must have unwound: the cancel latency is the
+  // gap between the winner flipping the token and the loser actually
+  // returning.  Bound it at 2s — cooperative cancellation polls per
+  // search node, so anything slower means the poison path regressed.
+  EXPECT_GT(encode_wins.value(), wins_before);
+  ASSERT_GT(cancel_latency.count(), observed_before);
+  EXPECT_LT(cancel_latency.max(), 2'000'000'000u);
+}
+
+TEST(Portfolio, RacedVerdictsAreDeterministicAcrossRepeats) {
+  // Which backend wins a race varies with scheduling; the VERDICT must
+  // not.  Each backend's own verdict depends only on its private budget,
+  // and conclusive verdicts from the two always agree, so repeated races
+  // (and any --jobs fan-out) see identical allowed/inconclusive bits.
+  const BudgetSpec spec{.max_nodes = 100, .timeout_ms = 0};
+  const auto models = models::all_models();
+  litmus::RunOptions opts;
+  opts.budget = spec;
+  opts.backend = Backend::Race;
+  const auto first =
+      litmus::run_suite(litmus::builtin_suite(), models, opts);
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    const auto again =
+        litmus::run_suite(litmus::builtin_suite(), models, opts);
+    ASSERT_EQ(again.size(), first.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      ASSERT_EQ(again[i].per_model.size(), first[i].per_model.size());
+      for (std::size_t m = 0; m < first[i].per_model.size(); ++m) {
+        const auto& a = first[i].per_model[m];
+        const auto& b = again[i].per_model[m];
+        EXPECT_EQ(a.inconclusive, b.inconclusive)
+            << first[i].test << " / " << a.model;
+        if (!a.inconclusive) {
+          EXPECT_EQ(a.allowed, b.allowed)
+              << first[i].test << " / " << a.model;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssm::checker

@@ -71,6 +71,7 @@
 #include "order/orders.hpp"
 #include "race/race.hpp"
 #include "lattice/inclusion.hpp"
+#include "solve/portfolio.hpp"
 #include "litmus/parser.hpp"
 #include "litmus/runner.hpp"
 #include "litmus/suite.hpp"
@@ -100,7 +101,8 @@ void print_usage(std::FILE* out) {
       "<machine>\n"
       "  fuzz [--seed S] [--iters N] [--procs P] [--ops O] [--locs L]\n"
       "       [--labels PCT] [--corpus DIR] [--inject-bug MODEL]\n"
-      "       [--op-ops N] [--no-operational] [--no-shrink]\n"
+      "       [--op-ops N] [--no-operational] [--no-backend-diff]\n"
+      "       [--no-shrink]\n"
       "                  differential fuzzing over all models "
       "(docs/FUZZING.md)\n"
       "  replay <dir>    replay a .litmus regression corpus against its\n"
@@ -125,6 +127,9 @@ void print_usage(std::FILE* out) {
       "                  for serve: the server-side cap\n"
       "  --timeout-ms N  wall-clock budget per check (0 = unlimited);\n"
       "                  for serve: the server-side cap\n"
+      "  --backend B     decision backend: search (enumerating, default),\n"
+      "                  encode (SAT), race (both; first definite verdict\n"
+      "                  wins — docs/PORTFOLIO.md)\n"
       "  --json          machine-readable check/matrix/fuzz output with\n"
       "                  witness certificates and a metrics snapshot\n"
       "  --help          print this help and exit 0\n");
@@ -163,6 +168,10 @@ std::uint32_t parse_u32(const char* what, const char* text) {
 struct GlobalOptions {
   checker::BudgetSpec budget;  ///< per-admission-check budget
   bool json = false;           ///< machine-readable output where supported
+  /// Decision backend for check/matrix/show (and forwarded by `client`):
+  /// the enumerating search, the SAT encoding, or a race of both
+  /// (docs/PORTFOLIO.md).
+  checker::Backend backend = checker::Backend::Search;
 };
 
 /// Strips global flags (`--jobs N`, `--max-nodes N`, `--timeout-ms N`,
@@ -201,6 +210,16 @@ bool apply_global_flags(int& argc, char** argv, GlobalOptions& opts) {
       const char* v = value_of("--timeout-ms");
       if (v == nullptr) return false;
       opts.budget.timeout_ms = parse_u64("--timeout-ms value", v);
+    } else if (arg == "--backend" || arg.rfind("--backend=", 0) == 0) {
+      const char* v = value_of("--backend");
+      if (v == nullptr) return false;
+      const auto b = checker::backend_from_string(v);
+      if (!b) {
+        std::fprintf(stderr,
+                     "ssm: bad --backend '%s' (search|encode|race)\n", v);
+        return false;
+      }
+      opts.backend = *b;
     } else {
       argv[out++] = argv[i];
     }
@@ -238,11 +257,15 @@ int cmd_tests() {
   return 0;
 }
 
-/// Runs one admission check under a fresh budget from `opts` (ambient for
-/// the model and forwarded across the per-processor fan-out).
+/// Runs one admission check with the selected backend under a fresh budget
+/// from `opts` (ambient for the model and forwarded across the
+/// per-processor fan-out).
 checker::Verdict check_budgeted(const models::Model& m,
                                 const history::SystemHistory& h,
                                 const GlobalOptions& opts) {
+  if (opts.backend != checker::Backend::Search) {
+    return checker::Portfolio::check(h, m.name(), opts.backend, opts.budget);
+  }
   if (opts.budget.unlimited()) return m.check(h);
   checker::SearchBudget budget(opts.budget);
   const checker::BudgetScope scope(&budget);
@@ -335,8 +358,9 @@ int cmd_show(int argc, char** argv, const GlobalOptions& opts) {
 
 int cmd_matrix(int argc, char** argv, const GlobalOptions& opts) {
   const auto suite = load_suite(argc, argv, 2);
-  const auto outcomes = litmus::run_suite(suite, models::all_models(),
-                                          litmus::RunOptions{opts.budget});
+  const auto outcomes =
+      litmus::run_suite(suite, models::all_models(),
+                        litmus::RunOptions{opts.budget, opts.backend});
   if (opts.json) {
     std::string json = "{\n  \"tests\": [";
     bool first_test = true;
@@ -412,6 +436,8 @@ int cmd_fuzz(int argc, char** argv, const GlobalOptions& opts) {
       fopts.oracle.max_operational_ops = parse_u32("--op-ops value", value());
     } else if (arg == "--no-operational") {
       fopts.oracle.check_operational = false;
+    } else if (arg == "--no-backend-diff") {
+      fopts.oracle.check_backends = false;
     } else if (arg == "--no-shrink") {
       fopts.shrink = false;
     } else {
@@ -621,6 +647,11 @@ int cmd_client(int argc, char** argv, const GlobalOptions& opts) {
     }
     if (opts.budget.timeout_ms != 0) {
       frame += ", \"timeout_ms\": " + std::to_string(opts.budget.timeout_ms);
+    }
+    if (opts.backend != checker::Backend::Search) {
+      frame += ", \"backend\": \"";
+      frame += checker::to_string(opts.backend);
+      frame += '"';
     }
     if (no_cache) frame += ", \"no_cache\": true";
     frame += '}';
