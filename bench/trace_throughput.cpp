@@ -1,0 +1,250 @@
+// Streaming trace-checker throughput: ops/sec through the full parse ->
+// window -> check pipeline on a multi-million-op SC trace, in bounded
+// memory (docs/TRACES.md).
+//
+// Not a paper artifact — the operational acceptance gate for the
+// streaming subsystem:
+//
+//   * sustained rate on a seeded 1M-op SC workload trace must clear the
+//     --min-rate floor (default 100k ops/sec; exit 2 below it);
+//   * the trace.window_ops gauge must never exceed the configured window
+//     cap (exit 3 on a breach — the bounded-memory contract);
+//   * two passes over the same trace must produce the same verdict-stream
+//     FNV-1a digest (exit 4 — determinism);
+//   * every violation streamed from the buggy RC_pc bakery trace must be
+//     re-confirmed offline: the exported litmus window is forbidden by
+//     the whole-history SC checker AND admitted by RCpc with a
+//     certificate that survives the independent witness verifier
+//     (exit 5).
+//
+//   ./trace_throughput [--ops N] [--jobs J] [--window W] [--min-rate R]
+//                      [--json FILE]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checker/witness.hpp"
+#include "checker/witness_verifier.hpp"
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
+#include "litmus/parser.hpp"
+#include "models/registry.hpp"
+#include "trace/format.hpp"
+#include "trace/streaming.hpp"
+#include "trace/trace_export.hpp"
+
+namespace {
+
+using namespace ssm;
+
+struct Options {
+  std::uint64_t ops = 1'000'000;
+  std::uint64_t window = 256;
+  double min_rate = 100'000.0;  // ops/sec floor (0 disables)
+  std::string json_path;
+};
+
+struct PassResult {
+  double seconds = 0;
+  trace::StreamSummary summary;
+  std::int64_t gauge_breaches = 0;
+};
+
+/// One full streaming pass: parse every line, feed, finish.  Checks the
+/// bounded-memory gauge after every window close (the gauge is live while
+/// a window is open, so <= cap at every observation point).
+PassResult stream_pass(const std::string& text, const Options& opts) {
+  std::istringstream in(text);
+  trace::TraceReader reader(in);
+  trace::StreamOptions sopts;
+  sopts.window_ops = opts.window;
+  auto& gauge = common::metrics::Registry::global().gauge("trace.window_ops");
+  PassResult result;
+  const auto start = std::chrono::steady_clock::now();
+  trace::StreamingChecker checker(reader.read_header(), sopts);
+  checker.set_verdict_sink([&](const trace::WindowVerdict& v) {
+    if (v.ops > opts.window) ++result.gauge_breaches;
+    if (gauge.value() > static_cast<std::int64_t>(opts.window)) {
+      ++result.gauge_breaches;
+    }
+  });
+  trace::TraceOp op;
+  while (reader.next(op)) checker.feed(op);
+  result.summary = checker.finish();
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+/// Streams the buggy RC_pc bakery trace against SC and re-confirms every
+/// violation offline.  Returns the number of re-confirmed violations, or
+/// -1 on any re-confirmation failure.
+int reconfirm_bakery_violations() {
+  trace::TraceGenOptions gopts;
+  gopts.scenario = "bakery";
+  gopts.machine = "rc-pc";
+  gopts.procs = 2;
+  gopts.seed = 3;
+  std::ostringstream gen;
+  (void)trace::generate_trace(gopts, gen);
+  const std::string text = gen.str();
+
+  std::istringstream in(text);
+  trace::TraceReader reader(in);
+  trace::StreamOptions sopts;
+  sopts.model = "SC";
+  trace::StreamingChecker checker(reader.read_header(), sopts);
+  std::vector<std::string> litmuses;
+  checker.set_verdict_sink([&](const trace::WindowVerdict& v) {
+    if (v.status == trace::WindowVerdict::Status::Violation) {
+      litmuses.push_back(v.litmus);
+    }
+  });
+  trace::TraceOp op;
+  while (reader.next(op)) checker.feed(op);
+  (void)checker.finish();
+
+  int confirmed = 0;
+  for (const std::string& text_litmus : litmuses) {
+    const auto suite = litmus::parse_suite(text_litmus);
+    if (suite.size() != 1) return -1;
+    const auto& t = suite[0];
+    const auto sc = models::make_model("SC")->check(t.hist);
+    if (sc.allowed || sc.inconclusive) return -1;
+    const auto rcpc = models::make_model("RCpc")->check(t.hist);
+    if (!rcpc.allowed) return -1;
+    const auto w = checker::witness_from_verdict(t.hist, "RCpc", rcpc);
+    if (checker::verify_witness(t.hist, w).has_value()) return -1;
+    ++confirmed;
+  }
+  return confirmed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  unsigned jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "trace_throughput: %s needs a value\n",
+                     arg.c_str());
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (arg == "--ops") {
+      opts.ops = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      jobs = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--window") {
+      opts.window = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--min-rate") {
+      opts.min_rate = std::strtod(value(), nullptr);
+    } else if (arg == "--json") {
+      opts.json_path = value();
+    } else {
+      std::fprintf(stderr,
+                   "usage: trace_throughput [--ops N] [--jobs J] "
+                   "[--window W] [--min-rate R] [--json FILE]\n");
+      return 64;
+    }
+  }
+  if (jobs != 0) common::ThreadPool::set_global_jobs(jobs);
+
+  std::printf("trace_throughput: streaming checker on a %llu-op SC trace "
+              "(window %llu)\n",
+              static_cast<unsigned long long>(opts.ops),
+              static_cast<unsigned long long>(opts.window));
+
+  trace::TraceGenOptions gopts;
+  gopts.machine = "sc";
+  gopts.ops = opts.ops;
+  gopts.seed = 20260809;
+  std::ostringstream gen;
+  const auto gen_start = std::chrono::steady_clock::now();
+  const auto gen_result = trace::generate_trace(gopts, gen);
+  const double gen_seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - gen_start)
+                                 .count();
+  const std::string text = gen.str();
+  std::printf("  gen:    %8.0f ops/sec (%llu ops, %.2fs, %.1f MB)\n",
+              static_cast<double>(gen_result.ops) / gen_seconds,
+              static_cast<unsigned long long>(gen_result.ops), gen_seconds,
+              static_cast<double>(text.size()) / 1e6);
+
+  const PassResult pass1 = stream_pass(text, opts);
+  const PassResult pass2 = stream_pass(text, opts);
+  const double rate =
+      static_cast<double>(pass1.summary.ops) / pass1.seconds;
+  std::printf("  check:  %8.0f ops/sec (%llu windows, %.2fs, digest %s)\n",
+              rate, static_cast<unsigned long long>(pass1.summary.windows),
+              pass1.seconds,
+              trace::hex16(pass1.summary.digest).c_str());
+
+  const int bakery_confirmed = reconfirm_bakery_violations();
+  std::printf("  bakery: %d RC_pc violation(s) re-confirmed offline\n",
+              bakery_confirmed);
+
+  if (!opts.json_path.empty()) {
+    std::ofstream out(opts.json_path, std::ios::trunc);
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\n"
+        "  \"benchmark\": \"trace_throughput\",\n"
+        "  \"ops\": %llu,\n"
+        "  \"window\": %llu,\n"
+        "  \"gen_ops_per_sec\": %.0f,\n"
+        "  \"check_ops_per_sec\": %.0f,\n"
+        "  \"windows\": %llu,\n"
+        "  \"violations\": %llu,\n"
+        "  \"inconclusive\": %llu,\n"
+        "  \"digest_fnv1a\": \"%s\",\n"
+        "  \"digest_stable\": %s,\n"
+        "  \"window_cap_respected\": %s,\n"
+        "  \"bakery_violations_reconfirmed\": %d\n"
+        "}\n",
+        static_cast<unsigned long long>(opts.ops),
+        static_cast<unsigned long long>(opts.window),
+        static_cast<double>(gen_result.ops) / gen_seconds, rate,
+        static_cast<unsigned long long>(pass1.summary.windows),
+        static_cast<unsigned long long>(pass1.summary.violations),
+        static_cast<unsigned long long>(pass1.summary.inconclusive),
+        trace::hex16(pass1.summary.digest).c_str(),
+        pass1.summary.digest == pass2.summary.digest ? "true" : "false",
+        pass1.gauge_breaches + pass2.gauge_breaches == 0 ? "true" : "false",
+        bakery_confirmed);
+    out << buf;
+  }
+
+  if (pass1.gauge_breaches + pass2.gauge_breaches != 0) {
+    std::fprintf(stderr, "FAIL: trace.window_ops exceeded the %llu cap\n",
+                 static_cast<unsigned long long>(opts.window));
+    return 3;
+  }
+  if (pass1.summary.digest != pass2.summary.digest) {
+    std::fprintf(stderr, "FAIL: verdict-stream digest differs across runs\n");
+    return 4;
+  }
+  if (bakery_confirmed < 1) {
+    std::fprintf(stderr,
+                 "FAIL: RC_pc bakery violations missing or unconfirmed\n");
+    return 5;
+  }
+  if (opts.min_rate > 0 && rate < opts.min_rate) {
+    std::fprintf(stderr, "FAIL: %.0f ops/sec below the %.0f floor\n", rate,
+                 opts.min_rate);
+    return 2;
+  }
+  std::printf("trace_throughput OK\n");
+  return 0;
+}

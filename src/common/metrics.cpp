@@ -1,5 +1,6 @@
 #include "common/metrics.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/json.hpp"
@@ -9,18 +10,29 @@ namespace ssm::common::metrics {
 
 void Histogram::observe(std::uint64_t v) noexcept {
   count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(v, std::memory_order_relaxed);
+  const std::uint64_t prev = sum_.fetch_add(v, std::memory_order_relaxed);
+  if (prev + v < prev) {
+    // The running total wrapped past 2^64-1.  Count the wrap so readers
+    // can tell an aliased sum from a genuine one (the value itself keeps
+    // accumulating mod 2^64, which preserves deltas between snapshots).
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+  }
   std::uint64_t seen = max_.load(std::memory_order_relaxed);
   while (v > seen &&
          !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
   }
-  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+  // bit_width(uint64) is always <= 64 < kBuckets; the clamp guards the
+  // array bound against any future widening of the sample type.
+  const std::size_t bucket = std::min<std::size_t>(
+      static_cast<std::size_t>(std::bit_width(v)), kBuckets - 1);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
 void Histogram::reset() noexcept {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
 
@@ -105,7 +117,13 @@ std::string Registry::to_json() const {
     append_json_escaped(out, name);
     out += "\": {\"count\": " + std::to_string(h->count()) +
            ", \"sum\": " + std::to_string(h->sum()) +
-           ", \"max\": " + std::to_string(h->max()) + ", \"buckets\": [";
+           ", \"max\": " + std::to_string(h->max());
+    // Emitted only when non-zero so snapshots without wraps keep their
+    // historical byte-exact shape (pinned digests depend on it).
+    if (const std::uint64_t ov = h->overflow(); ov != 0) {
+      out += ", \"overflow\": " + std::to_string(ov);
+    }
+    out += ", \"buckets\": [";
     bool first_bucket = true;
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
       const std::uint64_t n = h->bucket(i);

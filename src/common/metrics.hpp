@@ -64,9 +64,12 @@ class Gauge {
 
 /// Distribution of non-negative samples in power-of-two buckets: bucket i
 /// counts samples v with bit_width(v) == i, i.e. bucket 0 holds v == 0 and
-/// bucket i >= 1 holds 2^(i-1) <= v < 2^i.  Tracks count/sum/max exactly;
-/// the buckets give the shape (frontier widths, wall times, latencies)
-/// without per-sample storage.
+/// bucket i >= 1 holds 2^(i-1) <= v < 2^i.  Tracks count/max exactly; the
+/// buckets give the shape (frontier widths, wall times, latencies) without
+/// per-sample storage.  `sum` is exact until the running total exceeds
+/// 2^64-1; each wrap is counted in `overflow` (and surfaced in the JSON
+/// snapshot) instead of silently aliasing — high-rate instruments like
+/// trace ops/sec can push the total past 64 bits in a long-lived server.
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 65;  // bit_width of uint64 in 0..64
@@ -82,6 +85,10 @@ class Histogram {
   [[nodiscard]] std::uint64_t max() const noexcept {
     return max_.load(std::memory_order_relaxed);
   }
+  /// Number of times the running sum wrapped past 2^64-1.
+  [[nodiscard]] std::uint64_t overflow() const noexcept {
+    return overflow_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
     return buckets_[i].load(std::memory_order_relaxed);
   }
@@ -91,6 +98,7 @@ class Histogram {
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> max_{0};
+  std::atomic<std::uint64_t> overflow_{0};
   std::atomic<std::uint64_t> buckets_[kBuckets]{};
 };
 

@@ -62,6 +62,33 @@ Request request_from_json(const json::Value& doc) {
         }
         req.check.backend = *parsed;
       }
+    } else if (op == "trace") {
+      req.op = Request::Op::Trace;
+      const std::string& phase = doc.at("phase").as_string();
+      if (phase == "begin") {
+        req.trace.phase = TraceRequest::Phase::Begin;
+        req.trace.header_line = doc.at("header").as_string();
+        if (req.trace.header_line.empty()) {
+          throw ProtocolError("bad_request", "empty trace header");
+        }
+        if (const json::Value* v = doc.find("model")) {
+          req.trace.model = v->as_string();
+        }
+        if (const json::Value* v = doc.find("window")) {
+          req.trace.window = v->as_u64();
+        }
+      } else if (phase == "ops") {
+        req.trace.phase = TraceRequest::Phase::Ops;
+        req.trace.lines = doc.at("lines").as_string();
+        if (req.trace.lines.empty()) {
+          throw ProtocolError("bad_request", "empty trace ops chunk");
+        }
+      } else if (phase == "end") {
+        req.trace.phase = TraceRequest::Phase::End;
+      } else {
+        throw ProtocolError("bad_request", "unknown trace phase '" + phase +
+                                               "' (begin|ops|end)");
+      }
     } else {
       throw ProtocolError("bad_request", "unknown op '" + op + "'");
     }
@@ -225,6 +252,27 @@ std::string serialize_drain_ack(std::string_view id) {
   std::string out;
   open_frame(out, id, true);
   out += ", \"draining\": true}\n";
+  return out;
+}
+
+std::string serialize_trace_response(std::string_view id,
+                                     const std::vector<std::string>& verdicts,
+                                     std::string_view summary) {
+  std::string out;
+  open_frame(out, id, true);
+  out += ", \"verdicts\": [";
+  bool first = true;
+  for (const std::string& v : verdicts) {
+    if (!first) out += ", ";
+    first = false;
+    out += v;  // verdict_line bytes: a complete JSON object
+  }
+  out += ']';
+  if (!summary.empty()) {
+    out += ", \"summary\": ";
+    out += summary;
+  }
+  out += "}\n";
   return out;
 }
 

@@ -59,11 +59,33 @@ struct CheckRequest {
   checker::Backend backend = checker::Backend::Search;
 };
 
+/// One chunk of a streamed trace check (docs/TRACES.md).  A trace session
+/// is a per-connection phase sequence — begin, any number of ops chunks,
+/// end — each chunk an ordinary request frame answered in order, so trace
+/// streaming inherits the batch, admission and drain semantics unchanged:
+///
+///   {"op":"trace","id":"t0","phase":"begin","model":"SC","window":256,
+///    "header":"{\"ssm_trace\":1,\"procs\":2,\"locs\":4}"}
+///   {"op":"trace","id":"t1","phase":"ops","lines":"{...}\n{...}"}
+///   {"op":"trace","id":"t2","phase":"end"}
+///
+/// Responses carry the window verdicts completed by that chunk; the end
+/// response adds the stream summary (with the verdict-stream digest).
+struct TraceRequest {
+  enum class Phase : std::uint8_t { Begin, Ops, End };
+  Phase phase = Phase::Begin;
+  std::string model;         ///< begin: model name (default "SC")
+  std::uint64_t window = 0;  ///< begin: window cap (0 = server default)
+  std::string header_line;   ///< begin: the trace's NDJSON header line
+  std::string lines;         ///< ops: newline-separated op lines
+};
+
 struct Request {
-  enum class Op : std::uint8_t { Check, Stats, Ping, Shutdown };
+  enum class Op : std::uint8_t { Check, Stats, Ping, Shutdown, Trace };
   Op op = Op::Ping;
   std::string id;
   CheckRequest check;  ///< meaningful when op == Check
+  TraceRequest trace;  ///< meaningful when op == Trace
 };
 
 /// Parses one request frame.  Throws ProtocolError ("parse_error" or
@@ -122,5 +144,12 @@ struct CheckResponse {
 [[nodiscard]] std::string serialize_stats(std::string_view id);
 [[nodiscard]] std::string serialize_pong(std::string_view id);
 [[nodiscard]] std::string serialize_drain_ack(std::string_view id);
+
+/// Trace-chunk response: the verdict lines (each already a complete JSON
+/// object, embedded verbatim) completed by this chunk, plus — on the end
+/// phase — the summary line.  Empty `summary` omits the field.
+[[nodiscard]] std::string serialize_trace_response(
+    std::string_view id, const std::vector<std::string>& verdicts,
+    std::string_view summary);
 
 }  // namespace ssm::service

@@ -26,6 +26,8 @@
 #include "litmus/parser.hpp"
 #include "models/registry.hpp"
 #include "solve/portfolio.hpp"
+#include "trace/format.hpp"
+#include "trace/streaming.hpp"
 
 namespace ssm::service {
 
@@ -523,6 +525,18 @@ CheckService::PreloadReport CheckService::preload(
 ///     continuation).
 ///   * The fd is registered/closed only by the owning io thread; workers
 ///     observe `closed` under `mu` before touching it.
+/// Per-connection trace-stream state (docs/TRACES.md).  Owned by the
+/// connection, but touched exclusively by the worker currently holding the
+/// connection's strand — the strand's one-worker-at-a-time FIFO is what
+/// orders begin/ops/end chunks, so no extra lock is needed.
+struct TraceSession {
+  std::unique_ptr<trace::StreamingChecker> checker;
+  /// Verdict lines completed since the last chunk response.
+  std::vector<std::string> pending;
+  /// Physical line number within the client's trace (header = line 1).
+  std::uint64_t line_no = 1;
+};
+
 struct Server::Connection
     : std::enable_shared_from_this<Server::Connection> {
   int fd = -1;
@@ -545,6 +559,9 @@ struct Server::Connection
   bool want_read = true;
   bool want_write = false;
   std::uint32_t reg_events = 0;  ///< mask currently registered with epoll
+
+  /// Strand-owned (see TraceSession): null when no trace stream is open.
+  std::unique_ptr<TraceSession> trace_session;
 
   ~Connection() {
     if (fd >= 0) ::close(fd);
@@ -1112,7 +1129,8 @@ void Server::frame_to_items(const std::shared_ptr<Connection>& conn,
         item.preformatted = true;
         item.text = serialize_drain_ack(req.id);
         break;
-      case Request::Op::Check: {
+      case Request::Op::Check:
+      case Request::Op::Trace: {
         if (draining()) {
           item.preformatted = true;
           item.text = serialize_error(req.id, "draining",
@@ -1122,7 +1140,9 @@ void Server::frame_to_items(const std::shared_ptr<Connection>& conn,
         // Per-request admission: every element of a pipelined burst or
         // batch frame is accounted individually, so a giant batch can
         // never bypass the bounded-admission guarantee.  Overflow is
-        // rejected per request, id echoed, in response position.
+        // rejected per request, id echoed, in response position.  Trace
+        // chunks count exactly like checks — streaming inherits the
+        // bounded-admission and drain contracts unchanged.
         std::size_t cur = admitted_.load(std::memory_order_relaxed);
         bool admitted = false;
         while (cur < options_.queue_capacity) {
@@ -1275,6 +1295,83 @@ void Server::worker_loop() {
   }
 }
 
+std::string Server::handle_trace(Connection& conn, const Request& req) {
+  // Any protocol-level failure destroys the session: a stream whose bytes
+  // the server refused cannot be meaningfully continued.
+  const auto fail = [&](std::string_view message) {
+    conn.trace_session.reset();
+    return serialize_error(req.id, "bad_request", message);
+  };
+  try {
+    switch (req.trace.phase) {
+      case TraceRequest::Phase::Begin: {
+        if (conn.trace_session) {
+          return fail(
+              "trace session already active on this connection (end it "
+              "first)");
+        }
+        const trace::TraceHeader header =
+            trace::parse_header_line(req.trace.header_line);
+        trace::StreamOptions opts;
+        if (!req.trace.model.empty()) opts.model = req.trace.model;
+        if (req.trace.window != 0) {
+          opts.window_ops = static_cast<std::size_t>(req.trace.window);
+        }
+        opts.window_budget = service_.effective_budget(opts.window_budget);
+        auto session = std::make_unique<TraceSession>();
+        auto* pending = &session->pending;
+        session->checker =
+            std::make_unique<trace::StreamingChecker>(header, opts);
+        session->checker->set_verdict_sink(
+            [pending](const trace::WindowVerdict& v) {
+              pending->push_back(trace::verdict_line(v));
+            });
+        conn.trace_session = std::move(session);
+        return serialize_trace_response(req.id, {}, "");
+      }
+      case TraceRequest::Phase::Ops: {
+        if (!conn.trace_session) {
+          return fail("no active trace session (send phase \"begin\" first)");
+        }
+        TraceSession& s = *conn.trace_session;
+        std::string_view rest = req.trace.lines;
+        while (!rest.empty()) {
+          const std::size_t nl = rest.find('\n');
+          const std::string_view line =
+              nl == std::string_view::npos ? rest : rest.substr(0, nl);
+          rest = nl == std::string_view::npos ? std::string_view{}
+                                              : rest.substr(nl + 1);
+          if (line.empty()) {
+            ++s.line_no;
+            continue;
+          }
+          s.checker->feed(trace::parse_op_line(line, ++s.line_no));
+        }
+        std::vector<std::string> verdicts = std::move(s.pending);
+        s.pending.clear();
+        return serialize_trace_response(req.id, verdicts, "");
+      }
+      case TraceRequest::Phase::End: {
+        if (!conn.trace_session) {
+          return fail("no active trace session (send phase \"begin\" first)");
+        }
+        TraceSession& s = *conn.trace_session;
+        const trace::StreamSummary summary = s.checker->finish();
+        const std::string out = serialize_trace_response(
+            req.id, s.pending, summary.to_json_line());
+        conn.trace_session.reset();
+        return out;
+      }
+    }
+    return fail("unknown trace phase");
+  } catch (const InvalidInput& e) {
+    return fail(e.what());
+  } catch (const std::exception& e) {
+    conn.trace_session.reset();
+    return serialize_error(req.id, "internal", e.what());
+  }
+}
+
 void Server::process_strand(const std::shared_ptr<Connection>& conn) {
   Batch batch;
   {
@@ -1283,13 +1380,18 @@ void Server::process_strand(const std::shared_ptr<Connection>& conn) {
     conn->batches.pop_front();
   }
   std::vector<const CheckRequest*> checks;
+  std::size_t picked_up = 0;
   for (const BatchItem& item : batch) {
-    if (!item.preformatted) checks.push_back(&item.request.check);
+    if (item.preformatted) continue;
+    ++picked_up;
+    if (item.request.op == Request::Op::Check) {
+      checks.push_back(&item.request.check);
+    }
   }
-  if (!checks.empty()) {
+  if (picked_up != 0) {
     // Picked up: these requests no longer occupy admission capacity (the
     // PR-4 contract — capacity bounds WAITING requests).
-    admitted_.fetch_sub(checks.size(), std::memory_order_relaxed);
+    admitted_.fetch_sub(picked_up, std::memory_order_relaxed);
     queue_depth_gauge().set(
         static_cast<std::int64_t>(admitted_.load(std::memory_order_relaxed)));
   }
@@ -1312,6 +1414,10 @@ void Server::process_strand(const std::shared_ptr<Connection>& conn) {
   for (BatchItem& item : batch) {
     if (item.preformatted) {
       out += item.text;
+      continue;
+    }
+    if (item.request.op == Request::Op::Trace) {
+      out += handle_trace(*conn, item.request);
       continue;
     }
     CheckService::Outcome& oc = outcomes[ci++];

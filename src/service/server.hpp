@@ -245,6 +245,10 @@ class Server {
   // --- worker side ---
   void worker_loop();
   void process_strand(const std::shared_ptr<Connection>& conn);
+  /// Serves one trace-stream chunk against the connection's trace session
+  /// (strand-ordered: only the single worker owning the strand touches
+  /// session state).  Returns the response frame.
+  std::string handle_trace(Connection& conn, const Request& req);
 
   // --- shared write path ---
   /// Appends to the connection's output buffer and flushes as much as the

@@ -42,6 +42,8 @@ void Scheduler::step_program(std::size_t i, TraceRecorder& trace) {
 RunResult Scheduler::run() {
   RunResult result;
   TraceRecorder trace(machine_.num_processors(), machine_.num_locations());
+  if (op_sink_) trace.set_sink(op_sink_);
+  trace.set_keep_history(keep_history_);
   for (auto& prog : programs_) prog.start();
 
   std::uint32_t spin_budget = options_.max_spin;

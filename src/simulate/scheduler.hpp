@@ -65,6 +65,15 @@ class Scheduler {
 
   void set_cs_observer(CsObserver obs) { cs_observer_ = std::move(obs); }
 
+  /// Streams every recorded operation to `sink` as the run executes
+  /// (trace export; see src/trace).
+  void set_op_sink(TraceRecorder::OpSink sink) { op_sink_ = std::move(sink); }
+
+  /// When disabled, the run's TraceRecorder forwards to the sink without
+  /// accumulating a SystemHistory (RunResult::trace comes back empty), so
+  /// multi-million-op runs stay bounded-memory.
+  void set_keep_history(bool keep) { keep_history_ = keep; }
+
   /// Runs all programs to completion (or livelock), returns the recorded
   /// trace.  The machine is drained at the end so every run reaches
   /// quiescence.
@@ -80,6 +89,8 @@ class Scheduler {
   Rng rng_;
   std::vector<Program> programs_;
   CsObserver cs_observer_;
+  TraceRecorder::OpSink op_sink_;
+  bool keep_history_ = true;
 };
 
 }  // namespace ssm::sim

@@ -3,7 +3,17 @@
 namespace ssm::sim {
 
 TraceRecorder::TraceRecorder(std::size_t procs, std::size_t locs)
-    : hist_(history::SymbolTable::canonical(procs, locs)) {}
+    : hist_(history::SymbolTable::canonical(procs, locs)), seq_(procs, 0) {}
+
+void TraceRecorder::record(history::Operation op) {
+  if (keep_) {
+    const OpIndex i = hist_.append(op);
+    if (sink_) sink_(hist_.op(i));
+    return;
+  }
+  op.seq = seq_[op.proc]++;
+  if (sink_) sink_(op);
+}
 
 void TraceRecorder::record_read(ProcId p, LocId loc, Value observed,
                                 OpLabel label) {
@@ -13,7 +23,7 @@ void TraceRecorder::record_read(ProcId p, LocId loc, Value observed,
   op.proc = p;
   op.loc = loc;
   op.value = observed;
-  hist_.append(op);
+  record(op);
 }
 
 void TraceRecorder::record_write(ProcId p, LocId loc, Value stored,
@@ -24,7 +34,7 @@ void TraceRecorder::record_write(ProcId p, LocId loc, Value stored,
   op.proc = p;
   op.loc = loc;
   op.value = stored;
-  hist_.append(op);
+  record(op);
 }
 
 void TraceRecorder::record_rmw(ProcId p, LocId loc, Value observed,
@@ -36,7 +46,7 @@ void TraceRecorder::record_rmw(ProcId p, LocId loc, Value observed,
   op.loc = loc;
   op.value = stored;
   op.rmw_read = observed;
-  hist_.append(op);
+  record(op);
 }
 
 }  // namespace ssm::sim

@@ -3,13 +3,28 @@
 // declarative models (operational ⊆ declarative soundness experiments).
 #pragma once
 
+#include <functional>
+#include <vector>
+
 #include "history/system_history.hpp"
 
 namespace ssm::sim {
 
 class TraceRecorder {
  public:
+  /// Streaming observer: invoked once per recorded operation, in record
+  /// order, with seq (and, when the history is kept, index) filled in.
+  using OpSink = std::function<void(const history::Operation&)>;
+
   TraceRecorder(std::size_t procs, std::size_t locs);
+
+  /// Installs a per-operation sink (trace export).
+  void set_sink(OpSink sink) { sink_ = std::move(sink); }
+
+  /// When disabled, operations are forwarded to the sink only — nothing
+  /// accumulates, so multi-million-op runs use O(1) recorder memory.
+  /// history()/take() then return an empty history.
+  void set_keep_history(bool keep) { keep_ = keep; }
 
   void record_read(ProcId p, LocId loc, Value observed, OpLabel label);
   void record_write(ProcId p, LocId loc, Value stored, OpLabel label);
@@ -27,7 +42,14 @@ class TraceRecorder {
   [[nodiscard]] history::SystemHistory take() { return std::move(hist_); }
 
  private:
+  void record(history::Operation op);
+
   history::SystemHistory hist_;
+  OpSink sink_;
+  bool keep_ = true;
+  /// Per-processor program-order positions, maintained here when the
+  /// history (which normally assigns seq) is not kept.
+  std::vector<std::uint32_t> seq_;
 };
 
 }  // namespace ssm::sim

@@ -1,0 +1,309 @@
+#include "trace/format.hpp"
+
+#include <charconv>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "common/json.hpp"
+
+namespace ssm::trace {
+
+namespace json = common::json;
+
+namespace {
+
+[[noreturn]] void fail(std::uint64_t line_no, const std::string& what) {
+  throw InvalidInput("trace line " + std::to_string(line_no) + ": " + what);
+}
+
+void append_i64(std::string& out, std::int64_t v) { out += std::to_string(v); }
+
+/// Fast-path scanner for the exact canonical key order the emitter
+/// produces.  Returns false (without touching `op`'s validity) on any
+/// deviation; the caller falls back to the generic JSON parser.
+bool fast_parse_op(std::string_view s, TraceOp& op) noexcept {
+  std::size_t i = 0;
+  const auto lit = [&](std::string_view t) noexcept {
+    if (s.size() - i < t.size() || s.compare(i, t.size(), t) != 0) {
+      return false;
+    }
+    i += t.size();
+    return true;
+  };
+  const auto num = [&](std::int64_t& out) noexcept {
+    const char* begin = s.data() + i;
+    const char* end = s.data() + s.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc() || ptr == begin) return false;
+    i += static_cast<std::size_t>(ptr - begin);
+    return true;
+  };
+  std::int64_t p = 0;
+  std::int64_t x = 0;
+  std::int64_t v = 0;
+  if (!lit("{\"p\":") || !num(p) || !lit(",\"k\":\"")) return false;
+  if (i >= s.size()) return false;
+  const char k = s[i++];
+  if (k != 'r' && k != 'w' && k != 'u') return false;
+  if (!lit("\",\"x\":") || !num(x) || !lit(",\"v\":") || !num(v)) return false;
+  std::int64_t rv = 0;
+  if (k == 'u' && (!lit(",\"rv\":") || !num(rv))) return false;
+  bool labeled = false;
+  if (i < s.size() && s[i] == ',') {
+    if (!lit(",\"l\":1")) return false;
+    labeled = true;
+  }
+  if (!lit("}") || i != s.size()) return false;
+  if (p < 0 || p > std::numeric_limits<ProcId>::max()) return false;
+  if (x < 0 || x > std::numeric_limits<LocId>::max()) return false;
+  op.proc = static_cast<ProcId>(p);
+  op.loc = static_cast<LocId>(x);
+  op.kind = k == 'r' ? OpKind::Read
+                     : (k == 'w' ? OpKind::Write : OpKind::ReadModifyWrite);
+  op.value = v;
+  op.rmw_read = rv;
+  op.label = labeled ? OpLabel::Labeled : OpLabel::Ordinary;
+  return true;
+}
+
+/// Number → Value (int64).  Exact through as_u64 for the non-negative
+/// range (the emitter's values); negative literals take the double path.
+Value num_value(const json::Value& v) {
+  try {
+    const std::uint64_t u = v.as_u64();
+    if (u <= static_cast<std::uint64_t>(std::numeric_limits<Value>::max())) {
+      return static_cast<Value>(u);
+    }
+  } catch (const InvalidInput&) {
+  }
+  return static_cast<Value>(v.as_double());
+}
+
+}  // namespace
+
+void append_header_line(std::string& out, const TraceHeader& h) {
+  out += "{\"ssm_trace\":";
+  out += std::to_string(h.version);
+  out += ",\"procs\":";
+  out += std::to_string(h.procs);
+  out += ",\"locs\":";
+  out += std::to_string(h.locs);
+  if (!h.machine.empty()) {
+    out += ",\"machine\":";
+    json::append_quoted(out, h.machine);
+    out += ",\"seed\":";
+    out += std::to_string(h.seed);
+  }
+  out += '}';
+}
+
+void append_op_line(std::string& out, const TraceOp& op) {
+  out += "{\"p\":";
+  out += std::to_string(op.proc);
+  out += ",\"k\":\"";
+  out += op.kind == OpKind::Read
+             ? 'r'
+             : (op.kind == OpKind::Write ? 'w' : 'u');
+  out += "\",\"x\":";
+  out += std::to_string(op.loc);
+  out += ",\"v\":";
+  append_i64(out, op.value);
+  if (op.kind == OpKind::ReadModifyWrite) {
+    out += ",\"rv\":";
+    append_i64(out, op.rmw_read);
+  }
+  if (op.label == OpLabel::Labeled) out += ",\"l\":1";
+  out += '}';
+}
+
+std::string header_line(const TraceHeader& h) {
+  std::string out;
+  append_header_line(out, h);
+  return out;
+}
+
+std::string op_line(const TraceOp& op) {
+  std::string out;
+  append_op_line(out, op);
+  return out;
+}
+
+TraceHeader parse_header_line(std::string_view line, std::uint64_t line_no) {
+  json::Value doc;
+  try {
+    doc = json::parse(line);
+  } catch (const InvalidInput& e) {
+    fail(line_no, std::string("header is not valid JSON: ") + e.what());
+  }
+  if (!doc.is_object()) fail(line_no, "header must be a JSON object");
+  const json::Value* ver = doc.find("ssm_trace");
+  if (ver == nullptr) {
+    fail(line_no, "missing \"ssm_trace\" version field (not a trace file?)");
+  }
+  TraceHeader h;
+  try {
+    const std::uint64_t version = ver->as_u64();
+    if (version == 0) fail(line_no, "bad version 0");
+    if (version > kTraceVersion) {
+      fail(line_no, "unsupported trace version " + std::to_string(version) +
+                        " (this build reads version " +
+                        std::to_string(kTraceVersion) +
+                        "; the trace was written by a newer build)");
+    }
+    h.version = static_cast<std::uint32_t>(version);
+    h.procs = static_cast<std::uint32_t>(doc.at("procs").as_u64());
+    h.locs = static_cast<std::uint32_t>(doc.at("locs").as_u64());
+    if (h.procs == 0 || h.locs == 0) {
+      fail(line_no, "procs and locs must be >= 1");
+    }
+    if (h.procs > std::numeric_limits<ProcId>::max() ||
+        h.locs > std::numeric_limits<LocId>::max()) {
+      fail(line_no, "procs/locs out of range");
+    }
+    for (const auto& [key, value] : doc.members()) {
+      if (key == "ssm_trace" || key == "procs" || key == "locs") continue;
+      if (key == "machine") {
+        h.machine = value.as_string();
+      } else if (key == "seed") {
+        h.seed = value.as_u64();
+      } else {
+        fail(line_no, "unknown header field \"" + key + "\"");
+      }
+    }
+  } catch (const InvalidInput& e) {
+    const std::string_view what = e.what();
+    if (what.rfind("trace line", 0) == 0) throw;
+    fail(line_no, e.what());
+  }
+  return h;
+}
+
+TraceOp parse_op_line(std::string_view line, std::uint64_t line_no) {
+  TraceOp op;
+  if (fast_parse_op(line, op)) return op;
+  // Generic path: any key order, same field set, full diagnostics.
+  json::Value doc;
+  try {
+    doc = json::parse(line);
+  } catch (const InvalidInput& e) {
+    fail(line_no, std::string("op is not valid JSON: ") + e.what());
+  }
+  if (!doc.is_object()) fail(line_no, "op must be a JSON object");
+  bool have_p = false;
+  bool have_k = false;
+  bool have_x = false;
+  bool have_v = false;
+  bool have_rv = false;
+  try {
+    for (const auto& [key, value] : doc.members()) {
+      if (key == "p") {
+        const std::uint64_t p = value.as_u64();
+        if (p > std::numeric_limits<ProcId>::max()) {
+          fail(line_no, "\"p\" out of range");
+        }
+        op.proc = static_cast<ProcId>(p);
+        have_p = true;
+      } else if (key == "k") {
+        const std::string& k = value.as_string();
+        if (k == "r") {
+          op.kind = OpKind::Read;
+        } else if (k == "w") {
+          op.kind = OpKind::Write;
+        } else if (k == "u") {
+          op.kind = OpKind::ReadModifyWrite;
+        } else {
+          fail(line_no, "unknown op kind \"" + k + "\" (r|w|u)");
+        }
+        have_k = true;
+      } else if (key == "x") {
+        const std::uint64_t x = value.as_u64();
+        if (x > std::numeric_limits<LocId>::max()) {
+          fail(line_no, "\"x\" out of range");
+        }
+        op.loc = static_cast<LocId>(x);
+        have_x = true;
+      } else if (key == "v") {
+        op.value = num_value(value);
+        have_v = true;
+      } else if (key == "rv") {
+        op.rmw_read = num_value(value);
+        have_rv = true;
+      } else if (key == "l") {
+        op.label =
+            value.as_u64() != 0 ? OpLabel::Labeled : OpLabel::Ordinary;
+      } else {
+        fail(line_no, "unknown op field \"" + key + "\"");
+      }
+    }
+  } catch (const InvalidInput& e) {
+    const std::string_view what = e.what();
+    if (what.rfind("trace line", 0) == 0) throw;
+    fail(line_no, e.what());
+  }
+  if (!have_p || !have_k || !have_x || !have_v) {
+    fail(line_no, "op missing required field (need p, k, x, v)");
+  }
+  if ((op.kind == OpKind::ReadModifyWrite) != have_rv) {
+    fail(line_no, have_rv ? "\"rv\" only valid for rmw ops (k:\"u\")"
+                          : "rmw op missing \"rv\"");
+  }
+  return op;
+}
+
+void TraceWriter::write_header(const TraceHeader& h) {
+  append_header_line(buf_, h);
+  buf_ += '\n';
+  if (buf_.size() >= kFlush) flush();
+}
+
+void TraceWriter::write_op(const TraceOp& op) {
+  append_op_line(buf_, op);
+  buf_ += '\n';
+  if (buf_.size() >= kFlush) flush();
+}
+
+void TraceWriter::flush() {
+  if (buf_.empty()) return;
+  out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  buf_.clear();
+}
+
+bool TraceReader::next_line(std::string& line) {
+  while (std::getline(in_, line)) {
+    ++line_no_;
+    if (!line.empty()) return true;  // blank lines are tolerated, skipped
+  }
+  return false;
+}
+
+TraceHeader TraceReader::read_header() {
+  if (!next_line(line_)) {
+    throw InvalidInput("trace line 1: empty input (expected a header line)");
+  }
+  return parse_header_line(line_, line_no_);
+}
+
+bool TraceReader::next(TraceOp& op) {
+  if (!next_line(line_)) {
+    if (in_.bad()) {
+      throw InvalidInput("trace line " + std::to_string(line_no_ + 1) +
+                         ": read error");
+    }
+    return false;
+  }
+  op = parse_op_line(line_, line_no_);
+  return true;
+}
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace ssm::trace

@@ -1,0 +1,135 @@
+// Trace format v1: versioned NDJSON encoding of multi-million-operation
+// execution histories (docs/TRACES.md).
+//
+// A trace is a header line followed by one line per operation:
+//
+//   {"ssm_trace":1,"procs":2,"locs":4,"machine":"sc","seed":42}
+//   {"p":0,"k":"w","x":1,"v":4}
+//   {"p":1,"k":"r","x":1,"v":4}
+//   {"p":0,"k":"u","x":0,"v":7,"rv":0,"l":1}
+//
+// Op keys: "p" processor, "k" kind ("r" read, "w" write, "u" rmw), "x"
+// location, "v" value (the stored value for writes/rmws, the observed
+// value for reads), "rv" the rmw read-part value (required iff "k":"u"),
+// "l":1 marks a labeled (synchronization) operation.  The emitter writes
+// exactly this canonical key order; the parser accepts any key order
+// (falling back from the canonical-order fast path to the generic JSON
+// parser) but rejects unknown keys and missing required ones.
+//
+// Versioning: "ssm_trace" > 1 is rejected up front ("written by a newer
+// build"), never half-read.  Every parse error carries the 1-based line
+// number, so a corrupt multi-gigabyte trace names the offending line.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace ssm::trace {
+
+/// The version this build reads and writes.
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+struct TraceHeader {
+  std::uint32_t version = kTraceVersion;
+  std::uint32_t procs = 0;
+  std::uint32_t locs = 0;
+  /// Optional provenance: the generating machine name and scheduler seed
+  /// ("" / 0 for external traces).
+  std::string machine;
+  std::uint64_t seed = 0;
+};
+
+/// One operation as it appears on the wire.  Unlike history::Operation
+/// there is no dense index or seq — those are assigned by whoever folds
+/// the stream into a SystemHistory.
+struct TraceOp {
+  OpKind kind = OpKind::Read;
+  OpLabel label = OpLabel::Ordinary;
+  ProcId proc = 0;
+  LocId loc = 0;
+  /// Write/rmw: value stored.  Read: value observed.
+  Value value = 0;
+  /// Rmw only: value observed by the read part.
+  Value rmw_read = 0;
+
+  friend bool operator==(const TraceOp& a, const TraceOp& b) noexcept {
+    return a.kind == b.kind && a.label == b.label && a.proc == b.proc &&
+           a.loc == b.loc && a.value == b.value && a.rmw_read == b.rmw_read;
+  }
+};
+
+/// Canonical single-line renderings (no trailing newline).
+void append_header_line(std::string& out, const TraceHeader& h);
+void append_op_line(std::string& out, const TraceOp& op);
+[[nodiscard]] std::string header_line(const TraceHeader& h);
+[[nodiscard]] std::string op_line(const TraceOp& op);
+
+/// Parses one header line.  Throws InvalidInput ("trace line <line>: ...")
+/// on malformed input or an unsupported future version.
+[[nodiscard]] TraceHeader parse_header_line(std::string_view line,
+                                            std::uint64_t line_no = 1);
+
+/// Parses one op line (any key order; canonical order takes a fast path
+/// that never allocates).  Throws InvalidInput with the line number.
+[[nodiscard]] TraceOp parse_op_line(std::string_view line,
+                                    std::uint64_t line_no);
+
+/// Buffered writer: header first, then ops; bytes reach the ostream in
+/// large flushes so million-op emissions are not syscall-bound.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostream& out) : out_(out) { buf_.reserve(kFlush); }
+  ~TraceWriter() { flush(); }
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void write_header(const TraceHeader& h);
+  void write_op(const TraceOp& op);
+  void flush();
+
+ private:
+  static constexpr std::size_t kFlush = 1u << 16;
+  std::ostream& out_;
+  std::string buf_;
+};
+
+/// Line-oriented reader over an istream: read_header() once, then next()
+/// until it returns false.  Blank lines are skipped; line numbers (1-based,
+/// counting every physical line) decorate every error.
+class TraceReader {
+ public:
+  explicit TraceReader(std::istream& in) : in_(in) {}
+
+  [[nodiscard]] TraceHeader read_header();
+  /// Fills `op` with the next operation; false at a clean end of stream.
+  [[nodiscard]] bool next(TraceOp& op);
+  [[nodiscard]] std::uint64_t line_no() const noexcept { return line_no_; }
+
+ private:
+  bool next_line(std::string& line);
+
+  std::istream& in_;
+  std::uint64_t line_no_ = 0;
+  std::string line_;
+};
+
+/// FNV-1a 64, the digest every trace surface uses for verdict streams
+/// (same parameters as the service cache's checksum).
+[[nodiscard]] constexpr std::uint64_t fnv1a64_init() noexcept {
+  return 14695981039346656037ull;
+}
+[[nodiscard]] constexpr std::uint64_t fnv1a64_step(
+    std::uint64_t h, std::string_view s) noexcept {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+[[nodiscard]] std::string hex16(std::uint64_t v);
+
+}  // namespace ssm::trace

@@ -1,0 +1,487 @@
+#include "trace/streaming.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+#include <utility>
+
+#include "checker/verdict.hpp"
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
+#include "history/subhistory.hpp"
+#include "litmus/emit.hpp"
+#include "litmus/test.hpp"
+#include "models/registry.hpp"
+#include "order/coherence.hpp"
+#include "relation/bitset.hpp"
+
+namespace ssm::trace {
+
+namespace json = common::json;
+namespace metrics = common::metrics;
+
+namespace {
+
+/// Cached instrument references (docs/OBSERVABILITY.md: registration once
+/// per call site, updates lock-free).
+struct TraceMetrics {
+  metrics::Counter& ops;
+  metrics::Counter& windows;
+  metrics::Counter& violations;
+  metrics::Counter& inconclusive;
+  metrics::Counter& dropped;
+  metrics::Counter& evictions;
+  metrics::Gauge& window_ops;
+  metrics::Histogram& check_us;
+
+  static TraceMetrics& get() {
+    static TraceMetrics m{
+        metrics::Registry::global().counter("trace.ops"),
+        metrics::Registry::global().counter("trace.windows"),
+        metrics::Registry::global().counter("trace.violations"),
+        metrics::Registry::global().counter("trace.inconclusive"),
+        metrics::Registry::global().counter("trace.dropped_ops"),
+        metrics::Registry::global().counter("trace.retired_evictions"),
+        metrics::Registry::global().gauge("trace.window_ops"),
+        metrics::Registry::global().histogram("trace.window_check_us"),
+    };
+    return m;
+  }
+};
+
+/// Model::verify_witness's base implementation accepts everything (models
+/// without a verifier exist only outside the registry, but a stream must
+/// not bet soundness on that).  Probe the model once with a certificate
+/// that every correct verifier rejects — a view placing a read of value 1
+/// before the only write of 1 — and enable the arrival-order fast path
+/// only when the model demonstrably verifies.
+bool probe_verifier(const models::Model& model) {
+  history::SystemHistory h(history::SymbolTable::canonical(1, 1));
+  history::Operation w;
+  w.kind = OpKind::Write;
+  w.value = 1;
+  h.append(w);
+  history::Operation r;
+  r.kind = OpKind::Read;
+  r.value = 1;
+  h.append(r);
+  checker::Verdict v = checker::Verdict::yes();
+  v.views.assign(1, checker::View{1, 0});
+  v.coherence = order::CoherenceOrder(2, {{0}});
+  try {
+    return model.verify_witness(h, v).has_value();
+  } catch (const std::exception&) {
+    return true;  // it inspects certificates; bad candidates just fail
+  }
+}
+
+/// The arrival-order certificate: every processor views the full window
+/// in arrival order, coherence is per-location write arrival order, the
+/// labeled order is label arrival order.  For a trace recorded from a
+/// machine whose memory order IS the arrival order (the SC machine), the
+/// model's own verifier certifies this in (near-)linear time and the
+/// exponential search never runs.
+checker::Verdict arrival_witness(const history::SystemHistory& h) {
+  checker::Verdict v = checker::Verdict::yes();
+  checker::View all(h.size());
+  for (OpIndex i = 0; i < h.size(); ++i) all[i] = i;
+  v.views.assign(h.num_processors(), all);
+  std::vector<std::vector<OpIndex>> per_loc(h.num_locations());
+  checker::View labeled;
+  for (const auto& op : h.operations()) {
+    if (op.is_write()) per_loc[op.loc].push_back(op.index);
+    if (op.is_labeled()) labeled.push_back(op.index);
+  }
+  v.coherence = order::CoherenceOrder(h.size(), std::move(per_loc));
+  v.labeled_order = std::move(labeled);
+  return v;
+}
+
+const char* status_str(WindowVerdict::Status s) {
+  switch (s) {
+    case WindowVerdict::Status::Ok:
+      return "ok";
+    case WindowVerdict::Status::Violation:
+      return "violation";
+    case WindowVerdict::Status::Inconclusive:
+      return "inconclusive";
+  }
+  return "inconclusive";
+}
+
+}  // namespace
+
+std::string verdict_line(const WindowVerdict& v) {
+  std::string out = "{\"window\":";
+  out += std::to_string(v.window);
+  out += ",\"first\":";
+  out += std::to_string(v.first);
+  out += ",\"last\":";
+  out += std::to_string(v.last);
+  out += ",\"ops\":";
+  out += std::to_string(v.ops);
+  out += ",\"status\":\"";
+  out += status_str(v.status);
+  out += '"';
+  if (!v.note.empty()) {
+    out += ",\"note\":";
+    json::append_quoted(out, v.note);
+  }
+  if (!v.litmus.empty()) {
+    out += ",\"litmus\":";
+    json::append_quoted(out, v.litmus);
+  }
+  out += '}';
+  return out;
+}
+
+std::string StreamSummary::to_json_line() const {
+  std::string out = "{\"ops\":";
+  out += std::to_string(ops);
+  out += ",\"windows\":";
+  out += std::to_string(windows);
+  out += ",\"ok\":";
+  out += std::to_string(ok);
+  out += ",\"violations\":";
+  out += std::to_string(violations);
+  out += ",\"inconclusive\":";
+  out += std::to_string(inconclusive);
+  out += ",\"dropped_ops\":";
+  out += std::to_string(dropped_ops);
+  out += ",\"ring_evictions\":";
+  out += std::to_string(ring_evictions);
+  out += ",\"digest\":\"";
+  out += hex16(digest);
+  out += "\"}";
+  return out;
+}
+
+StreamingChecker::StreamingChecker(const TraceHeader& header,
+                                   StreamOptions options)
+    : header_(header), options_(std::move(options)) {
+  if (options_.window_ops == 0) {
+    throw InvalidInput("trace window must hold at least one op");
+  }
+  if (header_.procs == 0 || header_.locs == 0) {
+    throw InvalidInput("trace header must declare procs and locs >= 1");
+  }
+  model_ = models::make_model(options_.model);
+  fast_path_ = probe_verifier(*model_);
+  committed_.assign(header_.locs, 0);
+  ring_.assign(header_.locs, {});
+  evicted_.assign(header_.locs, 0);
+  TraceMetrics::get().window_ops.set(0);
+}
+
+StreamingChecker::~StreamingChecker() = default;
+
+void StreamingChecker::feed(const TraceOp& op) {
+  if (finished_) throw InvalidInput("trace stream already finished");
+  if (op.proc >= header_.procs) {
+    throw InvalidInput("trace op proc " + std::to_string(op.proc) +
+                       " out of range (header declares " +
+                       std::to_string(header_.procs) + " procs)");
+  }
+  if (op.loc >= header_.locs) {
+    throw InvalidInput("trace op loc " + std::to_string(op.loc) +
+                       " out of range (header declares " +
+                       std::to_string(header_.locs) + " locs)");
+  }
+  window_.push_back(op);
+  ++next_pos_;
+  ++summary_.ops;
+  auto& m = TraceMetrics::get();
+  m.ops.add(1);
+  m.window_ops.set(static_cast<std::int64_t>(window_.size()));
+  if (window_.size() >= options_.window_ops) close_window();
+}
+
+StreamSummary StreamingChecker::finish() {
+  if (!finished_) {
+    if (!window_.empty()) close_window();
+    finished_ = true;
+  }
+  return summary_;
+}
+
+std::string StreamingChecker::window_litmus_name(std::uint64_t window) const {
+  return "trace_window_" + std::to_string(window);
+}
+
+void StreamingChecker::close_window() {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto& m = TraceMetrics::get();
+
+  WindowVerdict wv;
+  wv.window = summary_.windows;
+  wv.first = window_first_;
+  wv.last = window_first_ + window_.size() - 1;
+  wv.ops = window_.size();
+
+  // Per-location in-window write values: ordered (for the retirement
+  // commit) and as a set (for read classification).
+  std::vector<std::vector<Value>> loc_writes(header_.locs);
+  std::vector<std::unordered_set<Value>> loc_values(header_.locs);
+  for (const TraceOp& op : window_) {
+    if (op.kind == OpKind::Write || op.kind == OpKind::ReadModifyWrite) {
+      loc_writes[op.loc].push_back(op.value);
+      loc_values[op.loc].insert(op.value);
+    }
+  }
+
+  // Classify every read against the committed prefix.  Outcomes: wire
+  // (value written in-window), rebase (value == committed -> initial 0),
+  // drop (value retired to the ring, or aged out of it entirely).  A
+  // dropped rmw removes its store from the window, so reads of that store
+  // are classified as dropped too (the set grows monotonically and ops
+  // are scanned in arrival order).  An unknown value while the location's
+  // ring has never evicted is provably never written: malformed trace.
+  enum class ReadFate : std::uint8_t { Wire, Rebase, Drop };
+  std::vector<std::unordered_set<Value>> dropped_store(header_.locs);
+  std::size_t dropped = 0;
+  std::string drop_note;
+  const auto classify = [&](LocId loc, Value v,
+                            std::uint64_t pos) -> ReadFate {
+    if (loc_values[loc].contains(v) && !dropped_store[loc].contains(v)) {
+      return ReadFate::Wire;
+    }
+    if (v == committed_[loc]) return ReadFate::Rebase;
+    const auto& ring = ring_[loc];
+    if (std::find(ring.begin(), ring.end(), v) != ring.end() ||
+        dropped_store[loc].contains(v)) {
+      return ReadFate::Drop;  // stale: retired beyond the window horizon
+    }
+    if (evicted_[loc] != 0) return ReadFate::Drop;  // ancient: aged out
+    throw InvalidInput(
+        "trace op " + std::to_string(pos) + ": read of value " +
+        std::to_string(v) + " at location " + std::to_string(loc) +
+        " which was never written (malformed trace)");
+  };
+
+  std::vector<ReadFate> fate(window_.size(), ReadFate::Wire);
+  // Pass 1: rmw read parts decide whole-rmw drops (store values ripple).
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    const TraceOp& op = window_[i];
+    if (op.kind != OpKind::ReadModifyWrite) continue;
+    fate[i] = classify(op.loc, op.rmw_read, window_first_ + i);
+    if (fate[i] == ReadFate::Drop) dropped_store[op.loc].insert(op.value);
+  }
+  // Pass 2: plain reads (now aware of every dropped rmw store).
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    const TraceOp& op = window_[i];
+    if (op.kind != OpKind::Read) continue;
+    fate[i] = classify(op.loc, op.value, window_first_ + i);
+  }
+
+  // Build the window as a standalone history, rebased so the committed
+  // prefix reads as the initial state.
+  history::SystemHistory hist(
+      history::SymbolTable::canonical(header_.procs, header_.locs));
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    const TraceOp& op = window_[i];
+    if (op.kind != OpKind::Write && fate[i] == ReadFate::Drop) {
+      ++dropped;
+      if (drop_note.empty()) {
+        drop_note = "dropped " + std::string(op.kind == OpKind::Read
+                                                 ? "read"
+                                                 : "rmw") +
+                    " of retired value at op " +
+                    std::to_string(window_first_ + i);
+      }
+      continue;
+    }
+    history::Operation h;
+    h.kind = op.kind;
+    h.label = op.label;
+    h.proc = op.proc;
+    h.loc = op.loc;
+    h.value = op.kind == OpKind::Read && fate[i] == ReadFate::Rebase
+                  ? 0
+                  : op.value;
+    if (op.kind == OpKind::ReadModifyWrite) {
+      h.rmw_read = fate[i] == ReadFate::Rebase ? 0 : op.rmw_read;
+    }
+    hist.append(h);
+  }
+
+  check_window(hist, dropped, drop_note, wv);
+
+  // Retire the window: the last write per location becomes the committed
+  // value; the previous committed value (the initial 0 included) and all
+  // overwritten in-window values move to the bounded ring.  Dropped rmw
+  // stores retire too — they happened in the real trace.
+  for (LocId loc = 0; loc < header_.locs; ++loc) {
+    const auto& ws = loc_writes[loc];
+    if (ws.empty()) continue;
+    auto& ring = ring_[loc];
+    ring.push_back(committed_[loc]);
+    for (std::size_t i = 0; i + 1 < ws.size(); ++i) ring.push_back(ws[i]);
+    committed_[loc] = ws.back();
+    while (ring.size() > options_.retired_ring) {
+      ring.pop_front();
+      ++evicted_[loc];
+      ++summary_.ring_evictions;
+      m.evictions.add(1);
+    }
+  }
+
+  ++summary_.windows;
+  summary_.dropped_ops += dropped;
+  m.windows.add(1);
+  m.dropped.add(dropped);
+  switch (wv.status) {
+    case WindowVerdict::Status::Ok:
+      ++summary_.ok;
+      break;
+    case WindowVerdict::Status::Violation:
+      ++summary_.violations;
+      m.violations.add(1);
+      break;
+    case WindowVerdict::Status::Inconclusive:
+      ++summary_.inconclusive;
+      m.inconclusive.add(1);
+      break;
+  }
+  summary_.digest = fnv1a64_step(summary_.digest, verdict_line(wv));
+  summary_.digest = fnv1a64_step(summary_.digest, "\n");
+
+  window_.clear();
+  window_first_ = next_pos_;
+  m.window_ops.set(0);
+  m.check_us.observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+
+  if (sink_) sink_(wv);
+}
+
+void StreamingChecker::check_window(const history::SystemHistory& hist,
+                                    std::size_t dropped,
+                                    const std::string& drop_note,
+                                    WindowVerdict& out) {
+  const auto inconclusive = [&](std::string note) {
+    out.status = WindowVerdict::Status::Inconclusive;
+    out.note = std::move(note);
+  };
+  const auto downgrade_ok = [&]() {
+    // Dropped ops only ever remove constraints, so a VIOLATION stays
+    // definite — but an OK over the remaining ops proves nothing about
+    // the ops we could not express.
+    if (dropped != 0) {
+      inconclusive(drop_note + " (" + std::to_string(dropped) +
+                   " ops dropped; OK downgraded)");
+    } else {
+      out.status = WindowVerdict::Status::Ok;
+    }
+  };
+
+  if (hist.empty()) {
+    downgrade_ok();
+    return;
+  }
+  if (const auto err = hist.validate()) {
+    inconclusive("window not independently checkable: " + *err);
+    return;
+  }
+
+  // Stage 1 — arrival-order certificate, verified by the model itself.
+  if (fast_path_) {
+    try {
+      if (!model_->verify_witness(hist, arrival_witness(hist))) {
+        downgrade_ok();
+        return;
+      }
+    } catch (const std::exception&) {
+      // candidate malformed for this model's certificate shape: fall back
+    }
+  }
+
+  // Stage 2 — per-location coherence decomposition.  The single-location
+  // projection drops operations, which is admission-monotone (it only
+  // removes constraints), so a model that rejects a projection definitely
+  // rejects the window — and the replayable litmus shrinks to one
+  // location.  Locations shard across the global pool.
+  if (options_.per_location && hist.num_locations() > 1) {
+    const std::size_t locs = hist.num_locations();
+    std::vector<std::int8_t> verdicts(locs, 1);  // 1 ok, 0 no, -1 undecided
+    std::vector<history::SubHistory> subs(locs);
+    const auto check_loc = [&](std::size_t loc) {
+      rel::DynBitset mask(hist.size());
+      std::size_t n = 0;
+      for (const auto& op : hist.operations()) {
+        if (op.loc == loc) {
+          mask.set(op.index);
+          ++n;
+        }
+      }
+      if (n < 2) return;  // single op: trivially admitted by every model
+      subs[loc] = history::extract(hist, mask);
+      checker::SearchBudget budget(options_.window_budget);
+      checker::BudgetScope scope(&budget);
+      try {
+        const checker::Verdict v = model_->check(subs[loc].sub);
+        verdicts[loc] =
+            v.inconclusive ? std::int8_t{-1} : std::int8_t{v.allowed};
+      } catch (const std::exception&) {
+        verdicts[loc] = -1;
+      }
+    };
+    if (options_.parallel) {
+      common::ThreadPool::global().parallel_for(locs, check_loc);
+    } else {
+      for (std::size_t loc = 0; loc < locs; ++loc) check_loc(loc);
+    }
+    for (std::size_t loc = 0; loc < locs; ++loc) {
+      if (verdicts[loc] != 0) continue;
+      out.status = WindowVerdict::Status::Violation;
+      out.note = "location " +
+                 subs[loc].sub.symbols().location_name(
+                     static_cast<LocId>(loc)) +
+                 " projection inadmissible under " +
+                 std::string(model_->name());
+      litmus::LitmusTest t;
+      t.name = window_litmus_name(out.window);
+      t.origin = "trace window " + std::to_string(out.window) + " ops [" +
+                 std::to_string(out.first) + "," + std::to_string(out.last) +
+                 "], projection to one location";
+      t.hist = subs[loc].sub;
+      t.expectations[std::string(model_->name())] = false;
+      out.litmus = litmus::emit(t);
+      return;
+    }
+  }
+
+  // Stage 3 — the full budgeted whole-window check.
+  checker::SearchBudget budget(options_.window_budget);
+  checker::BudgetScope scope(&budget);
+  checker::Verdict v;
+  try {
+    v = model_->check(hist);
+  } catch (const std::exception& e) {
+    inconclusive(std::string("window check failed: ") + e.what());
+    return;
+  }
+  if (v.inconclusive) {
+    inconclusive(v.note.empty() ? "window check budget exhausted" : v.note);
+    return;
+  }
+  if (v.allowed) {
+    downgrade_ok();
+    return;
+  }
+  out.status = WindowVerdict::Status::Violation;
+  out.note = v.note.empty()
+                 ? "window inadmissible under " + std::string(model_->name())
+                 : v.note;
+  litmus::LitmusTest t;
+  t.name = window_litmus_name(out.window);
+  t.origin = "trace window " + std::to_string(out.window) + " ops [" +
+             std::to_string(out.first) + "," + std::to_string(out.last) + "]";
+  t.hist = hist;
+  t.expectations[std::string(model_->name())] = false;
+  out.litmus = litmus::emit(t);
+}
+
+}  // namespace ssm::trace

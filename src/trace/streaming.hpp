@@ -1,0 +1,164 @@
+// Streaming trace checker: online, bounded-memory verification of
+// multi-million-operation histories (docs/TRACES.md).
+//
+// The whole-history engine decides "∃ legal views of H" for litmus-scale
+// H.  A production trace has millions of operations, so the stream is cut
+// into disjoint WINDOWS of at most `window_ops` operations and each window
+// is checked as a standalone history against the committed prefix:
+//
+//   * When a window closes, its operations RETIRE: the latest write per
+//     location becomes the committed value (the next window's "initial"
+//     value), and every overwritten value moves to a bounded per-location
+//     ring of recently retired values.  Resident state is therefore
+//     O(window_ops + locs * retired_ring) regardless of trace length —
+//     the `trace.window_ops` gauge never exceeds the configured cap.
+//
+//   * Reads are REBASED against that commitment: a read of the committed
+//     value becomes a read of the initial value 0 inside the window's
+//     standalone history; a read of an in-window write wires up normally;
+//     a read of a retired (ring) value is legal under weak models but not
+//     expressible in a window-local history, so the operation is dropped
+//     and the window's OK degrades to INCONCLUSIVE; a read of a value
+//     that has aged out of the ring entirely ("ancient") does the same —
+//     this is the INCONCLUSIVE-on-window-overflow policy.  A read of a
+//     value provably never written to its location (possible only while
+//     the ring has evicted nothing for that location) is a malformed
+//     trace and throws.  Dropping operations only removes constraints, so
+//     a VIOLATION found on the remaining operations stays definite; only
+//     OK verdicts are downgraded.
+//
+//   * Each window check runs three stages, cheapest first: (1) per-
+//     location coherence decomposition — the model checks each single-
+//     location projection (projection is admission-monotone: dropping
+//     operations only removes constraints, so a forbidden projection is a
+//     definite violation), sharded across the global ThreadPool; (2) an
+//     arrival-order witness fast path — the window's candidate views are
+//     the arrival order itself, handed to Model::verify_witness (for SC
+//     traces under SC this certifies the window in linear time, no
+//     search); (3) the full budgeted Model::check, whose budget
+//     exhaustion surfaces as INCONCLUSIVE, never a wrong answer.
+//
+//   * A violating window is serialized as a replayable litmus test
+//     (litmus::emit) carrying the expectation that `model` forbids it, so
+//     every streaming violation is re-checkable offline by the whole-
+//     history engine and the independent witness verifier.
+//
+// Verdicts stream as one JSON line per window (deterministic — no timing
+// fields) plus a trailing summary carrying an FNV-1a digest of the
+// verdict lines; two runs over the same trace produce identical digests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "checker/budget.hpp"
+#include "history/system_history.hpp"
+#include "models/model.hpp"
+#include "trace/format.hpp"
+
+namespace ssm::trace {
+
+struct StreamOptions {
+  /// Model the stream is checked against.
+  std::string model = "SC";
+  /// Window size cap in operations (the bounded-memory knob).
+  std::size_t window_ops = 256;
+  /// Retired values kept per location; reads of older values become
+  /// "ancient" INCONCLUSIVEs instead of being resolvable.
+  std::size_t retired_ring = 64;
+  /// Budget for one window's full-history fallback check (per window, so
+  /// a pathological window degrades to INCONCLUSIVE instead of stalling
+  /// the stream).  0/0 = unlimited.
+  checker::BudgetSpec window_budget{200'000, 0};
+  /// Per-location coherence decomposition pre-pass (stage 1).
+  bool per_location = true;
+  /// Shard the per-location checks across the global ThreadPool.
+  bool parallel = true;
+};
+
+struct WindowVerdict {
+  enum class Status : std::uint8_t { Ok, Violation, Inconclusive };
+  std::uint64_t window = 0;  ///< 0-based window index
+  std::uint64_t first = 0;   ///< global position of the first op
+  std::uint64_t last = 0;    ///< global position of the last op
+  std::size_t ops = 0;       ///< ops in the window (before drops)
+  Status status = Status::Ok;
+  std::string note;    ///< why inconclusive / which projection violated
+  std::string litmus;  ///< replayable litmus DSL when status == Violation
+};
+
+/// The deterministic single-line JSON rendering of one verdict (no
+/// trailing newline) — the unit the stream digest hashes.
+[[nodiscard]] std::string verdict_line(const WindowVerdict& v);
+
+struct StreamSummary {
+  std::uint64_t ops = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t inconclusive = 0;
+  std::uint64_t dropped_ops = 0;       ///< stale/ancient reads retired early
+  std::uint64_t ring_evictions = 0;    ///< values aged out of the rings
+  std::uint64_t digest = fnv1a64_init();  ///< FNV-1a over verdict lines
+
+  [[nodiscard]] std::string to_json_line() const;
+};
+
+/// Online checker: feed() operations as they arrive; every completed
+/// window invokes the verdict sink.  finish() flushes the final partial
+/// window and returns the summary.  Not thread-safe (one stream, one
+/// feeder); the internal per-location fan-out uses the global pool.
+class StreamingChecker {
+ public:
+  using VerdictSink = std::function<void(const WindowVerdict&)>;
+
+  /// Throws InvalidInput for an unknown model or a zero window size.
+  StreamingChecker(const TraceHeader& header, StreamOptions options);
+  ~StreamingChecker();
+  StreamingChecker(const StreamingChecker&) = delete;
+  StreamingChecker& operator=(const StreamingChecker&) = delete;
+
+  void set_verdict_sink(VerdictSink sink) { sink_ = std::move(sink); }
+
+  /// Ingests one operation (throws InvalidInput on out-of-range proc/loc
+  /// or a read of a provably-never-written value).  May close a window
+  /// and emit its verdict through the sink.
+  void feed(const TraceOp& op);
+
+  /// Closes the final partial window and returns the stream summary.
+  [[nodiscard]] StreamSummary finish();
+
+  [[nodiscard]] const StreamSummary& summary() const noexcept {
+    return summary_;
+  }
+
+ private:
+  void close_window();
+  /// Decides the window verdict for the rebased standalone history.
+  void check_window(const history::SystemHistory& hist, std::size_t dropped,
+                    const std::string& drop_note, WindowVerdict& out);
+  [[nodiscard]] std::string window_litmus_name(std::uint64_t window) const;
+
+  TraceHeader header_;
+  StreamOptions options_;
+  models::ModelPtr model_;
+  /// Model demonstrably verifies certificates (see probe in the .cpp);
+  /// gates the arrival-order fast path so a no-op verifier can never
+  /// self-certify a window.
+  bool fast_path_ = false;
+  VerdictSink sink_;
+
+  std::vector<TraceOp> window_;    ///< buffered ops of the open window
+  std::uint64_t next_pos_ = 0;     ///< global position of the next op
+  std::uint64_t window_first_ = 0;
+  std::vector<Value> committed_;       ///< per-loc latest retired write
+  std::vector<std::deque<Value>> ring_;  ///< per-loc recently retired values
+  std::vector<std::uint64_t> evicted_;   ///< per-loc ring evictions
+  StreamSummary summary_;
+  bool finished_ = false;
+};
+
+}  // namespace ssm::trace

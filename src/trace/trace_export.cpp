@@ -1,0 +1,134 @@
+#include "trace/trace_export.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "bakery/driver.hpp"
+#include "common/rng.hpp"
+#include "simulate/rc_memory.hpp"
+#include "simulate/sc_memory.hpp"
+#include "simulate/scheduler.hpp"
+#include "simulate/tso_memory.hpp"
+#include "simulate/workload.hpp"
+
+namespace ssm::trace {
+
+namespace {
+
+TraceOp to_trace_op(const history::Operation& op) {
+  TraceOp t;
+  t.kind = op.kind;
+  t.label = op.label;
+  t.proc = op.proc;
+  t.loc = op.loc;
+  t.value = op.value;
+  t.rmw_read = op.rmw_read;
+  return t;
+}
+
+TraceGenResult generate_workload(const TraceGenOptions& options,
+                                 std::ostream& out) {
+  if (options.procs == 0 || options.locs == 0 || options.ops == 0) {
+    throw InvalidInput("trace gen needs procs, locs and ops >= 1");
+  }
+  sim::WorkloadSpec spec;
+  spec.procs = options.procs;
+  spec.locs = options.locs;
+  spec.ops_per_proc = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, options.ops / options.procs));
+  spec.write_percent = options.write_percent;
+  spec.sync_locs = options.sync_locs;
+  Rng rng(options.seed);
+  const sim::Plan plan = sim::make_plan(spec, rng);
+
+  auto machine =
+      make_machine_by_name(options.machine, options.procs, options.locs);
+  sim::SchedulerOptions sched;
+  sched.policy = sim::Policy::Random;
+  sched.seed = options.seed;
+  // Program steps plus generous headroom for internal-event deliveries;
+  // hitting the cap reports livelock instead of hanging.
+  sched.max_steps = options.ops * 8 + 1024;
+  sim::Scheduler scheduler(*machine, sched);
+  for (std::uint32_t p = 0; p < options.procs; ++p) {
+    scheduler.add_program(sim::run_plan(plan[p]));
+  }
+
+  TraceGenResult result;
+  result.header.procs = options.procs;
+  result.header.locs = options.locs;
+  result.header.machine = options.machine;
+  result.header.seed = options.seed;
+
+  TraceWriter writer(out);
+  writer.write_header(result.header);
+  scheduler.set_keep_history(false);  // stream, don't accumulate
+  scheduler.set_op_sink([&](const history::Operation& op) {
+    writer.write_op(to_trace_op(op));
+    ++result.ops;
+  });
+  result.livelock = scheduler.run().livelock;
+  writer.flush();
+  return result;
+}
+
+TraceGenResult generate_bakery(const TraceGenOptions& options,
+                               std::ostream& out) {
+  if (options.procs < 2) {
+    throw InvalidInput("bakery trace needs procs >= 2");
+  }
+  const bakery::MachineFactory factory = [&](std::size_t procs,
+                                             std::size_t locs) {
+    return make_machine_by_name(options.machine, procs, locs);
+  };
+  // The §5 configuration: single entry, no exit protocol (keeps the trace
+  // declaratively checkable), adversarial delivery delay — the schedule
+  // that exhibits the Bakery violation on rc-pc.
+  sim::SchedulerOptions sched;
+  sched.policy = sim::Policy::DelayDelivery;
+  sched.seed = options.seed;
+  sched.max_spin = 200;
+  const bakery::MutexRunResult run = bakery::run_bakery(
+      factory, options.procs, bakery::BakeryOptions{1, false}, sched);
+
+  TraceGenResult result;
+  result.header.procs = options.procs;
+  result.header.locs =
+      static_cast<std::uint32_t>(run.trace.num_locations());
+  if (result.header.locs == 0) result.header.locs = 2 * options.procs + 1;
+  result.header.machine = options.machine;
+  result.header.seed = options.seed;
+  result.livelock = run.livelock;
+
+  TraceWriter writer(out);
+  writer.write_header(result.header);
+  for (const auto& op : run.trace.operations()) {
+    writer.write_op(to_trace_op(op));
+    ++result.ops;
+  }
+  writer.flush();
+  return result;
+}
+
+}  // namespace
+
+std::unique_ptr<sim::Machine> make_machine_by_name(const std::string& name,
+                                                   std::size_t procs,
+                                                   std::size_t locs) {
+  if (name == "sc") return sim::make_sc_machine(procs, locs);
+  if (name == "tso") return sim::make_tso_machine(procs, locs);
+  if (name == "rc-sc") return sim::make_rc_sc_machine(procs, locs);
+  if (name == "rc-pc") return sim::make_rc_pc_machine(procs, locs);
+  throw InvalidInput("unknown machine \"" + name +
+                     "\" (sc|tso|rc-sc|rc-pc)");
+}
+
+TraceGenResult generate_trace(const TraceGenOptions& options,
+                              std::ostream& out) {
+  if (options.scenario == "workload") return generate_workload(options, out);
+  if (options.scenario == "bakery") return generate_bakery(options, out);
+  throw InvalidInput("unknown trace scenario \"" + options.scenario +
+                     "\" (workload|bakery)");
+}
+
+}  // namespace ssm::trace

@@ -1,0 +1,56 @@
+// Seeded trace generation: runs a simulated machine under a scheduler and
+// streams the recorded operations out as trace-format NDJSON
+// (docs/TRACES.md).  The generator is deterministic — the same options
+// produce byte-identical output (golden-file pinned in tests/trace) — and
+// bounded-memory: the scheduler's TraceRecorder forwards each operation to
+// the writer instead of accumulating a SystemHistory, so multi-million-op
+// traces stream in O(window) space.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "simulate/machine.hpp"
+#include "trace/format.hpp"
+
+namespace ssm::trace {
+
+struct TraceGenOptions {
+  /// Machine name: sc | tso | rc-sc | rc-pc.
+  std::string machine = "sc";
+  /// Scenario: "workload" (random straight-line programs, ~`ops` total
+  /// operations, adversarial Random scheduling) or "bakery" (one
+  /// single-entry Bakery run per §5 — small, and buggy under rc-pc with
+  /// the DelayDelivery schedule; `ops` is ignored).
+  std::string scenario = "workload";
+  std::uint32_t procs = 4;
+  std::uint32_t locs = 8;
+  std::uint64_t ops = 100'000;
+  std::uint64_t seed = 1;
+  std::uint32_t write_percent = 50;
+  /// Workload locations [0, sync_locs) are labeled-only (see
+  /// sim::WorkloadSpec).
+  std::uint32_t sync_locs = 0;
+};
+
+struct TraceGenResult {
+  TraceHeader header;
+  std::uint64_t ops = 0;
+  bool livelock = false;
+};
+
+/// Builds the named operational machine.  Throws InvalidInput for an
+/// unknown name.
+[[nodiscard]] std::unique_ptr<sim::Machine> make_machine_by_name(
+    const std::string& name, std::size_t procs, std::size_t locs);
+
+/// Runs the configured scenario and streams the trace to `out` (header
+/// line first, then one line per operation).  Deterministic per options.
+/// Throws InvalidInput for unknown machine/scenario names or degenerate
+/// dimensions.
+TraceGenResult generate_trace(const TraceGenOptions& options,
+                              std::ostream& out);
+
+}  // namespace ssm::trace

@@ -45,6 +45,38 @@ TEST(Metrics, HistogramBucketsByBitWidth) {
   EXPECT_EQ(h.bucket(10), 1u);
 }
 
+TEST(Metrics, HistogramSumOverflowIsCountedNotSilent) {
+  auto& h = Registry::global().histogram("test.hist_overflow");
+  h.reset();
+  const std::uint64_t big = ~0ull;  // 2^64 - 1
+  h.observe(big);
+  EXPECT_EQ(h.overflow(), 0u);
+  h.observe(big);  // running total wraps past 2^64-1 here
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.sum(), big - 1);  // 2*(2^64-1) mod 2^64
+  EXPECT_EQ(h.max(), big);
+  // Top-bucket samples land in the last bucket, never out of range.
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 2u);
+  // The wrap is surfaced in the JSON snapshot...
+  const std::string json = Registry::global().to_json();
+  const auto at = json.find("\"test.hist_overflow\"");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(json.find("\"overflow\": 1", at), std::string::npos);
+  // ...and absent (not zero) for histograms that never wrapped, so
+  // existing snapshot shapes stay byte-identical.
+  h.reset();
+  h.observe(6);
+  const std::string clean = Registry::global().to_json();
+  const auto at2 = clean.find("\"test.hist_overflow\"");
+  ASSERT_NE(at2, std::string::npos);
+  const auto end2 = clean.find('}', at2);
+  // Search for the quoted key: the instrument *name* itself contains
+  // the substring "overflow".
+  EXPECT_EQ(clean.substr(at2, end2 - at2).find("\"overflow\""),
+            std::string::npos);
+}
+
 TEST(Metrics, LookupReturnsStableAddress) {
   auto& a = Registry::global().counter("test.stable");
   auto& b = Registry::global().counter("test.stable");

@@ -1,0 +1,181 @@
+#include "trace/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace ssm::trace {
+namespace {
+
+TraceOp random_op(Rng& rng) {
+  TraceOp op;
+  const std::uint64_t k = rng.below(3);
+  op.kind = k == 0 ? OpKind::Read
+                   : (k == 1 ? OpKind::Write : OpKind::ReadModifyWrite);
+  op.label = rng.chance(1, 4) ? OpLabel::Labeled : OpLabel::Ordinary;
+  op.proc = static_cast<ProcId>(rng.below(64));
+  op.loc = static_cast<LocId>(rng.below(64));
+  // Negative and large values must survive the round trip exactly (the
+  // generic-parser fallback takes a double path for negatives, so stay
+  // within the 2^53 exact range).
+  op.value = rng.range(-(1ll << 40), 1ll << 40);
+  // rmw_read is only on the wire for rmws; non-rmws must compare equal
+  // with the default 0.
+  op.rmw_read = op.kind == OpKind::ReadModifyWrite
+                    ? rng.range(-(1ll << 40), 1ll << 40)
+                    : 0;
+  return op;
+}
+
+TEST(TraceFormat, OpRoundTripIsIdentity) {
+  Rng rng(20260809);
+  for (int i = 0; i < 2000; ++i) {
+    const TraceOp op = random_op(rng);
+    const std::string line = op_line(op);
+    const TraceOp back = parse_op_line(line, 1);
+    EXPECT_EQ(back, op) << line;
+  }
+}
+
+TEST(TraceFormat, HeaderRoundTripIsIdentity) {
+  TraceHeader h;
+  h.procs = 4;
+  h.locs = 8;
+  h.machine = "tso";
+  h.seed = 42;
+  const TraceHeader back = parse_header_line(header_line(h));
+  EXPECT_EQ(back.version, h.version);
+  EXPECT_EQ(back.procs, h.procs);
+  EXPECT_EQ(back.locs, h.locs);
+  EXPECT_EQ(back.machine, h.machine);
+  EXPECT_EQ(back.seed, h.seed);
+
+  TraceHeader external;  // no provenance fields
+  external.procs = 2;
+  external.locs = 3;
+  const TraceHeader back2 = parse_header_line(header_line(external));
+  EXPECT_EQ(back2.procs, 2u);
+  EXPECT_EQ(back2.machine, "");
+}
+
+TEST(TraceFormat, AcceptsAnyKeyOrder) {
+  const TraceOp op = parse_op_line(
+      R"({"v":7,"x":3,"l":1,"k":"u","rv":2,"p":1})", 1);
+  EXPECT_EQ(op.kind, OpKind::ReadModifyWrite);
+  EXPECT_EQ(op.label, OpLabel::Labeled);
+  EXPECT_EQ(op.proc, 1);
+  EXPECT_EQ(op.loc, 3);
+  EXPECT_EQ(op.value, 7);
+  EXPECT_EQ(op.rmw_read, 2);
+}
+
+TEST(TraceFormat, ErrorsCarryTheLineNumber) {
+  const auto message_of = [](auto fn) -> std::string {
+    try {
+      fn();
+    } catch (const InvalidInput& e) {
+      return e.what();
+    }
+    return "";
+  };
+  // Truncated mid-object.
+  EXPECT_NE(message_of([] { (void)parse_op_line(R"({"p":0,"k":"w")", 17); })
+                .find("trace line 17"),
+            std::string::npos);
+  // Corrupt JSON.
+  EXPECT_NE(message_of([] { (void)parse_op_line("not json at all", 5); })
+                .find("trace line 5"),
+            std::string::npos);
+  // Bad header.
+  EXPECT_NE(message_of([] { (void)parse_header_line("{}", 3); })
+                .find("trace line 3"),
+            std::string::npos);
+}
+
+TEST(TraceFormat, RejectsUnknownAndMissingKeys) {
+  EXPECT_THROW((void)parse_op_line(R"({"p":0,"k":"w","x":0,"v":1,"zz":3})", 1),
+               InvalidInput);
+  EXPECT_THROW((void)parse_op_line(R"({"p":0,"k":"w","x":0})", 1),
+               InvalidInput);
+  // rmw requires the read-part value...
+  EXPECT_THROW((void)parse_op_line(R"({"p":0,"k":"u","x":0,"v":1})", 1),
+               InvalidInput);
+  // ...and non-rmws must not carry one.
+  EXPECT_THROW((void)parse_op_line(R"({"p":0,"k":"r","x":0,"v":1,"rv":0})", 1),
+               InvalidInput);
+  EXPECT_THROW((void)parse_op_line(R"({"p":0,"k":"q","x":0,"v":1})", 1),
+               InvalidInput);
+}
+
+TEST(TraceFormat, RejectsFutureVersionsUpFront) {
+  try {
+    (void)parse_header_line(R"({"ssm_trace":2,"procs":1,"locs":1})");
+    FAIL() << "version 2 must be rejected";
+  } catch (const InvalidInput& e) {
+    EXPECT_NE(std::string(e.what()).find("newer build"), std::string::npos);
+  }
+}
+
+TEST(TraceFormat, ReaderStreamsAndNumbersLines) {
+  std::istringstream in(
+      "{\"ssm_trace\":1,\"procs\":1,\"locs\":1}\n"
+      "\n"
+      "{\"p\":0,\"k\":\"w\",\"x\":0,\"v\":1}\n"
+      "{\"p\":0,\"k\":\"r\",\"x\":0,\"v\":1}\n");
+  TraceReader reader(in);
+  const TraceHeader h = reader.read_header();
+  EXPECT_EQ(h.procs, 1u);
+  TraceOp op;
+  ASSERT_TRUE(reader.next(op));
+  EXPECT_EQ(op.kind, OpKind::Write);
+  EXPECT_EQ(reader.line_no(), 3u);  // the blank line still counts
+  ASSERT_TRUE(reader.next(op));
+  EXPECT_EQ(op.kind, OpKind::Read);
+  EXPECT_FALSE(reader.next(op));
+}
+
+TEST(TraceFormat, ReaderNamesTheCorruptLine) {
+  std::istringstream in(
+      "{\"ssm_trace\":1,\"procs\":1,\"locs\":1}\n"
+      "{\"p\":0,\"k\":\"w\",\"x\":0,\"v\":1}\n"
+      "{\"p\":0,\"k\":\"w\",\"x\":0,\"v\":\n");
+  TraceReader reader(in);
+  (void)reader.read_header();
+  TraceOp op;
+  ASSERT_TRUE(reader.next(op));
+  try {
+    (void)reader.next(op);
+    FAIL() << "corrupt line must throw";
+  } catch (const InvalidInput& e) {
+    EXPECT_NE(std::string(e.what()).find("trace line 3"), std::string::npos);
+  }
+}
+
+TEST(TraceFormat, WriterEmitsParseableLines) {
+  std::ostringstream out;
+  {
+    TraceWriter writer(out);
+    TraceHeader h;
+    h.procs = 2;
+    h.locs = 2;
+    writer.write_header(h);
+    TraceOp op;
+    op.kind = OpKind::Write;
+    op.value = 9;
+    writer.write_op(op);
+  }  // dtor flushes
+  std::istringstream in(out.str());
+  TraceReader reader(in);
+  EXPECT_EQ(reader.read_header().procs, 2u);
+  TraceOp op;
+  ASSERT_TRUE(reader.next(op));
+  EXPECT_EQ(op.value, 9);
+}
+
+}  // namespace
+}  // namespace ssm::trace

@@ -1,0 +1,253 @@
+#include "trace/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checker/witness.hpp"
+#include "checker/witness_verifier.hpp"
+#include "common/metrics.hpp"
+#include "common/types.hpp"
+#include "history/system_history.hpp"
+#include "litmus/parser.hpp"
+#include "models/registry.hpp"
+#include "trace/format.hpp"
+#include "trace/trace_export.hpp"
+
+namespace ssm::trace {
+namespace {
+
+struct StreamRun {
+  std::vector<WindowVerdict> verdicts;
+  StreamSummary summary;
+};
+
+/// Streams a whole trace (as produced by generate_trace) through a
+/// StreamingChecker, asserting the bounded-memory contract on the way:
+/// the trace.window_ops gauge never exceeds the configured cap.
+StreamRun run_stream(const std::string& text, StreamOptions options) {
+  const std::size_t cap = options.window_ops;
+  std::istringstream in(text);
+  TraceReader reader(in);
+  StreamRun run;
+  StreamingChecker checker(reader.read_header(), std::move(options));
+  checker.set_verdict_sink(
+      [&](const WindowVerdict& v) { run.verdicts.push_back(v); });
+  auto& gauge =
+      common::metrics::Registry::global().gauge("trace.window_ops");
+  TraceOp op;
+  while (reader.next(op)) {
+    checker.feed(op);
+    EXPECT_LE(gauge.value(), static_cast<std::int64_t>(cap));
+  }
+  run.summary = checker.finish();
+  return run;
+}
+
+std::string generate(const TraceGenOptions& gopts) {
+  std::ostringstream out;
+  (void)generate_trace(gopts, out);
+  return out.str();
+}
+
+TEST(StreamingChecker, ScWorkloadIsOkInBoundedMemory) {
+  TraceGenOptions gopts;
+  gopts.machine = "sc";
+  gopts.ops = 100'000;
+  gopts.seed = 42;
+  const std::string text = generate(gopts);
+
+  StreamOptions sopts;
+  sopts.window_ops = 256;
+  const auto run = run_stream(text, sopts);
+
+  EXPECT_EQ(run.summary.ops, 100'000u);
+  EXPECT_EQ(run.summary.violations, 0u);
+  EXPECT_EQ(run.summary.inconclusive, 0u);
+  EXPECT_EQ(run.summary.ok, run.summary.windows);
+  EXPECT_EQ(run.summary.windows, run.verdicts.size());
+  for (const auto& v : run.verdicts) EXPECT_LE(v.ops, sopts.window_ops);
+}
+
+TEST(StreamingChecker, VerdictStreamIsDeterministic) {
+  TraceGenOptions gopts;
+  gopts.machine = "tso";
+  gopts.ops = 20'000;
+  gopts.seed = 7;
+  const std::string text = generate(gopts);
+  const std::string again = generate(gopts);
+  EXPECT_EQ(text, again);  // generation is byte-identical per seed
+
+  const auto a = run_stream(text, {});
+  const auto b = run_stream(text, {});
+  EXPECT_EQ(a.summary.digest, b.summary.digest);
+  ASSERT_EQ(a.verdicts.size(), b.verdicts.size());
+  for (std::size_t i = 0; i < a.verdicts.size(); ++i) {
+    EXPECT_EQ(verdict_line(a.verdicts[i]), verdict_line(b.verdicts[i]));
+  }
+}
+
+TEST(StreamingChecker, FirstWindowAgreesWithWholeHistoryChecker) {
+  // The first window starts from the all-zero initial state, so it is
+  // directly comparable: rebuild the same prefix as a standalone
+  // SystemHistory and hand it to the whole-history engine.
+  TraceGenOptions gopts;
+  gopts.machine = "sc";
+  gopts.procs = 2;
+  gopts.locs = 2;
+  gopts.ops = 24;
+  gopts.seed = 11;
+  const std::string text = generate(gopts);
+
+  StreamOptions sopts;
+  sopts.window_ops = 64;  // one window swallows the whole trace
+  const auto run = run_stream(text, sopts);
+  ASSERT_EQ(run.verdicts.size(), 1u);
+  EXPECT_EQ(run.verdicts[0].status, WindowVerdict::Status::Ok);
+
+  std::istringstream in(text);
+  TraceReader reader(in);
+  const TraceHeader header = reader.read_header();
+  history::SystemHistory h(
+      history::SymbolTable::canonical(header.procs, header.locs));
+  TraceOp op;
+  while (reader.next(op)) {
+    history::Operation o;
+    o.kind = op.kind;
+    o.label = op.label;
+    o.proc = op.proc;
+    o.loc = op.loc;
+    o.value = op.value;
+    o.rmw_read = op.rmw_read;
+    h.append(o);
+  }
+  const auto verdict = models::make_model("SC")->check(h);
+  EXPECT_TRUE(verdict.allowed);
+  EXPECT_FALSE(verdict.inconclusive);
+}
+
+TEST(StreamingChecker, BakeryRcPcViolationIsReconfirmedOffline) {
+  // The §5 schedule: Bakery on an RCpc machine under DelayDelivery admits
+  // both processors.  The resulting trace is RCpc-legal but not
+  // SC-admissible, so streaming it against SC must produce a definite
+  // violation whose exported litmus test survives offline re-checking.
+  TraceGenOptions gopts;
+  gopts.scenario = "bakery";
+  gopts.machine = "rc-pc";
+  gopts.procs = 2;
+  gopts.seed = 3;
+  const std::string text = generate(gopts);
+
+  StreamOptions sopts;
+  sopts.model = "SC";
+  const auto run = run_stream(text, sopts);
+  ASSERT_GE(run.summary.violations, 1u);
+
+  for (const auto& v : run.verdicts) {
+    if (v.status != WindowVerdict::Status::Violation) continue;
+    ASSERT_FALSE(v.litmus.empty());
+    const auto suite = litmus::parse_suite(v.litmus);
+    ASSERT_EQ(suite.size(), 1u);
+    const auto& t = suite[0];
+    ASSERT_TRUE(t.expectations.contains("SC"));
+    EXPECT_FALSE(t.expectations.at("SC"));
+    // Whole-history engine: the window really is forbidden under SC...
+    const auto sc = models::make_model("SC")->check(t.hist);
+    EXPECT_FALSE(sc.allowed);
+    EXPECT_FALSE(sc.inconclusive);
+    // ...while RCpc (which generated it) admits it, and that positive
+    // verdict survives the independent witness verifier.
+    const auto rcpc = models::make_model("RCpc")->check(t.hist);
+    ASSERT_TRUE(rcpc.allowed);
+    const auto w = checker::witness_from_verdict(t.hist, "RCpc", rcpc);
+    EXPECT_EQ(checker::verify_witness(t.hist, w), std::nullopt);
+  }
+
+  // Under the model that produced it, the stream is clean.
+  StreamOptions own;
+  own.model = "RCpc";
+  const auto clean = run_stream(text, own);
+  EXPECT_EQ(clean.summary.violations, 0u);
+}
+
+TEST(StreamingChecker, StaleReadDowngradesToInconclusiveNeverViolation) {
+  TraceHeader header;
+  header.procs = 1;
+  header.locs = 1;
+  StreamOptions sopts;
+  sopts.window_ops = 2;
+  sopts.retired_ring = 1;
+  StreamingChecker checker(header, sopts);
+  std::vector<WindowVerdict> verdicts;
+  checker.set_verdict_sink(
+      [&](const WindowVerdict& v) { verdicts.push_back(v); });
+  const auto w = [](Value v) {
+    TraceOp op;
+    op.kind = OpKind::Write;
+    op.value = v;
+    return op;
+  };
+  const auto r = [](Value v) {
+    TraceOp op;
+    op.kind = OpKind::Read;
+    op.value = v;
+    return op;
+  };
+  checker.feed(w(1));
+  checker.feed(w(2));  // window 0 closes: committed=2, ring holds 1
+  checker.feed(r(1));  // stale: resolvable only against the ring
+  checker.feed(r(2));  // rebase: the committed value
+  const auto summary = checker.finish();
+  EXPECT_EQ(summary.windows, 2u);
+  EXPECT_EQ(summary.violations, 0u);
+  EXPECT_EQ(summary.inconclusive, 1u);
+  EXPECT_EQ(summary.dropped_ops, 1u);
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_EQ(verdicts[0].status, WindowVerdict::Status::Ok);
+  EXPECT_EQ(verdicts[1].status, WindowVerdict::Status::Inconclusive);
+  EXPECT_NE(verdicts[1].note.find("retired"), std::string::npos);
+}
+
+TEST(StreamingChecker, NeverWrittenReadIsMalformedTrace) {
+  TraceHeader header;
+  header.procs = 1;
+  header.locs = 1;
+  StreamingChecker checker(header, {});
+  TraceOp op;
+  op.kind = OpKind::Read;
+  op.value = 99;  // nothing was ever written, ring never evicted
+  try {
+    checker.feed(op);
+    // The throw may also surface at the window close.
+    (void)checker.finish();
+    FAIL() << "read of a never-written value must be rejected";
+  } catch (const InvalidInput& e) {
+    EXPECT_NE(std::string(e.what()).find("never written"), std::string::npos);
+  }
+}
+
+TEST(StreamingChecker, RejectsBadConfigAndBadOps) {
+  TraceHeader header;
+  header.procs = 2;
+  header.locs = 2;
+  StreamOptions zero;
+  zero.window_ops = 0;
+  EXPECT_THROW(StreamingChecker(header, zero), InvalidInput);
+  StreamOptions unknown;
+  unknown.model = "NotAModel";
+  EXPECT_THROW(StreamingChecker(header, unknown), InvalidInput);
+
+  StreamingChecker checker(header, {});
+  TraceOp op;
+  op.kind = OpKind::Write;
+  op.proc = 2;  // out of range for procs=2
+  EXPECT_THROW(checker.feed(op), InvalidInput);
+  op.proc = 0;
+  op.loc = 7;
+  EXPECT_THROW(checker.feed(op), InvalidInput);
+}
+
+}  // namespace
+}  // namespace ssm::trace

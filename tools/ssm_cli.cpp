@@ -31,7 +31,18 @@
 //                                   graceful drain (docs/SERVICE.md)
 //   ssm client (--socket P | --tcp PORT) <op> ...
 //                                   one-shot client: check <file>
-//                                   [model...], stats, ping, shutdown
+//                                   [model...], trace [file], stats, ping,
+//                                   shutdown
+//   ssm trace gen [--machine M --ops N --seed S ...]
+//                                   seeded trace generation: run a
+//                                   simulated machine under an adversarial
+//                                   scheduler, stream trace-format NDJSON
+//                                   (byte-identical per seed,
+//                                   docs/TRACES.md)
+//   ssm trace check [file] [--model M --window W]
+//                                   streaming bounded-memory check: one
+//                                   verdict line per window plus a digest
+//                                   summary (docs/TRACES.md)
 //
 // Files use the litmus DSL (see src/litmus/parser.hpp).
 //
@@ -52,6 +63,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -84,6 +96,9 @@
 #include "simulate/rc_memory.hpp"
 #include "simulate/sc_memory.hpp"
 #include "simulate/tso_memory.hpp"
+#include "trace/format.hpp"
+#include "trace/streaming.hpp"
+#include "trace/trace_export.hpp"
 
 namespace {
 
@@ -119,7 +134,18 @@ void print_usage(std::FILE* out) {
       "  client (--socket PATH | --tcp PORT) <op> [args]\n"
       "                  ops: check <file> [model...] [--no-cache]\n"
       "                       [--expect-cached] [--pipeline N] |\n"
-      "                       stats | ping | shutdown\n"
+      "                       trace [file] [--model M] [--window N]\n"
+      "                       [--chunk N] | stats | ping | shutdown\n"
+      "  trace gen [--machine sc|tso|rc-sc|rc-pc] [--scenario "
+      "workload|bakery]\n"
+      "            [--ops N] [--seed S] [--procs P] [--locs L]\n"
+      "            [--write-percent PCT] [--sync-locs K] [-o FILE]\n"
+      "                  seeded, byte-identical trace-format NDJSON from a\n"
+      "                  simulated machine under an adversarial scheduler\n"
+      "  trace check [file] [--model M] [--window N] [--ring N]\n"
+      "                  streaming bounded-memory check (stdin default):\n"
+      "                  one verdict line per window, then a summary with\n"
+      "                  the verdict-stream digest (docs/TRACES.md)\n"
       "global options:\n"
       "  --jobs N        checking-engine threads (default: SSM_JOBS or all "
       "cores)\n"
@@ -566,6 +592,106 @@ int cmd_serve(int argc, char** argv, const GlobalOptions& opts) {
   return 0;
 }
 
+/// `ssm client ... trace [file]`: streams a trace-format NDJSON file (or
+/// stdin) to a live server in begin/ops/end chunks and prints the raw
+/// response frames — whose verdict payloads are deterministic (no timing
+/// fields), so two runs over the same trace print identical bytes.
+int client_trace(service::Client& client, const std::vector<std::string>& rest,
+                 const GlobalOptions& opts) {
+  (void)opts;
+  std::string path;
+  std::string model;
+  std::uint64_t window = 0;
+  std::uint64_t chunk = 4096;
+  for (std::size_t i = 1; i < rest.size(); ++i) {
+    const std::string& arg = rest[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= rest.size()) {
+        std::fprintf(stderr, "ssm: flag %s needs a value\n", arg.c_str());
+        std::exit(64);
+      }
+      return rest[++i];
+    };
+    if (arg == "--model") {
+      model = value();
+    } else if (arg == "--window") {
+      window = parse_u64("--window value", value().c_str());
+    } else if (arg == "--chunk") {
+      chunk = parse_u64("--chunk value", value().c_str());
+      if (chunk == 0) {
+        std::fprintf(stderr, "ssm client: --chunk must be >= 1\n");
+        return 64;
+      }
+    } else if (arg[0] != '-' && path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  std::ifstream file;
+  if (!path.empty()) {
+    file.open(path, std::ios::binary);
+    if (!file) throw InvalidInput("cannot open " + path);
+  }
+  std::istream& in = path.empty() ? std::cin : file;
+
+  std::string line;
+  std::string header;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") != std::string::npos) {
+      header = line;
+      break;
+    }
+  }
+  if (header.empty()) throw InvalidInput("empty trace: no header line");
+
+  const auto roundtrip = [&](const std::string& frame) {
+    const std::string reply = client.call(frame);
+    std::printf("%s\n", reply.c_str());
+    return common::json::parse(reply);
+  };
+
+  std::string begin = "{\"op\": \"trace\", \"id\": \"t0\", "
+                      "\"phase\": \"begin\", \"header\": ";
+  common::json::append_quoted(begin, header);
+  if (!model.empty()) {
+    begin += ", \"model\": ";
+    common::json::append_quoted(begin, model);
+  }
+  if (window != 0) begin += ", \"window\": " + std::to_string(window);
+  begin += '}';
+  if (!roundtrip(begin).at("ok").as_bool()) return 2;
+
+  std::uint64_t next_id = 0;
+  std::string lines;
+  std::uint64_t in_chunk = 0;
+  bool failed = false;
+  const auto flush_chunk = [&] {
+    if (lines.empty()) return;
+    std::string frame = "{\"op\": \"trace\", \"id\": \"t" +
+                        std::to_string(++next_id) +
+                        "\", \"phase\": \"ops\", \"lines\": ";
+    common::json::append_quoted(frame, lines);
+    frame += '}';
+    if (!roundtrip(frame).at("ok").as_bool()) failed = true;
+    lines.clear();
+    in_chunk = 0;
+  };
+  while (!failed && std::getline(in, line)) {
+    if (!lines.empty()) lines += '\n';
+    lines += line;
+    if (++in_chunk >= chunk) flush_chunk();
+  }
+  if (!failed) flush_chunk();
+  if (failed) return 2;
+
+  const auto doc = roundtrip("{\"op\": \"trace\", \"id\": \"t" +
+                             std::to_string(++next_id) +
+                             "\", \"phase\": \"end\"}");
+  if (!doc.at("ok").as_bool()) return 2;
+  return doc.at("summary").at("violations").as_u64() > 0 ? 3 : 0;
+}
+
 int cmd_client(int argc, char** argv, const GlobalOptions& opts) {
   std::string socket_path;
   std::uint16_t tcp_port = 0;
@@ -614,6 +740,7 @@ int cmd_client(int argc, char** argv, const GlobalOptions& opts) {
     const auto doc = common::json::parse(reply);
     return doc.at("ok").as_bool() ? 0 : 2;
   }
+  if (op == "trace") return client_trace(client, rest, opts);
   if (op != "check" || rest.size() < 2) return usage();
 
   std::ifstream in(rest[1]);
@@ -697,6 +824,118 @@ int cmd_client(int argc, char** argv, const GlobalOptions& opts) {
     }
   }
   return worst;
+}
+
+int cmd_trace_gen(int argc, char** argv) {
+  trace::TraceGenOptions gopts;
+  std::string out_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ssm: flag %s needs a value\n", arg.c_str());
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (arg == "--machine") {
+      gopts.machine = value();
+    } else if (arg == "--scenario") {
+      gopts.scenario = value();
+    } else if (arg == "--ops") {
+      gopts.ops = parse_u64("--ops value", value());
+    } else if (arg == "--seed") {
+      gopts.seed = parse_u64("--seed value", value());
+    } else if (arg == "--procs") {
+      gopts.procs = parse_u32("--procs value", value());
+    } else if (arg == "--locs") {
+      gopts.locs = parse_u32("--locs value", value());
+    } else if (arg == "--write-percent") {
+      gopts.write_percent = parse_u32("--write-percent value", value());
+    } else if (arg == "--sync-locs") {
+      gopts.sync_locs = parse_u32("--sync-locs value", value());
+    } else if (arg == "-o" || arg == "--out") {
+      out_path = value();
+    } else {
+      return usage();
+    }
+  }
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path, std::ios::binary | std::ios::trunc);
+    if (!file) throw InvalidInput("cannot open " + out_path + " for writing");
+  }
+  std::ostream& out = out_path.empty() ? std::cout : file;
+  const auto result = trace::generate_trace(gopts, out);
+  out.flush();
+  if (!out) throw InvalidInput("short write emitting trace");
+  std::fprintf(stderr,
+               "ssm trace gen: machine=%s scenario=%s seed=%llu ops=%llu%s\n",
+               gopts.machine.c_str(), gopts.scenario.c_str(),
+               static_cast<unsigned long long>(gopts.seed),
+               static_cast<unsigned long long>(result.ops),
+               result.livelock ? " (livelock guard hit)" : "");
+  return 0;
+}
+
+int cmd_trace_check(int argc, char** argv, const GlobalOptions& opts) {
+  trace::StreamOptions sopts;
+  // Global budget flags, when given, bound each window's fallback check.
+  if (opts.budget.max_nodes != 0 || opts.budget.timeout_ms != 0) {
+    sopts.window_budget = opts.budget;
+  }
+  std::string in_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ssm: flag %s needs a value\n", arg.c_str());
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (arg == "--model") {
+      sopts.model = value();
+    } else if (arg == "--window") {
+      sopts.window_ops = parse_u64("--window value", value());
+    } else if (arg == "--ring") {
+      sopts.retired_ring = parse_u64("--ring value", value());
+    } else if (arg == "--serial") {
+      sopts.parallel = false;
+    } else if (arg[0] != '-' && in_path.empty()) {
+      in_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  std::ifstream file;
+  if (!in_path.empty()) {
+    file.open(in_path, std::ios::binary);
+    if (!file) throw InvalidInput("cannot open " + in_path);
+  }
+  std::istream& in = in_path.empty() ? std::cin : file;
+  trace::TraceReader reader(in);
+  trace::StreamingChecker checker(reader.read_header(), sopts);
+  checker.set_verdict_sink([](const trace::WindowVerdict& v) {
+    const std::string line = trace::verdict_line(v);
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fputc('\n', stdout);
+  });
+  trace::TraceOp op;
+  while (reader.next(op)) checker.feed(op);
+  const auto summary = checker.finish();
+  std::printf("%s\n", summary.to_json_line().c_str());
+  return summary.violations > 0 ? 3 : 0;
+}
+
+int cmd_trace(int argc, char** argv, const GlobalOptions& opts) {
+  if (argc < 3) return usage();
+  const std::string sub = argv[2];
+  if (sub == "gen") return cmd_trace_gen(argc, argv);
+  if (sub == "check") return cmd_trace_check(argc, argv, opts);
+  std::fprintf(stderr, "ssm trace: unknown subcommand '%s' (gen|check)\n",
+               sub.c_str());
+  return usage();
 }
 
 int cmd_lattice(int argc, char** argv) {
@@ -886,6 +1125,7 @@ int main(int argc, char** argv) {
     if (cmd == "replay") return cmd_replay(argc, argv, opts);
     if (cmd == "serve") return cmd_serve(argc, argv, opts);
     if (cmd == "client") return cmd_client(argc, argv, opts);
+    if (cmd == "trace") return cmd_trace(argc, argv, opts);
     std::fprintf(stderr, "ssm: unknown command '%s'\n", cmd.c_str());
     return usage();
   } catch (const std::exception& e) {

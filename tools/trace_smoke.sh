@@ -1,0 +1,98 @@
+#!/bin/sh
+# Trace-streaming smoke test (ctest: cli_trace_smoke, labels `service`
+# and `concurrency` — the TSan build runs it to race-check the strand ->
+# TraceSession handoff).
+#
+# Starts `ssm serve` on a private unix socket, generates a seeded trace
+# with `ssm trace gen`, streams it twice through `ssm client trace`
+# (begin/ops/end chunks down one connection), and asserts the two verdict
+# streams are byte-identical — the trace responses carry no timing
+# fields, so any divergence is a determinism bug.  The streamed digest
+# must also match a local `ssm trace check` run over the same file, the
+# buggy RC_pc bakery trace must come back as a violation (client exit 3),
+# and the protocol shutdown must drain cleanly.
+#
+# usage: trace_smoke.sh <ssm-binary>
+set -eu
+
+SSM="$1"
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/ssm-trace-smoke-XXXXXX")
+trap 'rm -rf "$TMP"' EXIT
+SOCK="$TMP/s"
+
+"$SSM" serve --socket "$SOCK" --workers 2 2> "$TMP/serve.log" &
+SERVER_PID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "FAIL: server socket never appeared" >&2
+    cat "$TMP/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# A seeded 20k-op SC workload trace (byte-identical per seed).
+"$SSM" trace gen --machine sc --ops 20000 --seed 11 -o "$TMP/sc.ndjson" \
+  2> /dev/null
+"$SSM" trace gen --machine sc --ops 20000 --seed 11 2> /dev/null \
+  | cmp -s - "$TMP/sc.ndjson" || {
+  echo "FAIL: trace gen is not byte-identical per seed" >&2
+  exit 1
+}
+
+# Stream it twice; the verdict streams must match byte for byte.
+"$SSM" client --socket "$SOCK" trace "$TMP/sc.ndjson" --chunk 3000 \
+  > "$TMP/run1.out"
+"$SSM" client --socket "$SOCK" trace "$TMP/sc.ndjson" --chunk 3000 \
+  > "$TMP/run2.out"
+cmp -s "$TMP/run1.out" "$TMP/run2.out" || {
+  echo "FAIL: streamed verdicts differ between two identical runs" >&2
+  diff "$TMP/run1.out" "$TMP/run2.out" >&2 || true
+  exit 1
+}
+
+# The streamed digest equals the local streaming check's digest.
+WIRE_DIGEST=$(sed -n 's/.*"digest":"\([0-9a-f]*\)".*/\1/p' "$TMP/run1.out")
+LOCAL_DIGEST=$("$SSM" trace check "$TMP/sc.ndjson" \
+  | sed -n 's/.*"digest":"\([0-9a-f]*\)".*/\1/p')
+[ -n "$WIRE_DIGEST" ] && [ "$WIRE_DIGEST" = "$LOCAL_DIGEST" ] || {
+  echo "FAIL: wire digest '$WIRE_DIGEST' != local digest '$LOCAL_DIGEST'" >&2
+  exit 1
+}
+
+# The §5 buggy trace: Bakery on rc-pc under the adversarial schedule is
+# not SC-admissible; the client must report the violation via exit 3.
+"$SSM" trace gen --scenario bakery --machine rc-pc --seed 3 \
+  -o "$TMP/bak.ndjson" 2> /dev/null
+RC=0
+"$SSM" client --socket "$SOCK" trace "$TMP/bak.ndjson" --model SC \
+  > "$TMP/bak.out" || RC=$?
+[ "$RC" -eq 3 ] || {
+  echo "FAIL: expected violation exit 3 from the rc-pc bakery trace," \
+       "got $RC" >&2
+  cat "$TMP/bak.out" >&2
+  exit 1
+}
+grep -q '"status":"violation"' "$TMP/bak.out" || {
+  echo "FAIL: no violation verdict in the bakery stream" >&2
+  cat "$TMP/bak.out" >&2
+  exit 1
+}
+
+# Protocol-level shutdown must drain and exit 0.
+"$SSM" client --socket "$SOCK" shutdown > /dev/null
+if ! wait "$SERVER_PID"; then
+  echo "FAIL: server exited non-zero" >&2
+  cat "$TMP/serve.log" >&2
+  exit 1
+fi
+grep -q "drained, exiting" "$TMP/serve.log" || {
+  echo "FAIL: no drain line in the server log" >&2
+  cat "$TMP/serve.log" >&2
+  exit 1
+}
+echo "trace smoke OK"
