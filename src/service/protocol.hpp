@@ -71,6 +71,13 @@ struct CheckRequest {
 ///
 /// Responses carry the window verdicts completed by that chunk; the end
 /// response adds the stream summary (with the verdict-stream digest).
+///
+/// "lines" chunks are arbitrary byte splits of the NDJSON op stream:
+/// chunk boundaries need NOT align with line boundaries.  The server
+/// buffers a trailing fragment with no terminating '\n' and prepends it
+/// to the next chunk; at "end", a non-empty fragment is parsed as the
+/// final op line.  A complete line must therefore be '\n'-terminated
+/// unless it is the very last line of the stream.
 struct TraceRequest {
   enum class Phase : std::uint8_t { Begin, Ops, End };
   Phase phase = Phase::Begin;

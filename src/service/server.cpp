@@ -530,9 +530,19 @@ CheckService::PreloadReport CheckService::preload(
 /// connection's strand — the strand's one-worker-at-a-time FIFO is what
 /// orders begin/ops/end chunks, so no extra lock is needed.
 struct TraceSession {
+  /// An op line longer than this with no '\n' in sight is a protocol
+  /// error, not a partial line — canonical op lines are < 100 bytes, and
+  /// the cap keeps a newline-less client from growing `partial` forever.
+  static constexpr std::size_t kMaxOpLine = 4096;
+
   std::unique_ptr<trace::StreamingChecker> checker;
   /// Verdict lines completed since the last chunk response.
   std::vector<std::string> pending;
+  /// Trailing bytes of the last ops chunk with no terminating '\n' yet:
+  /// chunk boundaries are arbitrary byte splits of the op stream, so a
+  /// line may straddle chunks; it is parsed only once the next chunk (or
+  /// the end phase) completes it.
+  std::string partial;
   /// Physical line number within the client's trace (header = line 1).
   std::uint64_t line_no = 1;
 };
@@ -1334,18 +1344,25 @@ std::string Server::handle_trace(Connection& conn, const Request& req) {
           return fail("no active trace session (send phase \"begin\" first)");
         }
         TraceSession& s = *conn.trace_session;
-        std::string_view rest = req.trace.lines;
-        while (!rest.empty()) {
-          const std::size_t nl = rest.find('\n');
-          const std::string_view line =
-              nl == std::string_view::npos ? rest : rest.substr(0, nl);
-          rest = nl == std::string_view::npos ? std::string_view{}
-                                              : rest.substr(nl + 1);
-          if (line.empty()) {
-            ++s.line_no;
-            continue;
+        s.partial += req.trace.lines;
+        std::string_view rest = s.partial;
+        std::size_t consumed = 0;
+        for (std::size_t nl = rest.find('\n'); nl != std::string_view::npos;
+             nl = rest.find('\n')) {
+          const std::string_view line = rest.substr(0, nl);
+          rest.remove_prefix(nl + 1);
+          consumed += nl + 1;
+          ++s.line_no;
+          if (!line.empty()) {
+            s.checker->feed(trace::parse_op_line(line, s.line_no));
           }
-          s.checker->feed(trace::parse_op_line(line, ++s.line_no));
+        }
+        s.partial.erase(0, consumed);
+        if (s.partial.size() > TraceSession::kMaxOpLine) {
+          return fail("trace op line exceeds " +
+                      std::to_string(TraceSession::kMaxOpLine) +
+                      " bytes with no newline (line " +
+                      std::to_string(s.line_no + 1) + ")");
         }
         std::vector<std::string> verdicts = std::move(s.pending);
         s.pending.clear();
@@ -1356,6 +1373,12 @@ std::string Server::handle_trace(Connection& conn, const Request& req) {
           return fail("no active trace session (send phase \"begin\" first)");
         }
         TraceSession& s = *conn.trace_session;
+        if (!s.partial.empty()) {
+          // The stream ended, so the buffered fragment IS the last line
+          // (a final op line need not be newline-terminated).
+          s.checker->feed(trace::parse_op_line(s.partial, ++s.line_no));
+          s.partial.clear();
+        }
         const trace::StreamSummary summary = s.checker->finish();
         const std::string out = serialize_trace_response(
             req.id, s.pending, summary.to_json_line());

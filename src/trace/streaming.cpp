@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -220,39 +221,67 @@ void StreamingChecker::close_window() {
   wv.ops = window_.size();
 
   // Per-location in-window write values: ordered (for the retirement
-  // commit) and as a set (for read classification).
+  // commit) and counted (for read classification — a value written more
+  // than once in one window makes reads of it ambiguous).
   std::vector<std::vector<Value>> loc_writes(header_.locs);
-  std::vector<std::unordered_set<Value>> loc_values(header_.locs);
+  std::vector<std::unordered_map<Value, std::size_t>> loc_count(header_.locs);
   for (const TraceOp& op : window_) {
     if (op.kind == OpKind::Write || op.kind == OpKind::ReadModifyWrite) {
       loc_writes[op.loc].push_back(op.value);
-      loc_values[op.loc].insert(op.value);
+      ++loc_count[op.loc][op.value];
     }
   }
 
   // Classify every read against the committed prefix.  Outcomes: wire
-  // (value written in-window), rebase (value == committed -> initial 0),
-  // drop (value retired to the ring, or aged out of it entirely).  A
+  // (value written exactly once in-window and by nothing retired), rebase
+  // (value == committed -> initial 0), drop (value retired to the ring or
+  // aged out of it entirely, or its in-window source is ambiguous).  A
+  // read is ambiguous — and must drop, never wire — when its value is
+  // both written in-window AND retired (committed or ring): wiring it to
+  // the in-window write when it actually observed the old state would
+  // manufacture a violation out of a legal trace (e.g. committed x=5;
+  // window: r x=5 then w x=5).  The same holds for a value written more
+  // than once in-window (which write it observed is undecidable).  A
   // dropped rmw removes its store from the window, so reads of that store
-  // are classified as dropped too (the set grows monotonically and ops
-  // are scanned in arrival order).  An unknown value while the location's
-  // ring has never evicted is provably never written: malformed trace.
+  // drop too (the set grows monotonically and ops are scanned in arrival
+  // order).  An unknown value while the location's ring has never evicted
+  // is provably never written: malformed trace.
   enum class ReadFate : std::uint8_t { Wire, Rebase, Drop };
   std::vector<std::unordered_set<Value>> dropped_store(header_.locs);
+  std::vector<const char*> why(window_.size(), nullptr);
   std::size_t dropped = 0;
   std::string drop_note;
-  const auto classify = [&](LocId loc, Value v,
-                            std::uint64_t pos) -> ReadFate {
-    if (loc_values[loc].contains(v) && !dropped_store[loc].contains(v)) {
+  const auto classify = [&](LocId loc, Value v, std::uint64_t pos,
+                            const char*& reason) -> ReadFate {
+    const auto& ring = ring_[loc];
+    const bool retired =
+        v == committed_[loc] ||
+        std::find(ring.begin(), ring.end(), v) != ring.end();
+    const auto it = loc_count[loc].find(v);
+    if (it != loc_count[loc].end()) {  // written somewhere in this window
+      if (retired) {
+        reason = "value both retired and re-written in-window (ambiguous)";
+        return ReadFate::Drop;
+      }
+      if (it->second > 1) {
+        reason = "value written more than once in-window (ambiguous)";
+        return ReadFate::Drop;
+      }
+      if (dropped_store[loc].contains(v)) {
+        reason = "its only in-window writer was dropped";
+        return ReadFate::Drop;
+      }
       return ReadFate::Wire;
     }
     if (v == committed_[loc]) return ReadFate::Rebase;
-    const auto& ring = ring_[loc];
-    if (std::find(ring.begin(), ring.end(), v) != ring.end() ||
-        dropped_store[loc].contains(v)) {
-      return ReadFate::Drop;  // stale: retired beyond the window horizon
+    if (retired) {
+      reason = "value retired beyond the window horizon";
+      return ReadFate::Drop;
     }
-    if (evicted_[loc] != 0) return ReadFate::Drop;  // ancient: aged out
+    if (evicted_[loc] != 0) {
+      reason = "value may have aged out of the retired ring";
+      return ReadFate::Drop;
+    }
     throw InvalidInput(
         "trace op " + std::to_string(pos) + ": read of value " +
         std::to_string(v) + " at location " + std::to_string(loc) +
@@ -264,14 +293,61 @@ void StreamingChecker::close_window() {
   for (std::size_t i = 0; i < window_.size(); ++i) {
     const TraceOp& op = window_[i];
     if (op.kind != OpKind::ReadModifyWrite) continue;
-    fate[i] = classify(op.loc, op.rmw_read, window_first_ + i);
+    fate[i] = classify(op.loc, op.rmw_read, window_first_ + i, why[i]);
     if (fate[i] == ReadFate::Drop) dropped_store[op.loc].insert(op.value);
   }
   // Pass 2: plain reads (now aware of every dropped rmw store).
   for (std::size_t i = 0; i < window_.size(); ++i) {
     const TraceOp& op = window_[i];
     if (op.kind != OpKind::Read) continue;
-    fate[i] = classify(op.loc, op.value, window_first_ + i);
+    fate[i] = classify(op.loc, op.value, window_first_ + i, why[i]);
+  }
+
+  // Window-local value renumbering.  The standalone window history must
+  // satisfy SystemHistory::validate() — per-location distinct, nonzero
+  // write values — but real traces reuse values freely (flag toggles,
+  // zeroed slots).  Each offending write instance is renumbered to a
+  // fresh window-local value (deterministically: counting up from above
+  // every value the location uses this window), so such windows stay
+  // checkable instead of degrading to INCONCLUSIVE.  Reads of a uniquely
+  // written value wire to its renumbered value; reads of multiply
+  // written values were already dropped above.  Retirement (below) keeps
+  // the original trace values — renumbering is invisible outside the
+  // window's standalone history and its litmus export, where the
+  // reverse map is recorded in `origin`.
+  std::vector<Value> next_fresh(header_.locs, 1);
+  for (LocId loc = 0; loc < header_.locs; ++loc) {
+    for (const Value v : loc_writes[loc]) {
+      if (v >= next_fresh[loc]) next_fresh[loc] = v + 1;
+    }
+  }
+  const auto fresh_value = [&](LocId loc) {
+    Value f = next_fresh[loc];
+    while (f == 0 || loc_count[loc].contains(f)) ++f;  // wrap guard
+    next_fresh[loc] = f + 1;
+    return f;
+  };
+  std::vector<Value> wvalue(window_.size(), 0);
+  std::vector<std::unordered_map<Value, Value>> wired(header_.locs);
+  std::string remap_note;
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    const TraceOp& op = window_[i];
+    if (op.kind != OpKind::Write && op.kind != OpKind::ReadModifyWrite) {
+      continue;
+    }
+    if (op.kind == OpKind::ReadModifyWrite && fate[i] == ReadFate::Drop) {
+      continue;  // the whole rmw is out of the window history
+    }
+    Value v = op.value;
+    if (v == 0 || loc_count[op.loc].at(v) > 1) {
+      v = fresh_value(op.loc);
+      if (!remap_note.empty()) remap_note += ", ";
+      remap_note += "op " + std::to_string(window_first_ + i) + " x" +
+                    std::to_string(op.loc) + " " +
+                    std::to_string(op.value) + "->" + std::to_string(v);
+    }
+    wvalue[i] = v;
+    if (loc_count[op.loc].at(op.value) == 1) wired[op.loc][op.value] = v;
   }
 
   // Build the window as a standalone history, rebased so the committed
@@ -286,8 +362,8 @@ void StreamingChecker::close_window() {
         drop_note = "dropped " + std::string(op.kind == OpKind::Read
                                                  ? "read"
                                                  : "rmw") +
-                    " of retired value at op " +
-                    std::to_string(window_first_ + i);
+                    " at op " + std::to_string(window_first_ + i) +
+                    (why[i] != nullptr ? ": " + std::string(why[i]) : "");
       }
       continue;
     }
@@ -296,16 +372,20 @@ void StreamingChecker::close_window() {
     h.label = op.label;
     h.proc = op.proc;
     h.loc = op.loc;
-    h.value = op.kind == OpKind::Read && fate[i] == ReadFate::Rebase
-                  ? 0
-                  : op.value;
-    if (op.kind == OpKind::ReadModifyWrite) {
-      h.rmw_read = fate[i] == ReadFate::Rebase ? 0 : op.rmw_read;
+    if (op.kind == OpKind::Read) {
+      h.value =
+          fate[i] == ReadFate::Rebase ? 0 : wired[op.loc].at(op.value);
+    } else {
+      h.value = wvalue[i];
+      if (op.kind == OpKind::ReadModifyWrite) {
+        h.rmw_read =
+            fate[i] == ReadFate::Rebase ? 0 : wired[op.loc].at(op.rmw_read);
+      }
     }
     hist.append(h);
   }
 
-  check_window(hist, dropped, drop_note, wv);
+  check_window(hist, dropped, drop_note, remap_note, wv);
 
   // Retire the window: the last write per location becomes the committed
   // value; the previous committed value (the initial 0 included) and all
@@ -360,6 +440,7 @@ void StreamingChecker::close_window() {
 void StreamingChecker::check_window(const history::SystemHistory& hist,
                                     std::size_t dropped,
                                     const std::string& drop_note,
+                                    const std::string& remap_note,
                                     WindowVerdict& out) {
   const auto inconclusive = [&](std::string note) {
     out.status = WindowVerdict::Status::Inconclusive;
@@ -446,6 +527,7 @@ void StreamingChecker::check_window(const history::SystemHistory& hist,
       t.origin = "trace window " + std::to_string(out.window) + " ops [" +
                  std::to_string(out.first) + "," + std::to_string(out.last) +
                  "], projection to one location";
+      if (!remap_note.empty()) t.origin += "; renumbered: " + remap_note;
       t.hist = subs[loc].sub;
       t.expectations[std::string(model_->name())] = false;
       out.litmus = litmus::emit(t);
@@ -479,6 +561,7 @@ void StreamingChecker::check_window(const history::SystemHistory& hist,
   t.name = window_litmus_name(out.window);
   t.origin = "trace window " + std::to_string(out.window) + " ops [" +
              std::to_string(out.first) + "," + std::to_string(out.last) + "]";
+  if (!remap_note.empty()) t.origin += "; renumbered: " + remap_note;
   t.hist = hist;
   t.expectations[std::string(model_->name())] = false;
   out.litmus = litmus::emit(t);

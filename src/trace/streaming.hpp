@@ -15,17 +15,29 @@
 //
 //   * Reads are REBASED against that commitment: a read of the committed
 //     value becomes a read of the initial value 0 inside the window's
-//     standalone history; a read of an in-window write wires up normally;
-//     a read of a retired (ring) value is legal under weak models but not
+//     standalone history; a read of a value written exactly once
+//     in-window (and by nothing retired) wires up normally; a read of a
+//     retired (ring) value is legal under weak models but not
 //     expressible in a window-local history, so the operation is dropped
 //     and the window's OK degrades to INCONCLUSIVE; a read of a value
 //     that has aged out of the ring entirely ("ancient") does the same —
-//     this is the INCONCLUSIVE-on-window-overflow policy.  A read of a
-//     value provably never written to its location (possible only while
-//     the ring has evicted nothing for that location) is a malformed
-//     trace and throws.  Dropping operations only removes constraints, so
-//     a VIOLATION found on the remaining operations stays definite; only
+//     this is the INCONCLUSIVE-on-window-overflow policy.  A read whose
+//     source is AMBIGUOUS — its value is both written in-window and
+//     retired (committed/ring), or written more than once in-window — is
+//     dropped the same way: wiring it to either candidate source could
+//     manufacture a violation out of a legal trace.  A read of a value
+//     provably never written to its location (possible only while the
+//     ring has evicted nothing for that location) is a malformed trace
+//     and throws.  Dropping operations only removes constraints, so a
+//     VIOLATION found on the remaining operations stays definite; only
 //     OK verdicts are downgraded.
+//
+//   * Write values are RENUMBERED window-locally when they collide with
+//     the whole-history engine's distinct-nonzero-value requirement
+//     (duplicate values in one window, writes of 0): the offending write
+//     instances get fresh deterministic values so the window stays
+//     checkable, the retirement state keeps the original trace values,
+//     and an exported litmus test records the reverse map in `origin`.
 //
 //   * Each window check runs three stages, cheapest first: (1) per-
 //     location coherence decomposition — the model checks each single-
@@ -139,7 +151,8 @@ class StreamingChecker {
   void close_window();
   /// Decides the window verdict for the rebased standalone history.
   void check_window(const history::SystemHistory& hist, std::size_t dropped,
-                    const std::string& drop_note, WindowVerdict& out);
+                    const std::string& drop_note,
+                    const std::string& remap_note, WindowVerdict& out);
   [[nodiscard]] std::string window_litmus_name(std::uint64_t window) const;
 
   TraceHeader header_;

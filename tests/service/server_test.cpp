@@ -251,6 +251,53 @@ TEST(ServerProtocol, UnknownModelRejectsTheWholeRequest) {
   server.wait();
 }
 
+// REVIEW regression: trace "ops" chunks are byte splits of the NDJSON op
+// stream — a line straddling two chunks must be reassembled, not parsed
+// as two corrupt lines that kill the session.
+TEST(ServerProtocol, TraceChunksMayStraddleLineBoundaries) {
+  Server server(tcp_options(1, 16));
+  server.start();
+  auto client = Client::connect_tcp(server.port());
+
+  const std::string header = "{\"ssm_trace\":1,\"procs\":1,\"locs\":1}";
+  const std::string ops =
+      "{\"p\":0,\"k\":\"w\",\"x\":0,\"v\":1}\n"
+      "{\"p\":0,\"k\":\"r\",\"x\":0,\"v\":1}\n";
+
+  // Streams the same two ops with the chunk boundary at `split` bytes and
+  // returns the end-of-stream summary digest.
+  const auto run = [&](std::size_t split) {
+    std::string begin =
+        "{\"op\": \"trace\", \"id\": \"b\", \"phase\": \"begin\", "
+        "\"header\": ";
+    json::append_quoted(begin, header);
+    begin += '}';
+    EXPECT_TRUE(json::parse(client.call(begin)).at("ok").as_bool());
+    for (const std::string& chunk :
+         {ops.substr(0, split), ops.substr(split)}) {
+      std::string frame =
+          "{\"op\": \"trace\", \"id\": \"c\", \"phase\": \"ops\", "
+          "\"lines\": ";
+      json::append_quoted(frame, chunk);
+      frame += '}';
+      const json::Value reply = json::parse(client.call(frame));
+      EXPECT_TRUE(reply.at("ok").as_bool());
+    }
+    const json::Value end = json::parse(
+        client.call("{\"op\": \"trace\", \"id\": \"e\", \"phase\": \"end\"}"));
+    EXPECT_TRUE(end.at("ok").as_bool());
+    return end.at("summary").at("digest").as_string();
+  };
+
+  const std::size_t aligned = ops.find('\n') + 1;
+  const std::string at_line = run(aligned);
+  const std::string mid_line = run(aligned + 10);  // inside the second op
+  EXPECT_EQ(at_line, mid_line);
+
+  server.begin_drain();
+  server.wait();
+}
+
 TEST(ServerConcurrency, IdenticalConcurrentRequestsSolveOnce) {
   BlockingSolver solver;
   Server server(tcp_options(4, 64), solver.fn());

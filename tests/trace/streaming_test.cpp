@@ -210,6 +210,176 @@ TEST(StreamingChecker, StaleReadDowngradesToInconclusiveNeverViolation) {
   EXPECT_NE(verdicts[1].note.find("retired"), std::string::npos);
 }
 
+// REVIEW regression: a read of the committed value where the same value
+// is re-written later in the window must NOT wire to the in-window write
+// — that would build a window whose only write of the value is po-after
+// the read and report a definite violation for a perfectly legal trace.
+// The source is ambiguous, so the read drops and OK degrades to
+// INCONCLUSIVE.
+TEST(StreamingChecker, CommittedValueRewrittenInWindowIsAmbiguous) {
+  TraceHeader header;
+  header.procs = 1;
+  header.locs = 1;
+  StreamOptions sopts;
+  sopts.window_ops = 2;
+  StreamingChecker checker(header, sopts);
+  std::vector<WindowVerdict> verdicts;
+  checker.set_verdict_sink(
+      [&](const WindowVerdict& v) { verdicts.push_back(v); });
+  const auto op = [](OpKind k, Value v) {
+    TraceOp o;
+    o.kind = k;
+    o.value = v;
+    return o;
+  };
+  checker.feed(op(OpKind::Write, 4));
+  checker.feed(op(OpKind::Write, 5));  // window 0: committed=5
+  checker.feed(op(OpKind::Read, 5));   // saw the committed 5...
+  checker.feed(op(OpKind::Write, 5));  // ...which window 1 re-writes
+  const auto summary = checker.finish();
+  EXPECT_EQ(summary.violations, 0u);
+  EXPECT_EQ(summary.inconclusive, 1u);
+  EXPECT_EQ(summary.dropped_ops, 1u);
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_EQ(verdicts[0].status, WindowVerdict::Status::Ok);
+  EXPECT_EQ(verdicts[1].status, WindowVerdict::Status::Inconclusive);
+  EXPECT_NE(verdicts[1].note.find("ambiguous"), std::string::npos);
+}
+
+// Same ambiguity through the ring: a retired-but-not-committed value
+// re-written in-window is equally undecidable.
+TEST(StreamingChecker, RingValueRewrittenInWindowIsAmbiguous) {
+  TraceHeader header;
+  header.procs = 1;
+  header.locs = 1;
+  StreamOptions sopts;
+  sopts.window_ops = 2;
+  StreamingChecker checker(header, sopts);
+  std::vector<WindowVerdict> verdicts;
+  checker.set_verdict_sink(
+      [&](const WindowVerdict& v) { verdicts.push_back(v); });
+  const auto op = [](OpKind k, Value v) {
+    TraceOp o;
+    o.kind = k;
+    o.value = v;
+    return o;
+  };
+  checker.feed(op(OpKind::Write, 1));
+  checker.feed(op(OpKind::Write, 2));  // window 0: committed=2, ring={0,1}
+  checker.feed(op(OpKind::Write, 1));  // the flag toggles back to 1...
+  checker.feed(op(OpKind::Read, 1));   // ...old 1 or new 1?  Undecidable.
+  const auto summary = checker.finish();
+  EXPECT_EQ(summary.violations, 0u);
+  EXPECT_EQ(summary.inconclusive, 1u);
+  EXPECT_EQ(summary.dropped_ops, 1u);
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_EQ(verdicts[1].status, WindowVerdict::Status::Inconclusive);
+  EXPECT_NE(verdicts[1].note.find("ambiguous"), std::string::npos);
+}
+
+// Duplicate and zero write values within one window are renumbered to
+// fresh window-local values instead of making the window permanently
+// "not independently checkable": a pure flag-toggle window is plain OK.
+TEST(StreamingChecker, DuplicateAndZeroWritesStayCheckable) {
+  TraceHeader header;
+  header.procs = 1;
+  header.locs = 1;
+  StreamOptions sopts;
+  sopts.window_ops = 8;
+  StreamingChecker checker(header, sopts);
+  std::vector<WindowVerdict> verdicts;
+  checker.set_verdict_sink(
+      [&](const WindowVerdict& v) { verdicts.push_back(v); });
+  const auto w = [](Value v) {
+    TraceOp o;
+    o.kind = OpKind::Write;
+    o.value = v;
+    return o;
+  };
+  checker.feed(w(1));
+  checker.feed(w(0));  // zeroing the slot
+  checker.feed(w(1));  // toggling back
+  const auto summary = checker.finish();
+  EXPECT_EQ(summary.windows, 1u);
+  EXPECT_EQ(summary.ok, 1u);
+  EXPECT_EQ(summary.violations, 0u);
+  EXPECT_EQ(summary.inconclusive, 0u);
+  EXPECT_EQ(summary.dropped_ops, 0u);
+}
+
+// A read of a value written twice in the same window cannot name its
+// source write: it drops (INCONCLUSIVE), the rest of the window is
+// still checked.
+TEST(StreamingChecker, ReadOfMultiplyWrittenValueDrops) {
+  TraceHeader header;
+  header.procs = 1;
+  header.locs = 1;
+  StreamOptions sopts;
+  sopts.window_ops = 8;
+  StreamingChecker checker(header, sopts);
+  std::vector<WindowVerdict> verdicts;
+  checker.set_verdict_sink(
+      [&](const WindowVerdict& v) { verdicts.push_back(v); });
+  const auto op = [](OpKind k, Value v) {
+    TraceOp o;
+    o.kind = k;
+    o.value = v;
+    return o;
+  };
+  checker.feed(op(OpKind::Write, 1));
+  checker.feed(op(OpKind::Read, 1));
+  checker.feed(op(OpKind::Write, 1));
+  const auto summary = checker.finish();
+  EXPECT_EQ(summary.violations, 0u);
+  EXPECT_EQ(summary.inconclusive, 1u);
+  EXPECT_EQ(summary.dropped_ops, 1u);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_NE(verdicts[0].note.find("ambiguous"), std::string::npos);
+}
+
+// A definite violation in a renumbered window still exports a litmus
+// test that the whole-history engine re-confirms, with the reverse map
+// recorded in its origin.
+TEST(StreamingChecker, RenumberedViolationIsReplayable) {
+  TraceHeader header;
+  header.procs = 2;
+  header.locs = 2;
+  StreamOptions sopts;
+  sopts.model = "SC";
+  sopts.window_ops = 8;
+  StreamingChecker checker(header, sopts);
+  std::vector<WindowVerdict> verdicts;
+  checker.set_verdict_sink(
+      [&](const WindowVerdict& v) { verdicts.push_back(v); });
+  const auto op = [](ProcId p, LocId x, OpKind k, Value v) {
+    TraceOp o;
+    o.kind = k;
+    o.proc = p;
+    o.loc = x;
+    o.value = v;
+    return o;
+  };
+  // Location 1: a coherence violation (P1 reads 2 then the older 1).
+  // Location 0: a duplicated write value forcing renumbering.
+  checker.feed(op(0, 0, OpKind::Write, 3));
+  checker.feed(op(0, 0, OpKind::Write, 3));
+  checker.feed(op(0, 1, OpKind::Write, 1));
+  checker.feed(op(0, 1, OpKind::Write, 2));
+  checker.feed(op(1, 1, OpKind::Read, 2));
+  checker.feed(op(1, 1, OpKind::Read, 1));
+  const auto summary = checker.finish();
+  EXPECT_EQ(summary.violations, 1u);
+  ASSERT_EQ(verdicts.size(), 1u);
+  ASSERT_EQ(verdicts[0].status, WindowVerdict::Status::Violation);
+  ASSERT_FALSE(verdicts[0].litmus.empty());
+  const auto suite = litmus::parse_suite(verdicts[0].litmus);
+  ASSERT_EQ(suite.size(), 1u);
+  EXPECT_NE(suite[0].origin.find("renumbered"), std::string::npos);
+  const auto sc = models::make_model("SC")->check(suite[0].hist);
+  EXPECT_FALSE(sc.allowed);
+  EXPECT_FALSE(sc.inconclusive);
+}
+
 TEST(StreamingChecker, NeverWrittenReadIsMalformedTrace) {
   TraceHeader header;
   header.procs = 1;

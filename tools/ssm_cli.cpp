@@ -678,8 +678,8 @@ int client_trace(service::Client& client, const std::vector<std::string>& rest,
     in_chunk = 0;
   };
   while (!failed && std::getline(in, line)) {
-    if (!lines.empty()) lines += '\n';
     lines += line;
+    lines += '\n';  // chunks are byte splits of the NDJSON op stream
     if (++in_chunk >= chunk) flush_chunk();
   }
   if (!failed) flush_chunk();
