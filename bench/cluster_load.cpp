@@ -1,0 +1,619 @@
+// cluster_load — acceptance bench for the cluster routing layer
+// (docs/CLUSTER.md).
+//
+// Forks --nodes real `ssm serve` processes (separate address spaces, so
+// each node's verdict cache and metrics are genuinely its own), starts an
+// in-process router over them with warm-cache shipping from the corpus,
+// and drives the workload three ways:
+//
+//   baseline    a single in-process server, cold + warm — the per-request
+//               verdict digests every cluster pass must reproduce;
+//   warm        through the router after shipping: per-node canonical-key
+//               hit rate (from each node's own cache counters) must be
+//               >= 90%, digests byte-identical to baseline;
+//   kill        through the router with --kill-iters repetitions; once a
+//               quarter of the pass has completed, one node is SIGKILLed
+//               mid-load.  Zero client-visible failures allowed — every
+//               request must come back ok with the baseline digest.
+//
+// Afterwards the killed node is restarted and must re-enter rotation
+// (shipped BEFORE it takes traffic, so recovery never degrades the warm
+// rate).  Exit 2 on any gate violation:
+//   digest mismatch | warm hit rate < 90% | kill-pass failure > 0 |
+//   recovery (re-join + re-ship) not observed.
+//
+//   cluster_load [--corpus DIR] [--nodes N] [--conns N] [--kill-iters N]
+//                [--no-kill] [--json]
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/ring.hpp"
+#include "cluster/router.hpp"
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "common/types.hpp"
+#include "litmus/canonical.hpp"
+#include "litmus/emit.hpp"
+#include "litmus/parser.hpp"
+#include "service/cache.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using namespace ssm;
+namespace json = common::json;
+namespace metrics = common::metrics;
+using Clock = std::chrono::steady_clock;
+
+struct LoadOptions {
+  std::string corpus = "tests/litmus/corpus";
+  unsigned nodes = 3;
+  unsigned conns = 4;
+  unsigned kill_iters = 4;
+  bool kill = true;
+  bool json = false;
+};
+
+struct WorkItem {
+  std::string id;
+  std::string frame;
+  std::uint64_t hash = 0;  ///< canonical routing hash (ring placement)
+};
+
+std::vector<WorkItem> build_workload(const std::string& corpus) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(corpus)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".litmus") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<WorkItem> work;
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    for (const auto& t : litmus::parse_suite(text.str())) {
+      WorkItem item;
+      item.id = t.name;
+      item.frame = "{\"op\": \"check\", \"id\": ";
+      json::append_quoted(item.frame, t.name);
+      item.frame += ", \"program\": ";
+      json::append_quoted(item.frame, litmus::emit(t));
+      item.frame += "}\n";
+      item.hash = cluster::HashRing::key_hash(litmus::canonicalize(t).key);
+      work.push_back(std::move(item));
+    }
+  }
+  if (work.empty()) throw InvalidInput("no .litmus tests in " + corpus);
+  return work;
+}
+
+/// Verdict-payload digest, same fields as bench/service_load: everything
+/// that must not differ between a solved, cached, or failed-over answer.
+std::uint64_t digest_response(const json::Value& doc) {
+  std::string flat;
+  for (const auto& r : doc.at("results").items()) {
+    flat += r.at("model").as_string();
+    flat += '|';
+    flat += r.at("verdict").as_string();
+    flat += '|';
+    if (const auto* w = r.find("witness_fnv1a")) flat += w->as_string();
+    flat += '|';
+    if (const auto* n = r.find("note")) flat += n->as_string();
+    flat += ';';
+  }
+  return service::fnv1a64(flat);
+}
+
+struct PassResult {
+  double seconds = 0.0;
+  std::size_t requests = 0;
+  std::size_t failures = 0;    ///< not-ok responses or transport errors
+  std::size_t mismatches = 0;  ///< digests differing from the reference
+  std::uint64_t meta_cache_hits = 0;
+  std::uint64_t meta_solved = 0;
+};
+
+/// Drives the full workload (x iters) from `conns` connections against
+/// `socket`.  Fills `reference` on first sight of each id; later
+/// observations that disagree count as mismatches.  `on_progress` fires
+/// after every completed request (the kill trigger).
+PassResult run_pass(const std::string& socket,
+                    const std::vector<WorkItem>& work, unsigned conns,
+                    unsigned iters,
+                    std::map<std::string, std::uint64_t>& reference,
+                    const std::function<void(std::size_t)>& on_progress = {}) {
+  std::mutex mu;
+  PassResult out;
+  std::atomic<std::size_t> completed{0};
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < conns; ++c) {
+    threads.emplace_back([&] {
+      PassResult local;
+      try {
+        auto client = service::Client::connect_unix(socket);
+        for (unsigned rep = 0; rep < iters; ++rep) {
+          for (const WorkItem& item : work) {
+            ++local.requests;
+            try {
+              const json::Value doc = json::parse(client.call(item.frame));
+              if (!doc.at("ok").as_bool()) {
+                ++local.failures;
+              } else {
+                const std::uint64_t d = digest_response(doc);
+                if (const auto* meta = doc.find("meta")) {
+                  if (const auto* h = meta->find("cache_hits")) {
+                    local.meta_cache_hits += h->as_u64();
+                  }
+                  if (const auto* s = meta->find("solved")) {
+                    local.meta_solved += s->as_u64();
+                  }
+                }
+                std::lock_guard<std::mutex> lock(mu);
+                const auto [it, inserted] = reference.emplace(item.id, d);
+                if (!inserted && it->second != d) ++local.mismatches;
+              }
+            } catch (const InvalidInput&) {
+              ++local.failures;  // disconnect/timeout = client-visible
+            }
+            const std::size_t n = completed.fetch_add(1) + 1;
+            if (on_progress) on_progress(n);
+          }
+        }
+      } catch (const InvalidInput&) {
+        local.failures += 1;  // could not even connect
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      out.requests += local.requests;
+      out.failures += local.failures;
+      out.mismatches += local.mismatches;
+      out.meta_cache_hits += local.meta_cache_hits;
+      out.meta_solved += local.meta_solved;
+    });
+  }
+  for (auto& t : threads) t.join();
+  out.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  return out;
+}
+
+// --- forked node children ---------------------------------------------
+
+service::Server* g_child_server = nullptr;
+extern "C" void child_drain(int) {
+  if (g_child_server != nullptr) g_child_server->begin_drain();
+}
+
+[[noreturn]] void node_child_main(const std::string& socket,
+                                  const std::string& node_id) {
+  service::ServerOptions sopts;
+  sopts.unix_socket = socket;
+  sopts.node_id = node_id;
+  service::Server server(sopts);
+  g_child_server = &server;
+  std::signal(SIGTERM, child_drain);
+  std::signal(SIGINT, child_drain);
+  try {
+    server.start();
+    server.wait();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cluster_load node %s: %s\n", node_id.c_str(),
+                 e.what());
+    std::_Exit(1);
+  }
+  std::_Exit(0);
+}
+
+pid_t spawn_node(const std::string& socket, const std::string& node_id) {
+  ::unlink(socket.c_str());
+  const pid_t pid = ::fork();
+  if (pid < 0) throw InvalidInput("fork failed");
+  if (pid == 0) node_child_main(socket, node_id);
+  return pid;
+}
+
+/// A node forked now but started later: the child parks on a pipe read
+/// until released (or exits silently if the pipe closes unused).  The
+/// recovery restart needs this — by then the parent is running router
+/// threads, and forking a multithreaded (sanitized) process can wedge
+/// the child, so the fork happens up front while the parent is still
+/// single-threaded.
+struct DeferredNode {
+  pid_t pid = -1;
+  int release_fd = -1;
+};
+
+DeferredNode spawn_node_deferred(const std::string& socket,
+                                 const std::string& node_id) {
+  int fds[2];
+  if (::pipe(fds) != 0) throw InvalidInput("pipe failed");
+  const pid_t pid = ::fork();
+  if (pid < 0) throw InvalidInput("fork failed");
+  if (pid == 0) {
+    ::close(fds[1]);
+    char go = 0;
+    ssize_t n;
+    do {
+      n = ::read(fds[0], &go, 1);
+    } while (n < 0 && errno == EINTR);
+    ::close(fds[0]);
+    if (n != 1) std::_Exit(0);  // parent never needed us
+    ::unlink(socket.c_str());
+    node_child_main(socket, node_id);
+  }
+  ::close(fds[0]);
+  return {pid, fds[1]};
+}
+
+void release_node(DeferredNode& node) {
+  char go = 1;
+  ssize_t n;
+  do {
+    n = ::write(node.release_fd, &go, 1);
+  } while (n < 0 && errno == EINTR);
+  ::close(node.release_fd);
+  node.release_fd = -1;
+  if (n != 1) throw InvalidInput("deferred node release failed");
+}
+
+/// One node's cache counters, read over its own stats op (per-process
+/// registry: these are the node's numbers, nobody else's).
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+CacheCounters node_cache_counters(const std::string& socket) {
+  auto client = service::Client::connect_unix(socket);
+  const json::Value doc =
+      json::parse(client.call("{\"op\": \"stats\", \"id\": \"bench\"}"));
+  CacheCounters out;
+  if (const auto* stats = doc.find("stats")) {
+    if (const auto* counters = stats->find("counters")) {
+      if (const auto* h = counters->find("service.cache_hits")) {
+        out.hits = h->as_u64();
+      }
+      if (const auto* m = counters->find("service.cache_misses")) {
+        out.misses = m->as_u64();
+      }
+    }
+  }
+  return out;
+}
+
+bool eventually(const std::function<bool()>& pred, double seconds = 15.0) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  while (Clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+std::uint64_t counter(const char* name) {
+  return metrics::Registry::global().counter(name).value();
+}
+
+int run(const LoadOptions& opts) {
+  std::signal(SIGPIPE, SIG_IGN);
+  const std::vector<WorkItem> work = build_workload(opts.corpus);
+
+  // The ring hashes node *specs*, which embed the random tmpdir path.
+  // Redraw the tmpdir until every node owns at least one program —
+  // otherwise a sliceless node sees no traffic and has nothing to be
+  // re-shipped, and the per-node gates below stop measuring anything.
+  std::string dir;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    char tmpl[] = "/tmp/ssm-cluster-load-XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) throw InvalidInput("mkdtemp failed");
+    std::vector<std::string> draw_specs;
+    for (unsigned i = 0; i < opts.nodes; ++i) {
+      draw_specs.push_back("unix:" + std::string(tmpl) + "/n" +
+                           std::to_string(i));
+    }
+    const cluster::HashRing ring(draw_specs);
+    std::vector<bool> owned(opts.nodes, false);
+    for (const auto& item : work) owned[ring.owner(item.hash)] = true;
+    if (std::find(owned.begin(), owned.end(), false) == owned.end()) {
+      dir = tmpl;
+      break;
+    }
+    ::rmdir(tmpl);
+  }
+  if (dir.empty()) {
+    throw InvalidInput("no tmpdir draw gave every node a corpus slice");
+  }
+
+  // Baseline: one server, cold then warm — the reference digests.  Fully
+  // drained (threads joined) before any fork below.
+  std::map<std::string, std::uint64_t> reference;
+  PassResult base_cold, base_warm;
+  {
+    service::ServerOptions sopts;
+    sopts.unix_socket = dir + "/baseline";
+    service::Server server(sopts);
+    server.start();
+    base_cold = run_pass(dir + "/baseline", work, opts.conns, 1, reference);
+    base_warm = run_pass(dir + "/baseline", work, opts.conns, 1, reference);
+    server.begin_drain();
+    server.wait();
+  }
+  if (base_cold.failures + base_warm.failures +
+          base_cold.mismatches + base_warm.mismatches > 0) {
+    std::fprintf(stderr, "cluster_load: baseline pass failed\n");
+    return 2;
+  }
+
+  // The cluster: forked nodes, in-process router, corpus warm shipping.
+  std::vector<std::string> node_sockets;
+  std::vector<std::string> specs;
+  std::vector<pid_t> pids;
+  for (unsigned i = 0; i < opts.nodes; ++i) {
+    node_sockets.push_back(dir + "/n" + std::to_string(i));
+    specs.push_back("unix:" + node_sockets.back());
+    pids.push_back(spawn_node(node_sockets.back(), "n" + std::to_string(i)));
+  }
+  // Pre-fork the recovery replacement while this process is still
+  // single-threaded; it parks until the kill pass needs it (and exits
+  // on its own if the parent dies or --no-kill never releases it).
+  DeferredNode spare;
+  if (opts.kill) {
+    const unsigned victim = opts.nodes / 2;
+    spare = spawn_node_deferred(node_sockets[victim],
+                                "n" + std::to_string(victim) + "r");
+  }
+
+  cluster::RouterOptions ropts;
+  ropts.unix_socket = dir + "/router";
+  ropts.nodes = specs;
+  ropts.ship_corpus = opts.corpus;
+  ropts.probe_interval_ms = 100;
+  ropts.backoff_base_ms = 5;
+  ropts.backoff_cap_ms = 100;
+  ropts.router_id = "bench-router";
+  ropts.quiet = opts.json;
+  cluster::Router router(ropts);
+  router.start();
+  const bool all_up = eventually([&] {
+    for (unsigned i = 0; i < opts.nodes; ++i) {
+      if (!router.node_up(i)) return false;
+    }
+    return true;
+  });
+  if (!all_up) {
+    std::fprintf(stderr, "cluster_load: nodes never came up\n");
+    return 2;
+  }
+  const std::uint64_t shipped_startup = counter("cluster.shipped_records");
+
+  // Warm pass: shipping already populated every node's home slice, so the
+  // per-node hit rate over this pass must clear 90%.
+  std::vector<CacheCounters> before;
+  for (const auto& s : node_sockets) before.push_back(node_cache_counters(s));
+  PassResult warm =
+      run_pass(dir + "/router", work, opts.conns, 1, reference);
+  std::vector<double> hit_rates;
+  bool hit_rate_ok = true;
+  for (unsigned i = 0; i < opts.nodes; ++i) {
+    const CacheCounters after = node_cache_counters(node_sockets[i]);
+    const std::uint64_t h = after.hits - before[i].hits;
+    const std::uint64_t m = after.misses - before[i].misses;
+    const double rate =
+        h + m > 0 ? static_cast<double>(h) / static_cast<double>(h + m) : 1.0;
+    hit_rates.push_back(rate);
+    if (rate < 0.90) hit_rate_ok = false;
+  }
+
+  // Kill pass: SIGKILL one node once a quarter of the load has completed;
+  // the router must absorb it — zero client-visible failures, digests
+  // still byte-identical.
+  PassResult kill;
+  std::uint64_t failovers = 0, retries = 0;
+  bool recovered = true;
+  std::uint64_t reshipped = 0;
+  if (opts.kill) {
+    const unsigned victim = opts.nodes / 2;
+    const std::size_t trigger =
+        work.size() * opts.kill_iters * opts.conns / 4;
+    std::atomic<bool> killed{false};
+    const std::uint64_t failovers0 = counter("cluster.failovers");
+    const std::uint64_t retries0 = counter("cluster.retries");
+    kill = run_pass(dir + "/router", work, opts.conns, opts.kill_iters,
+                    reference, [&](std::size_t done) {
+                      if (done >= trigger &&
+                          !killed.exchange(true, std::memory_order_acq_rel)) {
+                        // Reap before returning: the victim is confirmed
+                        // dead while three quarters of the pass is still
+                        // in flight, so the failover path genuinely runs.
+                        ::kill(pids[victim], SIGKILL);
+                        ::waitpid(pids[victim], nullptr, 0);
+                      }
+                    });
+    failovers = counter("cluster.failovers") - failovers0;
+    retries = counter("cluster.retries") - retries0;
+
+    // Recovery: restart the victim; it must be re-shipped and re-enter
+    // rotation without manual intervention.  Wait for the router to mark
+    // it down first — restarting into a not-yet-noticed death would skip
+    // the down→up transition that triggers shipping.
+    const bool went_down = eventually([&] { return !router.node_up(victim); });
+    const std::uint64_t shipped0 = counter("cluster.shipped_records");
+    release_node(spare);
+    pids[victim] = spare.pid;
+    recovered =
+        went_down && eventually([&] { return router.node_up(victim); });
+    reshipped = counter("cluster.shipped_records") - shipped0;
+    if (reshipped == 0) recovered = false;
+  }
+
+  router.begin_drain();
+  router.wait();
+  for (unsigned i = 0; i < opts.nodes; ++i) {
+    ::kill(pids[i], SIGTERM);
+    ::waitpid(pids[i], nullptr, 0);
+  }
+  if (spare.release_fd >= 0) {  // --no-kill: never released, exits on EOF
+    ::close(spare.release_fd);
+    ::waitpid(spare.pid, nullptr, 0);
+  }
+  std::filesystem::remove_all(dir);
+
+  std::uint64_t combined = 0xcbf29ce484222325ULL;
+  for (const auto& [id, d] : reference) {
+    combined ^= d;
+    combined *= 0x100000001b3ULL;
+  }
+  const bool identical = warm.mismatches + kill.mismatches == 0;
+  const bool kill_clean = kill.failures == 0;
+  const bool ok = identical && hit_rate_ok && kill_clean && recovered;
+
+  if (opts.json) {
+    std::string rates;
+    for (unsigned i = 0; i < opts.nodes; ++i) {
+      if (i > 0) rates += ", ";
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.4f", hit_rates[i]);
+      rates += buf;
+    }
+    std::printf(
+        "{\n"
+        "  \"benchmark\": \"cluster_load\",\n"
+        "  \"corpus\": \"%s\",\n"
+        "  \"nodes\": %u,\n"
+        "  \"conns\": %u,\n"
+        "  \"programs\": %zu,\n"
+        "  \"baseline\": {\"cold_s\": %.3f, \"warm_s\": %.3f},\n"
+        "  \"shipped_records_startup\": %llu,\n"
+        "  \"warm\": {\"requests\": %zu, \"seconds\": %.3f, \"rps\": %.1f,"
+        " \"failures\": %zu, \"meta_cache_hits\": %llu,"
+        " \"meta_solved\": %llu},\n"
+        "  \"node_hit_rates\": [%s],\n"
+        "  \"kill\": {\"requests\": %zu, \"seconds\": %.3f, \"rps\": %.1f,"
+        " \"failures\": %zu, \"failovers\": %llu, \"retries\": %llu},\n"
+        "  \"recovery\": {\"rejoined\": %s, \"reshipped_records\": %llu},\n"
+        "  \"digest_fnv1a\": \"%s\",\n"
+        "  \"verdicts_identical\": %s,\n"
+        "  \"hit_rate_ok\": %s,\n"
+        "  \"kill_zero_failures\": %s,\n"
+        "  \"ok\": %s\n"
+        "}\n",
+        opts.corpus.c_str(), opts.nodes, opts.conns, work.size(),
+        base_cold.seconds, base_warm.seconds,
+        static_cast<unsigned long long>(shipped_startup), warm.requests,
+        warm.seconds,
+        warm.seconds > 0 ? static_cast<double>(warm.requests) / warm.seconds
+                         : 0.0,
+        warm.failures, static_cast<unsigned long long>(warm.meta_cache_hits),
+        static_cast<unsigned long long>(warm.meta_solved), rates.c_str(),
+        kill.requests, kill.seconds,
+        kill.seconds > 0 ? static_cast<double>(kill.requests) / kill.seconds
+                         : 0.0,
+        kill.failures, static_cast<unsigned long long>(failovers),
+        static_cast<unsigned long long>(retries), recovered ? "true" : "false",
+        static_cast<unsigned long long>(reshipped),
+        service::hex16(combined).c_str(), identical ? "true" : "false",
+        hit_rate_ok ? "true" : "false", kill_clean ? "true" : "false",
+        ok ? "true" : "false");
+  } else {
+    std::printf("cluster_load: %zu programs, %u nodes, %u conns\n",
+                work.size(), opts.nodes, opts.conns);
+    std::printf("  baseline: cold %.3fs warm %.3fs\n", base_cold.seconds,
+                base_warm.seconds);
+    std::printf("  shipped at startup: %llu records\n",
+                static_cast<unsigned long long>(shipped_startup));
+    std::printf("  warm via router: %zu req in %.3fs, failures %zu, "
+                "hits/solved %llu/%llu\n",
+                warm.requests, warm.seconds, warm.failures,
+                static_cast<unsigned long long>(warm.meta_cache_hits),
+                static_cast<unsigned long long>(warm.meta_solved));
+    for (unsigned i = 0; i < opts.nodes; ++i) {
+      std::printf("  node %u hit rate: %.1f%%%s\n", i, hit_rates[i] * 100.0,
+                  hit_rates[i] < 0.90 ? "  [BELOW 90% FLOOR]" : "");
+    }
+    if (opts.kill) {
+      std::printf("  kill pass: %zu req in %.3fs, failures %zu, "
+                  "failovers %llu, retries %llu\n",
+                  kill.requests, kill.seconds, kill.failures,
+                  static_cast<unsigned long long>(failovers),
+                  static_cast<unsigned long long>(retries));
+      std::printf("  recovery: rejoined %s, reshipped %llu records\n",
+                  recovered ? "yes" : "NO",
+                  static_cast<unsigned long long>(reshipped));
+    }
+    std::printf("  digest %s   identical: %s   overall: %s\n",
+                service::hex16(combined).c_str(), identical ? "yes" : "NO",
+                ok ? "PASS" : "FAIL");
+  }
+  return ok ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "cluster_load: flag %s needs a value\n",
+                     arg.c_str());
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (arg == "--corpus") {
+      opts.corpus = value();
+    } else if (arg == "--nodes") {
+      opts.nodes = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--conns") {
+      opts.conns = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--kill-iters") {
+      opts.kill_iters =
+          static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--no-kill") {
+      opts.kill = false;
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: cluster_load [--corpus DIR] [--nodes N] "
+                   "[--conns N] [--kill-iters N] [--no-kill] [--json]\n");
+      return 64;
+    }
+  }
+  if (opts.nodes < 2 || opts.conns == 0 || opts.kill_iters == 0) {
+    std::fprintf(stderr,
+                 "cluster_load: --nodes must be >= 2, --conns/--kill-iters "
+                 "positive\n");
+    return 64;
+  }
+  try {
+    return run(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cluster_load: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,129 @@
+#include "cluster/pool.hpp"
+
+#include <utility>
+
+#include "common/json.hpp"
+#include "service/protocol.hpp"
+
+namespace ssm::cluster {
+
+namespace json = common::json;
+
+NodeAddress NodeAddress::parse(const std::string& spec) {
+  NodeAddress out;
+  out.spec = spec;
+  if (spec.rfind("unix:", 0) == 0) {
+    out.is_unix = true;
+    out.path = spec.substr(5);
+    if (out.path.empty()) {
+      throw InvalidInput("node spec '" + spec + "': empty unix socket path");
+    }
+    return out;
+  }
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    throw InvalidInput("node spec '" + spec +
+                       "': expected unix:PATH or HOST:PORT");
+  }
+  out.host = spec.substr(0, colon);
+  if (out.host.empty()) out.host = "127.0.0.1";
+  const std::string port_str = spec.substr(colon + 1);
+  if (port_str.empty() ||
+      port_str.find_first_not_of("0123456789") != std::string::npos) {
+    throw InvalidInput("node spec '" + spec + "': bad port '" + port_str +
+                       "'");
+  }
+  const unsigned long port = std::stoul(port_str);
+  if (port == 0 || port > 65535) {
+    throw InvalidInput("node spec '" + spec + "': port out of range");
+  }
+  out.port = static_cast<std::uint16_t>(port);
+  return out;
+}
+
+NodePool::Lease::~Lease() {
+  if (client_ && !discarded_) pool_->give_back(std::move(client_));
+}
+
+NodePool::Lease NodePool::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      std::unique_ptr<service::Client> client = std::move(idle_.back());
+      idle_.pop_back();
+      return Lease(this, std::move(client));
+    }
+  }
+  return Lease(this, dial());
+}
+
+void NodePool::invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.clear();
+}
+
+std::string NodePool::node_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return node_id_;
+}
+
+void NodePool::give_back(std::unique_ptr<service::Client> client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idle_.size() < opts_.max_idle) idle_.push_back(std::move(client));
+}
+
+std::unique_ptr<service::Client> NodePool::dial() {
+  service::ClientDeadlines deadlines{opts_.connect_timeout_ms,
+                                     opts_.io_timeout_ms};
+  std::unique_ptr<service::Client> client;
+  try {
+    if (addr_.is_unix) {
+      client = std::make_unique<service::Client>(
+          service::Client::connect_unix(addr_.path, deadlines));
+    } else {
+      client = std::make_unique<service::Client>(
+          service::Client::connect_tcp(addr_.host, addr_.port, deadlines));
+    }
+  } catch (const InvalidInput& e) {
+    throw ClusterError("connect", addr_.spec + ": " + e.what());
+  }
+
+  // Handshake: ping, require ok + our protocol version.  The handshake
+  // deliberately uses the pool's (short) io deadline even when check
+  // traffic later runs unbounded — a node that cannot answer a ping
+  // promptly is not a node we want in rotation.
+  std::string reply;
+  try {
+    reply = client->call("{\"op\": \"ping\", \"id\": \"hs\"}");
+  } catch (const InvalidInput& e) {
+    throw ClusterError("io", addr_.spec + ": handshake: " + e.what());
+  }
+  try {
+    const json::Value doc = json::parse(reply);
+    if (!doc.at("ok").as_bool()) {
+      throw InvalidInput("handshake ping answered ok:false");
+    }
+    const std::uint64_t proto = doc.at("proto").as_u64();
+    if (proto != service::kProtocolVersion) {
+      throw ClusterError(
+          "proto_mismatch",
+          addr_.spec + ": node speaks proto " + std::to_string(proto) +
+              ", router speaks " +
+              std::to_string(service::kProtocolVersion));
+    }
+    if (const json::Value* node = doc.find("node")) {
+      std::lock_guard<std::mutex> lock(mu_);
+      node_id_ = node->as_string();
+    }
+  } catch (const ClusterError&) {
+    throw;
+  } catch (const InvalidInput& e) {
+    throw ClusterError("proto_mismatch", addr_.spec +
+                                             ": unversioned or malformed "
+                                             "handshake reply: " +
+                                             e.what());
+  }
+  return client;
+}
+
+}  // namespace ssm::cluster

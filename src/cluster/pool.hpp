@@ -1,0 +1,118 @@
+// Pooled, protocol-verified connections to one backend `ssm serve` node.
+//
+// A pool dial is a bounded non-blocking connect (service::Client
+// deadlines) followed by a `ping` handshake: the node must answer ok with
+// `"proto"` equal to our service::kProtocolVersion, or the connection is
+// rejected with a typed `proto_mismatch` error and never enters the pool
+// — a mixed-version ring fails fast at connect time instead of
+// corrupting frames mid-request (docs/CLUSTER.md).  The handshake also
+// learns the node's `--node-id`, which the router reports in health
+// transitions and stats aggregation.
+//
+// Leases are RAII: a connection returns to the idle pool on destruction
+// unless the holder discard()s it (any I/O error mid-request makes the
+// connection's framing state untrusted — always discard on throw).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "service/client.hpp"
+
+namespace ssm::cluster {
+
+/// A typed pool/transport failure.  `type()` is one of "connect" (dial or
+/// resolve failed / timed out), "io" (an established connection died or
+/// hit its deadline), "proto_mismatch" (handshake version disagreement —
+/// permanent until the node is upgraded, so the router logs it loudly and
+/// keeps the node out of rotation).
+class ClusterError : public InvalidInput {
+ public:
+  ClusterError(std::string type, const std::string& message)
+      : InvalidInput(message), type_(std::move(type)) {}
+  [[nodiscard]] const std::string& type() const noexcept { return type_; }
+
+ private:
+  std::string type_;
+};
+
+/// A backend address spec: "unix:PATH" or "HOST:PORT" (bare ":PORT" =
+/// 127.0.0.1).  The spec string itself is the node's ring identity.
+struct NodeAddress {
+  std::string spec;  ///< the original spec (ring identity)
+  bool is_unix = false;
+  std::string path;  ///< unix socket path when is_unix
+  std::string host;  ///< tcp host otherwise
+  std::uint16_t port = 0;
+
+  /// Parses a spec; throws InvalidInput on malformed input (bad port,
+  /// empty path/host).
+  [[nodiscard]] static NodeAddress parse(const std::string& spec);
+};
+
+struct PoolOptions {
+  std::uint32_t connect_timeout_ms = 2000;
+  std::uint32_t io_timeout_ms = 0;  ///< 0 = unbounded (solves can be slow)
+  std::size_t max_idle = 4;         ///< idle connections kept per node
+};
+
+class NodePool {
+ public:
+  NodePool(NodeAddress addr, PoolOptions opts)
+      : addr_(std::move(addr)), opts_(opts) {}
+
+  /// An exclusive connection lease.  Movable; returns the connection to
+  /// the pool on destruction unless discard()ed.
+  class Lease {
+   public:
+    Lease(Lease&&) noexcept = default;
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    [[nodiscard]] service::Client& client() { return *client_; }
+    /// Drops the connection instead of returning it (call after any
+    /// transport error — the stream position is no longer trustworthy).
+    void discard() noexcept { discarded_ = true; }
+
+   private:
+    friend class NodePool;
+    Lease(NodePool* pool, std::unique_ptr<service::Client> client)
+        : pool_(pool), client_(std::move(client)) {}
+    NodePool* pool_;
+    std::unique_ptr<service::Client> client_;
+    bool discarded_ = false;
+  };
+
+  /// Pops an idle connection, or dials + handshakes a fresh one.  Throws
+  /// ClusterError ("connect" | "io" | "proto_mismatch").
+  [[nodiscard]] Lease acquire();
+
+  /// Drops every idle connection (node marked down — anything pooled may
+  /// be a dead socket).
+  void invalidate();
+
+  [[nodiscard]] const NodeAddress& address() const noexcept { return addr_; }
+  /// The node's self-reported id from the last successful handshake
+  /// (empty before the first one).
+  [[nodiscard]] std::string node_id() const;
+
+ private:
+  friend class Lease;
+  void give_back(std::unique_ptr<service::Client> client);
+  [[nodiscard]] std::unique_ptr<service::Client> dial();
+
+  NodeAddress addr_;
+  PoolOptions opts_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<service::Client>> idle_;
+  std::string node_id_;
+};
+
+}  // namespace ssm::cluster

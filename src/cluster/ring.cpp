@@ -1,0 +1,60 @@
+#include "cluster/ring.hpp"
+
+#include <algorithm>
+
+#include "common/types.hpp"
+#include "service/cache.hpp"
+
+namespace ssm::cluster {
+
+HashRing::HashRing(std::vector<std::string> nodes, std::size_t vnodes)
+    : nodes_(std::move(nodes)) {
+  if (nodes_.empty()) throw InvalidInput("hash ring needs at least one node");
+  if (vnodes == 0) throw InvalidInput("hash ring needs at least one vnode");
+  points_.reserve(nodes_.size() * vnodes);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    for (std::size_t i = 0; i < vnodes; ++i) {
+      const std::string label = nodes_[n] + "#" + std::to_string(i);
+      points_.push_back(
+          {service::fnv1a64(label), static_cast<std::uint32_t>(n)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const VNode& a, const VNode& b) {
+    return a.point != b.point ? a.point < b.point : a.node < b.node;
+  });
+}
+
+std::vector<std::size_t> HashRing::candidates(std::uint64_t hash) const {
+  std::vector<std::size_t> order;
+  order.reserve(nodes_.size());
+  std::vector<bool> seen(nodes_.size(), false);
+  const auto start = std::lower_bound(
+      points_.begin(), points_.end(), hash,
+      [](const VNode& v, std::uint64_t h) { return v.point < h; });
+  const std::size_t begin =
+      static_cast<std::size_t>(start - points_.begin()) % points_.size();
+  for (std::size_t k = 0; k < points_.size() && order.size() < nodes_.size();
+       ++k) {
+    const std::uint32_t n = points_[(begin + k) % points_.size()].node;
+    if (!seen[n]) {
+      seen[n] = true;
+      order.push_back(n);
+    }
+  }
+  return order;
+}
+
+std::size_t HashRing::owner(std::uint64_t hash) const {
+  const auto start = std::lower_bound(
+      points_.begin(), points_.end(), hash,
+      [](const VNode& v, std::uint64_t h) { return v.point < h; });
+  const std::size_t begin =
+      static_cast<std::size_t>(start - points_.begin()) % points_.size();
+  return points_[begin].node;
+}
+
+std::uint64_t HashRing::key_hash(std::string_view canonical_key) noexcept {
+  return service::fnv1a64(canonical_key);
+}
+
+}  // namespace ssm::cluster

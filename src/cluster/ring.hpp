@@ -1,0 +1,60 @@
+// Consistent-hash ring over `ssm serve` nodes, keyed on the canonical
+// litmus key — the same isomorphism-class representative that keys the
+// verdict cache (litmus/canonical.hpp).  Every class has one home node,
+// so a warm cache survives scale-out: adding or removing a node remaps
+// only the key ranges adjacent to its own vnode points, never reshuffles
+// the whole space (docs/CLUSTER.md).
+//
+// The ring is a fixed membership list; liveness is layered on top by the
+// router, which resolves a key to the FIRST LIVE entry of candidates().
+// That makes failover a pure function of (ring, up-set): when a node
+// dies, exactly its own key ranges slide to their ring successors, and
+// they slide back when it returns — the rebalancing property the unit
+// tests pin down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssm::cluster {
+
+class HashRing {
+ public:
+  /// Builds the ring: `vnodes` points per node, point i of node n at
+  /// fnv1a64("<n>#<i>").  Node order in `nodes` is preserved for
+  /// indexing; ring order is independent of it (ties broken by index, so
+  /// two routers given the same membership agree on every assignment).
+  explicit HashRing(std::vector<std::string> nodes, std::size_t vnodes = 64);
+
+  /// All node indices in ring order starting at the owner of `hash`:
+  /// element 0 is the home node, element k the k-th failover successor.
+  /// Always a permutation of [0, size()).
+  [[nodiscard]] std::vector<std::size_t> candidates(std::uint64_t hash) const;
+
+  /// candidates(hash)[0] without materializing the rest.
+  [[nodiscard]] std::size_t owner(std::uint64_t hash) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const std::string& node(std::size_t i) const {
+    return nodes_[i];
+  }
+
+  /// The routing hash of a canonical litmus key (fnv1a64 — matches the
+  /// verdict cache's content-address hash family).
+  [[nodiscard]] static std::uint64_t key_hash(
+      std::string_view canonical_key) noexcept;
+
+ private:
+  struct VNode {
+    std::uint64_t point;
+    std::uint32_t node;
+  };
+
+  std::vector<std::string> nodes_;
+  std::vector<VNode> points_;  ///< sorted by (point, node)
+};
+
+}  // namespace ssm::cluster

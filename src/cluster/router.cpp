@@ -1,0 +1,773 @@
+#include "cluster/router.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "common/types.hpp"
+#include "litmus/canonical.hpp"
+#include "litmus/parser.hpp"
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+
+namespace ssm::cluster {
+
+namespace json = common::json;
+namespace metrics = common::metrics;
+using service::serialize_error;
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw InvalidInput(what + ": " + std::strerror(errno));
+}
+
+metrics::Counter& routed_counter() {
+  static auto& c = metrics::Registry::global().counter("cluster.routed");
+  return c;
+}
+metrics::Counter& retries_counter() {
+  static auto& c = metrics::Registry::global().counter("cluster.retries");
+  return c;
+}
+metrics::Counter& failovers_counter() {
+  static auto& c = metrics::Registry::global().counter("cluster.failovers");
+  return c;
+}
+metrics::Counter& shipped_counter() {
+  static auto& c =
+      metrics::Registry::global().counter("cluster.shipped_records");
+  return c;
+}
+metrics::Gauge& nodes_up_gauge() {
+  static auto& g = metrics::Registry::global().gauge("cluster.nodes_up");
+  return g;
+}
+metrics::Histogram& backoff_histogram() {
+  static auto& h = metrics::Registry::global().histogram("cluster.backoff_ms");
+  return h;
+}
+
+/// The routing hash of a check: the canonical key of its program — the
+/// SAME representative the verdict cache keys on, so every member of an
+/// isomorphism class lands on the one node that has its verdict warm.
+/// An unparseable program hashes its raw text; the home node then owns
+/// producing the contract's `bad_request` (the router never duplicates
+/// the parser's error surface).
+std::uint64_t routing_hash(const std::string& program) {
+  try {
+    return HashRing::key_hash(
+        litmus::canonicalize(litmus::parse_test(program)).key);
+  } catch (const InvalidInput&) {
+    return service::fnv1a64(program);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Internal structs
+
+struct Router::Node {
+  Node(NodeAddress addr, PoolOptions opts) : pool(std::move(addr), opts) {}
+  NodePool pool;
+  std::atomic<bool> up{false};
+};
+
+struct Router::RouteElem {
+  std::size_t index = 0;  ///< position in the client frame
+  std::string id;
+  std::string wire;  ///< serialize_request bytes ('\n'-terminated)
+  std::uint64_t hash = 0;
+  std::uint32_t attempts = 0;
+  std::string fail_type = "overloaded";
+  std::string fail_msg = "no live backend for key";
+  std::string response;  ///< final frame ('\n'-terminated) once done
+  bool done = false;
+};
+
+/// Buffered NDJSON framing over an accepted client fd.  Mirrors the
+/// single-node server's oversize handling: a frame exceeding the cap is
+/// answered with a parse_error and discarded up to its terminator.
+struct Router::ConnIo {
+  int fd;
+  std::size_t cap;
+  std::string buf;
+  bool discarding = false;
+
+  /// nullopt on EOF (clean or mid-frame — a router has nothing to
+  /// salvage from a truncated request).  `oversize` is set instead of a
+  /// frame when the cap tripped.
+  std::optional<std::string> read_frame(bool& oversize) {
+    oversize = false;
+    for (;;) {
+      const std::size_t pos = buf.find('\n');
+      if (pos != std::string::npos) {
+        std::string frame = buf.substr(0, pos);
+        buf.erase(0, pos + 1);
+        if (discarding) {
+          discarding = false;
+          continue;  // tail of an oversize frame — swallow
+        }
+        return frame;
+      }
+      if (!discarding && buf.size() > cap) {
+        buf.clear();
+        discarding = true;
+        oversize = true;
+        return std::string();
+      }
+      if (discarding) buf.clear();
+      char chunk[8192];
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return std::nullopt;
+      }
+      if (n == 0) return std::nullopt;
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  [[nodiscard]] bool send_all(std::string_view s) noexcept {
+    std::size_t off = 0;
+    while (off < s.size()) {
+      const ssize_t n =
+          ::send(fd, s.data() + off, s.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+Router::Router(RouterOptions options) : options_(std::move(options)) {}
+
+Router::~Router() {
+  begin_drain();
+  wait();
+}
+
+void Router::start() {
+  if (options_.nodes.empty()) {
+    throw InvalidInput("router needs at least one backend node");
+  }
+  if (options_.router_id.empty()) {
+    options_.router_id = "route-" + std::to_string(::getpid());
+  }
+  PoolOptions pool_opts;
+  pool_opts.connect_timeout_ms = options_.connect_timeout_ms;
+  pool_opts.io_timeout_ms = options_.io_timeout_ms;
+  nodes_.reserve(options_.nodes.size());
+  for (const std::string& spec : options_.nodes) {
+    nodes_.push_back(
+        std::make_unique<Node>(NodeAddress::parse(spec), pool_opts));
+  }
+  ring_ = std::make_unique<HashRing>(options_.nodes, options_.vnodes);
+
+  if (!options_.ship_dir.empty()) {
+    std::size_t skipped = 0;
+    ship_set_ = load_ship_dir(options_.ship_dir, &skipped);
+    if (!options_.quiet && skipped > 0) {
+      std::fprintf(stderr, "ssm route: skipped %zu undecodable records in %s\n",
+                   skipped, options_.ship_dir.c_str());
+    }
+  }
+  if (!options_.ship_corpus.empty()) {
+    std::vector<ShipItem> corpus = load_ship_corpus(options_.ship_corpus);
+    ship_set_.insert(ship_set_.end(),
+                     std::make_move_iterator(corpus.begin()),
+                     std::make_move_iterator(corpus.end()));
+  }
+
+  // Bind the client-facing socket (same shapes as ServerOptions).
+  if (!options_.unix_socket.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket.size() >= sizeof addr.sun_path) {
+      throw InvalidInput("unix socket path too long: " + options_.unix_socket);
+    }
+    std::memcpy(addr.sun_path, options_.unix_socket.c_str(),
+                options_.unix_socket.size() + 1);
+    ::unlink(options_.unix_socket.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      throw_errno("bind " + options_.unix_socket);
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.tcp_port);
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      throw_errno("bind 127.0.0.1:" + std::to_string(options_.tcp_port));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd_, 128) != 0) throw_errno("listen");
+
+  // One synchronous probe+ship round before accepting: nodes that are
+  // already alive enter rotation warm, so the very first client request
+  // routes normally.  Late joiners are picked up by the health thread.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) probe_node(i);
+
+  if (!options_.quiet) {
+    std::size_t up = 0;
+    for (const auto& n : nodes_) up += n->up.load() ? 1 : 0;
+    std::fprintf(stderr,
+                 "ssm route: listening (%zu/%zu nodes up, warm set %zu)\n", up,
+                 nodes_.size(), ship_set_.size());
+  }
+  accept_thread_ = std::thread(&Router::accept_main, this);
+  health_thread_ = std::thread(&Router::health_main, this);
+}
+
+void Router::begin_drain() noexcept {
+  if (!drain_.exchange(true, std::memory_order_acq_rel)) {
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+}
+
+void Router::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (health_thread_.joinable()) health_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (!options_.unix_socket.empty()) {
+      ::unlink(options_.unix_socket.c_str());
+    }
+  }
+}
+
+std::size_t Router::node_count() const noexcept { return nodes_.size(); }
+
+bool Router::node_up(std::size_t i) const noexcept {
+  return i < nodes_.size() && nodes_[i]->up.load(std::memory_order_acquire);
+}
+
+const std::string& Router::node_spec(std::size_t i) const {
+  return nodes_[i]->pool.address().spec;
+}
+
+std::size_t Router::ship_set_size() const noexcept { return ship_set_.size(); }
+
+// ---------------------------------------------------------------------------
+// Frontend
+
+void Router::accept_main() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down (drain) or fatal
+    }
+    if (draining()) {
+      ::close(fd);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fds_.push_back(fd);
+    }
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    conn_threads_.emplace_back(&Router::handle_connection, this, fd);
+  }
+}
+
+void Router::handle_connection(int fd) {
+  ConnIo io{fd, options_.max_frame_bytes, {}, false};
+
+  // A trace session pins its connection-shaped server state to one node:
+  // the stream's chunks must all land on the same TraceSession, so they
+  // travel on one dedicated backend connection for the session lifetime.
+  struct TraceSession {
+    std::size_t node;
+    std::unique_ptr<NodePool::Lease> lease;
+  };
+  std::optional<TraceSession> session;
+
+  auto handle_trace = [&](const service::Request& req) -> std::string {
+    using Phase = service::TraceRequest::Phase;
+    if (!session) {
+      if (req.trace.phase != Phase::Begin) {
+        return serialize_error(req.id, "bad_request",
+                               "no active trace session (begin first)");
+      }
+      const std::uint64_t hash = service::fnv1a64(req.trace.header_line);
+      std::optional<std::size_t> target;
+      for (std::size_t c : ring_->candidates(hash)) {
+        if (node_up(c)) {
+          target = c;
+          break;
+        }
+      }
+      if (!target) {
+        return serialize_error(req.id, "overloaded",
+                               "no live backend for trace session");
+      }
+      try {
+        session = TraceSession{
+            *target,
+            std::make_unique<NodePool::Lease>(nodes_[*target]->pool.acquire())};
+      } catch (const ClusterError& e) {
+        mark_down(*target, e.type().c_str());
+        return serialize_error(req.id, "overloaded",
+                               std::string("trace backend unavailable: ") +
+                                   e.what());
+      }
+    }
+    // Forward on the pinned connection.  Stateful streams cannot
+    // transparently fail over — a dead node mid-session is a typed error
+    // and the session is gone (docs/CLUSTER.md#traces).
+    try {
+      const std::string reply =
+          session->lease->client().call(service::serialize_request(req));
+      if (req.trace.phase == Phase::End) session.reset();  // lease pools
+      return reply + "\n";
+    } catch (const InvalidInput& e) {
+      const std::size_t node = session->node;
+      session->lease->discard();
+      session.reset();
+      mark_down(node, "trace io");
+      return serialize_error(
+          req.id, "internal",
+          std::string("trace backend died mid-session: ") + e.what());
+    }
+  };
+
+  bool oversize = false;
+  std::optional<std::string> frame;
+  while ((frame = io.read_frame(oversize))) {
+    if (oversize) {
+      if (!io.send_all(serialize_error(
+              "", "parse_error",
+              "frame exceeds max_frame_bytes (" +
+                  std::to_string(options_.max_frame_bytes) + ")"))) {
+        break;
+      }
+      continue;
+    }
+    std::vector<service::FrameItem> items;
+    try {
+      items = service::parse_frame(*frame);
+    } catch (const service::ProtocolError& e) {
+      if (!io.send_all(serialize_error(e.id(), e.type(), e.what()))) break;
+      continue;
+    }
+
+    std::vector<std::string> responses(items.size());
+    std::vector<RouteElem> elems;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      service::FrameItem& item = items[i];
+      if (!item.ok) {
+        responses[i] =
+            serialize_error(item.error_id, item.error_type, item.error_message);
+        continue;
+      }
+      service::Request& req = item.request;
+      switch (req.op) {
+        case service::Request::Op::Ping:
+          responses[i] = service::serialize_pong(req.id, options_.router_id);
+          break;
+        case service::Request::Op::Stats:
+          responses[i] = aggregate_stats(req.id);
+          break;
+        case service::Request::Op::Shutdown:
+          // Drains the ROUTER only; backend nodes have their own drain
+          // lifecycle (they may serve other routers or direct clients).
+          begin_drain();
+          responses[i] = service::serialize_drain_ack(req.id);
+          break;
+        case service::Request::Op::Trace:
+          responses[i] = draining()
+                             ? serialize_error(req.id, "draining",
+                                               "router draining")
+                             : handle_trace(req);
+          break;
+        case service::Request::Op::Check: {
+          if (draining()) {
+            responses[i] =
+                serialize_error(req.id, "draining", "router draining");
+            break;
+          }
+          RouteElem e;
+          e.index = i;
+          e.id = req.id;
+          e.wire = service::serialize_request(req);
+          e.hash = routing_hash(req.check.program);
+          elems.push_back(std::move(e));
+          break;
+        }
+      }
+    }
+    if (!elems.empty()) {
+      route_elems(elems);
+      for (RouteElem& e : elems) responses[e.index] = std::move(e.response);
+    }
+    std::string out;
+    for (const std::string& r : responses) out += r;
+    if (!io.send_all(out)) break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
+      if (*it == fd) {
+        conn_fds_.erase(it);
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Routing core
+
+std::uint32_t Router::backoff_delay_ms(std::uint64_t hash,
+                                       std::uint32_t attempt) const {
+  const std::uint32_t shift = attempt > 10 ? 10 : attempt;
+  std::uint64_t delay =
+      static_cast<std::uint64_t>(options_.backoff_base_ms) << shift;
+  if (delay > options_.backoff_cap_ms) delay = options_.backoff_cap_ms;
+  // Deterministic jitter in [0, base): keyed on (hash, attempt) so a
+  // replayed workload backs off identically — reproducibility is part of
+  // this tree's contract, even for failure timing.
+  const std::string seed =
+      std::to_string(hash) + ":" + std::to_string(attempt);
+  const std::uint32_t base =
+      options_.backoff_base_ms == 0 ? 1 : options_.backoff_base_ms;
+  return static_cast<std::uint32_t>(delay + service::fnv1a64(seed) % base);
+}
+
+void Router::route_elems(std::vector<RouteElem>& elems) {
+  struct Dispatch {
+    std::size_t node;
+    std::vector<RouteElem*> elems;
+    std::optional<NodePool::Lease> lease;
+  };
+
+  std::vector<RouteElem*> pending;
+  pending.reserve(elems.size());
+  for (RouteElem& e : elems) pending.push_back(&e);
+
+  std::uint32_t round = 0;
+  while (!pending.empty()) {
+    if (round > 0) {
+      // Between-rounds backoff: capped exponential + deterministic
+      // jitter.  One sleep per round (the round's elements share it).
+      const std::uint32_t delay = backoff_delay_ms(pending[0]->hash, round);
+      backoff_histogram().observe(delay);
+      retries_counter().add(pending.size());
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    ++round;
+
+    // Assign every pending element to the first LIVE candidate on its
+    // ring walk; exhausted or unroutable elements finalize as errors.
+    std::map<std::size_t, std::vector<RouteElem*>> groups;
+    for (RouteElem* e : pending) {
+      if (e->attempts >= options_.max_attempts) {
+        e->response = serialize_error(e->id, e->fail_type, e->fail_msg);
+        e->done = true;
+        continue;
+      }
+      std::optional<std::size_t> target;
+      for (std::size_t c : ring_->candidates(e->hash)) {
+        if (node_up(c)) {
+          target = c;
+          break;
+        }
+      }
+      if (!target) {
+        e->response = serialize_error(e->id, "overloaded",
+                                      "no live backend (all nodes down)");
+        e->done = true;
+        continue;
+      }
+      e->attempts++;
+      groups[*target].push_back(e);
+    }
+    std::vector<RouteElem*> retry;
+
+    // Send phase first, THEN read phase: every node is already solving
+    // its sub-batch while we read the first one's responses.
+    std::vector<Dispatch> dispatches;
+    dispatches.reserve(groups.size());
+    for (auto& [node, group] : groups) {
+      Dispatch d;
+      d.node = node;
+      d.elems = std::move(group);
+      std::string sub;
+      if (d.elems.size() == 1) {
+        sub = d.elems[0]->wire;
+      } else {
+        sub = "[";
+        for (std::size_t i = 0; i < d.elems.size(); ++i) {
+          if (i > 0) sub += ", ";
+          std::string_view w = d.elems[i]->wire;
+          w.remove_suffix(1);  // '\n'
+          sub += w;
+        }
+        sub += "]\n";
+      }
+      try {
+        d.lease.emplace(nodes_[d.node]->pool.acquire());
+        d.lease->client().send_frame(sub);
+        dispatches.push_back(std::move(d));
+      } catch (const InvalidInput& e) {
+        if (d.lease) d.lease->discard();
+        mark_down(d.node, e.what());
+        failovers_counter().add(d.elems.size());
+        for (RouteElem* el : d.elems) {
+          el->fail_type = "overloaded";
+          el->fail_msg = "backend " + nodes_[d.node]->pool.address().spec +
+                         " unreachable: " + e.what();
+          retry.push_back(el);
+        }
+      }
+    }
+
+    for (Dispatch& d : dispatches) {
+      std::size_t answered = 0;
+      try {
+        for (; answered < d.elems.size(); ++answered) {
+          RouteElem* e = d.elems[answered];
+          auto reply = d.lease->client().read_frame();
+          if (!reply) throw InvalidInput("backend closed the connection");
+          const json::Value doc = json::parse(*reply);
+          if (doc.at("ok").as_bool()) {
+            e->response = *reply + "\n";
+            e->done = true;
+            routed_counter().add(1);
+            continue;
+          }
+          const std::string& type = doc.at("error").at("type").as_string();
+          if (type == "overloaded") {
+            // Transient pressure: same node again after backoff (the
+            // node stays the first live candidate).
+            e->fail_type = "overloaded";
+            e->fail_msg = *reply;
+            retry.push_back(e);
+          } else if (type == "draining") {
+            // The node is leaving: take it out of rotation NOW so this
+            // and every later element re-routes to the ring successor.
+            mark_down(d.node, "draining");
+            failovers_counter().add(1);
+            e->fail_type = "draining";
+            e->fail_msg = "backend " + nodes_[d.node]->pool.address().spec +
+                          " draining";
+            retry.push_back(e);
+          } else {
+            // Typed application error (bad_request, internal): the
+            // verdict of the contract, forwarded verbatim in position.
+            e->response = *reply + "\n";
+            e->done = true;
+          }
+        }
+      } catch (const InvalidInput& err) {
+        // Transport death mid-sub-batch: answered elements are final
+        // (checks are pure, so no answered work is lost or redone);
+        // everything unanswered fails over.
+        d.lease->discard();
+        mark_down(d.node, err.what());
+        failovers_counter().add(d.elems.size() - answered);
+        for (std::size_t i = answered; i < d.elems.size(); ++i) {
+          RouteElem* e = d.elems[i];
+          e->fail_type = "overloaded";
+          e->fail_msg = "backend " + nodes_[d.node]->pool.address().spec +
+                        " died mid-batch: " + err.what();
+          retry.push_back(e);
+        }
+      }
+    }
+    pending = std::move(retry);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Health + shipping
+
+void Router::mark_down(std::size_t i, const char* why) {
+  if (nodes_[i]->up.exchange(false, std::memory_order_acq_rel)) {
+    nodes_[i]->pool.invalidate();
+    std::int64_t up = 0;
+    for (const auto& n : nodes_) up += n->up.load() ? 1 : 0;
+    nodes_up_gauge().set(up);
+    if (!options_.quiet) {
+      std::fprintf(stderr, "ssm route: node down %s (%s)\n",
+                   nodes_[i]->pool.address().spec.c_str(), why);
+    }
+  }
+}
+
+bool Router::ship_slice(std::size_t i) {
+  // The slice is membership-keyed (ring owner, ignoring liveness): a
+  // recovering node gets exactly the keys that were ALWAYS its home —
+  // the ones that failed over away while it was dead and are about to
+  // come back.
+  std::vector<const ShipItem*> slice;
+  for (const ShipItem& item : ship_set_) {
+    if (ring_->owner(item.hash) == i) slice.push_back(&item);
+  }
+  if (slice.empty()) return true;
+  std::size_t shipped = 0;
+  try {
+    auto lease = nodes_[i]->pool.acquire();
+    try {
+      // Pipelined replay: the node coalesces and answers in order.
+      for (std::size_t s = 0; s < slice.size(); ++s) {
+        lease.client().send_frame(ship_frame(*slice[s], s));
+      }
+      for (std::size_t s = 0; s < slice.size(); ++s) {
+        auto reply = lease.client().read_frame();
+        if (!reply) throw InvalidInput("backend closed during shipping");
+        const json::Value doc = json::parse(*reply);
+        if (doc.at("ok").as_bool()) ++shipped;
+      }
+    } catch (...) {
+      lease.discard();
+      throw;
+    }
+  } catch (const InvalidInput& e) {
+    if (!options_.quiet) {
+      std::fprintf(stderr, "ssm route: shipping to %s failed: %s\n",
+                   nodes_[i]->pool.address().spec.c_str(), e.what());
+    }
+    return false;
+  }
+  shipped_counter().add(shipped);
+  if (!options_.quiet) {
+    std::fprintf(stderr, "ssm route: shipped %zu/%zu records to %s\n", shipped,
+                 slice.size(), nodes_[i]->pool.address().spec.c_str());
+  }
+  return true;
+}
+
+void Router::probe_node(std::size_t i) {
+  try {
+    auto lease = nodes_[i]->pool.acquire();
+    try {
+      (void)lease.client().call("{\"op\": \"ping\", \"id\": \"probe\"}");
+    } catch (...) {
+      lease.discard();
+      throw;
+    }
+  } catch (const ClusterError& e) {
+    mark_down(i, e.type().c_str());
+    return;
+  } catch (const InvalidInput& e) {
+    mark_down(i, e.what());
+    return;
+  }
+  if (!nodes_[i]->up.load(std::memory_order_acquire)) {
+    // down→up: ship the node's home slice BEFORE it re-enters rotation,
+    // so a recovered node is warm from its very first routed request.
+    // A failed ship keeps it down; the next probe retries.
+    if (!ship_slice(i)) return;
+    nodes_[i]->up.store(true, std::memory_order_release);
+    std::int64_t up = 0;
+    for (const auto& n : nodes_) up += n->up.load() ? 1 : 0;
+    nodes_up_gauge().set(up);
+    if (!options_.quiet) {
+      std::fprintf(stderr, "ssm route: node up %s (%s)\n",
+                   nodes_[i]->pool.address().spec.c_str(),
+                   nodes_[i]->pool.node_id().c_str());
+    }
+  }
+}
+
+void Router::health_main() {
+  using Clock = std::chrono::steady_clock;
+  auto next = Clock::now() + std::chrono::milliseconds(options_.probe_interval_ms);
+  while (!draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (Clock::now() < next) continue;
+    for (std::size_t i = 0; i < nodes_.size() && !draining(); ++i) {
+      probe_node(i);
+    }
+    next = Clock::now() + std::chrono::milliseconds(options_.probe_interval_ms);
+  }
+  // Drain teardown: wake every connection handler; they finish the frame
+  // in hand (its responses flush) and exit on the next read.
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+}
+
+// ---------------------------------------------------------------------------
+// Stats aggregation
+
+std::string Router::aggregate_stats(const std::string& id) {
+  std::string out = "{\"id\": ";
+  json::append_quoted(out, id);
+  out += ", \"ok\": true, \"node\": ";
+  json::append_quoted(out, options_.router_id);
+  out += ", \"proto\": " + std::to_string(service::kProtocolVersion);
+  out += ", \"nodes\": [";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (!node_up(i)) {
+      out += "{\"spec\": ";
+      json::append_quoted(out, nodes_[i]->pool.address().spec);
+      out += ", \"up\": false}";
+      continue;
+    }
+    try {
+      auto lease = nodes_[i]->pool.acquire();
+      try {
+        out += lease.client().call("{\"op\": \"stats\", \"id\": \"agg\"}");
+      } catch (...) {
+        lease.discard();
+        throw;
+      }
+    } catch (const InvalidInput&) {
+      mark_down(i, "stats probe");
+      out += "{\"spec\": ";
+      json::append_quoted(out, nodes_[i]->pool.address().spec);
+      out += ", \"up\": false}";
+    }
+  }
+  // The router's own registry (cluster.* counters, backoff histogram).
+  out += "], \"stats\": ";
+  out += metrics::compact_global_snapshot();
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ssm::cluster

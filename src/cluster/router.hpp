@@ -1,0 +1,163 @@
+// `ssm route` — the cluster front-end (docs/CLUSTER.md).
+//
+// Speaks the exact single-node NDJSON contract to clients (same frames,
+// same batch semantics, same error taxonomy, responses strictly in
+// request order per connection) and fans each check out to its home
+// `ssm serve` node over the consistent-hash ring.  The preserved-contract
+// framing matters: verdicts are deterministic and checks are pure, so a
+// request may be retried or re-routed at will — the router exploits that
+// to hide node failure entirely.  What a client can observe through the
+// router is byte-for-byte what it would observe from one big node (the
+// bench pins the digest), except `meta`/`source`, which legitimately vary.
+//
+// Per client frame:
+//   * control ops answer locally: `ping` with the router's identity,
+//     `shutdown` drains the router (never the nodes), `stats` aggregates
+//     every live node's stats under the router's own;
+//   * batch frames split into one sub-batch per home node, dispatched
+//     concurrently over pooled connections, responses reassembled in
+//     original array order;
+//   * `trace` sessions pin to the header's home node on a dedicated
+//     connection for the session's lifetime (stateful streams cannot
+//     transparently fail over — a mid-session node death is a typed
+//     `internal` error).
+//
+// Failure policy, per element:
+//   * `overloaded`  → same node again after capped exponential backoff
+//                     with deterministic jitter (hash- and attempt-keyed,
+//                     so replays are reproducible);
+//   * `draining` / connect refused / dead or timed-out socket
+//                  → node marked down, element re-routed to the ring
+//                     successor (cluster.failovers);
+//   * attempts exhausted / no live candidate → the last typed error (or
+//     `overloaded` with a "no live backend" message) — never a hang,
+//     never a disconnect.
+//
+// A health thread probes every node each probe interval; a down→up
+// transition re-ships the node's home-keyed slice of the warm set
+// BEFORE the node re-enters rotation, so recovery never degrades the
+// warm hit rate (ship.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/pool.hpp"
+#include "cluster/ring.hpp"
+#include "cluster/ship.hpp"
+
+namespace ssm::cluster {
+
+struct RouterOptions {
+  /// Bind address, same shape as ServerOptions: unix socket path, or
+  /// (when empty) 127.0.0.1 TCP on tcp_port (0 = kernel-assigned).
+  std::string unix_socket;
+  std::uint16_t tcp_port = 0;
+  bool use_tcp = false;
+
+  /// Backend membership: "unix:PATH" | "HOST:PORT" specs.  Fixed for the
+  /// router's lifetime; liveness is probed, membership is not discovered.
+  std::vector<std::string> nodes;
+  std::size_t vnodes = 64;
+
+  /// Retry policy: per-element dispatch cap, and the backoff curve
+  /// delay(a) = min(cap, base * 2^a) + jitter(hash, a) applied between
+  /// rounds (jitter in [0, base), from fnv1a — deterministic).
+  std::uint32_t max_attempts = 6;
+  std::uint32_t backoff_base_ms = 10;
+  std::uint32_t backoff_cap_ms = 500;
+
+  std::uint32_t probe_interval_ms = 200;
+  std::uint32_t connect_timeout_ms = 2000;
+  std::uint32_t io_timeout_ms = 0;  ///< per-I/O cap to nodes; 0 = unbounded
+
+  /// Warm set sources (both optional, combinable): a `--cache-dir` of
+  /// persisted verdict records, and/or a .litmus corpus directory.
+  std::string ship_dir;
+  std::string ship_corpus;
+
+  std::string router_id;  ///< identity in ping/stats (default route-<pid>)
+  std::size_t max_frame_bytes = 4u << 20;
+  bool quiet = false;  ///< suppress stderr progress lines (tests)
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Loads the warm set, binds, runs one synchronous probe+ship round
+  /// over all nodes, then starts the accept and health threads.  Throws
+  /// InvalidInput on bind/config failure.
+  void start();
+
+  /// Requests a graceful drain (async-signal-safe: atomic flag + a
+  /// shutdown() on the listen fd; the health thread tears down client
+  /// connections within one poll tick).
+  void begin_drain() noexcept;
+
+  /// Blocks until drained: accept loop closed, every in-flight frame
+  /// answered, all threads joined.
+  void wait();
+
+  [[nodiscard]] bool draining() const noexcept {
+    return drain_.load(std::memory_order_acquire);
+  }
+
+  /// Bound TCP port (after start(); 0 for unix-domain routers).
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+
+  [[nodiscard]] std::size_t node_count() const noexcept;
+  [[nodiscard]] bool node_up(std::size_t i) const noexcept;
+  [[nodiscard]] const std::string& node_spec(std::size_t i) const;
+  /// Ship-set size after start() (0 when no warm source configured).
+  [[nodiscard]] std::size_t ship_set_size() const noexcept;
+
+ private:
+  struct Node;
+  struct RouteElem;
+  struct ConnIo;
+
+  void accept_main();
+  void health_main();
+  void handle_connection(int fd);
+
+  /// One probe of node `i`; flips up/down state, ships on down→up.
+  void probe_node(std::size_t i);
+  void mark_down(std::size_t i, const char* why);
+  /// Ships node i's home slice of the warm set; true on success.
+  [[nodiscard]] bool ship_slice(std::size_t i);
+
+  /// Routes every element of one parsed frame; fills responses (indexed
+  /// like the frame items).  `session` is the connection's trace pin.
+  void route_elems(std::vector<RouteElem>& elems);
+  [[nodiscard]] std::string aggregate_stats(const std::string& id);
+  [[nodiscard]] std::uint32_t backoff_delay_ms(std::uint64_t hash,
+                                               std::uint32_t attempt) const;
+
+  RouterOptions options_;
+  std::unique_ptr<HashRing> ring_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<ShipItem> ship_set_;
+
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> drain_{false};
+
+  std::thread accept_thread_;
+  std::thread health_thread_;
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;  ///< live client fds (drain teardown)
+  std::vector<std::thread> conn_threads_;
+  std::mutex threads_mu_;
+};
+
+}  // namespace ssm::cluster

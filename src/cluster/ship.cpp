@@ -1,0 +1,113 @@
+#include "cluster/ship.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "cluster/ring.hpp"
+#include "common/json.hpp"
+#include "common/types.hpp"
+#include "litmus/canonical.hpp"
+#include "litmus/parser.hpp"
+#include "service/cache.hpp"
+
+namespace ssm::cluster {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Sorted directory listing by extension — deterministic ship order.
+std::vector<fs::path> list_files(const std::string& dir,
+                                 std::string_view ext) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw InvalidInput("ship source is not a directory: " + dir);
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ext) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::vector<ShipItem> finish(
+    std::map<std::string, std::vector<std::string>>&& by_program) {
+  std::vector<ShipItem> items;
+  items.reserve(by_program.size());
+  for (auto& [program, models] : by_program) {
+    ShipItem item;
+    item.program = program;
+    std::sort(models.begin(), models.end());
+    models.erase(std::unique(models.begin(), models.end()), models.end());
+    item.models = std::move(models);
+    item.hash = HashRing::key_hash(program);
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+}  // namespace
+
+std::vector<ShipItem> load_ship_dir(const std::string& dir,
+                                    std::size_t* skipped) {
+  // Keyed by canonical program; a record's `key.program` already IS the
+  // canonical representative (the cache canonicalizes before keying), so
+  // its text doubles as the routing key.
+  std::map<std::string, std::vector<std::string>> by_program;
+  std::size_t bad = 0;
+  for (const fs::path& file : list_files(dir, ".json")) {
+    const auto record = service::decode_record(slurp(file));
+    if (!record) {
+      ++bad;
+      continue;
+    }
+    by_program[record->first.program].push_back(record->first.model);
+  }
+  if (skipped != nullptr) *skipped = bad;
+  return finish(std::move(by_program));
+}
+
+std::vector<ShipItem> load_ship_corpus(const std::string& dir) {
+  std::map<std::string, std::vector<std::string>> by_program;
+  for (const fs::path& file : list_files(dir, ".litmus")) {
+    for (const auto& t : litmus::parse_suite(slurp(file))) {
+      // Empty model list = ship every registered model for the class.
+      by_program.emplace(litmus::canonical_key(t),
+                         std::vector<std::string>{});
+    }
+  }
+  return finish(std::move(by_program));
+}
+
+std::string ship_frame(const ShipItem& item, std::size_t seq) {
+  std::string frame = "{\"op\": \"check\", \"id\": \"ship-" +
+                      std::to_string(seq) + "\", \"program\": ";
+  common::json::append_quoted(frame, item.program);
+  if (!item.models.empty()) {
+    frame += ", \"models\": [";
+    bool first = true;
+    for (const std::string& m : item.models) {
+      if (!first) frame += ", ";
+      first = false;
+      common::json::append_quoted(frame, m);
+    }
+    frame += ']';
+  }
+  frame += "}\n";
+  return frame;
+}
+
+}  // namespace ssm::cluster

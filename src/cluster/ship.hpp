@@ -1,0 +1,50 @@
+// Warm-cache shipping: when a node joins (or recovers), the router
+// replays the home-keyed slice of a warm corpus to it, so the node
+// reaches its steady-state hit rate before client traffic arrives
+// (docs/CLUSTER.md#warm-cache-shipping).
+//
+// The warm set comes from either source the single-node service already
+// persists:
+//   * --ship-dir:    a `ssm serve --cache-dir` directory — each record
+//     decodes (version + checksum checked, witnesses re-verified by
+//     decode_record) to its canonical program;
+//   * --ship-corpus: a .litmus suite directory — each test canonicalizes
+//     to its class representative.
+//
+// Either way a ship item is one canonical program (records for the same
+// program merge their model lists; corpus tests ship every model by
+// leaving `models` empty), and shipping = sending ordinary `check`
+// requests for the items whose ring home is the target node.  The node
+// SOLVES them into its own cache — records are never injected as trusted
+// verdicts, so a stale or hostile warm source costs CPU, never a wrong
+// answer (the same stance as VerdictCache::load_persistent).  Budgets and
+// backends are the node's defaults; the cache's budget/backend alias
+// layer then answers client requests across budget variations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssm::cluster {
+
+struct ShipItem {
+  std::string program;              ///< canonical litmus DSL text
+  std::vector<std::string> models;  ///< empty = every registered model
+  std::uint64_t hash = 0;           ///< routing hash of the canonical key
+};
+
+/// Loads the warm set from a persisted cache directory.  Undecodable
+/// records are skipped (counted into `skipped`), matching the cache's own
+/// load tolerance.
+[[nodiscard]] std::vector<ShipItem> load_ship_dir(const std::string& dir,
+                                                  std::size_t* skipped);
+
+/// Loads the warm set from a .litmus corpus directory, canonicalizing
+/// each test and deduplicating by class.
+[[nodiscard]] std::vector<ShipItem> load_ship_corpus(const std::string& dir);
+
+/// Serializes one ship item as a check request frame (id "ship-<n>").
+[[nodiscard]] std::string ship_frame(const ShipItem& item, std::size_t seq);
+
+}  // namespace ssm::cluster

@@ -1,7 +1,11 @@
 #include "service/client.hpp"
 
+#include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -19,9 +23,69 @@ namespace {
   throw InvalidInput(what + ": " + std::strerror(errno));
 }
 
+/// Applies per-call send/recv deadlines.  SO_RCVTIMEO/SO_SNDTIMEO keep the
+/// fast path a plain blocking recv/send; an expiry surfaces as
+/// EAGAIN/EWOULDBLOCK, which the frame loops turn into a typed throw.
+void apply_io_deadline(int fd, std::uint32_t io_ms) {
+  if (io_ms == 0) return;
+  timeval tv{};
+  tv.tv_sec = io_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(io_ms % 1000) * 1000;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+/// Bounded connect: non-blocking connect + poll(POLLOUT) + SO_ERROR, then
+/// back to blocking mode.  With connect_ms == 0 this is the plain
+/// unbounded connect the pre-cluster callers relied on.  Returns 0 on
+/// success, the failure errno otherwise (the caller owns the message).
+int bounded_connect(int fd, const sockaddr* addr, socklen_t len,
+                    std::uint32_t connect_ms) {
+  if (connect_ms == 0) {
+    return ::connect(fd, addr, len) == 0 ? 0 : errno;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, addr, len);
+  if (rc != 0 && errno != EINPROGRESS) {
+    const int saved = errno;
+    (void)::fcntl(fd, F_SETFL, flags);
+    return saved;
+  }
+  if (rc != 0) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    do {
+      rc = ::poll(&pfd, 1, static_cast<int>(connect_ms));
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      (void)::fcntl(fd, F_SETFL, flags);
+      return ETIMEDOUT;
+    }
+    if (rc < 0) {
+      const int saved = errno;
+      (void)::fcntl(fd, F_SETFL, flags);
+      return saved;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+      err = errno;
+    }
+    if (err != 0) {
+      (void)::fcntl(fd, F_SETFL, flags);
+      return err;
+    }
+  }
+  (void)::fcntl(fd, F_SETFL, flags);
+  return 0;
+}
+
 }  // namespace
 
-Client Client::connect_unix(const std::string& path) {
+Client Client::connect_unix(const std::string& path,
+                            ClientDeadlines deadlines) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof addr.sun_path) {
@@ -30,36 +94,65 @@ Client Client::connect_unix(const std::string& path) {
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
+  const int err =
+      bounded_connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr, deadlines.connect_ms);
+  if (err != 0) {
     ::close(fd);
+    errno = err;
     throw_errno("connect " + path);
   }
-  return Client(fd);
+  apply_io_deadline(fd, deadlines.io_ms);
+  return Client(fd, deadlines);
 }
 
 Client Client::connect_tcp(std::uint16_t port) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw_errno("socket");
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    ::close(fd);
-    throw_errno("connect 127.0.0.1:" + std::to_string(port));
+  return connect_tcp("127.0.0.1", port, ClientDeadlines{});
+}
+
+Client Client::connect_tcp(const std::string& host, std::uint16_t port,
+                           ClientDeadlines deadlines) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int gai = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+  if (gai != 0) {
+    throw InvalidInput("resolve " + host + ": " + ::gai_strerror(gai));
   }
-  return Client(fd);
+  int last_err = ECONNREFUSED;
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_err = errno;
+      continue;
+    }
+    const int err = bounded_connect(fd, ai->ai_addr, ai->ai_addrlen,
+                                    deadlines.connect_ms);
+    if (err == 0) {
+      ::freeaddrinfo(res);
+      apply_io_deadline(fd, deadlines.io_ms);
+      return Client(fd, deadlines);
+    }
+    last_err = err;
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  errno = last_err;
+  throw_errno("connect " + host + ":" + port_str);
 }
 
 Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), buf_(std::move(other.buf_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      deadlines_(other.deadlines_),
+      buf_(std::move(other.buf_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    deadlines_ = other.deadlines_;
     buf_ = std::move(other.buf_);
   }
   return *this;
@@ -78,6 +171,10 @@ void Client::send_frame(std::string_view frame) {
         ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) && deadlines_.io_ms > 0) {
+        throw InvalidInput("send timed out after " +
+                           std::to_string(deadlines_.io_ms) + "ms");
+      }
       throw_errno("send");
     }
     off += static_cast<std::size_t>(n);
@@ -96,6 +193,10 @@ std::optional<std::string> Client::read_frame() {
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) && deadlines_.io_ms > 0) {
+        throw InvalidInput("recv timed out after " +
+                           std::to_string(deadlines_.io_ms) + "ms");
+      }
       throw_errno("recv");
     }
     if (n == 0) {

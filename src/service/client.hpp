@@ -1,7 +1,7 @@
 // Blocking NDJSON client for the check service: one socket, one frame out,
 // one frame back, strictly in order (the server answers per-connection in
-// request order).  Shared by `ssm client`, the smoke test, and the
-// bench/service_load generator.
+// request order).  Shared by `ssm client`, the smoke test, the
+// bench/service_load generator, and the cluster router's backend pools.
 #pragma once
 
 #include <cstdint>
@@ -11,13 +11,32 @@
 
 namespace ssm::service {
 
+/// Connection-establishment and per-call I/O bounds.  0 = unbounded (the
+/// pre-cluster behavior).  The router always sets both: a dead or wedged
+/// backend must surface as a typed failure it can retry, never hang a
+/// client's request forever.
+struct ClientDeadlines {
+  std::uint32_t connect_ms = 0;  ///< connect() cap (TCP and unix)
+  std::uint32_t io_ms = 0;       ///< per-send/per-recv cap once connected
+};
+
 class Client {
  public:
-  /// Connects to a unix-domain socket.  Throws InvalidInput on failure.
-  [[nodiscard]] static Client connect_unix(const std::string& path);
+  /// Connects to a unix-domain socket.  Throws InvalidInput on failure
+  /// (including "connect timed out" when deadlines.connect_ms elapses).
+  [[nodiscard]] static Client connect_unix(const std::string& path,
+                                           ClientDeadlines deadlines = {});
 
-  /// Connects to 127.0.0.1:`port`.  Throws InvalidInput on failure.
+  /// Connects to 127.0.0.1:`port` with no deadline (legacy single-node
+  /// shape, kept for the existing tests/benches).
   [[nodiscard]] static Client connect_tcp(std::uint16_t port);
+
+  /// Connects to `host`:`port`.  `host` may be a numeric IPv4/IPv6 address
+  /// or a name (resolved via getaddrinfo; every resolved address is tried
+  /// in order).  Throws InvalidInput on failure or connect timeout.
+  [[nodiscard]] static Client connect_tcp(const std::string& host,
+                                          std::uint16_t port,
+                                          ClientDeadlines deadlines = {});
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
@@ -26,12 +45,12 @@ class Client {
   ~Client();
 
   /// Writes one frame ('\n' appended when missing).  Throws InvalidInput
-  /// when the connection is gone.
+  /// when the connection is gone or a send exceeds the io deadline.
   void send_frame(std::string_view frame);
 
   /// Reads one frame (without the trailing '\n').  Returns std::nullopt on
   /// a clean EOF at a frame boundary; throws InvalidInput on an EOF that
-  /// truncates a frame.
+  /// truncates a frame or on an io-deadline expiry.
   [[nodiscard]] std::optional<std::string> read_frame();
 
   /// send_frame + read_frame; throws InvalidInput when the server hung up
@@ -43,9 +62,11 @@ class Client {
   void shutdown_write() noexcept;
 
  private:
-  explicit Client(int fd) noexcept : fd_(fd) {}
+  explicit Client(int fd, ClientDeadlines deadlines = {}) noexcept
+      : fd_(fd), deadlines_(deadlines) {}
 
   int fd_ = -1;
+  ClientDeadlines deadlines_;
   std::string buf_;
 };
 

@@ -232,19 +232,34 @@ std::string serialize_error(std::string_view id, std::string_view type,
   return out;
 }
 
-std::string serialize_stats(std::string_view id) {
+namespace {
+
+void append_identity(std::string& out, std::string_view node) {
+  if (!node.empty()) {
+    out += ", \"node\": ";
+    json::append_quoted(out, node);
+  }
+  out += ", \"proto\": " + std::to_string(kProtocolVersion);
+}
+
+}  // namespace
+
+std::string serialize_stats(std::string_view id, std::string_view node) {
   std::string out;
   open_frame(out, id, true);
+  append_identity(out, node);
   out += ", \"stats\": ";
   out += common::metrics::compact_global_snapshot();
   out += "}\n";
   return out;
 }
 
-std::string serialize_pong(std::string_view id) {
+std::string serialize_pong(std::string_view id, std::string_view node) {
   std::string out;
   open_frame(out, id, true);
-  out += ", \"pong\": true}\n";
+  out += ", \"pong\": true";
+  append_identity(out, node);
+  out += "}\n";
   return out;
 }
 
@@ -252,6 +267,79 @@ std::string serialize_drain_ack(std::string_view id) {
   std::string out;
   open_frame(out, id, true);
   out += ", \"draining\": true}\n";
+  return out;
+}
+
+std::string serialize_request(const Request& req) {
+  std::string out = "{\"op\": ";
+  switch (req.op) {
+    case Request::Op::Ping:
+      out += "\"ping\"";
+      break;
+    case Request::Op::Stats:
+      out += "\"stats\"";
+      break;
+    case Request::Op::Shutdown:
+      out += "\"shutdown\"";
+      break;
+    case Request::Op::Check:
+      out += "\"check\"";
+      break;
+    case Request::Op::Trace:
+      out += "\"trace\"";
+      break;
+  }
+  if (!req.id.empty()) {
+    out += ", \"id\": ";
+    json::append_quoted(out, req.id);
+  }
+  if (req.op == Request::Op::Check) {
+    out += ", \"program\": ";
+    json::append_quoted(out, req.check.program);
+    if (!req.check.models.empty()) {
+      out += ", \"models\": [";
+      bool first = true;
+      for (const std::string& m : req.check.models) {
+        if (!first) out += ", ";
+        first = false;
+        json::append_quoted(out, m);
+      }
+      out += ']';
+    }
+    if (req.check.budget.max_nodes != 0) {
+      out += ", \"max_nodes\": " + std::to_string(req.check.budget.max_nodes);
+    }
+    if (req.check.budget.timeout_ms != 0) {
+      out += ", \"timeout_ms\": " + std::to_string(req.check.budget.timeout_ms);
+    }
+    if (req.check.no_cache) out += ", \"no_cache\": true";
+    if (req.check.backend != checker::Backend::Search) {
+      out += ", \"backend\": ";
+      json::append_quoted(out, checker::to_string(req.check.backend));
+    }
+  } else if (req.op == Request::Op::Trace) {
+    switch (req.trace.phase) {
+      case TraceRequest::Phase::Begin:
+        out += ", \"phase\": \"begin\", \"header\": ";
+        json::append_quoted(out, req.trace.header_line);
+        if (!req.trace.model.empty()) {
+          out += ", \"model\": ";
+          json::append_quoted(out, req.trace.model);
+        }
+        if (req.trace.window != 0) {
+          out += ", \"window\": " + std::to_string(req.trace.window);
+        }
+        break;
+      case TraceRequest::Phase::Ops:
+        out += ", \"phase\": \"ops\", \"lines\": ";
+        json::append_quoted(out, req.trace.lines);
+        break;
+      case TraceRequest::Phase::End:
+        out += ", \"phase\": \"end\"";
+        break;
+    }
+  }
+  out += "}\n";
   return out;
 }
 

@@ -32,6 +32,12 @@
 
 namespace ssm::service {
 
+/// Wire protocol version, advertised by every `ping`/`stats` response as
+/// `"proto"`.  The cluster router refuses to pool a backend whose `proto`
+/// differs from its own (docs/CLUSTER.md) — bump this whenever a change
+/// would make a router and a node disagree about frame semantics.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
 /// A protocol-level failure that should become a typed error frame.
 /// Carries the request id (when one was successfully extracted before the
 /// failure) so the error frame can echo it back.
@@ -143,14 +149,25 @@ struct CheckResponse {
 [[nodiscard]] std::string serialize_results(
     const std::vector<ModelResult>& results);
 
-/// Full response frames (single line, '\n'-terminated).
+/// Full response frames (single line, '\n'-terminated).  `node` is the
+/// responder's identity (`--node-id`, default `node-<pid>`); empty omits
+/// the field.  Pong/stats always carry `"proto": kProtocolVersion`.
 [[nodiscard]] std::string serialize_check_response(const CheckResponse& r);
 [[nodiscard]] std::string serialize_error(std::string_view id,
                                           std::string_view type,
                                           std::string_view message);
-[[nodiscard]] std::string serialize_stats(std::string_view id);
-[[nodiscard]] std::string serialize_pong(std::string_view id);
+[[nodiscard]] std::string serialize_stats(std::string_view id,
+                                          std::string_view node = {});
+[[nodiscard]] std::string serialize_pong(std::string_view id,
+                                         std::string_view node = {});
 [[nodiscard]] std::string serialize_drain_ack(std::string_view id);
+
+/// Re-serializes a parsed request into a wire frame that parses back to
+/// the same Request (round-trip property, tested).  The cluster router
+/// uses this to forward batch elements to their home node as fresh
+/// single-element frames without keeping raw byte slices of the original
+/// client frame alive across retries.
+[[nodiscard]] std::string serialize_request(const Request& req);
 
 /// Trace-chunk response: the verdict lines (each already a complete JSON
 /// object, embedded verbatim) completed by this chunk, plus — on the end

@@ -623,6 +623,9 @@ Server::~Server() {
 }
 
 void Server::start() {
+  if (options_.node_id.empty()) {
+    options_.node_id = "node-" + std::to_string(::getpid());
+  }
   if (::pipe(drain_pipe_) != 0) throw_errno("pipe");
   if (options_.use_tcp) {
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -1126,11 +1129,11 @@ void Server::frame_to_items(const std::shared_ptr<Connection>& conn,
     switch (req.op) {
       case Request::Op::Ping:
         item.preformatted = true;
-        item.text = serialize_pong(req.id);
+        item.text = serialize_pong(req.id, options_.node_id);
         break;
       case Request::Op::Stats:
         item.preformatted = true;
-        item.text = serialize_stats(req.id);
+        item.text = serialize_stats(req.id, options_.node_id);
         break;
       case Request::Op::Shutdown:
         // Flag first (atomic + fd writes, no teardown), then ack: a client

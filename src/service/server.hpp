@@ -174,6 +174,12 @@ struct ServerOptions {
   /// newline, while keeping the connection usable for later frames.
   std::size_t max_frame_bytes = 4u << 20;
 
+  /// Node identity echoed in `ping`/`stats` responses (`--node-id`).
+  /// Empty = "node-<pid>", fixed at start().  The cluster router keys
+  /// health and shipping state on it, so give each node a stable id when
+  /// running a ring (docs/CLUSTER.md).
+  std::string node_id;
+
   CheckService::Options service;
 };
 

@@ -1,0 +1,130 @@
+// Consistent-hash ring unit tests: determinism, the full-permutation
+// candidate walk, balance across nodes, and the property that makes the
+// ring worth having — removing a member remaps ONLY the keys it owned,
+// and failover (skipping a down member on the candidate walk) agrees
+// with rebuilding the ring without it.
+#include "cluster/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/types.hpp"
+
+using ssm::InvalidInput;
+using ssm::cluster::HashRing;
+
+namespace {
+
+std::vector<std::string> specs(std::size_t n) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back("unix:/tmp/node-" + std::to_string(i) + ".sock");
+  }
+  return out;
+}
+
+/// A deterministic spray of key hashes (the production hash of synthetic
+/// canonical keys, not raw integers — exercises the same distribution the
+/// router sees).
+std::vector<std::uint64_t> key_sample(std::size_t n) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(HashRing::key_hash("name: h\np: w(x)" + std::to_string(i) +
+                                      " r(y)0\n"));
+  }
+  return keys;
+}
+
+}  // namespace
+
+TEST(HashRing, RejectsDegenerateConfigs) {
+  EXPECT_THROW(HashRing({}, 64), InvalidInput);
+  EXPECT_THROW(HashRing(specs(2), 0), InvalidInput);
+}
+
+TEST(HashRing, AssignmentIsDeterministicAcrossInstances) {
+  const HashRing a(specs(4));
+  const HashRing b(specs(4));
+  for (const std::uint64_t h : key_sample(500)) {
+    EXPECT_EQ(a.owner(h), b.owner(h));
+    EXPECT_EQ(a.candidates(h), b.candidates(h));
+  }
+}
+
+TEST(HashRing, CandidatesArePermutationStartingAtOwner) {
+  const HashRing ring(specs(5));
+  for (const std::uint64_t h : key_sample(200)) {
+    const auto cands = ring.candidates(h);
+    ASSERT_EQ(cands.size(), 5u);
+    EXPECT_EQ(cands[0], ring.owner(h));
+    std::set<std::size_t> distinct(cands.begin(), cands.end());
+    EXPECT_EQ(distinct.size(), 5u);  // every node appears exactly once
+  }
+}
+
+TEST(HashRing, SpreadsKeysRoughlyEvenly) {
+  const HashRing ring(specs(4));
+  std::map<std::size_t, std::size_t> load;
+  const auto keys = key_sample(8000);
+  for (const std::uint64_t h : keys) load[ring.owner(h)]++;
+  ASSERT_EQ(load.size(), 4u);
+  for (const auto& [node, count] : load) {
+    // 64 vnodes/node keeps the spread well inside [10%, 45%] of keys.
+    EXPECT_GT(count, keys.size() / 10) << "node " << node << " starved";
+    EXPECT_LT(count, keys.size() * 45 / 100) << "node " << node << " hot";
+  }
+}
+
+TEST(HashRing, RemovingANodeRemapsOnlyItsOwnKeys) {
+  // Membership {0,1,2,3} vs membership without node 2: every key NOT
+  // owned by node 2 keeps its owner.  This is the scale-out contract —
+  // a leave (or join, by symmetry) touches one node's slice only.
+  const auto four = specs(4);
+  std::vector<std::string> three = four;
+  three.erase(three.begin() + 2);
+  const HashRing big(four);
+  const HashRing small(three);
+  std::size_t remapped = 0;
+  for (const std::uint64_t h : key_sample(2000)) {
+    const std::size_t owner = big.owner(h);
+    if (owner == 2) {
+      ++remapped;
+      continue;
+    }
+    EXPECT_EQ(big.node(owner), small.node(small.owner(h)));
+  }
+  EXPECT_GT(remapped, 0u);  // node 2 did own something
+}
+
+TEST(HashRing, FailoverWalkAgreesWithMembershipChange) {
+  // Skipping a down node on the candidate walk must send each of its
+  // keys exactly where a ring rebuilt without that node would — so
+  // failover and a permanent leave are indistinguishable to clients.
+  const auto four = specs(4);
+  std::vector<std::string> three = four;
+  three.erase(three.begin() + 1);
+  const HashRing big(four);
+  const HashRing small(three);
+  for (const std::uint64_t h : key_sample(2000)) {
+    std::size_t failover = big.size();
+    for (const std::size_t c : big.candidates(h)) {
+      if (c != 1) {  // node 1 is "down"
+        failover = c;
+        break;
+      }
+    }
+    EXPECT_EQ(big.node(failover), small.node(small.owner(h)));
+  }
+}
+
+TEST(HashRing, KeyHashMatchesVerdictCacheHashFamily) {
+  // The routing hash and the cache's content address must stay the same
+  // function: that identity is why the home node's cache is warm.
+  EXPECT_EQ(HashRing::key_hash("abc"), HashRing::key_hash("abc"));
+  EXPECT_NE(HashRing::key_hash("abc"), HashRing::key_hash("abd"));
+}

@@ -1,0 +1,646 @@
+// Router tests: end-to-end over real sockets against real in-process
+// `ssm serve` nodes (canonical-key routing, sub-batch split/merge order,
+// failover on node death, warm shipping on join) and against scripted
+// fake nodes (retry on `overloaded`, re-route on `draining`, protocol
+// version rejection at pool-connect).  Runs under BOTH the `cluster` and
+// `concurrency` labels — the TSan pass covers the router's accept /
+// handler / health / pool thread interplay.
+#include "cluster/router.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cluster/pool.hpp"
+#include "cluster/ring.hpp"
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "litmus/canonical.hpp"
+#include "litmus/parser.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace json = ssm::common::json;
+namespace metrics = ssm::common::metrics;
+using namespace ssm;
+using namespace std::chrono_literals;
+using cluster::ClusterError;
+using cluster::HashRing;
+using cluster::NodeAddress;
+using cluster::NodePool;
+using cluster::PoolOptions;
+using cluster::Router;
+using cluster::RouterOptions;
+using service::Client;
+using service::Server;
+using service::ServerOptions;
+
+namespace {
+
+constexpr const char* kSbProgram =
+    "name: sb\np: w(x)1 r(y)0\nq: w(y)1 r(x)0\n";
+/// kSbProgram under a processor swap and location renaming — same
+/// isomorphism class, so it must route to the same node and hit its
+/// canonical cache.
+constexpr const char* kSbIsomorph =
+    "name: sb-iso\nq: w(b)1 r(a)0\np: w(a)1 r(b)0\n";
+
+/// Six structurally distinct programs (distinct canonical classes) so a
+/// batch actually splits across nodes.
+const char* kPrograms[6] = {
+    "name: t0\np: w(x)1 r(y)0\nq: w(y)1 r(x)0\n",
+    "name: t1\np: w(x)1 w(y)1\nq: r(y)1 r(x)0\n",
+    "name: t2\np: w(x)1\nq: r(x)1\n",
+    "name: t3\np: r(x)0\n",
+    "name: t4\np: r(x)1 w(y)1\nq: r(y)1 w(x)1\n",
+    "name: t5\np: w(x)1 r(y)0\nq: w(y)1 r(x)0\nr: r(x)0 r(y)0\n",
+};
+
+std::string check_frame(const std::string& program, const std::string& id) {
+  std::string frame = "{\"op\": \"check\", \"id\": ";
+  json::append_quoted(frame, id);
+  frame += ", \"program\": ";
+  json::append_quoted(frame, program);
+  frame += ", \"models\": [\"SC\", \"TSO\"]}";
+  return frame;
+}
+
+bool eventually(const std::function<bool()>& pred) {
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+std::string make_tmpdir() {
+  char tmpl[] = "/tmp/ssm-cluster-test-XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) throw InvalidInput("mkdtemp failed");
+  return tmpl;
+}
+
+std::uint64_t routing_hash_of(const char* program) {
+  return HashRing::key_hash(
+      litmus::canonicalize(litmus::parse_test(program)).key);
+}
+
+/// A tmpdir whose two-node ring (specs unix:<dir>/n1, unix:<dir>/n2)
+/// splits kPrograms across both nodes.  Node specs embed the random
+/// tmpdir path, so a single draw occasionally hands every program to
+/// one node; redraw until both nodes own a slice so cross-node tests
+/// are guaranteed to actually cross nodes.
+std::string make_split_tmpdir() {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::string dir = make_tmpdir();
+    const HashRing ring({"unix:" + dir + "/n1", "unix:" + dir + "/n2"});
+    bool owned0 = false, owned1 = false;
+    for (const char* p : kPrograms) {
+      (ring.owner(routing_hash_of(p)) == 0 ? owned0 : owned1) = true;
+    }
+    if (owned0 && owned1) return dir;
+    ::rmdir(dir.c_str());
+  }
+  throw InvalidInput("no tmpdir produced a cross-node split");
+}
+
+RouterOptions quiet_router(const std::string& socket,
+                           std::vector<std::string> nodes) {
+  RouterOptions opts;
+  opts.unix_socket = socket;
+  opts.nodes = std::move(nodes);
+  opts.quiet = true;
+  opts.probe_interval_ms = 50;
+  opts.backoff_base_ms = 1;
+  opts.backoff_cap_ms = 10;
+  return opts;
+}
+
+/// A scripted node: real unix listener, NDJSON framing, canned replies.
+/// Answers the handshake/probe pings itself (with a configurable proto,
+/// for the version-rejection test) and delegates `check` frames to the
+/// test's handler.
+class FakeNode {
+ public:
+  using CheckHandler = std::function<std::string(const json::Value& doc)>;
+
+  FakeNode(std::string path, CheckHandler on_check,
+           std::uint64_t proto = service::kProtocolVersion,
+           std::string id = "fake")
+      : path_(std::move(path)), on_check_(std::move(on_check)),
+        proto_(proto), id_(std::move(id)) {}
+
+  ~FakeNode() { stop(); }
+
+  void start() {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(listen_fd_, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+    ::unlink(path_.c_str());
+    ASSERT_EQ(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr),
+              0);
+    ASSERT_EQ(::listen(listen_fd_, 16), 0);
+    accept_thread_ = std::thread([this] {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        std::lock_guard<std::mutex> lock(mu_);
+        conn_fds_.push_back(fd);
+        conn_threads_.emplace_back([this, fd] { serve(fd); });
+      }
+    });
+  }
+
+  void stop() {
+    if (listen_fd_ < 0) return;
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+      threads.swap(conn_threads_);
+    }
+    for (std::thread& t : threads) {
+      if (t.joinable()) t.join();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const int fd : conn_fds_) ::close(fd);
+      conn_fds_.clear();
+    }
+    ::unlink(path_.c_str());
+    listen_fd_ = -1;
+  }
+
+ private:
+  void serve(int fd) {
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+      const std::size_t pos = buf.find('\n');
+      if (pos == std::string::npos) {
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n <= 0) return;
+        buf.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      const std::string line = buf.substr(0, pos);
+      buf.erase(0, pos + 1);
+      if (line.empty()) continue;
+      std::string reply;
+      try {
+        const json::Value doc = json::parse(line);
+        std::string id;
+        if (const json::Value* v = doc.find("id")) id = v->as_string();
+        const std::string& op = doc.at("op").as_string();
+        if (op == "ping") {
+          reply = "{\"id\": ";
+          json::append_quoted(reply, id);
+          reply += ", \"ok\": true, \"pong\": true, \"node\": ";
+          json::append_quoted(reply, id_);
+          reply += ", \"proto\": " + std::to_string(proto_) + "}";
+        } else if (op == "check") {
+          reply = on_check_(doc);
+        } else {
+          reply = "{\"id\": ";
+          json::append_quoted(reply, id);
+          reply += ", \"ok\": false, \"error\": {\"type\": \"bad_request\", "
+                   "\"message\": \"fake\"}}";
+        }
+      } catch (const InvalidInput&) {
+        return;
+      }
+      reply += '\n';
+      std::size_t off = 0;
+      while (off < reply.size()) {
+        const ssize_t n = ::send(fd, reply.data() + off, reply.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n <= 0) return;
+        off += static_cast<std::size_t>(n);
+      }
+    }
+  }
+
+  std::string path_;
+  CheckHandler on_check_;
+  std::uint64_t proto_;
+  std::string id_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+std::string fake_ok(const json::Value& doc) {
+  std::string id;
+  if (const json::Value* v = doc.find("id")) id = v->as_string();
+  std::string reply = "{\"id\": ";
+  json::append_quoted(reply, id);
+  reply += ", \"ok\": true, \"results\": [{\"model\": \"SC\", "
+           "\"verdict\": \"forbidden\"}]}";
+  return reply;
+}
+
+std::string fake_error(const json::Value& doc, const char* type) {
+  std::string id;
+  if (const json::Value* v = doc.find("id")) id = v->as_string();
+  std::string reply = "{\"id\": ";
+  json::append_quoted(reply, id);
+  reply += ", \"ok\": false, \"error\": {\"type\": \"";
+  reply += type;
+  reply += "\", \"message\": \"scripted\"}}";
+  return reply;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Against real nodes
+
+TEST(RouterEndToEnd, PingAnswersWithRouterIdentity) {
+  const std::string dir = make_tmpdir();
+  ServerOptions sopts;
+  sopts.unix_socket = dir + "/n1";
+  Server node(sopts);
+  node.start();
+
+  RouterOptions ropts = quiet_router(dir + "/r", {"unix:" + dir + "/n1"});
+  ropts.router_id = "router-under-test";
+  Router router(ropts);
+  router.start();
+
+  auto client = Client::connect_unix(dir + "/r");
+  const json::Value pong = json::parse(client.call("{\"op\": \"ping\"}"));
+  EXPECT_TRUE(pong.at("ok").as_bool());
+  EXPECT_TRUE(pong.at("pong").as_bool());
+  EXPECT_EQ(pong.at("node").as_string(), "router-under-test");
+  EXPECT_EQ(pong.at("proto").as_u64(), service::kProtocolVersion);
+
+  router.begin_drain();
+  router.wait();
+  node.begin_drain();
+  node.wait();
+}
+
+TEST(RouterEndToEnd, RoutesIsomorphsToTheSameWarmNode) {
+  const std::string dir = make_tmpdir();
+  ServerOptions s1, s2;
+  s1.unix_socket = dir + "/n1";
+  s2.unix_socket = dir + "/n2";
+  Server node1(s1), node2(s2);
+  node1.start();
+  node2.start();
+
+  Router router(quiet_router(
+      dir + "/r", {"unix:" + dir + "/n1", "unix:" + dir + "/n2"}));
+  router.start();
+  auto client = Client::connect_unix(dir + "/r");
+
+  const json::Value cold =
+      json::parse(client.call(check_frame(kSbProgram, "a")));
+  ASSERT_TRUE(cold.at("ok").as_bool());
+  EXPECT_EQ(cold.at("results").items()[0].at("source").as_string(), "solved");
+
+  // The isomorph hashes to the same canonical key, so it must land on
+  // the node that just solved the class — every cell a cache hit.
+  const json::Value warm =
+      json::parse(client.call(check_frame(kSbIsomorph, "b")));
+  ASSERT_TRUE(warm.at("ok").as_bool());
+  for (const auto& r : warm.at("results").items()) {
+    EXPECT_EQ(r.at("source").as_string(), "cache");
+  }
+
+  router.begin_drain();
+  router.wait();
+  node1.begin_drain();
+  node1.wait();
+  node2.begin_drain();
+  node2.wait();
+}
+
+TEST(RouterEndToEnd, BatchSplitsAcrossNodesAndMergesInOrder) {
+  // Both nodes own part of the batch, so the merge-order check below
+  // genuinely exercises a cross-node split and reassembly.
+  const std::string dir = make_split_tmpdir();
+  ServerOptions s1, s2;
+  s1.unix_socket = dir + "/n1";
+  s2.unix_socket = dir + "/n2";
+  Server node1(s1), node2(s2);
+  node1.start();
+  node2.start();
+
+  const std::vector<std::string> specs = {"unix:" + dir + "/n1",
+                                          "unix:" + dir + "/n2"};
+  Router router(quiet_router(dir + "/r", specs));
+  router.start();
+  auto client = Client::connect_unix(dir + "/r");
+
+  // One bare-array frame: 6 checks with a malformed element wedged into
+  // position 3 — one response frame per element, in array order, the
+  // error in its position and nowhere else.
+  std::string frame = "[";
+  int elem = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (i == 3) {
+      if (elem++ > 0) frame += ", ";
+      frame += "{\"op\": \"nope\", \"id\": \"bad\"}";
+    }
+    if (elem++ > 0) frame += ", ";
+    std::string one = check_frame(kPrograms[i], "e" + std::to_string(i));
+    frame += one;
+  }
+  frame += "]";
+  client.send_frame(frame);
+
+  const char* expected_ids[7] = {"e0", "e1", "e2", "bad", "e3", "e4", "e5"};
+  for (int i = 0; i < 7; ++i) {
+    const auto reply = client.read_frame();
+    ASSERT_TRUE(reply.has_value()) << "response " << i << " missing";
+    const json::Value doc = json::parse(*reply);
+    EXPECT_EQ(doc.at("id").as_string(), expected_ids[i]) << "position " << i;
+    if (std::string(expected_ids[i]) == "bad") {
+      EXPECT_FALSE(doc.at("ok").as_bool());
+      EXPECT_EQ(doc.at("error").at("type").as_string(), "bad_request");
+    } else {
+      EXPECT_TRUE(doc.at("ok").as_bool());
+    }
+  }
+
+  router.begin_drain();
+  router.wait();
+  node1.begin_drain();
+  node1.wait();
+  node2.begin_drain();
+  node2.wait();
+}
+
+TEST(RouterEndToEnd, FailsOverToRingSuccessorWhenNodeDies) {
+  const std::string dir = make_tmpdir();
+  ServerOptions s1, s2;
+  s1.unix_socket = dir + "/n1";
+  s2.unix_socket = dir + "/n2";
+  Server node1(s1), node2(s2);
+  node1.start();
+  node2.start();
+
+  const std::vector<std::string> specs = {"unix:" + dir + "/n1",
+                                          "unix:" + dir + "/n2"};
+  Router router(quiet_router(dir + "/r", specs));
+  router.start();
+  auto client = Client::connect_unix(dir + "/r");
+
+  ASSERT_TRUE(json::parse(client.call(check_frame(kSbProgram, "warm")))
+                  .at("ok")
+                  .as_bool());
+
+  // Kill the program's home node (graceful here; the SIGKILL variant is
+  // the smoke test's job — to the router both are a dead socket).
+  const HashRing ring(specs);
+  const std::size_t owner = ring.owner(routing_hash_of(kSbProgram));
+  Server& victim = owner == 0 ? node1 : node2;
+  victim.begin_drain();
+  victim.wait();
+
+  const auto failovers_before =
+      metrics::Registry::global().counter("cluster.failovers").value();
+  const json::Value after =
+      json::parse(client.call(check_frame(kSbProgram, "re")));
+  ASSERT_TRUE(after.at("ok").as_bool());
+  EXPECT_GT(metrics::Registry::global().counter("cluster.failovers").value(),
+            failovers_before);
+  EXPECT_TRUE(eventually([&] { return !router.node_up(owner); }));
+
+  router.begin_drain();
+  router.wait();
+  Server& survivor = owner == 0 ? node2 : node1;
+  survivor.begin_drain();
+  survivor.wait();
+}
+
+TEST(RouterEndToEnd, ShipsWarmSliceToLateJoiningNode) {
+  // The late joiner must own a non-empty slice of the corpus, or there
+  // is nothing to ship it on the down→up transition.
+  const std::string dir = make_split_tmpdir();
+  const std::string corpus = dir + "/corpus";
+  std::filesystem::create_directories(corpus);
+  for (int i = 0; i < 6; ++i) {
+    std::ofstream out(corpus + "/t" + std::to_string(i) + ".litmus");
+    out << kPrograms[i];
+  }
+
+  ServerOptions s1;
+  s1.unix_socket = dir + "/n1";
+  Server node1(s1);
+  node1.start();
+
+  const std::vector<std::string> specs = {"unix:" + dir + "/n1",
+                                          "unix:" + dir + "/n2"};
+  RouterOptions ropts = quiet_router(dir + "/r", specs);
+  ropts.ship_corpus = corpus;
+  Router router(ropts);
+  router.start();  // node2 not running: comes up mid-flight below
+  EXPECT_EQ(router.ship_set_size(), 6u);
+  EXPECT_TRUE(router.node_up(0));
+  EXPECT_FALSE(router.node_up(1));
+
+  const auto shipped_before =
+      metrics::Registry::global().counter("cluster.shipped_records").value();
+  ServerOptions s2;
+  s2.unix_socket = dir + "/n2";
+  Server node2(s2);
+  node2.start();
+  ASSERT_TRUE(eventually([&] { return router.node_up(1); }));
+  // The joiner was shipped its home slice BEFORE entering rotation.
+  EXPECT_GT(metrics::Registry::global()
+                .counter("cluster.shipped_records")
+                .value(),
+            shipped_before);
+
+  // Every program is warm on its home node now: all sources "cache".
+  auto client = Client::connect_unix(dir + "/r");
+  for (int i = 0; i < 6; ++i) {
+    const json::Value doc = json::parse(
+        client.call(check_frame(kPrograms[i], "w" + std::to_string(i))));
+    ASSERT_TRUE(doc.at("ok").as_bool()) << kPrograms[i];
+    for (const auto& r : doc.at("results").items()) {
+      EXPECT_EQ(r.at("source").as_string(), "cache") << kPrograms[i];
+    }
+  }
+
+  router.begin_drain();
+  router.wait();
+  node1.begin_drain();
+  node1.wait();
+  node2.begin_drain();
+  node2.wait();
+}
+
+TEST(RouterDrain, ChecksAfterShutdownAnswerDrainingInPosition) {
+  const std::string dir = make_tmpdir();
+  ServerOptions sopts;
+  sopts.unix_socket = dir + "/n1";
+  Server node(sopts);
+  node.start();
+
+  Router router(quiet_router(dir + "/r", {"unix:" + dir + "/n1"}));
+  router.start();
+  auto client = Client::connect_unix(dir + "/r");
+
+  // One batch frame [shutdown, check]: the ack flips the router to
+  // draining before the check is routed, so the check's in-position
+  // response is the typed `draining` error — deterministically.
+  std::string frame = "[{\"op\": \"shutdown\", \"id\": \"s\"}, ";
+  frame += check_frame(kSbProgram, "c");
+  frame += "]";
+  client.send_frame(frame);
+  const json::Value ack = json::parse(*client.read_frame());
+  EXPECT_TRUE(ack.at("ok").as_bool());
+  EXPECT_TRUE(ack.at("draining").as_bool());
+  const json::Value refused = json::parse(*client.read_frame());
+  EXPECT_FALSE(refused.at("ok").as_bool());
+  EXPECT_EQ(refused.at("error").at("type").as_string(), "draining");
+
+  client.shutdown_write();
+  router.wait();  // drains cleanly with the connection still open
+  node.begin_drain();
+  node.wait();
+}
+
+// ---------------------------------------------------------------------------
+// Against scripted nodes (typed-error retry policy)
+
+TEST(RouterRetry, RetriesOverloadedOnSameNodeAfterBackoff) {
+  const std::string dir = make_tmpdir();
+  std::atomic<int> checks{0};
+  FakeNode fake(dir + "/f1", [&](const json::Value& doc) {
+    return checks.fetch_add(1) == 0 ? fake_error(doc, "overloaded")
+                                    : fake_ok(doc);
+  });
+  fake.start();
+
+  Router router(quiet_router(dir + "/r", {"unix:" + dir + "/f1"}));
+  router.start();
+  auto client = Client::connect_unix(dir + "/r");
+
+  const auto retries_before =
+      metrics::Registry::global().counter("cluster.retries").value();
+  const json::Value doc =
+      json::parse(client.call(check_frame(kSbProgram, "x")));
+  EXPECT_TRUE(doc.at("ok").as_bool());  // second attempt, same node
+  EXPECT_EQ(checks.load(), 2);
+  EXPECT_GT(metrics::Registry::global().counter("cluster.retries").value(),
+            retries_before);
+
+  router.begin_drain();
+  router.wait();
+}
+
+TEST(RouterRetry, ReRoutesDrainingToRingSuccessor) {
+  const std::string dir = make_tmpdir();
+  const std::vector<std::string> specs = {"unix:" + dir + "/f1",
+                                          "unix:" + dir + "/f2"};
+  // Script the program's HOME node to answer `draining` forever; the
+  // successor answers ok.  The router must re-route, not fail.
+  const HashRing ring(specs);
+  const std::size_t owner = ring.owner(routing_hash_of(kSbProgram));
+  std::atomic<int> drain_hits{0}, ok_hits{0};
+  FakeNode drainer(dir + (owner == 0 ? "/f1" : "/f2"),
+                   [&](const json::Value& doc) {
+                     drain_hits.fetch_add(1);
+                     return fake_error(doc, "draining");
+                   });
+  FakeNode survivor(dir + (owner == 0 ? "/f2" : "/f1"),
+                    [&](const json::Value& doc) {
+                      ok_hits.fetch_add(1);
+                      return fake_ok(doc);
+                    });
+  drainer.start();
+  survivor.start();
+
+  Router router(quiet_router(dir + "/r", specs));
+  router.start();
+  auto client = Client::connect_unix(dir + "/r");
+
+  const auto failovers_before =
+      metrics::Registry::global().counter("cluster.failovers").value();
+  const json::Value doc =
+      json::parse(client.call(check_frame(kSbProgram, "x")));
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_GE(drain_hits.load(), 1);
+  EXPECT_GE(ok_hits.load(), 1);
+  EXPECT_GT(metrics::Registry::global().counter("cluster.failovers").value(),
+            failovers_before);
+
+  router.begin_drain();
+  router.wait();
+}
+
+TEST(NodePoolHandshake, RejectsProtocolMismatchWithTypedError) {
+  const std::string dir = make_tmpdir();
+  FakeNode fake(dir + "/f1", fake_ok, /*proto=*/99);
+  fake.start();
+
+  NodePool pool(NodeAddress::parse("unix:" + dir + "/f1"), PoolOptions{});
+  try {
+    auto lease = pool.acquire();
+    FAIL() << "expected ClusterError";
+  } catch (const ClusterError& e) {
+    EXPECT_EQ(e.type(), "proto_mismatch");
+    EXPECT_NE(std::string(e.what()).find("99"), std::string::npos);
+  }
+}
+
+TEST(NodePoolHandshake, LearnsNodeIdentityFromPing) {
+  const std::string dir = make_tmpdir();
+  ServerOptions sopts;
+  sopts.unix_socket = dir + "/n1";
+  sopts.node_id = "alpha";
+  Server node(sopts);
+  node.start();
+
+  NodePool pool(NodeAddress::parse("unix:" + dir + "/n1"), PoolOptions{});
+  {
+    auto lease = pool.acquire();
+    (void)lease;
+  }
+  EXPECT_EQ(pool.node_id(), "alpha");
+
+  node.begin_drain();
+  node.wait();
+}
+
+TEST(NodeAddressSpec, ParsesAndRejects) {
+  const NodeAddress unix_addr = NodeAddress::parse("unix:/tmp/x.sock");
+  EXPECT_TRUE(unix_addr.is_unix);
+  EXPECT_EQ(unix_addr.path, "/tmp/x.sock");
+  const NodeAddress tcp = NodeAddress::parse("10.0.0.7:7411");
+  EXPECT_FALSE(tcp.is_unix);
+  EXPECT_EQ(tcp.host, "10.0.0.7");
+  EXPECT_EQ(tcp.port, 7411);
+  const NodeAddress bare = NodeAddress::parse(":7411");
+  EXPECT_EQ(bare.host, "127.0.0.1");
+  EXPECT_THROW(NodeAddress::parse("unix:"), InvalidInput);
+  EXPECT_THROW(NodeAddress::parse("nocolon"), InvalidInput);
+  EXPECT_THROW(NodeAddress::parse("host:0"), InvalidInput);
+  EXPECT_THROW(NodeAddress::parse("host:99999"), InvalidInput);
+  EXPECT_THROW(NodeAddress::parse("host:12ab"), InvalidInput);
+}

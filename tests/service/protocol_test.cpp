@@ -137,6 +137,64 @@ TEST(Serialize, ErrorFrame) {
   EXPECT_EQ(doc.at("error").at("message").as_string(), "queue full");
 }
 
+TEST(Serialize, PongAndStatsCarryNodeIdentityAndProtocolVersion) {
+  // The cluster pool handshake keys off these two fields: `proto` gates
+  // pool admission, `node` is the identity reported in health/stats.
+  const std::string pong = service::serialize_pong("p1", "node-a");
+  const json::Value pdoc =
+      json::parse(std::string_view(pong).substr(0, pong.size() - 1));
+  EXPECT_TRUE(pdoc.at("pong").as_bool());
+  EXPECT_EQ(pdoc.at("node").as_string(), "node-a");
+  EXPECT_EQ(pdoc.at("proto").as_u64(), service::kProtocolVersion);
+
+  const std::string stats = service::serialize_stats("{}", "node-a");
+  const json::Value sdoc =
+      json::parse(std::string_view(stats).substr(0, stats.size() - 1));
+  EXPECT_EQ(sdoc.at("node").as_string(), "node-a");
+  EXPECT_EQ(sdoc.at("proto").as_u64(), service::kProtocolVersion);
+
+  // Without a node id (pre-cluster callers), `proto` is still present —
+  // version negotiation must not depend on server configuration.
+  const std::string bare = service::serialize_pong("p2");
+  const json::Value bdoc =
+      json::parse(std::string_view(bare).substr(0, bare.size() - 1));
+  EXPECT_EQ(bdoc.find("node"), nullptr);
+  EXPECT_EQ(bdoc.at("proto").as_u64(), service::kProtocolVersion);
+}
+
+TEST(Serialize, RequestRoundTripsThroughTheParser) {
+  // The router re-serializes parsed requests to forward them; every field
+  // the parser accepts must survive the round trip.
+  Request req;
+  req.op = Request::Op::Check;
+  req.id = "fwd-1";
+  req.check.program = "p: w(x)1\nq: r(x)1\n";
+  req.check.models = {"SC", "TSO"};
+  req.check.budget.max_nodes = 1000;
+  req.check.budget.timeout_ms = 250;
+  req.check.no_cache = true;
+
+  const std::string frame = service::serialize_request(req);
+  ASSERT_EQ(frame.back(), '\n');
+  const Request back = service::parse_request(
+      std::string_view(frame).substr(0, frame.size() - 1));
+  EXPECT_EQ(back.op, Request::Op::Check);
+  EXPECT_EQ(back.id, req.id);
+  EXPECT_EQ(back.check.program, req.check.program);
+  EXPECT_EQ(back.check.models, req.check.models);
+  EXPECT_EQ(back.check.budget.max_nodes, req.check.budget.max_nodes);
+  EXPECT_EQ(back.check.budget.timeout_ms, req.check.budget.timeout_ms);
+  EXPECT_EQ(back.check.no_cache, req.check.no_cache);
+
+  Request ping;
+  ping.op = Request::Op::Ping;
+  ping.id = "hs";
+  const std::string pframe = service::serialize_request(ping);
+  EXPECT_EQ(service::parse_request(
+                std::string_view(pframe).substr(0, pframe.size() - 1)).op,
+            Request::Op::Ping);
+}
+
 TEST(Serialize, FramesAreSingleLines) {
   for (const std::string frame :
        {service::serialize_pong("a"), service::serialize_drain_ack("b"),

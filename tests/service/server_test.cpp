@@ -6,6 +6,9 @@
 #include "service/server.hpp"
 
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -427,6 +430,97 @@ TEST(ServerConcurrency, ShutdownOpDrainsTheServer) {
   EXPECT_TRUE(server.draining());
   server.wait();
   EXPECT_FALSE(client.read_frame().has_value());  // clean EOF after drain
+}
+
+TEST(ServerConcurrency, DrainingAndOverloadedAreDistinctTypedErrors) {
+  // The two retryable rejections a cluster router keys its policy on
+  // (re-route vs retry-same-node) must be distinguishable on the wire
+  // from a single node.  One batch frame [shutdown, check] makes the
+  // draining case deterministic: the ack flips the server to draining
+  // before the check is admitted, so its in-position response is the
+  // typed `draining` error.
+  {
+    Server server(tcp_options(1, 16));
+    server.start();
+    auto client = Client::connect_tcp(server.port());
+    std::string frame = "[{\"op\": \"shutdown\", \"id\": \"s\"}, ";
+    frame += check_frame({"SC"}, false, "late");
+    frame += "]";
+    client.send_frame(frame);
+    const json::Value ack = json::parse(*client.read_frame());
+    EXPECT_TRUE(ack.at("ok").as_bool());
+    const json::Value refused = json::parse(*client.read_frame());
+    EXPECT_FALSE(refused.at("ok").as_bool());
+    EXPECT_EQ(refused.at("id").as_string(), "late");
+    EXPECT_EQ(refused.at("error").at("type").as_string(), "draining");
+    client.shutdown_write();
+    server.wait();
+  }
+
+  // Overload is the other type: queue full, server healthy.  A client
+  // that conflates them would drain-loop against a busy node (or hammer
+  // a dying one), so assert the tag differs.
+  BlockingSolver solver;
+  Server server(tcp_options(1, 1), solver.fn());
+  server.start();
+  auto a = Client::connect_tcp(server.port());
+  a.send_frame(check_frame({"SC"}, false, "a"));
+  ASSERT_TRUE(eventually([&] { return solver.calls.load() == 1; }));
+  auto b = Client::connect_tcp(server.port());
+  b.send_frame(check_frame({"TSO"}, false, "b"));
+  ASSERT_TRUE(eventually([&] {
+    return metrics::Registry::global().gauge("service.queue_depth").value() ==
+           1;
+  }));
+  auto c = Client::connect_tcp(server.port());
+  const json::Value shed = json::parse(c.call(check_frame({"SC"}, false, "c")));
+  EXPECT_EQ(shed.at("error").at("type").as_string(), "overloaded");
+  EXPECT_NE(shed.at("error").at("type").as_string(), "draining");
+
+  solver.release();
+  server.begin_drain();
+  server.wait();
+}
+
+TEST(ClientDeadlines, HostConnectAndBoundedIoAgainstRealServer) {
+  // The host-aware connect path (getaddrinfo + non-blocking connect with
+  // a deadline) must behave identically to the legacy loopback form for
+  // a healthy server.
+  Server server(tcp_options(1, 16));
+  server.start();
+  auto client = Client::connect_tcp("127.0.0.1", server.port(),
+                                    {/*connect_ms=*/1000, /*io_ms=*/5000});
+  const json::Value pong =
+      json::parse(client.call("{\"op\": \"ping\", \"id\": \"h\"}"));
+  EXPECT_TRUE(pong.at("pong").as_bool());
+  server.begin_drain();
+  server.wait();
+}
+
+TEST(ClientDeadlines, IoDeadlineTurnsAWedgedServerIntoATypedError) {
+  // A listener that never accepts: the connect lands in the backlog and
+  // the ping is buffered by the kernel, but no response ever comes.  An
+  // unbounded client would hang forever; with io_ms set, read_frame must
+  // throw InvalidInput once the deadline expires.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 4), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  auto client = Client::connect_tcp("127.0.0.1", port,
+                                    {/*connect_ms=*/1000, /*io_ms=*/60});
+  client.send_frame("{\"op\": \"ping\"}");
+  EXPECT_THROW((void)client.read_frame(), InvalidInput);
+  ::close(listen_fd);
 }
 
 TEST(CheckServiceUnit, EffectiveBudgetClampsToServerCaps) {

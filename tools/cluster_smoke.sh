@@ -1,0 +1,172 @@
+#!/bin/sh
+# Cluster smoke test (ctest: cli_cluster_smoke, labels
+# `cluster;service;concurrency`).
+#
+# Starts three `ssm serve` nodes and one `ssm route` front-end with warm
+# shipping from the corpus, then asserts the scale-out contract end to
+# end through the real binaries:
+#
+#   1. a warm pass through the router with --expect-cached exits 0 for
+#      every corpus entry (shipping + canonical-key routing worked: each
+#      program's home node already holds its verdicts);
+#   2. the router's verdict bytes are identical to a single node's for
+#      the same workload, once `source`/`meta` (which legitimately
+#      differ) are stripped;
+#   3. SIGKILL of one node mid-load is absorbed: every in-flight client
+#      run still exits 0 — zero failed requests;
+#   4. protocol shutdown drains the router cleanly (exit 0, drain line
+#      logged); the surviving nodes drain cleanly afterwards.
+#
+# usage: cluster_smoke.sh <ssm-binary> <corpus-dir>
+set -eu
+
+SSM="$1"
+CORPUS="$2"
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/ssm-cluster-smoke-XXXXXX")
+# Kill whatever is still running on ANY exit path: a failure that leaves
+# a child alive would keep ctest's output pipe open until its timeout.
+PIDS=""
+trap 'kill $PIDS 2> /dev/null || true; rm -rf "$TMP"' EXIT
+
+wait_for_socket() {
+  i=0
+  while [ ! -S "$1" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "FAIL: socket $1 never appeared" >&2
+      cat "$TMP"/*.log >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+# --- the cluster: three nodes + a router shipping the corpus -----------
+"$SSM" serve --socket "$TMP/n1" --node-id n1 2> "$TMP/n1.log" &
+N1_PID=$!
+"$SSM" serve --socket "$TMP/n2" --node-id n2 2> "$TMP/n2.log" &
+N2_PID=$!
+"$SSM" serve --socket "$TMP/n3" --node-id n3 2> "$TMP/n3.log" &
+N3_PID=$!
+PIDS="$N1_PID $N2_PID $N3_PID"
+wait_for_socket "$TMP/n1"
+wait_for_socket "$TMP/n2"
+wait_for_socket "$TMP/n3"
+
+# The router's startup probe round runs BEFORE it binds, so once its
+# socket exists every live node has been probed and shipped its slice.
+"$SSM" route --socket "$TMP/r" \
+  --node "unix:$TMP/n1" --node "unix:$TMP/n2" --node "unix:$TMP/n3" \
+  --ship-corpus "$CORPUS" --probe-ms 50 --backoff-ms 2 \
+  2> "$TMP/route.log" &
+ROUTER_PID=$!
+PIDS="$PIDS $ROUTER_PID"
+wait_for_socket "$TMP/r"
+# A node that is slow to start (sanitizer builds) misses the router's
+# startup probe and comes up via the health thread moments later, so
+# poll for three "node up" transitions instead of grepping the one-shot
+# "3/3 nodes up" listening line.
+i=0
+while [ "$(grep -c "node up" "$TMP/route.log")" -lt 3 ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 300 ]; then
+    echo "FAIL: router did not report all nodes up" >&2
+    cat "$TMP/route.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# --- 1. warm pass: every entry already cached on its home node ---------
+for f in "$CORPUS"/*.litmus; do
+  "$SSM" client --socket "$TMP/r" check "$f" --expect-cached \
+    > /dev/null || {
+    echo "FAIL: $f not served from cache through the router" >&2
+    exit 1
+  }
+done
+
+# --- 2. verdict bytes identical to a single node -----------------------
+# `source` differs by design (cache vs solved) and `meta` carries
+# node-local latency; everything else must match byte for byte.
+strip_variable_fields() {
+  sed -e 's/, "source": "[a-z]*"//g' -e 's/, "meta": {[^}]*}//'
+}
+cat "$CORPUS"/*.litmus > "$TMP/all.litmus"
+"$SSM" serve --socket "$TMP/solo" 2> "$TMP/solo.log" &
+SOLO_PID=$!
+PIDS="$PIDS $SOLO_PID"
+wait_for_socket "$TMP/solo"
+"$SSM" client --socket "$TMP/solo" check "$TMP/all.litmus" \
+  | strip_variable_fields > "$TMP/solo.out"
+"$SSM" client --socket "$TMP/solo" shutdown > /dev/null
+wait "$SOLO_PID"
+"$SSM" client --socket "$TMP/r" check "$TMP/all.litmus" \
+  | strip_variable_fields > "$TMP/routed.out"
+cmp "$TMP/solo.out" "$TMP/routed.out" || {
+  echo "FAIL: routed verdict bytes differ from the single-node run" >&2
+  exit 1
+}
+
+# --- 3. SIGKILL one node mid-load: zero failed requests ----------------
+: > "$TMP/failures"
+(
+  for i in $(seq 1 20); do
+    "$SSM" client --socket "$TMP/r" check "$TMP/all.litmus" > /dev/null \
+      || echo "run $i failed" >> "$TMP/failures"
+  done
+) &
+LOAD_PID=$!
+sleep 0.2
+kill -9 "$N2_PID"
+wait "$LOAD_PID"
+if [ -s "$TMP/failures" ]; then
+  echo "FAIL: client-visible failures during the mid-load kill:" >&2
+  cat "$TMP/failures" >&2
+  cat "$TMP/route.log" >&2
+  exit 1
+fi
+# The survivors still answer — and still byte-identically.  (This also
+# touches the dead node's slice, forcing the failover if the load loop
+# happened to finish before the kill landed.)
+"$SSM" client --socket "$TMP/r" check "$TMP/all.litmus" \
+  | strip_variable_fields > "$TMP/after_kill.out"
+cmp "$TMP/solo.out" "$TMP/after_kill.out" || {
+  echo "FAIL: verdict bytes changed after failover" >&2
+  exit 1
+}
+# The detection log line trails the kill by up to one probe interval;
+# poll rather than racing it.
+i=0
+while ! grep -q "node down" "$TMP/route.log"; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "FAIL: router never noticed the killed node" >&2
+    cat "$TMP/route.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# --- 4. clean drains ---------------------------------------------------
+"$SSM" client --socket "$TMP/r" shutdown > /dev/null
+if ! wait "$ROUTER_PID"; then
+  echo "FAIL: router exited non-zero" >&2
+  cat "$TMP/route.log" >&2
+  exit 1
+fi
+grep -q "drained, exiting" "$TMP/route.log" || {
+  echo "FAIL: no drain line in the router log" >&2
+  cat "$TMP/route.log" >&2
+  exit 1
+}
+"$SSM" client --socket "$TMP/n1" shutdown > /dev/null
+"$SSM" client --socket "$TMP/n3" shutdown > /dev/null
+wait "$N1_PID" && wait "$N3_PID" || {
+  echo "FAIL: a node exited non-zero on drain" >&2
+  exit 1
+}
+wait "$N2_PID" 2> /dev/null || true  # the SIGKILLed one
+
+echo "cluster smoke OK"

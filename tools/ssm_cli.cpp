@@ -90,6 +90,7 @@
 #include "fuzz/corpus.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "models/registry.hpp"
+#include "cluster/router.hpp"
 #include "litmus/emit.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
@@ -124,14 +125,25 @@ void print_usage(std::FILE* out) {
       "                  recorded expectations\n"
       "  serve [--socket PATH | --tcp [PORT]] [--cache-dir DIR]\n"
       "        [--cache-capacity N] [--queue N] [--workers N]\n"
-      "        [--io-threads N] [--preload DIR]\n"
+      "        [--io-threads N] [--preload DIR] [--node-id ID]\n"
       "                  long-running check server: epoll event loop,\n"
       "                  NDJSON protocol (pipelining + batch frames) over a\n"
       "                  unix or 127.0.0.1 TCP socket, verdict cache,\n"
       "                  single-flight dedup, bounded admission queue,\n"
       "                  graceful drain on SIGINT/SIGTERM "
       "(docs/SERVICE.md)\n"
-      "  client (--socket PATH | --tcp PORT) <op> [args]\n"
+      "  route (--socket PATH | --tcp [PORT]) --node SPEC [--node SPEC...]\n"
+      "        [--vnodes N] [--retries N] [--backoff-ms N]\n"
+      "        [--backoff-cap-ms N] [--probe-ms N] [--connect-timeout-ms N]\n"
+      "        [--io-timeout-ms N] [--ship-dir DIR] [--ship-corpus DIR]\n"
+      "        [--router-id ID]\n"
+      "                  cluster front-end: consistent-hash routing of the\n"
+      "                  NDJSON protocol across `ssm serve` nodes (SPEC is\n"
+      "                  unix:PATH or HOST:PORT), with health probes,\n"
+      "                  retry/backoff, failover, and warm-cache shipping\n"
+      "                  (docs/CLUSTER.md)\n"
+      "  client (--socket PATH | --tcp PORT) [--host HOST]\n"
+      "         [--connect-timeout-ms N] [--io-timeout-ms N] <op> [args]\n"
       "                  ops: check <file> [model...] [--no-cache]\n"
       "                       [--expect-cached] [--pipeline N] |\n"
       "                       trace [file] [--model M] [--window N]\n"
@@ -550,6 +562,8 @@ int cmd_serve(int argc, char** argv, const GlobalOptions& opts) {
       }
     } else if (arg == "--preload") {
       preload_dir = value();
+    } else if (arg == "--node-id") {
+      sopts.node_id = value();
     } else {
       return usage();
     }
@@ -589,6 +603,111 @@ int cmd_serve(int argc, char** argv, const GlobalOptions& opts) {
   server.wait();
   g_serving = nullptr;
   std::fprintf(stderr, "ssm serve: drained, exiting\n");
+  return 0;
+}
+
+/// The route loop's drain hook, same contract as the serve one:
+/// Router::begin_drain is an atomic exchange plus a shutdown() on the
+/// listen fd — async-signal-safe.
+cluster::Router* g_routing = nullptr;
+
+extern "C" void handle_route_drain_signal(int) {
+  if (g_routing != nullptr) g_routing->begin_drain();
+}
+
+int cmd_route(int argc, char** argv, const GlobalOptions& opts) {
+  (void)opts;
+  cluster::RouterOptions ropts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ssm: flag %s needs a value\n", arg.c_str());
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      ropts.unix_socket = value();
+    } else if (arg == "--tcp") {
+      ropts.use_tcp = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        ropts.tcp_port =
+            static_cast<std::uint16_t>(parse_u32("--tcp port", argv[++i]));
+      }
+    } else if (arg == "--node") {
+      ropts.nodes.emplace_back(value());
+    } else if (arg == "--vnodes") {
+      ropts.vnodes = parse_u32("--vnodes value", value());
+      if (ropts.vnodes == 0) {
+        std::fprintf(stderr, "ssm route: --vnodes must be >= 1\n");
+        return 64;
+      }
+    } else if (arg == "--retries") {
+      ropts.max_attempts = parse_u32("--retries value", value());
+      if (ropts.max_attempts == 0) {
+        std::fprintf(stderr, "ssm route: --retries must be >= 1\n");
+        return 64;
+      }
+    } else if (arg == "--backoff-ms") {
+      ropts.backoff_base_ms = parse_u32("--backoff-ms value", value());
+    } else if (arg == "--backoff-cap-ms") {
+      ropts.backoff_cap_ms = parse_u32("--backoff-cap-ms value", value());
+    } else if (arg == "--probe-ms") {
+      ropts.probe_interval_ms = parse_u32("--probe-ms value", value());
+      if (ropts.probe_interval_ms == 0) {
+        std::fprintf(stderr, "ssm route: --probe-ms must be >= 1\n");
+        return 64;
+      }
+    } else if (arg == "--connect-timeout-ms") {
+      ropts.connect_timeout_ms =
+          parse_u32("--connect-timeout-ms value", value());
+    } else if (arg == "--io-timeout-ms") {
+      ropts.io_timeout_ms = parse_u32("--io-timeout-ms value", value());
+    } else if (arg == "--ship-dir") {
+      ropts.ship_dir = value();
+    } else if (arg == "--ship-corpus") {
+      ropts.ship_corpus = value();
+    } else if (arg == "--router-id") {
+      ropts.router_id = value();
+    } else {
+      return usage();
+    }
+  }
+  if (!ropts.use_tcp && ropts.unix_socket.empty()) {
+    std::fprintf(stderr, "ssm route: need --socket PATH or --tcp [PORT]\n");
+    return 64;
+  }
+  if (ropts.nodes.empty()) {
+    std::fprintf(stderr, "ssm route: need at least one --node SPEC\n");
+    return 64;
+  }
+  // Fail fast on malformed specs (exit 64) before binding anything.
+  for (const std::string& spec : ropts.nodes) {
+    try {
+      (void)cluster::NodeAddress::parse(spec);
+    } catch (const InvalidInput& e) {
+      std::fprintf(stderr, "ssm route: %s\n", e.what());
+      return 64;
+    }
+  }
+  cluster::Router router(ropts);
+  router.start();
+  if (ropts.use_tcp) {
+    std::fprintf(stderr, "ssm route: listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(router.port()));
+  } else {
+    std::fprintf(stderr, "ssm route: listening on %s\n",
+                 ropts.unix_socket.c_str());
+  }
+  g_routing = &router;
+  struct sigaction sa{};
+  sa.sa_handler = handle_route_drain_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  router.wait();
+  g_routing = nullptr;
+  std::fprintf(stderr, "ssm route: drained, exiting\n");
   return 0;
 }
 
@@ -694,10 +813,12 @@ int client_trace(service::Client& client, const std::vector<std::string>& rest,
 
 int cmd_client(int argc, char** argv, const GlobalOptions& opts) {
   std::string socket_path;
+  std::string host = "127.0.0.1";
   std::uint16_t tcp_port = 0;
   bool use_tcp = false;
   bool no_cache = false;
   bool expect_cached = false;
+  service::ClientDeadlines deadlines;
   std::size_t pipeline = 1;
   std::vector<std::string> rest;
   for (int i = 2; i < argc; ++i) {
@@ -714,6 +835,16 @@ int cmd_client(int argc, char** argv, const GlobalOptions& opts) {
     } else if (arg == "--tcp") {
       use_tcp = true;
       tcp_port = static_cast<std::uint16_t>(parse_u32("--tcp port", value()));
+    } else if (arg == "--host") {
+      host = value();
+      if (host.empty()) {
+        std::fprintf(stderr, "ssm client: --host must be non-empty\n");
+        return 64;
+      }
+    } else if (arg == "--connect-timeout-ms") {
+      deadlines.connect_ms = parse_u32("--connect-timeout-ms value", value());
+    } else if (arg == "--io-timeout-ms") {
+      deadlines.io_ms = parse_u32("--io-timeout-ms value", value());
     } else if (arg == "--no-cache") {
       no_cache = true;
     } else if (arg == "--expect-cached") {
@@ -729,8 +860,9 @@ int cmd_client(int argc, char** argv, const GlobalOptions& opts) {
     }
   }
   if ((socket_path.empty() && !use_tcp) || rest.empty()) return usage();
-  auto client = use_tcp ? service::Client::connect_tcp(tcp_port)
-                        : service::Client::connect_unix(socket_path);
+  auto client = use_tcp
+                    ? service::Client::connect_tcp(host, tcp_port, deadlines)
+                    : service::Client::connect_unix(socket_path, deadlines);
 
   const std::string& op = rest[0];
   if (op == "ping" || op == "stats" || op == "shutdown") {
@@ -1124,6 +1256,7 @@ int main(int argc, char** argv) {
     if (cmd == "fuzz") return cmd_fuzz(argc, argv, opts);
     if (cmd == "replay") return cmd_replay(argc, argv, opts);
     if (cmd == "serve") return cmd_serve(argc, argv, opts);
+    if (cmd == "route") return cmd_route(argc, argv, opts);
     if (cmd == "client") return cmd_client(argc, argv, opts);
     if (cmd == "trace") return cmd_trace(argc, argv, opts);
     std::fprintf(stderr, "ssm: unknown command '%s'\n", cmd.c_str());
