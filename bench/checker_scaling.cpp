@@ -11,9 +11,28 @@
 //   ./checker_scaling --jobs N                 fan-out workload at N lanes
 //   ./checker_scaling --jobs N --json out.json ... plus machine-readable
 //                                              record (nodes/sec, wall
-//                                              time, matrix checksum,
-//                                              metrics snapshot) for the
-//                                              BENCH_*.json trajectory
+//                                              time, per-run walls,
+//                                              speedup_vs_jobs1, matrix
+//                                              checksum, metrics snapshot)
+//                                              for the BENCH_*.json
+//                                              trajectory
+//   ... --repeat N                             repeat the timed workload N
+//                                              times; report every wall
+//                                              time plus mean and sample
+//                                              stddev (variance makes a
+//                                              single-run speedup claim
+//                                              falsifiable)
+//   ... --enforce                              exit non-zero unless the
+//                                              scaling contract holds: on
+//                                              >=4 hardware threads with
+//                                              jobs>=4, speedup_vs_jobs1
+//                                              >= 1.5; on smaller hosts
+//                                              (1-core CI) a determinism
+//                                              sweep instead — prompt
+//                                              cancellation off, node
+//                                              count and matrix checksum
+//                                              byte-identical across jobs
+//                                              1/2/4 and repeats
 //   ... --max-nodes N / --timeout-ms N         per-cell search budget;
 //                                              exhausted cells render "?"
 //                                              (docs/OBSERVABILITY.md)
@@ -25,15 +44,18 @@
 #include "bench_util.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <thread>
 
 #include "checker/legality.hpp"
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "lattice/enumerate.hpp"
 #include "litmus/runner.hpp"
+#include "models/per_processor.hpp"
 
 namespace {
 
@@ -100,13 +122,11 @@ std::uint64_t fnv1a(const std::string& s) {
   return h;
 }
 
-/// The multi-processor lattice workload: a fixed-seed suite of random
-/// canonical histories classified against the paper's seven models.  Both
-/// fan-out levels engage — (test × model) cells across the suite, and
-/// per-processor view searches inside each check.
-int run_fanout_workload(unsigned jobs, const char* json_path,
-                        const checker::BudgetSpec& budget) {
-  common::ThreadPool::set_global_jobs(jobs);
+/// The matrix checksum the fixed-seed workload must render under any jobs
+/// setting (docs/PARALLELISM.md pins the same constant).
+constexpr std::uint64_t kExpectedMatrixHash = 0x36fc4f3d7bac8dafULL;
+
+std::vector<litmus::LitmusTest> build_suite() {
   constexpr std::uint32_t kProcs = 4;
   constexpr std::uint32_t kOps = 3;
   constexpr std::uint32_t kLocs = 2;
@@ -120,35 +140,159 @@ int run_fanout_workload(unsigned jobs, const char* json_path,
     t.hist = random_h(kProcs, kOps, kLocs, 1000 + i);
     suite.push_back(std::move(t));
   }
-  const auto models = models::paper_models();
+  return suite;
+}
 
+struct RunResult {
+  double wall_s = 0.0;
+  checker::SearchStats stats;
+  std::uint64_t matrix_hash = 0;
+  std::string matrix;
+};
+
+RunResult run_once(const std::vector<litmus::LitmusTest>& suite,
+                   const std::vector<models::ModelPtr>& models,
+                   const checker::BudgetSpec& budget) {
   checker::reset_aggregate_search_stats();
   common::metrics::Registry::global().reset();
   const auto t0 = std::chrono::steady_clock::now();
   const auto outcomes =
       litmus::run_suite(suite, models, litmus::RunOptions{budget});
   const auto t1 = std::chrono::steady_clock::now();
-  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
-  const auto stats = checker::aggregate_search_stats();
-  const std::string matrix = litmus::format_matrix(outcomes);
-  const double nodes_per_sec =
-      wall_s > 0 ? static_cast<double>(stats.nodes) / wall_s : 0.0;
+  RunResult r;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.stats = checker::aggregate_search_stats();
+  r.matrix = litmus::format_matrix(outcomes);
+  r.matrix_hash = fnv1a(r.matrix);
+  return r;
+}
 
-  std::printf("%s\n", matrix.c_str());
-  std::printf("fanout workload: %u histories (%u procs x %u ops) x %zu "
-              "models, jobs=%u\n",
-              kHistories, kProcs, kOps, models.size(), jobs);
-  std::printf("wall=%.3fs nodes=%llu memo_hits=%llu memo_misses=%llu "
-              "searches=%llu cancelled=%llu exhausted=%llu nodes/sec=%.3e "
+double mean_of(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+double stddev_of(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mean = mean_of(xs);
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - mean) * (x - mean);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+/// The <4-core enforcement arm: speedup is meaningless without lanes to
+/// run on, so the falsifiable claim becomes determinism.  With prompt
+/// cancellation off every search runs to its natural end, making the node
+/// count — not just the verdict matrix — byte-identical across jobs
+/// settings and repeats.
+int run_determinism_sweep(const std::vector<litmus::LitmusTest>& suite,
+                          const std::vector<models::ModelPtr>& models,
+                          const checker::BudgetSpec& budget) {
+  models::set_prompt_cancellation(false);
+  bool ok = true;
+  std::uint64_t ref_nodes = 0, ref_hash = 0;
+  bool have_ref = false;
+  for (const unsigned jobs : {1u, 2u, 4u}) {
+    common::ThreadPool::set_global_jobs(jobs);
+    for (int rep = 0; rep < 2; ++rep) {
+      const RunResult r = run_once(suite, models, budget);
+      std::printf("determinism jobs=%u rep=%d nodes=%llu searches=%llu "
+                  "matrix_fnv1a=%016llx\n",
+                  jobs, rep, static_cast<unsigned long long>(r.stats.nodes),
+                  static_cast<unsigned long long>(r.stats.searches),
+                  static_cast<unsigned long long>(r.matrix_hash));
+      if (!have_ref) {
+        ref_nodes = r.stats.nodes;
+        ref_hash = r.matrix_hash;
+        have_ref = true;
+      } else if (r.stats.nodes != ref_nodes || r.matrix_hash != ref_hash) {
+        std::fprintf(stderr,
+                     "FAIL: jobs=%u rep=%d diverged from reference "
+                     "(nodes %llu vs %llu, hash %016llx vs %016llx)\n",
+                     jobs, rep, static_cast<unsigned long long>(r.stats.nodes),
+                     static_cast<unsigned long long>(ref_nodes),
+                     static_cast<unsigned long long>(r.matrix_hash),
+                     static_cast<unsigned long long>(ref_hash));
+        ok = false;
+      }
+    }
+  }
+  models::set_prompt_cancellation(true);
+  if (ref_hash != kExpectedMatrixHash) {
+    std::fprintf(stderr, "FAIL: matrix_fnv1a %016llx != expected %016llx\n",
+                 static_cast<unsigned long long>(ref_hash),
+                 static_cast<unsigned long long>(kExpectedMatrixHash));
+    ok = false;
+  }
+  std::printf("determinism sweep: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 2;
+}
+
+/// The multi-processor lattice workload: a fixed-seed suite of random
+/// canonical histories classified against the paper's seven models.  Both
+/// fan-out levels engage — (test × model) cells across the suite, and
+/// per-processor view searches inside each check.
+int run_fanout_workload(unsigned jobs, unsigned repeat, bool enforce,
+                        const char* json_path,
+                        const checker::BudgetSpec& budget) {
+  const auto suite = build_suite();
+  const auto models = models::paper_models();
+  if (repeat == 0) repeat = 1;
+
+  common::ThreadPool::set_global_jobs(jobs);
+  std::vector<double> walls;
+  walls.reserve(repeat);
+  RunResult last;
+  for (unsigned rep = 0; rep < repeat; ++rep) {
+    last = run_once(suite, models, budget);
+    walls.push_back(last.wall_s);
+    if (repeat > 1) {
+      std::printf("run %u/%u: wall=%.3fs nodes=%llu\n", rep + 1, repeat,
+                  last.wall_s,
+                  static_cast<unsigned long long>(last.stats.nodes));
+    }
+  }
+  const double wall_mean = mean_of(walls);
+  const double wall_sd = stddev_of(walls);
+  const auto& stats = last.stats;
+  const double nodes_per_sec =
+      wall_mean > 0 ? static_cast<double>(stats.nodes) / wall_mean : 0.0;
+
+  // Reference run(s) at jobs=1 on the same suite: the denominator of the
+  // machine-readable speedup claim.  Same repeat count so both sides of
+  // the ratio carry the same variance.
+  double speedup = 1.0;
+  double jobs1_mean = wall_mean;
+  if (jobs > 1) {
+    common::ThreadPool::set_global_jobs(1);
+    std::vector<double> ref_walls;
+    ref_walls.reserve(repeat);
+    for (unsigned rep = 0; rep < repeat; ++rep) {
+      ref_walls.push_back(run_once(suite, models, budget).wall_s);
+    }
+    common::ThreadPool::set_global_jobs(jobs);
+    jobs1_mean = mean_of(ref_walls);
+    speedup = wall_mean > 0 ? jobs1_mean / wall_mean : 0.0;
+  }
+
+  std::printf("%s\n", last.matrix.c_str());
+  std::printf("fanout workload: %zu histories x %zu models, jobs=%u "
+              "repeat=%u\n",
+              suite.size(), models.size(), jobs, repeat);
+  std::printf("wall=%.3fs (stddev %.3fs over %u runs) nodes=%llu "
+              "memo_hits=%llu memo_misses=%llu searches=%llu cancelled=%llu "
+              "exhausted=%llu nodes/sec=%.3e speedup_vs_jobs1=%.2fx "
               "matrix_fnv1a=%016llx\n",
-              wall_s, static_cast<unsigned long long>(stats.nodes),
+              wall_mean, wall_sd, repeat,
+              static_cast<unsigned long long>(stats.nodes),
               static_cast<unsigned long long>(stats.memo_hits),
               static_cast<unsigned long long>(stats.memo_misses),
               static_cast<unsigned long long>(stats.searches),
               static_cast<unsigned long long>(stats.cancelled),
               static_cast<unsigned long long>(stats.exhausted),
-              nodes_per_sec,
-              static_cast<unsigned long long>(fnv1a(matrix)));
+              nodes_per_sec, speedup,
+              static_cast<unsigned long long>(last.matrix_hash));
 
   if (json_path != nullptr) {
     std::ofstream out(json_path);
@@ -156,19 +300,29 @@ int run_fanout_workload(unsigned jobs, const char* json_path,
       std::fprintf(stderr, "cannot open %s\n", json_path);
       return 1;
     }
-    char buf[1536];
+    std::string runs_json = "[";
+    for (std::size_t i = 0; i < walls.size(); ++i) {
+      char w[32];
+      std::snprintf(w, sizeof w, "%s%.6f", i == 0 ? "" : ", ", walls[i]);
+      runs_json += w;
+    }
+    runs_json += "]";
+    char buf[2048];
     std::snprintf(
         buf, sizeof buf,
         "{\n"
         "  \"benchmark\": \"checker_scaling_fanout\",\n"
         "  \"jobs\": %u,\n"
-        "  \"histories\": %u,\n"
-        "  \"procs\": %u,\n"
-        "  \"ops_per_proc\": %u,\n"
+        "  \"repeat\": %u,\n"
+        "  \"histories\": %zu,\n"
         "  \"models\": %zu,\n"
         "  \"max_nodes\": %llu,\n"
         "  \"timeout_ms\": %llu,\n"
         "  \"wall_seconds\": %.6f,\n"
+        "  \"wall_stddev_seconds\": %.6f,\n"
+        "  \"wall_runs\": %s,\n"
+        "  \"jobs1_wall_seconds\": %.6f,\n"
+        "  \"speedup_vs_jobs1\": %.3f,\n"
         "  \"nodes\": %llu,\n"
         "  \"memo_hits\": %llu,\n"
         "  \"memo_misses\": %llu,\n"
@@ -178,19 +332,38 @@ int run_fanout_workload(unsigned jobs, const char* json_path,
         "  \"nodes_per_sec\": %.3f,\n"
         "  \"matrix_fnv1a\": \"%016llx\",\n"
         "  ",
-        jobs, kHistories, kProcs, kOps, models.size(),
+        jobs, repeat, suite.size(), models.size(),
         static_cast<unsigned long long>(budget.max_nodes),
-        static_cast<unsigned long long>(budget.timeout_ms), wall_s,
+        static_cast<unsigned long long>(budget.timeout_ms), wall_mean,
+        wall_sd, runs_json.c_str(), jobs1_mean, speedup,
         static_cast<unsigned long long>(stats.nodes),
         static_cast<unsigned long long>(stats.memo_hits),
         static_cast<unsigned long long>(stats.memo_misses),
         static_cast<unsigned long long>(stats.searches),
         static_cast<unsigned long long>(stats.cancelled),
         static_cast<unsigned long long>(stats.exhausted), nodes_per_sec,
-        static_cast<unsigned long long>(fnv1a(matrix)));
+        static_cast<unsigned long long>(last.matrix_hash));
     std::string snapshot;
     common::metrics::append_global_snapshot(snapshot);
     out << buf << snapshot << "\n}\n";
+  }
+
+  if (enforce) {
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores >= 4 && jobs >= 4) {
+      if (speedup < 1.5) {
+        std::fprintf(stderr,
+                     "FAIL: speedup_vs_jobs1 %.2fx < 1.5x at jobs=%u on %u "
+                     "hardware threads\n",
+                     speedup, jobs, cores);
+        return 2;
+      }
+      std::printf("enforce: speedup %.2fx >= 1.5x OK\n", speedup);
+    } else {
+      std::printf("enforce: %u hardware thread(s) — determinism sweep "
+                  "instead of speedup\n", cores);
+      return run_determinism_sweep(suite, models, budget);
+    }
   }
   return 0;
 }
@@ -199,6 +372,8 @@ int run_fanout_workload(unsigned jobs, const char* json_path,
 
 int main(int argc, char** argv) {
   unsigned jobs = 0;
+  unsigned repeat = 1;
+  bool enforce = false;
   const char* json_path = nullptr;
   checker::BudgetSpec budget;
   bool fanout = false;
@@ -209,6 +384,12 @@ int main(int argc, char** argv) {
       fanout = true;
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       jobs = static_cast<unsigned>(std::atoi(argv[i] + 7));
+      fanout = true;
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = static_cast<unsigned>(std::atoi(argv[++i]));
+      fanout = true;
+    } else if (std::strcmp(argv[i], "--enforce") == 0) {
+      enforce = true;
       fanout = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
@@ -231,8 +412,8 @@ int main(int argc, char** argv) {
 
   if (fanout) {
     return run_fanout_workload(
-        jobs == 0 ? common::ThreadPool::default_jobs() : jobs, json_path,
-        budget);
+        jobs == 0 ? common::ThreadPool::default_jobs() : jobs, repeat,
+        enforce, json_path, budget);
   }
 
   for (const char* model :

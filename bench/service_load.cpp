@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/metrics.hpp"
 #include "common/types.hpp"
 #include "litmus/emit.hpp"
 #include "litmus/parser.hpp"
@@ -80,9 +81,28 @@ struct PassStats {
   std::uint64_t p50_us = 0;
   std::uint64_t p95_us = 0;
   std::uint64_t p99_us = 0;
+  // Verdict-cache read-path accounting over this pass (deltas of the
+  // process-wide counters): a warm pass should be all lock-free reads and
+  // ZERO shard-lock acquisitions — the number this bench exists to watch.
+  std::uint64_t cache_lockfree_reads = 0;
+  std::uint64_t cache_shard_locks = 0;
 
   [[nodiscard]] double rps() const {
     return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+};
+
+/// Snapshot of the verdict-cache counters, for per-pass deltas.  The
+/// server runs in-process, so its instruments live in this process's
+/// metrics registry.
+struct CacheCounters {
+  std::uint64_t lockfree_reads;
+  std::uint64_t shard_locks;
+
+  static CacheCounters now() {
+    auto& reg = common::metrics::Registry::global();
+    return {reg.counter("service.cache_lockfree_reads").value(),
+            reg.counter("service.shard_lock_acquisitions").value()};
   }
 };
 
@@ -261,6 +281,22 @@ PassStats run_pass(const std::string& socket_path,
   return stats;
 }
 
+/// run_pass plus before/after verdict-cache counter deltas.
+PassStats run_counted_pass(const std::string& socket_path,
+                           const std::vector<WorkItem>& work,
+                           const LoadOptions& opts,
+                           std::map<std::string, std::uint64_t>& digests,
+                           bool& identical,
+                           std::optional<Clock::time_point> deadline = {}) {
+  const CacheCounters before = CacheCounters::now();
+  PassStats stats = run_pass(socket_path, work, opts, digests, identical,
+                             deadline);
+  const CacheCounters after = CacheCounters::now();
+  stats.cache_lockfree_reads = after.lockfree_reads - before.lockfree_reads;
+  stats.cache_shard_locks = after.shard_locks - before.shard_locks;
+  return stats;
+}
+
 void print_pass(const char* name, const PassStats& s) {
   std::printf("  %-9s %7zu req in %8.3fs = %9.1f rps   p50 %llu us  "
               "p95 %llu us  p99 %llu us\n",
@@ -268,17 +304,25 @@ void print_pass(const char* name, const PassStats& s) {
               static_cast<unsigned long long>(s.p50_us),
               static_cast<unsigned long long>(s.p95_us),
               static_cast<unsigned long long>(s.p99_us));
+  std::printf("  %-9s cache reads: %llu lock-free, %llu shard-lock "
+              "acquisitions\n",
+              "", static_cast<unsigned long long>(s.cache_lockfree_reads),
+              static_cast<unsigned long long>(s.cache_shard_locks));
 }
 
 std::string pass_json(const PassStats& s) {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof buf,
                 "{\"requests\": %zu, \"seconds\": %.6f, \"rps\": %.1f, "
-                "\"p50_us\": %llu, \"p95_us\": %llu, \"p99_us\": %llu}",
+                "\"p50_us\": %llu, \"p95_us\": %llu, \"p99_us\": %llu, "
+                "\"cache_lockfree_reads\": %llu, "
+                "\"cache_shard_lock_acquisitions\": %llu}",
                 s.requests, s.seconds, s.rps(),
                 static_cast<unsigned long long>(s.p50_us),
                 static_cast<unsigned long long>(s.p95_us),
-                static_cast<unsigned long long>(s.p99_us));
+                static_cast<unsigned long long>(s.p99_us),
+                static_cast<unsigned long long>(s.cache_lockfree_reads),
+                static_cast<unsigned long long>(s.cache_shard_locks));
   return buf;
 }
 
@@ -307,11 +351,13 @@ int run(const LoadOptions& opts) {
 
   std::map<std::string, std::uint64_t> digests;
   bool identical = true;
-  const PassStats cold = run_pass(socket_path, work, opts, digests, identical);
-  const PassStats warm = run_pass(socket_path, work, opts, digests, identical);
+  const PassStats cold =
+      run_counted_pass(socket_path, work, opts, digests, identical);
+  const PassStats warm =
+      run_counted_pass(socket_path, work, opts, digests, identical);
   PassStats sustained;
   if (opts.duration > 0.0) {
-    sustained = run_pass(
+    sustained = run_counted_pass(
         socket_path, work, opts, digests, identical,
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double>(opts.duration)));

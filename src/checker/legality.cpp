@@ -5,6 +5,8 @@
 #include <cstring>
 #include <memory>
 
+#include "checker/memo.hpp"
+#include "common/arena.hpp"
 #include "common/metrics.hpp"
 
 namespace ssm::checker {
@@ -14,7 +16,6 @@ namespace metrics = common::metrics;
 
 thread_local SearchStats g_stats;
 thread_local bool g_memoize = true;
-thread_local bool g_degenerate_hash = false;
 thread_local void (*g_slow_legality_hook)() = nullptr;
 
 std::atomic<std::uint64_t> g_agg_nodes{0};
@@ -31,103 +32,13 @@ std::uint64_t steady_now_ns() noexcept {
           .count());
 }
 
-/// Insert-only open-addressed set of failed search states, keyed by the
-/// FULL packed state (scheduled-mask words ++ per-location last values),
-/// not by a hash of it.  The hash only picks the probe start; membership
-/// is decided by comparing the stored key words, so two distinct states
-/// can never alias and prune a live subtree (the soundness bug of the
-/// earlier 64-bit-hash memo).  Keys live densely in an arena; the slot
-/// array holds 1-based key ids and rehashes by doubling.
-class FailedStateTable {
- public:
-  explicit FailedStateTable(std::size_t key_words)
-      : key_words_(key_words), slots_(kInitialCapacity, 0) {}
-
-  /// Rearm for a new search with `key_words`-word keys.  The arena and
-  /// hash vectors keep their heap capacity; the slot array shrinks back to
-  /// the initial 64 entries (a 256-byte memset) so small searches don't
-  /// pay for a predecessor that grew large.  Membership is exact full-key
-  /// comparison, so table capacity never affects results.
-  void reset(std::size_t key_words) {
-    key_words_ = key_words;
-    count_ = 0;
-    arena_.clear();
-    hashes_.clear();
-    slots_.assign(kInitialCapacity, 0);
-  }
-
-  [[nodiscard]] bool contains(const std::uint64_t* key) const noexcept {
-    const std::uint64_t h = hash(key);
-    std::size_t idx = static_cast<std::size_t>(h) & (slots_.size() - 1);
-    for (;;) {
-      const std::uint32_t slot = slots_[idx];
-      if (slot == 0) return false;
-      if (hashes_[slot - 1] == h && key_equals(slot - 1, key)) return true;
-      idx = (idx + 1) & (slots_.size() - 1);
-    }
-  }
-
-  void insert(const std::uint64_t* key) {
-    if ((count_ + 1) * 4 > slots_.size() * 3) grow();
-    const std::uint64_t h = hash(key);
-    std::size_t idx = static_cast<std::size_t>(h) & (slots_.size() - 1);
-    for (;;) {
-      const std::uint32_t slot = slots_[idx];
-      if (slot == 0) break;
-      if (hashes_[slot - 1] == h && key_equals(slot - 1, key)) return;
-      idx = (idx + 1) & (slots_.size() - 1);
-    }
-    arena_.insert(arena_.end(), key, key + key_words_);
-    hashes_.push_back(h);
-    ++count_;
-    slots_[idx] = static_cast<std::uint32_t>(count_);  // 1-based id
-  }
-
- private:
-  static constexpr std::size_t kInitialCapacity = 64;
-
-  [[nodiscard]] bool key_equals(std::size_t id,
-                                const std::uint64_t* key) const noexcept {
-    return std::equal(key, key + key_words_,
-                      arena_.data() + id * key_words_);
-  }
-
-  [[nodiscard]] std::uint64_t hash(const std::uint64_t* key) const noexcept {
-    if (g_degenerate_hash) return 0x5bd1e995ULL;
-    std::uint64_t k = 0x243f6a8885a308d3ULL;
-    for (std::size_t i = 0; i < key_words_; ++i) {
-      k ^= key[i] + 0x9e3779b97f4a7c15ULL + (k << 6) + (k >> 2);
-      k *= 0xff51afd7ed558ccdULL;
-      k ^= k >> 33;
-    }
-    return k;
-  }
-
-  void grow() {
-    std::vector<std::uint32_t> bigger(slots_.size() * 2, 0);
-    for (std::uint32_t slot : slots_) {
-      if (slot == 0) continue;
-      std::size_t idx =
-          static_cast<std::size_t>(hashes_[slot - 1]) & (bigger.size() - 1);
-      while (bigger[idx] != 0) idx = (idx + 1) & (bigger.size() - 1);
-      bigger[idx] = slot;
-    }
-    slots_ = std::move(bigger);
-  }
-
-  std::size_t key_words_;
-  std::size_t count_ = 0;
-  std::vector<std::uint32_t> slots_;   // 1-based ids into hashes_/arena_
-  std::vector<std::uint64_t> hashes_;  // cached hash per stored key
-  std::vector<std::uint64_t> arena_;   // count_ × key_words_ packed keys
-};
-
-/// Per-thread scratch owning every buffer a ViewSearch needs.  The litmus
-/// workload runs tens of thousands of tiny searches (one per processor per
-/// coherence/write-order candidate), so per-search heap traffic dominated
-/// construction; recycling the buffers turns it into a handful of memsets.
-/// A small per-thread stack of workspaces handles re-entrancy (a visitor
-/// that starts a nested search gets the next workspace down).
+/// Per-worker scratch owning every buffer a ViewSearch needs (the memo
+/// itself now lives in checker/memo.hpp).  The litmus workload runs tens
+/// of thousands of tiny searches (one per processor per coherence/
+/// write-order candidate), so per-search heap traffic dominated
+/// construction; recycling the buffers turns it into a handful of
+/// memsets.  A small per-arena stack of workspaces handles re-entrancy (a
+/// visitor that starts a nested search gets the next workspace down).
 struct SearchWorkspace {
   DynBitset scheduled;
   DynBitset ready;
@@ -144,21 +55,33 @@ struct SearchWorkspace {
   FailedStateTable failed{0};
 };
 
-std::vector<std::unique_ptr<SearchWorkspace>>& workspace_pool() {
-  thread_local std::vector<std::unique_ptr<SearchWorkspace>> pool;
-  return pool;
-}
-thread_local std::size_t g_workspace_depth = 0;
+/// The workspace stack lives in the scheduler lane's WorkerArena rather
+/// than a thread_local: a worker that survives across batches keeps its
+/// buffers, and caller threads that claim different lanes over time use
+/// each lane's resident pool instead of growing one per OS thread.
+/// Acquire/release pairs are strictly nested (the lease pins the pool it
+/// came from), which makes mid-stack lane switches safe.
+struct WorkspacePool {
+  std::vector<std::unique_ptr<SearchWorkspace>> pool;
+  std::size_t depth = 0;
+};
 
-SearchWorkspace& acquire_workspace() {
-  auto& pool = workspace_pool();
-  if (g_workspace_depth == pool.size()) {
-    pool.push_back(std::make_unique<SearchWorkspace>());
+struct WorkspaceLease {
+  WorkspacePool* pool;
+  SearchWorkspace* ws;
+};
+
+WorkspaceLease acquire_workspace() {
+  auto& wp = common::this_worker_arena().slot<WorkspacePool>();
+  if (wp.depth == wp.pool.size()) {
+    wp.pool.push_back(std::make_unique<SearchWorkspace>());
   }
-  return *pool[g_workspace_depth++];
+  return WorkspaceLease{&wp, wp.pool[wp.depth++].get()};
 }
 
-void release_workspace() noexcept { --g_workspace_depth; }
+void release_workspace(const WorkspaceLease& lease) noexcept {
+  --lease.pool->depth;
+}
 
 /// DFS over downward-closed subsets of the constraint order.  Templated on
 /// the visitor so the hot first-witness path (find_legal_view's tiny
@@ -174,7 +97,8 @@ class ViewSearch {
         exempt_(exempt),
         visit_(visit),
         control_(control),
-        ws_(acquire_workspace()),
+        lease_(acquire_workspace()),
+        ws_(*lease_.ws),
         scheduled_(ws_.scheduled),
         ready_(ws_.ready),
         target_(universe.count()),
@@ -243,11 +167,9 @@ class ViewSearch {
     }
     order_.clear();
     order_.reserve(target_);
-    g_stats = {};
-    g_stats.searches = 1;
   }
 
-  ~ViewSearch() { release_workspace(); }
+  ~ViewSearch() { release_workspace(lease_); }
   ViewSearch(const ViewSearch&) = delete;
   ViewSearch& operator=(const ViewSearch&) = delete;
 
@@ -264,6 +186,17 @@ class ViewSearch {
     } else {
       dfs();
     }
+    // Publish this search's tallies to the thread-local snapshot only now
+    // that it is complete.  The counts themselves accumulate in members: a
+    // visitor may start a nested search (possibly executed inline on this
+    // very thread by the work-stealing scheduler), and a mid-search wipe of
+    // g_stats would silently drop every node counted so far — making the
+    // aggregate depend on which lane the nested work landed on.
+    g_stats = {};
+    g_stats.nodes = nodes_;
+    g_stats.memo_hits = memo_hits_;
+    g_stats.memo_misses = memo_misses_;
+    g_stats.searches = 1;
     if (control_.cancelled()) g_stats.cancelled = 1;
     g_stats.exhausted = exhausted_ ? 1 : 0;
     g_agg_nodes.fetch_add(g_stats.nodes, std::memory_order_relaxed);
@@ -298,9 +231,13 @@ class ViewSearch {
         metrics::Registry::global().histogram("checker.frontier_width");
     static auto& latency = metrics::Registry::global().histogram(
         "checker.cancel_latency_ns");
+    static auto& probes =
+        metrics::Registry::global().counter("memo.lockfree_probes");
     nodes.add(g_stats.nodes);
     hits.add(g_stats.memo_hits);
     misses.add(g_stats.memo_misses);
+    // Every memo probe (hit or miss) is a lock-free acquire-load walk.
+    probes.add(g_stats.memo_hits + g_stats.memo_misses);
     searches.add(1);
     frontier.observe(max_frontier_);
     if (g_stats.cancelled != 0) {
@@ -329,7 +266,7 @@ class ViewSearch {
   /// Returns true iff at least one complete legal view was found in this
   /// subtree (used to decide whether the entry state is a dead end).
   bool dfs() {
-    ++g_stats.nodes;
+    ++nodes_;
     if (control_.cancelled()) {
       stopped_ = true;
       return false;
@@ -350,10 +287,10 @@ class ViewSearch {
     }
     if (g_memoize) {
       if (failed_.contains(pack_state())) {
-        ++g_stats.memo_hits;
+        ++memo_hits_;
         return false;
       }
-      ++g_stats.memo_misses;
+      ++memo_misses_;
     }
     bool found = false;
     // The ready frontier (unscheduled ops whose predecessors are all
@@ -449,8 +386,9 @@ class ViewSearch {
   const DynBitset& exempt_;
   Visitor& visit_;
   SearchControl control_;
-  /// All mutable buffers live in the recycled per-thread workspace; the
-  /// references below just keep the hot-path member names short.
+  /// All mutable buffers live in the recycled per-worker-arena workspace;
+  /// the references below just keep the hot-path member names short.
+  WorkspaceLease lease_;
   SearchWorkspace& ws_;
   DynBitset& scheduled_;
   /// Unscheduled universe ops whose predecessor masks are covered by
@@ -474,6 +412,12 @@ class ViewSearch {
   bool stopped_ = false;
   bool exhausted_ = false;
   std::uint64_t max_frontier_ = 0;
+  /// Per-search tallies.  Members, not the thread-local g_stats: nested
+  /// searches started by the visitor may run on this same thread and must
+  /// not clobber the enclosing search's counts (see run()).
+  std::uint64_t nodes_ = 0;
+  std::uint64_t memo_hits_ = 0;
+  std::uint64_t memo_misses_ = 0;
 };
 
 /// Adopts the calling thread's ambient budget when the caller supplied no
@@ -617,10 +561,6 @@ void set_memoization_enabled(bool enabled) noexcept { g_memoize = enabled; }
 
 void set_slow_legality_hook_for_testing(void (*hook)()) noexcept {
   g_slow_legality_hook = hook;
-}
-
-void set_degenerate_memo_hash_for_testing(bool degenerate) noexcept {
-  g_degenerate_hash = degenerate;
 }
 
 }  // namespace ssm::checker

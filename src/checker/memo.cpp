@@ -1,0 +1,115 @@
+#include "checker/memo.hpp"
+
+#include <algorithm>
+
+namespace ssm::checker {
+
+namespace {
+thread_local bool g_degenerate_hash = false;
+}  // namespace
+
+void set_degenerate_memo_hash_for_testing(bool degenerate) noexcept {
+  g_degenerate_hash = degenerate;
+}
+
+FailedStateTable::FailedStateTable(std::size_t key_words)
+    : key_words_(key_words),
+      slot_count_(kInitialCapacity),
+      slots_(new std::atomic<std::uint32_t>[kInitialCapacity]) {
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void FailedStateTable::reset(std::size_t key_words) {
+  key_words_ = key_words;
+  count_ = 0;
+  arena_.clear();
+  hashes_.clear();
+  if (slot_count_ != kInitialCapacity) {
+    slot_count_ = kInitialCapacity;
+    slots_.reset(new std::atomic<std::uint32_t>[kInitialCapacity]);
+  }
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void FailedStateTable::reserve_states(std::size_t n) {
+  arena_.reserve(n * key_words_);
+  hashes_.reserve(n);
+  // Keep the load factor below 3/4 for all n inserts.
+  std::size_t needed = kInitialCapacity;
+  while ((n + 1) * 4 > needed * 3) needed *= 2;
+  if (needed > slot_count_) rebuild_slots(needed);
+}
+
+bool FailedStateTable::key_equals(std::size_t id,
+                                  const std::uint64_t* key) const noexcept {
+  return std::equal(key, key + key_words_, arena_.data() + id * key_words_);
+}
+
+std::uint64_t FailedStateTable::hash(const std::uint64_t* key) const noexcept {
+  if (g_degenerate_hash) return 0x5bd1e995ULL;
+  std::uint64_t k = 0x243f6a8885a308d3ULL;
+  for (std::size_t i = 0; i < key_words_; ++i) {
+    k ^= key[i] + 0x9e3779b97f4a7c15ULL + (k << 6) + (k >> 2);
+    k *= 0xff51afd7ed558ccdULL;
+    k ^= k >> 33;
+  }
+  return k;
+}
+
+bool FailedStateTable::contains(const std::uint64_t* key) const noexcept {
+  const std::uint64_t h = hash(key);
+  std::size_t idx = static_cast<std::size_t>(h) & (slot_count_ - 1);
+  for (;;) {
+    // Acquire pairs with insert()'s release publication: observing a
+    // non-zero id guarantees the arena/hash words it indexes are visible.
+    const std::uint32_t slot = slots_[idx].load(std::memory_order_acquire);
+    if (slot == 0) return false;
+    if (hashes_[slot - 1] == h && key_equals(slot - 1, key)) return true;
+    idx = (idx + 1) & (slot_count_ - 1);
+  }
+}
+
+void FailedStateTable::insert(const std::uint64_t* key) {
+  if ((count_ + 1) * 4 > slot_count_ * 3) rebuild_slots(slot_count_ * 2);
+  const std::uint64_t h = hash(key);
+  std::size_t idx = static_cast<std::size_t>(h) & (slot_count_ - 1);
+  for (;;) {
+    const std::uint32_t slot = slots_[idx].load(std::memory_order_relaxed);
+    if (slot == 0) break;
+    if (hashes_[slot - 1] == h && key_equals(slot - 1, key)) return;
+    idx = (idx + 1) & (slot_count_ - 1);
+  }
+  // Key bytes first, id last: the release store below is the publication
+  // point for concurrent readers.
+  arena_.insert(arena_.end(), key, key + key_words_);
+  hashes_.push_back(h);
+  ++count_;
+  slots_[idx].store(static_cast<std::uint32_t>(count_),
+                    std::memory_order_release);
+}
+
+void FailedStateTable::rebuild_slots(std::size_t new_capacity) {
+  std::unique_ptr<std::atomic<std::uint32_t>[]> bigger(
+      new std::atomic<std::uint32_t>[new_capacity]);
+  for (std::size_t i = 0; i < new_capacity; ++i) {
+    bigger[i].store(0, std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    const std::uint32_t slot = slots_[i].load(std::memory_order_relaxed);
+    if (slot == 0) continue;
+    std::size_t idx =
+        static_cast<std::size_t>(hashes_[slot - 1]) & (new_capacity - 1);
+    while (bigger[idx].load(std::memory_order_relaxed) != 0) {
+      idx = (idx + 1) & (new_capacity - 1);
+    }
+    bigger[idx].store(slot, std::memory_order_relaxed);
+  }
+  slots_ = std::move(bigger);
+  slot_count_ = new_capacity;
+}
+
+}  // namespace ssm::checker

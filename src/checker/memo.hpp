@@ -1,0 +1,86 @@
+// FailedStateTable: the view-search memo, with lock-free reads.
+//
+// Insert-only open-addressed set of failed search states, keyed by the
+// FULL packed state (scheduled-mask words ++ per-location last values),
+// not by a hash of it.  The hash only picks the probe start; membership
+// is decided by comparing the stored key words, so two distinct states
+// can never alias and prune a live subtree (the soundness bug of the
+// earlier 64-bit-hash memo).  Keys live densely in an arena; the slot
+// array holds 1-based key ids and rehashes by doubling.
+//
+// Concurrency model (the "atomic slot publication" read path):
+//
+//   * Slots are std::atomic<uint32_t>.  insert() writes the key words and
+//     cached hash into the arena FIRST, then publishes the 1-based id
+//     with a release store; contains() loads slots with acquire, so a
+//     reader that observes an id also observes the key bytes it indexes.
+//     Readers never take a lock and never write shared memory — probes
+//     are conflict-free, which the scalable commutativity rule says is
+//     exactly what a commutative membership query should compile to.
+//   * Single writer, multiple readers: only one thread may insert at a
+//     time, and while concurrent readers exist the table must have been
+//     pre-sized with reserve_states() so neither the slot array nor the
+//     arena reallocates under a reader.  The per-search memo inside
+//     ViewSearch is single-owner (one search, one workspace, one table),
+//     so it needs no reservation; the concurrent contract is exercised
+//     directly by tests/checker/memo_lockfree_test.cpp under TSan.
+//
+// Membership is exact full-key comparison, so table capacity never
+// affects results — node counts are byte-identical whatever the probe
+// layout.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ssm::checker {
+
+class FailedStateTable {
+ public:
+  explicit FailedStateTable(std::size_t key_words);
+
+  /// Rearm for a new search with `key_words`-word keys.  The arena and
+  /// hash vectors keep their heap capacity; the slot array shrinks back
+  /// to the initial 64 entries (a 256-byte clear) so small searches don't
+  /// pay for a predecessor that grew large.
+  void reset(std::size_t key_words);
+
+  /// Pre-sizes every internal array for up to `n` inserted states so no
+  /// reallocation can happen before the n+1-th insert.  Required before
+  /// readers on other threads may probe concurrently with the writer.
+  void reserve_states(std::size_t n);
+
+  /// Lock-free membership probe; safe concurrently with one insert()er
+  /// after reserve_states().
+  [[nodiscard]] bool contains(const std::uint64_t* key) const noexcept;
+
+  /// Single writer only.
+  void insert(const std::uint64_t* key);
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 64;
+
+  [[nodiscard]] bool key_equals(std::size_t id,
+                                const std::uint64_t* key) const noexcept;
+  [[nodiscard]] std::uint64_t hash(const std::uint64_t* key) const noexcept;
+  void rebuild_slots(std::size_t new_capacity);
+
+  std::size_t key_words_;
+  std::size_t count_ = 0;
+  std::size_t slot_count_;
+  /// 1-based ids into hashes_/arena_; 0 = empty.  Readers acquire-load.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> slots_;
+  std::vector<std::uint64_t> hashes_;  // cached hash per stored key
+  std::vector<std::uint64_t> arena_;   // count_ × key_words_ packed keys
+};
+
+/// Forces every key to one probe chain (collision stress for tests).
+/// Thread-local: affects only tables used by the calling thread.
+void set_degenerate_memo_hash_for_testing(bool degenerate) noexcept;
+
+}  // namespace ssm::checker

@@ -1,0 +1,25 @@
+#include "common/arena.hpp"
+
+namespace ssm::common {
+
+namespace {
+thread_local WorkerArena* t_current_arena = nullptr;
+}  // namespace
+
+WorkerArena& this_worker_arena() noexcept {
+  if (t_current_arena != nullptr) return *t_current_arena;
+  // Fallback for non-lane threads.  Function-local so construction is
+  // on first use and destruction runs at thread exit.
+  static thread_local WorkerArena fallback;
+  return fallback;
+}
+
+namespace detail {
+WorkerArena* exchange_current_arena(WorkerArena* next) noexcept {
+  WorkerArena* prev = t_current_arena;
+  t_current_arena = next;
+  return prev;
+}
+}  // namespace detail
+
+}  // namespace ssm::common

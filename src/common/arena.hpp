@@ -1,0 +1,75 @@
+// WorkerArena: per-worker scratch storage for the work-stealing scheduler.
+//
+// Each scheduler lane (worker thread or claimed caller slot) owns exactly
+// one arena; code running on that lane reaches it through
+// this_worker_arena() and parks reusable heavy state there (the checker's
+// SearchWorkspace pool, solver scratch, ...).  Arenas are single-owner by
+// construction — only the thread currently bound to the lane touches it —
+// so slot access takes no locks and the contents survive across batches,
+// which is what makes workspace reuse effective: a worker that checks ten
+// thousand cells allocates its bitsets once.
+//
+// Threads that are not scheduler lanes (main before the pool exists, io
+// threads, tests) fall back to a thread_local arena, so
+// this_worker_arena() is always valid.  Acquire/release pairs against an
+// arena must be strictly nested (stack discipline): a task that suspends
+// into a nested parallel_for may run further tasks on the SAME arena, and
+// those inner acquisitions release before the outer frame resumes.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ssm::common {
+
+class WorkerArena {
+ public:
+  WorkerArena() = default;
+  ~WorkerArena() {
+    for (auto& e : entries_) e.destroy(e.ptr);
+  }
+  WorkerArena(const WorkerArena&) = delete;
+  WorkerArena& operator=(const WorkerArena&) = delete;
+
+  /// Returns the arena-local instance of T, default-constructing it on
+  /// first use.  T is keyed by type: one slot per type per arena.  Only
+  /// the lane owner may call this (no synchronization).
+  template <typename T>
+  T& slot() {
+    const void* key = type_key<T>();
+    for (const auto& e : entries_) {
+      if (e.key == key) return *static_cast<T*>(e.ptr);
+    }
+    T* p = new T();
+    entries_.push_back(Entry{key, p, [](void* q) { delete static_cast<T*>(q); }});
+    return *p;
+  }
+
+ private:
+  struct Entry {
+    const void* key;
+    void* ptr;
+    void (*destroy)(void*);
+  };
+
+  template <typename T>
+  static const void* type_key() {
+    static const char tag = 0;
+    return &tag;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+/// The arena of the scheduler lane this thread is currently bound to, or a
+/// thread_local fallback arena when the thread is not a lane.  Never null.
+[[nodiscard]] WorkerArena& this_worker_arena() noexcept;
+
+namespace detail {
+/// Binds/unbinds the calling thread to a lane arena (scheduler internal).
+/// Returns the previous binding so callers can restore it (stack scoped).
+WorkerArena* exchange_current_arena(WorkerArena* next) noexcept;
+}  // namespace detail
+
+}  // namespace ssm::common

@@ -1,0 +1,137 @@
+#include "common/epoch.hpp"
+
+namespace ssm::common::epoch {
+
+namespace {
+
+// Free retired objects once this many accumulate (amortizes the scan).
+constexpr std::size_t kCollectThreshold = 64;
+
+}  // namespace
+
+Domain& Domain::global() {
+  static Domain domain;
+  return domain;
+}
+
+Domain::~Domain() {
+  // No readers may be live here (static-destruction order: the global
+  // domain outlives every cache/table that publishes into it).
+  for (auto& r : limbo_) r.del(r.p);
+  limbo_.clear();
+  Rec* rec = recs_.load(std::memory_order_acquire);
+  while (rec != nullptr) {
+    Rec* next = rec->next;
+    delete rec;
+    rec = next;
+  }
+}
+
+Domain::Rec* Domain::acquire_rec() {
+  // Reuse a released record if one exists; records are never freed while
+  // the domain lives, so this scan is safe against concurrent claims.
+  for (Rec* r = recs_.load(std::memory_order_acquire); r != nullptr;
+       r = r->next) {
+    bool expected = false;
+    if (!r->owned.load(std::memory_order_relaxed) &&
+        r->owned.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+      return r;
+    }
+  }
+  Rec* r = new Rec();
+  r->owned.store(true, std::memory_order_relaxed);
+  Rec* head = recs_.load(std::memory_order_relaxed);
+  do {
+    r->next = head;
+  } while (!recs_.compare_exchange_weak(head, r, std::memory_order_release,
+                                        std::memory_order_relaxed));
+  return r;
+}
+
+Domain::ThreadRec::~ThreadRec() {
+  if (rec != nullptr) {
+    rec->state.store(0, std::memory_order_release);
+    rec->owned.store(false, std::memory_order_release);
+  }
+}
+
+Domain::ThreadRec& Domain::thread_rec() noexcept {
+  static thread_local ThreadRec t_rec;
+  return t_rec;
+}
+
+Domain::Guard::Guard() {
+  Domain& d = Domain::global();
+  ThreadRec& t_rec = thread_rec();
+  if (t_rec.rec == nullptr) t_rec.rec = d.acquire_rec();
+  rec_ = t_rec.rec;
+  if (rec_->depth++ == 0) {
+    // seq_cst exchange gives the StoreLoad barrier between publishing the
+    // pin and the subsequent reads of shared slots: a reclaimer that fails
+    // to observe this pin is guaranteed its unlink happened-before our
+    // first slot read, so we cannot fetch the retired object.
+    const std::uint64_t e = d.epoch_.load(std::memory_order_relaxed);
+    rec_->state.exchange((e << 1) | 1, std::memory_order_seq_cst);
+  }
+}
+
+Domain::Guard::~Guard() {
+  if (--rec_->depth == 0) {
+    rec_->state.store(0, std::memory_order_release);
+  }
+}
+
+void Domain::retire(void* p, void (*del)(void*)) {
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  limbo_.push_back(Retired{p, del, epoch_.load(std::memory_order_relaxed)});
+  if (limbo_.size() >= kCollectThreshold) collect_locked();
+}
+
+void Domain::collect() {
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  collect_locked();
+}
+
+void Domain::collect_locked() {
+  // Advance the epoch if no reader is pinned at an older one.  A pinned
+  // reader with a stale epoch simply blocks the advance (safe,
+  // conservative); the acquire load of each state synchronizes with the
+  // reader's release unpin, so the frees below happen-after every read the
+  // unpinned reader performed.
+  const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+  bool can_advance = true;
+  for (Rec* r = recs_.load(std::memory_order_acquire); r != nullptr;
+       r = r->next) {
+    const std::uint64_t s = r->state.load(std::memory_order_seq_cst);
+    if ((s & 1u) != 0 && (s >> 1) != e) {
+      can_advance = false;
+      break;
+    }
+  }
+  std::uint64_t current = e;
+  if (can_advance) {
+    std::uint64_t expected = e;
+    if (epoch_.compare_exchange_strong(expected, e + 1,
+                                       std::memory_order_acq_rel)) {
+      current = e + 1;
+    } else {
+      current = expected;
+    }
+  }
+  // An object retired in epoch E is unreachable for readers pinned at
+  // E+1 (the unlink preceded their pin), so once the epoch reaches E+2
+  // every possible holder has unpinned.
+  std::size_t kept = 0;
+  for (auto& r : limbo_) {
+    if (r.epoch + 2 <= current) {
+      r.del(r.p);
+      reclaimed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      limbo_[kept++] = r;
+    }
+  }
+  limbo_.resize(kept);
+}
+
+}  // namespace ssm::common::epoch

@@ -1,0 +1,120 @@
+// Epoch-based reclamation (EBR) for lock-free read paths.
+//
+// Readers pin the current epoch for the duration of a critical section
+// (epoch::Guard); writers unlink an object from the shared structure and
+// retire() it instead of deleting.  A retired object is freed only after
+// the global epoch has advanced twice past its retirement epoch, which is
+// possible only once every reader that could have observed the object has
+// unpinned.  This is the classic three-epoch scheme (Fraser 2004; the
+// passive reader-writer and RCU designs in SNIPPETS.md use the same
+// grace-period structure): reads are conflict-free — no stores to shared
+// cache lines beyond the reader's own pin record — which is exactly what
+// the scalable commutativity rule prescribes for commutative operations.
+//
+// Usage:
+//   { common::epoch::Guard g;                 // pin
+//     Node* n = slot.load(std::memory_order_acquire);
+//     ... read *n ...
+//   }                                         // unpin
+//   // writer, after unlinking `old` under its mutex:
+//   common::epoch::retire(old, [](void* p){ delete static_cast<Node*>(p); });
+//
+// Guards are cheap (two stores to a thread-owned record) and re-entrant.
+// Retirement is mutex-serialized on the write side — writers in this
+// codebase already hold a shard mutex, so this adds no new contention.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ssm::common::epoch {
+
+class Domain {
+ public:
+  Domain() = default;
+  ~Domain();
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  /// The process-wide domain used by the verdict cache and friends.
+  [[nodiscard]] static Domain& global();
+
+  /// Hands `p` to the domain for deferred deletion via `del`.  Must be
+  /// called after `p` is unreachable for new readers (unlinked).
+  void retire(void* p, void (*del)(void*));
+
+  /// Attempts one epoch advance and frees every retired object that is two
+  /// epochs old.  Called automatically by retire() past a threshold;
+  /// exposed for tests and shutdown paths.
+  void collect();
+
+  /// Total objects freed so far (test observability).
+  [[nodiscard]] std::uint64_t reclaimed() const noexcept {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+
+  class Guard;
+
+ private:
+  friend class Guard;
+
+  // Per-thread pin record.  Records are CAS-claimed from a lock-free list
+  // and returned (owned=false) at thread exit; they are freed only by
+  // ~Domain, so a scanning reclaimer can never touch a dangling record.
+  struct Rec {
+    // 0 = unpinned; otherwise (epoch << 1) | 1.
+    std::atomic<std::uint64_t> state{0};
+    std::atomic<bool> owned{false};
+    Rec* next = nullptr;  // immutable after publication
+    unsigned depth = 0;   // owner-only: re-entrant Guard nesting
+  };
+
+  struct Retired {
+    void* p;
+    void (*del)(void*);
+    std::uint64_t epoch;
+  };
+
+  // Thread-local record handle: claimed on first Guard, released (not
+  // freed) at thread exit so another thread can reuse the slot.
+  struct ThreadRec {
+    Rec* rec = nullptr;
+    ~ThreadRec();
+  };
+  static ThreadRec& thread_rec() noexcept;
+
+  Rec* acquire_rec();
+  void collect_locked();
+
+  std::atomic<Rec*> recs_{nullptr};
+  std::atomic<std::uint64_t> epoch_{1};
+  std::mutex limbo_mu_;
+  std::vector<Retired> limbo_;
+  std::atomic<std::uint64_t> reclaimed_{0};
+};
+
+/// RAII epoch pin on Domain::global().  Re-entrant; must not outlive the
+/// thread.  Keep critical sections short: a pinned reader blocks epoch
+/// advance and therefore reclamation.
+class Domain::Guard {
+ public:
+  Guard();
+  ~Guard();
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+ private:
+  Rec* rec_;
+};
+
+using Guard = Domain::Guard;
+
+/// Shorthand for Domain::global().retire(...).
+inline void retire(void* p, void (*del)(void*)) {
+  Domain::global().retire(p, del);
+}
+
+}  // namespace ssm::common::epoch

@@ -1,117 +1,424 @@
 #include "common/thread_pool.hpp"
 
-#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
-#include <deque>
 #include <mutex>
 #include <stdexcept>
 
+#include "common/arena.hpp"
+#include "common/metrics.hpp"
+
 namespace ssm::common {
 
-/// One parallel_for invocation: a shared index counter plus completion
-/// tracking.  Lives on the heap (shared_ptr) because pool workers may
-/// still hold a reference briefly after the caller's wait completes.
+namespace {
+
+// Upper bound on chunks per batch: small batches get one index per chunk
+// (maximal stealing granularity for the checker's irregular cell costs);
+// huge batches are coalesced so scheduler overhead stays O(kMaxChunks).
+constexpr std::size_t kMaxChunks = 2048;
+
+// Per-lane deque capacity.  Must hold the largest batch (kMaxChunks) plus
+// nested-batch headroom; push falls back to inline execution when full,
+// so this is a performance knob, not a correctness limit.
+constexpr std::size_t kDequeCapacity = 8192;
+
+// Caller slots: external (non-worker) threads that enter parallel_for
+// claim one of these lanes for the duration of the call.  The service
+// runs a handful of strand workers, so a few slots suffice; when all are
+// taken the call degrades to a serial inline loop (correct, just not
+// parallel).
+constexpr std::size_t kCallerSlots = 8;
+
+metrics::Counter& steals_counter() {
+  static auto& c = metrics::Registry::global().counter("scheduler.steals");
+  return c;
+}
+
+metrics::Counter& steal_failures_counter() {
+  static auto& c =
+      metrics::Registry::global().counter("scheduler.steal_failures");
+  return c;
+}
+
+// Cheap per-lane xorshift for randomized victim selection.
+std::uint64_t next_rand(std::uint64_t& s) noexcept {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+}  // namespace
+
+/// One parallel_for invocation.  Lives on the caller's stack: the caller
+/// cannot return before done == n, a chunk pointer is only dereferenced
+/// by the thread that claimed it (claimed => unexecuted => the batch is
+/// still being waited on), and the completion count is published under
+/// the batch mutex with the notify inside the critical section, so the
+/// waiter can only observe done == n after the finisher has released its
+/// last reference to the batch.
 struct ThreadPool::Batch {
   std::size_t n = 0;
   const std::function<void(std::size_t)>* fn = nullptr;
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> completed{0};
+  std::vector<Chunk> chunks;
   std::mutex m;
   std::condition_variable done_cv;
+  std::size_t done = 0;      // completed indices; guarded by m
   std::exception_ptr error;  // first exception; guarded by m
 };
 
-struct ThreadPool::State {
-  std::mutex m;
-  std::condition_variable work_cv;
-  std::deque<std::shared_ptr<Batch>> queue;
-  bool shutdown = false;
+/// A contiguous index range [lo, hi) of one batch: the unit of stealing.
+struct ThreadPool::Chunk {
+  Batch* batch;
+  std::size_t lo;
+  std::size_t hi;
 };
 
+/// Bounded Chase–Lev work-stealing deque (Lê et al., "Correct and
+/// Efficient Work-Stealing for Weak Memory Models", PPoPP 2013).  The
+/// owner pushes/pops at the bottom (LIFO); thieves CAS the top (FIFO).
+/// Cells hold raw Chunk pointers, so every array access is a machine-word
+/// atomic.
+class ThreadPool::StealDeque {
+ public:
+  StealDeque() : cells_(kDequeCapacity) {}
+
+  /// Owner only.  False when full (caller runs the chunk inline instead).
+  bool push(Chunk* c) noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(kDequeCapacity)) return false;
+    cells_[static_cast<std::size_t>(b) & kMask].store(
+        c, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner only.  LIFO; nullptr when empty.
+  Chunk* pop() noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    Chunk* c = nullptr;
+    if (t <= b) {
+      c = cells_[static_cast<std::size_t>(b) & kMask].load(
+          std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race the thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          c = nullptr;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return c;
+  }
+
+  /// Any thread.  FIFO; nullptr when empty or the race was lost.
+  Chunk* steal() noexcept {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    Chunk* c =
+        cells_[static_cast<std::size_t>(t) & kMask].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return c;
+  }
+
+ private:
+  static constexpr std::size_t kMask = kDequeCapacity - 1;
+  static_assert((kDequeCapacity & kMask) == 0, "capacity must be power of 2");
+
+  std::vector<std::atomic<Chunk*>> cells_;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+/// One scheduler lane: a deque plus the arena owned by whichever thread
+/// is currently bound to the lane.  Worker lanes are bound once for the
+/// pool's lifetime; caller slots are CAS-claimed per parallel_for.
+struct ThreadPool::Lane {
+  StealDeque deque;
+  WorkerArena arena;
+  std::atomic<bool> claimed{false};  // caller slots only
+};
+
+struct ThreadPool::Sleep {
+  std::mutex m;
+  std::condition_variable cv;
+};
+
+namespace {
+
+// The lane (if any) the current thread is bound to, per pool.  A worker
+// is bound to its lane for the pool's lifetime; an external caller is
+// bound while inside parallel_for.
+struct LaneBinding {
+  const void* pool = nullptr;
+  void* lane = nullptr;
+};
+thread_local LaneBinding t_binding;
+
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned jobs)
-    : jobs_(jobs == 0 ? 1 : jobs), state_(std::make_unique<State>()) {
-  threads_.reserve(jobs_ - 1);
-  for (unsigned i = 1; i < jobs_; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    : jobs_(jobs == 0 ? 1 : jobs), sleep_(std::make_unique<Sleep>()) {
+  worker_lanes_ = jobs_ - 1;
+  const std::size_t total = worker_lanes_ + kCallerSlots;
+  lanes_.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  threads_.reserve(worker_lanes_);
+  for (std::size_t i = 0; i < worker_lanes_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
+  shutdown_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(state_->m);
-    state_->shutdown = true;
+    std::lock_guard<std::mutex> lock(sleep_->m);
   }
-  state_->work_cv.notify_all();
+  sleep_->cv.notify_all();
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::run_batch(Batch& batch) {
-  for (;;) {
-    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= batch.n) return;
+ThreadPool::Lane* ThreadPool::bound_lane() noexcept {
+  if (t_binding.pool == this) return static_cast<Lane*>(t_binding.lane);
+  return nullptr;
+}
+
+ThreadPool::Lane* ThreadPool::claim_caller_lane() noexcept {
+  for (std::size_t i = worker_lanes_; i < lanes_.size(); ++i) {
+    bool expected = false;
+    if (lanes_[i]->claimed.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      return lanes_[i].get();
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::release_caller_lane(Lane* lane) noexcept {
+  // The lane's deque is empty here: every chunk the caller pushed was
+  // claimed and executed before its batch completed, and nested batches
+  // drained before their parallel_for returned.
+  lane->claimed.store(false, std::memory_order_release);
+}
+
+ThreadPool::Chunk* ThreadPool::try_steal(std::size_t self_lane) noexcept {
+  thread_local std::uint64_t rng_state = 0x9e3779b97f4a7c15ull ^
+                                         (self_lane + 1) * 0x2545f4914f6cdd1dull;
+  const std::size_t count = lanes_.size();
+  const std::size_t start =
+      static_cast<std::size_t>(next_rand(rng_state) % count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t victim = (start + k) % count;
+    if (victim == self_lane) continue;
+    if (Chunk* c = lanes_[victim]->deque.steal()) {
+      // Pool-member tally, NOT the metrics registry: workers outlive every
+      // function-local static at process exit (the constant-initialized
+      // global-pool pointer is destroyed after them), so a worker touching
+      // the registry from its idle loop would be a use-after-free.  Caller
+      // threads flush the deltas from flush_steal_metrics().
+      steal_count_.fetch_add(1, std::memory_order_relaxed);
+      return c;
+    }
+  }
+  steal_fail_count_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void ThreadPool::flush_steal_metrics() {
+  // exchange(0) makes the members deltas-since-last-flush: concurrent
+  // flushers each claim a disjoint slice, nothing is double-counted.
+  if (const std::uint64_t d = steal_count_.exchange(0, std::memory_order_relaxed)) {
+    steals_counter().add(d);
+  }
+  if (const std::uint64_t d =
+          steal_fail_count_.exchange(0, std::memory_order_relaxed)) {
+    steal_failures_counter().add(d);
+  }
+}
+
+void ThreadPool::run_chunk(Chunk* chunk) {
+  Batch& batch = *chunk->batch;
+  for (std::size_t i = chunk->lo; i < chunk->hi; ++i) {
     try {
       (*batch.fn)(i);
     } catch (...) {
       std::lock_guard<std::mutex> lock(batch.m);
       if (!batch.error) batch.error = std::current_exception();
     }
-    if (batch.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-        batch.n) {
-      // Lock before notifying so the waiter cannot miss the wakeup between
-      // its predicate check and its wait.
-      std::lock_guard<std::mutex> lock(batch.m);
-      batch.done_cv.notify_all();
-    }
   }
+  // Publish completion under the mutex, notifying INSIDE the critical
+  // section: the waiter can only see done == n after we release the lock,
+  // so the stack-allocated batch cannot be destroyed under us.
+  std::lock_guard<std::mutex> lock(batch.m);
+  batch.done += chunk->hi - chunk->lo;
+  if (batch.done == batch.n) batch.done_cv.notify_all();
+}
+
+void ThreadPool::wake_workers() noexcept {
+  // Empty critical section pairs with the worker's predicate check under
+  // the same mutex: either the worker is already waiting (notify reaches
+  // it) or it has not yet checked pending_ (it will observe the add).
+  {
+    std::lock_guard<std::mutex> lock(sleep_->m);
+  }
+  sleep_->cv.notify_all();
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // RAII in-flight marker: set_global_jobs refuses to replace a pool with
+  // live batches (including the serial path — the caller still holds a
+  // reference to this pool).
+  struct InFlight {
+    std::atomic<std::size_t>& c;
+    explicit InFlight(std::atomic<std::size_t>& counter) : c(counter) {
+      c.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~InFlight() { c.fetch_sub(1, std::memory_order_acq_rel); }
+  } inflight_marker(inflight_);
+
   if (jobs_ <= 1 || n == 1) {
+    // Serial reference execution: a plain inline loop, byte-identical to
+    // what the parallel path must produce.
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  auto batch = std::make_shared<Batch>();
-  batch->n = n;
-  batch->fn = &fn;
-  {
-    std::lock_guard<std::mutex> lock(state_->m);
-    state_->queue.push_back(batch);
+
+  Lane* lane = bound_lane();
+  const bool claimed_slot = (lane == nullptr);
+  WorkerArena* prev_arena = nullptr;
+  if (claimed_slot) {
+    lane = claim_caller_lane();
+    if (lane == nullptr) {
+      // Every caller slot busy: run serially rather than block.
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    t_binding = LaneBinding{this, lane};
+    prev_arena = detail::exchange_current_arena(&lane->arena);
   }
-  state_->work_cv.notify_all();
-  run_batch(*batch);  // the caller is one of the lanes
-  {
-    std::unique_lock<std::mutex> lock(batch->m);
-    batch->done_cv.wait(lock, [&] {
-      return batch->completed.load(std::memory_order_acquire) == batch->n;
-    });
-    if (batch->error) std::rethrow_exception(batch->error);
+
+  Batch batch;
+  batch.n = n;
+  batch.fn = &fn;
+  const std::size_t chunk_size = (n + kMaxChunks - 1) / kMaxChunks;
+  const std::size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  batch.chunks.reserve(num_chunks);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t lo = c * chunk_size;
+    const std::size_t hi = lo + chunk_size < n ? lo + chunk_size : n;
+    batch.chunks.push_back(Chunk{&batch, lo, hi});
   }
+
+  std::size_t self_index = 0;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i].get() == lane) {
+      self_index = i;
+      break;
+    }
+  }
+
+  std::size_t published = 0;
+  for (auto& chunk : batch.chunks) {
+    if (lane->deque.push(&chunk)) {
+      ++published;
+    } else {
+      run_chunk(&chunk);  // deque full: execute inline
+    }
+  }
+  if (published > 0) {
+    pending_.fetch_add(published, std::memory_order_acq_rel);
+    wake_workers();
+  }
+
+  // Help until our batch completes: drain our own deque (LIFO — newest
+  // work first keeps nested batches cache-hot), then steal from other
+  // lanes so nested work our chunks spawned elsewhere still makes
+  // progress through this lane.  Once both come up empty, every
+  // remaining chunk of ours is claimed by a running thread, so block on
+  // the batch condition variable.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(batch.m);
+      if (batch.done == batch.n) break;
+    }
+    if (Chunk* c = lane->deque.pop()) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      run_chunk(c);
+      continue;
+    }
+    if (Chunk* c = try_steal(self_index)) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      run_chunk(c);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(batch.m);
+    if (batch.done == batch.n) break;
+    // Plain wait: spurious wakeups loop back through the help path.
+    batch.done_cv.wait(lock);
+  }
+
+  if (claimed_slot) {
+    detail::exchange_current_arena(prev_arena);
+    t_binding = LaneBinding{};
+    release_caller_lane(lane);
+  }
+
+  // Metrics flush on the caller's thread: callers only exist while the
+  // program is live, so the registry statics are guaranteed valid here.
+  flush_steal_metrics();
+
+  std::lock_guard<std::mutex> lock(batch.m);
+  if (batch.error) std::rethrow_exception(batch.error);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t lane_index) {
+  Lane* lane = lanes_[lane_index].get();
+  t_binding = LaneBinding{this, lane};
+  WorkerArena* prev_arena = detail::exchange_current_arena(&lane->arena);
   for (;;) {
-    std::shared_ptr<Batch> batch;
-    {
-      std::unique_lock<std::mutex> lock(state_->m);
-      state_->work_cv.wait(
-          lock, [&] { return state_->shutdown || !state_->queue.empty(); });
-      if (state_->queue.empty()) {
-        if (state_->shutdown) return;
-        continue;
-      }
-      batch = state_->queue.front();
-      if (batch->next.load(std::memory_order_relaxed) >= batch->n) {
-        // Exhausted: indices all claimed (stragglers may still be running
-        // their claimed fn, holding their own shared_ptr).  Retire it.
-        state_->queue.pop_front();
-        continue;
-      }
+    if (Chunk* c = lane->deque.pop()) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      run_chunk(c);
+      continue;
     }
-    run_batch(*batch);
+    if (Chunk* c = try_steal(lane_index)) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      run_chunk(c);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_->m);
+    if (shutdown_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+    sleep_->cv.wait(lock, [&] {
+      return shutdown_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (shutdown_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      break;
+    }
   }
+  detail::exchange_current_arena(prev_arena);
+  t_binding = LaneBinding{};
 }
 
 namespace {
@@ -131,6 +438,14 @@ ThreadPool& ThreadPool::global() {
 
 void ThreadPool::set_global_jobs(unsigned jobs) {
   std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (g_global_pool) {
+    const std::size_t live = g_global_pool->batches_in_flight();
+    if (live != 0) {
+      throw std::logic_error(
+          "ThreadPool::set_global_jobs: " + std::to_string(live) +
+          " parallel_for call(s) still in flight on the global pool");
+    }
+  }
   g_global_pool =
       std::make_unique<ThreadPool>(jobs == 0 ? default_jobs() : jobs);
 }

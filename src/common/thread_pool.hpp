@@ -1,32 +1,43 @@
-// ThreadPool: the shared worker pool behind the parallel checking engine.
+// ThreadPool: the work-stealing scheduler behind the parallel checking
+// engine.
 //
 // The admission test is embarrassingly parallel at every level — suite
-// cells (test × model), per-processor view searches, lattice sweeps — so
-// one process-wide pool fans all of them out.  The design is deliberately
-// small but work-stealing-friendly:
+// cells (test × model), per-processor view searches, lattice sweeps,
+// trace windows — so one process-wide pool fans all of them out.  The
+// design is a classic work-stealing runtime:
 //
-//   * parallel_for publishes a batch of indices claimed from a shared
-//     atomic counter; every pool worker that sees the batch joins in, and
-//     the CALLING thread participates too.  Nested parallel_for therefore
-//     never deadlocks: even when every worker is busy, the caller drains
-//     its own batch inline.
-//   * Waiting is batch-local (condition variable per batch), so unrelated
-//     fan-outs never contend on one lock.
+//   * Every scheduler lane (worker thread or claimed caller slot) owns a
+//     bounded Chase–Lev deque.  parallel_for splits [0, n) into chunks,
+//     pushes them onto the SUBMITTING lane's deque, and the owner pops
+//     LIFO while idle lanes steal FIFO from a randomized victim — the
+//     standard owner-cold/thief-hot split that keeps the common case
+//     (no contention) a pair of plain atomic ops on thread-local lines.
+//   * The calling thread participates: it drains its own deque first and
+//     then steals, so nested parallel_for never deadlocks — even when
+//     every worker is busy, the caller executes its own batch inline.
+//   * Each lane owns a WorkerArena (common/arena.hpp) where long-lived
+//     scratch state (the checker's SearchWorkspace pool) persists across
+//     batches, replacing the old thread_local pools.
 //
 // Concurrency defaults to std::thread::hardware_concurrency and is
 // overridable with the SSM_JOBS environment variable or the `--jobs` CLI
 // flag (see ThreadPool::set_global_jobs).  `jobs == 1` degenerates to a
-// plain serial loop with zero threads, which is the reference execution
-// every parallel path must match byte-for-byte (see docs/PARALLELISM.md).
+// plain serial loop with zero threads and zero scheduler state, which is
+// the reference execution every parallel path must match byte-for-byte
+// (see docs/PARALLELISM.md).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
 
 namespace ssm::common {
+
+class WorkerArena;
 
 class ThreadPool {
  public:
@@ -46,8 +57,16 @@ class ThreadPool {
   /// participates, so nesting parallel_for inside a task is safe.  Index
   /// assignment to threads is nondeterministic; callers must make each
   /// fn(i) independent (write only to slot i of a presized output).
-  /// The first exception thrown by any fn is rethrown on the caller.
+  /// The first exception thrown by any fn is rethrown on the caller once
+  /// the whole batch has finished (other indices still run).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Number of parallel_for invocations currently executing against this
+  /// pool (any thread).  Used by set_global_jobs to enforce that the
+  /// global pool is never replaced out from under a live batch.
+  [[nodiscard]] std::size_t batches_in_flight() const noexcept {
+    return inflight_.load(std::memory_order_acquire);
+  }
 
   /// The process-wide pool used by the checking engine (litmus::run_suite,
   /// models::solve_per_processor).  Created on first use with
@@ -55,8 +74,11 @@ class ThreadPool {
   [[nodiscard]] static ThreadPool& global();
 
   /// Replaces the global pool with a `jobs`-way one (0 = default_jobs()).
-  /// Must not be called while another thread is inside the global pool;
-  /// intended for CLI/bench/test startup (`--jobs`).
+  /// Intended for CLI/bench/test startup (`--jobs`).  Throws
+  /// std::logic_error if any parallel_for against the current global pool
+  /// is still in flight: replacing the pool would destroy the deques a
+  /// live batch is executing from (previously this was only a documented
+  /// convention; it is now an enforced check).
   static void set_global_jobs(unsigned jobs);
 
   /// SSM_JOBS environment override when set to a positive integer,
@@ -65,14 +87,35 @@ class ThreadPool {
 
  private:
   struct Batch;
+  struct Chunk;
+  class StealDeque;
+  struct Lane;
 
-  void worker_loop();
-  static void run_batch(Batch& batch);
+  Lane* bound_lane() noexcept;
+  Lane* claim_caller_lane() noexcept;
+  void release_caller_lane(Lane* lane) noexcept;
+  Chunk* try_steal(std::size_t self_lane) noexcept;
+  void run_chunk(Chunk* chunk);
+  void wake_workers() noexcept;
+  void worker_loop(std::size_t lane_index);
+  void flush_steal_metrics();
 
   unsigned jobs_;
+  std::vector<std::unique_ptr<Lane>> lanes_;  // workers, then caller slots
+  std::size_t worker_lanes_;                  // lanes_[0 .. worker_lanes_)
   std::vector<std::thread> threads_;
-  struct State;
-  std::unique_ptr<State> state_;
+
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::size_t> pending_{0};  // published, unclaimed chunks
+  std::atomic<bool> shutdown_{false};
+  /// Steal tallies as pool members, flushed to the `scheduler.steals` /
+  /// `scheduler.steal_failures` metrics by CALLER threads only: workers
+  /// may still be cycling through their idle loop during process-exit
+  /// static destruction, after the metrics registry is gone.
+  std::atomic<std::uint64_t> steal_count_{0};
+  std::atomic<std::uint64_t> steal_fail_count_{0};
+  struct Sleep;
+  std::unique_ptr<Sleep> sleep_;
 };
 
 }  // namespace ssm::common

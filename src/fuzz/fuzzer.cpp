@@ -182,6 +182,12 @@ FuzzReport run_fuzz(const FuzzOptions& options,
     }
   };
 
+  // One iteration per chunk on the work-stealing scheduler: the caller
+  // seeds its own deque and idle lanes steal — iterations that hit a
+  // finding (and pay for shrinking) stop stalling the rest of the batch,
+  // which the old shared-counter pool serialized behind them.  Each
+  // iteration writes only slot i, so the findings JSON stays
+  // byte-identical at any --jobs width.
   auto& pool = common::ThreadPool::global();
   if (pool.jobs() <= 1 || n <= 1) {
     for (std::size_t i = 0; i < n; ++i) run_one(i);

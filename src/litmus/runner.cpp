@@ -84,14 +84,27 @@ std::vector<TestOutcome> run_suite(const std::vector<LitmusTest>& suite,
 
   // Isomorphism dedup (see RunOptions::dedup_isomorphic): only the first
   // test of each canonical-key class is checked; the rest replay its
-  // verdict below.
+  // verdict below.  Canonicalization itself is a scheduler batch — the
+  // whole corpus is fed to the work-stealing pool at once and each lane
+  // canonicalizes a slice — while class assignment stays a serial
+  // first-occurrence fold over the presized key vector, so the chosen
+  // representatives (and hence the rendered matrix) are byte-identical to
+  // a fully serial run regardless of how the keys were computed.
   std::vector<std::size_t> rep(suite.size());
   const bool dedup = options.dedup_isomorphic && options.budget.unlimited();
   if (dedup) {
+    std::vector<std::string> keys(suite.size());
+    const auto canonicalize = [&](std::size_t ti) {
+      keys[ti] = canonical_key(suite[ti]);
+    };
+    if (pool.jobs() <= 1 || suite.size() <= 1) {
+      for (std::size_t ti = 0; ti < suite.size(); ++ti) canonicalize(ti);
+    } else {
+      pool.parallel_for(suite.size(), canonicalize);
+    }
     std::map<std::string, std::size_t> first_of_class;
     for (std::size_t ti = 0; ti < suite.size(); ++ti) {
-      rep[ti] = first_of_class.emplace(canonical_key(suite[ti]), ti)
-                    .first->second;
+      rep[ti] = first_of_class.emplace(std::move(keys[ti]), ti).first->second;
     }
   } else {
     for (std::size_t ti = 0; ti < suite.size(); ++ti) rep[ti] = ti;

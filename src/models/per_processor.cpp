@@ -8,20 +8,41 @@
 
 namespace ssm::models {
 
+namespace {
+std::atomic<bool> g_prompt_cancellation{true};
+}  // namespace
+
+void set_prompt_cancellation(bool enabled) noexcept {
+  g_prompt_cancellation.store(enabled, std::memory_order_relaxed);
+}
+
+bool prompt_cancellation_enabled() noexcept {
+  return g_prompt_cancellation.load(std::memory_order_relaxed);
+}
+
 bool solve_per_processor(const SystemHistory& h, const ViewProblemFn& problem,
                          Verdict& out) {
   const ProcId procs = h.num_processors();
+  const bool prompt = prompt_cancellation_enabled();
   std::vector<View> views(procs);
   auto& pool = common::ThreadPool::global();
   if (pool.jobs() <= 1 || procs <= 1) {
+    bool any_failed = false;
     for (ProcId p = 0; p < procs; ++p) {
       ViewProblem vp = problem(p);
       if (vp.exempt.size() != h.size()) vp.exempt = DynBitset(h.size());
       auto view =
           checker::find_legal_view(h, vp.universe, vp.constraints(), vp.exempt);
-      if (!view) return false;
+      if (!view) {
+        if (prompt) return false;
+        // Determinism mode: keep searching the remaining processors so the
+        // node count is independent of which processor fails first.
+        any_failed = true;
+        continue;
+      }
       views[p] = std::move(*view);
     }
+    if (any_failed) return false;
   } else {
     // Fan the independent view searches out across the pool.  The first
     // processor proven to have no legal view flips the shared stop token,
@@ -34,11 +55,14 @@ bool solve_per_processor(const SystemHistory& h, const ViewProblemFn& problem,
     std::atomic<bool> failed{false};
     std::atomic<std::uint64_t> cancel_ns{0};
     pool.parallel_for(procs, [&](std::size_t p) {
-      if (failed.load(std::memory_order_relaxed)) return;
+      if (prompt && failed.load(std::memory_order_relaxed)) return;
       const checker::BudgetScope scope(budget);
       ViewProblem vp = problem(static_cast<ProcId>(p));
       if (vp.exempt.size() != h.size()) vp.exempt = DynBitset(h.size());
-      const checker::SearchControl control(&failed, budget, &cancel_ns);
+      // Determinism mode runs every sibling to its natural end: no stop
+      // token, so no timing-dependent cancellation points.
+      const checker::SearchControl control(prompt ? &failed : nullptr, budget,
+                                           &cancel_ns);
       auto view = checker::find_legal_view(h, vp.universe, vp.constraints(),
                                            vp.exempt, control);
       if (view) {

@@ -86,6 +86,15 @@ using ViewProblemFn = std::function<ViewProblem(ProcId)>;
 bool solve_per_processor(const SystemHistory& h, const ViewProblemFn& problem,
                          Verdict& out);
 
+/// When disabled, solve_per_processor stops cancelling siblings on first
+/// failure AND stops early-exiting the serial loop: every processor's
+/// search runs to its natural end, so node counts become byte-identical
+/// across any jobs setting and across repeats (cancellation points are
+/// timing-dependent; the verdict never is).  This is the configuration
+/// bench/checker_scaling uses for its determinism sweep.  Default: true.
+void set_prompt_cancellation(bool enabled) noexcept;
+[[nodiscard]] bool prompt_cancellation_enabled() noexcept;
+
 /// Verifies a per-processor witness against the same problems (property
 /// testing hook shared by the simple models).
 [[nodiscard]] std::optional<std::string> verify_per_processor(

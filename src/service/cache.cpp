@@ -10,6 +10,7 @@
 
 #include "checker/witness.hpp"
 #include "checker/witness_verifier.hpp"
+#include "common/epoch.hpp"
 #include "common/json.hpp"
 #include "common/metrics.hpp"
 #include "common/types.hpp"
@@ -122,19 +123,37 @@ const char* to_string(CachedVerdict::Status s) noexcept {
   return "?";
 }
 
-VerdictCache::VerdictCache(Options options)
-    : options_(std::move(options)),
-      per_shard_capacity_(std::max<std::size_t>(
-          1, (options_.capacity + kShards - 1) / kShards)) {}
+namespace epoch = common::epoch;
+
+VerdictCache::Table::Table(std::size_t n)
+    : mask(n - 1), slots(new std::atomic<Node*>[n]) {
+  for (std::size_t i = 0; i < n; ++i) {
+    slots[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
 
 namespace {
 
-/// Counts every shard-mutex acquisition on the get/put paths — the
+/// Tombstone sentinel for evicted slots: probes skip it, inserts may
+/// reuse it.  A distinct static address, never dereferenced.
+alignas(64) char g_tombstone_storage[1];
+
+/// Counts every shard-mutex acquisition on the put paths — the
 /// observable that lets tests assert a batch took each shard's lock at
 /// most once (docs/SERVICE.md, `service.shard_lock_acquisitions`).
+/// Since the read path went lock-free this counts ONLY writes/evictions.
 common::metrics::Counter& shard_lock_counter() {
   static auto& c = common::metrics::Registry::global().counter(
       "service.shard_lock_acquisitions");
+  return c;
+}
+
+/// Every lock-free read-side probe (primary or alias, hit or miss).  A
+/// warm all-hit get_many advances this by the probe count while
+/// service.shard_lock_acquisitions stays flat.
+common::metrics::Counter& lockfree_reads_counter() {
+  static auto& c = common::metrics::Registry::global().counter(
+      "service.cache_lockfree_reads");
   return c;
 }
 
@@ -148,63 +167,174 @@ common::metrics::Counter& budget_upgrade_counter() {
 
 }  // namespace
 
-std::optional<CachedVerdict> VerdictCache::get_locked(Shard& s,
-                                                      std::uint64_t hash,
-                                                      const CacheKey& key) {
-  const auto it = s.index.find(hash);
-  // The index is hash-addressed; a hit must still compare the full key so
-  // a 64-bit collision can never alias one program's verdict to another
-  // (the PR-1 memo lesson, applied here from day one).
-  if (it == s.index.end() || !(it->second->key == key)) {
-    ++s.misses;
-    return std::nullopt;
+VerdictCache::Node* VerdictCache::tombstone_sentinel() noexcept {
+  return reinterpret_cast<Node*>(g_tombstone_storage);
+}
+
+VerdictCache::VerdictCache(Options options)
+    : options_(std::move(options)),
+      per_shard_capacity_(std::max<std::size_t>(
+          1, (options_.capacity + kShards - 1) / kShards)) {
+  // Slot count: smallest power of two keeping live entries at or below
+  // half the table (tombstones use the rest up to the 3/4 rebuild bound).
+  std::size_t slots = 16;
+  while (slots < per_shard_capacity_ * 2) slots *= 2;
+  for (Shard& s : shards_) {
+    s.table.store(new Table(slots), std::memory_order_release);
   }
-  s.lru.splice(s.lru.begin(), s.lru, it->second);
-  ++s.hits;
-  return it->second->value;
+}
+
+void VerdictCache::destroy_shards() noexcept {
+  // Destruction contract: no concurrent readers or writers (same as the
+  // old mutex design, whose mutexes died here too).  Nodes retired before
+  // destruction belong to the epoch domain and are freed by its collector.
+  for (Shard& s : shards_) {
+    Table* t = s.table.load(std::memory_order_acquire);
+    if (t == nullptr) continue;
+    for (std::size_t i = 0; i <= t->mask; ++i) {
+      Node* n = t->slots[i].load(std::memory_order_relaxed);
+      if (n != nullptr && n != tombstone_sentinel()) delete n;
+    }
+    delete t;
+    s.table.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+VerdictCache::~VerdictCache() { destroy_shards(); }
+
+std::optional<CachedVerdict> VerdictCache::probe(Shard& s, std::uint64_t hash,
+                                                 const CacheKey& key) {
+  lockfree_reads_counter().add();
+  Node* const tomb = tombstone_sentinel();
+  // The epoch guard keeps every node and table we can observe alive until
+  // we unpin; the acquire loads pair with the writers' release stores, so
+  // a published node's key/value bytes are fully visible.
+  epoch::Guard guard;
+  const Table* t = s.table.load(std::memory_order_acquire);
+  std::size_t idx = static_cast<std::size_t>(hash) & t->mask;
+  for (std::size_t step = 0; step <= t->mask; ++step) {
+    Node* n = t->slots[idx].load(std::memory_order_acquire);
+    if (n == nullptr) break;
+    if (n != tomb && n->hash == hash && n->key == key) {
+      // Recency bump: a relaxed store to the node's own line.  Ticks are
+      // monotone per shard, so min-tick eviction reproduces LRU order.
+      n->tick.store(s.tick_src.fetch_add(1, std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+      s.hits.fetch_add(1, std::memory_order_relaxed);
+      return n->value;
+    }
+    idx = (idx + 1) & t->mask;
+  }
+  s.misses.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
 }
 
 std::optional<CachedVerdict> VerdictCache::get(const CacheKey& key) {
   const std::uint64_t h = key_hash(key);
-  {
-    Shard& s = shard_for(h);
-    shard_lock_counter().add();
-    std::lock_guard<std::mutex> lock(s.mu);
-    if (auto hit = get_locked(s, h, key)) return hit;
-  }
+  if (auto hit = probe(shard_for(h), h, key)) return hit;
   // Primary miss: re-probe the budget-independent alias.  Definite
   // verdicts don't depend on the budget (or backend) that produced them,
   // so a verdict solved under any other key retires this lookup too.
   if (is_alias_key(key)) return std::nullopt;
   const CacheKey alias = alias_key(key);
   const std::uint64_t ah = key_hash(alias);
-  Shard& as = shard_for(ah);
-  shard_lock_counter().add();
-  std::lock_guard<std::mutex> lock(as.mu);
-  auto hit = get_locked(as, ah, alias);
+  auto hit = probe(shard_for(ah), ah, alias);
   if (hit) budget_upgrade_counter().add();
   return hit;
+}
+
+void VerdictCache::evict_one_locked(Shard& s, Table& t) {
+  // Min-tick scan = the LRU tail.  O(table) per eviction, amortized fine
+  // at the shard sizes the service runs (and only on the write path).
+  Node* const tomb = tombstone_sentinel();
+  std::size_t victim = t.mask + 1;
+  std::uint64_t best = UINT64_MAX;
+  for (std::size_t i = 0; i <= t.mask; ++i) {
+    Node* n = t.slots[i].load(std::memory_order_relaxed);
+    if (n == nullptr || n == tomb) continue;
+    const std::uint64_t tick = n->tick.load(std::memory_order_relaxed);
+    if (tick <= best) {
+      best = tick;
+      victim = i;
+    }
+  }
+  if (victim > t.mask) return;
+  Node* n = t.slots[victim].load(std::memory_order_relaxed);
+  t.slots[victim].store(tomb, std::memory_order_release);
+  epoch::retire(n, [](void* p) { delete static_cast<Node*>(p); });
+  --s.live;
+  ++s.evictions;
+}
+
+void VerdictCache::rebuild_locked(Shard& s) {
+  // Drop accumulated tombstones: copy live nodes into a fresh table of
+  // the same size, publish it, retire the old one.  Readers mid-probe on
+  // the old table still see every live node (only the table object is
+  // retired, not the nodes).
+  Table* old = s.table.load(std::memory_order_relaxed);
+  Node* const tomb = tombstone_sentinel();
+  auto* fresh = new Table(old->mask + 1);
+  for (std::size_t i = 0; i <= old->mask; ++i) {
+    Node* n = old->slots[i].load(std::memory_order_relaxed);
+    if (n == nullptr || n == tomb) continue;
+    std::size_t idx = static_cast<std::size_t>(n->hash) & fresh->mask;
+    while (fresh->slots[idx].load(std::memory_order_relaxed) != nullptr) {
+      idx = (idx + 1) & fresh->mask;
+    }
+    fresh->slots[idx].store(n, std::memory_order_relaxed);
+  }
+  s.table.store(fresh, std::memory_order_release);
+  s.used = s.live;
+  epoch::retire(old, [](void* p) { delete static_cast<Table*>(p); });
 }
 
 void VerdictCache::insert_locked(Shard& s, std::uint64_t hash,
                                  const CacheKey& key,
                                  const CachedVerdict& value) {
-  const auto it = s.index.find(hash);
-  if (it != s.index.end()) {
-    // Refresh (or displace a hash-colliding key — harmless: correctness
-    // lives in the full-key compare on the read side).
-    it->second->key = key;
-    it->second->value = value;
-    s.lru.splice(s.lru.begin(), s.lru, it->second);
-    return;
+  Table* t = s.table.load(std::memory_order_relaxed);
+  Node* const tomb = tombstone_sentinel();
+  // Pass 1: replace an existing entry for this key (full-key compare — a
+  // 64-bit collision can never alias one program's verdict to another,
+  // the PR-1 memo lesson applied here from day one).
+  std::size_t idx = static_cast<std::size_t>(hash) & t->mask;
+  std::size_t first_tomb = t->mask + 1;
+  std::size_t insert_at = t->mask + 1;
+  for (std::size_t step = 0; step <= t->mask; ++step) {
+    Node* n = t->slots[idx].load(std::memory_order_relaxed);
+    if (n == nullptr) {
+      insert_at = idx;
+      break;
+    }
+    if (n == tomb) {
+      if (first_tomb > t->mask) first_tomb = idx;
+    } else if (n->hash == hash && n->key == key) {
+      // Refresh: publish an immutable replacement node at MRU recency and
+      // retire the old one (readers holding it still see a consistent
+      // value).
+      Node* repl = new Node{hash, key, value, {}};
+      repl->tick.store(s.tick_src.fetch_add(1, std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+      t->slots[idx].store(repl, std::memory_order_release);
+      epoch::retire(n, [](void* p) { delete static_cast<Node*>(p); });
+      return;
+    }
+    idx = (idx + 1) & t->mask;
   }
-  s.lru.push_front(Entry{key, value});
-  s.index.emplace(hash, s.lru.begin());
-  while (s.lru.size() > per_shard_capacity_) {
-    s.index.erase(key_hash(s.lru.back().key));
-    s.lru.pop_back();
-    ++s.evictions;
+  if (s.live >= per_shard_capacity_) evict_one_locked(s, *t);
+  Node* node = new Node{hash, key, value, {}};
+  node->tick.store(s.tick_src.fetch_add(1, std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+  // Prefer reusing a tombstone in this key's probe chain; otherwise take
+  // the terminating null slot.  Both lie before the chain's first null,
+  // so the lock-free probe always finds the node.
+  if (first_tomb <= t->mask) {
+    t->slots[first_tomb].store(node, std::memory_order_release);
+  } else {
+    t->slots[insert_at].store(node, std::memory_order_release);
+    ++s.used;
   }
+  ++s.live;
+  if (s.used * 4 > (t->mask + 1) * 3) rebuild_locked(s);
 }
 
 void VerdictCache::insert_memory(const CacheKey& key,
@@ -217,51 +347,23 @@ void VerdictCache::insert_memory(const CacheKey& key,
 }
 
 void VerdictCache::get_many(std::vector<BatchCell>& cells) {
-  // Group cell indices by shard, then visit each populated shard exactly
-  // once — a batch of N cells costs at most kShards lock acquisitions, and
-  // each shard's lock is taken once no matter how many cells map to it.
-  std::vector<std::uint32_t> by_shard[kShards];
-  for (std::uint32_t i = 0; i < cells.size(); ++i) {
-    if (cells[i].hash == 0) cells[i].hash = key_hash(*cells[i].key);
-    by_shard[shard_id(cells[i].hash)].push_back(i);
+  // Every probe is lock-free, so there is no shard grouping to do: a
+  // warm all-hit batch costs ZERO lock acquisitions (it used to cost up
+  // to kShards — the commutativity rule made concrete: reads commute, so
+  // their implementation shares no write).
+  for (BatchCell& cell : cells) {
+    if (cell.hash == 0) cell.hash = key_hash(*cell.key);
+    cell.result = probe(shard_for(cell.hash), cell.hash, *cell.key);
   }
-  for (std::size_t sid = 0; sid < kShards; ++sid) {
-    if (by_shard[sid].empty()) continue;
-    Shard& s = shards_[sid];
-    shard_lock_counter().add();
-    std::lock_guard<std::mutex> lock(s.mu);
-    for (const std::uint32_t i : by_shard[sid]) {
-      cells[i].result = get_locked(s, cells[i].hash, *cells[i].key);
-    }
-  }
-  // Second, alias sweep — ONLY over cells that missed the primary probe,
-  // so a fully warm batch still costs at most kShards acquisitions total.
-  // Same shard-grouped single-lock discipline for the misses.
-  std::vector<std::uint32_t> miss_idx;
-  std::vector<CacheKey> aliases;  // stable storage for the sweep
-  std::vector<std::uint64_t> alias_hashes;
-  for (std::uint32_t i = 0; i < cells.size(); ++i) {
-    if (cells[i].result.has_value() || is_alias_key(*cells[i].key)) continue;
-    miss_idx.push_back(i);
-    aliases.push_back(alias_key(*cells[i].key));
-    alias_hashes.push_back(key_hash(aliases.back()));
-  }
-  if (miss_idx.empty()) return;
-  std::vector<std::uint32_t> alias_by_shard[kShards];
-  for (std::uint32_t k = 0; k < miss_idx.size(); ++k) {
-    alias_by_shard[shard_id(alias_hashes[k])].push_back(k);
-  }
-  for (std::size_t sid = 0; sid < kShards; ++sid) {
-    if (alias_by_shard[sid].empty()) continue;
-    Shard& s = shards_[sid];
-    shard_lock_counter().add();
-    std::lock_guard<std::mutex> lock(s.mu);
-    for (const std::uint32_t k : alias_by_shard[sid]) {
-      auto hit = get_locked(s, alias_hashes[k], aliases[k]);
-      if (hit) {
-        budget_upgrade_counter().add();
-        cells[miss_idx[k]].result = std::move(hit);
-      }
+  // Alias sweep — ONLY over cells that missed the primary probe.
+  for (BatchCell& cell : cells) {
+    if (cell.result.has_value() || is_alias_key(*cell.key)) continue;
+    const CacheKey alias = alias_key(*cell.key);
+    const std::uint64_t ah = key_hash(alias);
+    auto hit = probe(shard_for(ah), ah, alias);
+    if (hit) {
+      budget_upgrade_counter().add();
+      cell.result = std::move(hit);
     }
   }
 }
@@ -502,9 +604,9 @@ VerdictCache::Stats VerdictCache::stats() const {
   Stats total;
   for (const Shard& s : shards_) {
     std::lock_guard<std::mutex> lock(s.mu);
-    total.entries += s.lru.size();
-    total.hits += s.hits;
-    total.misses += s.misses;
+    total.entries += s.live;
+    total.hits += s.hits.load(std::memory_order_relaxed);
+    total.misses += s.misses.load(std::memory_order_relaxed);
     total.evictions += s.evictions;
   }
   return total;

@@ -12,8 +12,16 @@
 // (litmus::remap_witness_from_canonical) and re-verifies the result.
 //
 // Two layers:
-//   * a sharded in-memory LRU (mutex per shard, keyed by fnv1a-picked
-//     shard) sized by `capacity`;
+//   * a sharded in-memory LRU sized by `capacity`.  Reads are LOCK-FREE:
+//     each shard publishes an open-addressed table of immutable entry
+//     nodes through atomic slots, and get/get_many probe it under an
+//     epoch guard (common/epoch.hpp) — zero mutex acquisitions on hits
+//     AND misses, cold or warm (`service.cache_lockfree_reads` counts
+//     them; `service.shard_lock_acquisitions` now counts only the write
+//     side).  Writers serialize on the shard mutex and retire replaced
+//     nodes/tables through the epoch domain.  Recency is a per-node
+//     atomic access tick; eviction picks the minimum tick, which
+//     reproduces exact LRU order for deterministic sequences;
 //   * an optional persistent directory (`dir`): every conclusive verdict
 //     is written through as a versioned one-record JSON file, atomically
 //     (temp file + rename), and `load_persistent()` re-populates the
@@ -36,12 +44,12 @@
 //     made under any other (`service.cache_budget_upgrades`).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "litmus/test.hpp"
@@ -134,8 +142,13 @@ class VerdictCache {
   };
 
   explicit VerdictCache(Options options);
+  ~VerdictCache();  // frees tables/nodes directly; no readers may be live
+  VerdictCache(const VerdictCache&) = delete;
+  VerdictCache& operator=(const VerdictCache&) = delete;
 
   /// Memory-layer lookup; promotes the entry to most-recently-used.
+  /// Lock-free: probes the shard's published table under an epoch guard
+  /// and never touches the shard mutex (on hit or miss).
   [[nodiscard]] std::optional<CachedVerdict> get(const CacheKey& key);
 
   /// Inserts (or refreshes) an entry, evicting the shard's LRU tail past
@@ -154,10 +167,12 @@ class VerdictCache {
     const CachedVerdict* value = nullptr;  ///< put_many input
   };
 
-  /// Batched lookup: cells are grouped by shard id and each shard's mutex
-  /// is taken AT MOST ONCE for the whole batch (service.shard_lock_
-  /// acquisitions counts exactly these acquisitions), instead of once per
-  /// cell.  Fills `cell.result`; misses stay nullopt.
+  /// Batched lookup.  Every probe (primary and the alias re-probe for
+  /// primary misses) is lock-free: an all-hit warm batch takes ZERO shard
+  /// locks — `service.shard_lock_acquisitions` stays flat and
+  /// `service.cache_lockfree_reads` advances by the probe count (pinned
+  /// by a counter assertion in tests/service/cache_test.cpp).  Fills
+  /// `cell.result`; misses stay nullopt.
   void get_many(std::vector<BatchCell>& cells);
 
   /// Batched insert, same shard-grouped single-lock discipline.  Reads
@@ -186,34 +201,60 @@ class VerdictCache {
  private:
   static constexpr std::size_t kShards = 16;
 
-  struct Entry {
+  /// One cached entry.  Immutable after publication except the recency
+  /// tick; replaced (never mutated) on refresh, with the old node retired
+  /// through the epoch domain.
+  struct Node {
+    std::uint64_t hash = 0;
     CacheKey key;
     CachedVerdict value;
+    mutable std::atomic<std::uint64_t> tick{0};
+  };
+
+  /// Power-of-two open-addressed slot array published via Shard::table.
+  /// Slots hold null (empty), a tombstone sentinel (evicted), or a Node*.
+  struct Table {
+    explicit Table(std::size_t n);
+    std::size_t mask;
+    std::unique_ptr<std::atomic<Node*>[]> slots;
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recent
-    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
+    mutable std::mutex mu;             // writers + evictions + stats scan
+    std::atomic<Table*> table{nullptr};
+    std::size_t live = 0;              // nodes (mu)
+    std::size_t used = 0;              // nodes + tombstones (mu)
+    std::uint64_t evictions = 0;       // (mu)
+    mutable std::atomic<std::uint64_t> hits{0};
+    mutable std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> tick_src{0};
   };
 
   [[nodiscard]] Shard& shard_for(std::uint64_t hash) noexcept {
     return shards_[hash % kShards];
   }
 
-  /// get/put bodies with the shard mutex already held (the batched entry
-  /// points share them with the single-key paths).
-  [[nodiscard]] std::optional<CachedVerdict> get_locked(Shard& s,
-                                                       std::uint64_t hash,
-                                                       const CacheKey& key);
+  /// The lock-free read path shared by get/get_many: epoch-guarded probe
+  /// of the shard's published table, full-key compare on candidate hits,
+  /// relaxed tick bump for recency.  Never takes s.mu.
+  [[nodiscard]] std::optional<CachedVerdict> probe(Shard& s,
+                                                   std::uint64_t hash,
+                                                   const CacheKey& key);
+
+  /// The tombstone sentinel stored in slots of evicted entries: probes
+  /// skip it, inserts may reuse it.  A distinct static address, never
+  /// dereferenced.
+  [[nodiscard]] static Node* tombstone_sentinel() noexcept;
+
+  /// Write side, shard mutex held.
   void insert_locked(Shard& s, std::uint64_t hash, const CacheKey& key,
                      const CachedVerdict& value);
+  void evict_one_locked(Shard& s, Table& t);
+  void rebuild_locked(Shard& s);
 
   void insert_memory(const CacheKey& key, const CachedVerdict& value);
   void write_record(const CacheKey& key, const CachedVerdict& value) const;
+  void destroy_shards() noexcept;
 
   Options options_;
   std::size_t per_shard_capacity_;

@@ -1,0 +1,98 @@
+// FailedStateTable's concurrent contract (src/checker/memo.hpp): after
+// reserve_states(), one writer may insert while readers on other threads
+// probe lock-free.  The release publication of slot ids against the
+// acquire probe loads is exactly what TSan checks when this file runs
+// under the `concurrency`/`scheduler` labels.
+#include "checker/memo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace ssm::checker {
+namespace {
+
+constexpr std::size_t kKeyWords = 3;
+
+std::vector<std::uint64_t> make_key(std::uint64_t i) {
+  // Spread bits so probe starts differ; the table compares full keys, so
+  // the exact mix only affects layout, never membership.
+  return {i * 0x9e3779b97f4a7c15ULL, i ^ 0xdeadbeefULL, ~i};
+}
+
+TEST(MemoLockFree, SingleWriterConcurrentReaders) {
+  constexpr std::uint64_t kInserts = 20000;
+  FailedStateTable table(kKeyWords);
+  table.reserve_states(kInserts);
+
+  std::atomic<std::uint64_t> published{0};
+  std::atomic<bool> stop{false};
+
+  // Readers probe keys at and around the published watermark: everything
+  // the writer has announced must be found, and keys never inserted must
+  // stay absent — no torn key can ever satisfy the full-word compare.
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      std::uint64_t probes = 0;
+      bool final_round = false;
+      while (!final_round) {
+        // Checking stop BEFORE probing guarantees at least one probe even
+        // when a single-core scheduler runs the whole writer first.
+        final_round = stop.load(std::memory_order_acquire);
+        const std::uint64_t n = published.load(std::memory_order_acquire);
+        if (n == 0) continue;
+        const std::uint64_t i = probes % n;
+        EXPECT_TRUE(table.contains(make_key(i).data()))
+            << "published key " << i << " not visible";
+        EXPECT_FALSE(table.contains(make_key(kInserts + 1 + i).data()))
+            << "phantom membership for a never-inserted key";
+        ++probes;
+      }
+      EXPECT_GT(probes, 0u);
+    });
+  }
+
+  for (std::uint64_t i = 0; i < kInserts; ++i) {
+    table.insert(make_key(i).data());
+    published.store(i + 1, std::memory_order_release);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(table.size(), kInserts);
+  for (std::uint64_t i = 0; i < kInserts; ++i) {
+    ASSERT_TRUE(table.contains(make_key(i).data())) << i;
+  }
+}
+
+TEST(MemoLockFree, ResetRearmsForAnotherConcurrentRound) {
+  // reset() shrinks the slot array; a second reserve_states must restore
+  // the no-reallocation guarantee before readers return.
+  constexpr std::uint64_t kInserts = 4000;
+  FailedStateTable table(kKeyWords);
+  for (int round = 0; round < 3; ++round) {
+    table.reset(kKeyWords);
+    table.reserve_states(kInserts);
+    std::atomic<std::uint64_t> published{0};
+    std::thread reader([&] {
+      while (published.load(std::memory_order_acquire) < kInserts) {
+        const std::uint64_t n = published.load(std::memory_order_acquire);
+        if (n == 0) continue;
+        EXPECT_TRUE(table.contains(make_key(n - 1).data()));
+      }
+    });
+    for (std::uint64_t i = 0; i < kInserts; ++i) {
+      table.insert(make_key(i).data());
+      published.store(i + 1, std::memory_order_release);
+    }
+    reader.join();
+    EXPECT_EQ(table.size(), kInserts);
+  }
+}
+
+}  // namespace
+}  // namespace ssm::checker

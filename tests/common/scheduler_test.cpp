@@ -1,0 +1,267 @@
+// Work-stealing scheduler edge cases (docs/PARALLELISM.md): stolen tasks
+// nesting parallel_for, exceptions crossing a steal, cancellation racing
+// the steal protocol, the set_global_jobs in-flight guard, the jobs=1
+// serial reference, and the epoch-reclamation domain behind the lock-free
+// read paths.  The whole suite runs under the `scheduler` and
+// `concurrency` ctest labels, so the TSan/ASan passes cover every
+// interleaving asserted here.
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "checker/budget.hpp"
+#include "checker/legality.hpp"
+#include "checker/scope.hpp"
+#include "common/epoch.hpp"
+#include "common/metrics.hpp"
+#include "history/builder.hpp"
+#include "models/per_processor.hpp"
+#include "models/registry.hpp"
+
+namespace ssm::common {
+namespace {
+
+using history::HistoryBuilder;
+
+struct SerialAtExit {
+  ~SerialAtExit() { ThreadPool::set_global_jobs(1); }
+};
+
+/// Forces every chunk except one onto the pool's single worker thread:
+/// the caller blocks inside the first chunk it pops until the other
+/// kN - 1 chunks are done, and worker lanes only acquire work by
+/// stealing from the submitting lane's deque — so all kN - 1 of them
+/// cross the steal protocol.
+constexpr std::size_t kForcedSteals = 8;
+
+TEST(Scheduler, WorkersAcquireChunksOnlyByStealing) {
+  auto& steals = metrics::Registry::global().counter("scheduler.steals");
+  const std::uint64_t steals_before = steals.value();
+
+  ThreadPool pool(2);  // one worker thread
+  const auto caller = std::this_thread::get_id();
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> caller_seen{false};
+  std::size_t stolen = 0;  // worker-only until join, then caller-read
+  pool.parallel_for(kForcedSteals, [&](std::size_t) {
+    if (std::this_thread::get_id() == caller) {
+      ASSERT_FALSE(caller_seen.exchange(true))
+          << "caller blocked in its first chunk; it cannot pop a second";
+      while (done.load(std::memory_order_acquire) < kForcedSteals - 1) {
+        std::this_thread::yield();
+      }
+    } else {
+      ++stolen;
+    }
+    done.fetch_add(1, std::memory_order_release);
+  });
+  EXPECT_EQ(done.load(), kForcedSteals);
+  // The caller executed at most its one blocked chunk; a fast worker may
+  // even have stolen the whole batch before the caller popped anything.
+  EXPECT_GE(stolen, kForcedSteals - 1);
+  // parallel_for flushed the worker-side tallies on the caller thread.
+  EXPECT_GE(steals.value() - steals_before, kForcedSteals - 1);
+}
+
+TEST(Scheduler, NestedParallelForInsideStolenTasks) {
+  // Outer chunks land on worker threads (stolen); each spawns a nested
+  // batch from its worker lane, and one level deeper again.  Every index
+  // at every level must run exactly once regardless of which lane
+  // executed the parent.
+  ThreadPool pool(4);
+  std::atomic<std::size_t> leaf{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) {
+      pool.parallel_for(8, [&](std::size_t) {
+        leaf.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  });
+  EXPECT_EQ(leaf.load(), 8u * 4u * 8u);
+}
+
+TEST(Scheduler, ExceptionFromStolenTaskPropagatesToCaller) {
+  ThreadPool pool(2);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> threw_on_worker{false};
+  try {
+    pool.parallel_for(kForcedSteals, [&](std::size_t) {
+      if (std::this_thread::get_id() == caller) {
+        while (done.load(std::memory_order_acquire) < kForcedSteals - 1) {
+          std::this_thread::yield();
+        }
+        done.fetch_add(1, std::memory_order_release);
+        return;
+      }
+      if (!threw_on_worker.exchange(true)) {
+        done.fetch_add(1, std::memory_order_release);
+        throw std::runtime_error("stolen boom");
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+    FAIL() << "exception thrown on a worker lane must reach the caller";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "stolen boom");
+  }
+  EXPECT_TRUE(threw_on_worker.load());
+  // The throwing chunk poisons the batch result, not its siblings.
+  EXPECT_EQ(done.load(), kForcedSteals);
+}
+
+TEST(Scheduler, SetGlobalJobsThrowsWhileBatchInFlight) {
+  SerialAtExit guard;
+  ThreadPool::set_global_jobs(2);
+  std::atomic<bool> checked{false};
+  ThreadPool::global().parallel_for(4, [&](std::size_t) {
+    if (!checked.exchange(true)) {
+      // Replacing the global pool would destroy the deque this very batch
+      // is executing from; the guard must refuse.
+      EXPECT_THROW(ThreadPool::set_global_jobs(3), std::logic_error);
+    }
+  });
+  EXPECT_TRUE(checked.load());
+  // Quiescent again: replacement is allowed.
+  ThreadPool::set_global_jobs(1);
+  EXPECT_EQ(ThreadPool::global().jobs(), 1u);
+}
+
+TEST(Scheduler, BudgetPoisonAndStopTokenRaceStealing) {
+  // Cancellation pressure against the steal protocol: many concurrent
+  // view searches share one tiny SearchBudget (poisoned almost at once)
+  // and one stop token tripped midway.  Whatever interleaving the deques
+  // produce, every search must terminate, and the latched budget keeps
+  // the total charged work bounded.  The history is unsatisfiable, so
+  // the per-search result is nullopt under every schedule — cancellation
+  // changes wasted work, never the verdict.
+  SerialAtExit guard;
+  ThreadPool::set_global_jobs(4);
+  auto b = HistoryBuilder(2, 2);
+  for (Value v = 1; v <= 8; ++v) b.w("p", "x", v);
+  b.r("p", "y", 99);  // never written: unsatisfiable
+  const auto h = std::move(b).build_unchecked();
+  const rel::Relation unconstrained(h.size());
+  const rel::DynBitset no_exempt(h.size());
+  const auto universe = checker::all_ops(h);
+
+  for (int round = 0; round < 20; ++round) {
+    checker::SearchBudget budget({.max_nodes = 64, .timeout_ms = 0});
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> completed{0};
+    ThreadPool::global().parallel_for(16, [&](std::size_t i) {
+      if (i == 7) stop.store(true, std::memory_order_relaxed);
+      const checker::SearchControl control(&stop, &budget);
+      const auto view =
+          checker::find_legal_view(h, universe, unconstrained, no_exempt,
+                                   control);
+      EXPECT_FALSE(view.has_value());
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(completed.load(), 16u);
+    EXPECT_TRUE(stop.load());
+  }
+}
+
+TEST(Scheduler, SerialReferenceIsByteIdenticalAndMatchesParallel) {
+  // jobs=1 is the reference execution: repeating it must reproduce the
+  // exact node count, and with prompt cancellation disabled the parallel
+  // schedule must land on the same count — the determinism contract
+  // bench/checker_scaling --enforce pins on the CI container.
+  SerialAtExit guard;
+  models::set_prompt_cancellation(false);
+  const auto model = models::make_model("Causal");
+  const auto h = HistoryBuilder(3, 2)
+                     .w("p", "x", 1)
+                     .r("q", "x", 1)
+                     .r("q", "y", 0)
+                     .w("r", "y", 1)
+                     .r("r", "x", 0)
+                     .build();
+
+  std::uint64_t reference_nodes = 0;
+  bool reference_allowed = false;
+  for (int rep = 0; rep < 2; ++rep) {
+    ThreadPool::set_global_jobs(1);
+    checker::reset_aggregate_search_stats();
+    const auto v = model->check(h);
+    const auto stats = checker::aggregate_search_stats();
+    if (rep == 0) {
+      reference_nodes = stats.nodes;
+      reference_allowed = v.allowed;
+      ASSERT_GT(reference_nodes, 0u);
+    } else {
+      EXPECT_EQ(stats.nodes, reference_nodes);
+      EXPECT_EQ(v.allowed, reference_allowed);
+    }
+  }
+  ThreadPool::set_global_jobs(4);
+  checker::reset_aggregate_search_stats();
+  const auto v = model->check(h);
+  EXPECT_EQ(checker::aggregate_search_stats().nodes, reference_nodes);
+  EXPECT_EQ(v.allowed, reference_allowed);
+  models::set_prompt_cancellation(true);
+}
+
+TEST(Epoch, RetiredObjectsOutliveEveryPinnedReader) {
+  auto& domain = epoch::Domain::global();
+  static std::atomic<int> freed{0};
+  freed.store(0);
+  const auto deleter = [](void* p) {
+    ++freed;
+    delete static_cast<int*>(p);
+  };
+
+  {
+    epoch::Guard pin;  // a reader that could still hold the pointer
+    domain.retire(new int(42), deleter);
+    // The pin blocks the second epoch advance the free needs, no matter
+    // how often the collector runs.
+    for (int i = 0; i < 8; ++i) domain.collect();
+    EXPECT_EQ(freed.load(), 0);
+  }
+  // Unpinned: two advances free it.
+  for (int i = 0; i < 8 && freed.load() == 0; ++i) domain.collect();
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(Epoch, ConcurrentReadersNeverObserveAFreedObject) {
+  // Writer repeatedly swaps a published pointer and retires the old
+  // value; readers pin, load, dereference, unpin.  Under TSan/ASan this
+  // validates the grace-period ordering end to end: a use-after-free or
+  // race here is the sanitizer's to report.
+  auto& domain = epoch::Domain::global();
+  constexpr int kSwaps = 2000;
+  std::atomic<int*> published{new int(0)};
+  std::atomic<bool> stop{false};
+  static const auto deleter = [](void* p) { delete static_cast<int*>(p); };
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      std::uint64_t sum = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        epoch::Guard pin;
+        int* p = published.load(std::memory_order_acquire);
+        sum += static_cast<std::uint64_t>(*p);
+      }
+      EXPECT_GE(sum, 0u);
+    });
+  }
+  for (int i = 1; i <= kSwaps; ++i) {
+    int* fresh = new int(i);
+    int* old = published.exchange(fresh, std::memory_order_acq_rel);
+    domain.retire(old, deleter);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+  domain.retire(published.exchange(nullptr), deleter);
+  for (int i = 0; i < 8; ++i) domain.collect();
+}
+
+}  // namespace
+}  // namespace ssm::common

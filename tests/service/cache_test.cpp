@@ -332,6 +332,55 @@ TEST(PersistentCache, InconclusiveIsNeverPersisted) {
   EXPECT_FALSE(fs::exists(cache.record_path(key)));
 }
 
+TEST(CacheLockFreeReads, WarmGetManyTakesZeroShardLocks) {
+  // The acceptance criterion for the lock-free read path: once every cell
+  // of a batch is cached, get_many must answer without acquiring a single
+  // shard mutex — every probe goes through the epoch-guarded published
+  // table.  The two counters pin both sides: shard_lock_acquisitions is
+  // flat across the warm batch, and cache_lockfree_reads advances once
+  // per probe.
+  auto& reg = ssm::common::metrics::Registry::global();
+  auto& shard_locks = reg.counter("service.shard_lock_acquisitions");
+  auto& lockfree = reg.counter("service.cache_lockfree_reads");
+
+  VerdictCache cache({.capacity = 1024, .dir = ""});
+  constexpr int kCells = 24;
+  std::vector<CacheKey> keys;
+  keys.reserve(kCells);
+  for (int i = 0; i < kCells; ++i) {
+    CacheKey key = sb_key(i % 2 == 0 ? "SC" : "TSO");
+    key.max_nodes = static_cast<std::uint64_t>(100 + i);
+    keys.push_back(key);
+  }
+  const CachedVerdict v{CachedVerdict::Status::Forbidden, "", ""};
+  std::vector<VerdictCache::BatchCell> puts(kCells);
+  for (int i = 0; i < kCells; ++i) {
+    puts[i].key = &keys[i];
+    puts[i].value = &v;
+  }
+  cache.put_many(puts);  // cold: write side, takes shard locks — expected
+
+  std::vector<VerdictCache::BatchCell> gets(kCells);
+  for (int i = 0; i < kCells; ++i) gets[i].key = &keys[i];
+  const std::uint64_t locks_before = shard_locks.value();
+  const std::uint64_t lockfree_before = lockfree.value();
+  cache.get_many(gets);
+  for (int i = 0; i < kCells; ++i) {
+    ASSERT_TRUE(gets[i].result.has_value()) << "cell " << i;
+    EXPECT_EQ(gets[i].result->status, CachedVerdict::Status::Forbidden);
+  }
+  EXPECT_EQ(shard_locks.value(), locks_before)
+      << "warm all-hit batch must not touch any shard mutex";
+  // One lock-free probe per cell: every key hits on its primary probe, so
+  // no alias re-probe happens.
+  EXPECT_EQ(lockfree.value(), lockfree_before + kCells);
+
+  // Single-key warm get is equally lock-free.
+  EXPECT_TRUE(cache.get(keys[0]).has_value());
+  EXPECT_EQ(shard_locks.value(), locks_before);
+  EXPECT_EQ(lockfree.value(), lockfree_before + kCells + 1);
+}
+
 TEST(KeyString, FieldsCannotBleedIntoEachOther) {
   // "ab" + "c" and "a" + "bc" must produce different key strings (the
   // length prefixes keep field boundaries); a flat concatenation would

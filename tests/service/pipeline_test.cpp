@@ -331,13 +331,12 @@ TEST(Pipelining, BatchFanOutTakesEachShardLockAtMostOncePerBatch) {
   const std::uint64_t locks = shard_locks.value() - locks_base;
   const std::uint64_t batches = batch_size.count() - batches_base;
   ASSERT_GE(batches, 1u);
-  // The contract under test: each of the 16 shard locks is taken at most
-  // once per batch, NOT once per request.  Per-request locking would cost
-  // 64 acquisitions here.
-  EXPECT_LE(locks, VerdictCache::shard_count() * batches)
-      << "a batch must not take a shard lock more than once";
-  EXPECT_LT(locks, kPrograms)
-      << "64 warm requests must not cost 64 shard-lock acquisitions";
+  // The contract under test: the read path is lock-free, so a warm
+  // all-hit burst — 64 requests, however many batches — takes ZERO shard
+  // locks (the counter now measures the write side only; the historical
+  // bound was "at most one acquisition per shard per batch").
+  EXPECT_EQ(locks, 0u)
+      << "a warm all-hit burst must not touch any shard mutex";
 
   server.begin_drain();
   server.wait();
